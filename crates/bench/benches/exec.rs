@@ -1,0 +1,78 @@
+//! Microbenchmarks for the execution engine: predicate evaluation, hash
+//! join, hash aggregation, and end-to-end TPC-H-shaped queries.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pixels_bench::demo_data;
+use pixels_exec::{execute, ExecContext};
+use pixels_planner::plan_query;
+use pixels_workload::query_by_id;
+
+fn bench_queries(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.002);
+    let mut g = c.benchmark_group("tpch_queries");
+    g.sample_size(20);
+    for id in [
+        "q1_pricing_summary",
+        "q3_shipping_priority",
+        "q6_forecast_revenue",
+        "orders_by_status",
+        "top_customers",
+    ] {
+        let q = query_by_id(id).unwrap();
+        let plan = plan_query(&catalog, "tpch", q.sql).unwrap();
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let ctx = ExecContext::new(store.clone());
+                execute(&plan, &ctx).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.002);
+    let li_rows = catalog
+        .get_table("tpch", "lineitem")
+        .unwrap()
+        .stats
+        .row_count;
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(li_rows));
+    g.sample_size(20);
+
+    for (name, sql) in [
+        (
+            "filter_scan",
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity > 45",
+        ),
+        (
+            "hash_aggregate",
+            "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag",
+        ),
+        (
+            "hash_join",
+            "SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey",
+        ),
+        (
+            "topk",
+            "SELECT l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC LIMIT 10",
+        ),
+        (
+            "full_sort",
+            "SELECT o_totalprice FROM orders ORDER BY o_totalprice",
+        ),
+    ] {
+        let plan = plan_query(&catalog, "tpch", sql).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = ExecContext::new(store.clone());
+                execute(&plan, &ctx).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the SQL front-end and the text-to-SQL service:
+//! parsing, planning, and single-turn translation latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pixels_bench::demo_data;
+use pixels_nl2sql::{CodesService, TextToSqlService};
+use pixels_planner::plan_query;
+use pixels_sql::parse_statement;
+use pixels_workload::query_by_id;
+
+fn bench_parse(c: &mut Criterion) {
+    let q1 = query_by_id("q1_pricing_summary").unwrap().sql;
+    let q5 = query_by_id("q5_local_supplier_volume").unwrap().sql;
+    let mut g = c.benchmark_group("sql_parse");
+    g.bench_function("parse_q1", |b| b.iter(|| parse_statement(q1).unwrap()));
+    g.bench_function("parse_q5_joins", |b| {
+        b.iter(|| parse_statement(q5).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let (catalog, _) = demo_data(0.001);
+    let q3 = query_by_id("q3_shipping_priority").unwrap().sql;
+    let mut g = c.benchmark_group("planning");
+    g.bench_function("plan_q3_full_pipeline", |b| {
+        b.iter(|| plan_query(&catalog, "tpch", q3).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.001);
+    let service = CodesService::new(catalog, store);
+    // Warm the translator cache (value index build is one-time).
+    service.translate("tpch", "how many orders").unwrap();
+    let mut g = c.benchmark_group("nl2sql");
+    for (name, q) in [
+        ("simple_count", "how many customers are there"),
+        (
+            "grouped_agg",
+            "average total price of orders per order priority",
+        ),
+        (
+            "value_grounded_join",
+            "how many orders were placed by customers from France",
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| service.translate("tpch", q).unwrap().sql.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_plan, bench_translate);
+criterion_main!(benches);

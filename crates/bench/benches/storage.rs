@@ -1,0 +1,166 @@
+//! Microbenchmarks for the Pixels storage layer: encodings, file
+//! write/read, and zone-map pruning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pixels_common::{ColumnData, DataType, Field, RecordBatch, Schema, Value};
+use pixels_storage::{
+    codec::{Reader, Writer},
+    encoding, ColumnPredicate, InMemoryObjectStore, PixelsReader, PixelsWriter, PredicateOp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const N: usize = 64 * 1024;
+
+fn int_data(runs: bool) -> ColumnData {
+    let mut rng = StdRng::seed_from_u64(1);
+    if runs {
+        ColumnData::Int64((0..N).map(|i| (i / 64) as i64).collect())
+    } else {
+        ColumnData::Int64((0..N).map(|_| rng.gen_range(0..1_000_000)).collect())
+    }
+}
+
+fn string_data() -> ColumnData {
+    let mut rng = StdRng::seed_from_u64(2);
+    ColumnData::Utf8(
+        (0..N)
+            .map(|_| format!("status-{}", rng.gen_range(0..8)))
+            .collect(),
+    )
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let plain_input = int_data(false);
+    g.bench_function("plain_encode_i64", |b| {
+        b.iter(|| {
+            let mut w = Writer::new();
+            encoding::encode(&plain_input, encoding::Encoding::Plain, &mut w).unwrap();
+            w.len()
+        })
+    });
+
+    let rle_input = int_data(true);
+    g.bench_function("rle_encode_i64_runs", |b| {
+        b.iter(|| {
+            let mut w = Writer::new();
+            encoding::encode(&rle_input, encoding::Encoding::Rle, &mut w).unwrap();
+            w.len()
+        })
+    });
+
+    let dict_input = string_data();
+    g.bench_function("dict_encode_strings", |b| {
+        b.iter(|| {
+            let mut w = Writer::new();
+            encoding::encode(&dict_input, encoding::Encoding::Dictionary, &mut w).unwrap();
+            w.len()
+        })
+    });
+
+    // Decodes.
+    let mut w = Writer::new();
+    encoding::encode(&rle_input, encoding::Encoding::Rle, &mut w).unwrap();
+    let rle_bytes = w.into_bytes();
+    g.bench_function("rle_decode_i64", |b| {
+        b.iter(|| {
+            encoding::decode(
+                &mut Reader::new(&rle_bytes),
+                encoding::Encoding::Rle,
+                DataType::Int64,
+                N,
+            )
+            .unwrap()
+        })
+    });
+
+    let mut w = Writer::new();
+    encoding::encode(&dict_input, encoding::Encoding::Dictionary, &mut w).unwrap();
+    let dict_bytes = w.into_bytes();
+    g.bench_function("dict_decode_strings", |b| {
+        b.iter(|| {
+            encoding::decode(
+                &mut Reader::new(&dict_bytes),
+                encoding::Encoding::Dictionary,
+                DataType::Utf8,
+                N,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn sample_batch(rows: usize) -> (Arc<Schema>, RecordBatch) {
+    let schema = Arc::new(Schema::new(vec![
+        Field::required("id", DataType::Int64),
+        Field::required("value", DataType::Float64),
+        Field::required("tag", DataType::Utf8),
+    ]));
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int64(i as i64),
+                Value::Float64(i as f64 * 0.25),
+                Value::Utf8(format!("tag{}", i % 16)),
+            ]
+        })
+        .collect();
+    let batch = RecordBatch::from_rows(schema.clone(), &data).unwrap();
+    (schema, batch)
+}
+
+fn bench_file_roundtrip(c: &mut Criterion) {
+    let (schema, batch) = sample_batch(32 * 1024);
+    let mut g = c.benchmark_group("pixels_file");
+    g.throughput(Throughput::Elements(batch.num_rows() as u64));
+
+    g.bench_function("write_32k_rows", |b| {
+        b.iter_batched(
+            InMemoryObjectStore::new,
+            |store| {
+                let mut w =
+                    PixelsWriter::with_row_group_rows(&store, "t.pxl", schema.clone(), 8192);
+                w.write_batch(&batch).unwrap();
+                w.finish().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let store = InMemoryObjectStore::new();
+    let mut w = PixelsWriter::with_row_group_rows(&store, "t.pxl", schema.clone(), 8192);
+    w.write_batch(&batch).unwrap();
+    w.finish().unwrap();
+    g.bench_function("read_32k_rows_full", |b| {
+        b.iter(|| {
+            let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+            reader.read_all(None, &[]).unwrap().len()
+        })
+    });
+    g.bench_function("read_32k_rows_projected", |b| {
+        b.iter(|| {
+            let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+            reader.read_all(Some(&[0]), &[]).unwrap().len()
+        })
+    });
+    g.bench_function("read_32k_rows_zonemap_pruned", |b| {
+        let preds = [ColumnPredicate {
+            column: 0,
+            op: PredicateOp::GtEq,
+            value: Value::Int64(31_000),
+        }];
+        b.iter(|| {
+            let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+            reader.read_all(None, &preds).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encodings, bench_file_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! X1 (extension) — batch query optimization for best-of-effort queries.
+//!
+//! The paper closes with: the service levels "also provide opportunities
+//! for batch query optimization." This harness implements and measures the
+//! most natural such optimization: same-class best-of-effort queries parked
+//! in the query server are merged into one execution that shares a single
+//! table scan. The ablation compares batching off vs on.
+
+use pixels_bench::TextTable;
+use pixels_server::{ServerConfig, ServerSim, ServiceLevel, SimReport, Submission};
+use pixels_sim::{SimDuration, SimTime};
+use pixels_turbo::{CfConfig, ResourcePricing, VmConfig};
+use pixels_workload::QueryClass;
+
+fn run(batching: bool, n_queries: usize) -> SimReport {
+    let cfg = ServerConfig {
+        batch_besteffort: batching,
+        max_batch: 8,
+        ..Default::default()
+    };
+    // A busy foreground so the best-of-effort queries accumulate in the
+    // server queue before the cluster goes idle.
+    let mut subs: Vec<Submission> = (0..8)
+        .map(|_| Submission {
+            at: SimTime::from_secs(1),
+            class: QueryClass::Medium,
+            level: ServiceLevel::Immediate,
+        })
+        .collect();
+    for i in 0..n_queries {
+        subs.push(Submission {
+            at: SimTime::from_secs(2 + i as u64 % 5),
+            class: QueryClass::Medium,
+            level: ServiceLevel::BestEffort,
+        });
+    }
+    ServerSim::new(
+        VmConfig::default(),
+        CfConfig::default(),
+        ResourcePricing::default(),
+        cfg,
+    )
+    .run(subs, SimDuration::from_secs(4 * 3600))
+}
+
+fn main() {
+    println!("== X1 (extension): batch query optimization for best-of-effort ==\n");
+    let mut table = TextTable::new(&[
+        "queries",
+        "mode",
+        "total bytes scanned",
+        "total user bill ($)",
+        "provider cost ($)",
+        "makespan (s)",
+    ]);
+    for n in [4usize, 16, 32] {
+        for batching in [false, true] {
+            let report = run(batching, n);
+            assert_eq!(report.unfinished, 0);
+            let be: Vec<_> = report.records_at(ServiceLevel::BestEffort).collect();
+            assert_eq!(be.len(), n, "every member gets a record");
+            let bytes: u64 = be.iter().map(|r| r.scan_bytes).sum();
+            let bill: f64 = be.iter().map(|r| r.price).sum();
+            let cost: f64 = be.iter().map(|r| r.resource_cost.total()).sum();
+            let makespan = be
+                .iter()
+                .map(|r| r.finished_at)
+                .max()
+                .unwrap()
+                .since(SimTime::from_secs(2));
+            table.row(&[
+                n.to_string(),
+                if batching { "batched" } else { "one-by-one" }.to_string(),
+                pixels_common::bytesize::format_bytes(bytes),
+                format!("{bill:.6}"),
+                format!("{cost:.6}"),
+                format!("{:.0}", makespan.as_secs_f64()),
+            ]);
+        }
+    }
+    table.print();
+
+    // Shape assertion at the largest size.
+    let plain = run(false, 32);
+    let batched = run(true, 32);
+    let sum_bytes = |r: &SimReport| -> u64 {
+        r.records_at(ServiceLevel::BestEffort)
+            .map(|q| q.scan_bytes)
+            .sum()
+    };
+    let sum_cost = |r: &SimReport| -> f64 {
+        r.records_at(ServiceLevel::BestEffort)
+            .map(|q| q.resource_cost.total())
+            .sum()
+    };
+    assert!(sum_bytes(&batched) * 4 <= sum_bytes(&plain));
+    assert!(sum_cost(&batched) < sum_cost(&plain) * 0.8);
+    println!(
+        "\nSharing one scan across a batch cuts scanned bytes by {:.0}x and provider cost by {:.0}%.",
+        sum_bytes(&plain) as f64 / sum_bytes(&batched) as f64,
+        (1.0 - sum_cost(&batched) / sum_cost(&plain)) * 100.0
+    );
+    println!("x1_batch_optimization: OK");
+}

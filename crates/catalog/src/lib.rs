@@ -1,0 +1,17 @@
+//! `pixels-catalog` — the metadata service of PixelsDB.
+//!
+//! The Pixels-Turbo coordinator manages metadata through this crate: which
+//! databases and tables exist, which object-store files back each table,
+//! declared primary/foreign keys (also consumed by the text-to-SQL schema
+//! pruner to infer join paths), and aggregated statistics for cost-based
+//! planning.
+
+pub mod analyze;
+pub mod catalog;
+pub mod statistics;
+pub mod table;
+
+pub use analyze::{analyze_table, AnalyzeReport, ColumnAnalysis};
+pub use catalog::{Catalog, CatalogRef, CreateTable};
+pub use statistics::{ColumnSummary, TableStats};
+pub use table::{ForeignKey, TableDef};

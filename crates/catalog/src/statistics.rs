@@ -1,0 +1,198 @@
+//! Table-level statistics kept by the catalog for cost-based planning.
+
+use pixels_common::Value;
+use pixels_storage::ColumnStats;
+
+/// Summary statistics for one column of a table, aggregated across all of
+/// the table's data files.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnSummary {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub null_count: u64,
+    /// Estimated number of distinct values, when known.
+    pub distinct_count: Option<u64>,
+}
+
+impl ColumnSummary {
+    pub fn merge_chunk(&mut self, stats: &ColumnStats) {
+        self.null_count += stats.null_count;
+        if let Some(min) = &stats.min {
+            match &self.min {
+                None => self.min = Some(min.clone()),
+                Some(m) if min.total_cmp(m).is_lt() => self.min = Some(min.clone()),
+                _ => {}
+            }
+        }
+        if let Some(max) = &stats.max {
+            match &self.max {
+                None => self.max = Some(max.clone()),
+                Some(m) if max.total_cmp(m).is_gt() => self.max = Some(max.clone()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate against this column.
+    pub fn eq_selectivity(&self, row_count: u64) -> f64 {
+        match self.distinct_count {
+            Some(ndv) if ndv > 0 => 1.0 / ndv as f64,
+            _ => {
+                if row_count == 0 {
+                    1.0
+                } else {
+                    (1.0 / row_count as f64).max(0.001)
+                }
+            }
+        }
+    }
+
+    /// Estimated selectivity of a range predicate `column <op> value` using
+    /// min/max interpolation for numeric columns; defaults to 1/3 otherwise.
+    pub fn range_selectivity(&self, value: &Value, less_than: bool) -> f64 {
+        const DEFAULT: f64 = 1.0 / 3.0;
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            return DEFAULT;
+        };
+        let (Some(lo), Some(hi), Some(v)) = (min.as_f64(), max.as_f64(), value.as_f64()) else {
+            // Dates and timestamps expose as_i64.
+            match (min.as_i64(), max.as_i64(), value.as_i64()) {
+                (Some(lo), Some(hi), Some(v)) => {
+                    return interpolate(lo as f64, hi as f64, v as f64, less_than)
+                }
+                _ => return DEFAULT,
+            }
+        };
+        interpolate(lo, hi, v, less_than)
+    }
+}
+
+fn interpolate(lo: f64, hi: f64, v: f64, less_than: bool) -> f64 {
+    if hi <= lo {
+        return if (v >= lo) == less_than || v == lo {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    if less_than {
+        frac
+    } else {
+        1.0 - frac
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    pub row_count: u64,
+    /// Total size of the table's data files in bytes.
+    pub total_bytes: u64,
+    /// One entry per schema column.
+    pub columns: Vec<ColumnSummary>,
+}
+
+impl TableStats {
+    pub fn with_columns(n: usize) -> Self {
+        TableStats {
+            row_count: 0,
+            total_bytes: 0,
+            columns: vec![ColumnSummary::default(); n],
+        }
+    }
+
+    /// Average bytes per row (used to convert cardinalities to scan bytes).
+    pub fn bytes_per_row(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.row_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_chunk_widens() {
+        let mut s = ColumnSummary::default();
+        s.merge_chunk(&ColumnStats {
+            min: Some(Value::Int64(5)),
+            max: Some(Value::Int64(10)),
+            null_count: 1,
+            row_count: 10,
+        });
+        s.merge_chunk(&ColumnStats {
+            min: Some(Value::Int64(-2)),
+            max: Some(Value::Int64(7)),
+            null_count: 2,
+            row_count: 10,
+        });
+        assert_eq!(s.min, Some(Value::Int64(-2)));
+        assert_eq!(s.max, Some(Value::Int64(10)));
+        assert_eq!(s.null_count, 3);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let s = ColumnSummary {
+            distinct_count: Some(100),
+            ..Default::default()
+        };
+        assert!((s.eq_selectivity(10_000) - 0.01).abs() < 1e-12);
+        let no_ndv = ColumnSummary::default();
+        assert!(no_ndv.eq_selectivity(100) > 0.0);
+        assert!(no_ndv.eq_selectivity(0) == 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let s = ColumnSummary {
+            min: Some(Value::Int64(0)),
+            max: Some(Value::Int64(100)),
+            ..Default::default()
+        };
+        let sel = s.range_selectivity(&Value::Int64(25), true);
+        assert!((sel - 0.25).abs() < 1e-9);
+        let sel = s.range_selectivity(&Value::Int64(25), false);
+        assert!((sel - 0.75).abs() < 1e-9);
+        // Out-of-range values clamp.
+        assert_eq!(s.range_selectivity(&Value::Int64(-5), true), 0.0);
+        assert_eq!(s.range_selectivity(&Value::Int64(200), true), 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_on_dates() {
+        let s = ColumnSummary {
+            min: Some(Value::Date(0)),
+            max: Some(Value::Date(100)),
+            ..Default::default()
+        };
+        let sel = s.range_selectivity(&Value::Date(50), true);
+        assert!((sel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_fallback_for_strings() {
+        let s = ColumnSummary {
+            min: Some(Value::Utf8("a".into())),
+            max: Some(Value::Utf8("z".into())),
+            ..Default::default()
+        };
+        assert!((s.range_selectivity(&Value::Utf8("m".into()), true) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_row() {
+        let stats = TableStats {
+            row_count: 100,
+            total_bytes: 5000,
+            columns: vec![],
+        };
+        assert_eq!(stats.bytes_per_row(), 50.0);
+        assert_eq!(TableStats::default().bytes_per_row(), 0.0);
+    }
+}

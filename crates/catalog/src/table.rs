@@ -1,0 +1,81 @@
+//! Table metadata: schema, data-file layout, constraints, and statistics.
+
+use crate::statistics::TableStats;
+use pixels_common::{SchemaRef, TableId};
+
+/// A declared foreign-key relationship. PixelsDB uses these both for join
+/// planning hints and — importantly for the paper's NL interface — to let the
+/// text-to-SQL service infer join paths between mentioned tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: String,
+    /// Referenced table (unqualified name within the same database).
+    pub ref_table: String,
+    /// Referenced column.
+    pub ref_column: String,
+}
+
+/// A registered table.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub id: TableId,
+    /// The database (paper: "schema") this table belongs to.
+    pub database: String,
+    pub name: String,
+    pub schema: SchemaRef,
+    /// Object-store paths of the table's Pixels data files.
+    pub paths: Vec<String>,
+    pub stats: TableStats,
+    pub primary_key: Option<String>,
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Optional human description shown in the Rover schema browser and fed
+    /// to the text-to-SQL schema pruner.
+    pub comment: Option<String>,
+}
+
+impl TableDef {
+    /// Fully qualified `database.table` name.
+    pub fn qualified_name(&self) -> String {
+        format!("{}.{}", self.database, self.name)
+    }
+
+    /// The foreign key (if any) from this table's `column`.
+    pub fn foreign_key_on(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.column.eq_ignore_ascii_case(column))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn qualified_name_and_fk_lookup() {
+        let t = TableDef {
+            id: TableId(1),
+            database: "tpch".into(),
+            name: "orders".into(),
+            schema: Arc::new(Schema::new(vec![Field::required(
+                "o_custkey",
+                DataType::Int64,
+            )])),
+            paths: vec![],
+            stats: TableStats::default(),
+            primary_key: Some("o_orderkey".into()),
+            foreign_keys: vec![ForeignKey {
+                column: "o_custkey".into(),
+                ref_table: "customer".into(),
+                ref_column: "c_custkey".into(),
+            }],
+            comment: None,
+        };
+        assert_eq!(t.qualified_name(), "tpch.orders");
+        assert_eq!(t.foreign_key_on("O_CUSTKEY").unwrap().ref_table, "customer");
+        assert!(t.foreign_key_on("o_orderkey").is_none());
+    }
+}

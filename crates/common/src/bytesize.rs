@@ -1,0 +1,68 @@
+//! Byte-size constants and human-readable formatting.
+//!
+//! Pricing in PixelsDB follows the AWS Athena convention of dollars per
+//! terabyte *scanned*, so byte accounting appears throughout the system.
+
+/// Bytes per kibibyte-style unit (the pricing docs use decimal units, like
+/// AWS: 1 TB = 10^12 bytes).
+pub const KB: u64 = 1_000;
+pub const MB: u64 = 1_000_000;
+pub const GB: u64 = 1_000_000_000;
+pub const TB: u64 = 1_000_000_000_000;
+
+/// Format a byte count with a decimal unit suffix, e.g. `1.50 GB`.
+pub fn format_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TB {
+        format!("{:.2} TB", b / TB as f64)
+    } else if bytes >= GB {
+        format!("{:.2} GB", b / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.2} MB", b / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.2} KB", b / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Fraction of a terabyte, used by the $/TB-scan price model.
+pub fn as_terabytes(bytes: u64) -> f64 {
+    bytes as f64 / TB as f64
+}
+
+/// Format a dollar amount the way the Rover UI shows bills.
+pub fn format_dollars(amount: f64) -> String {
+    if amount.abs() < 0.01 && amount != 0.0 {
+        format!("${amount:.6}")
+    } else {
+        format!("${amount:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_each_magnitude() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(1_500), "1.50 KB");
+        assert_eq!(format_bytes(2 * MB), "2.00 MB");
+        assert_eq!(format_bytes(3 * GB + GB / 2), "3.50 GB");
+        assert_eq!(format_bytes(TB), "1.00 TB");
+    }
+
+    #[test]
+    fn terabyte_fraction() {
+        assert!((as_terabytes(TB / 2) - 0.5).abs() < 1e-12);
+        assert_eq!(as_terabytes(0), 0.0);
+    }
+
+    #[test]
+    fn dollar_formatting_keeps_small_amounts_visible() {
+        assert_eq!(format_dollars(5.0), "$5.00");
+        assert_eq!(format_dollars(0.000123), "$0.000123");
+        assert_eq!(format_dollars(0.0), "$0.00");
+    }
+}

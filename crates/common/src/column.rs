@@ -1,0 +1,467 @@
+//! Typed columnar vectors with optional validity (null) bitmaps.
+//!
+//! `Column` is the unit of vectorized execution: a contiguous, homogeneously
+//! typed vector plus an optional per-row validity vector. All executor
+//! operators and the storage encoders work on columns rather than on
+//! individual values.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Boolean(Vec<bool>),
+    Int32(Vec<i32>),
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<String>),
+    /// Days since the Unix epoch.
+    Date(Vec<i32>),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(Vec<i64>),
+}
+
+impl ColumnData {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Boolean(_) => DataType::Boolean,
+            ColumnData::Int32(_) => DataType::Int32,
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Date(_) => DataType::Date,
+            ColumnData::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Boolean(v) => v.len(),
+            ColumnData::Int32(v) => v.len(),
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty payload of the given type.
+    pub fn empty(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Boolean => ColumnData::Boolean(Vec::new()),
+            DataType::Int32 => ColumnData::Int32(Vec::new()),
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Utf8 => ColumnData::Utf8(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+            DataType::Timestamp => ColumnData::Timestamp(Vec::new()),
+        }
+    }
+}
+
+/// A typed vector of values with an optional validity vector.
+///
+/// `validity == None` means every row is valid (non-null); otherwise
+/// `validity[i] == false` marks row `i` as NULL. The payload slot of a NULL
+/// row holds an unspecified (but type-correct) placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Build a column from a payload with no NULLs.
+    pub fn new(data: ColumnData) -> Self {
+        Column {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Build a column from a payload and validity vector. The validity is
+    /// dropped if it marks every row valid.
+    pub fn with_validity(data: ColumnData, validity: Option<Vec<bool>>) -> Result<Self> {
+        if let Some(v) = &validity {
+            if v.len() != data.len() {
+                return Err(Error::Invalid(format!(
+                    "validity length {} != data length {}",
+                    v.len(),
+                    data.len()
+                )));
+            }
+            if v.iter().all(|&b| b) {
+                return Ok(Column {
+                    data,
+                    validity: None,
+                });
+            }
+        }
+        Ok(Column { data, validity })
+    }
+
+    /// Build a column of `ty` from scalar values, checking types row by row.
+    pub fn from_values(ty: DataType, values: &[Value]) -> Result<Self> {
+        let mut b = ColumnBuilder::new(ty);
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// A column of `len` NULLs of the given type.
+    pub fn nulls(ty: DataType, len: usize) -> Self {
+        let mut b = ColumnBuilder::new(ty);
+        for _ in 0..len {
+            b.push_null();
+        }
+        b.finish()
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_deref()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        self.validity.as_ref().is_some_and(|v| !v[i])
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|&&b| !b).count())
+    }
+
+    /// The scalar at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Boolean(v) => Value::Boolean(v[i]),
+            ColumnData::Int32(v) => Value::Int32(v[i]),
+            ColumnData::Int64(v) => Value::Int64(v[i]),
+            ColumnData::Float64(v) => Value::Float64(v[i]),
+            ColumnData::Utf8(v) => Value::Utf8(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+        }
+    }
+
+    /// Iterate the column as scalars (allocates per string row; intended for
+    /// tests and row-oriented sinks, not for hot operator loops).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Keep only rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(Error::Invalid(format!(
+                "filter mask length {} != column length {}",
+                mask.len(),
+                self.len()
+            )));
+        }
+        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask)
+                .filter(|&(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        let data = match &self.data {
+            ColumnData::Boolean(v) => ColumnData::Boolean(keep(v, mask)),
+            ColumnData::Int32(v) => ColumnData::Int32(keep(v, mask)),
+            ColumnData::Int64(v) => ColumnData::Int64(keep(v, mask)),
+            ColumnData::Float64(v) => ColumnData::Float64(keep(v, mask)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(keep(v, mask)),
+            ColumnData::Date(v) => ColumnData::Date(keep(v, mask)),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(keep(v, mask)),
+        };
+        let validity = self.validity.as_ref().map(|v| keep(v, mask));
+        Column::with_validity(data, validity)
+    }
+
+    /// Select rows by index, in the given order (indices may repeat).
+    pub fn gather(&self, indices: &[usize]) -> Result<Column> {
+        let n = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+            return Err(Error::Invalid(format!(
+                "gather index {bad} out of bounds for column of length {n}"
+            )));
+        }
+        fn take<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| v[i].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Boolean(v) => ColumnData::Boolean(take(v, indices)),
+            ColumnData::Int32(v) => ColumnData::Int32(take(v, indices)),
+            ColumnData::Int64(v) => ColumnData::Int64(take(v, indices)),
+            ColumnData::Float64(v) => ColumnData::Float64(take(v, indices)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(take(v, indices)),
+            ColumnData::Date(v) => ColumnData::Date(take(v, indices)),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(take(v, indices)),
+        };
+        let validity = self.validity.as_ref().map(|v| take(v, indices));
+        Column::with_validity(data, validity)
+    }
+
+    /// Rows `[offset, offset + len)` as a new column.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        if offset + len > self.len() {
+            return Err(Error::Invalid(format!(
+                "slice [{offset}, {}) out of bounds for column of length {}",
+                offset + len,
+                self.len()
+            )));
+        }
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.gather(&indices)
+    }
+
+    /// Concatenate columns of the same type into one.
+    pub fn concat(columns: &[Column]) -> Result<Column> {
+        let ty = columns
+            .first()
+            .ok_or_else(|| Error::Invalid("concat of zero columns".into()))?
+            .data_type();
+        let mut b = ColumnBuilder::new(ty);
+        for c in columns {
+            if c.data_type() != ty {
+                return Err(Error::Invalid(format!(
+                    "concat type mismatch: {} vs {}",
+                    ty,
+                    c.data_type()
+                )));
+            }
+            for i in 0..c.len() {
+                b.push(&c.value(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// In-memory footprint estimate in bytes (payload only).
+    pub fn byte_size(&self) -> usize {
+        let payload = match &self.data {
+            ColumnData::Boolean(v) => v.len(),
+            ColumnData::Int32(v) | ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Utf8(v) => v.iter().map(|s| s.len() + 8).sum(),
+        };
+        payload + self.validity.as_ref().map_or(0, |v| v.len())
+    }
+}
+
+/// Incrementally builds a [`Column`] from scalar values.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    validity: Vec<bool>,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(ty: DataType) -> Self {
+        ColumnBuilder {
+            data: ColumnData::empty(ty),
+            validity: Vec::new(),
+            has_null: false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn push_null(&mut self) {
+        self.has_null = true;
+        self.validity.push(false);
+        // Push a type-correct placeholder into the payload slot.
+        match &mut self.data {
+            ColumnData::Boolean(v) => v.push(false),
+            ColumnData::Int32(v) => v.push(0),
+            ColumnData::Int64(v) => v.push(0),
+            ColumnData::Float64(v) => v.push(0.0),
+            ColumnData::Utf8(v) => v.push(String::new()),
+            ColumnData::Date(v) => v.push(0),
+            ColumnData::Timestamp(v) => v.push(0),
+        }
+    }
+
+    /// Append one scalar; numeric values are widened to the builder's type
+    /// when lossless (`Int32` into an `Int64` builder, integers into a
+    /// `Float64` builder).
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let mismatch = |b: &ColumnBuilder| {
+            Error::Invalid(format!(
+                "cannot append {:?} to {} column",
+                value.data_type(),
+                b.data.data_type()
+            ))
+        };
+        match (&mut self.data, value) {
+            (ColumnData::Boolean(v), Value::Boolean(x)) => v.push(*x),
+            (ColumnData::Int32(v), Value::Int32(x)) => v.push(*x),
+            (ColumnData::Int64(v), Value::Int64(x)) => v.push(*x),
+            (ColumnData::Int64(v), Value::Int32(x)) => v.push(*x as i64),
+            (ColumnData::Float64(v), Value::Float64(x)) => v.push(*x),
+            (ColumnData::Float64(v), Value::Int32(x)) => v.push(*x as f64),
+            (ColumnData::Float64(v), Value::Int64(x)) => v.push(*x as f64),
+            (ColumnData::Utf8(v), Value::Utf8(x)) => v.push(x.clone()),
+            (ColumnData::Date(v), Value::Date(x)) => v.push(*x),
+            (ColumnData::Timestamp(v), Value::Timestamp(x)) => v.push(*x),
+            _ => return Err(mismatch(self)),
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    pub fn finish(self) -> Column {
+        let validity = if self.has_null {
+            Some(self.validity)
+        } else {
+            None
+        };
+        Column {
+            data: self.data,
+            validity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[Option<i64>]) -> Column {
+        let values: Vec<Value> = vals
+            .iter()
+            .map(|v| v.map_or(Value::Null, Value::Int64))
+            .collect();
+        Column::from_values(DataType::Int64, &values).unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let c = int_col(&[Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::Int64(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int64(3));
+    }
+
+    #[test]
+    fn all_valid_drops_validity() {
+        let c = int_col(&[Some(1), Some(2)]);
+        assert!(c.validity().is_none());
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn builder_widens_integers() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push(&Value::Int32(2)).unwrap();
+        b.push(&Value::Int64(3)).unwrap();
+        b.push(&Value::Float64(4.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::Float64(2.0));
+        assert_eq!(c.value(2), Value::Float64(4.5));
+    }
+
+    #[test]
+    fn builder_rejects_type_mismatch() {
+        let mut b = ColumnBuilder::new(DataType::Int32);
+        assert!(b.push(&Value::Utf8("x".into())).is_err());
+        assert!(
+            b.push(&Value::Int64(1)).is_err(),
+            "narrowing is not allowed"
+        );
+    }
+
+    #[test]
+    fn filter_keeps_nulls_aligned() {
+        let c = int_col(&[Some(1), None, Some(3), None]);
+        let f = c.filter(&[true, true, false, true]).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.value(0), Value::Int64(1));
+        assert_eq!(f.value(1), Value::Null);
+        assert_eq!(f.value(2), Value::Null);
+    }
+
+    #[test]
+    fn filter_length_mismatch_errors() {
+        let c = int_col(&[Some(1)]);
+        assert!(c.filter(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn gather_repeats_and_reorders() {
+        let c = int_col(&[Some(10), Some(20), None]);
+        let g = c.gather(&[2, 0, 0]).unwrap();
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::Int64(10));
+        assert_eq!(g.value(2), Value::Int64(10));
+        assert!(c.gather(&[3]).is_err());
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let c = int_col(&[Some(1), Some(2), Some(3)]);
+        let s = c.slice(1, 2).unwrap();
+        assert_eq!(s.value(0), Value::Int64(2));
+        assert!(c.slice(2, 2).is_err());
+    }
+
+    #[test]
+    fn concat_and_type_check() {
+        let a = int_col(&[Some(1)]);
+        let b = int_col(&[None, Some(2)]);
+        let c = Column::concat(&[a, b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        let s = Column::from_values(DataType::Utf8, &[Value::Utf8("x".into())]).unwrap();
+        assert!(Column::concat(&[c, s]).is_err());
+    }
+
+    #[test]
+    fn nulls_constructor() {
+        let c = Column::nulls(DataType::Utf8, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 4);
+        assert_eq!(c.data_type(), DataType::Utf8);
+    }
+}

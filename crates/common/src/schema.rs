@@ -1,0 +1,172 @@
+//! Relational schemas: named, typed, nullable fields.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable,
+        }
+    }
+
+    /// Non-nullable convenience constructor (the common case in TPC-H).
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field::new(name, data_type, false)
+    }
+
+    /// Nullable convenience constructor.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field::new(name, data_type, true)
+    }
+}
+
+/// An ordered collection of fields. Field names are matched
+/// case-insensitively, mirroring SQL identifier semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; schemas are immutable once constructed.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the field named `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but returns a catalog error on a miss.
+    pub fn index_of_or_err(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::NotFound(format!("column not found: {name}")))
+    }
+
+    /// A new schema containing only the fields at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (used for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Estimated width in bytes of one row, used by cost models.
+    pub fn row_byte_width(&self) -> usize {
+        self.fields.iter().map(|f| f.data_type.byte_width()).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+            if field.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::required("price", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.index_of_or_err("missing").is_err());
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.field(0).name, "price");
+        assert_eq!(s.field(1).name, "id");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample().join(&Schema::new(vec![Field::required("x", DataType::Int32)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.field(3).name, "x");
+    }
+
+    #[test]
+    fn row_width_sums_field_widths() {
+        assert_eq!(sample().row_byte_width(), 8 + 16 + 8);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new(vec![Field::nullable("a", DataType::Int32)]);
+        assert_eq!(s.to_string(), "(a INTEGER NULL)");
+    }
+}

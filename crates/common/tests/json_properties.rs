@@ -1,0 +1,52 @@
+//! Property-based tests for the JSON codec: arbitrary documents round-trip
+//! through serialization, and the parser never panics on arbitrary input.
+
+use pixels_common::Json;
+use proptest::prelude::*;
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles that survive text round-tripping exactly.
+        (-1_000_000i64..1_000_000).prop_map(|v| Json::Number(v as f64)),
+        (-1000i32..1000).prop_map(|v| Json::Number(v as f64 / 64.0)),
+        "\\PC{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-zA-Z_][a-zA-Z0-9_]{0,8}", inner, 0..6)
+                .prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(doc in json_strategy()) {
+        let text = doc.to_compact_string();
+        let parsed = Json::parse(&text);
+        prop_assert!(parsed.is_ok(), "failed to parse {text}: {:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), doc);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(input in prop::collection::vec(any::<u8>(), 0..100)) {
+        if let Ok(s) = std::str::from_utf8(&input) {
+            let _ = Json::parse(s);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic(doc in json_strategy()) {
+        prop_assert_eq!(doc.to_compact_string(), doc.to_compact_string());
+    }
+}

@@ -1,0 +1,239 @@
+//! Hash aggregation with COUNT/SUM/AVG/MIN/MAX and DISTINCT variants.
+
+use crate::evaluate::evaluate;
+use pixels_common::{ColumnBuilder, DataType, Error, RecordBatch, Result, SchemaRef, Value};
+use pixels_planner::{AggExpr, AggFunc};
+use std::collections::{HashMap, HashSet};
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt { sum: i64, seen: bool },
+    SumFloat { sum: f64, seen: bool },
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(agg: &AggExpr) -> AggState {
+        match agg.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => {
+                if agg.output_type == DataType::Float64 {
+                    AggState::SumFloat {
+                        sum: 0.0,
+                        seen: false,
+                    }
+                } else {
+                    AggState::SumInt {
+                        sum: 0,
+                        seen: false,
+                    }
+                }
+            }
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    /// Fold one non-null input value into the state.
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::SumInt { sum, seen } => {
+                let x = v
+                    .as_i64()
+                    .ok_or_else(|| Error::Exec(format!("SUM over non-integer value {v}")))?;
+                *sum = sum
+                    .checked_add(x)
+                    .ok_or_else(|| Error::Exec("SUM overflow".into()))?;
+                *seen = true;
+            }
+            AggState::SumFloat { sum, seen } => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::Exec(format!("SUM over non-numeric value {v}")))?;
+                *sum += x;
+                *seen = true;
+            }
+            AggState::Avg { sum, count } => {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::Exec(format!("AVG over non-numeric value {v}")))?;
+                *sum += x;
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                if cur.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                if cur.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate (SQL: SUM/AVG/MIN/MAX of no rows = NULL,
+    /// COUNT of no rows = 0).
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int64(*c),
+            AggState::SumInt { sum, seen } => {
+                if *seen {
+                    Value::Int64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat { sum, seen } => {
+                if *seen {
+                    Value::Float64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(*sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Per-group state: one accumulator per aggregate, plus distinct-value sets
+/// for DISTINCT aggregates.
+struct GroupState {
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+impl GroupState {
+    fn new(aggs: &[AggExpr]) -> GroupState {
+        GroupState {
+            states: aggs.iter().map(AggState::new).collect(),
+            distinct_seen: aggs
+                .iter()
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Execute a hash aggregate over materialized input.
+pub fn execute_aggregate(
+    input: &[RecordBatch],
+    group_exprs: &[pixels_planner::BoundExpr],
+    aggs: &[AggExpr],
+    output_schema: &SchemaRef,
+) -> Result<Vec<RecordBatch>> {
+    // Group key -> state, with first-appearance ordering for determinism.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut states: Vec<GroupState> = Vec::new();
+
+    for batch in input {
+        let group_cols: Vec<_> = group_exprs
+            .iter()
+            .map(|g| evaluate(g, batch))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<Option<pixels_common::Column>> = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|arg| evaluate(arg, batch)).transpose())
+            .collect::<Result<_>>()?;
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = group_cols.iter().map(|c| c.value(row)).collect();
+            let gi = match groups.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len();
+                    groups.insert(key.clone(), i);
+                    keys.push(key);
+                    states.push(GroupState::new(aggs));
+                    i
+                }
+            };
+            let state = &mut states[gi];
+            for (ai, agg_col) in agg_cols.iter().enumerate() {
+                let value = match agg_col {
+                    Some(col) => col.value(row),
+                    // COUNT(*): every row counts, represented as a non-null
+                    // sentinel.
+                    None => Value::Int64(1),
+                };
+                if value.is_null() {
+                    continue; // aggregates skip NULLs
+                }
+                if let Some(seen) = &mut state.distinct_seen[ai] {
+                    if !seen.insert(value.clone()) {
+                        continue;
+                    }
+                }
+                state.states[ai].update(&value)?;
+            }
+        }
+    }
+
+    // Global aggregate over zero rows still yields one output row.
+    if group_exprs.is_empty() && states.is_empty() {
+        keys.push(Vec::new());
+        states.push(GroupState::new(aggs));
+    }
+
+    let mut builders: Vec<ColumnBuilder> = output_schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::new(f.data_type))
+        .collect();
+    for (key, state) in keys.iter().zip(&states) {
+        for (b, v) in builders.iter_mut().zip(key.iter()) {
+            b.push(v)?;
+        }
+        for (ai, s) in state.states.iter().enumerate() {
+            let v = s.finish();
+            let b = &mut builders[group_exprs.len() + ai];
+            if v.is_null() {
+                b.push_null();
+            } else {
+                b.push(&v)?;
+            }
+        }
+    }
+    let columns = builders.into_iter().map(|b| b.finish()).collect();
+    Ok(vec![RecordBatch::try_new(output_schema.clone(), columns)?])
+}
+
+/// Hash-based DISTINCT preserving first-appearance order.
+pub fn execute_distinct(input: &[RecordBatch]) -> Result<Vec<RecordBatch>> {
+    let Some(first) = input.first() else {
+        return Ok(Vec::new());
+    };
+    let schema = first.schema().clone();
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut sink = crate::join::RowSink::new(schema, 8192);
+    for batch in input {
+        for row in 0..batch.num_rows() {
+            let r = batch.row(row);
+            if seen.insert(r.clone()) {
+                sink.push(r)?;
+            }
+        }
+    }
+    sink.finish()
+}

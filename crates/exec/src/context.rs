@@ -1,0 +1,102 @@
+//! Execution context and per-query metrics.
+
+use pixels_storage::ObjectStoreRef;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared state an executing plan needs: the object store plus a metrics
+/// sink. Cheap to clone.
+#[derive(Clone)]
+pub struct ExecContext {
+    pub store: ObjectStoreRef,
+    pub metrics: Arc<ExecMetrics>,
+    /// Maximum rows per output batch produced by operators.
+    pub batch_size: usize,
+}
+
+impl ExecContext {
+    pub fn new(store: ObjectStoreRef) -> Self {
+        ExecContext {
+            store,
+            metrics: Arc::new(ExecMetrics::default()),
+            batch_size: 8192,
+        }
+    }
+}
+
+/// Counters describing what a query actually did. `bytes_scanned` is the
+/// exact number of column-chunk and footer bytes fetched from object storage
+/// — the quantity the query server bills at $/TB.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    pub bytes_scanned: AtomicU64,
+    pub rows_scanned: AtomicU64,
+    pub rows_produced: AtomicU64,
+    pub row_groups_total: AtomicU64,
+    pub row_groups_read: AtomicU64,
+}
+
+/// Point-in-time copy of [`ExecMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecMetricsSnapshot {
+    pub bytes_scanned: u64,
+    pub rows_scanned: u64,
+    pub rows_produced: u64,
+    pub row_groups_total: u64,
+    pub row_groups_read: u64,
+}
+
+impl ExecMetrics {
+    pub fn add_scan(&self, bytes: u64, rows: u64) {
+        self.bytes_scanned.fetch_add(bytes, Ordering::Relaxed);
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn add_row_groups(&self, total: u64, read: u64) {
+        self.row_groups_total.fetch_add(total, Ordering::Relaxed);
+        self.row_groups_read.fetch_add(read, Ordering::Relaxed);
+    }
+
+    pub fn add_produced(&self, rows: u64) {
+        self.rows_produced.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ExecMetricsSnapshot {
+        ExecMetricsSnapshot {
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_produced: self.rows_produced.load(Ordering::Relaxed),
+            row_groups_total: self.row_groups_total.load(Ordering::Relaxed),
+            row_groups_read: self.row_groups_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_storage::InMemoryObjectStore;
+
+    #[test]
+    fn metrics_accumulate() {
+        let ctx = ExecContext::new(InMemoryObjectStore::shared());
+        ctx.metrics.add_scan(100, 10);
+        ctx.metrics.add_scan(50, 5);
+        ctx.metrics.add_row_groups(4, 2);
+        ctx.metrics.add_produced(7);
+        let s = ctx.metrics.snapshot();
+        assert_eq!(s.bytes_scanned, 150);
+        assert_eq!(s.rows_scanned, 15);
+        assert_eq!(s.row_groups_total, 4);
+        assert_eq!(s.row_groups_read, 2);
+        assert_eq!(s.rows_produced, 7);
+    }
+
+    #[test]
+    fn context_clone_shares_metrics() {
+        let ctx = ExecContext::new(InMemoryObjectStore::shared());
+        let ctx2 = ctx.clone();
+        ctx2.metrics.add_produced(3);
+        assert_eq!(ctx.metrics.snapshot().rows_produced, 3);
+    }
+}

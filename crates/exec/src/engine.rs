@@ -1,0 +1,163 @@
+//! The execution engine: recursively evaluates physical plans.
+
+use crate::aggregate::{execute_aggregate, execute_distinct};
+use crate::context::ExecContext;
+use crate::evaluate::{evaluate, predicate_mask};
+use crate::join::{execute_join, RowSink};
+use crate::scan::execute_scan;
+use crate::sort::{execute_limit, execute_sort, execute_topk};
+use pixels_common::{RecordBatch, Result, Value};
+use pixels_planner::eval::{eval_expr, NoRow};
+use pixels_planner::PhysicalPlan;
+use pixels_storage::PixelsReader;
+
+/// Execute a physical plan to completion, returning all result batches.
+///
+/// Execution is fully materialized operator-by-operator: simple, correct,
+/// and adequate for the data scales PixelsDB experiments run at. Batches
+/// respect `ctx.batch_size`.
+pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch>> {
+    match plan {
+        PhysicalPlan::Scan {
+            paths,
+            projection,
+            zone_predicates,
+            filters,
+            ..
+        } => {
+            let mut out = Vec::new();
+            execute_scan(ctx, paths, projection, zone_predicates, filters, &mut out)?;
+            Ok(out)
+        }
+        PhysicalPlan::MaterializedScan { path, .. } => {
+            let before = ctx.store.metrics();
+            let reader = PixelsReader::open(ctx.store.as_ref(), path)?;
+            let batches = reader.read_all(None, &[])?;
+            let delta = ctx.store.metrics().delta_since(&before);
+            let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+            ctx.metrics.add_scan(delta.bytes_read, rows);
+            Ok(batches)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let batches = execute(input, ctx)?;
+            let mut out = Vec::new();
+            for b in batches {
+                let mask = predicate_mask(predicate, &b)?;
+                let f = b.filter(&mask)?;
+                if f.num_rows() > 0 {
+                    out.push(f);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => {
+            let batches = execute(input, ctx)?;
+            let mut out = Vec::with_capacity(batches.len());
+            for b in &batches {
+                let columns = exprs
+                    .iter()
+                    .map(|e| evaluate(e, b))
+                    .collect::<Result<Vec<_>>>()?;
+                out.push(RecordBatch::try_new(output_schema.clone(), columns)?);
+            }
+            // Preserve schema even for empty input.
+            if out.is_empty() {
+                out.push(RecordBatch::empty(output_schema.clone()));
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            output_schema,
+        } => {
+            let lb = execute(left, ctx)?;
+            let rb = execute(right, ctx)?;
+            let left_width = left.schema().len();
+            execute_join(
+                &lb,
+                &rb,
+                *join_type,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                output_schema,
+                left_width,
+                ctx.batch_size,
+            )
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_exprs,
+            aggs,
+            output_schema,
+        } => {
+            let batches = execute(input, ctx)?;
+            execute_aggregate(&batches, group_exprs, aggs, output_schema)
+        }
+        PhysicalPlan::Distinct { input } => {
+            let batches = execute(input, ctx)?;
+            execute_distinct(&batches)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let batches = execute(input, ctx)?;
+            execute_sort(&batches, keys, ctx.batch_size)
+        }
+        PhysicalPlan::TopK { input, keys, fetch } => {
+            let batches = execute(input, ctx)?;
+            execute_topk(&batches, keys, *fetch, ctx.batch_size)
+        }
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let batches = execute(input, ctx)?;
+            execute_limit(batches, *limit, *offset)
+        }
+        PhysicalPlan::Values { schema, rows } => {
+            let mut sink = RowSink::new(schema.clone(), ctx.batch_size);
+            for row in rows {
+                let values: Vec<Value> = row
+                    .iter()
+                    .map(|e| eval_expr(e, &NoRow))
+                    .collect::<Result<_>>()?;
+                // Adapt literal widths to the declared schema.
+                let adapted: Vec<Value> = values
+                    .iter()
+                    .zip(schema.fields())
+                    .map(|(v, f)| {
+                        if v.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            v.cast_to(f.data_type)
+                        }
+                    })
+                    .collect::<Result<_>>()?;
+                sink.push(adapted)?;
+            }
+            let mut batches = sink.finish()?;
+            if batches.is_empty() {
+                batches.push(RecordBatch::empty(schema.clone()));
+            }
+            Ok(batches)
+        }
+    }
+}
+
+/// Execute and concatenate into a single batch (empty-schema-preserving).
+pub fn execute_collect(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<RecordBatch> {
+    let batches = execute(plan, ctx)?;
+    if batches.is_empty() {
+        return Ok(RecordBatch::empty(plan.schema()));
+    }
+    RecordBatch::concat(&batches)
+}

@@ -1,0 +1,244 @@
+//! Vectorized-interface expression evaluation over record batches.
+//!
+//! Semantics live in `pixels_planner::eval`; this module adapts them to
+//! columns, with fast paths for the comparison shapes that dominate scan
+//! filters (column <op> literal on fixed-width types).
+
+use pixels_common::{Column, ColumnBuilder, ColumnData, RecordBatch, Result, Value};
+use pixels_planner::eval::{eval_binary, eval_expr, RowAccess};
+use pixels_planner::BoundExpr;
+use pixels_sql::ast::BinaryOp;
+
+/// One row of a batch, viewed through [`RowAccess`].
+pub struct BatchRow<'a> {
+    pub batch: &'a RecordBatch,
+    pub row: usize,
+}
+
+impl RowAccess for BatchRow<'_> {
+    fn column_value(&self, index: usize) -> Value {
+        self.batch.column(index).value(self.row)
+    }
+}
+
+/// Evaluate `expr` for every row of `batch`, producing a column of the
+/// expression's output type.
+pub fn evaluate(expr: &BoundExpr, batch: &RecordBatch) -> Result<Column> {
+    // Fast path: bare column reference.
+    if let BoundExpr::ColumnRef { index, .. } = expr {
+        return Ok(batch.column(*index).clone());
+    }
+    let mut builder = ColumnBuilder::new(expr.data_type());
+    for row in 0..batch.num_rows() {
+        let v = eval_expr(expr, &BatchRow { batch, row })?;
+        if v.is_null() {
+            builder.push_null();
+        } else {
+            // Cast adapts mildly mismatched numeric widths (e.g. an Int32
+            // literal flowing into an Int64 expression type).
+            match builder.push(&v) {
+                Ok(()) => {}
+                Err(_) => builder.push(&v.cast_to(expr.data_type())?)?,
+            }
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Evaluate a boolean predicate into a selection mask. SQL semantics: NULL
+/// counts as not-selected.
+pub fn predicate_mask(expr: &BoundExpr, batch: &RecordBatch) -> Result<Vec<bool>> {
+    // Fast path: `column <op> literal` on fixed-width data.
+    if let Some(mask) = compare_fast_path(expr, batch)? {
+        return Ok(mask);
+    }
+    let mut mask = Vec::with_capacity(batch.num_rows());
+    for row in 0..batch.num_rows() {
+        let v = eval_expr(expr, &BatchRow { batch, row })?;
+        mask.push(matches!(v, Value::Boolean(true)));
+    }
+    Ok(mask)
+}
+
+/// Vectorized evaluation of `col <op> literal` over i64-representable and
+/// f64 columns; returns `None` when the shape doesn't match.
+fn compare_fast_path(expr: &BoundExpr, batch: &RecordBatch) -> Result<Option<Vec<bool>>> {
+    let BoundExpr::BinaryOp {
+        left, op, right, ..
+    } = expr
+    else {
+        return Ok(None);
+    };
+    if !op.is_comparison() {
+        return Ok(None);
+    }
+    let (col_idx, lit, flipped) = match (left.as_ref(), right.as_ref()) {
+        (BoundExpr::ColumnRef { index, .. }, BoundExpr::Literal(v)) => (*index, v, false),
+        (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) => (*index, v, true),
+        _ => return Ok(None),
+    };
+    if lit.is_null() {
+        return Ok(Some(vec![false; batch.num_rows()]));
+    }
+    let col = batch.column(col_idx);
+    let cmp_i64 = |target: i64, data: &[i64], small: Option<&[i32]>| -> Vec<bool> {
+        let check = |x: i64| ord_matches(x.cmp(&target), *op, flipped);
+        match small {
+            Some(s) => s.iter().map(|&x| check(x as i64)).collect(),
+            None => data.iter().map(|&x| check(x)).collect(),
+        }
+    };
+    let mut mask = match (col.data(), lit) {
+        (ColumnData::Int64(v), _) if lit.as_i64().is_some() => {
+            cmp_i64(lit.as_i64().unwrap(), v, None)
+        }
+        (ColumnData::Timestamp(v), Value::Timestamp(t)) => cmp_i64(*t, v, None),
+        (ColumnData::Int32(v), _) if lit.as_i64().is_some() => {
+            cmp_i64(lit.as_i64().unwrap(), &[], Some(v))
+        }
+        (ColumnData::Date(v), Value::Date(d)) => cmp_i64(*d as i64, &[], Some(v)),
+        (ColumnData::Float64(v), _) if lit.as_f64().is_some() => {
+            let target = lit.as_f64().unwrap();
+            v.iter()
+                .map(|x| ord_matches(x.total_cmp(&target), *op, flipped))
+                .collect()
+        }
+        (ColumnData::Utf8(v), Value::Utf8(s)) => v
+            .iter()
+            .map(|x| ord_matches(x.as_str().cmp(s.as_str()), *op, flipped))
+            .collect(),
+        // Mixed-type comparisons (e.g. Int32 column vs Float64 literal) fall
+        // back to the scalar path for exact widening semantics.
+        _ => return Ok(None),
+    };
+    if let Some(validity) = col.validity() {
+        for (m, &valid) in mask.iter_mut().zip(validity) {
+            *m &= valid;
+        }
+    }
+    Ok(Some(mask))
+}
+
+fn ord_matches(ord: std::cmp::Ordering, op: BinaryOp, flipped: bool) -> bool {
+    let ord = if flipped { ord.reverse() } else { ord };
+    match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::NotEq => ord.is_ne(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::LtEq => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::GtEq => ord.is_ge(),
+        _ => unreachable!(),
+    }
+}
+
+/// Evaluate an expression against a single materialized row (used by join
+/// residuals). Exposed for operator implementations.
+pub fn eval_row(expr: &BoundExpr, row: &[Value]) -> Result<Value> {
+    eval_expr(expr, &row.to_vec())
+}
+
+/// Re-export used by aggregation for constant expressions.
+pub fn eval_const_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    eval_binary(op, l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn batch() -> RecordBatch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::required("a", DataType::Int64),
+            Field::nullable("b", DataType::Int64),
+            Field::required("s", DataType::Utf8),
+        ]));
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Int64(1), Value::Int64(10), Value::Utf8("x".into())],
+                vec![Value::Int64(2), Value::Null, Value::Utf8("y".into())],
+                vec![Value::Int64(3), Value::Int64(30), Value::Utf8("z".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluate_arithmetic() {
+        let b = batch();
+        let expr = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::column(0, DataType::Int64, "a")),
+            op: BinaryOp::Multiply,
+            right: Box::new(BoundExpr::literal(Value::Int64(2))),
+            data_type: DataType::Int64,
+        };
+        let col = evaluate(&expr, &b).unwrap();
+        assert_eq!(col.value(0), Value::Int64(2));
+        assert_eq!(col.value(2), Value::Int64(6));
+    }
+
+    #[test]
+    fn evaluate_with_nulls() {
+        let b = batch();
+        let expr = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::column(1, DataType::Int64, "b")),
+            op: BinaryOp::Plus,
+            right: Box::new(BoundExpr::literal(Value::Int64(1))),
+            data_type: DataType::Int64,
+        };
+        let col = evaluate(&expr, &b).unwrap();
+        assert_eq!(col.value(0), Value::Int64(11));
+        assert_eq!(col.value(1), Value::Null);
+    }
+
+    #[test]
+    fn fast_path_mask_matches_scalar_path() {
+        let b = batch();
+        // a >= 2 via the fast path...
+        let fast = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::column(0, DataType::Int64, "a")),
+            op: BinaryOp::GtEq,
+            right: Box::new(BoundExpr::literal(Value::Int64(2))),
+            data_type: DataType::Boolean,
+        };
+        assert_eq!(predicate_mask(&fast, &b).unwrap(), vec![false, true, true]);
+        // ... flipped literal side: 2 >= a  <=>  a <= 2.
+        let flipped = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::literal(Value::Int64(2))),
+            op: BinaryOp::GtEq,
+            right: Box::new(BoundExpr::column(0, DataType::Int64, "a")),
+            data_type: DataType::Boolean,
+        };
+        assert_eq!(
+            predicate_mask(&flipped, &b).unwrap(),
+            vec![true, true, false]
+        );
+    }
+
+    #[test]
+    fn null_column_rows_not_selected() {
+        let b = batch();
+        let pred = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::column(1, DataType::Int64, "b")),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::literal(Value::Int64(5))),
+            data_type: DataType::Boolean,
+        };
+        assert_eq!(predicate_mask(&pred, &b).unwrap(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn string_comparison_fast_path() {
+        let b = batch();
+        let pred = BoundExpr::BinaryOp {
+            left: Box::new(BoundExpr::column(2, DataType::Utf8, "s")),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::literal(Value::Utf8("x".into()))),
+            data_type: DataType::Boolean,
+        };
+        assert_eq!(predicate_mask(&pred, &b).unwrap(), vec![false, true, true]);
+    }
+}

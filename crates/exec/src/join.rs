@@ -1,0 +1,201 @@
+//! Hash join: builds a hash table on the right input, probes with the left.
+//!
+//! Supports inner, left-outer, right-outer, and cross joins with optional
+//! residual (non-equi) predicates. SQL semantics: NULL keys never match.
+
+use crate::evaluate::{eval_row, evaluate};
+use pixels_common::{ColumnBuilder, RecordBatch, Result, SchemaRef, Value};
+use pixels_planner::BoundExpr;
+use pixels_sql::ast::JoinType;
+use std::collections::HashMap;
+
+/// Execute a hash join between materialized inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_join(
+    left_batches: &[RecordBatch],
+    right_batches: &[RecordBatch],
+    join_type: JoinType,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    output_schema: &SchemaRef,
+    left_width: usize,
+    batch_size: usize,
+) -> Result<Vec<RecordBatch>> {
+    if join_type == JoinType::Cross || left_keys.is_empty() {
+        return cross_join(
+            left_batches,
+            right_batches,
+            join_type,
+            residual,
+            output_schema,
+            batch_size,
+        );
+    }
+
+    // Build phase: hash the right input on its key values.
+    let mut build_rows: Vec<Vec<Value>> = Vec::new();
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for batch in right_batches {
+        let key_cols: Vec<_> = right_keys
+            .iter()
+            .map(|k| evaluate(k, batch))
+            .collect::<Result<_>>()?;
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+            let idx = build_rows.len();
+            build_rows.push(batch.row(row));
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never participate in matches
+            }
+            table.entry(key).or_default().push(idx);
+        }
+    }
+    let mut build_matched = vec![false; build_rows.len()];
+    let right_w = output_schema.len() - left_width;
+
+    let mut sink = RowSink::new(output_schema.clone(), batch_size);
+
+    // Probe phase.
+    for batch in left_batches {
+        let key_cols: Vec<_> = left_keys
+            .iter()
+            .map(|k| evaluate(k, batch))
+            .collect::<Result<_>>()?;
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+            let probe_row = batch.row(row);
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(candidates) = table.get(&key) {
+                    for &b in candidates {
+                        let mut combined = probe_row.clone();
+                        combined.extend(build_rows[b].iter().cloned());
+                        if let Some(res) = residual {
+                            if !matches!(eval_row(res, &combined)?, Value::Boolean(true)) {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        build_matched[b] = true;
+                        sink.push(combined)?;
+                    }
+                }
+            }
+            if !matched && join_type == JoinType::Left {
+                let mut combined = probe_row;
+                combined.extend(std::iter::repeat_n(Value::Null, right_w));
+                sink.push(combined)?;
+            }
+        }
+    }
+
+    // Right outer: emit unmatched build rows null-extended on the left.
+    if join_type == JoinType::Right {
+        for (b, matched) in build_matched.iter().enumerate() {
+            if !matched {
+                let mut combined: Vec<Value> =
+                    std::iter::repeat_n(Value::Null, left_width).collect();
+                combined.extend(build_rows[b].iter().cloned());
+                sink.push(combined)?;
+            }
+        }
+    }
+    sink.finish()
+}
+
+fn cross_join(
+    left_batches: &[RecordBatch],
+    right_batches: &[RecordBatch],
+    join_type: JoinType,
+    residual: Option<&BoundExpr>,
+    output_schema: &SchemaRef,
+    batch_size: usize,
+) -> Result<Vec<RecordBatch>> {
+    if !matches!(join_type, JoinType::Cross | JoinType::Inner) {
+        return Err(pixels_common::Error::Exec(
+            "outer join without equi-keys is not supported".into(),
+        ));
+    }
+    let mut sink = RowSink::new(output_schema.clone(), batch_size);
+    for lb in left_batches {
+        for lrow in 0..lb.num_rows() {
+            let l = lb.row(lrow);
+            for rb in right_batches {
+                for rrow in 0..rb.num_rows() {
+                    let mut combined = l.clone();
+                    combined.extend(rb.row(rrow));
+                    if let Some(res) = residual {
+                        if !matches!(eval_row(res, &combined)?, Value::Boolean(true)) {
+                            continue;
+                        }
+                    }
+                    sink.push(combined)?;
+                }
+            }
+        }
+    }
+    sink.finish()
+}
+
+/// Accumulates rows into fixed-size record batches.
+pub struct RowSink {
+    schema: SchemaRef,
+    builders: Vec<ColumnBuilder>,
+    batch_size: usize,
+    rows_in_batch: usize,
+    batches: Vec<RecordBatch>,
+}
+
+impl RowSink {
+    pub fn new(schema: SchemaRef, batch_size: usize) -> Self {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.data_type))
+            .collect();
+        RowSink {
+            schema,
+            builders,
+            batch_size: batch_size.max(1),
+            rows_in_batch: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
+        debug_assert_eq!(row.len(), self.builders.len());
+        for (b, v) in self.builders.iter_mut().zip(&row) {
+            b.push(v)?;
+        }
+        self.rows_in_batch += 1;
+        if self.rows_in_batch >= self.batch_size {
+            self.cut()?;
+        }
+        Ok(())
+    }
+
+    fn cut(&mut self) -> Result<()> {
+        if self.rows_in_batch == 0 {
+            return Ok(());
+        }
+        let builders = std::mem::replace(
+            &mut self.builders,
+            self.schema
+                .fields()
+                .iter()
+                .map(|f| ColumnBuilder::new(f.data_type))
+                .collect(),
+        );
+        let columns = builders.into_iter().map(|b| b.finish()).collect();
+        self.batches
+            .push(RecordBatch::try_new(self.schema.clone(), columns)?);
+        self.rows_in_batch = 0;
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<Vec<RecordBatch>> {
+        self.cut()?;
+        Ok(self.batches)
+    }
+}

@@ -1,0 +1,54 @@
+//! `pixels-exec` — the query execution engine of PixelsDB.
+//!
+//! Executes [`pixels_planner::PhysicalPlan`]s over Pixels tables in object
+//! storage: scans with projection/zone-map pushdown, hash joins, hash
+//! aggregation (with DISTINCT), sorting, top-k, and limits. Expression
+//! semantics are shared with the planner's constant folder through
+//! `pixels_planner::eval`, so plans always agree with runtime behaviour.
+//!
+//! The engine also provides [`materialize`], used by the CF acceleration
+//! path to write a sub-plan's result back to object storage as a
+//! materialized view.
+
+pub mod aggregate;
+pub mod context;
+pub mod engine;
+pub mod evaluate;
+pub mod join;
+pub mod scan;
+pub mod sort;
+
+pub use context::{ExecContext, ExecMetrics, ExecMetricsSnapshot};
+pub use engine::{execute, execute_collect};
+pub use evaluate::{evaluate, predicate_mask};
+
+use pixels_common::{RecordBatch, Result, SchemaRef};
+use pixels_storage::{ObjectStore, PixelsWriter};
+
+/// Write batches to `path` in Pixels format (used for CF-produced
+/// intermediate results). Returns the object's size in bytes.
+pub fn materialize(
+    store: &dyn ObjectStore,
+    path: &str,
+    schema: SchemaRef,
+    batches: &[RecordBatch],
+) -> Result<u64> {
+    let mut w = PixelsWriter::new(store, path, schema);
+    for b in batches {
+        w.write_batch(b)?;
+    }
+    w.finish()
+}
+
+/// Convenience for tests and clients: run SQL end-to-end against a catalog
+/// and store, returning a single result batch.
+pub fn run_query(
+    catalog: &pixels_catalog::Catalog,
+    store: pixels_storage::ObjectStoreRef,
+    default_db: &str,
+    sql: &str,
+) -> Result<RecordBatch> {
+    let plan = pixels_planner::plan_query(catalog, default_db, sql)?;
+    let ctx = ExecContext::new(store);
+    execute_collect(&plan, &ctx)
+}

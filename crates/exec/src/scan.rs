@@ -1,0 +1,56 @@
+//! Table scans with projection pushdown, zone-map pruning, and residual
+//! filtering.
+
+use crate::context::ExecContext;
+use crate::evaluate::predicate_mask;
+use pixels_common::{RecordBatch, Result};
+use pixels_planner::BoundExpr;
+use pixels_storage::{ColumnPredicate, PixelsReader};
+
+/// Execute a Pixels table scan over `paths`.
+///
+/// Bytes scanned are metered exactly: the footer plus every fetched column
+/// chunk, which is what the reader actually transfers from object storage.
+pub fn execute_scan(
+    ctx: &ExecContext,
+    paths: &[String],
+    projection: &[usize],
+    zone_predicates: &[ColumnPredicate],
+    filters: &[BoundExpr],
+    out: &mut Vec<RecordBatch>,
+) -> Result<()> {
+    for path in paths {
+        let before = ctx.store.metrics();
+        let reader = PixelsReader::open(ctx.store.as_ref(), path)?;
+        let retained = reader.prune_row_groups(zone_predicates);
+        ctx.metrics
+            .add_row_groups(reader.num_row_groups() as u64, retained.len() as u64);
+        for rg in retained {
+            let batch = reader.read_row_group(rg, Some(projection))?;
+            let rows = batch.num_rows() as u64;
+            let batch = apply_filters(filters, batch)?;
+            ctx.metrics.add_produced(batch.num_rows() as u64);
+            ctx.metrics.add_scan(0, rows);
+            if batch.num_rows() > 0 {
+                out.push(batch);
+            }
+        }
+        // Exact transfer accounting from the store's own counters.
+        let delta = ctx.store.metrics().delta_since(&before);
+        ctx.metrics.add_scan(delta.bytes_read, 0);
+    }
+    Ok(())
+}
+
+/// Apply residual row-level filters (a conjunction) to one batch.
+pub fn apply_filters(filters: &[BoundExpr], batch: RecordBatch) -> Result<RecordBatch> {
+    let mut batch = batch;
+    for f in filters {
+        if batch.num_rows() == 0 {
+            break;
+        }
+        let mask = predicate_mask(f, &batch)?;
+        batch = batch.filter(&mask)?;
+    }
+    Ok(batch)
+}

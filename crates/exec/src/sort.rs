@@ -1,0 +1,174 @@
+//! Sorting and top-k selection.
+
+use crate::evaluate::evaluate;
+use crate::join::RowSink;
+use pixels_common::{RecordBatch, Result, Value};
+use pixels_planner::BoundExpr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Compare two key tuples under the given ascending flags. NULLs order
+/// first ascending (so last descending), matching `Value::total_cmp`.
+fn compare_keys(a: &[Value], b: &[Value], dirs: &[bool]) -> Ordering {
+    for ((x, y), &asc) in a.iter().zip(b).zip(dirs) {
+        let ord = x.total_cmp(y);
+        let ord = if asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn materialize_keys(
+    batches: &[RecordBatch],
+    keys: &[(BoundExpr, bool)],
+) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+    let mut rows = Vec::new();
+    for batch in batches {
+        let key_cols: Vec<_> = keys
+            .iter()
+            .map(|(k, _)| evaluate(k, batch))
+            .collect::<Result<_>>()?;
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+            rows.push((key, batch.row(row)));
+        }
+    }
+    Ok(rows)
+}
+
+/// Full sort of materialized input.
+pub fn execute_sort(
+    input: &[RecordBatch],
+    keys: &[(BoundExpr, bool)],
+    batch_size: usize,
+) -> Result<Vec<RecordBatch>> {
+    let Some(first) = input.first() else {
+        return Ok(Vec::new());
+    };
+    let dirs: Vec<bool> = keys.iter().map(|&(_, asc)| asc).collect();
+    let mut rows = materialize_keys(input, keys)?;
+    rows.sort_by(|a, b| compare_keys(&a.0, &b.0, &dirs));
+    let mut sink = RowSink::new(first.schema().clone(), batch_size);
+    for (_, row) in rows {
+        sink.push(row)?;
+    }
+    sink.finish()
+}
+
+/// Heap entry for top-k: ordered so the heap root is the *worst* retained
+/// row, which gets evicted when a better row arrives.
+struct HeapRow {
+    key: Vec<Value>,
+    row: Vec<Value>,
+    seq: usize,
+}
+
+/// Top-k selection: the first `fetch` rows of the sorted order, without
+/// sorting the full input. Uses a bounded max-heap.
+pub fn execute_topk(
+    input: &[RecordBatch],
+    keys: &[(BoundExpr, bool)],
+    fetch: usize,
+    batch_size: usize,
+) -> Result<Vec<RecordBatch>> {
+    let Some(first) = input.first() else {
+        return Ok(Vec::new());
+    };
+    if fetch == 0 {
+        return Ok(vec![RecordBatch::empty(first.schema().clone())]);
+    }
+    let dirs: Vec<bool> = keys.iter().map(|&(_, asc)| asc).collect();
+
+    // Wrap rows so BinaryHeap's max == worst row in the retained set; ties
+    // break by arrival order to keep the sort stable.
+    let mut heap: BinaryHeap<Wrapped> = BinaryHeap::with_capacity(fetch + 1);
+    struct Wrapped {
+        item: HeapRow,
+        dirs: std::rc::Rc<Vec<bool>>,
+    }
+    impl PartialEq for Wrapped {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Wrapped {}
+    impl Ord for Wrapped {
+        fn cmp(&self, other: &Self) -> Ordering {
+            compare_keys(&self.item.key, &other.item.key, &self.dirs)
+                .then(self.item.seq.cmp(&other.item.seq))
+        }
+    }
+    impl PartialOrd for Wrapped {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let dirs = std::rc::Rc::new(dirs);
+    let mut seq = 0usize;
+    for batch in input {
+        let key_cols: Vec<_> = keys
+            .iter()
+            .map(|(k, _)| evaluate(k, batch))
+            .collect::<Result<_>>()?;
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+            heap.push(Wrapped {
+                item: HeapRow {
+                    key,
+                    row: batch.row(row),
+                    seq,
+                },
+                dirs: dirs.clone(),
+            });
+            seq += 1;
+            if heap.len() > fetch {
+                heap.pop(); // evict the worst retained row
+            }
+        }
+    }
+    let mut rows: Vec<HeapRow> = heap.into_iter().map(|w| w.item).collect();
+    rows.sort_by(|a, b| compare_keys(&a.key, &b.key, &dirs).then(a.seq.cmp(&b.seq)));
+    let mut sink = RowSink::new(first.schema().clone(), batch_size);
+    for r in rows {
+        sink.push(r.row)?;
+    }
+    sink.finish()
+}
+
+/// LIMIT/OFFSET over materialized batches.
+pub fn execute_limit(
+    input: Vec<RecordBatch>,
+    limit: Option<u64>,
+    offset: u64,
+) -> Result<Vec<RecordBatch>> {
+    let mut out = Vec::new();
+    let mut to_skip = offset as usize;
+    let mut remaining = limit.map(|l| l as usize);
+    for batch in input {
+        if remaining == Some(0) {
+            break;
+        }
+        let mut b = batch;
+        if to_skip > 0 {
+            if to_skip >= b.num_rows() {
+                to_skip -= b.num_rows();
+                continue;
+            }
+            b = b.slice(to_skip, b.num_rows() - to_skip)?;
+            to_skip = 0;
+        }
+        if let Some(rem) = remaining {
+            if b.num_rows() > rem {
+                b = b.slice(0, rem)?;
+            }
+            remaining = Some(rem - b.num_rows());
+        }
+        if b.num_rows() > 0 {
+            out.push(b);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,468 @@
+//! Built-in text-to-SQL benchmark (Spider-style, over our schemas).
+//!
+//! Each case pairs a natural-language question with gold SQL. Evaluation
+//! reports two metrics, mirroring the text-to-SQL literature:
+//!
+//! - **exact match**: normalized generated SQL equals normalized gold SQL;
+//! - **execution accuracy**: both queries run and return identical result
+//!   multisets (order-insensitive unless the gold query orders).
+//!
+//! CodeS reports >80% single-turn execution accuracy on Spider-class
+//! benchmarks; experiment E7 reproduces that *shape* on this suite.
+
+use crate::service::TextToSqlService;
+use pixels_catalog::Catalog;
+use pixels_common::{RecordBatch, Result, Value};
+use pixels_exec::run_query;
+use pixels_storage::ObjectStoreRef;
+
+/// One benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct NlCase {
+    pub id: &'static str,
+    pub database: &'static str,
+    pub question: &'static str,
+    pub gold_sql: &'static str,
+    /// Whether row order matters for execution comparison.
+    pub ordered: bool,
+}
+
+/// The built-in suite (TPC-H + web-log schemas).
+pub const CASES: &[NlCase] = &[
+    // -- counting ---------------------------------------------------------
+    NlCase {
+        id: "count_customers",
+        database: "tpch",
+        question: "How many customers are there?",
+        gold_sql: "SELECT COUNT(*) FROM customer",
+        ordered: false,
+    },
+    NlCase {
+        id: "count_orders_1995",
+        database: "tpch",
+        question: "How many orders were placed in 1995?",
+        gold_sql: "SELECT COUNT(*) FROM orders WHERE o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'",
+        ordered: false,
+    },
+    NlCase {
+        id: "count_large_parts",
+        database: "tpch",
+        question: "How many parts have a size greater than 40?",
+        gold_sql: "SELECT COUNT(*) FROM part WHERE p_size > 40",
+        ordered: false,
+    },
+    NlCase {
+        id: "count_distinct_segments",
+        database: "tpch",
+        question: "How many distinct market segments are there?",
+        gold_sql: "SELECT COUNT(DISTINCT c_mktsegment) FROM customer",
+        ordered: false,
+    },
+    NlCase {
+        id: "count_suppliers",
+        database: "tpch",
+        question: "Count the suppliers",
+        gold_sql: "SELECT COUNT(*) FROM supplier",
+        ordered: false,
+    },
+    // -- simple aggregates ---------------------------------------------------
+    NlCase {
+        id: "avg_balance",
+        database: "tpch",
+        question: "What is the average account balance of customers?",
+        gold_sql: "SELECT AVG(c_acctbal) FROM customer",
+        ordered: false,
+    },
+    NlCase {
+        id: "max_supplycost",
+        database: "tpch",
+        question: "What is the maximum supply cost?",
+        gold_sql: "SELECT MAX(ps_supplycost) FROM partsupp",
+        ordered: false,
+    },
+    NlCase {
+        id: "min_retailprice",
+        database: "tpch",
+        question: "What is the minimum retail price of parts?",
+        gold_sql: "SELECT MIN(p_retailprice) FROM part",
+        ordered: false,
+    },
+    NlCase {
+        id: "sum_quantity_1994",
+        database: "tpch",
+        question: "What is the total quantity shipped in 1994?",
+        gold_sql: "SELECT SUM(l_quantity) FROM lineitem WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'",
+        ordered: false,
+    },
+    NlCase {
+        id: "avg_totalprice",
+        database: "tpch",
+        question: "Average total price of orders",
+        gold_sql: "SELECT AVG(o_totalprice) FROM orders",
+        ordered: false,
+    },
+    // -- grouping ---------------------------------------------------------
+    NlCase {
+        id: "orders_per_status",
+        database: "tpch",
+        question: "How many orders per order status?",
+        gold_sql: "SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus",
+        ordered: false,
+    },
+    NlCase {
+        id: "avg_price_per_priority",
+        database: "tpch",
+        question: "Average total price of orders per order priority",
+        gold_sql: "SELECT o_orderpriority, AVG(o_totalprice) FROM orders GROUP BY o_orderpriority",
+        ordered: false,
+    },
+    NlCase {
+        id: "customers_per_segment",
+        database: "tpch",
+        question: "Number of customers per market segment",
+        gold_sql: "SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+        ordered: false,
+    },
+    NlCase {
+        id: "qty_per_returnflag",
+        database: "tpch",
+        question: "Total quantity per return flag",
+        gold_sql: "SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag",
+        ordered: false,
+    },
+    // -- filters with values ----------------------------------------------
+    NlCase {
+        id: "customers_from_germany",
+        database: "tpch",
+        question: "How many customers are from Germany?",
+        gold_sql: "SELECT COUNT(*) FROM customer JOIN nation ON c_nationkey = n_nationkey WHERE n_name = 'GERMANY'",
+        ordered: false,
+    },
+    NlCase {
+        id: "building_segment_names",
+        database: "tpch",
+        question: "Show the names of customers in the 'BUILDING' segment",
+        gold_sql: "SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'",
+        ordered: false,
+    },
+    NlCase {
+        id: "urgent_orders",
+        database: "tpch",
+        question: "How many orders have priority '1-URGENT'?",
+        gold_sql: "SELECT COUNT(*) FROM orders WHERE o_orderpriority = '1-URGENT'",
+        ordered: false,
+    },
+    NlCase {
+        id: "asia_nations",
+        database: "tpch",
+        question: "List the names of nations in the 'ASIA' region",
+        gold_sql: "SELECT n_name FROM nation JOIN region ON n_regionkey = r_regionkey WHERE r_name = 'ASIA'",
+        ordered: false,
+    },
+    // -- comparisons -------------------------------------------------------
+    NlCase {
+        id: "expensive_orders",
+        database: "tpch",
+        question: "How many orders have a total price over 300000?",
+        gold_sql: "SELECT COUNT(*) FROM orders WHERE o_totalprice > 300000",
+        ordered: false,
+    },
+    NlCase {
+        id: "rich_customers",
+        database: "tpch",
+        question: "How many customers have an account balance of at least 9000?",
+        gold_sql: "SELECT COUNT(*) FROM customer WHERE c_acctbal >= 9000",
+        ordered: false,
+    },
+    NlCase {
+        id: "small_quantity",
+        database: "tpch",
+        question: "Count lineitems with quantity less than 5",
+        gold_sql: "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+        ordered: false,
+    },
+    // -- top-k / ordering ---------------------------------------------------
+    NlCase {
+        id: "top5_customers_balance",
+        database: "tpch",
+        question: "Show the top 5 customers sorted by account balance descending",
+        gold_sql: "SELECT * FROM customer ORDER BY c_acctbal DESC LIMIT 5",
+        ordered: true,
+    },
+    NlCase {
+        id: "top3_expensive_parts",
+        database: "tpch",
+        question: "Top 3 parts with the highest retail price",
+        gold_sql: "SELECT * FROM part ORDER BY p_retailprice DESC LIMIT 3",
+        ordered: true,
+    },
+    // -- joins via FK inference -------------------------------------------
+    NlCase {
+        id: "customers_per_nation",
+        database: "tpch",
+        question: "Number of customers per nation name",
+        gold_sql: "SELECT n_name, COUNT(*) FROM customer JOIN nation ON c_nationkey = n_nationkey GROUP BY n_name",
+        ordered: false,
+    },
+    NlCase {
+        id: "france_order_count",
+        database: "tpch",
+        question: "How many orders were placed by customers from France?",
+        gold_sql: "SELECT COUNT(*) FROM orders JOIN customer ON o_custkey = c_custkey JOIN nation ON c_nationkey = n_nationkey WHERE n_name = 'FRANCE'",
+        ordered: false,
+    },
+    // -- weblog -------------------------------------------------------------
+    NlCase {
+        id: "count_requests",
+        database: "logs",
+        question: "How many requests are there?",
+        gold_sql: "SELECT COUNT(*) FROM requests",
+        ordered: false,
+    },
+    NlCase {
+        id: "server_errors",
+        database: "logs",
+        question: "How many requests have status 500?",
+        gold_sql: "SELECT COUNT(*) FROM requests WHERE status = 500",
+        ordered: false,
+    },
+    NlCase {
+        id: "avg_latency_per_method",
+        database: "logs",
+        question: "Average latency per method",
+        gold_sql: "SELECT method, AVG(latency_ms) FROM requests GROUP BY method",
+        ordered: false,
+    },
+    NlCase {
+        id: "hits_per_country",
+        database: "logs",
+        question: "Number of requests per country",
+        gold_sql: "SELECT country, COUNT(*) FROM requests GROUP BY country",
+        ordered: false,
+    },
+    NlCase {
+        id: "slow_requests",
+        database: "logs",
+        question: "How many requests have latency greater than 1000?",
+        gold_sql: "SELECT COUNT(*) FROM requests WHERE latency_ms > 1000",
+        ordered: false,
+    },
+    NlCase {
+        id: "get_requests",
+        database: "logs",
+        question: "How many requests used the 'GET' method?",
+        gold_sql: "SELECT COUNT(*) FROM requests WHERE method = 'GET'",
+        ordered: false,
+    },
+    NlCase {
+        id: "bytes_per_url",
+        database: "logs",
+        question: "Total bytes per url",
+        gold_sql: "SELECT url, SUM(bytes) FROM requests GROUP BY url",
+        ordered: false,
+    },
+    NlCase {
+        id: "distinct_countries",
+        database: "logs",
+        question: "How many distinct countries are there?",
+        gold_sql: "SELECT COUNT(DISTINCT country) FROM requests",
+        ordered: false,
+    },
+    // -- group-count conditions (HAVING) -------------------------------------
+    NlCase {
+        id: "nations_with_many_customers",
+        database: "tpch",
+        question: "List the names of nations with more than 5 customers",
+        gold_sql: "SELECT n_name FROM nation JOIN customer ON n_nationkey = c_nationkey \
+                   GROUP BY n_name HAVING COUNT(*) > 5",
+        ordered: false,
+    },
+    NlCase {
+        id: "loyal_customers",
+        database: "tpch",
+        question: "Customers with at least 13 orders",
+        gold_sql: "SELECT c_name FROM customer JOIN orders ON c_custkey = o_custkey \
+                   GROUP BY c_name HAVING COUNT(*) >= 13",
+        ordered: false,
+    },
+    NlCase {
+        id: "count_loyal_customers",
+        database: "tpch",
+        question: "How many customers placed more than 15 orders?",
+        gold_sql: "SELECT COUNT(*) FROM (SELECT c_custkey FROM customer \
+                   JOIN orders ON c_custkey = o_custkey GROUP BY c_custkey \
+                   HAVING COUNT(*) > 15) AS sub",
+        ordered: false,
+    },
+    // -- intentionally hard (grammar gaps expected) --------------------------
+    NlCase {
+        id: "hard_self_join",
+        database: "tpch",
+        question: "Which customers placed more orders than the average customer?",
+        gold_sql: "SELECT c_name FROM customer WHERE c_custkey = -1", // unreachable by grammar
+        ordered: false,
+    },
+    NlCase {
+        id: "hard_negation",
+        database: "tpch",
+        question: "Customers who never placed any order",
+        gold_sql: "SELECT c_name FROM customer LEFT JOIN orders ON c_custkey = o_custkey WHERE o_orderkey IS NULL",
+        ordered: false,
+    },
+];
+
+/// Outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub id: &'static str,
+    pub generated_sql: Option<String>,
+    pub exact_match: bool,
+    pub execution_match: bool,
+    pub error: Option<String>,
+}
+
+/// Aggregate report.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    pub cases: Vec<CaseResult>,
+}
+
+impl BenchmarkReport {
+    pub fn total(&self) -> usize {
+        self.cases.len()
+    }
+
+    pub fn exact_matches(&self) -> usize {
+        self.cases.iter().filter(|c| c.exact_match).count()
+    }
+
+    pub fn execution_matches(&self) -> usize {
+        self.cases.iter().filter(|c| c.execution_match).count()
+    }
+
+    pub fn execution_accuracy(&self) -> f64 {
+        if self.cases.is_empty() {
+            0.0
+        } else {
+            self.execution_matches() as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Normalize SQL for exact-match comparison.
+pub fn normalize_sql(sql: &str) -> String {
+    sql.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_uppercase()
+        .replace('(', " ( ")
+        .replace(')', " ) ")
+        .replace(',', " , ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Compare two result batches as multisets (or sequences when `ordered`).
+pub fn results_equal(a: &RecordBatch, b: &RecordBatch, ordered: bool) -> bool {
+    if a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns() {
+        return false;
+    }
+    let norm = |rows: Vec<Vec<Value>>| -> Vec<Vec<String>> {
+        rows.into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .map(|v| match v {
+                        // Compare floats at reduced precision.
+                        Value::Float64(f) => format!("{f:.4}"),
+                        other => other.to_string(),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let mut ra = norm(a.to_rows());
+    let mut rb = norm(b.to_rows());
+    if !ordered {
+        ra.sort();
+        rb.sort();
+    }
+    ra == rb
+}
+
+/// Run the full suite against a service.
+pub fn evaluate(
+    service: &dyn TextToSqlService,
+    catalog: &Catalog,
+    store: ObjectStoreRef,
+    cases: &[NlCase],
+) -> Result<BenchmarkReport> {
+    let mut results = Vec::with_capacity(cases.len());
+    for case in cases {
+        let gold = run_query(catalog, store.clone(), case.database, case.gold_sql)?;
+        let outcome = service.translate(case.database, case.question);
+        let result = match outcome {
+            Err(e) => CaseResult {
+                id: case.id,
+                generated_sql: None,
+                exact_match: false,
+                execution_match: false,
+                error: Some(e.to_string()),
+            },
+            Ok(t) => {
+                let exact = normalize_sql(&t.sql) == normalize_sql(case.gold_sql);
+                match run_query(catalog, store.clone(), case.database, &t.sql) {
+                    Ok(got) => CaseResult {
+                        id: case.id,
+                        exact_match: exact,
+                        execution_match: results_equal(&gold, &got, case.ordered),
+                        generated_sql: Some(t.sql),
+                        error: None,
+                    },
+                    Err(e) => CaseResult {
+                        id: case.id,
+                        exact_match: exact,
+                        execution_match: false,
+                        generated_sql: Some(t.sql),
+                        error: Some(e.to_string()),
+                    },
+                }
+            }
+        };
+        results.push(result);
+    }
+    Ok(BenchmarkReport { cases: results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(
+            normalize_sql("select  COUNT( * )\nfrom t"),
+            normalize_sql("SELECT COUNT(*) FROM t")
+        );
+    }
+
+    #[test]
+    fn case_ids_unique() {
+        let mut ids: Vec<&str> = CASES.iter().map(|c| c.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn gold_queries_parse() {
+        for c in CASES {
+            assert!(
+                pixels_sql::parse_query(c.gold_sql).is_ok(),
+                "gold SQL for {} does not parse",
+                c.id
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `pixels-nl2sql` — the natural-language interface of PixelsDB (paper §3.3).
+//!
+//! Reproduces the CodeS text-to-SQL pipeline as a deterministic system:
+//!
+//! 1. [`schema_pruning`] — select the schema elements most relevant to the
+//!    question (handles arbitrarily wide tables without truncation);
+//! 2. [`values`] — ground question literals in sampled database values
+//!    ("germany" → `n_name = 'GERMANY'`);
+//! 3. [`translator`] — single-turn grammar-based semantic parsing into an
+//!    executable SQL AST, with FK-driven join-path inference;
+//! 4. [`service`] — the pluggable REST-shaped JSON API Pixels-Rover calls;
+//! 5. [`benchmark`] — a Spider-style evaluation suite with exact-match and
+//!    execution-accuracy metrics.
+
+pub mod benchmark;
+pub mod schema_pruning;
+pub mod service;
+pub mod text;
+pub mod translator;
+pub mod values;
+
+pub use benchmark::{evaluate, BenchmarkReport, CaseResult, NlCase, CASES};
+pub use schema_pruning::{prune_schema, serialize_full, PruneConfig, PrunedSchema};
+pub use service::{CodesService, TextToSqlService};
+pub use translator::{Translation, Translator};
+pub use values::ValueIndex;

@@ -1,0 +1,352 @@
+//! Schema pruning (paper §3.3).
+//!
+//! CodeS "identifies the schema elements most related to the user's
+//! question" before serializing them into the model prompt, which lets it
+//! handle tables of *any* width (thousands of columns) without context
+//! truncation. This module reproduces that stage: score every table and
+//! column lexically against the question, keep the best, and always close
+//! the set over foreign keys so join paths survive pruning.
+
+use crate::text::{identifier_parts, is_stopword, tokenize, word_affinity};
+use pixels_catalog::TableDef;
+use std::collections::BTreeSet;
+
+/// Pruning configuration (CodeS-like defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct PruneConfig {
+    pub max_tables: usize,
+    pub max_columns_per_table: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            max_tables: 4,
+            max_columns_per_table: 8,
+        }
+    }
+}
+
+/// The pruned schema handed to the translator (or serialized into a prompt).
+#[derive(Debug, Clone)]
+pub struct PrunedSchema {
+    /// Retained tables with their retained column indices, ranked by
+    /// relevance.
+    pub tables: Vec<(TableDef, Vec<usize>)>,
+}
+
+impl PrunedSchema {
+    /// Serialize as a CodeS-style prompt fragment:
+    /// `table(col type, col type, ...)` per line. Its length is the
+    /// "prompt size" measured in experiment E8.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for (t, cols) in &self.tables {
+            out.push_str(&t.name);
+            out.push('(');
+            for (i, &c) in cols.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let f = t.schema.field(c);
+                out.push_str(&f.name);
+                out.push(' ');
+                out.push_str(f.data_type.sql_name());
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+
+    pub fn prompt_bytes(&self) -> usize {
+        self.serialize().len()
+    }
+}
+
+/// Serialize a *full* (unpruned) schema — the baseline the pruning
+/// experiment compares against.
+pub fn serialize_full(tables: &[TableDef]) -> String {
+    let all = PrunedSchema {
+        tables: tables
+            .iter()
+            .map(|t| (t.clone(), (0..t.schema.len()).collect()))
+            .collect(),
+    };
+    all.serialize()
+}
+
+/// Relevance score of one table for the question tokens.
+fn table_score(table: &TableDef, words: &[String]) -> f64 {
+    let mut score: f64 = 0.0;
+    let name_parts = identifier_parts(&table.name);
+    for w in words {
+        for p in &name_parts {
+            score += 2.0 * word_affinity(w, p);
+        }
+        if let Some(comment) = &table.comment {
+            for cw in comment.split_whitespace() {
+                score += 0.3 * word_affinity(w, &cw.to_lowercase());
+            }
+        }
+    }
+    score
+}
+
+/// Relevance score of one column.
+pub fn column_score(column_name: &str, words: &[String]) -> f64 {
+    let parts = identifier_parts(column_name);
+    let mut score: f64 = 0.0;
+    for w in words {
+        let mut best: f64 = 0.0;
+        for p in &parts {
+            best = best.max(word_affinity(w, p));
+        }
+        score += best;
+    }
+    score
+}
+
+/// Prune `tables` down to the elements most relevant to `question`.
+pub fn prune_schema(question: &str, tables: &[TableDef], cfg: PruneConfig) -> PrunedSchema {
+    let words: Vec<String> = tokenize(question)
+        .into_iter()
+        .filter(|t| !t.quoted && t.number.is_none() && !is_stopword(&t.text))
+        .map(|t| t.text)
+        .collect();
+
+    // Rank tables: lexical score plus the best column hit (a question that
+    // names only a column must still pull in its table).
+    let mut ranked: Vec<(usize, f64)> = tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let col_best = t
+                .schema
+                .fields()
+                .iter()
+                .map(|f| column_score(&f.name, &words))
+                .fold(0.0f64, f64::max);
+            (i, table_score(t, &words) + col_best)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut keep: BTreeSet<usize> = ranked
+        .iter()
+        .take(cfg.max_tables)
+        .filter(|(_, s)| *s > 0.0)
+        .map(|(i, _)| *i)
+        .collect();
+    // Nothing matched: keep the top table anyway so translation can try.
+    if keep.is_empty() {
+        if let Some((i, _)) = ranked.first() {
+            keep.insert(*i);
+        }
+    }
+
+    // Close over foreign keys: if a kept table references another, keep the
+    // referenced table too (join paths must survive pruning).
+    loop {
+        let mut added = false;
+        let snapshot: Vec<usize> = keep.iter().copied().collect();
+        for &i in &snapshot {
+            for fk in &tables[i].foreign_keys {
+                if let Some(j) = tables
+                    .iter()
+                    .position(|t| t.name.eq_ignore_ascii_case(&fk.ref_table))
+                {
+                    if keep.len() < cfg.max_tables + 2 && keep.insert(j) {
+                        added = true;
+                    }
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+
+    // Per kept table: rank columns, retaining keys (PK/FK) unconditionally.
+    let mut result = Vec::new();
+    for (i, _) in ranked {
+        if !keep.contains(&i) {
+            continue;
+        }
+        let t = &tables[i];
+        // Words that name the table itself ("orders") would match every
+        // `o_order*` column; exclude them from column scoring.
+        let name_parts = identifier_parts(&t.name);
+        let col_words: Vec<String> = words
+            .iter()
+            .filter(|w| !name_parts.iter().any(|p| word_affinity(w, p) >= 0.7))
+            .cloned()
+            .collect();
+        let col_words = if col_words.is_empty() {
+            &words
+        } else {
+            &col_words
+        };
+        let mut cols: Vec<(usize, f64)> = t
+            .schema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(c, f)| (c, column_score(&f.name, col_words)))
+            .collect();
+        cols.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut kept_cols: BTreeSet<usize> = cols
+            .iter()
+            .take(cfg.max_columns_per_table)
+            .map(|(c, _)| *c)
+            .collect();
+        if let Some(pk) = &t.primary_key {
+            if let Some(c) = t.schema.index_of(pk) {
+                kept_cols.insert(c);
+            }
+        }
+        for fk in &t.foreign_keys {
+            if let Some(c) = t.schema.index_of(&fk.column) {
+                kept_cols.insert(c);
+            }
+        }
+        result.push((t.clone(), kept_cols.into_iter().collect()));
+    }
+    PrunedSchema { tables: result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::{Catalog, ForeignKey};
+    use pixels_common::{DataType, Field, Schema, TableId};
+    use pixels_workload::{load_tpch, TpchConfig};
+    use std::sync::Arc;
+
+    fn tpch_tables() -> Vec<TableDef> {
+        let catalog = Catalog::new();
+        let store = pixels_storage::InMemoryObjectStore::new();
+        load_tpch(
+            &catalog,
+            &store,
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        catalog.list_tables("tpch").unwrap()
+    }
+
+    #[test]
+    fn question_about_orders_keeps_orders() {
+        let tables = tpch_tables();
+        let pruned = prune_schema(
+            "how many orders were placed in 1995",
+            &tables,
+            PruneConfig::default(),
+        );
+        let names: Vec<&str> = pruned.tables.iter().map(|(t, _)| t.name.as_str()).collect();
+        assert!(names.contains(&"orders"), "{names:?}");
+        assert!(
+            !names.contains(&"part"),
+            "irrelevant tables pruned: {names:?}"
+        );
+    }
+
+    #[test]
+    fn fk_closure_keeps_join_targets() {
+        let tables = tpch_tables();
+        let pruned = prune_schema(
+            "total revenue of customers per nation",
+            &tables,
+            PruneConfig::default(),
+        );
+        let names: Vec<&str> = pruned.tables.iter().map(|(t, _)| t.name.as_str()).collect();
+        assert!(names.contains(&"customer"), "{names:?}");
+        assert!(names.contains(&"nation"), "{names:?}");
+    }
+
+    #[test]
+    fn keys_survive_column_pruning() {
+        let tables = tpch_tables();
+        let pruned = prune_schema(
+            "average order price",
+            &tables,
+            PruneConfig {
+                max_tables: 2,
+                max_columns_per_table: 2,
+            },
+        );
+        let (orders, cols) = pruned
+            .tables
+            .iter()
+            .find(|(t, _)| t.name == "orders")
+            .expect("orders kept");
+        let kept: Vec<&str> = cols
+            .iter()
+            .map(|&c| orders.schema.field(c).name.as_str())
+            .collect();
+        assert!(kept.contains(&"o_orderkey"), "PK kept: {kept:?}");
+        assert!(kept.contains(&"o_custkey"), "FK kept: {kept:?}");
+        assert!(
+            kept.contains(&"o_totalprice"),
+            "matched column kept: {kept:?}"
+        );
+    }
+
+    #[test]
+    fn wide_table_prompt_shrinks() {
+        // A 2000-column table: pruning must keep the prompt tiny.
+        let mut fields = vec![Field::required("event_revenue", DataType::Float64)];
+        for i in 0..2000 {
+            fields.push(Field::nullable(format!("attr_{i:04}"), DataType::Utf8));
+        }
+        let wide = TableDef {
+            id: TableId(0),
+            database: "w".into(),
+            name: "events".into(),
+            schema: Arc::new(Schema::new(fields)),
+            paths: vec![],
+            stats: Default::default(),
+            primary_key: None,
+            foreign_keys: vec![],
+            comment: None,
+        };
+        let full_len = serialize_full(std::slice::from_ref(&wide)).len();
+        let pruned = prune_schema(
+            "total revenue of events",
+            std::slice::from_ref(&wide),
+            PruneConfig::default(),
+        );
+        assert!(
+            pruned.prompt_bytes() * 20 < full_len,
+            "pruned {} vs full {full_len}",
+            pruned.prompt_bytes()
+        );
+        let (_, cols) = &pruned.tables[0];
+        assert!(cols.contains(&0), "revenue column retained");
+    }
+
+    #[test]
+    fn no_match_still_returns_something() {
+        let t = TableDef {
+            id: TableId(1),
+            database: "d".into(),
+            name: "zzz".into(),
+            schema: Arc::new(Schema::new(vec![Field::required("a", DataType::Int32)])),
+            paths: vec![],
+            stats: Default::default(),
+            primary_key: None,
+            foreign_keys: vec![ForeignKey {
+                column: "a".into(),
+                ref_table: "zzz".into(),
+                ref_column: "a".into(),
+            }],
+            comment: None,
+        };
+        let pruned = prune_schema("completely unrelated words", &[t], PruneConfig::default());
+        assert_eq!(pruned.tables.len(), 1);
+        assert!(!pruned.serialize().is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The pluggable text-to-SQL service (paper §2, component 3).
+//!
+//! CodeS exposes a REST API taking a JSON message with the user's question
+//! and the schema elements of the selected database, and answers with the
+//! translated SQL in a single round trip. This module reproduces that
+//! interface shape: [`TextToSqlService`] is the pluggable trait ("we can
+//! upgrade or replace it independently"), and [`CodesService`] is the
+//! built-in grammar-based implementation with the JSON wire format.
+
+use crate::translator::{Translation, Translator};
+use crate::values::ValueIndex;
+use parking_lot::RwLock;
+use pixels_catalog::CatalogRef;
+use pixels_common::{Error, Json, Result};
+use pixels_storage::ObjectStoreRef;
+use std::collections::HashMap;
+
+/// The pluggable translation interface.
+pub trait TextToSqlService: Send + Sync {
+    /// Translate a question over the given database in a single turn.
+    fn translate(&self, database: &str, question: &str) -> Result<Translation>;
+}
+
+/// The built-in CodeS-style service: schema pruning + grammar translation
+/// grounded in sampled database values. Translators are built lazily per
+/// database and cached.
+pub struct CodesService {
+    catalog: CatalogRef,
+    store: ObjectStoreRef,
+    translators: RwLock<HashMap<String, std::sync::Arc<Translator>>>,
+}
+
+impl CodesService {
+    pub fn new(catalog: CatalogRef, store: ObjectStoreRef) -> Self {
+        CodesService {
+            catalog,
+            store,
+            translators: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn translator(&self, database: &str) -> Result<std::sync::Arc<Translator>> {
+        let key = database.to_ascii_lowercase();
+        if let Some(t) = self.translators.read().get(&key) {
+            return Ok(t.clone());
+        }
+        let tables = self.catalog.list_tables(database)?;
+        let values = ValueIndex::build(&self.catalog, self.store.as_ref(), database, 60)?;
+        let t = std::sync::Arc::new(Translator::new(tables, values));
+        self.translators.write().insert(key, t.clone());
+        Ok(t)
+    }
+
+    /// Handle one JSON request (the wire format Pixels-Rover sends):
+    /// `{"question": "...", "database": "..."}` →
+    /// `{"sql": "...", "confidence": 0.9, "tables": [...]}` or
+    /// `{"error": "..."}`.
+    pub fn handle_json(&self, request: &str) -> String {
+        let response = (|| -> Result<Json> {
+            let req = Json::parse(request)?;
+            let question = req
+                .get_or_err("question")?
+                .as_str()
+                .ok_or_else(|| Error::Invalid("question must be a string".into()))?;
+            let database = req
+                .get_or_err("database")?
+                .as_str()
+                .ok_or_else(|| Error::Invalid("database must be a string".into()))?;
+            let t = self.translate(database, question)?;
+            Ok(Json::object([
+                ("sql", Json::string(t.sql)),
+                ("confidence", Json::number(t.confidence)),
+                (
+                    "tables",
+                    Json::array(t.tables_used.into_iter().map(Json::string)),
+                ),
+            ]))
+        })();
+        match response {
+            Ok(json) => json.to_compact_string(),
+            Err(e) => Json::object([("error", Json::string(e.to_string()))]).to_compact_string(),
+        }
+    }
+}
+
+impl TextToSqlService for CodesService {
+    fn translate(&self, database: &str, question: &str) -> Result<Translation> {
+        self.translator(database)?.translate(question)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::Catalog;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    fn service() -> CodesService {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        CodesService::new(catalog, store)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = service();
+        let resp =
+            s.handle_json(r#"{"question": "how many customers are there", "database": "tpch"}"#);
+        let json = Json::parse(&resp).unwrap();
+        let sql = json.get("sql").unwrap().as_str().unwrap();
+        assert!(sql.to_uppercase().contains("COUNT(*)"), "{sql}");
+        assert!(sql.to_lowercase().contains("customer"), "{sql}");
+        assert!(json.get("confidence").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_errors_are_reported() {
+        let s = service();
+        let resp = s.handle_json(r#"{"question": "hi"}"#);
+        let json = Json::parse(&resp).unwrap();
+        assert!(json.get("error").is_some());
+        let resp = s.handle_json("not json");
+        assert!(Json::parse(&resp).unwrap().get("error").is_some());
+        let resp = s.handle_json(r#"{"question": "count orders", "database": "nope"}"#);
+        assert!(Json::parse(&resp).unwrap().get("error").is_some());
+    }
+
+    #[test]
+    fn translators_are_cached() {
+        let s = service();
+        let a = s.translator("tpch").unwrap();
+        let b = s.translator("TPCH").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,240 @@
+//! Tokenization and lexical matching utilities shared by the schema pruner
+//! and the translator.
+
+/// One token of a natural-language question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Lowercased text with punctuation stripped (quoted strings keep their
+    /// inner text verbatim, lowercased).
+    pub text: String,
+    /// Numeric value when the token is a number.
+    pub number: Option<f64>,
+    /// True when the token was quoted in the question ('...' or "...").
+    pub quoted: bool,
+}
+
+/// Split a question into tokens, keeping quoted strings intact.
+pub fn tokenize(question: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = question.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c == '\'' || c == '"' {
+            let quote = c;
+            chars.next();
+            let mut s = String::new();
+            for ch in chars.by_ref() {
+                if ch == quote {
+                    break;
+                }
+                s.push(ch);
+            }
+            toks.push(Tok {
+                text: s.to_lowercase(),
+                number: None,
+                quoted: true,
+            });
+        } else if c.is_alphanumeric() || c == '.' || c == '-' || c == '_' {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_alphanumeric() || ch == '.' || ch == '_' || (ch == '-' && s.is_empty()) {
+                    s.push(ch);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if s.is_empty() {
+                chars.next();
+                continue;
+            }
+            let number = s.parse::<f64>().ok();
+            toks.push(Tok {
+                text: s.to_lowercase(),
+                number,
+                quoted: false,
+            });
+        } else {
+            chars.next();
+        }
+    }
+    toks
+}
+
+/// English stopwords ignored during matching.
+pub fn is_stopword(word: &str) -> bool {
+    matches!(
+        word,
+        "the"
+            | "a"
+            | "an"
+            | "of"
+            | "in"
+            | "on"
+            | "at"
+            | "to"
+            | "for"
+            | "and"
+            | "or"
+            | "is"
+            | "are"
+            | "was"
+            | "were"
+            | "be"
+            | "been"
+            | "do"
+            | "does"
+            | "did"
+            | "what"
+            | "which"
+            | "who"
+            | "show"
+            | "me"
+            | "list"
+            | "give"
+            | "find"
+            | "all"
+            | "each"
+            | "with"
+            | "that"
+            | "have"
+            | "has"
+            | "had"
+            | "please"
+            | "their"
+            | "there"
+            | "it"
+            | "its"
+            | "how"
+            | "many"
+            | "much"
+            | "per"
+            | "by"
+            | "from"
+            | "than"
+            | "then"
+    )
+}
+
+/// Light stemming: drop plural/possessive suffixes.
+pub fn stem(word: &str) -> String {
+    let w = word.trim_end_matches('\'');
+    if let Some(base) = w.strip_suffix("ies") {
+        return format!("{base}y");
+    }
+    if w.len() > 3 {
+        if let Some(base) = w.strip_suffix("es") {
+            if base.ends_with('s') || base.ends_with('x') || base.ends_with("ch") {
+                return base.to_string();
+            }
+        }
+        if let Some(base) = w.strip_suffix('s') {
+            if !base.ends_with('s') && !base.ends_with('u') {
+                return base.to_string();
+            }
+        }
+    }
+    w.to_string()
+}
+
+/// Split an identifier (snake_case or camelCase) into lowercase parts,
+/// dropping single-letter prefixes like the `l_` in `l_shipdate`.
+pub fn identifier_parts(name: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    for raw in name.split(['_', '.', ' ']) {
+        if raw.is_empty() {
+            continue;
+        }
+        // Split camelCase transitions.
+        let mut cur = String::new();
+        for c in raw.chars() {
+            if c.is_uppercase() && !cur.is_empty() {
+                parts.push(cur.to_lowercase());
+                cur = String::new();
+            }
+            cur.push(c);
+        }
+        if !cur.is_empty() {
+            parts.push(cur.to_lowercase());
+        }
+    }
+    let single = parts.len() == 1;
+    parts.retain(|p| p.len() > 1 || single);
+    parts
+}
+
+/// Score the lexical affinity between a question word and an identifier
+/// part: 1.0 exact (after stemming), 0.7 prefix containment, 0 otherwise.
+pub fn word_affinity(question_word: &str, ident_part: &str) -> f64 {
+    let q = stem(question_word);
+    let p = stem(ident_part);
+    if q == p {
+        return 1.0;
+    }
+    if q.len() >= 4 && p.len() >= 4 && (q.starts_with(&p) || p.starts_with(&q)) {
+        return 0.7;
+    }
+    // Compound identifiers: "price" inside "totalprice".
+    if q.len() >= 4 && p.len() > q.len() && p.contains(&q) {
+        return 0.6;
+    }
+    // Shared 4-char stem: "shipped" ~ "shipdate".
+    if q.len() >= 4 && p.len() >= 4 && q.as_bytes()[..4] == p.as_bytes()[..4] {
+        return 0.5;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_handles_quotes_and_numbers() {
+        let toks = tokenize("How many orders from 'UNITED STATES' over 42.5?");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "how",
+                "many",
+                "orders",
+                "from",
+                "united states",
+                "over",
+                "42.5"
+            ]
+        );
+        assert!(toks[4].quoted);
+        assert_eq!(toks[6].number, Some(42.5));
+    }
+
+    #[test]
+    fn stemming() {
+        assert_eq!(stem("orders"), "order");
+        assert_eq!(stem("countries"), "country");
+        assert_eq!(stem("status"), "status");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("price"), "price");
+    }
+
+    #[test]
+    fn identifier_splitting() {
+        assert_eq!(identifier_parts("l_shipdate"), vec!["shipdate"]);
+        assert_eq!(identifier_parts("o_totalprice"), vec!["totalprice"]);
+        assert_eq!(identifier_parts("latency_ms"), vec!["latency", "ms"]);
+        assert_eq!(identifier_parts("userAgent"), vec!["user", "agent"]);
+    }
+
+    #[test]
+    fn affinity() {
+        assert_eq!(word_affinity("orders", "order"), 1.0);
+        assert!(word_affinity("totals", "totalprice") > 0.0);
+        assert_eq!(word_affinity("cat", "dog"), 0.0);
+    }
+
+    #[test]
+    fn stopwords() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("revenue"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Database value index.
+//!
+//! CodeS grounds questions in actual database content (e.g. mapping the
+//! words "united states" to `nation.n_name = 'UNITED STATES'`). This module
+//! builds the same capability by sampling low-cardinality string columns
+//! from the stored data and indexing their distinct values.
+
+use pixels_catalog::Catalog;
+use pixels_common::Result;
+use pixels_storage::{ObjectStore, PixelsReader};
+use std::collections::HashMap;
+
+/// Where a literal value lives: `(table, column)` plus its exact stored
+/// spelling (questions are matched case-insensitively, SQL needs the
+/// original).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueSite {
+    pub table: String,
+    pub column: String,
+    pub stored: String,
+}
+
+/// Lowercased value text → candidate sites.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    map: HashMap<String, Vec<ValueSite>>,
+}
+
+impl ValueIndex {
+    /// Scan the first row group of each table's first file and index string
+    /// columns with at most `max_distinct` distinct values.
+    pub fn build(
+        catalog: &Catalog,
+        store: &dyn ObjectStore,
+        database: &str,
+        max_distinct: usize,
+    ) -> Result<ValueIndex> {
+        let mut map: HashMap<String, Vec<ValueSite>> = HashMap::new();
+        for table in catalog.list_tables(database)? {
+            let Some(path) = table.paths.first() else {
+                continue;
+            };
+            let reader = PixelsReader::open(store, path)?;
+            if reader.num_row_groups() == 0 {
+                continue;
+            }
+            for (col_idx, field) in table.schema.fields().iter().enumerate() {
+                if field.data_type != pixels_common::DataType::Utf8 {
+                    continue;
+                }
+                // Honor catalog NDV hints when present.
+                if let Some(ndv) = table
+                    .stats
+                    .columns
+                    .get(col_idx)
+                    .and_then(|c| c.distinct_count)
+                {
+                    if ndv as usize > max_distinct {
+                        continue;
+                    }
+                }
+                let batch = reader.read_row_group(0, Some(&[col_idx]))?;
+                let mut distinct: Vec<String> = Vec::new();
+                for row in 0..batch.num_rows() {
+                    if let Some(s) = batch.column(0).value(row).as_str() {
+                        if !distinct.iter().any(|d| d == s) {
+                            distinct.push(s.to_string());
+                            if distinct.len() > max_distinct {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if distinct.len() > max_distinct {
+                    continue;
+                }
+                for v in distinct {
+                    map.entry(v.to_lowercase()).or_default().push(ValueSite {
+                        table: table.name.clone(),
+                        column: field.name.clone(),
+                        stored: v,
+                    });
+                }
+            }
+        }
+        Ok(ValueIndex { map })
+    }
+
+    /// Candidate sites for a literal mentioned in a question.
+    pub fn lookup(&self, text: &str) -> &[ValueSite] {
+        self.map
+            .get(&text.to_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    #[test]
+    fn indexes_low_cardinality_columns() {
+        let catalog = Catalog::new();
+        let store = InMemoryObjectStore::new();
+        load_tpch(
+            &catalog,
+            &store,
+            "tpch",
+            &TpchConfig {
+                scale: 0.001,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let idx = ValueIndex::build(&catalog, &store, "tpch", 50).unwrap();
+        assert!(!idx.is_empty());
+
+        let sites = idx.lookup("germany");
+        assert!(
+            sites
+                .iter()
+                .any(|s| s.table == "nation" && s.column == "n_name"),
+            "{sites:?}"
+        );
+        assert_eq!(sites[0].stored, "GERMANY", "original spelling preserved");
+
+        let sites = idx.lookup("BUILDING");
+        assert!(sites.iter().any(|s| s.column == "c_mktsegment"));
+
+        // High-cardinality columns (customer names) are not indexed.
+        assert!(idx.lookup("Customer#000000001").is_empty());
+    }
+}

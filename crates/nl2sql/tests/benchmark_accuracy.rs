@@ -1,0 +1,88 @@
+//! End-to-end accuracy of the built-in text-to-SQL service on the
+//! Spider-style suite — the reproduction of the paper's ">80% single-turn
+//! accuracy" claim shape (experiment E7).
+
+use pixels_catalog::Catalog;
+use pixels_nl2sql::{evaluate, CodesService, TextToSqlService, CASES};
+use pixels_storage::InMemoryObjectStore;
+use pixels_workload::{load_tpch, load_weblog, TpchConfig, WeblogConfig};
+
+fn setup() -> (pixels_catalog::CatalogRef, pixels_storage::ObjectStoreRef) {
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.001,
+            seed: 42,
+            row_group_rows: 2048,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    load_weblog(
+        &catalog,
+        store.as_ref(),
+        "logs",
+        &WeblogConfig {
+            rows: 3000,
+            seed: 7,
+            row_group_rows: 1024,
+        },
+    )
+    .unwrap();
+    (catalog, store)
+}
+
+#[test]
+fn execution_accuracy_above_80_percent() {
+    let (catalog, store) = setup();
+    let service = CodesService::new(catalog.clone(), store.clone());
+    let report = evaluate(&service, &catalog, store, CASES).unwrap();
+    for c in &report.cases {
+        eprintln!(
+            "{:>28}  exact={} exec={} sql={:?} err={:?}",
+            c.id, c.exact_match, c.execution_match, c.generated_sql, c.error
+        );
+    }
+    let acc = report.execution_accuracy();
+    assert!(
+        acc >= 0.8,
+        "execution accuracy {acc:.2} below the paper's 80% bar ({}/{} cases)",
+        report.execution_matches(),
+        report.total()
+    );
+    // Exact match is strictly harder.
+    assert!(report.exact_matches() <= report.execution_matches() + 5);
+}
+
+#[test]
+fn translation_is_single_turn_and_fast() {
+    let (catalog, store) = setup();
+    let service = CodesService::new(catalog, store);
+    let start = std::time::Instant::now();
+    let t = service
+        .translate("tpch", "how many orders per order status")
+        .unwrap();
+    let elapsed = start.elapsed();
+    assert!(t.sql.to_uppercase().contains("GROUP BY"));
+    assert!(
+        elapsed.as_millis() < 2000,
+        "single-turn translation should be interactive, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn deterministic_translations() {
+    let (catalog, store) = setup();
+    let service = CodesService::new(catalog, store);
+    let a = service
+        .translate("tpch", "total quantity per return flag")
+        .unwrap();
+    let b = service
+        .translate("tpch", "total quantity per return flag")
+        .unwrap();
+    assert_eq!(a.sql, b.sql);
+}

@@ -1,0 +1,117 @@
+//! Robustness of the text-to-SQL service: arbitrary input must never panic,
+//! and whenever the translator returns SQL, that SQL must parse and (over a
+//! real catalog) either plan cleanly or fail with a proper error.
+
+use pixels_catalog::Catalog;
+use pixels_nl2sql::{CodesService, TextToSqlService};
+use pixels_storage::InMemoryObjectStore;
+use pixels_workload::{load_tpch, TpchConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn service() -> (Arc<CodesService>, pixels_catalog::CatalogRef) {
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.0003,
+            seed: 5,
+            row_group_rows: 512,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    (Arc::new(CodesService::new(catalog.clone(), store)), catalog)
+}
+
+// Build the service once; proptest runs many cases.
+fn with_service(f: impl FnOnce(&CodesService, &Catalog)) {
+    thread_local! {
+        static SVC: (Arc<CodesService>, pixels_catalog::CatalogRef) = service();
+    }
+    SVC.with(|(s, c)| f(s, c));
+}
+
+/// Question-shaped random text: mixtures of schema words, filler, numbers,
+/// and junk.
+fn question_strategy() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        prop::sample::select(vec![
+            "how",
+            "many",
+            "orders",
+            "customers",
+            "total",
+            "average",
+            "price",
+            "per",
+            "top",
+            "status",
+            "show",
+            "the",
+            "of",
+            "with",
+            "more",
+            "than",
+            "in",
+            "1995",
+            "highest",
+            "balance",
+            "nation",
+            "from",
+            "germany",
+            "quantity",
+            "shipped",
+            "by",
+            "distinct",
+        ])
+        .prop_map(|s| s.to_string()),
+        "[a-zA-Z0-9']{1,10}",
+        (0..100_000i64).prop_map(|n| n.to_string()),
+    ];
+    prop::collection::vec(word, 0..14).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn translator_never_panics_and_output_is_valid_sql(q in question_strategy()) {
+        with_service(|svc, catalog| {
+            match svc.translate("tpch", &q) {
+                Err(_) => {} // a clean error is fine
+                Ok(t) => {
+                    // Generated SQL must parse...
+                    let parsed = pixels_sql::parse_query(&t.sql);
+                    assert!(parsed.is_ok(), "generated SQL does not parse: {} <- {q:?}", t.sql);
+                    // ...and bind/plan against the real catalog (the
+                    // translator only references real schema elements).
+                    let planned = pixels_planner::plan_query(catalog, "tpch", &t.sql);
+                    assert!(
+                        planned.is_ok(),
+                        "generated SQL does not plan: {} ({:?}) <- {q:?}",
+                        t.sql,
+                        planned.err()
+                    );
+                    assert!((0.0..=1.0).contains(&t.confidence));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn json_api_never_panics(q in "\\PC{0,60}") {
+        with_service(|svc, _| {
+            let req = pixels_common::Json::object([
+                ("question", pixels_common::Json::string(q.clone())),
+                ("database", pixels_common::Json::string("tpch")),
+            ])
+            .to_compact_string();
+            let resp = svc.handle_json(&req);
+            assert!(pixels_common::Json::parse(&resp).is_ok());
+        });
+    }
+}

@@ -1,0 +1,42 @@
+//! `pixels-planner` — query planning for PixelsDB.
+//!
+//! Pipeline: `pixels_sql` AST → [`binder::Binder`] (name resolution, type
+//! checking) → [`logical::LogicalPlan`] → [`rules::optimize`] (constant
+//! folding, predicate pushdown, projection pruning, build-side selection) →
+//! [`physical::create_physical_plan`] → [`physical::PhysicalPlan`].
+//!
+//! [`split::split_for_acceleration`] implements the paper's §3.1 operator
+//! pushdown: cutting the expensive subtree (scans, joins, aggregations) out
+//! of a plan so cloud-function workers can execute it and materialize the
+//! result for the cheap top-level operators.
+//!
+//! The shared scalar [`eval`] module defines expression semantics once for
+//! both the constant folder and the executor.
+
+pub mod binder;
+pub mod eval;
+pub mod expr;
+pub mod logical;
+pub mod physical;
+pub mod rules;
+pub mod split;
+
+pub use binder::Binder;
+pub use eval::{eval_binary, eval_expr, like_match, NoRow, RowAccess};
+pub use expr::{AggExpr, AggFunc, BoundExpr, ScalarFunc};
+pub use logical::LogicalPlan;
+pub use physical::{create_physical_plan, PhysicalPlan, PlanEstimate};
+pub use rules::optimize;
+pub use split::{split_for_acceleration, SplitPlan};
+
+use pixels_catalog::Catalog;
+use pixels_common::Result;
+
+/// Convenience: parse, bind, optimize, and lower a SQL query in one call.
+pub fn plan_query(catalog: &Catalog, default_db: &str, sql: &str) -> Result<PhysicalPlan> {
+    let select = pixels_sql::parse_query(sql)?;
+    let binder = Binder::new(catalog, default_db);
+    let logical = binder.bind_select(&select)?;
+    let optimized = optimize(logical);
+    create_physical_plan(&optimized)
+}

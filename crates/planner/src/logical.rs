@@ -1,0 +1,352 @@
+//! Logical query plans.
+
+use crate::expr::{AggExpr, BoundExpr};
+use pixels_catalog::TableStats;
+use pixels_common::{Field, Schema, SchemaRef};
+use pixels_sql::ast::JoinType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relational operator tree produced by the binder and rewritten by the
+/// optimizer. Every node knows its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a catalog table. `projection` selects table columns (by table
+    /// schema index); `filters` are conjuncts over the *projected* schema.
+    Scan {
+        database: String,
+        table: String,
+        /// Full table schema (before projection).
+        table_schema: SchemaRef,
+        /// Table statistics snapshot taken at bind time.
+        stats: TableStats,
+        /// Object-store paths of the table's data files.
+        paths: Vec<String>,
+        projection: Vec<usize>,
+        filters: Vec<BoundExpr>,
+        output_schema: SchemaRef,
+    },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: BoundExpr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<BoundExpr>,
+        output_schema: SchemaRef,
+    },
+    /// Equi-join with optional residual filter. Key expressions are bound
+    /// against the respective side's output schema; the residual is bound
+    /// against the concatenated (left ++ right) schema.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        join_type: JoinType,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        output_schema: SchemaRef,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_exprs: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        output_schema: SchemaRef,
+    },
+    /// Hash-based duplicate elimination over all columns.
+    Distinct { input: Box<LogicalPlan> },
+    Sort {
+        input: Box<LogicalPlan>,
+        /// `(key, ascending)` pairs bound against the input schema.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        limit: Option<u64>,
+        offset: u64,
+    },
+    /// Literal rows (SELECT without FROM).
+    Values {
+        schema: SchemaRef,
+        rows: Vec<Vec<BoundExpr>>,
+    },
+}
+
+impl LogicalPlan {
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            LogicalPlan::Scan { output_schema, .. } => output_schema.clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { output_schema, .. } => output_schema.clone(),
+            LogicalPlan::Join { output_schema, .. } => output_schema.clone(),
+            LogicalPlan::Aggregate { output_schema, .. } => output_schema.clone(),
+            LogicalPlan::Distinct { input } => input.schema(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Values { schema, .. } => schema.clone(),
+        }
+    }
+
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Build the output schema of a join.
+    pub fn join_schema(left: &Schema, right: &Schema, join_type: JoinType) -> Schema {
+        // Outer joins make the null-extended side nullable.
+        let mut fields: Vec<Field> = left
+            .fields()
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                if join_type == JoinType::Right {
+                    f.nullable = true;
+                }
+                f
+            })
+            .collect();
+        fields.extend(right.fields().iter().map(|f| {
+            let mut f = f.clone();
+            if join_type == JoinType::Left {
+                f.nullable = true;
+            }
+            f
+        }));
+        Schema::new(fields)
+    }
+
+    /// Indented EXPLAIN rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        match self {
+            LogicalPlan::Scan {
+                database,
+                table,
+                projection,
+                filters,
+                ..
+            } => {
+                let _ = write!(out, "Scan: {database}.{table} cols={projection:?}");
+                if !filters.is_empty() {
+                    let preds: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                    let _ = write!(out, " filters=[{}]", preds.join(", "));
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                let _ = writeln!(out, "Filter: {predicate}");
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                let _ = writeln!(out, "Project: {}", items.join(", "));
+            }
+            LogicalPlan::Join {
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect();
+                let _ = write!(out, "Join({join_type:?}): on [{}]", keys.join(", "));
+                if let Some(r) = residual {
+                    let _ = write!(out, " residual={r}");
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Aggregate {
+                group_exprs, aggs, ..
+            } => {
+                let groups: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs.iter().map(|e| e.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "Aggregate: group=[{}] aggs=[{}]",
+                    groups.join(", "),
+                    a.join(", ")
+                );
+            }
+            LogicalPlan::Distinct { .. } => {
+                let _ = writeln!(out, "Distinct");
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{e}{}", if *asc { "" } else { " DESC" }))
+                    .collect();
+                let _ = writeln!(out, "Sort: {}", ks.join(", "));
+            }
+            LogicalPlan::Limit { limit, offset, .. } => {
+                let _ = writeln!(out, "Limit: limit={limit:?} offset={offset}");
+            }
+            LogicalPlan::Values { rows, .. } => {
+                let _ = writeln!(out, "Values: {} row(s)", rows.len());
+            }
+        }
+        for child in self.children() {
+            child.explain_into(indent + 1, out);
+        }
+    }
+
+    /// Rough output-cardinality estimate used by the optimizer and the
+    /// simulator's cost model.
+    pub fn estimated_rows(&self) -> f64 {
+        match self {
+            LogicalPlan::Scan { stats, filters, .. } => {
+                let base = stats.row_count as f64;
+                // Apply a default selectivity per conjunct.
+                base * 0.25f64.powi(filters.len() as i32).max(1e-6)
+            }
+            LogicalPlan::Filter { input, .. } => input.estimated_rows() * 0.25,
+            LogicalPlan::Project { input, .. } => input.estimated_rows(),
+            LogicalPlan::Join { left, right, .. } => {
+                // Assume a PK-FK equi-join: output ≈ larger side.
+                left.estimated_rows().max(right.estimated_rows())
+            }
+            LogicalPlan::Aggregate {
+                input, group_exprs, ..
+            } => {
+                if group_exprs.is_empty() {
+                    1.0
+                } else {
+                    (input.estimated_rows() * 0.1).max(1.0)
+                }
+            }
+            LogicalPlan::Distinct { input } => input.estimated_rows() * 0.5,
+            LogicalPlan::Sort { input, .. } => input.estimated_rows(),
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                let n = input.estimated_rows();
+                match limit {
+                    Some(l) => n.min((*l + *offset) as f64),
+                    None => n,
+                }
+            }
+            LogicalPlan::Values { rows, .. } => rows.len() as f64,
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+/// Helper: schema of projected expressions with display names.
+pub fn schema_from_exprs(exprs: &[BoundExpr], names: &[String]) -> SchemaRef {
+    debug_assert_eq!(exprs.len(), names.len());
+    Arc::new(Schema::new(
+        exprs
+            .iter()
+            .zip(names)
+            .map(|(e, n)| Field::nullable(n.clone(), e.data_type()))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::{DataType, Value};
+
+    fn scan(rows: u64) -> LogicalPlan {
+        let schema = Arc::new(Schema::new(vec![
+            Field::required("a", DataType::Int64),
+            Field::required("b", DataType::Utf8),
+        ]));
+        LogicalPlan::Scan {
+            database: "db".into(),
+            table: "t".into(),
+            table_schema: schema.clone(),
+            stats: TableStats {
+                row_count: rows,
+                total_bytes: rows * 24,
+                columns: vec![],
+            },
+            paths: vec!["db/t/0.pxl".into()],
+            projection: vec![0, 1],
+            filters: vec![],
+            output_schema: schema,
+        }
+    }
+
+    #[test]
+    fn schema_propagates_through_unary_nodes() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(scan(10)),
+            }),
+            limit: Some(5),
+            offset: 0,
+        };
+        assert_eq!(plan.schema().len(), 2);
+    }
+
+    #[test]
+    fn join_schema_nullability() {
+        let l = Schema::new(vec![Field::required("a", DataType::Int64)]);
+        let r = Schema::new(vec![Field::required("b", DataType::Int64)]);
+        let s = LogicalPlan::join_schema(&l, &r, JoinType::Left);
+        assert!(!s.field(0).nullable);
+        assert!(s.field(1).nullable, "left join null-extends the right side");
+        let s = LogicalPlan::join_schema(&l, &r, JoinType::Right);
+        assert!(s.field(0).nullable);
+        assert!(!s.field(1).nullable);
+        let s = LogicalPlan::join_schema(&l, &r, JoinType::Inner);
+        assert!(!s.field(0).nullable && !s.field(1).nullable);
+    }
+
+    #[test]
+    fn cardinality_estimates_shrink_with_filters() {
+        let base = scan(1000);
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(scan(1000)),
+            predicate: BoundExpr::literal(Value::Boolean(true)),
+        };
+        assert!(filtered.estimated_rows() < base.estimated_rows());
+        let limited = LogicalPlan::Limit {
+            input: Box::new(scan(1000)),
+            limit: Some(10),
+            offset: 0,
+        };
+        assert_eq!(limited.estimated_rows(), 10.0);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(scan(10)),
+            limit: Some(1),
+            offset: 0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit"));
+        assert!(text.contains("  Scan: db.t"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Plan splitting for adaptive cloud-function acceleration (paper §3.1).
+//!
+//! When the VM cluster is overloaded and CF acceleration is enabled,
+//! Pixels-Turbo pushes the *expensive* operators of a query — table scans,
+//! joins, and aggregations — into a sub-plan executed by ephemeral CF
+//! workers. The sub-plan's result is materialized to object storage and the
+//! top-level plan (the cheap finishing operators: sort, limit, final
+//! projection, HAVING filters) reads it back as a materialized view. The
+//! split keeps acceleration transparent: the query result is identical
+//! either way.
+
+use crate::physical::PhysicalPlan;
+
+/// The result of splitting a plan for CF execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPlan {
+    /// Expensive subtree to run in cloud functions. Its result is written to
+    /// `mv_path`.
+    pub sub_plan: PhysicalPlan,
+    /// Remaining top-level plan; reads the materialized view at `mv_path`.
+    pub top_plan: PhysicalPlan,
+    /// Object-store path of the materialized intermediate result.
+    pub mv_path: String,
+}
+
+/// Split `plan` at the topmost expensive operator (scan, join, aggregate).
+///
+/// Returns `None` for plans with no expensive operator (e.g. `SELECT 1`),
+/// which are always executed directly.
+pub fn split_for_acceleration(plan: &PhysicalPlan, mv_path: &str) -> Option<SplitPlan> {
+    let (top, sub) = cut(plan, mv_path);
+    sub.map(|sub_plan| SplitPlan {
+        sub_plan,
+        top_plan: top,
+        mv_path: mv_path.to_string(),
+    })
+}
+
+/// Whether this node is one of the paper's "expensive operators".
+fn is_expensive(plan: &PhysicalPlan) -> bool {
+    matches!(
+        plan,
+        PhysicalPlan::Scan { .. }
+            | PhysicalPlan::HashJoin { .. }
+            | PhysicalPlan::HashAggregate { .. }
+    )
+}
+
+fn cut(plan: &PhysicalPlan, mv_path: &str) -> (PhysicalPlan, Option<PhysicalPlan>) {
+    if is_expensive(plan) {
+        let placeholder = PhysicalPlan::MaterializedScan {
+            path: mv_path.to_string(),
+            schema: plan.schema(),
+        };
+        return (placeholder, Some(plan.clone()));
+    }
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::Filter {
+                    input: Box::new(top),
+                    predicate: predicate.clone(),
+                },
+                sub,
+            )
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            output_schema,
+        } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::Project {
+                    input: Box::new(top),
+                    exprs: exprs.clone(),
+                    output_schema: output_schema.clone(),
+                },
+                sub,
+            )
+        }
+        PhysicalPlan::Distinct { input } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::Distinct {
+                    input: Box::new(top),
+                },
+                sub,
+            )
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::Sort {
+                    input: Box::new(top),
+                    keys: keys.clone(),
+                },
+                sub,
+            )
+        }
+        PhysicalPlan::TopK { input, keys, fetch } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::TopK {
+                    input: Box::new(top),
+                    keys: keys.clone(),
+                    fetch: *fetch,
+                },
+                sub,
+            )
+        }
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let (top, sub) = cut(input, mv_path);
+            (
+                PhysicalPlan::Limit {
+                    input: Box::new(top),
+                    limit: *limit,
+                    offset: *offset,
+                },
+                sub,
+            )
+        }
+        // No expensive operator below: nothing to push down.
+        leaf => (leaf.clone(), None),
+    }
+}

@@ -1,0 +1,50 @@
+//! The interactive Pixels-Rover REPL.
+//!
+//! ```text
+//! cargo run -p pixels-rover --bin rover [-- --scale 0.01]
+//! ```
+
+use pixels_rover::{demo_session, execute, CommandOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut scale = 0.002f64;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            scale = v;
+        }
+    }
+    eprintln!("loading demo databases (TPC-H scale {scale}, web logs)...");
+    let mut session = match demo_session(scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bootstrap: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("Welcome to PixelsDB. Type 'help' for commands, 'quit' to leave.");
+    println!("Analyzing database 'tpch'. Try: ask how many orders per order status\n");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("pixels> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match execute(&mut session, &line) {
+            Ok(CommandOutcome::Output(text)) => print!("{text}"),
+            Ok(CommandOutcome::Quit) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye.");
+}

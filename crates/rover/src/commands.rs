@@ -1,0 +1,244 @@
+//! The Rover REPL command language and dispatcher.
+//!
+//! Commands mirror the web UI's affordances:
+//!
+//! ```text
+//! \schema                      show the schema sidebar
+//! \use <db>                    select the database to analyze
+//! ask <question>               translate a question to SQL (new block)
+//! sql <statement>              add a hand-written SQL block
+//! edit <n> <sql>               edit block n
+//! submit <n> [level] [limit N] submit block n (level: immediate|relaxed|best-effort)
+//! status                       the query-result area (collapsed)
+//! results                      the query-result area (expanded)
+//! wait <query-id>              wait for a query and show its block
+//! help                         this text
+//! quit                         leave
+//! ```
+
+use crate::session::Session;
+use pixels_common::{Error, QueryId, Result};
+use pixels_server::ServiceLevel;
+
+/// Outcome of one REPL command.
+pub enum CommandOutcome {
+    /// Printable output; the REPL continues.
+    Output(String),
+    /// Leave the REPL.
+    Quit,
+}
+
+/// Execute one command line against the session.
+pub fn execute(session: &mut Session, line: &str) -> Result<CommandOutcome> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(CommandOutcome::Output(String::new()));
+    }
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let out = match cmd.to_ascii_lowercase().as_str() {
+        "quit" | "exit" | "\\q" => return Ok(CommandOutcome::Quit),
+        "help" | "\\?" => HELP.to_string(),
+        "\\schema" | "\\tables" => session.schema_sidebar()?,
+        "\\use" => session.use_database(rest)?,
+        "login" => {
+            let (user, password) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| Error::Invalid("usage: login <user> <password>".into()))?;
+            session.login(user.trim(), password.trim())?
+        }
+        "ask" => {
+            if rest.is_empty() {
+                return Err(Error::Invalid("usage: ask <question>".into()));
+            }
+            session.ask(rest)?
+        }
+        "sql" => {
+            if rest.is_empty() {
+                return Err(Error::Invalid("usage: sql <statement>".into()));
+            }
+            session.sql(rest)
+        }
+        "edit" => {
+            let (idx, sql) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| Error::Invalid("usage: edit <n> <sql>".into()))?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| Error::Invalid(format!("bad block index: {idx}")))?;
+            session.edit(idx, sql.trim())?
+        }
+        "submit" => {
+            let mut parts = rest.split_whitespace().peekable();
+            let idx: usize = parts
+                .next()
+                .ok_or_else(|| Error::Invalid("usage: submit <n> [level] [limit N]".into()))?
+                .parse()
+                .map_err(|_| Error::Invalid("bad block index".into()))?;
+            let mut level = ServiceLevel::Immediate;
+            let mut limit = None;
+            while let Some(tok) = parts.next() {
+                if tok.eq_ignore_ascii_case("limit") {
+                    let n = parts
+                        .next()
+                        .ok_or_else(|| Error::Invalid("limit requires a number".into()))?;
+                    limit = Some(
+                        n.parse()
+                            .map_err(|_| Error::Invalid(format!("bad limit: {n}")))?,
+                    );
+                } else {
+                    level = ServiceLevel::parse(tok)?;
+                }
+            }
+            let (form, id) = session.submit(idx, level, limit)?;
+            format!("{form}submitted as {id}\n")
+        }
+        "status" => session.status_area(false),
+        "results" => session.status_area(true),
+        "wait" => {
+            let id = parse_query_id(rest)?;
+            session.wait_and_render(id)?
+        }
+        other => {
+            return Err(Error::Invalid(format!(
+                "unknown command: {other} (try 'help')"
+            )))
+        }
+    };
+    Ok(CommandOutcome::Output(out))
+}
+
+fn parse_query_id(s: &str) -> Result<QueryId> {
+    let digits = s.trim().trim_start_matches("q-");
+    digits
+        .parse::<u64>()
+        .map(QueryId)
+        .map_err(|_| Error::Invalid(format!("bad query id: {s}")))
+}
+
+/// Run a scripted sequence of commands, collecting all output (used by the
+/// examples and tests; errors are rendered inline like the REPL would).
+pub fn run_script(session: &mut Session, lines: &[&str]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&format!("pixels> {line}\n"));
+        match execute(session, line) {
+            Ok(CommandOutcome::Output(text)) => out.push_str(&text),
+            Ok(CommandOutcome::Quit) => break,
+            Err(e) => out.push_str(&format!("error: {e}\n")),
+        }
+    }
+    out
+}
+
+const HELP: &str = "\
+Pixels-Rover commands:
+  login <user> <password>       authenticate (demo users: alice/wonderland, bob/builder)
+  \\schema                       show the schema browser
+  \\use <db>                     select a database
+  ask <question>                translate a question to SQL
+  sql <statement>               add a hand-written SQL block
+  edit <n> <sql>                edit query block n
+  submit <n> [level] [limit N]  submit block n (immediate|relaxed|best-effort)
+  status | results              show the query-result area
+  wait <query-id>               wait for a query to finish
+  quit                          exit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::Catalog;
+    use pixels_nl2sql::CodesService;
+    use pixels_server::{PriceSchedule, QueryServer};
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_turbo::{EngineConfig, TurboEngine};
+    use pixels_workload::{load_tpch, TpchConfig};
+    use std::sync::Arc;
+
+    fn session() -> Session {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TurboEngine::new(
+            catalog.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        ));
+        Session::new(
+            Arc::new(QueryServer::new(engine, PriceSchedule::default())),
+            Arc::new(CodesService::new(catalog, store)),
+            "tpch",
+        )
+    }
+
+    #[test]
+    fn scripted_session() {
+        let mut s = session();
+        let out = run_script(
+            &mut s,
+            &[
+                "\\schema",
+                "ask how many customers are there",
+                "submit 0 relaxed limit 5",
+                "wait q-0",
+                "status",
+            ],
+        );
+        assert!(out.contains("Schemas"));
+        assert!(out.contains("COUNT(*)"));
+        assert!(out.contains("submitted as q-0"));
+        assert!(out.contains("finished"));
+        assert!(out.contains("[RLX]"));
+    }
+
+    #[test]
+    fn unknown_command_reports_error() {
+        let mut s = session();
+        let out = run_script(&mut s, &["frobnicate"]);
+        assert!(out.contains("error: invalid error: unknown command"));
+    }
+
+    #[test]
+    fn submit_levels_parse() {
+        let mut s = session();
+        let out = run_script(
+            &mut s,
+            &["sql SELECT COUNT(*) FROM region", "submit 0 best-effort"],
+        );
+        assert!(out.contains("best-of-effort"), "{out}");
+    }
+
+    #[test]
+    fn quit_stops_script() {
+        let mut s = session();
+        let out = run_script(&mut s, &["quit", "\\schema"]);
+        assert!(!out.contains("Schemas"));
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let mut s = session();
+        for bad in [
+            "edit x SELECT 1",
+            "submit notanum",
+            "wait q-zzz",
+            "ask",
+            "sql",
+        ] {
+            let out = run_script(&mut s, &[bad]);
+            assert!(out.contains("error:"), "{bad} should error: {out}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `pixels-rover` — the user interface of PixelsDB (paper §2 component 1,
+//! demonstrated in §4).
+//!
+//! Rover's backend connects to the text-to-SQL service and the serverless
+//! query engine. The user logs in, browses the schemas of authorized
+//! databases, types analytic questions that are translated to editable SQL
+//! blocks, submits them with a service level and result-size limit, and
+//! watches color-coded status/result blocks. This crate provides the
+//! [`session::Session`] state machine, the [`commands`] REPL language, the
+//! [`render`] routines, and the `rover` binary.
+
+pub mod commands;
+pub mod render;
+pub mod session;
+
+pub use commands::{execute, run_script, CommandOutcome};
+pub use session::{Session, SqlBlock};
+
+use pixels_catalog::Catalog;
+use pixels_common::Result;
+use pixels_nl2sql::CodesService;
+use pixels_server::{AuthService, PriceSchedule, QueryServer};
+use pixels_storage::InMemoryObjectStore;
+use pixels_turbo::{EngineConfig, TurboEngine};
+use pixels_workload::{load_tpch, load_weblog, TpchConfig, WeblogConfig};
+use std::sync::Arc;
+
+/// Bootstrap a complete demo deployment (catalog + object store + engine +
+/// query server + text-to-SQL service) loaded with the TPC-H subset and the
+/// web-log dataset, and open a session on `tpch`.
+pub fn demo_session(scale: f64) -> Result<Session> {
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale,
+            seed: 42,
+            row_group_rows: 4096,
+            files_per_table: 1,
+        },
+    )?;
+    load_weblog(
+        &catalog,
+        store.as_ref(),
+        "logs",
+        &WeblogConfig {
+            rows: (scale * 2_000_000.0) as usize + 1000,
+            seed: 7,
+            row_group_rows: 4096,
+        },
+    )?;
+    let engine = Arc::new(TurboEngine::new(
+        catalog.clone(),
+        store.clone(),
+        EngineConfig::default(),
+    ));
+    let server = Arc::new(QueryServer::new(engine, PriceSchedule::default()));
+    let nl = Arc::new(CodesService::new(catalog, store));
+    // Demo users (paper §4 logs in before analyzing): alice may analyze
+    // everything, bob only the web logs.
+    let auth = Arc::new(AuthService::new());
+    auth.add_user("alice", "wonderland", None);
+    auth.add_user("bob", "builder", Some(&["logs"]));
+    Ok(Session::new(server, nl, "tpch").with_auth(auth))
+}

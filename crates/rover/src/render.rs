@@ -1,0 +1,206 @@
+//! Text rendering of the Pixels-Rover interface (paper Figure 2).
+//!
+//! The web demo uses a schema sidebar, a translator pane with editable SQL
+//! code blocks, and a query-result area whose blocks are color-coded by
+//! service level. This terminal rendition keeps the same structure with
+//! textual level tags instead of background colors.
+
+use pixels_catalog::TableDef;
+use pixels_common::bytesize::{format_bytes, format_dollars};
+use pixels_server::{QueryInfo, QueryStatus, ServiceLevel};
+
+/// The sidebar tag for a service level (stand-in for Figure 2's block
+/// background colors).
+pub fn level_tag(level: ServiceLevel) -> &'static str {
+    match level {
+        ServiceLevel::Immediate => "[IMM]",
+        ServiceLevel::Relaxed => "[RLX]",
+        ServiceLevel::BestEffort => "[BST]",
+    }
+}
+
+/// Render the schema browser sidebar: databases → tables → columns.
+pub fn render_schema_sidebar(database: &str, tables: &[TableDef]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Schemas\n└─ {database}\n"));
+    for (ti, t) in tables.iter().enumerate() {
+        let t_branch = if ti + 1 == tables.len() {
+            "└─"
+        } else {
+            "├─"
+        };
+        out.push_str(&format!("   {t_branch} {}", t.name));
+        if let Some(c) = &t.comment {
+            out.push_str(&format!("  — {c}"));
+        }
+        out.push('\n');
+        let pad = if ti + 1 == tables.len() {
+            "      "
+        } else {
+            "   │  "
+        };
+        for (ci, f) in t.schema.fields().iter().enumerate() {
+            let c_branch = if ci + 1 == t.schema.len() {
+                "└─"
+            } else {
+                "├─"
+            };
+            out.push_str(&format!(
+                "{pad}{c_branch} {} : {}{}\n",
+                f.name,
+                f.data_type,
+                if f.nullable { " (nullable)" } else { "" }
+            ));
+        }
+    }
+    out
+}
+
+/// Render a translated-SQL code block in the translator pane.
+pub fn render_sql_block(index: usize, question: Option<&str>, sql: &str) -> String {
+    let mut out = String::new();
+    if let Some(q) = question {
+        out.push_str(&format!("you> {q}\n"));
+    }
+    out.push_str(&format!(
+        "┌─ query #{index} ─────────────── [edit] [submit]\n"
+    ));
+    for line in sql.lines() {
+        out.push_str(&format!("│ {line}\n"));
+    }
+    out.push_str("└──────────────────────────────\n");
+    out
+}
+
+/// Render one status-and-result block in the Query Result area.
+pub fn render_status_block(info: &QueryInfo, expanded: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} {:<10} {}\n",
+        level_tag(info.submission.level),
+        info.id,
+        info.status.name(),
+        truncate(&info.submission.sql, 60),
+    ));
+    if !expanded {
+        return out;
+    }
+    match info.status {
+        QueryStatus::Finished => {
+            out.push_str(&format!(
+                "  pending: {:.3}s   execution: {:.3}s   scanned: {}   cost: {}{}\n",
+                info.pending.as_secs_f64(),
+                info.execution.as_secs_f64(),
+                format_bytes(info.scan_bytes),
+                format_dollars(info.price),
+                if info.used_cf {
+                    "   (CF accelerated)"
+                } else {
+                    ""
+                },
+            ));
+            if let Some(result) = &info.result {
+                for line in result.pretty_format().lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        QueryStatus::Failed => {
+            out.push_str(&format!(
+                "  error: {}\n",
+                info.error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        _ => {}
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    let s: String = s.chars().take(max).collect();
+    if s.len() < max {
+        s
+    } else {
+        format!("{s}…")
+    }
+}
+
+/// The submission form shown before a query is sent (paper Figure 3).
+pub fn render_submission_form(
+    sql: &str,
+    level: ServiceLevel,
+    price_per_tb: f64,
+    limit: Option<usize>,
+) -> String {
+    format!(
+        "╔═ submit query ═══════════════════════╗\n\
+         ║ SQL: {}\n\
+         ║ service level : {:<16} ║\n\
+         ║ price         : ${:.2}/TB scanned{}║\n\
+         ║ result limit  : {:<16} ║\n\
+         ╚══════════════════════════════ [send] ╝\n",
+        truncate(sql, 34),
+        level.name(),
+        price_per_tb,
+        "      ",
+        limit.map_or("none".to_string(), |l| l.to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::TableDef;
+    use pixels_common::{DataType, Field, Schema, TableId};
+    use std::sync::Arc;
+
+    #[test]
+    fn sidebar_shows_hierarchy() {
+        let t = TableDef {
+            id: TableId(0),
+            database: "tpch".into(),
+            name: "orders".into(),
+            schema: Arc::new(Schema::new(vec![
+                Field::required("o_orderkey", DataType::Int64),
+                Field::nullable("o_comment", DataType::Utf8),
+            ])),
+            paths: vec![],
+            stats: Default::default(),
+            primary_key: None,
+            foreign_keys: vec![],
+            comment: Some("customer orders".into()),
+        };
+        let s = render_schema_sidebar("tpch", &[t]);
+        assert!(s.contains("└─ tpch"));
+        assert!(s.contains("orders"));
+        assert!(s.contains("o_orderkey : BIGINT"));
+        assert!(s.contains("o_comment : VARCHAR (nullable)"));
+        assert!(s.contains("customer orders"));
+    }
+
+    #[test]
+    fn sql_block_has_edit_and_submit_affordances() {
+        let s = render_sql_block(3, Some("how many orders"), "SELECT COUNT(*)\nFROM orders");
+        assert!(s.contains("you> how many orders"));
+        assert!(s.contains("query #3"));
+        assert!(s.contains("[edit] [submit]"));
+        assert!(s.contains("│ FROM orders"));
+    }
+
+    #[test]
+    fn level_tags_are_distinct() {
+        let tags: std::collections::BTreeSet<&str> =
+            ServiceLevel::ALL.iter().map(|&l| level_tag(l)).collect();
+        assert_eq!(tags.len(), 3);
+    }
+
+    #[test]
+    fn submission_form_shows_price() {
+        let s = render_submission_form("SELECT 1", ServiceLevel::Relaxed, 1.0, Some(100));
+        assert!(s.contains("relaxed"));
+        assert!(s.contains("$1.00/TB"));
+        assert!(s.contains("100"));
+    }
+}

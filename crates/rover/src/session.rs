@@ -1,0 +1,304 @@
+//! A Pixels-Rover user session: the interaction flow of paper §4.
+//!
+//! The user browses schemas, types analytic questions (translated to SQL in
+//! a single turn), edits the generated SQL, submits it with a service level
+//! and result-size limit, and watches status/result blocks.
+
+use crate::render;
+use pixels_common::{Error, QueryId, Result};
+use pixels_nl2sql::{CodesService, TextToSqlService};
+use pixels_server::{
+    AuthService, PriceSchedule, QueryServer, QuerySubmission, ServiceLevel, SessionToken,
+};
+use std::sync::Arc;
+
+/// One SQL code block in the translator pane.
+#[derive(Debug, Clone)]
+pub struct SqlBlock {
+    pub question: Option<String>,
+    pub sql: String,
+    /// Queries submitted from this block.
+    pub submitted: Vec<QueryId>,
+}
+
+/// An interactive session.
+pub struct Session {
+    server: Arc<QueryServer>,
+    nl: Arc<CodesService>,
+    prices: PriceSchedule,
+    /// Authentication service; when present, the user must `login` before
+    /// browsing or querying, and sees only authorized databases (paper §4).
+    auth: Option<Arc<AuthService>>,
+    token: Option<SessionToken>,
+    pub database: String,
+    pub blocks: Vec<SqlBlock>,
+}
+
+impl Session {
+    pub fn new(
+        server: Arc<QueryServer>,
+        nl: Arc<CodesService>,
+        database: impl Into<String>,
+    ) -> Self {
+        Session {
+            server,
+            nl,
+            prices: PriceSchedule::default(),
+            auth: None,
+            token: None,
+            database: database.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Require authentication: the session starts logged out.
+    pub fn with_auth(mut self, auth: Arc<AuthService>) -> Self {
+        self.auth = Some(auth);
+        self
+    }
+
+    /// Log in (paper §4: "After logging in through authentication ...").
+    pub fn login(&mut self, user: &str, password: &str) -> Result<String> {
+        let auth = self
+            .auth
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("this deployment has no authentication".into()))?;
+        let token = auth.login(user, password)?;
+        self.token = Some(token);
+        // Land the user on an authorized database.
+        if !auth.is_authorized(token, &self.database) {
+            let dbs =
+                auth.filter_databases(token, &self.server.engine().catalog().database_names());
+            if let Some(first) = dbs.first() {
+                self.database = first.clone();
+            }
+        }
+        Ok(format!(
+            "welcome, {user}. analyzing database '{}'\n",
+            self.database
+        ))
+    }
+
+    /// Fail unless the session may act on `db`.
+    fn check_access(&self, db: &str) -> Result<()> {
+        match (&self.auth, self.token) {
+            (None, _) => Ok(()),
+            (Some(_), None) => Err(Error::Invalid("please login first".into())),
+            (Some(auth), Some(token)) => auth.authorize(token, db),
+        }
+    }
+
+    pub fn server(&self) -> &Arc<QueryServer> {
+        &self.server
+    }
+
+    /// Select the database to analyze (the drop-down of Figure 2).
+    pub fn use_database(&mut self, db: &str) -> Result<String> {
+        let catalog = self.server.engine().catalog();
+        if !catalog.has_database(db) {
+            return Err(Error::NotFound(format!("database not found: {db}")));
+        }
+        self.check_access(db)?;
+        self.database = db.to_string();
+        Ok(format!("now analyzing database '{db}'\n"))
+    }
+
+    /// Render the schema browser sidebar (authorized databases only).
+    pub fn schema_sidebar(&self) -> Result<String> {
+        self.check_access(&self.database)?;
+        let tables = self.server.engine().catalog().list_tables(&self.database)?;
+        Ok(render::render_schema_sidebar(&self.database, &tables))
+    }
+
+    /// Ask a natural-language question; the translation appears as a new
+    /// editable code block.
+    pub fn ask(&mut self, question: &str) -> Result<String> {
+        self.check_access(&self.database)?;
+        let t = self.nl.translate(&self.database, question)?;
+        self.blocks.push(SqlBlock {
+            question: Some(question.to_string()),
+            sql: t.sql.clone(),
+            submitted: Vec::new(),
+        });
+        let idx = self.blocks.len() - 1;
+        let mut out = render::render_sql_block(idx, Some(question), &t.sql);
+        out.push_str(&format!("(confidence {:.0}%)\n", t.confidence * 100.0));
+        Ok(out)
+    }
+
+    /// Add a hand-written SQL block.
+    pub fn sql(&mut self, sql: &str) -> String {
+        self.blocks.push(SqlBlock {
+            question: None,
+            sql: sql.to_string(),
+            submitted: Vec::new(),
+        });
+        render::render_sql_block(self.blocks.len() - 1, None, sql)
+    }
+
+    /// Edit block `index` (the ✎ affordance).
+    pub fn edit(&mut self, index: usize, new_sql: &str) -> Result<String> {
+        let block = self
+            .blocks
+            .get_mut(index)
+            .ok_or_else(|| Error::NotFound(format!("no query block #{index}")))?;
+        block.sql = new_sql.to_string();
+        Ok(render::render_sql_block(
+            index,
+            block.question.as_deref(),
+            new_sql,
+        ))
+    }
+
+    /// Submit block `index` with a service level and result limit (the
+    /// Figure 3 form). Returns the rendered form plus the query id.
+    pub fn submit(
+        &mut self,
+        index: usize,
+        level: ServiceLevel,
+        result_limit: Option<usize>,
+    ) -> Result<(String, QueryId)> {
+        self.check_access(&self.database)?;
+        let block = self
+            .blocks
+            .get_mut(index)
+            .ok_or_else(|| Error::NotFound(format!("no query block #{index}")))?;
+        let form = render::render_submission_form(
+            &block.sql,
+            level,
+            self.prices.per_tb(level),
+            result_limit,
+        );
+        let id = self.server.submit(QuerySubmission {
+            database: self.database.clone(),
+            sql: block.sql.clone(),
+            level,
+            result_limit,
+        });
+        block.submitted.push(id);
+        Ok((form, id))
+    }
+
+    /// Render the Query Result area (all blocks, newest last).
+    pub fn status_area(&self, expanded: bool) -> String {
+        let mut out = String::from("Query Result\n");
+        for info in self.server.list() {
+            out.push_str(&render::render_status_block(&info, expanded));
+        }
+        out
+    }
+
+    /// Block until a query finishes, then render its expanded block.
+    pub fn wait_and_render(&self, id: QueryId) -> Result<String> {
+        let info = self.server.wait(id)?;
+        Ok(render::render_status_block(&info, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::Catalog;
+    use pixels_server::QueryStatus;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_turbo::{EngineConfig, TurboEngine};
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    fn session() -> Session {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TurboEngine::new(
+            catalog.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        ));
+        let server = Arc::new(QueryServer::new(engine, PriceSchedule::default()));
+        let nl = Arc::new(CodesService::new(catalog, store));
+        Session::new(server, nl, "tpch")
+    }
+
+    #[test]
+    fn full_interaction_flow() {
+        let mut s = session();
+        // Browse.
+        let sidebar = s.schema_sidebar().unwrap();
+        assert!(sidebar.contains("lineitem"));
+        // Ask.
+        let out = s.ask("how many orders are there").unwrap();
+        assert!(out.contains("COUNT(*)"), "{out}");
+        // Edit.
+        let out = s.edit(0, "SELECT COUNT(*) AS n FROM orders").unwrap();
+        assert!(out.contains("AS n"));
+        // Submit with level + limit.
+        let (form, id) = s.submit(0, ServiceLevel::Relaxed, Some(10)).unwrap();
+        assert!(form.contains("relaxed"));
+        let rendered = s.wait_and_render(id).unwrap();
+        assert!(rendered.contains("finished"), "{rendered}");
+        assert!(rendered.contains("[RLX]"));
+        assert!(rendered.contains("| n "), "{rendered}");
+        // Status area lists it.
+        let area = s.status_area(false);
+        assert!(area.contains("q-0"));
+    }
+
+    #[test]
+    fn failed_query_shows_error_in_block() {
+        let mut s = session();
+        s.sql("SELECT nope FROM orders");
+        let (_, id) = s.submit(0, ServiceLevel::Immediate, None).unwrap();
+        let info = s.server().wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Failed);
+        let rendered = s.wait_and_render(id).unwrap();
+        assert!(rendered.contains("error:"), "{rendered}");
+    }
+
+    #[test]
+    fn auth_gates_the_session() {
+        use pixels_server::AuthService;
+        let auth = Arc::new(AuthService::new());
+        auth.add_user("alice", "wonderland", None);
+        auth.add_user("bob", "builder", Some(&["logs"]));
+        let mut s = session().with_auth(auth);
+        // Everything is locked before login.
+        assert!(s.schema_sidebar().is_err());
+        assert!(s.ask("how many orders").is_err());
+        assert!(s.login("alice", "nope").is_err());
+        // Alice sees everything.
+        s.login("alice", "wonderland").unwrap();
+        assert!(s.schema_sidebar().is_ok());
+        assert!(s.use_database("tpch").is_ok());
+        // Bob is scoped to logs; tpch isn't even loaded here, so his login
+        // keeps him off tpch.
+        let mut s2 = session().with_auth({
+            let a = Arc::new(AuthService::new());
+            a.add_user("bob", "builder", Some(&["logs"]));
+            a
+        });
+        s2.login("bob", "builder").unwrap();
+        assert!(s2.use_database("tpch").is_err(), "bob is not authorized");
+    }
+
+    #[test]
+    fn use_database_validates() {
+        let mut s = session();
+        assert!(s.use_database("nope").is_err());
+        assert!(s.use_database("tpch").is_ok());
+    }
+
+    #[test]
+    fn edit_out_of_range() {
+        let mut s = session();
+        assert!(s.edit(5, "SELECT 1").is_err());
+        assert!(s.submit(5, ServiceLevel::Immediate, None).is_err());
+    }
+}

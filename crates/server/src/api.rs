@@ -1,0 +1,407 @@
+//! Real-mode query server: the REST-API surface of the paper, in-process.
+//!
+//! Pixels-Rover submits queries here with a service level and result-size
+//! limit (the submission form of Figure 3), polls statuses (pending /
+//! running / finished / failed), and fetches results plus execution
+//! statistics (pending time, execution time, monetary cost). Each query
+//! runs on its own thread against the [`TurboEngine`]; service-level
+//! semantics mirror the simulator: immediate enables CF acceleration,
+//! relaxed waits for a VM slot (bounded by the grace period in spirit —
+//! the engine queue is FIFO), best-of-effort only starts when the engine
+//! is idle.
+
+use crate::pricing::PriceSchedule;
+use crate::service_level::ServiceLevel;
+use parking_lot::Mutex;
+use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
+use pixels_turbo::TurboEngine;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lifecycle of a submitted query (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    Pending,
+    Running,
+    Finished,
+    Failed,
+}
+
+impl QueryStatus {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryStatus::Pending => "pending",
+            QueryStatus::Running => "running",
+            QueryStatus::Finished => "finished",
+            QueryStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What the user submits (the Figure 3 form).
+#[derive(Debug, Clone)]
+pub struct QuerySubmission {
+    pub database: String,
+    pub sql: String,
+    pub level: ServiceLevel,
+    /// Truncate the result to at most this many rows.
+    pub result_limit: Option<usize>,
+}
+
+/// Full state of one query as reported to clients.
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    pub id: QueryId,
+    pub submission: QuerySubmission,
+    pub status: QueryStatus,
+    pub result: Option<RecordBatch>,
+    pub error: Option<String>,
+    pub pending: Duration,
+    pub execution: Duration,
+    /// User-facing bill in dollars.
+    pub price: f64,
+    pub scan_bytes: u64,
+    pub used_cf: bool,
+    /// Monotone submission sequence for UI ordering.
+    pub seq: u64,
+}
+
+impl QueryInfo {
+    /// JSON status payload (the shape Pixels-Rover renders).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::string(self.id.to_string())),
+            ("status".to_string(), Json::string(self.status.name())),
+            (
+                "service_level".to_string(),
+                Json::string(self.submission.level.name()),
+            ),
+            ("sql".to_string(), Json::string(self.submission.sql.clone())),
+            (
+                "pending_ms".to_string(),
+                Json::number(self.pending.as_secs_f64() * 1e3),
+            ),
+            (
+                "execution_ms".to_string(),
+                Json::number(self.execution.as_secs_f64() * 1e3),
+            ),
+            ("cost_dollars".to_string(), Json::number(self.price)),
+            (
+                "scan_bytes".to_string(),
+                Json::number(self.scan_bytes as f64),
+            ),
+            ("used_cf".to_string(), Json::Bool(self.used_cf)),
+        ];
+        if let Some(err) = &self.error {
+            fields.push(("error".to_string(), Json::string(err.clone())));
+        }
+        if let Some(result) = &self.result {
+            fields.push((
+                "result_rows".to_string(),
+                Json::number(result.num_rows() as f64),
+            ));
+        }
+        Json::Object(fields.into_iter().collect())
+    }
+}
+
+/// The in-process query server.
+pub struct QueryServer {
+    engine: Arc<TurboEngine>,
+    prices: PriceSchedule,
+    state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
+    next_id: AtomicU64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl QueryServer {
+    pub fn new(engine: Arc<TurboEngine>, prices: PriceSchedule) -> Self {
+        QueryServer {
+            engine,
+            prices,
+            state: Arc::new(Mutex::new(HashMap::new())),
+            next_id: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn engine(&self) -> &Arc<TurboEngine> {
+        &self.engine
+    }
+
+    /// Submit a query; returns immediately with the query id.
+    pub fn submit(&self, submission: QuerySubmission) -> QueryId {
+        let id = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let info = QueryInfo {
+            id,
+            submission: submission.clone(),
+            status: QueryStatus::Pending,
+            result: None,
+            error: None,
+            pending: Duration::ZERO,
+            execution: Duration::ZERO,
+            price: 0.0,
+            scan_bytes: 0,
+            used_cf: false,
+            seq: id.0,
+        };
+        self.state.lock().insert(id, info);
+
+        let engine = self.engine.clone();
+        let state = self.state.clone();
+        let prices = self.prices;
+        let handle = std::thread::spawn(move || {
+            run_query_thread(engine, state, prices, id, submission);
+        });
+        let mut handles = self.handles.lock();
+        // Reap finished query threads so a long-running server doesn't
+        // accumulate one handle per query forever.
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+        id
+    }
+
+    /// Status/result of one query.
+    pub fn status(&self, id: QueryId) -> Result<QueryInfo> {
+        self.state
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("unknown query: {id}")))
+    }
+
+    /// All queries in submission order (the Query Result pane).
+    pub fn list(&self) -> Vec<QueryInfo> {
+        let mut all: Vec<QueryInfo> = self.state.lock().values().cloned().collect();
+        all.sort_by_key(|q| q.seq);
+        all
+    }
+
+    /// Block until `id` reaches a terminal status (test/demo helper).
+    pub fn wait(&self, id: QueryId) -> Result<QueryInfo> {
+        loop {
+            let info = self.status(id)?;
+            match info.status {
+                QueryStatus::Finished | QueryStatus::Failed => return Ok(info),
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Block until every submitted query is terminal.
+    pub fn wait_all(&self) {
+        let ids: Vec<QueryId> = self.state.lock().keys().copied().collect();
+        for id in ids {
+            let _ = self.wait(id);
+        }
+    }
+}
+
+fn run_query_thread(
+    engine: Arc<TurboEngine>,
+    state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
+    prices: PriceSchedule,
+    id: QueryId,
+    submission: QuerySubmission,
+) {
+    let queued = std::time::Instant::now();
+    // Best-of-effort: hold in the server until the engine is idle.
+    if submission.level == ServiceLevel::BestEffort {
+        while engine.is_busy() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    {
+        let mut s = state.lock();
+        if let Some(info) = s.get_mut(&id) {
+            info.status = QueryStatus::Running;
+            info.pending = queued.elapsed();
+        }
+    }
+    let outcome = engine.execute_sql(
+        &submission.database,
+        &submission.sql,
+        submission.level.cf_enabled(),
+    );
+    let mut s = state.lock();
+    let Some(info) = s.get_mut(&id) else { return };
+    match outcome {
+        Ok(mut out) => {
+            if let Some(limit) = submission.result_limit {
+                if out.batch.num_rows() > limit {
+                    out.batch = out
+                        .batch
+                        .slice(0, limit)
+                        .unwrap_or_else(|_| out.batch.clone());
+                }
+            }
+            info.status = QueryStatus::Finished;
+            info.pending += out.pending;
+            info.execution = out.execution;
+            info.scan_bytes = out.bytes_scanned;
+            info.price = prices.bill(submission.level, out.bytes_scanned);
+            info.used_cf = out.used_cf;
+            info.result = Some(out.batch);
+        }
+        Err(e) => {
+            info.status = QueryStatus::Failed;
+            info.error = Some(e.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::Catalog;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_turbo::EngineConfig;
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    fn server() -> QueryServer {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 3,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TurboEngine::new(
+            catalog,
+            store,
+            EngineConfig {
+                vm_slots: 2,
+                cf_fleet_threads: 2,
+            },
+        ));
+        QueryServer::new(engine, PriceSchedule::default())
+    }
+
+    fn submission(sql: &str, level: ServiceLevel) -> QuerySubmission {
+        QuerySubmission {
+            database: "tpch".into(),
+            sql: sql.into(),
+            level,
+            result_limit: None,
+        }
+    }
+
+    #[test]
+    fn submit_and_finish() {
+        let s = server();
+        let id = s.submit(submission(
+            "SELECT COUNT(*) AS n FROM orders",
+            ServiceLevel::Immediate,
+        ));
+        let info = s.wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Finished);
+        let result = info.result.unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert!(info.price > 0.0);
+        assert!(info.scan_bytes > 0);
+    }
+
+    #[test]
+    fn failed_query_reports_error() {
+        let s = server();
+        let id = s.submit(submission("SELECT zap FROM orders", ServiceLevel::Relaxed));
+        let info = s.wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Failed);
+        assert!(info.error.unwrap().contains("zap"));
+        assert!(info.result.is_none());
+    }
+
+    #[test]
+    fn result_limit_truncates() {
+        let s = server();
+        let id = s.submit(QuerySubmission {
+            database: "tpch".into(),
+            sql: "SELECT o_orderkey FROM orders".into(),
+            level: ServiceLevel::Immediate,
+            result_limit: Some(7),
+        });
+        let info = s.wait(id).unwrap();
+        assert_eq!(info.result.unwrap().num_rows(), 7);
+    }
+
+    #[test]
+    fn pricing_by_level() {
+        let s = server();
+        let sql = "SELECT COUNT(*) FROM lineitem";
+        let a = s
+            .wait(s.submit(submission(sql, ServiceLevel::Immediate)))
+            .unwrap();
+        let b = s
+            .wait(s.submit(submission(sql, ServiceLevel::Relaxed)))
+            .unwrap();
+        let c = s
+            .wait(s.submit(submission(sql, ServiceLevel::BestEffort)))
+            .unwrap();
+        assert_eq!(a.scan_bytes, b.scan_bytes);
+        assert!((b.price / a.price - 0.2).abs() < 1e-6);
+        assert!((c.price / a.price - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn list_preserves_submission_order() {
+        let s = server();
+        let id1 = s.submit(submission("SELECT 1", ServiceLevel::Immediate));
+        let id2 = s.submit(submission("SELECT 2", ServiceLevel::Relaxed));
+        s.wait(id1).unwrap();
+        s.wait(id2).unwrap();
+        let list = s.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].id, id1);
+        assert_eq!(list[1].id, id2);
+    }
+
+    #[test]
+    fn json_status_payload() {
+        let s = server();
+        let id = s.submit(submission(
+            "SELECT COUNT(*) FROM region",
+            ServiceLevel::Immediate,
+        ));
+        let info = s.wait(id).unwrap();
+        let json = info.to_json();
+        assert_eq!(json.get("status").unwrap().as_str(), Some("finished"));
+        assert_eq!(
+            json.get("service_level").unwrap().as_str(),
+            Some("immediate")
+        );
+        assert!(json.get("cost_dollars").unwrap().as_f64().unwrap() >= 0.0);
+        // Roundtrips through the wire format.
+        let text = json.to_compact_string();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn concurrent_submissions_all_complete() {
+        let s = server();
+        let ids: Vec<QueryId> = (0..8)
+            .map(|i| {
+                s.submit(submission(
+                    if i % 2 == 0 {
+                        "SELECT COUNT(*) FROM lineitem"
+                    } else {
+                        "SELECT COUNT(*) FROM customer"
+                    },
+                    ServiceLevel::ALL[i % 3],
+                ))
+            })
+            .collect();
+        for id in ids {
+            let info = s.wait(id).unwrap();
+            assert_eq!(info.status, QueryStatus::Finished, "{:?}", info.error);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Authentication and per-database authorization (paper §4: "After logging
+//! in through authentication, the user can see the main user interface";
+//! §2: the user "views the schema of the authorized databases").
+//!
+//! Demo-grade credential handling: passwords are stored as salted FNV-1a
+//! hashes (no external crypto dependencies are on the allowed list). The
+//! *authorization* model — which databases a session may browse and query —
+//! is the part the paper exercises.
+
+use parking_lot::RwLock;
+use pixels_common::{Error, IdGenerator, Result, SessionId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-user record.
+struct UserRecord {
+    salt: u64,
+    password_hash: u64,
+    /// `None` = authorized for every database.
+    databases: Option<BTreeSet<String>>,
+}
+
+/// A logged-in session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionToken {
+    pub session: SessionId,
+}
+
+/// The authentication/authorization service.
+#[derive(Default)]
+pub struct AuthService {
+    users: RwLock<HashMap<String, UserRecord>>,
+    sessions: RwLock<HashMap<SessionId, String>>,
+    ids: IdGenerator,
+}
+
+/// Salted FNV-1a — deterministic and dependency-free. NOT cryptographic;
+/// this mirrors a demo deployment, not production credential storage.
+fn hash_password(salt: u64, password: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for b in password.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl AuthService {
+    pub fn new() -> Self {
+        AuthService::default()
+    }
+
+    /// Register a user. `databases = None` authorizes every database.
+    pub fn add_user(&self, name: impl Into<String>, password: &str, databases: Option<&[&str]>) {
+        let name = name.into();
+        let salt = 0x9e37_79b9_7f4a_7c15u64 ^ (name.len() as u64);
+        self.users.write().insert(
+            name,
+            UserRecord {
+                salt,
+                password_hash: hash_password(salt, password),
+                databases: databases
+                    .map(|dbs| dbs.iter().map(|d| d.to_ascii_lowercase()).collect()),
+            },
+        );
+    }
+
+    /// Authenticate and open a session.
+    pub fn login(&self, user: &str, password: &str) -> Result<SessionToken> {
+        let users = self.users.read();
+        let record = users
+            .get(user)
+            .ok_or_else(|| Error::Invalid("unknown user or wrong password".into()))?;
+        if hash_password(record.salt, password) != record.password_hash {
+            return Err(Error::Invalid("unknown user or wrong password".into()));
+        }
+        let session = SessionId(self.ids.next());
+        self.sessions.write().insert(session, user.to_string());
+        Ok(SessionToken { session })
+    }
+
+    /// End a session. Idempotent.
+    pub fn logout(&self, token: SessionToken) {
+        self.sessions.write().remove(&token.session);
+    }
+
+    /// The user behind a live session.
+    pub fn user_of(&self, token: SessionToken) -> Result<String> {
+        self.sessions
+            .read()
+            .get(&token.session)
+            .cloned()
+            .ok_or_else(|| Error::Invalid("session expired or invalid".into()))
+    }
+
+    /// Whether the session may access `database`.
+    pub fn is_authorized(&self, token: SessionToken, database: &str) -> bool {
+        let Ok(user) = self.user_of(token) else {
+            return false;
+        };
+        let users = self.users.read();
+        match users.get(&user).and_then(|u| u.databases.as_ref()) {
+            None => true,
+            Some(dbs) => dbs.contains(&database.to_ascii_lowercase()),
+        }
+    }
+
+    /// Authorized subset of `databases` for this session.
+    pub fn filter_databases(&self, token: SessionToken, databases: &[String]) -> Vec<String> {
+        databases
+            .iter()
+            .filter(|d| self.is_authorized(token, d))
+            .cloned()
+            .collect()
+    }
+
+    /// Fail unless the session may access `database`.
+    pub fn authorize(&self, token: SessionToken, database: &str) -> Result<()> {
+        if self.is_authorized(token, database) {
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "not authorized for database {database}"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> AuthService {
+        let a = AuthService::new();
+        a.add_user("alice", "wonderland", None);
+        a.add_user("bob", "builder", Some(&["logs"]));
+        a
+    }
+
+    #[test]
+    fn login_and_session_lifecycle() {
+        let a = auth();
+        let t = a.login("alice", "wonderland").unwrap();
+        assert_eq!(a.user_of(t).unwrap(), "alice");
+        a.logout(t);
+        assert!(a.user_of(t).is_err());
+        a.logout(t); // idempotent
+    }
+
+    #[test]
+    fn wrong_credentials_rejected_uniformly() {
+        let a = auth();
+        let e1 = a.login("alice", "nope").unwrap_err().to_string();
+        let e2 = a.login("mallory", "x").unwrap_err().to_string();
+        // Same message for unknown user and wrong password (no user-probe
+        // oracle).
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn authorization_scopes_databases() {
+        let a = auth();
+        let alice = a.login("alice", "wonderland").unwrap();
+        let bob = a.login("bob", "builder").unwrap();
+        assert!(a.is_authorized(alice, "tpch"));
+        assert!(a.is_authorized(alice, "logs"));
+        assert!(a.is_authorized(bob, "LOGS"), "case-insensitive");
+        assert!(!a.is_authorized(bob, "tpch"));
+        assert!(a.authorize(bob, "tpch").is_err());
+        let dbs = vec!["tpch".to_string(), "logs".to_string()];
+        assert_eq!(a.filter_databases(bob, &dbs), vec!["logs".to_string()]);
+        assert_eq!(a.filter_databases(alice, &dbs).len(), 2);
+    }
+
+    #[test]
+    fn sessions_are_distinct() {
+        let a = auth();
+        let t1 = a.login("alice", "wonderland").unwrap();
+        let t2 = a.login("alice", "wonderland").unwrap();
+        assert_ne!(t1, t2);
+        a.logout(t1);
+        assert!(a.user_of(t2).is_ok(), "other session stays live");
+    }
+
+    #[test]
+    fn invalid_token_is_unauthorized() {
+        let a = auth();
+        let fake = SessionToken {
+            session: SessionId(999),
+        };
+        assert!(!a.is_authorized(fake, "tpch"));
+    }
+}

@@ -1,0 +1,411 @@
+//! A minimal HTTP/1.1 REST facade over the query server — the actual wire
+//! surface the paper describes ("The Query Server provides a REST API to
+//! receive queries from clients (e.g., Pixels-Rover)"; CodeS "exposes a REST
+//! API to Pixels-Rover").
+//!
+//! Endpoints (all JSON):
+//!
+//! | method & path        | body                                            | response |
+//! |----------------------|--------------------------------------------------|---------|
+//! | `POST /translate`    | `{"question": ..., "database": ...}`             | `{"sql": ..., "confidence": ...}` |
+//! | `POST /queries`      | `{"database","sql","level","result_limit"?}`     | `{"id": "q-0"}` |
+//! | `GET /queries/<id>`  | —                                                | status payload (+`rows` when finished) |
+//! | `GET /queries`       | —                                                | `{"queries": [...]}` |
+//! | `GET /health`        | —                                                | `{"status": "ok"}` |
+//!
+//! The implementation is deliberately small (std `TcpListener`, one thread
+//! per connection, `Content-Length` bodies only) — enough to be driven by
+//! curl or any HTTP client, with no dependencies outside the allowed list.
+
+use crate::api::{QueryServer, QuerySubmission};
+use crate::service_level::ServiceLevel;
+use pixels_common::{Error, Json, QueryId, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A translation backend the HTTP facade can proxy (`POST /translate`).
+pub trait TranslateBackend: Send + Sync {
+    fn translate_json(&self, request: &str) -> String;
+}
+
+/// The HTTP server handle; dropping it does not stop the server — call
+/// [`HttpServer::shutdown`].
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start serving on `127.0.0.1:<port>` (port 0 picks a free port).
+    pub fn start(
+        server: Arc<QueryServer>,
+        translator: Option<Arc<dyn TranslateBackend>>,
+        port: u16,
+    ) -> Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        // Polling accept loop so shutdown is prompt.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let server = server.clone();
+                        let translator = translator.clone();
+                        // Reap finished connection threads before spawning,
+                        // so long-running servers don't accumulate handles.
+                        workers.retain(|w: &std::thread::JoinHandle<()>| !w.is_finished());
+                        workers.push(std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &server, translator.as_deref());
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    server: &QueryServer,
+    translator: Option<&dyn TranslateBackend>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(());
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(|v| v.trim().to_string())
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).to_string();
+
+    let (status, payload) = route(&method, &path, &body, server, translator);
+    let mut out = stream;
+    write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    out.flush()
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    server: &QueryServer,
+    translator: Option<&dyn TranslateBackend>,
+) -> (&'static str, String) {
+    let result = (|| -> Result<(&'static str, Json)> {
+        match (method, path) {
+            ("GET", "/health") => Ok(("200 OK", Json::object([("status", Json::string("ok"))]))),
+            ("POST", "/translate") => {
+                let t = translator
+                    .ok_or_else(|| Error::Unsupported("no text-to-SQL service attached".into()))?;
+                let resp = t.translate_json(body);
+                Ok(("200 OK", Json::parse(&resp)?))
+            }
+            ("POST", "/queries") => {
+                let req = Json::parse(body)?;
+                let database = req
+                    .get_or_err("database")?
+                    .as_str()
+                    .ok_or_else(|| Error::Invalid("database must be a string".into()))?
+                    .to_string();
+                let sql = req
+                    .get_or_err("sql")?
+                    .as_str()
+                    .ok_or_else(|| Error::Invalid("sql must be a string".into()))?
+                    .to_string();
+                let level = match req.get("level").and_then(|l| l.as_str()) {
+                    Some(l) => ServiceLevel::parse(l)?,
+                    None => ServiceLevel::Immediate,
+                };
+                let result_limit = req
+                    .get("result_limit")
+                    .and_then(|v| v.as_i64())
+                    .map(|v| v.max(0) as usize);
+                let id = server.submit(QuerySubmission {
+                    database,
+                    sql,
+                    level,
+                    result_limit,
+                });
+                Ok((
+                    "202 Accepted",
+                    Json::object([("id", Json::string(id.to_string()))]),
+                ))
+            }
+            ("GET", "/queries") => {
+                let list = server
+                    .list()
+                    .iter()
+                    .map(|q| q.to_json())
+                    .collect::<Vec<_>>();
+                Ok(("200 OK", Json::object([("queries", Json::Array(list))])))
+            }
+            ("GET", p) if p.starts_with("/queries/") => {
+                let id = parse_query_id(&p["/queries/".len()..])?;
+                let info = server.status(id)?;
+                let mut json = info.to_json();
+                // Attach result rows for finished queries.
+                if let (Json::Object(map), Some(result)) = (&mut json, &info.result) {
+                    let rows: Vec<Json> = result
+                        .to_rows()
+                        .into_iter()
+                        .map(|row| {
+                            Json::Array(row.into_iter().map(|v| value_to_json(&v)).collect())
+                        })
+                        .collect();
+                    let cols: Vec<Json> = result
+                        .schema()
+                        .fields()
+                        .iter()
+                        .map(|f| Json::string(f.name.clone()))
+                        .collect();
+                    map.insert("columns".into(), Json::Array(cols));
+                    map.insert("rows".into(), Json::Array(rows));
+                }
+                Ok(("200 OK", json))
+            }
+            _ => Err(Error::NotFound(format!("no route for {method} {path}"))),
+        }
+    })();
+    match result {
+        Ok((status, json)) => (status, json.to_compact_string()),
+        Err(e) => {
+            let status = match e.kind() {
+                "not_found" => "404 Not Found",
+                "invalid" | "parse" => "400 Bad Request",
+                "unsupported" => "501 Not Implemented",
+                _ => "500 Internal Server Error",
+            };
+            (
+                status,
+                Json::object([("error", Json::string(e.to_string()))]).to_compact_string(),
+            )
+        }
+    }
+}
+
+fn parse_query_id(s: &str) -> Result<QueryId> {
+    s.trim_start_matches("q-")
+        .parse::<u64>()
+        .map(QueryId)
+        .map_err(|_| Error::Invalid(format!("bad query id: {s}")))
+}
+
+fn value_to_json(v: &pixels_common::Value) -> Json {
+    use pixels_common::Value;
+    match v {
+        Value::Null => Json::Null,
+        Value::Boolean(b) => Json::Bool(*b),
+        Value::Int32(x) => Json::Number(*x as f64),
+        Value::Int64(x) => Json::Number(*x as f64),
+        Value::Float64(x) => Json::Number(*x),
+        other => Json::string(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::PriceSchedule;
+    use pixels_catalog::Catalog;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_turbo::{EngineConfig, TurboEngine};
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    fn start() -> HttpServer {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 1,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TurboEngine::new(catalog, store, EngineConfig::default()));
+        let server = Arc::new(QueryServer::new(engine, PriceSchedule::default()));
+        HttpServer::start(server, None, 0).unwrap()
+    }
+
+    fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, Json) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, payload) = response.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, Json::parse(payload).unwrap())
+    }
+
+    #[test]
+    fn health_and_404() {
+        let srv = start();
+        let (status, json) = request(srv.addr(), "GET", "/health", "");
+        assert!(status.contains("200"));
+        assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
+        let (status, json) = request(srv.addr(), "GET", "/nope", "");
+        assert!(status.contains("404"), "{status}");
+        assert!(json.get("error").is_some());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn submit_poll_fetch_result() {
+        let srv = start();
+        let (status, json) = request(
+            srv.addr(),
+            "POST",
+            "/queries",
+            r#"{"database":"tpch","sql":"SELECT COUNT(*) AS n FROM region","level":"relaxed"}"#,
+        );
+        assert!(status.contains("202"), "{status}");
+        let id = json.get("id").unwrap().as_str().unwrap().to_string();
+
+        // Poll until finished.
+        let mut last = Json::Null;
+        for _ in 0..500 {
+            let (_, j) = request(srv.addr(), "GET", &format!("/queries/{id}"), "");
+            if j.get("status").and_then(|s| s.as_str()) == Some("finished") {
+                last = j;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(last.get("service_level").unwrap().as_str(), Some("relaxed"));
+        let rows = last.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].as_array().unwrap()[0].as_i64(), Some(5));
+        assert_eq!(
+            last.get("columns").unwrap().as_array().unwrap()[0].as_str(),
+            Some("n")
+        );
+
+        // The listing shows it too.
+        let (_, list) = request(srv.addr(), "GET", "/queries", "");
+        assert_eq!(list.get("queries").unwrap().as_array().unwrap().len(), 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_are_400() {
+        let srv = start();
+        let (status, _) = request(srv.addr(), "POST", "/queries", "not json");
+        assert!(status.contains("400"), "{status}");
+        let (status, _) = request(srv.addr(), "POST", "/queries", r#"{"database":"tpch"}"#);
+        assert!(status.contains("400"), "{status}");
+        let (status, _) = request(
+            srv.addr(),
+            "POST",
+            "/queries",
+            r#"{"database":"tpch","sql":"SELECT 1","level":"platinum"}"#,
+        );
+        assert!(status.contains("400"), "{status}");
+        let (status, _) = request(srv.addr(), "GET", "/queries/q-999", "");
+        assert!(status.contains("404"), "{status}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn translate_without_backend_is_501() {
+        let srv = start();
+        let (status, _) = request(
+            srv.addr(),
+            "POST",
+            "/translate",
+            r#"{"question":"x","database":"tpch"}"#,
+        );
+        assert!(status.contains("501"), "{status}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn failed_query_reports_error_status() {
+        let srv = start();
+        let (_, json) = request(
+            srv.addr(),
+            "POST",
+            "/queries",
+            r#"{"database":"tpch","sql":"SELECT zap FROM region"}"#,
+        );
+        let id = json.get("id").unwrap().as_str().unwrap().to_string();
+        let mut last = Json::Null;
+        for _ in 0..500 {
+            let (_, j) = request(srv.addr(), "GET", &format!("/queries/{id}"), "");
+            if j.get("status").and_then(|s| s.as_str()) == Some("failed") {
+                last = j;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(last.get("error").unwrap().as_str().unwrap().contains("zap"));
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,30 @@
+//! `pixels-server` — the Query Server of PixelsDB (paper §3.2).
+//!
+//! The query server fronts Pixels-Turbo and implements the paper's central
+//! contribution: **flexible service levels and prices**. Each query is
+//! submitted at one of three levels:
+//!
+//! | level | pending-time bound | CF acceleration | price |
+//! |---|---|---|---|
+//! | immediate | none (starts now) | enabled | $5/TB scanned |
+//! | relaxed | grace period (e.g. 5 min) | disabled | $1/TB |
+//! | best-of-effort | unbounded | disabled | $0.5/TB |
+//!
+//! Two modes are provided: a deterministic [`sim::ServerSim`] on the virtual
+//! clock (drives all scheduling/pricing experiments) and a threaded
+//! real-mode [`api::QueryServer`] over [`pixels_turbo::TurboEngine`] that
+//! Pixels-Rover talks to.
+
+pub mod api;
+pub mod auth;
+pub mod http;
+pub mod pricing;
+pub mod service_level;
+pub mod sim;
+
+pub use api::{QueryInfo, QueryServer, QueryStatus, QuerySubmission};
+pub use auth::{AuthService, SessionToken};
+pub use http::{HttpServer, TranslateBackend};
+pub use pricing::PriceSchedule;
+pub use service_level::ServiceLevel;
+pub use sim::{QueryRecord, ServerConfig, ServerSim, SimReport, Submission};

@@ -1,0 +1,65 @@
+//! User-facing prices: dollars per terabyte scanned, by service level.
+//!
+//! The demo prices match the paper: immediate = $5/TB (the AWS Athena
+//! price), relaxed = $1/TB (20%), best-of-effort = $0.5/TB (10%).
+
+use crate::service_level::ServiceLevel;
+use pixels_common::bytesize::as_terabytes;
+
+/// The $/TB-scan price schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceSchedule {
+    /// Price of the immediate level per TB scanned.
+    pub immediate_per_tb: f64,
+}
+
+impl Default for PriceSchedule {
+    fn default() -> Self {
+        PriceSchedule {
+            immediate_per_tb: 5.0,
+        }
+    }
+}
+
+impl PriceSchedule {
+    /// $/TB at a service level.
+    pub fn per_tb(&self, level: ServiceLevel) -> f64 {
+        self.immediate_per_tb * level.price_fraction()
+    }
+
+    /// The bill for one query.
+    pub fn bill(&self, level: ServiceLevel, scan_bytes: u64) -> f64 {
+        self.per_tb(level) * as_terabytes(scan_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::bytesize::TB;
+
+    #[test]
+    fn per_tb_matches_paper_demo() {
+        let p = PriceSchedule::default();
+        assert_eq!(p.per_tb(ServiceLevel::Immediate), 5.0);
+        assert_eq!(p.per_tb(ServiceLevel::Relaxed), 1.0);
+        assert_eq!(p.per_tb(ServiceLevel::BestEffort), 0.5);
+    }
+
+    #[test]
+    fn bill_is_linear_in_bytes() {
+        let p = PriceSchedule::default();
+        assert!((p.bill(ServiceLevel::Immediate, TB) - 5.0).abs() < 1e-9);
+        assert!((p.bill(ServiceLevel::Relaxed, TB / 2) - 0.5).abs() < 1e-9);
+        assert_eq!(p.bill(ServiceLevel::BestEffort, 0), 0.0);
+    }
+
+    #[test]
+    fn custom_base_price_scales_all_levels() {
+        let p = PriceSchedule {
+            immediate_per_tb: 10.0,
+        };
+        assert_eq!(p.per_tb(ServiceLevel::Relaxed), 2.0);
+        assert_eq!(p.per_tb(ServiceLevel::BestEffort), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The three service levels of PixelsDB (paper §3.2).
+
+use pixels_common::{Error, Result};
+use std::fmt;
+
+/// A user-selected service level. Each level bounds query *pending time*
+/// (not execution time) and carries its own $/TB-scan price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceLevel {
+    /// Starts executing immediately; adaptive CF acceleration is enabled, so
+    /// execution begins even when the VM cluster is overloaded. Highest
+    /// price (the demo matches AWS Athena's $5/TB).
+    Immediate,
+    /// CF disabled; may wait in the query server up to a configurable grace
+    /// period (e.g. 5 minutes) for the VM cluster to scale out. 20% of the
+    /// immediate price.
+    Relaxed,
+    /// No pending-time guarantee: scheduled only when the cluster's
+    /// concurrency is below the low watermark (i.e. when it would otherwise
+    /// scale in). 10% of the immediate price.
+    BestEffort,
+}
+
+impl ServiceLevel {
+    pub const ALL: [ServiceLevel; 3] = [
+        ServiceLevel::Immediate,
+        ServiceLevel::Relaxed,
+        ServiceLevel::BestEffort,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceLevel::Immediate => "immediate",
+            ServiceLevel::Relaxed => "relaxed",
+            ServiceLevel::BestEffort => "best-of-effort",
+        }
+    }
+
+    /// Price as a fraction of the immediate price (paper demo: 100%/20%/10%).
+    pub fn price_fraction(self) -> f64 {
+        match self {
+            ServiceLevel::Immediate => 1.0,
+            ServiceLevel::Relaxed => 0.2,
+            ServiceLevel::BestEffort => 0.1,
+        }
+    }
+
+    /// Whether adaptive CF acceleration is enabled at this level.
+    pub fn cf_enabled(self) -> bool {
+        matches!(self, ServiceLevel::Immediate)
+    }
+
+    pub fn parse(s: &str) -> Result<ServiceLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "immediate" | "i" => Ok(ServiceLevel::Immediate),
+            "relaxed" | "r" => Ok(ServiceLevel::Relaxed),
+            "best-of-effort" | "best-effort" | "besteffort" | "b" => Ok(ServiceLevel::BestEffort),
+            other => Err(Error::Invalid(format!("unknown service level: {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for ServiceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_match_paper() {
+        assert_eq!(ServiceLevel::Immediate.price_fraction(), 1.0);
+        assert_eq!(ServiceLevel::Relaxed.price_fraction(), 0.2);
+        assert_eq!(ServiceLevel::BestEffort.price_fraction(), 0.1);
+    }
+
+    #[test]
+    fn only_immediate_enables_cf() {
+        assert!(ServiceLevel::Immediate.cf_enabled());
+        assert!(!ServiceLevel::Relaxed.cf_enabled());
+        assert!(!ServiceLevel::BestEffort.cf_enabled());
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(
+            ServiceLevel::parse("Immediate").unwrap(),
+            ServiceLevel::Immediate
+        );
+        assert_eq!(ServiceLevel::parse("r").unwrap(), ServiceLevel::Relaxed);
+        assert_eq!(
+            ServiceLevel::parse("best-effort").unwrap(),
+            ServiceLevel::BestEffort
+        );
+        assert!(ServiceLevel::parse("platinum").is_err());
+    }
+}

@@ -1,0 +1,636 @@
+//! The full scheduling simulation: query server + coordinator + cluster on
+//! the virtual clock. This is the experiment driver behind every
+//! service-level, autoscaling, and pricing figure in EXPERIMENTS.md.
+
+use crate::pricing::PriceSchedule;
+use crate::service_level::ServiceLevel;
+use pixels_common::QueryId;
+use pixels_sim::{DurationStats, SimDuration, SimTime};
+use pixels_turbo::{
+    CfConfig, Coordinator, CostBreakdown, Placement, QueryWork, ResourcePricing, VmConfig,
+};
+use pixels_workload::QueryClass;
+use std::collections::VecDeque;
+
+/// One query submission in a simulated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Submission {
+    pub at: SimTime,
+    pub class: QueryClass,
+    pub level: ServiceLevel,
+}
+
+/// Final per-query record of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    pub id: QueryId,
+    pub class: QueryClass,
+    pub level: ServiceLevel,
+    /// When the user submitted the query to the query server.
+    pub submitted_at: SimTime,
+    /// When the query server dispatched it to the coordinator.
+    pub dispatched_at: SimTime,
+    /// When execution began.
+    pub started_at: SimTime,
+    pub finished_at: SimTime,
+    pub placement: Placement,
+    /// Provider-side resource cost attributable to this query.
+    pub resource_cost: CostBreakdown,
+    /// User-facing bill ($/TB-scan at the level's price).
+    pub price: f64,
+    pub scan_bytes: u64,
+}
+
+impl QueryRecord {
+    /// Total pending time: server queue + engine queue.
+    pub fn pending(&self) -> SimDuration {
+        self.started_at.since(self.submitted_at)
+    }
+
+    pub fn execution(&self) -> SimDuration {
+        self.finished_at.since(self.started_at)
+    }
+}
+
+/// Query-server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Grace period for relaxed queries (paper example: 5 minutes).
+    pub grace_period: SimDuration,
+    /// Simulation tick.
+    pub tick: SimDuration,
+    pub prices: PriceSchedule,
+    /// Batch query optimization (the paper's concluding opportunity):
+    /// same-class best-of-effort queries waiting in the server are merged
+    /// into one execution that shares a single table scan. Off by default.
+    pub batch_besteffort: bool,
+    /// Maximum queries merged into one best-of-effort batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            grace_period: SimDuration::from_secs(300),
+            tick: SimDuration::from_millis(100),
+            prices: PriceSchedule::default(),
+            batch_besteffort: false,
+            max_batch: 8,
+        }
+    }
+}
+
+struct Waiting {
+    id: QueryId,
+    class: QueryClass,
+    work: QueryWork,
+    submitted_at: SimTime,
+    /// Dispatch no later than this (relaxed only).
+    deadline: Option<SimTime>,
+}
+
+struct PendingMeta {
+    class: QueryClass,
+    level: ServiceLevel,
+    submitted_at: SimTime,
+    dispatched_at: SimTime,
+}
+
+/// The simulated query server driving a [`Coordinator`].
+pub struct ServerSim {
+    pub coordinator: Coordinator,
+    cfg: ServerConfig,
+    relaxed_queue: VecDeque<Waiting>,
+    besteffort_queue: VecDeque<Waiting>,
+    dispatched: Vec<(QueryId, PendingMeta)>,
+    /// Carrier query id -> member queries of a best-of-effort batch.
+    batches: Vec<(QueryId, Vec<Waiting>)>,
+    records: Vec<QueryRecord>,
+    now: SimTime,
+}
+
+impl ServerSim {
+    pub fn new(
+        vm_cfg: VmConfig,
+        cf_cfg: CfConfig,
+        pricing: ResourcePricing,
+        cfg: ServerConfig,
+    ) -> Self {
+        ServerSim {
+            coordinator: Coordinator::new(vm_cfg, cf_cfg, pricing, SimTime::ZERO),
+            cfg,
+            relaxed_queue: VecDeque::new(),
+            besteffort_queue: VecDeque::new(),
+            dispatched: Vec::new(),
+            batches: Vec::new(),
+            records: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        ServerSim::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            ServerConfig::default(),
+        )
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Submit a query at the current simulation time (paper §3.2 admission).
+    fn submit(&mut self, id: QueryId, class: QueryClass, level: ServiceLevel) {
+        let work = QueryWork::from_class(class);
+        match level {
+            ServiceLevel::Immediate => {
+                // Dispatch now, CF acceleration enabled.
+                self.dispatch(id, class, level, work, self.now);
+            }
+            ServiceLevel::Relaxed => {
+                if !self.coordinator.is_overloaded() {
+                    self.dispatch(id, class, level, work, self.now);
+                } else {
+                    self.relaxed_queue.push_back(Waiting {
+                        id,
+                        class,
+                        work,
+                        submitted_at: self.now,
+                        deadline: Some(self.now + self.cfg.grace_period),
+                    });
+                }
+            }
+            ServiceLevel::BestEffort => {
+                if self.coordinator.is_nearly_idle() {
+                    self.dispatch(id, class, level, work, self.now);
+                } else {
+                    self.besteffort_queue.push_back(Waiting {
+                        id,
+                        class,
+                        work,
+                        submitted_at: self.now,
+                        deadline: None,
+                    });
+                }
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        id: QueryId,
+        class: QueryClass,
+        level: ServiceLevel,
+        work: QueryWork,
+        submitted_at: SimTime,
+    ) {
+        self.coordinator
+            .submit(id, work, level.cf_enabled(), self.now);
+        self.dispatched.push((
+            id,
+            PendingMeta {
+                class,
+                level,
+                submitted_at,
+                dispatched_at: self.now,
+            },
+        ));
+    }
+
+    fn drain_queues(&mut self) {
+        // Relaxed: dispatch early when the cluster has headroom, or when the
+        // grace period expires (bounded pending time).
+        let mut i = 0;
+        while i < self.relaxed_queue.len() {
+            let headroom = !self.coordinator.is_overloaded();
+            let expired = self.relaxed_queue[i]
+                .deadline
+                .is_some_and(|d| self.now >= d);
+            if headroom || expired {
+                let w = self.relaxed_queue.remove(i).unwrap();
+                self.dispatch(w.id, w.class, ServiceLevel::Relaxed, w.work, w.submitted_at);
+            } else {
+                i += 1;
+            }
+        }
+        // Best-of-effort: only when concurrency is below the low watermark
+        // (the cluster would otherwise scale in). One dispatch at a time so
+        // a burst of backfill doesn't immediately re-overload the cluster.
+        while !self.besteffort_queue.is_empty() && self.coordinator.is_nearly_idle() {
+            if self.cfg.batch_besteffort {
+                // Merge queued queries of the front entry's class into one
+                // shared-scan execution (batch query optimization).
+                let class = self.besteffort_queue.front().unwrap().class;
+                let mut members = Vec::new();
+                let mut i = 0;
+                while i < self.besteffort_queue.len() && members.len() < self.cfg.max_batch {
+                    if self.besteffort_queue[i].class == class {
+                        members.push(self.besteffort_queue.remove(i).unwrap());
+                    } else {
+                        i += 1;
+                    }
+                }
+                let n = members.len();
+                if n == 1 {
+                    let w = members.pop().unwrap();
+                    self.dispatch(
+                        w.id,
+                        w.class,
+                        ServiceLevel::BestEffort,
+                        w.work,
+                        w.submitted_at,
+                    );
+                    continue;
+                }
+                // Shared scan: the table is read once; per-query CPU beyond
+                // the scan (decode + operators) still scales with members,
+                // at a discount for the shared decode work.
+                let single = QueryWork::from_class(class);
+                let batch_work = QueryWork {
+                    scan_bytes: single.scan_bytes,
+                    cpu_seconds: single.cpu_seconds * (1.0 + 0.55 * (n as f64 - 1.0)),
+                    parallelism: single.parallelism,
+                };
+                let carrier = members[0].id;
+                self.coordinator
+                    .submit(carrier, batch_work, false, self.now);
+                self.batches.push((carrier, members));
+            } else {
+                let w = self.besteffort_queue.pop_front().unwrap();
+                self.dispatch(
+                    w.id,
+                    w.class,
+                    ServiceLevel::BestEffort,
+                    w.work,
+                    w.submitted_at,
+                );
+            }
+        }
+    }
+
+    fn advance(&mut self, to: SimTime) {
+        while self.now < to {
+            let next = self.now + self.cfg.tick;
+            self.now = next;
+            self.coordinator
+                .set_server_queue_depth(self.relaxed_queue.len());
+            for done in self.coordinator.tick(next, self.cfg.tick) {
+                // A best-of-effort batch completion fans out into one record
+                // per member, splitting the shared scan and its cost.
+                if let Some(pos) = self.batches.iter().position(|(id, _)| *id == done.id) {
+                    let (_, members) = self.batches.swap_remove(pos);
+                    let n = members.len() as u64;
+                    for m in &members {
+                        let share = done.scan_bytes / n;
+                        self.records.push(QueryRecord {
+                            id: m.id,
+                            class: m.class,
+                            level: ServiceLevel::BestEffort,
+                            submitted_at: m.submitted_at,
+                            dispatched_at: done.submitted_at,
+                            started_at: done.started_at,
+                            finished_at: done.finished_at,
+                            placement: done.placement,
+                            resource_cost: CostBreakdown {
+                                vm_dollars: done.cost.vm_dollars / n as f64,
+                                cf_dollars: done.cost.cf_dollars / n as f64,
+                            },
+                            price: self.cfg.prices.bill(ServiceLevel::BestEffort, share),
+                            scan_bytes: share,
+                        });
+                    }
+                    continue;
+                }
+                let pos = self
+                    .dispatched
+                    .iter()
+                    .position(|(id, _)| *id == done.id)
+                    .expect("completion for unknown dispatch");
+                let (_, meta) = self.dispatched.swap_remove(pos);
+                self.records.push(QueryRecord {
+                    id: done.id,
+                    class: meta.class,
+                    level: meta.level,
+                    submitted_at: meta.submitted_at,
+                    dispatched_at: meta.dispatched_at,
+                    started_at: done.started_at,
+                    finished_at: done.finished_at,
+                    placement: done.placement,
+                    resource_cost: done.cost,
+                    price: self.cfg.prices.bill(meta.level, done.scan_bytes),
+                    scan_bytes: done.scan_bytes,
+                });
+            }
+            self.drain_queues();
+        }
+    }
+
+    /// Run a full workload trace to completion (plus a drain phase), then
+    /// report.
+    pub fn run(mut self, mut submissions: Vec<Submission>, max_drain: SimDuration) -> SimReport {
+        submissions.sort_by_key(|s| s.at);
+        for (next_id, s) in submissions.iter().enumerate() {
+            self.advance(s.at);
+            self.submit(QueryId(next_id as u64), s.class, s.level);
+        }
+        // Drain: run until everything completes or the drain budget ends.
+        let drain_end = self.now + max_drain;
+        while self.now < drain_end {
+            let all_done = self.dispatched.is_empty()
+                && self.relaxed_queue.is_empty()
+                && self.besteffort_queue.is_empty()
+                && self.batches.is_empty();
+            if all_done {
+                break;
+            }
+            let step = self.now + SimDuration::from_secs(1);
+            self.advance(step);
+        }
+        let unfinished = self.dispatched.len()
+            + self.relaxed_queue.len()
+            + self.besteffort_queue.len()
+            + self.batches.iter().map(|(_, m)| m.len()).sum::<usize>();
+        let mut records = self.records;
+        records.sort_by_key(|r| (r.submitted_at, r.id));
+        SimReport {
+            records,
+            unfinished,
+            end_time: self.now,
+            vm_worker_series: self.coordinator.vm.worker_series.clone(),
+            concurrency_series: self.coordinator.vm.concurrency_series.clone(),
+            cf_worker_series: self.coordinator.cf.worker_series.clone(),
+            scale_out_events: self.coordinator.vm.scale_out_events,
+            scale_in_events: self.coordinator.vm.scale_in_events,
+            scale_out_times: self.coordinator.vm.scale_out_times.clone(),
+            scale_in_times: self.coordinator.vm.scale_in_times.clone(),
+            total_resource_cost: self.coordinator.total_resource_cost(),
+        }
+    }
+}
+
+/// Everything an experiment needs from one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub records: Vec<QueryRecord>,
+    /// Queries still unfinished when the drain budget ran out.
+    pub unfinished: usize,
+    pub end_time: SimTime,
+    pub vm_worker_series: pixels_sim::TimeSeries,
+    pub concurrency_series: pixels_sim::TimeSeries,
+    pub cf_worker_series: pixels_sim::TimeSeries,
+    pub scale_out_events: u32,
+    pub scale_in_events: u32,
+    /// Virtual times of each scaling decision.
+    pub scale_out_times: Vec<SimTime>,
+    pub scale_in_times: Vec<SimTime>,
+    pub total_resource_cost: CostBreakdown,
+}
+
+impl SimReport {
+    pub fn records_at(&self, level: ServiceLevel) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter().filter(move |r| r.level == level)
+    }
+
+    /// Pending-time statistics per service level.
+    pub fn pending_stats(&self, level: ServiceLevel) -> DurationStats {
+        let mut s = DurationStats::new();
+        for r in self.records_at(level) {
+            s.record(r.pending());
+        }
+        s
+    }
+
+    /// Mean user price per query at a level.
+    pub fn mean_price(&self, level: ServiceLevel) -> f64 {
+        let (mut total, mut n) = (0.0, 0usize);
+        for r in self.records_at(level) {
+            total += r.price;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Fraction of queries at a level that ran in CF.
+    pub fn cf_fraction(&self, level: ServiceLevel) -> f64 {
+        let (mut cf, mut n) = (0usize, 0usize);
+        for r in self.records_at(level) {
+            if matches!(r.placement, Placement::Cf { .. }) {
+                cf += 1;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            cf as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(n: u64, at: SimTime, class: QueryClass, level: ServiceLevel) -> Vec<Submission> {
+        (0..n).map(|_| Submission { at, class, level }).collect()
+    }
+
+    #[test]
+    fn immediate_queries_never_wait() {
+        let sim = ServerSim::with_defaults();
+        let mut subs = burst(
+            12,
+            SimTime::from_secs(1),
+            QueryClass::Medium,
+            ServiceLevel::Immediate,
+        );
+        subs.extend(burst(
+            3,
+            SimTime::from_secs(2),
+            QueryClass::Heavy,
+            ServiceLevel::Immediate,
+        ));
+        let report = sim.run(subs, SimDuration::from_secs(3600));
+        assert_eq!(report.unfinished, 0);
+        let stats = report.pending_stats(ServiceLevel::Immediate);
+        assert_eq!(stats.count(), 15);
+        assert_eq!(
+            stats.max(),
+            SimDuration::ZERO,
+            "immediate = zero pending time"
+        );
+        // The overflow beyond the high watermark must have used CF.
+        assert!(report.cf_fraction(ServiceLevel::Immediate) > 0.4);
+    }
+
+    #[test]
+    fn relaxed_pending_bounded_by_grace_period() {
+        let cfg = ServerConfig {
+            grace_period: SimDuration::from_secs(300),
+            ..Default::default()
+        };
+        let sim = ServerSim::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            cfg,
+        );
+        // Overload with a spike of relaxed queries.
+        let subs = burst(
+            25,
+            SimTime::from_secs(1),
+            QueryClass::Medium,
+            ServiceLevel::Relaxed,
+        );
+        let report = sim.run(subs, SimDuration::from_secs(7200));
+        assert_eq!(report.unfinished, 0);
+        let stats = report.pending_stats(ServiceLevel::Relaxed);
+        // Pending includes server-queue time (≤ grace) plus engine-queue
+        // time once dispatched; the server-side wait must never exceed the
+        // grace period.
+        for r in report.records_at(ServiceLevel::Relaxed) {
+            let server_wait = r.dispatched_at.since(r.submitted_at);
+            assert!(
+                server_wait <= SimDuration::from_secs(300),
+                "server wait {server_wait} exceeded grace"
+            );
+        }
+        assert!(stats.max() > SimDuration::ZERO, "some queries queued");
+        // No relaxed query may use CF.
+        assert_eq!(report.cf_fraction(ServiceLevel::Relaxed), 0.0);
+    }
+
+    #[test]
+    fn besteffort_runs_only_when_nearly_idle() {
+        let sim = ServerSim::with_defaults();
+        // A sustained foreground load plus best-effort backfill.
+        let mut subs = Vec::new();
+        for i in 0..10 {
+            subs.push(Submission {
+                at: SimTime::from_secs(i * 5),
+                class: QueryClass::Medium,
+                level: ServiceLevel::Immediate,
+            });
+        }
+        subs.extend(burst(
+            5,
+            SimTime::from_secs(2),
+            QueryClass::Light,
+            ServiceLevel::BestEffort,
+        ));
+        let report = sim.run(subs, SimDuration::from_secs(7200));
+        assert_eq!(report.unfinished, 0);
+        // Best-effort queries never run in CF and may wait a long time.
+        assert_eq!(report.cf_fraction(ServiceLevel::BestEffort), 0.0);
+        let be: Vec<_> = report.records_at(ServiceLevel::BestEffort).collect();
+        assert_eq!(be.len(), 5);
+    }
+
+    #[test]
+    fn prices_follow_levels() {
+        let sim = ServerSim::with_defaults();
+        let mut subs = Vec::new();
+        for level in ServiceLevel::ALL {
+            subs.push(Submission {
+                at: SimTime::from_secs(1),
+                class: QueryClass::Medium,
+                level,
+            });
+        }
+        let report = sim.run(subs, SimDuration::from_secs(3600));
+        assert_eq!(report.unfinished, 0);
+        let pi = report.mean_price(ServiceLevel::Immediate);
+        let pr = report.mean_price(ServiceLevel::Relaxed);
+        let pb = report.mean_price(ServiceLevel::BestEffort);
+        assert!(pi > 0.0);
+        assert!((pr / pi - 0.2).abs() < 1e-9, "relaxed is 20%: {pr} vs {pi}");
+        assert!((pb / pi - 0.1).abs() < 1e-9, "best-effort is 10%");
+    }
+
+    #[test]
+    fn besteffort_batching_shares_the_scan() {
+        let make = |batching: bool| {
+            let cfg = ServerConfig {
+                batch_besteffort: batching,
+                ..Default::default()
+            };
+            let sim = ServerSim::new(
+                VmConfig::default(),
+                CfConfig::default(),
+                ResourcePricing::default(),
+                cfg,
+            );
+            // Keep the cluster busy briefly, then 6 identical best-effort
+            // queries that the server can batch.
+            let mut subs = vec![Submission {
+                at: SimTime::from_secs(1),
+                class: QueryClass::Medium,
+                level: ServiceLevel::Immediate,
+            }];
+            for _ in 0..6 {
+                subs.push(Submission {
+                    at: SimTime::from_secs(2),
+                    class: QueryClass::Medium,
+                    level: ServiceLevel::BestEffort,
+                });
+            }
+            sim.run(subs, SimDuration::from_secs(3600))
+        };
+        let plain = make(false);
+        let batched = make(true);
+        assert_eq!(plain.unfinished, 0);
+        assert_eq!(batched.unfinished, 0);
+        assert_eq!(batched.records_at(ServiceLevel::BestEffort).count(), 6);
+        let scanned = |r: &SimReport| -> u64 {
+            r.records_at(ServiceLevel::BestEffort)
+                .map(|q| q.scan_bytes)
+                .sum()
+        };
+        let billed = |r: &SimReport| -> f64 {
+            r.records_at(ServiceLevel::BestEffort)
+                .map(|q| q.price)
+                .sum()
+        };
+        // Shared scan: total scanned bytes (and therefore total user bill)
+        // shrink; every member still gets a record and a result.
+        assert!(
+            scanned(&batched) < scanned(&plain) / 2,
+            "batched scan {} vs plain {}",
+            scanned(&batched),
+            scanned(&plain)
+        );
+        assert!(billed(&batched) < billed(&plain));
+        // Provider-side cost also shrinks (less CPU than 6 separate runs).
+        let cost = |r: &SimReport| -> f64 {
+            r.records_at(ServiceLevel::BestEffort)
+                .map(|q| q.resource_cost.total())
+                .sum()
+        };
+        assert!(cost(&batched) < cost(&plain));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let subs: Vec<Submission> = (0..20)
+            .map(|i| Submission {
+                at: SimTime::from_millis(i * 700),
+                class: if i % 3 == 0 {
+                    QueryClass::Heavy
+                } else {
+                    QueryClass::Light
+                },
+                level: ServiceLevel::ALL[(i % 3) as usize],
+            })
+            .collect();
+        let a = ServerSim::with_defaults().run(subs.clone(), SimDuration::from_secs(7200));
+        let b = ServerSim::with_defaults().run(subs, SimDuration::from_secs(7200));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.scale_out_events, b.scale_out_events);
+    }
+}

@@ -1,0 +1,619 @@
+//! Abstract syntax tree for the PixelsDB SQL dialect.
+//!
+//! Every node implements `Display`, producing canonical SQL text. This is
+//! used by EXPLAIN output, by the text-to-SQL service (which builds ASTs and
+//! renders them), and by tests that compare normalized query text.
+
+use pixels_common::{DataType, Value};
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Box<Select>),
+    Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <query>`: execute and report runtime metrics.
+    ExplainAnalyze(Box<Statement>),
+    ShowTables,
+    ShowDatabases,
+    Describe(ObjectName),
+    /// `ANALYZE <table>`: collect exact column statistics.
+    Analyze(ObjectName),
+}
+
+/// A possibly-qualified table name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectName {
+    pub database: Option<String>,
+    pub table: String,
+}
+
+impl ObjectName {
+    pub fn bare(table: impl Into<String>) -> Self {
+        ObjectName {
+            database: None,
+            table: table.into(),
+        }
+    }
+
+    pub fn qualified(database: impl Into<String>, table: impl Into<String>) -> Self {
+        ObjectName {
+            database: Some(database.into()),
+            table: table.into(),
+        }
+    }
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Option<TableExpr>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+impl Select {
+    /// An empty SELECT skeleton (used by builders).
+    pub fn new(projection: Vec<SelectItem>) -> Self {
+        Select {
+            distinct: false,
+            projection,
+            from: None,
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A FROM-clause item (table, join tree, or derived table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    Table {
+        name: ObjectName,
+        alias: Option<String>,
+    },
+    Join {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+        join_type: JoinType,
+        /// `None` only for CROSS joins.
+        on: Option<Expr>,
+    },
+    Subquery {
+        query: Box<Select>,
+        alias: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Right,
+    Cross,
+}
+
+/// `expr [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[qualifier.]name`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    /// `*` — legal only as the argument of COUNT.
+    Wildcard,
+    BinaryOp {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    UnaryOp {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    /// Function call, aggregate or scalar (resolved during binding).
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Case {
+        /// `CASE operand WHEN ...` vs searched `CASE WHEN cond ...`.
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: DataType,
+    },
+    /// `EXTRACT(field FROM expr)`.
+    Extract {
+        field: DateField,
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Eq, right)
+    }
+
+    /// Combine a list of predicates with AND (`None` for an empty list).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
+        Some(preds.into_iter().fold(first, Expr::and))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Concat => "||",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateField {
+    Year,
+    Month,
+    Day,
+}
+
+// ---------------------------------------------------------------------------
+// Display: canonical SQL rendering
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+            Statement::ExplainAnalyze(s) => write!(f, "EXPLAIN ANALYZE {s}"),
+            Statement::Analyze(n) => write!(f, "ANALYZE {n}"),
+            Statement::ShowTables => f.write_str("SHOW TABLES"),
+            Statement::ShowDatabases => f.write_str("SHOW DATABASES"),
+            Statement::Describe(n) => write!(f, "DESCRIBE {n}"),
+        }
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.database {
+            Some(db) => write!(f, "{db}.{}", self.table),
+            None => f.write_str(&self.table),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.asc { "" } else { " DESC" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
+            SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => write!(f, "{expr} AS {a}"),
+                None => write!(f, "{expr}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for TableExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableExpr::Table { name, alias } => match alias {
+                Some(a) => write!(f, "{name} AS {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableExpr::Join {
+                left,
+                right,
+                join_type,
+                on,
+            } => {
+                let jt = match join_type {
+                    JoinType::Inner => "JOIN",
+                    JoinType::Left => "LEFT JOIN",
+                    JoinType::Right => "RIGHT JOIN",
+                    JoinType::Cross => "CROSS JOIN",
+                };
+                write!(f, "{left} {jt} {right}")?;
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+            TableExpr::Subquery { query, alias } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => f.write_str(name),
+            },
+            Expr::Literal(Value::Utf8(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(Value::Date(d)) => {
+                write!(f, "DATE '{}'", pixels_common::value::format_date(*d))
+            }
+            Expr::Literal(Value::Timestamp(t)) => {
+                write!(f, "TIMESTAMP '{}'", Value::Timestamp(*t))
+            }
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Wildcard => f.write_str("*"),
+            Expr::BinaryOp { left, op, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            Expr::UnaryOp { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+            },
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
+                write!(f, "{}(", name.to_ascii_uppercase())?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (when, then) in branches {
+                    write!(f, " WHEN {when} THEN {then}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            Expr::Extract { field, expr } => {
+                let field = match field {
+                    DateField::Year => "YEAR",
+                    DateField::Month => "MONTH",
+                    DateField::Day => "DAY",
+                };
+                write!(f, "EXTRACT({field} FROM {expr})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display() {
+        let e = Expr::and(
+            Expr::eq(
+                Expr::qcol("o", "status"),
+                Expr::lit(Value::Utf8("F".into())),
+            ),
+            Expr::binary(
+                Expr::col("price"),
+                BinaryOp::Gt,
+                Expr::lit(Value::Float64(10.0)),
+            ),
+        );
+        assert_eq!(e.to_string(), "((o.status = 'F') AND (price > 10.0))");
+    }
+
+    #[test]
+    fn date_literal_display() {
+        let e = Expr::lit(Value::Date(0));
+        assert_eq!(e.to_string(), "DATE '1970-01-01'");
+    }
+
+    #[test]
+    fn string_escaping_in_display() {
+        let e = Expr::lit(Value::Utf8("it's".into()));
+        assert_eq!(e.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn select_display_full() {
+        let q = Select {
+            distinct: true,
+            projection: vec![
+                SelectItem::Expr {
+                    expr: Expr::col("a"),
+                    alias: Some("x".into()),
+                },
+                SelectItem::Wildcard,
+            ],
+            from: Some(TableExpr::Table {
+                name: ObjectName::qualified("db", "t"),
+                alias: Some("t1".into()),
+            }),
+            selection: Some(Expr::eq(Expr::col("a"), Expr::lit(Value::Int64(1)))),
+            group_by: vec![Expr::col("a")],
+            having: Some(Expr::binary(
+                Expr::Function {
+                    name: "count".into(),
+                    args: vec![Expr::Wildcard],
+                    distinct: false,
+                },
+                BinaryOp::Gt,
+                Expr::lit(Value::Int64(5)),
+            )),
+            order_by: vec![OrderByItem {
+                expr: Expr::col("a"),
+                asc: false,
+            }],
+            limit: Some(10),
+            offset: Some(2),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT DISTINCT a AS x, * FROM db.t AS t1 WHERE (a = 1) GROUP BY a \
+             HAVING (COUNT(*) > 5) ORDER BY a DESC LIMIT 10 OFFSET 2"
+        );
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        assert_eq!(Expr::conjunction(vec![]), None);
+        let one = Expr::conjunction(vec![Expr::col("a")]).unwrap();
+        assert_eq!(one, Expr::col("a"));
+        let two = Expr::conjunction(vec![Expr::col("a"), Expr::col("b")]).unwrap();
+        assert_eq!(two.to_string(), "(a AND b)");
+    }
+
+    #[test]
+    fn join_display() {
+        let t = TableExpr::Join {
+            left: Box::new(TableExpr::Table {
+                name: ObjectName::bare("a"),
+                alias: None,
+            }),
+            right: Box::new(TableExpr::Table {
+                name: ObjectName::bare("b"),
+                alias: None,
+            }),
+            join_type: JoinType::Left,
+            on: Some(Expr::eq(Expr::qcol("a", "id"), Expr::qcol("b", "id"))),
+        };
+        assert_eq!(t.to_string(), "a LEFT JOIN b ON (a.id = b.id)");
+    }
+}

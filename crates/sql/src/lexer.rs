@@ -1,0 +1,323 @@
+//! SQL lexer: source text → token stream.
+//!
+//! Handles `--` line comments, `/* */` block comments, single-quoted string
+//! literals with `''` escaping, double-quoted identifiers, integer/decimal
+//! numbers, and multi-character operators.
+
+use crate::token::{Keyword, Token, TokenKind};
+use pixels_common::{Error, Result};
+
+/// Lex `input` into tokens. Fails on unterminated strings/comments and
+/// unexpected characters, reporting the byte offset.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(Error::Parse(format!(
+                        "unterminated block comment at byte {start}"
+                    )));
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated string literal at byte {start}"
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    Error::Parse(format!("invalid UTF-8 at byte {i}"))
+                                })?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::String(s),
+                    offset: start,
+                });
+            }
+            b'"' => {
+                // Double-quoted identifier: case preserved, no keyword match.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse(format!(
+                                "unterminated quoted identifier at byte {start}"
+                            )))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            let ch_len = utf8_len(b);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    Error::Parse(format!("invalid UTF-8 at byte {i}"))
+                                })?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    if bytes[i] == b'.' {
+                        // Don't consume a dot not followed by a digit (e.g. `1.x`).
+                        if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                // Exponent suffix (e.g. 1e6, 2.5E-3).
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                        j += 1;
+                    }
+                    if bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::parse(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            _ => {
+                let (kind, len) = match (c, bytes.get(i + 1)) {
+                    (b'<', Some(b'=')) => (TokenKind::LtEq, 2),
+                    (b'<', Some(b'>')) => (TokenKind::NotEq, 2),
+                    (b'>', Some(b'=')) => (TokenKind::GtEq, 2),
+                    (b'!', Some(b'=')) => (TokenKind::NotEq, 2),
+                    (b'|', Some(b'|')) => (TokenKind::Concat, 2),
+                    (b',', _) => (TokenKind::Comma, 1),
+                    (b'(', _) => (TokenKind::LParen, 1),
+                    (b')', _) => (TokenKind::RParen, 1),
+                    (b'*', _) => (TokenKind::Star, 1),
+                    (b'+', _) => (TokenKind::Plus, 1),
+                    (b'-', _) => (TokenKind::Minus, 1),
+                    (b'/', _) => (TokenKind::Slash, 1),
+                    (b'%', _) => (TokenKind::Percent, 1),
+                    (b'=', _) => (TokenKind::Eq, 1),
+                    (b'<', _) => (TokenKind::Lt, 1),
+                    (b'>', _) => (TokenKind::Gt, 1),
+                    (b'.', _) => (TokenKind::Dot, 1),
+                    (b';', _) => (TokenKind::Semicolon, 1),
+                    _ => {
+                        return Err(Error::Parse(format!(
+                            "unexpected character {:?} at byte {start}",
+                            c as char
+                        )))
+                    }
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        assert_eq!(
+            kinds("SELECT a, b FROM t"),
+            vec![
+                TokenKind::Keyword(K::Select),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::Keyword(K::From),
+                TokenKind::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            kinds("1 + 2.5 >= 3e2 <> 4.0E-1"),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Plus,
+                TokenKind::Number("2.5".into()),
+                TokenKind::GtEq,
+                TokenKind::Number("3e2".into()),
+                TokenKind::NotEq,
+                TokenKind::Number("4.0E-1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s' || 'ok'"),
+            vec![
+                TokenKind::String("it's".into()),
+                TokenKind::Concat,
+                TokenKind::String("ok".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case_and_skip_keywords() {
+        assert_eq!(kinds("\"Select\""), vec![TokenKind::Ident("Select".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- trailing\n1 /* block /* nested */ */ ;"),
+            vec![
+                TokenKind::Keyword(K::Select),
+                TokenKind::Number("1".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_lex_with_dots() {
+        assert_eq!(
+            kinds("t.a"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_dot_ident() {
+        // `1.x` must not eat the dot into the number.
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = lex("SELECT 'open").unwrap_err();
+        assert!(err.message().contains("byte 7"), "{err}");
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = lex("SELECT a").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo 世界'"),
+            vec![TokenKind::String("héllo 世界".into())]
+        );
+    }
+}

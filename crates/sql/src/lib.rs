@@ -1,0 +1,20 @@
+//! `pixels-sql` — the SQL front-end of PixelsDB.
+//!
+//! A hand-written [`lexer`], a recursive-descent [`parser`] with
+//! precedence-climbing expressions, and a typed [`ast`] whose nodes render
+//! back to canonical SQL. The dialect covers the analytical subset PixelsDB
+//! executes: SELECT with joins (inner/left/right/cross), derived tables,
+//! aggregation with GROUP BY/HAVING, DISTINCT, ORDER BY/LIMIT/OFFSET, CASE,
+//! CAST, EXTRACT, date literals, and the usual predicate forms (BETWEEN,
+//! IN, LIKE, IS NULL).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    BinaryOp, DateField, Expr, JoinType, ObjectName, OrderByItem, Select, SelectItem, Statement,
+    TableExpr, UnaryOp,
+};
+pub use parser::{parse_query, parse_statement};

@@ -1,0 +1,903 @@
+//! Recursive-descent SQL parser with precedence-climbing expressions.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+use pixels_common::{value, DataType, Error, Result, Value};
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.consume(&TokenKind::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a SELECT query, rejecting other statement kinds.
+pub fn parse_query(sql: &str) -> Result<Select> {
+    match parse_statement(sql)? {
+        Statement::Query(q) => Ok(*q),
+        other => Err(Error::Parse(format!(
+            "expected a SELECT query, found: {other}"
+        ))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_ahead(&self, n: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + n).map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> Error {
+        match self.tokens.get(self.pos) {
+            Some(t) => Error::Parse(format!("{msg} at byte {} (found {})", t.offset, t.kind)),
+            None => Error::Parse(format!("{msg} at end of input")),
+        }
+    }
+
+    /// Consume the token if it matches; returns whether it did.
+    fn consume(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn consume_keyword(&mut self, k: Keyword) -> bool {
+        self.consume(&TokenKind::Keyword(k))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.consume(kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {kind}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(k))
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err_here("unexpected trailing input"))
+        }
+    }
+
+    /// An identifier; certain non-reserved keywords double as identifiers.
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.peek().cloned() {
+            Some(TokenKind::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            // Allow column/table names that collide with soft keywords.
+            Some(TokenKind::Keyword(
+                k @ (Keyword::Year
+                | Keyword::Month
+                | Keyword::Day
+                | Keyword::Date
+                | Keyword::Timestamp
+                | Keyword::Tables
+                | Keyword::Databases),
+            )) => {
+                self.pos += 1;
+                Ok(format!("{k:?}").to_ascii_lowercase())
+            }
+            _ => Err(self.err_here("expected identifier")),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(TokenKind::Keyword(Keyword::Explain)) => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("analyze"))
+                {
+                    self.pos += 1;
+                    return Ok(Statement::ExplainAnalyze(Box::new(self.parse_statement()?)));
+                }
+                Ok(Statement::Explain(Box::new(self.parse_statement()?)))
+            }
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("analyze") => {
+                self.pos += 1;
+                Ok(Statement::Analyze(self.parse_object_name()?))
+            }
+            Some(TokenKind::Keyword(Keyword::Show)) => {
+                self.pos += 1;
+                if self.consume_keyword(Keyword::Tables) {
+                    Ok(Statement::ShowTables)
+                } else if self.consume_keyword(Keyword::Databases) {
+                    Ok(Statement::ShowDatabases)
+                } else {
+                    Err(self.err_here("expected TABLES or DATABASES after SHOW"))
+                }
+            }
+            Some(TokenKind::Keyword(Keyword::Describe)) => {
+                self.pos += 1;
+                Ok(Statement::Describe(self.parse_object_name()?))
+            }
+            Some(TokenKind::Keyword(Keyword::Select)) => {
+                Ok(Statement::Query(Box::new(self.parse_select()?)))
+            }
+            _ => Err(self.err_here("expected a statement")),
+        }
+    }
+
+    fn parse_object_name(&mut self) -> Result<ObjectName> {
+        let first = self.parse_ident()?;
+        if self.consume(&TokenKind::Dot) {
+            let second = self.parse_ident()?;
+            Ok(ObjectName::qualified(first, second))
+        } else {
+            Ok(ObjectName::bare(first))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.consume_keyword(Keyword::Distinct);
+        let mut projection = vec![self.parse_select_item()?];
+        while self.consume(&TokenKind::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+        let from = if self.consume_keyword(Keyword::From) {
+            Some(self.parse_table_expr()?)
+        } else {
+            None
+        };
+        let selection = if self.consume_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.consume_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.consume(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.consume_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.consume_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.consume_keyword(Keyword::Desc) {
+                    false
+                } else {
+                    self.consume_keyword(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderByItem { expr, asc });
+                if !self.consume(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.consume_keyword(Keyword::Limit) {
+            Some(self.parse_u64()?)
+        } else {
+            None
+        };
+        let offset = if self.consume_keyword(Keyword::Offset) {
+            Some(self.parse_u64()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_u64(&mut self) -> Result<u64> {
+        match self.peek().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                n.parse()
+                    .map_err(|_| Error::Parse(format!("expected an integer, found {n}")))
+            }
+            _ => Err(self.err_here("expected an integer")),
+        }
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.consume(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Some(TokenKind::Ident(q)), Some(TokenKind::Dot), Some(TokenKind::Star)) =
+            (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
+        {
+            let q = q.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.consume_keyword(Keyword::As)
+            || matches!(self.peek(), Some(TokenKind::Ident(_)))
+        {
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // -- FROM clause --------------------------------------------------------
+
+    fn parse_table_expr(&mut self) -> Result<TableExpr> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            // Comma join == CROSS JOIN.
+            if self.consume(&TokenKind::Comma) {
+                let right = self.parse_table_factor()?;
+                left = TableExpr::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    join_type: JoinType::Cross,
+                    on: None,
+                };
+                continue;
+            }
+            let join_type = if self.consume_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinType::Cross
+            } else if self.consume_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinType::Inner
+            } else if self.consume_keyword(Keyword::Left) {
+                self.consume_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinType::Left
+            } else if self.consume_keyword(Keyword::Right) {
+                self.consume_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinType::Right
+            } else if self.consume_keyword(Keyword::Join) {
+                JoinType::Inner
+            } else {
+                break;
+            };
+            let right = self.parse_table_factor()?;
+            let on = if join_type == JoinType::Cross {
+                None
+            } else {
+                self.expect_keyword(Keyword::On)?;
+                Some(self.parse_expr()?)
+            };
+            left = TableExpr::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                join_type,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableExpr> {
+        if self.consume(&TokenKind::LParen) {
+            // Derived table: (SELECT ...) AS alias
+            let query = self.parse_select()?;
+            self.expect(&TokenKind::RParen)?;
+            self.consume_keyword(Keyword::As);
+            let alias = self.parse_ident()?;
+            return Ok(TableExpr::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.parse_object_name()?;
+        let alias = if self.consume_keyword(Keyword::As)
+            || matches!(self.peek(), Some(TokenKind::Ident(_)))
+        {
+            Some(self.parse_ident()?)
+        } else {
+            None
+        };
+        Ok(TableExpr::Table { name, alias })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.consume_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.consume_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.consume_keyword(Keyword::Not) {
+            let inner = self.parse_not()?;
+            Ok(Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.consume_keyword(Keyword::Is) {
+            let negated = self.consume_keyword(Keyword::Not);
+            self.expect_keyword(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / IN / LIKE
+        let negated = self.consume_keyword(Keyword::Not);
+        if self.consume_keyword(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_keyword(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.consume_keyword(Keyword::In) {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = vec![self.parse_expr()?];
+            while self.consume(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.consume_keyword(Keyword::Like) {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err_here("expected BETWEEN, IN, or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => BinaryOp::Eq,
+            Some(TokenKind::NotEq) => BinaryOp::NotEq,
+            Some(TokenKind::Lt) => BinaryOp::Lt,
+            Some(TokenKind::LtEq) => BinaryOp::LtEq,
+            Some(TokenKind::Gt) => BinaryOp::Gt,
+            Some(TokenKind::GtEq) => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinaryOp::Plus,
+                Some(TokenKind::Minus) => BinaryOp::Minus,
+                Some(TokenKind::Concat) => BinaryOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinaryOp::Multiply,
+                Some(TokenKind::Slash) => BinaryOp::Divide,
+                Some(TokenKind::Percent) => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.consume(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negation into numeric literals immediately.
+            return Ok(match inner {
+                Expr::Literal(Value::Int64(v)) => Expr::Literal(Value::Int64(-v)),
+                Expr::Literal(Value::Float64(v)) => Expr::Literal(Value::Float64(-v)),
+                other => Expr::UnaryOp {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.consume(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("invalid number {n}")))?;
+                    Ok(Expr::lit(Value::Float64(v)))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("invalid integer {n}")))?;
+                    Ok(Expr::lit(Value::Int64(v)))
+                }
+            }
+            Some(TokenKind::String(s)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Utf8(s)))
+            }
+            Some(TokenKind::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Boolean(true)))
+            }
+            Some(TokenKind::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Boolean(false)))
+            }
+            Some(TokenKind::Keyword(Keyword::Null)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Null))
+            }
+            Some(TokenKind::Keyword(Keyword::Date)) => {
+                // DATE 'YYYY-MM-DD' literal; bare `date` falls through to a
+                // column reference.
+                if let Some(TokenKind::String(s)) = self.peek_ahead(1).cloned() {
+                    self.pos += 2;
+                    Ok(Expr::lit(Value::Date(value::parse_date(&s)?)))
+                } else {
+                    self.parse_column_or_function()
+                }
+            }
+            Some(TokenKind::Keyword(Keyword::Timestamp)) => {
+                if let Some(TokenKind::String(s)) = self.peek_ahead(1).cloned() {
+                    self.pos += 2;
+                    Ok(Expr::lit(Value::Timestamp(value::parse_timestamp(&s)?)))
+                } else {
+                    self.parse_column_or_function()
+                }
+            }
+            Some(TokenKind::Keyword(Keyword::Case)) => self.parse_case(),
+            Some(TokenKind::Keyword(Keyword::Cast)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let expr = self.parse_expr()?;
+                self.expect_keyword(Keyword::As)?;
+                let ty_name = match self.advance().cloned() {
+                    Some(TokenKind::Ident(s)) => s,
+                    Some(TokenKind::Keyword(Keyword::Date)) => "DATE".to_string(),
+                    Some(TokenKind::Keyword(Keyword::Timestamp)) => "TIMESTAMP".to_string(),
+                    _ => return Err(self.err_here("expected a type name in CAST")),
+                };
+                // Optional precision/scale like DECIMAL(12, 2): parse & ignore.
+                if self.consume(&TokenKind::LParen) {
+                    self.parse_u64()?;
+                    if self.consume(&TokenKind::Comma) {
+                        self.parse_u64()?;
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Cast {
+                    expr: Box::new(expr),
+                    to: DataType::parse_sql(&ty_name)?,
+                })
+            }
+            Some(TokenKind::Keyword(Keyword::Extract)) => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let field = match self.advance() {
+                    Some(TokenKind::Keyword(Keyword::Year)) => DateField::Year,
+                    Some(TokenKind::Keyword(Keyword::Month)) => DateField::Month,
+                    Some(TokenKind::Keyword(Keyword::Day)) => DateField::Day,
+                    _ => return Err(self.err_here("expected YEAR, MONTH, or DAY in EXTRACT")),
+                };
+                self.expect_keyword(Keyword::From)?;
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Extract {
+                    field,
+                    expr: Box::new(expr),
+                })
+            }
+            // YEAR(x) / MONTH(x) / DAY(x) shorthand.
+            Some(TokenKind::Keyword(k @ (Keyword::Year | Keyword::Month | Keyword::Day)))
+                if self.peek_ahead(1) == Some(&TokenKind::LParen) =>
+            {
+                self.pos += 2;
+                let expr = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let field = match k {
+                    Keyword::Year => DateField::Year,
+                    Keyword::Month => DateField::Month,
+                    _ => DateField::Day,
+                };
+                Ok(Expr::Extract {
+                    field,
+                    expr: Box::new(expr),
+                })
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(_)) | Some(TokenKind::Keyword(_)) => {
+                self.parse_column_or_function()
+            }
+            _ => Err(self.err_here("expected an expression")),
+        }
+    }
+
+    fn parse_column_or_function(&mut self) -> Result<Expr> {
+        let name = self.parse_ident()?;
+        // Function call?
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let distinct = self.consume_keyword(Keyword::Distinct);
+            let mut args = Vec::new();
+            if self.consume(&TokenKind::Star) {
+                args.push(Expr::Wildcard);
+            } else if self.peek() != Some(&TokenKind::RParen) {
+                args.push(self.parse_expr()?);
+                while self.consume(&TokenKind::Comma) {
+                    args.push(self.parse_expr()?);
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Function {
+                name: name.to_ascii_lowercase(),
+                args,
+                distinct,
+            });
+        }
+        // Qualified column?
+        if self.peek() == Some(&TokenKind::Dot) {
+            self.pos += 1;
+            let col = self.parse_ident()?;
+            return Ok(Expr::qcol(name, col));
+        }
+        Ok(Expr::col(name))
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_keyword(Keyword::Case)?;
+        let operand = if self.peek() != Some(&TokenKind::Keyword(Keyword::When)) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.consume_keyword(Keyword::When) {
+            let when = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.err_here("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_keyword(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) -> String {
+        parse_statement(sql).unwrap().to_string()
+    }
+
+    #[test]
+    fn simple_select() {
+        assert_eq!(roundtrip("select a, b from t"), "SELECT a, b FROM t");
+        assert_eq!(roundtrip("SELECT * FROM db.t;"), "SELECT * FROM db.t");
+    }
+
+    #[test]
+    fn select_without_from() {
+        assert_eq!(roundtrip("SELECT 1 + 2"), "SELECT (1 + 2)");
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(
+            roundtrip("SELECT a AS x, b y FROM t AS t1"),
+            "SELECT a AS x, b AS y FROM t AS t1"
+        );
+    }
+
+    #[test]
+    fn where_precedence() {
+        assert_eq!(
+            roundtrip("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3"),
+            "SELECT a FROM t WHERE ((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+        assert_eq!(
+            roundtrip("SELECT a FROM t WHERE NOT a = 1 AND b = 2"),
+            "SELECT a FROM t WHERE ((NOT (a = 1)) AND (b = 2))"
+        );
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(
+            roundtrip("SELECT 1 + 2 * 3 - 4 / 2"),
+            "SELECT ((1 + (2 * 3)) - (4 / 2))"
+        );
+        assert_eq!(roundtrip("SELECT -(1 + 2)"), "SELECT (-(1 + 2))");
+        assert_eq!(roundtrip("SELECT -5"), "SELECT -5");
+    }
+
+    #[test]
+    fn joins() {
+        assert_eq!(
+            roundtrip("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.x = c.x"),
+            "SELECT * FROM a JOIN b ON (a.id = b.id) LEFT JOIN c ON (b.x = c.x)"
+        );
+        assert_eq!(
+            roundtrip("SELECT * FROM a, b WHERE a.id = b.id"),
+            "SELECT * FROM a CROSS JOIN b WHERE (a.id = b.id)"
+        );
+        assert_eq!(
+            roundtrip("SELECT * FROM a CROSS JOIN b"),
+            "SELECT * FROM a CROSS JOIN b"
+        );
+    }
+
+    #[test]
+    fn derived_table() {
+        assert_eq!(
+            roundtrip("SELECT x FROM (SELECT a AS x FROM t) AS sub"),
+            "SELECT x FROM (SELECT a AS x FROM t) AS sub"
+        );
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        assert_eq!(
+            roundtrip(
+                "SELECT status, COUNT(*), SUM(total) FROM orders \
+                 GROUP BY status HAVING COUNT(*) > 10 ORDER BY 2 DESC LIMIT 5"
+            ),
+            "SELECT status, COUNT(*), SUM(total) FROM orders GROUP BY status \
+             HAVING (COUNT(*) > 10) ORDER BY 2 DESC LIMIT 5"
+        );
+        assert_eq!(
+            roundtrip("SELECT COUNT(DISTINCT a) FROM t"),
+            "SELECT COUNT(DISTINCT a) FROM t"
+        );
+    }
+
+    #[test]
+    fn between_in_like_is_null() {
+        assert_eq!(
+            roundtrip(
+                "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IN ('x','y') \
+                 AND c LIKE 'p%' AND d IS NOT NULL AND e NOT IN (1)"
+            ),
+            "SELECT * FROM t WHERE (((((a BETWEEN 1 AND 10) AND (b IN ('x', 'y'))) \
+             AND (c LIKE 'p%')) AND (d IS NOT NULL)) AND (e NOT IN (1)))"
+        );
+        assert_eq!(
+            roundtrip("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2"),
+            "SELECT * FROM t WHERE (a NOT BETWEEN 1 AND 2)"
+        );
+        assert_eq!(
+            roundtrip("SELECT * FROM t WHERE name NOT LIKE '%x%'"),
+            "SELECT * FROM t WHERE (name NOT LIKE '%x%')"
+        );
+    }
+
+    #[test]
+    fn date_literals_and_extract() {
+        assert_eq!(
+            roundtrip("SELECT * FROM t WHERE d >= DATE '1995-01-01'"),
+            "SELECT * FROM t WHERE (d >= DATE '1995-01-01')"
+        );
+        assert_eq!(
+            roundtrip("SELECT EXTRACT(YEAR FROM d) FROM t"),
+            "SELECT EXTRACT(YEAR FROM d) FROM t"
+        );
+        assert_eq!(
+            roundtrip("SELECT year(d) FROM t"),
+            "SELECT EXTRACT(YEAR FROM d) FROM t"
+        );
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            roundtrip("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t"),
+            "SELECT CASE WHEN (a > 0) THEN 'pos' ELSE 'neg' END FROM t"
+        );
+        assert_eq!(
+            roundtrip("SELECT CASE a WHEN 1 THEN 'one' END FROM t"),
+            "SELECT CASE a WHEN 1 THEN 'one' END FROM t"
+        );
+        assert!(parse_statement("SELECT CASE END").is_err());
+    }
+
+    #[test]
+    fn cast() {
+        assert_eq!(
+            roundtrip("SELECT CAST(a AS BIGINT) FROM t"),
+            "SELECT CAST(a AS BIGINT) FROM t"
+        );
+        assert_eq!(
+            roundtrip("SELECT CAST(a AS DECIMAL(12,2)) FROM t"),
+            "SELECT CAST(a AS DOUBLE) FROM t"
+        );
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        assert_eq!(roundtrip("SELECT t.* FROM t"), "SELECT t.* FROM t");
+    }
+
+    #[test]
+    fn analyze_statements() {
+        assert_eq!(roundtrip("ANALYZE orders"), "ANALYZE orders");
+        assert_eq!(roundtrip("analyze tpch.orders"), "ANALYZE tpch.orders");
+        assert_eq!(
+            roundtrip("EXPLAIN ANALYZE SELECT 1"),
+            "EXPLAIN ANALYZE SELECT 1"
+        );
+        assert!(parse_statement("ANALYZE").is_err());
+    }
+
+    #[test]
+    fn other_statements() {
+        assert_eq!(roundtrip("SHOW TABLES"), "SHOW TABLES");
+        assert_eq!(roundtrip("SHOW DATABASES"), "SHOW DATABASES");
+        assert_eq!(roundtrip("DESCRIBE tpch.orders"), "DESCRIBE tpch.orders");
+        assert_eq!(roundtrip("EXPLAIN SELECT 1"), "EXPLAIN SELECT 1");
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        for bad in [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "FROBNICATE",
+            "SELECT a FROM t LIMIT x",
+            "SELECT * FROM a JOIN b", // missing ON
+            "SELECT a b c FROM t",
+        ] {
+            let err = parse_statement(bad).unwrap_err();
+            assert_eq!(err.kind(), "parse", "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT 1; SELECT 2").is_err());
+    }
+
+    #[test]
+    fn parse_query_rejects_non_queries() {
+        assert!(parse_query("SHOW TABLES").is_err());
+        assert!(parse_query("SELECT 1").is_ok());
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            roundtrip("SELECT 'a' || 'b' || c FROM t"),
+            "SELECT (('a' || 'b') || c) FROM t"
+        );
+    }
+
+    #[test]
+    fn tpch_q1_shape_parses() {
+        let sql = "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+                   SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+                   AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order \
+                   FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+                   GROUP BY l_returnflag, l_linestatus \
+                   ORDER BY l_returnflag, l_linestatus";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else {
+            panic!("not a query")
+        };
+        assert_eq!(q.projection.len(), 6);
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.order_by.len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain encoding: values stored back-to-back in their natural width.
+//! Strings are length-prefixed; booleans are bit-packed.
+
+use super::bitpack;
+use crate::codec::{Reader, Writer};
+use pixels_common::{ColumnData, DataType, Result};
+
+pub fn encode(data: &ColumnData, w: &mut Writer) {
+    match data {
+        ColumnData::Boolean(v) => w.put_raw(&bitpack::pack_bools(v)),
+        ColumnData::Int32(v) | ColumnData::Date(v) => {
+            for x in v {
+                w.put_i32(*x);
+            }
+        }
+        ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+            for x in v {
+                w.put_i64(*x);
+            }
+        }
+        ColumnData::Float64(v) => {
+            for x in v {
+                w.put_f64(*x);
+            }
+        }
+        ColumnData::Utf8(v) => {
+            for s in v {
+                w.put_str(s);
+            }
+        }
+    }
+}
+
+pub fn decode(r: &mut Reader<'_>, ty: DataType, num_rows: usize) -> Result<ColumnData> {
+    Ok(match ty {
+        DataType::Boolean => {
+            let bytes = r.get_raw(num_rows.div_ceil(8))?;
+            ColumnData::Boolean(bitpack::unpack_bools(bytes, num_rows))
+        }
+        DataType::Int32 | DataType::Date => {
+            let mut v = Vec::with_capacity(num_rows);
+            for _ in 0..num_rows {
+                v.push(r.get_i32()?);
+            }
+            if ty == DataType::Date {
+                ColumnData::Date(v)
+            } else {
+                ColumnData::Int32(v)
+            }
+        }
+        DataType::Int64 | DataType::Timestamp => {
+            let mut v = Vec::with_capacity(num_rows);
+            for _ in 0..num_rows {
+                v.push(r.get_i64()?);
+            }
+            if ty == DataType::Timestamp {
+                ColumnData::Timestamp(v)
+            } else {
+                ColumnData::Int64(v)
+            }
+        }
+        DataType::Float64 => {
+            let mut v = Vec::with_capacity(num_rows);
+            for _ in 0..num_rows {
+                v.push(r.get_f64()?);
+            }
+            ColumnData::Float64(v)
+        }
+        DataType::Utf8 => {
+            let mut v = Vec::with_capacity(num_rows);
+            for _ in 0..num_rows {
+                v.push(r.get_str()?);
+            }
+            ColumnData::Utf8(v)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: ColumnData) {
+        let n = data.len();
+        let ty = data.data_type();
+        let mut w = Writer::new();
+        encode(&data, &mut w);
+        let bytes = w.into_bytes();
+        let decoded = decode(&mut Reader::new(&bytes), ty, n).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn roundtrips_every_type() {
+        roundtrip(ColumnData::Boolean(vec![true, false, true, true, false]));
+        roundtrip(ColumnData::Int32(vec![-1, 0, i32::MAX]));
+        roundtrip(ColumnData::Int64(vec![i64::MIN, 7]));
+        roundtrip(ColumnData::Float64(vec![0.5, -2.25, f64::MAX]));
+        roundtrip(ColumnData::Utf8(vec![
+            "".into(),
+            "abc".into(),
+            "日本".into(),
+        ]));
+        roundtrip(ColumnData::Date(vec![0, 19000]));
+        roundtrip(ColumnData::Timestamp(vec![1_700_000_000_000]));
+    }
+
+    #[test]
+    fn empty_columns() {
+        roundtrip(ColumnData::Int32(vec![]));
+        roundtrip(ColumnData::Utf8(vec![]));
+        roundtrip(ColumnData::Boolean(vec![]));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        encode(&ColumnData::Int64(vec![1, 2, 3]), &mut w);
+        let bytes = w.into_bytes();
+        let res = decode(&mut Reader::new(&bytes[..10]), DataType::Int64, 3);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `pixels-storage` — the Pixels columnar file format and cloud object
+//! storage.
+//!
+//! This crate is the storage substrate of PixelsDB:
+//!
+//! - [`object_store`] — an S3-like object store trait plus an in-memory
+//!   implementation with exact byte accounting (the basis of $/TB-scan
+//!   billing) and a latency model for the simulator.
+//! - [`format`], [`writer`], [`reader`] — a from-scratch columnar file
+//!   format with row groups, per-chunk encodings, and zone-map statistics
+//!   enabling projection and predicate pushdown.
+//! - [`encoding`] — plain, run-length, and dictionary encodings with a
+//!   per-chunk chooser.
+//! - [`stats`] — min/max/null statistics used for pruning and costing.
+
+pub mod codec;
+pub mod encoding;
+pub mod format;
+pub mod object_store;
+pub mod reader;
+pub mod stats;
+pub mod writer;
+
+pub use encoding::Encoding;
+pub use format::{ColumnChunkMeta, Footer, RowGroupMeta};
+pub use object_store::{
+    InMemoryObjectStore, LatencyModel, ObjectStore, ObjectStoreRef, StoreMetricsSnapshot,
+};
+pub use reader::{ColumnPredicate, PixelsReader, PredicateOp};
+pub use stats::ColumnStats;
+pub use writer::{write_table, PixelsWriter, DEFAULT_ROW_GROUP_ROWS};

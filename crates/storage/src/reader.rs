@@ -1,0 +1,375 @@
+//! Reads Pixels-format objects with projection and zone-map pruning.
+//!
+//! The reader fetches the footer with ranged GETs, then fetches only the
+//! column chunks a query projects, skipping whole row groups whose zone maps
+//! prove no row can match the scan predicates. The object store's byte
+//! counters therefore measure *data actually scanned*, which is the quantity
+//! the query server bills.
+
+use crate::codec::Reader as ByteReader;
+use crate::encoding::{self, bitpack};
+use crate::format::{Footer, MAGIC_HEAD, MAGIC_TAIL};
+use crate::object_store::ObjectStore;
+use crate::stats::ColumnStats;
+use pixels_common::{Column, Error, RecordBatch, Result, SchemaRef, Value};
+use std::sync::Arc;
+
+/// A comparison predicate usable for zone-map pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    /// Column index in the file schema.
+    pub column: usize,
+    pub op: PredicateOp,
+    pub value: Value,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    Eq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl ColumnPredicate {
+    /// Could any row in a chunk with these statistics satisfy the predicate?
+    /// Conservative (never prunes a chunk that might match).
+    pub fn may_match(&self, stats: &ColumnStats) -> bool {
+        let (lower, upper) = match self.op {
+            PredicateOp::Eq => (Some(&self.value), Some(&self.value)),
+            PredicateOp::Lt | PredicateOp::LtEq => (None, Some(&self.value)),
+            PredicateOp::Gt | PredicateOp::GtEq => (Some(&self.value), None),
+        };
+        stats.may_match_range(lower, upper)
+    }
+}
+
+/// An open Pixels file: parsed footer plus a handle to the store.
+pub struct PixelsReader<'a> {
+    store: &'a dyn ObjectStore,
+    path: String,
+    footer: Footer,
+    schema: SchemaRef,
+}
+
+impl<'a> PixelsReader<'a> {
+    /// Open `path`, validating magic bytes and parsing the footer.
+    pub fn open(store: &'a dyn ObjectStore, path: &str) -> Result<Self> {
+        let size = store.size(path)?;
+        let min = (MAGIC_HEAD.len() + 12) as u64;
+        if size < min {
+            return Err(Error::Storage(format!(
+                "file {path} too small ({size} bytes) to be a Pixels file"
+            )));
+        }
+        let head = store.get_range(path, 0, MAGIC_HEAD.len() as u64)?;
+        if head.as_ref() != MAGIC_HEAD {
+            return Err(Error::Storage(format!("bad magic in {path}")));
+        }
+        let tail = store.get_range(path, size - 12, 12)?;
+        if &tail[8..] != MAGIC_TAIL {
+            return Err(Error::Storage(format!("bad trailing magic in {path}")));
+        }
+        let footer_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        let needed = footer_len.checked_add(12 + MAGIC_HEAD.len() as u64);
+        if needed.is_none_or(|n| n > size) {
+            return Err(Error::Storage(format!("corrupt footer length in {path}")));
+        }
+        let footer_bytes = store.get_range(path, size - 12 - footer_len, footer_len)?;
+        let footer = Footer::decode(&footer_bytes)?;
+        let schema = Arc::new(footer.schema.clone());
+        Ok(PixelsReader {
+            store,
+            path: path.to_string(),
+            footer,
+            schema,
+        })
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    pub fn num_row_groups(&self) -> usize {
+        self.footer.row_groups.len()
+    }
+
+    pub fn num_rows(&self) -> u64 {
+        self.footer.num_rows()
+    }
+
+    /// Indices of row groups that survive zone-map pruning for `predicates`
+    /// (a conjunction).
+    pub fn prune_row_groups(&self, predicates: &[ColumnPredicate]) -> Vec<usize> {
+        (0..self.footer.row_groups.len())
+            .filter(|&rg| {
+                predicates.iter().all(|p| {
+                    p.column < self.schema.len()
+                        && p.may_match(&self.footer.row_groups[rg].columns[p.column].stats)
+                })
+            })
+            .collect()
+    }
+
+    /// Read one row group. `projection` selects columns by file-schema index
+    /// (`None` reads all). Only the projected chunks are fetched from the
+    /// store.
+    pub fn read_row_group(
+        &self,
+        rg_index: usize,
+        projection: Option<&[usize]>,
+    ) -> Result<RecordBatch> {
+        let rg = self
+            .footer
+            .row_groups
+            .get(rg_index)
+            .ok_or_else(|| Error::Storage(format!("row group {rg_index} out of range")))?;
+        let indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.schema.len()).collect(),
+        };
+        let mut columns = Vec::with_capacity(indices.len());
+        for &col_idx in &indices {
+            if col_idx >= self.schema.len() {
+                return Err(Error::Storage(format!(
+                    "projected column {col_idx} out of range"
+                )));
+            }
+            let meta = &rg.columns[col_idx];
+            let chunk = self.store.get_range(&self.path, meta.offset, meta.len)?;
+            columns.push(decode_chunk(
+                &chunk,
+                self.schema.field(col_idx).data_type,
+                meta.encoding,
+                rg.num_rows as usize,
+            )?);
+        }
+        let schema = Arc::new(self.schema.project(&indices));
+        RecordBatch::try_new(schema, columns)
+    }
+
+    /// Read the full table (all row groups, optional projection and pruning).
+    pub fn read_all(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> Result<Vec<RecordBatch>> {
+        self.prune_row_groups(predicates)
+            .into_iter()
+            .map(|rg| self.read_row_group(rg, projection))
+            .collect()
+    }
+}
+
+fn decode_chunk(
+    chunk: &[u8],
+    ty: pixels_common::DataType,
+    encoding: encoding::Encoding,
+    num_rows: usize,
+) -> Result<Column> {
+    let mut r = ByteReader::new(chunk);
+    let has_validity = r.get_u8()? == 1;
+    let validity = if has_validity {
+        let bytes = r.get_raw(num_rows.div_ceil(8))?;
+        Some(bitpack::unpack_bools(bytes, num_rows))
+    } else {
+        None
+    };
+    let data = encoding::decode(&mut r, encoding, ty, num_rows)?;
+    if data.len() != num_rows {
+        return Err(Error::Storage(format!(
+            "chunk decoded {} rows, expected {num_rows}",
+            data.len()
+        )));
+    }
+    Column::with_validity(data, validity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_store::InMemoryObjectStore;
+    use crate::writer::{write_table, PixelsWriter};
+    use bytes::Bytes;
+    use pixels_common::{DataType, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::nullable("tag", DataType::Utf8),
+            Field::required("price", DataType::Float64),
+        ]))
+    }
+
+    fn batch(start: i64, n: usize) -> RecordBatch {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int64(start + i as i64),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Utf8(format!("tag{}", i % 4))
+                    },
+                    Value::Float64((start + i as i64) as f64 * 0.5),
+                ]
+            })
+            .collect();
+        RecordBatch::from_rows(schema(), &rows).unwrap()
+    }
+
+    fn write_sample(store: &InMemoryObjectStore, rg_rows: usize, total: usize) {
+        let mut w = PixelsWriter::with_row_group_rows(store, "t.pxl", schema(), rg_rows);
+        w.write_batch(&batch(0, total)).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        assert_eq!(reader.num_rows(), 250);
+        assert_eq!(reader.num_row_groups(), 3);
+        let batches = reader.read_all(None, &[]).unwrap();
+        let all = RecordBatch::concat(&batches).unwrap();
+        assert_eq!(all.num_rows(), 250);
+        assert_eq!(all, batch(0, 250));
+    }
+
+    #[test]
+    fn projection_reads_fewer_bytes() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 1000, 5000);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+
+        let before = store.metrics();
+        let full = reader.read_all(None, &[]).unwrap();
+        let full_bytes = store.metrics().delta_since(&before).bytes_read;
+
+        let before = store.metrics();
+        let proj = reader.read_all(Some(&[0]), &[]).unwrap();
+        let proj_bytes = store.metrics().delta_since(&before).bytes_read;
+
+        assert_eq!(proj[0].num_columns(), 1);
+        assert_eq!(proj[0].schema().field(0).name, "id");
+        assert!(
+            proj_bytes * 2 < full_bytes,
+            "projection should scan fewer bytes: {proj_bytes} vs {full_bytes}"
+        );
+        assert_eq!(
+            RecordBatch::concat(&full).unwrap().num_rows(),
+            RecordBatch::concat(&proj).unwrap().num_rows()
+        );
+    }
+
+    #[test]
+    fn zone_map_pruning_skips_row_groups() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 1000); // ids 0..999 in 10 groups of 100
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        // id >= 950 matches only the last group.
+        let preds = [ColumnPredicate {
+            column: 0,
+            op: PredicateOp::GtEq,
+            value: Value::Int64(950),
+        }];
+        assert_eq!(reader.prune_row_groups(&preds), vec![9]);
+        // id = 123 matches only group 1.
+        let preds = [ColumnPredicate {
+            column: 0,
+            op: PredicateOp::Eq,
+            value: Value::Int64(123),
+        }];
+        assert_eq!(reader.prune_row_groups(&preds), vec![1]);
+        // Conjunction with contradictory bounds matches nothing.
+        let preds = [
+            ColumnPredicate {
+                column: 0,
+                op: PredicateOp::Gt,
+                value: Value::Int64(500),
+            },
+            ColumnPredicate {
+                column: 0,
+                op: PredicateOp::Lt,
+                value: Value::Int64(100),
+            },
+        ];
+        assert!(reader.prune_row_groups(&preds).is_empty());
+    }
+
+    #[test]
+    fn pruned_scan_returns_correct_rows() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 1000);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let preds = [ColumnPredicate {
+            column: 0,
+            op: PredicateOp::GtEq,
+            value: Value::Int64(990),
+        }];
+        let batches = reader.read_all(None, &preds).unwrap();
+        let all = RecordBatch::concat(&batches).unwrap();
+        // Pruning is row-group granular: returns the whole last group.
+        assert_eq!(all.num_rows(), 100);
+        assert_eq!(all.row(0)[0], Value::Int64(900));
+    }
+
+    #[test]
+    fn nulls_survive_roundtrip() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 50, 50);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let all = RecordBatch::concat(&reader.read_all(None, &[]).unwrap()).unwrap();
+        assert_eq!(all.column(1).null_count(), 8); // i % 7 == 0 for 50 rows
+        assert_eq!(all.row(0)[1], Value::Null);
+        assert_eq!(all.row(1)[1], Value::Utf8("tag1".into()));
+    }
+
+    #[test]
+    fn open_rejects_corrupt_files() {
+        let store = InMemoryObjectStore::new();
+        store.put("junk", Bytes::from(vec![0u8; 100])).unwrap();
+        assert!(PixelsReader::open(&store, "junk").is_err());
+        store.put("tiny", Bytes::from_static(b"PX")).unwrap();
+        assert!(PixelsReader::open(&store, "tiny").is_err());
+        assert!(PixelsReader::open(&store, "missing").is_err());
+    }
+
+    #[test]
+    fn corrupt_footer_length_detected() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 100);
+        let mut data = store.get("t.pxl").unwrap().to_vec();
+        let n = data.len();
+        // Overwrite footer_len with an absurd value.
+        data[n - 12..n - 4].copy_from_slice(&u64::MAX.to_le_bytes());
+        store.put("t.pxl", Bytes::from(data)).unwrap();
+        assert!(PixelsReader::open(&store, "t.pxl").is_err());
+    }
+
+    #[test]
+    fn footer_stats_reflect_data() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 300);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let stats = reader.footer().column_stats(0);
+        assert_eq!(stats.min, Some(Value::Int64(0)));
+        assert_eq!(stats.max, Some(Value::Int64(299)));
+        assert_eq!(stats.row_count, 300);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let store = InMemoryObjectStore::new();
+        write_table(&store, "e.pxl", schema(), &[]).unwrap();
+        let reader = PixelsReader::open(&store, "e.pxl").unwrap();
+        assert_eq!(reader.num_rows(), 0);
+        assert!(reader.read_all(None, &[]).unwrap().is_empty());
+    }
+}

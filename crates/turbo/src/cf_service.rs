@@ -1,0 +1,224 @@
+//! The cloud-function service (paper §3.1).
+//!
+//! CF workers are ephemeral: they spawn in under a second ("create hundreds
+//! of workers in 1 second"), execute a pushed-down sub-plan, materialize the
+//! result to object storage, and disappear. They are 9–24× more expensive
+//! per resource unit than VM cores, which is exactly the trade the service
+//! levels monetize.
+
+use crate::billing::ResourcePricing;
+use crate::model::QueryWork;
+use pixels_common::QueryId;
+use pixels_sim::{SimDuration, SimTime, TimeSeries};
+
+/// CF service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CfConfig {
+    /// Cold-start latency per worker fleet (workers spawn in parallel).
+    pub startup: SimDuration,
+    /// Cap on workers for one query.
+    pub max_workers_per_query: u32,
+    /// Work inflation from running split plans in CFs: duplicated scans at
+    /// the cut boundary, intermediate-result materialization, shuffle via
+    /// object storage. Multiplies CPU demand.
+    pub overhead_factor: f64,
+}
+
+impl Default for CfConfig {
+    fn default() -> Self {
+        CfConfig {
+            startup: SimDuration::from_millis(800),
+            max_workers_per_query: 256,
+            overhead_factor: 1.8,
+        }
+    }
+}
+
+/// One accepted CF execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfRun {
+    pub id: QueryId,
+    pub started_at: SimTime,
+    pub finish_at: SimTime,
+    pub workers: u32,
+    pub cost: f64,
+    pub scan_bytes: u64,
+}
+
+/// The CF service: tracks in-flight function fleets on the virtual clock.
+pub struct CfService {
+    cfg: CfConfig,
+    pricing: ResourcePricing,
+    active: Vec<CfRun>,
+    pub total_cost: f64,
+    pub total_invocations: u64,
+    pub worker_series: TimeSeries,
+    now: SimTime,
+}
+
+impl CfService {
+    pub fn new(cfg: CfConfig, pricing: ResourcePricing, now: SimTime) -> Self {
+        CfService {
+            cfg,
+            pricing,
+            active: Vec::new(),
+            total_cost: 0.0,
+            total_invocations: 0,
+            worker_series: TimeSeries::new(),
+            now,
+        }
+    }
+
+    pub fn config(&self) -> &CfConfig {
+        &self.cfg
+    }
+
+    pub fn active_workers(&self) -> u32 {
+        self.active.iter().map(|r| r.workers).sum()
+    }
+
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Launch a CF fleet for `work`. Returns the accepted run (cost is
+    /// charged immediately; the fleet occupies workers until `finish_at`).
+    pub fn launch(&mut self, id: QueryId, work: QueryWork, now: SimTime) -> CfRun {
+        let workers = work.parallelism.clamp(1, self.cfg.max_workers_per_query);
+        // Each worker provides `cf_efficiency` of a reference core.
+        let effective_cores = workers as f64 * self.pricing.cf_efficiency;
+        let run_time = SimDuration::from_secs_f64(
+            work.cpu_seconds * self.cfg.overhead_factor / effective_cores,
+        );
+        let per_worker = self.cfg.startup + run_time;
+        let cost = self.pricing.cf_cost(workers, per_worker);
+        let run = CfRun {
+            id,
+            started_at: now,
+            finish_at: now + per_worker,
+            workers,
+            cost,
+            scan_bytes: work.scan_bytes,
+        };
+        self.total_cost += cost;
+        self.total_invocations += workers as u64;
+        self.active.push(run);
+        self.now = now;
+        self.worker_series.record(now, self.active_workers() as f64);
+        run
+    }
+
+    /// Collect runs that completed by `now`.
+    pub fn tick(&mut self, now: SimTime) -> Vec<CfRun> {
+        self.now = now;
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].finish_at <= now {
+                done.push(self.active.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.worker_series.record(now, self.active_workers() as f64);
+        }
+        // Deterministic output order.
+        done.sort_by_key(|r| (r.finish_at, r.id));
+        done
+    }
+
+    /// The effective per-core-hour unit price of this CF service including
+    /// execution overheads — the number the paper compares against VM
+    /// pricing (9–24×).
+    pub fn effective_unit_ratio(&self) -> f64 {
+        self.pricing.cf_vm_unit_ratio() * self.cfg.overhead_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_workload::QueryClass;
+
+    fn service() -> CfService {
+        CfService::new(
+            CfConfig::default(),
+            ResourcePricing::default(),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn launch_and_finish() {
+        let mut cf = service();
+        let work = QueryWork::from_class(QueryClass::Medium);
+        let run = cf.launch(QueryId(1), work, SimTime::ZERO);
+        assert_eq!(run.workers, 16);
+        assert!(run.cost > 0.0);
+        assert!(cf.active_workers() == 16);
+        // Not finished immediately.
+        assert!(cf.tick(SimTime::from_millis(100)).is_empty());
+        let done = cf.tick(run.finish_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(cf.active_workers(), 0);
+    }
+
+    #[test]
+    fn startup_dominates_tiny_queries() {
+        let mut cf = service();
+        let work = QueryWork {
+            scan_bytes: 1 << 20,
+            cpu_seconds: 0.01,
+            parallelism: 1,
+        };
+        let run = cf.launch(QueryId(1), work, SimTime::ZERO);
+        let dur = run.finish_at.since(run.started_at);
+        assert!(dur >= SimDuration::from_millis(800));
+        assert!(dur < SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn hundreds_of_workers_in_about_a_second() {
+        // The paper's elasticity claim: a big query gets a large fleet with
+        // ~1s of startup, while a VM cluster would need minutes.
+        let mut cf = service();
+        let work = QueryWork {
+            scan_bytes: 100 << 30,
+            cpu_seconds: 500.0,
+            parallelism: 300,
+        };
+        let run = cf.launch(QueryId(1), work, SimTime::ZERO);
+        assert_eq!(run.workers, 256, "capped at max_workers_per_query");
+        // Time to full parallelism = startup < 1 s.
+        assert!(cf.config().startup <= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn effective_unit_ratio_is_in_papers_band() {
+        let cf = service();
+        let ratio = cf.effective_unit_ratio();
+        assert!(
+            (4.0..24.0).contains(&ratio),
+            "effective CF/VM unit ratio {ratio} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_work() {
+        let mut cf = service();
+        let small = cf.launch(
+            QueryId(1),
+            QueryWork::from_class(QueryClass::Light),
+            SimTime::ZERO,
+        );
+        let big = cf.launch(
+            QueryId(2),
+            QueryWork::from_class(QueryClass::Heavy),
+            SimTime::ZERO,
+        );
+        assert!(big.cost > small.cost * 10.0);
+        assert_eq!(cf.total_invocations, (small.workers + big.workers) as u64);
+        assert!((cf.total_cost - small.cost - big.cost).abs() < 1e-12);
+    }
+}

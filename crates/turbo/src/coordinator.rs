@@ -1,0 +1,381 @@
+//! The Pixels-Turbo coordinator (paper §2): the only long-running component.
+//!
+//! It receives queries from the query server, decides where each executes
+//! (VM cluster by default, CF acceleration when the cluster is overloaded
+//! *and* the client enabled CF for the query), tracks the cluster's load
+//! status for the query server's admission checks, and collects per-query
+//! statistics (pending time, execution time, resource cost).
+
+use crate::billing::{CostBreakdown, Placement, ResourcePricing};
+use crate::cf_service::{CfConfig, CfService};
+use crate::model::QueryWork;
+use crate::vm_cluster::{VmCluster, VmConfig};
+use pixels_common::QueryId;
+use pixels_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Everything the coordinator remembers about an in-flight query.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    submitted_at: SimTime,
+    work: QueryWork,
+    #[allow(dead_code)]
+    cf_enabled: bool,
+}
+
+/// Final record of a completed query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryCompletion {
+    pub id: QueryId,
+    /// When the coordinator received the query.
+    pub submitted_at: SimTime,
+    /// When execution actually began.
+    pub started_at: SimTime,
+    pub finished_at: SimTime,
+    pub placement: Placement,
+    pub cost: CostBreakdown,
+    pub scan_bytes: u64,
+}
+
+impl QueryCompletion {
+    /// Time spent waiting inside the engine before execution started.
+    pub fn pending(&self) -> SimDuration {
+        self.started_at.since(self.submitted_at)
+    }
+
+    pub fn execution(&self) -> SimDuration {
+        self.finished_at.since(self.started_at)
+    }
+}
+
+/// The coordinator on the virtual clock.
+pub struct Coordinator {
+    pub vm: VmCluster,
+    pub cf: CfService,
+    pricing: ResourcePricing,
+    /// FIFO of queries forced to wait for VM capacity (CF disabled or
+    /// acceleration not warranted).
+    vm_queue: VecDeque<(QueryId, InFlight)>,
+    inflight: Vec<(QueryId, InFlight)>,
+    server_queue_depth: u32,
+    now: SimTime,
+}
+
+impl Coordinator {
+    pub fn new(vm_cfg: VmConfig, cf_cfg: CfConfig, pricing: ResourcePricing, now: SimTime) -> Self {
+        Coordinator {
+            vm: VmCluster::new(vm_cfg, now),
+            cf: CfService::new(cf_cfg, pricing, now),
+            pricing,
+            vm_queue: VecDeque::new(),
+            inflight: Vec::new(),
+            server_queue_depth: 0,
+            now,
+        }
+    }
+
+    pub fn pricing(&self) -> &ResourcePricing {
+        &self.pricing
+    }
+
+    /// Load status exposed to the query server (paper: "interfaces for the
+    /// query server to check the system's load status").
+    pub fn concurrency(&self) -> usize {
+        self.vm.concurrency()
+    }
+
+    pub fn is_overloaded(&self) -> bool {
+        self.vm.is_overloaded()
+    }
+
+    pub fn is_nearly_idle(&self) -> bool {
+        self.vm.is_nearly_idle() && self.vm_queue.is_empty()
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.vm_queue.len()
+    }
+
+    /// Submit a query for execution (paper §3.1 placement rule):
+    /// - VM cluster has headroom → start in VMs now.
+    /// - Cluster overloaded and CF enabled → launch a CF fleet immediately.
+    /// - Cluster overloaded and CF disabled → wait in the VM queue.
+    pub fn submit(&mut self, id: QueryId, work: QueryWork, cf_enabled: bool, now: SimTime) {
+        self.now = now;
+        let info = InFlight {
+            submitted_at: now,
+            work,
+            cf_enabled,
+        };
+        if !self.vm.is_overloaded() && self.vm_queue.is_empty() {
+            self.vm.start(id, work);
+            self.inflight.push((id, info));
+        } else if cf_enabled {
+            self.cf.launch(id, work, now);
+            self.inflight.push((id, info));
+        } else {
+            self.vm_queue.push_back((id, info));
+        }
+    }
+
+    /// Report queries the query server is holding back (relaxed queue) so
+    /// the autoscaler can size for them.
+    pub fn set_server_queue_depth(&mut self, queued: usize) {
+        self.server_queue_depth = queued as u32;
+    }
+
+    /// Advance the engine one tick, returning completed queries.
+    pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<QueryCompletion> {
+        self.now = now;
+        let mut out = Vec::new();
+
+        self.vm
+            .set_external_demand(self.vm_queue.len() as u32 + self.server_queue_depth);
+        for done in self.vm.tick(now, dt) {
+            let info = self.take_inflight(done.id);
+            out.push(QueryCompletion {
+                id: done.id,
+                submitted_at: info.submitted_at,
+                started_at: done.started_at,
+                finished_at: done.finished_at,
+                placement: Placement::Vm,
+                cost: CostBreakdown {
+                    vm_dollars: self.pricing.vm_cost(done.core_seconds),
+                    cf_dollars: 0.0,
+                },
+                scan_bytes: done.scan_bytes,
+            });
+        }
+
+        for run in self.cf.tick(now) {
+            let info = self.take_inflight(run.id);
+            out.push(QueryCompletion {
+                id: run.id,
+                submitted_at: info.submitted_at,
+                started_at: run.started_at,
+                finished_at: run.finish_at,
+                placement: Placement::Cf {
+                    workers: run.workers,
+                },
+                cost: CostBreakdown {
+                    vm_dollars: 0.0,
+                    cf_dollars: run.cost,
+                },
+                scan_bytes: run.scan_bytes,
+            });
+        }
+
+        // Drain the VM wait queue while there is headroom.
+        while !self.vm.is_overloaded() {
+            let Some((id, info)) = self.vm_queue.pop_front() else {
+                break;
+            };
+            self.vm.start(id, info.work);
+            self.inflight.push((id, info));
+        }
+
+        out.sort_by_key(|c| (c.finished_at, c.id));
+        out
+    }
+
+    fn take_inflight(&mut self, id: QueryId) -> InFlight {
+        let pos = self
+            .inflight
+            .iter()
+            .position(|(qid, _)| *qid == id)
+            .expect("completion for unknown query");
+        self.inflight.swap_remove(pos).1
+    }
+
+    /// Total provider-side cost so far: provisioned VM time plus CF charges.
+    pub fn total_resource_cost(&self) -> CostBreakdown {
+        CostBreakdown {
+            vm_dollars: self.pricing.vm_cost(self.vm.provisioned_core_seconds),
+            cf_dollars: self.cf.total_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_workload::QueryClass;
+
+    fn coordinator() -> Coordinator {
+        Coordinator::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn drive(
+        c: &mut Coordinator,
+        start: SimTime,
+        limit: SimDuration,
+        out: &mut Vec<QueryCompletion>,
+    ) -> SimTime {
+        let dt = SimDuration::from_millis(100);
+        let mut now = start;
+        let end = start + limit;
+        while now < end {
+            now += dt;
+            out.extend(c.tick(now, dt));
+            if c.concurrency() == 0 && c.queue_depth() == 0 && c.cf.active_queries() == 0 {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn underloaded_queries_run_in_vms() {
+        let mut c = coordinator();
+        c.submit(
+            QueryId(1),
+            QueryWork::from_class(QueryClass::Light),
+            true,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(&mut c, SimTime::ZERO, SimDuration::from_secs(60), &mut done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].placement, Placement::Vm);
+        assert_eq!(done[0].pending(), SimDuration::ZERO);
+        assert!(done[0].cost.vm_dollars > 0.0);
+        assert_eq!(done[0].cost.cf_dollars, 0.0);
+    }
+
+    #[test]
+    fn overload_with_cf_goes_to_cf_immediately() {
+        let mut c = coordinator();
+        // Saturate the cluster (high watermark 5).
+        for i in 0..5 {
+            c.submit(
+                QueryId(i),
+                QueryWork::from_class(QueryClass::Heavy),
+                false,
+                SimTime::ZERO,
+            );
+        }
+        assert!(c.is_overloaded());
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        assert_eq!(c.cf.active_queries(), 1, "CF fleet launched");
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+            &mut done,
+        );
+        let q99 = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert!(matches!(q99.placement, Placement::Cf { .. }));
+        assert_eq!(q99.pending(), SimDuration::ZERO, "CF guarantees immediacy");
+        assert!(q99.cost.cf_dollars > 0.0);
+    }
+
+    #[test]
+    fn overload_without_cf_waits_in_queue() {
+        let mut c = coordinator();
+        for i in 0..5 {
+            c.submit(
+                QueryId(i),
+                QueryWork::from_class(QueryClass::Heavy),
+                false,
+                SimTime::ZERO,
+            );
+        }
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Light),
+            false,
+            SimTime::ZERO,
+        );
+        assert_eq!(c.queue_depth(), 1);
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q99 = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert_eq!(q99.placement, Placement::Vm);
+        assert!(
+            q99.pending() > SimDuration::from_secs(1),
+            "queued query must have waited, got {}",
+            q99.pending()
+        );
+    }
+
+    #[test]
+    fn cf_completion_is_much_faster_than_queued_vm_under_overload() {
+        // The immediacy claim: with the cluster saturated, a CF-enabled
+        // query finishes long before a CF-disabled one that must queue.
+        let mut with_cf = coordinator();
+        let mut without_cf = coordinator();
+        for c in [&mut with_cf, &mut without_cf] {
+            for i in 0..6 {
+                c.submit(
+                    QueryId(i),
+                    QueryWork::from_class(QueryClass::Heavy),
+                    false,
+                    SimTime::ZERO,
+                );
+            }
+        }
+        with_cf.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        without_cf.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            false,
+            SimTime::ZERO,
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        drive(
+            &mut with_cf,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut a,
+        );
+        drive(
+            &mut without_cf,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut b,
+        );
+        let t_cf = a.iter().find(|d| d.id == QueryId(99)).unwrap().finished_at;
+        let t_vm = b.iter().find(|d| d.id == QueryId(99)).unwrap().finished_at;
+        assert!(
+            t_cf.as_secs_f64() * 2.0 < t_vm.as_secs_f64(),
+            "CF {t_cf} should beat queued VM {t_vm} by a wide margin"
+        );
+    }
+
+    #[test]
+    fn total_cost_includes_idle_vm_time() {
+        let mut c = coordinator();
+        let dt = SimDuration::from_secs(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3600 {
+            now += dt;
+            c.tick(now, dt);
+        }
+        let cost = c.total_resource_cost();
+        // 1 idle worker * 8 cores * 1h * $0.0425 = $0.34.
+        assert!((cost.vm_dollars - 0.34).abs() < 0.01, "{cost:?}");
+        assert_eq!(cost.cf_dollars, 0.0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Real-execution mode of Pixels-Turbo.
+//!
+//! The simulator (`Coordinator`) answers scheduling/pricing questions on a
+//! virtual clock; this engine actually runs SQL over Pixels data for the
+//! interactive demo. The "VM cluster" is a bounded pool of execution slots;
+//! "CF acceleration" executes the split sub-plan on freshly spawned threads
+//! (mirroring ephemeral function workers), materializes its result to
+//! object storage, and finishes the cheap top-level plan locally — exactly
+//! the §3.1 data path.
+
+use parking_lot::{Condvar, Mutex};
+use pixels_catalog::CatalogRef;
+use pixels_common::{
+    ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
+};
+use pixels_exec::{execute, execute_collect, materialize, ExecContext};
+use pixels_planner::{plan_query, split_for_acceleration};
+use pixels_sql::ast::Statement;
+use pixels_storage::ObjectStoreRef;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Concurrent query slots the "VM cluster" provides.
+    pub vm_slots: usize,
+    /// Reserved: threads per CF fleet. The current fleet executes the
+    /// sub-plan on one ephemeral thread (intra-plan parallelism is future
+    /// work); the simulator models multi-worker fleets instead.
+    pub cf_fleet_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vm_slots: 4,
+            cf_fleet_threads: 4,
+        }
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    pub batch: RecordBatch,
+    /// Whether CF acceleration executed the expensive sub-plan.
+    pub used_cf: bool,
+    /// Wall-clock time spent waiting for a VM slot.
+    pub pending: Duration,
+    /// Wall-clock execution time.
+    pub execution: Duration,
+    /// Exact bytes read from object storage.
+    pub bytes_scanned: u64,
+}
+
+struct Slots {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Slots {
+    fn acquire(&self) -> Duration {
+        let start = Instant::now();
+        let mut free = self.free.lock();
+        while *free == 0 {
+            self.cv.wait(&mut free);
+        }
+        *free -= 1;
+        start.elapsed()
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut free = self.free.lock();
+        if *free == 0 {
+            false
+        } else {
+            *free -= 1;
+            true
+        }
+    }
+
+    fn release(&self) {
+        *self.free.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// The real-execution engine.
+pub struct TurboEngine {
+    catalog: CatalogRef,
+    store: ObjectStoreRef,
+    cfg: EngineConfig,
+    slots: Arc<Slots>,
+    mv_ids: IdGenerator,
+}
+
+impl TurboEngine {
+    pub fn new(catalog: CatalogRef, store: ObjectStoreRef, cfg: EngineConfig) -> Self {
+        TurboEngine {
+            catalog,
+            store,
+            cfg,
+            slots: Arc::new(Slots {
+                free: Mutex::new(cfg.vm_slots.max(1)),
+                cv: Condvar::new(),
+            }),
+            mv_ids: IdGenerator::new(),
+        }
+    }
+
+    pub fn catalog(&self) -> &CatalogRef {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    pub fn store(&self) -> &ObjectStoreRef {
+        &self.store
+    }
+
+    /// Whether all VM slots are currently busy (the real-mode analogue of
+    /// the simulator's high-watermark overload check).
+    pub fn is_busy(&self) -> bool {
+        *self.slots.free.lock() == 0
+    }
+
+    /// Execute one SQL statement. `cf_enabled` controls whether adaptive CF
+    /// acceleration may be used when the VM slots are saturated.
+    pub fn execute_sql(&self, db: &str, sql: &str, cf_enabled: bool) -> Result<ExecOutcome> {
+        let stmt = pixels_sql::parse_statement(sql)?;
+        match stmt {
+            Statement::Query(_) => self.execute_query(db, sql, cf_enabled),
+            Statement::Explain(inner) => {
+                let text = match inner.as_ref() {
+                    Statement::Query(_) => {
+                        let plan = plan_query(&self.catalog, db, &inner.to_string())?;
+                        plan.explain()
+                    }
+                    other => format!("{other}\n"),
+                };
+                Ok(ExecOutcome {
+                    batch: text_batch("plan", text.lines()),
+                    used_cf: false,
+                    pending: Duration::ZERO,
+                    execution: Duration::ZERO,
+                    bytes_scanned: 0,
+                })
+            }
+            Statement::ExplainAnalyze(inner) => {
+                let Statement::Query(_) = inner.as_ref() else {
+                    return Err(Error::Unsupported(
+                        "EXPLAIN ANALYZE applies to queries".into(),
+                    ));
+                };
+                let plan = plan_query(&self.catalog, db, &inner.to_string())?;
+                let ctx = ExecContext::new(self.store.clone());
+                let start = Instant::now();
+                let batches = execute(&plan, &ctx)?;
+                let elapsed = start.elapsed();
+                let m = ctx.metrics.snapshot();
+                let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
+                let mut text = plan.explain();
+                text.push_str(&format!(
+                    "--- runtime metrics ---\n\
+                     wall time        : {:.3} ms\n\
+                     result rows      : {rows}\n\
+                     rows scanned     : {}\n\
+                     bytes scanned    : {}\n\
+                     row groups read  : {} of {} (zone maps pruned {})\n",
+                    elapsed.as_secs_f64() * 1e3,
+                    m.rows_scanned,
+                    pixels_common::bytesize::format_bytes(m.bytes_scanned),
+                    m.row_groups_read,
+                    m.row_groups_total,
+                    m.row_groups_total - m.row_groups_read,
+                ));
+                Ok(ExecOutcome {
+                    batch: text_batch("plan", text.lines()),
+                    used_cf: false,
+                    pending: Duration::ZERO,
+                    execution: elapsed,
+                    bytes_scanned: m.bytes_scanned,
+                })
+            }
+            Statement::Analyze(name) => {
+                let database = name.database.as_deref().unwrap_or(db);
+                let report = pixels_catalog::analyze_table(
+                    &self.catalog,
+                    self.store.as_ref(),
+                    database,
+                    &name.table,
+                )?;
+                let schema = Arc::new(Schema::new(vec![
+                    Field::required("column", DataType::Utf8),
+                    Field::required("distinct_values", DataType::Int64),
+                    Field::required("nulls", DataType::Int64),
+                ]));
+                let rows: Vec<Vec<Value>> = report
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        vec![
+                            Value::Utf8(c.name.clone()),
+                            Value::Int64(c.distinct_count as i64),
+                            Value::Int64(c.null_count as i64),
+                        ]
+                    })
+                    .collect();
+                Ok(meta_outcome(RecordBatch::from_rows(schema, &rows)?))
+            }
+            Statement::ShowDatabases => Ok(meta_outcome(text_batch(
+                "database",
+                self.catalog.database_names().iter().map(|s| s.as_str()),
+            ))),
+            Statement::ShowTables => {
+                let tables = self.catalog.list_tables(db)?;
+                Ok(meta_outcome(text_batch(
+                    "table",
+                    tables.iter().map(|t| t.name.as_str()),
+                )))
+            }
+            Statement::Describe(name) => {
+                let table = self
+                    .catalog
+                    .get_table(name.database.as_deref().unwrap_or(db), &name.table)?;
+                let schema = Arc::new(Schema::new(vec![
+                    Field::required("column", DataType::Utf8),
+                    Field::required("type", DataType::Utf8),
+                    Field::required("nullable", DataType::Boolean),
+                ]));
+                let rows: Vec<Vec<Value>> = table
+                    .schema
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        vec![
+                            Value::Utf8(f.name.clone()),
+                            Value::Utf8(f.data_type.sql_name().to_string()),
+                            Value::Boolean(f.nullable),
+                        ]
+                    })
+                    .collect();
+                Ok(meta_outcome(RecordBatch::from_rows(schema, &rows)?))
+            }
+        }
+    }
+
+    fn execute_query(&self, db: &str, sql: &str, cf_enabled: bool) -> Result<ExecOutcome> {
+        let plan = plan_query(&self.catalog, db, sql)?;
+
+        // Fast path: a free VM slot.
+        if self.slots.try_acquire() {
+            let r = self.run_in_vm(&plan);
+            self.slots.release();
+            return r;
+        }
+
+        // Slots saturated. With CF enabled, accelerate via plan splitting.
+        if cf_enabled {
+            let mv_path = format!("pixels-turbo/intermediate/mv-{}.pxl", self.mv_ids.next());
+            if let Some(split) = split_for_acceleration(&plan, &mv_path) {
+                return self.run_with_cf(split);
+            }
+        }
+
+        // Otherwise wait for a slot (the engine-level queue).
+        let pending = self.slots.acquire();
+        let r = self.run_in_vm(&plan);
+        self.slots.release();
+        r.map(|mut o| {
+            o.pending = pending;
+            o
+        })
+    }
+
+    fn run_in_vm(&self, plan: &pixels_planner::PhysicalPlan) -> Result<ExecOutcome> {
+        let ctx = ExecContext::new(self.store.clone());
+        let start = Instant::now();
+        let batch = execute_collect(plan, &ctx)?;
+        Ok(ExecOutcome {
+            batch,
+            used_cf: false,
+            pending: Duration::ZERO,
+            execution: start.elapsed(),
+            bytes_scanned: ctx.metrics.snapshot().bytes_scanned,
+        })
+    }
+
+    /// CF path: spawn an ephemeral fleet for the sub-plan, materialize its
+    /// result, then run the top-level plan.
+    fn run_with_cf(&self, split: pixels_planner::SplitPlan) -> Result<ExecOutcome> {
+        let start = Instant::now();
+        let store = self.store.clone();
+        let sub_plan = split.sub_plan.clone();
+        let mv_path = split.mv_path.clone();
+
+        // One spawned thread per fleet: the sub-plan executes off the VM
+        // slots entirely, like CF workers would.
+        let handle = std::thread::spawn(move || -> Result<u64> {
+            let ctx = ExecContext::new(store.clone());
+            let batches = execute(&sub_plan, &ctx)?;
+            materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
+            Ok(ctx.metrics.snapshot().bytes_scanned)
+        });
+        let sub_bytes = handle
+            .join()
+            .map_err(|_| Error::Exec("CF fleet panicked".into()))??;
+
+        let ctx = ExecContext::new(self.store.clone());
+        let batch = execute_collect(&split.top_plan, &ctx)?;
+        // Clean up the intermediate result like ephemeral CF output.
+        let _ = self.store.delete(&split.mv_path);
+        Ok(ExecOutcome {
+            batch,
+            used_cf: true,
+            pending: Duration::ZERO,
+            execution: start.elapsed(),
+            bytes_scanned: sub_bytes + ctx.metrics.snapshot().bytes_scanned,
+        })
+    }
+}
+
+fn text_batch<'a>(column: &str, lines: impl Iterator<Item = &'a str>) -> RecordBatch {
+    let schema = Arc::new(Schema::new(vec![Field::required(column, DataType::Utf8)]));
+    let mut b = ColumnBuilder::new(DataType::Utf8);
+    for line in lines {
+        b.push(&Value::Utf8(line.to_string())).expect("utf8");
+    }
+    RecordBatch::try_new(schema, vec![b.finish()]).expect("text batch")
+}
+
+fn meta_outcome(batch: RecordBatch) -> ExecOutcome {
+    ExecOutcome {
+        batch,
+        used_cf: false,
+        pending: Duration::ZERO,
+        execution: Duration::ZERO,
+        bytes_scanned: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_catalog::Catalog;
+    use pixels_storage::InMemoryObjectStore;
+    use pixels_workload::{load_tpch, TpchConfig};
+
+    fn engine(slots: usize) -> TurboEngine {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 1,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        TurboEngine::new(
+            catalog,
+            store,
+            EngineConfig {
+                vm_slots: slots,
+                cf_fleet_threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn executes_queries_in_vm_mode() {
+        let e = engine(2);
+        let out = e
+            .execute_sql("tpch", "SELECT COUNT(*) FROM customer", false)
+            .unwrap();
+        assert!(!out.used_cf);
+        assert!(out.bytes_scanned > 0);
+        assert_eq!(out.batch.row(0)[0], Value::Int64(75));
+    }
+
+    #[test]
+    fn meta_statements() {
+        let e = engine(2);
+        let out = e.execute_sql("tpch", "SHOW TABLES", false).unwrap();
+        assert_eq!(out.batch.num_rows(), 8);
+        let out = e.execute_sql("tpch", "DESCRIBE customer", false).unwrap();
+        assert_eq!(out.batch.num_rows(), 5);
+        let out = e.execute_sql("tpch", "SHOW DATABASES", false).unwrap();
+        assert_eq!(out.batch.num_rows(), 1);
+        let out = e
+            .execute_sql("tpch", "EXPLAIN SELECT COUNT(*) FROM orders", false)
+            .unwrap();
+        let text = out.batch.pretty_format();
+        assert!(text.contains("HashAggregate"), "{text}");
+    }
+
+    #[test]
+    fn cf_acceleration_when_saturated_matches_vm_results() {
+        let e = engine(1);
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus ORDER BY n DESC";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+
+        // Saturate the only slot from another thread, then run with CF.
+        let e = Arc::new(e);
+        let blocker = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                // A query that holds the slot for a while.
+                e.execute_sql(
+                    "tpch",
+                    "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                    false,
+                )
+                .unwrap()
+            })
+        };
+        // Give the blocker time to grab the slot.
+        while !e.is_busy() {
+            std::thread::yield_now();
+        }
+        let accelerated = e.execute_sql("tpch", sql, true).unwrap();
+        assert!(accelerated.used_cf, "should have used CF acceleration");
+        assert_eq!(accelerated.batch, direct.batch, "results must be identical");
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn without_cf_waits_for_slot() {
+        let e = Arc::new(engine(1));
+        let blocker = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.execute_sql(
+                    "tpch",
+                    "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                    false,
+                )
+                .unwrap()
+            })
+        };
+        while !e.is_busy() {
+            std::thread::yield_now();
+        }
+        let out = e
+            .execute_sql("tpch", "SELECT COUNT(*) FROM region", false)
+            .unwrap();
+        assert!(!out.used_cf);
+        assert!(out.pending > Duration::ZERO, "must have queued");
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn analyze_and_explain_analyze() {
+        let e = engine(2);
+        let out = e.execute_sql("tpch", "ANALYZE customer", false).unwrap();
+        let text = out.batch.pretty_format();
+        assert!(text.contains("c_mktsegment"), "{text}");
+        // 5 market segments in the generator.
+        let row = out
+            .batch
+            .to_rows()
+            .into_iter()
+            .find(|r| r[0].as_str() == Some("c_mktsegment"))
+            .unwrap();
+        assert_eq!(row[1], Value::Int64(5));
+
+        let out = e
+            .execute_sql(
+                "tpch",
+                "EXPLAIN ANALYZE SELECT COUNT(*) FROM orders WHERE o_orderkey = 3",
+                false,
+            )
+            .unwrap();
+        let text = out.batch.pretty_format();
+        assert!(text.contains("runtime metrics"), "{text}");
+        assert!(text.contains("bytes scanned"), "{text}");
+        assert!(text.contains("row groups read"), "{text}");
+        assert!(out.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let e = engine(2);
+        assert!(e
+            .execute_sql("tpch", "SELECT nope FROM customer", false)
+            .is_err());
+        assert!(e.execute_sql("tpch", "DESCRIBE missing", false).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Query arrival processes for the scheduling experiments.
+//!
+//! The paper's claims about autoscaling and service levels are claims about
+//! workload *shape*: sustained load (where VM clusters win), bursty spikes
+//! (where CF acceleration wins), and diurnal patterns (where watermark
+//! autoscaling tracks load). These generators produce those shapes
+//! deterministically on the virtual clock.
+
+use pixels_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw an exponential inter-arrival gap for a Poisson process at `rate`
+/// (arrivals per second).
+fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+/// Homogeneous Poisson arrivals over `[0, duration)`.
+pub fn poisson(rate_per_sec: f64, duration: SimDuration, seed: u64) -> Vec<SimTime> {
+    assert!(rate_per_sec > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let end = duration.as_secs_f64();
+    loop {
+        t += exp_gap(&mut rng, rate_per_sec);
+        if t >= end {
+            break;
+        }
+        out.push(SimTime::from_secs_f64(t));
+    }
+    out
+}
+
+/// Non-homogeneous Poisson arrivals by thinning: `rate_at(t_secs)` gives the
+/// instantaneous rate; `peak_rate` must bound it from above.
+pub fn inhomogeneous(
+    peak_rate: f64,
+    duration: SimDuration,
+    seed: u64,
+    rate_at: impl Fn(f64) -> f64,
+) -> Vec<SimTime> {
+    assert!(peak_rate > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let end = duration.as_secs_f64();
+    loop {
+        t += exp_gap(&mut rng, peak_rate);
+        if t >= end {
+            break;
+        }
+        let r = rate_at(t);
+        debug_assert!(r <= peak_rate + 1e-9, "rate_at exceeds peak_rate");
+        if rng.gen_range(0.0..1.0) < r / peak_rate {
+            out.push(SimTime::from_secs_f64(t));
+        }
+    }
+    out
+}
+
+/// A base load with one rectangular spike — the canonical shape for the
+/// paper's "workload spike absorbed by CF" scenario.
+pub fn spike(
+    base_rate: f64,
+    spike_rate: f64,
+    spike_start: SimDuration,
+    spike_end: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<SimTime> {
+    let (s0, s1) = (spike_start.as_secs_f64(), spike_end.as_secs_f64());
+    inhomogeneous(base_rate.max(spike_rate), duration, seed, move |t| {
+        if t >= s0 && t < s1 {
+            spike_rate
+        } else {
+            base_rate
+        }
+    })
+}
+
+/// Diurnal (sinusoidal) load: `mean_rate * (1 + amplitude * sin)` with the
+/// given period. Models the paper's "typical analytical workloads".
+pub fn diurnal(
+    mean_rate: f64,
+    amplitude: f64,
+    period: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> Vec<SimTime> {
+    assert!((0.0..=1.0).contains(&amplitude));
+    let p = period.as_secs_f64();
+    let peak = mean_rate * (1.0 + amplitude);
+    inhomogeneous(peak, duration, seed, move |t| {
+        mean_rate * (1.0 + amplitude * (t / p * std::f64::consts::TAU).sin())
+    })
+}
+
+/// The coarse size class of a query in a workload mix; the turbo cost model
+/// maps classes to work (bytes scanned / CPU time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Point-ish lookup or tiny scan (sub-second on one worker).
+    Light,
+    /// Single-table aggregation (seconds).
+    Medium,
+    /// Multi-join analytical query (tens of seconds on one worker).
+    Heavy,
+}
+
+impl QueryClass {
+    pub const ALL: [QueryClass; 3] = [QueryClass::Light, QueryClass::Medium, QueryClass::Heavy];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Light => "light",
+            QueryClass::Medium => "medium",
+            QueryClass::Heavy => "heavy",
+        }
+    }
+}
+
+/// One query submission in a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    pub at: SimTime,
+    pub class: QueryClass,
+}
+
+/// A deterministic sequence of query submissions.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadTrace {
+    pub entries: Vec<TraceEntry>,
+}
+
+impl WorkloadTrace {
+    /// Tag each arrival with a class drawn from `mix` (weights over
+    /// light/medium/heavy).
+    pub fn from_arrivals(arrivals: Vec<SimTime>, mix: [f64; 3], seed: u64) -> WorkloadTrace {
+        let total: f64 = mix.iter().sum();
+        assert!(total > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = arrivals
+            .into_iter()
+            .map(|at| {
+                let mut x = rng.gen_range(0.0..total);
+                let mut class = QueryClass::Heavy;
+                for (c, w) in QueryClass::ALL.iter().zip(mix) {
+                    if x < w {
+                        class = *c;
+                        break;
+                    }
+                    x -= w;
+                }
+                TraceEntry { at, class }
+            })
+            .collect();
+        WorkloadTrace { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn duration(&self) -> SimDuration {
+        self.entries
+            .last()
+            .map(|e| e.at.since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let arrivals = poisson(2.0, SimDuration::from_secs(1000), 1);
+        let rate = arrivals.len() as f64 / 1000.0;
+        assert!((rate - 2.0).abs() < 0.3, "measured rate {rate}");
+        // Sorted and within bounds.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.last().unwrap() < &SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let a = poisson(1.0, SimDuration::from_secs(100), 9);
+        let b = poisson(1.0, SimDuration::from_secs(100), 9);
+        assert_eq!(a, b);
+        let c = poisson(1.0, SimDuration::from_secs(100), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spike_increases_density() {
+        let arrivals = spike(
+            0.5,
+            20.0,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(200),
+            SimDuration::from_secs(300),
+            3,
+        );
+        let in_spike = arrivals
+            .iter()
+            .filter(|t| **t >= SimTime::from_secs(100) && **t < SimTime::from_secs(200))
+            .count();
+        let outside = arrivals.len() - in_spike;
+        assert!(
+            in_spike as f64 > outside as f64 * 5.0,
+            "spike {in_spike} vs outside {outside}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let period = SimDuration::from_secs(3600);
+        let arrivals = diurnal(1.0, 0.9, period, SimDuration::from_secs(3600), 5);
+        // First quarter (rising sine) should be denser than third quarter
+        // (falling below mean).
+        let q = |a: u64, b: u64| {
+            arrivals
+                .iter()
+                .filter(|t| **t >= SimTime::from_secs(a) && **t < SimTime::from_secs(b))
+                .count()
+        };
+        assert!(q(0, 900) > q(1800, 2700));
+    }
+
+    #[test]
+    fn trace_mix_roughly_matches_weights() {
+        let arrivals = poisson(5.0, SimDuration::from_secs(1000), 2);
+        let trace = WorkloadTrace::from_arrivals(arrivals, [0.7, 0.2, 0.1], 3);
+        let count = |c: QueryClass| trace.entries.iter().filter(|e| e.class == c).count() as f64;
+        let n = trace.len() as f64;
+        assert!((count(QueryClass::Light) / n - 0.7).abs() < 0.05);
+        assert!((count(QueryClass::Heavy) / n - 0.1).abs() < 0.05);
+        assert!(trace.duration() > SimDuration::from_secs(900));
+    }
+}

@@ -1,0 +1,22 @@
+//! `pixels-workload` — deterministic datasets and workload traces.
+//!
+//! - [`tpch`]: an eight-table TPC-H subset generator (the paper's primary
+//!   evaluation workload).
+//! - [`weblog`]: an Internet-access-log table (the paper's second workload
+//!   class, "Internet log analysis").
+//! - [`arrivals`]: Poisson / spike / diurnal arrival processes on the
+//!   virtual clock, plus classed workload traces.
+//! - [`queries`]: query templates over both datasets with size classes for
+//!   the scheduler's cost model.
+
+pub mod arrivals;
+pub mod queries;
+pub mod tpch;
+pub mod weblog;
+
+pub use arrivals::{diurnal, poisson, spike, QueryClass, TraceEntry, WorkloadTrace};
+pub use queries::{
+    all_queries, query_by_id, representative, QueryTemplate, TPCH_QUERIES, WEBLOG_QUERIES,
+};
+pub use tpch::{load_tpch, TpchConfig};
+pub use weblog::{load_weblog, WeblogConfig};

@@ -1,0 +1,215 @@
+//! Query templates over the generated datasets.
+//!
+//! Each template carries the SQL text (within the engine's supported
+//! dialect), a size class for the scheduler's cost model, and a stable id
+//! used by experiments and the text-to-SQL benchmark.
+
+use crate::arrivals::QueryClass;
+
+/// A named, classed query template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTemplate {
+    pub id: &'static str,
+    /// Database the query targets ("tpch" or "logs").
+    pub database: &'static str,
+    pub class: QueryClass,
+    pub sql: &'static str,
+    /// Short human description (shown by Rover and used as gold text for
+    /// the NL benchmark where applicable).
+    pub description: &'static str,
+}
+
+/// TPC-H-derived templates (adapted to the supported SQL subset).
+pub const TPCH_QUERIES: &[QueryTemplate] = &[
+    QueryTemplate {
+        id: "q1_pricing_summary",
+        database: "tpch",
+        class: QueryClass::Heavy,
+        sql: "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+              SUM(l_extendedprice) AS sum_base_price, \
+              SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+              AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+              COUNT(*) AS count_order \
+              FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+              GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus",
+        description: "pricing summary report per return flag and line status",
+    },
+    QueryTemplate {
+        id: "q3_shipping_priority",
+        database: "tpch",
+        class: QueryClass::Heavy,
+        sql: "SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, o_orderdate \
+              FROM customer JOIN orders ON c_custkey = o_custkey \
+              JOIN lineitem ON l_orderkey = o_orderkey \
+              WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' \
+              AND l_shipdate > DATE '1995-03-15' \
+              GROUP BY o_orderkey, o_orderdate ORDER BY revenue DESC, o_orderdate LIMIT 10",
+        description: "top unshipped orders by potential revenue in the building segment",
+    },
+    QueryTemplate {
+        id: "q5_local_supplier_volume",
+        database: "tpch",
+        class: QueryClass::Heavy,
+        sql: "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer JOIN orders ON c_custkey = o_custkey \
+              JOIN lineitem ON l_orderkey = o_orderkey \
+              JOIN nation ON c_nationkey = n_nationkey \
+              JOIN region ON n_regionkey = r_regionkey \
+              WHERE r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' \
+              AND o_orderdate < DATE '1995-01-01' \
+              GROUP BY n_name ORDER BY revenue DESC",
+        description: "revenue from Asian customers per nation during 1994",
+    },
+    QueryTemplate {
+        id: "q6_forecast_revenue",
+        database: "tpch",
+        class: QueryClass::Medium,
+        sql: "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+              WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+              AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        description: "revenue increase from eliminating small discounts in 1994",
+    },
+    QueryTemplate {
+        id: "q10_returned_items",
+        database: "tpch",
+        class: QueryClass::Heavy,
+        sql: "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer JOIN orders ON c_custkey = o_custkey \
+              JOIN lineitem ON l_orderkey = o_orderkey \
+              WHERE o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' \
+              AND l_returnflag = 'R' \
+              GROUP BY c_custkey, c_name ORDER BY revenue DESC LIMIT 20",
+        description: "customers who returned the most revenue in late 1993",
+    },
+    QueryTemplate {
+        id: "orders_by_status",
+        database: "tpch",
+        class: QueryClass::Medium,
+        sql: "SELECT o_orderstatus, COUNT(*) AS n, AVG(o_totalprice) AS avg_price \
+              FROM orders GROUP BY o_orderstatus ORDER BY n DESC",
+        description: "order counts and average price per order status",
+    },
+    QueryTemplate {
+        id: "top_customers",
+        database: "tpch",
+        class: QueryClass::Medium,
+        sql: "SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT 10",
+        description: "ten customers with the highest account balance",
+    },
+    QueryTemplate {
+        id: "customer_lookup",
+        database: "tpch",
+        class: QueryClass::Light,
+        sql: "SELECT c_name, c_mktsegment, c_acctbal FROM customer WHERE c_custkey = 42",
+        description: "look up one customer by key",
+    },
+    QueryTemplate {
+        id: "nation_counts",
+        database: "tpch",
+        class: QueryClass::Light,
+        sql: "SELECT n_name, COUNT(*) AS customers FROM customer \
+              JOIN nation ON c_nationkey = n_nationkey GROUP BY n_name \
+              ORDER BY customers DESC LIMIT 5",
+        description: "nations with the most customers",
+    },
+];
+
+/// Web-log analysis templates.
+pub const WEBLOG_QUERIES: &[QueryTemplate] = &[
+    QueryTemplate {
+        id: "errors_by_url",
+        database: "logs",
+        class: QueryClass::Medium,
+        sql: "SELECT url, COUNT(*) AS errors FROM requests WHERE status >= 500 \
+              GROUP BY url ORDER BY errors DESC LIMIT 10",
+        description: "urls producing the most server errors",
+    },
+    QueryTemplate {
+        id: "traffic_by_country",
+        database: "logs",
+        class: QueryClass::Medium,
+        sql: "SELECT country, COUNT(*) AS hits, SUM(bytes) AS total_bytes FROM requests \
+              GROUP BY country ORDER BY hits DESC",
+        description: "request volume and bytes served per country",
+    },
+    QueryTemplate {
+        id: "slow_requests",
+        database: "logs",
+        class: QueryClass::Light,
+        sql: "SELECT url, latency_ms FROM requests WHERE latency_ms > 1000 \
+              ORDER BY latency_ms DESC LIMIT 20",
+        description: "slowest requests above one second",
+    },
+    QueryTemplate {
+        id: "avg_latency_by_method",
+        database: "logs",
+        class: QueryClass::Medium,
+        sql: "SELECT method, AVG(latency_ms) AS avg_latency, COUNT(*) AS n FROM requests \
+              GROUP BY method ORDER BY avg_latency DESC",
+        description: "average latency per HTTP method",
+    },
+    QueryTemplate {
+        id: "status_breakdown",
+        database: "logs",
+        class: QueryClass::Light,
+        sql: "SELECT status, COUNT(*) AS n FROM requests GROUP BY status ORDER BY n DESC",
+        description: "request count per status code",
+    },
+];
+
+/// All templates.
+pub fn all_queries() -> Vec<QueryTemplate> {
+    TPCH_QUERIES.iter().chain(WEBLOG_QUERIES).copied().collect()
+}
+
+/// Look up a template by id.
+pub fn query_by_id(id: &str) -> Option<QueryTemplate> {
+    all_queries().into_iter().find(|q| q.id == id)
+}
+
+/// A representative template for each [`QueryClass`] (used by the
+/// simulator to map trace entries to concrete queries).
+pub fn representative(class: QueryClass) -> QueryTemplate {
+    let id = match class {
+        QueryClass::Light => "customer_lookup",
+        QueryClass::Medium => "q6_forecast_revenue",
+        QueryClass::Heavy => "q3_shipping_priority",
+    };
+    query_by_id(id).expect("representative template exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_parse() {
+        for q in all_queries() {
+            let parsed = pixels_sql::parse_query(q.sql);
+            assert!(
+                parsed.is_ok(),
+                "{} failed to parse: {:?}",
+                q.id,
+                parsed.err()
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all_queries().iter().map(|q| q.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn lookup_and_representatives() {
+        assert!(query_by_id("q1_pricing_summary").is_some());
+        assert!(query_by_id("nope").is_none());
+        for c in QueryClass::ALL {
+            assert_eq!(representative(c).class, c);
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! Deterministic TPC-H-subset data generator.
+//!
+//! Generates the eight TPC-H tables (region, nation, supplier, customer,
+//! part, partsupp, orders, lineitem) with schema-faithful column names and
+//! value distributions close enough to the benchmark's for query shapes to
+//! behave realistically (e.g. ~1.5% of lineitem rows per `l_shipdate`
+//! month, skewless uniform keys, comment strings with low compressibility).
+//! Everything is a pure function of `(scale, seed)`.
+
+use pixels_catalog::{Catalog, CreateTable, ForeignKey};
+use pixels_common::{DataType, Field, RecordBatch, Result, Schema, SchemaRef, Value};
+use pixels_storage::{ObjectStore, PixelsReader, PixelsWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// TPC-H generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// Scale factor: 1.0 ≈ the full benchmark's 150k customers. Tests use
+    /// 0.001–0.01.
+    pub scale: f64,
+    pub seed: u64,
+    /// Rows per row group in the generated files.
+    pub row_group_rows: usize,
+    /// Number of data files each table is split into (tables smaller than
+    /// this keep one file). Exercises multi-file scans.
+    pub files_per_table: usize,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 0.001,
+            seed: 42,
+            row_group_rows: 4096,
+            files_per_table: 1,
+        }
+    }
+}
+
+impl TpchConfig {
+    pub fn customers(&self) -> usize {
+        ((150_000.0 * self.scale) as usize).max(10)
+    }
+    pub fn orders(&self) -> usize {
+        self.customers() * 10
+    }
+    pub fn parts(&self) -> usize {
+        ((200_000.0 * self.scale) as usize).max(20)
+    }
+    pub fn suppliers(&self) -> usize {
+        ((10_000.0 * self.scale) as usize).max(5)
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const TYPES: [&str; 6] = [
+    "STANDARD BRASS",
+    "SMALL PLATED COPPER",
+    "MEDIUM ANODIZED NICKEL",
+    "LARGE BURNISHED STEEL",
+    "ECONOMY POLISHED TIN",
+    "PROMO BRUSHED ZINC",
+];
+const WORDS: [&str; 16] = [
+    "blithely",
+    "carefully",
+    "furiously",
+    "quickly",
+    "slyly",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "instructions",
+    "theodolites",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "platelets",
+];
+
+/// 1992-01-01 and 1998-12-01 as days since the epoch — the TPC-H date range.
+pub const START_DATE: i32 = 8036;
+pub const END_DATE: i32 = 10561;
+
+fn comment(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+// -- schemas ------------------------------------------------------------------
+
+pub fn region_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("r_regionkey", DataType::Int64),
+        Field::required("r_name", DataType::Utf8),
+        Field::required("r_comment", DataType::Utf8),
+    ]))
+}
+
+pub fn nation_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("n_nationkey", DataType::Int64),
+        Field::required("n_name", DataType::Utf8),
+        Field::required("n_regionkey", DataType::Int64),
+    ]))
+}
+
+pub fn supplier_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("s_suppkey", DataType::Int64),
+        Field::required("s_name", DataType::Utf8),
+        Field::required("s_nationkey", DataType::Int64),
+        Field::required("s_acctbal", DataType::Float64),
+    ]))
+}
+
+pub fn customer_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("c_custkey", DataType::Int64),
+        Field::required("c_name", DataType::Utf8),
+        Field::required("c_nationkey", DataType::Int64),
+        Field::required("c_acctbal", DataType::Float64),
+        Field::required("c_mktsegment", DataType::Utf8),
+    ]))
+}
+
+pub fn part_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("p_partkey", DataType::Int64),
+        Field::required("p_name", DataType::Utf8),
+        Field::required("p_brand", DataType::Utf8),
+        Field::required("p_type", DataType::Utf8),
+        Field::required("p_size", DataType::Int32),
+        Field::required("p_retailprice", DataType::Float64),
+    ]))
+}
+
+pub fn partsupp_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("ps_partkey", DataType::Int64),
+        Field::required("ps_suppkey", DataType::Int64),
+        Field::required("ps_availqty", DataType::Int32),
+        Field::required("ps_supplycost", DataType::Float64),
+    ]))
+}
+
+pub fn orders_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("o_orderkey", DataType::Int64),
+        Field::required("o_custkey", DataType::Int64),
+        Field::required("o_orderstatus", DataType::Utf8),
+        Field::required("o_totalprice", DataType::Float64),
+        Field::required("o_orderdate", DataType::Date),
+        Field::required("o_orderpriority", DataType::Utf8),
+    ]))
+}
+
+pub fn lineitem_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("l_orderkey", DataType::Int64),
+        Field::required("l_linenumber", DataType::Int32),
+        Field::required("l_partkey", DataType::Int64),
+        Field::required("l_suppkey", DataType::Int64),
+        Field::required("l_quantity", DataType::Float64),
+        Field::required("l_extendedprice", DataType::Float64),
+        Field::required("l_discount", DataType::Float64),
+        Field::required("l_tax", DataType::Float64),
+        Field::required("l_returnflag", DataType::Utf8),
+        Field::required("l_linestatus", DataType::Utf8),
+        Field::required("l_shipdate", DataType::Date),
+        Field::required("l_receiptdate", DataType::Date),
+    ]))
+}
+
+// -- row generation -------------------------------------------------------------
+
+pub fn generate_region() -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let rows: Vec<Vec<Value>> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Value::Int64(i as i64),
+                Value::Utf8(name.to_string()),
+                Value::Utf8(comment(&mut rng, 6)),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(region_schema(), &rows)
+}
+
+pub fn generate_nation() -> Result<RecordBatch> {
+    let rows: Vec<Vec<Value>> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            vec![
+                Value::Int64(i as i64),
+                Value::Utf8(name.to_string()),
+                Value::Int64(*region as i64),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(nation_schema(), &rows)
+}
+
+pub fn generate_supplier(cfg: &TpchConfig) -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5);
+    let rows: Vec<Vec<Value>> = (0..cfg.suppliers())
+        .map(|i| {
+            vec![
+                Value::Int64(i as i64 + 1),
+                Value::Utf8(format!("Supplier#{:09}", i + 1)),
+                Value::Int64(rng.gen_range(0..25)),
+                Value::Float64((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(supplier_schema(), &rows)
+}
+
+pub fn generate_customer(cfg: &TpchConfig) -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC);
+    let rows: Vec<Vec<Value>> = (0..cfg.customers())
+        .map(|i| {
+            vec![
+                Value::Int64(i as i64 + 1),
+                Value::Utf8(format!("Customer#{:09}", i + 1)),
+                Value::Int64(rng.gen_range(0..25)),
+                Value::Float64((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+                Value::Utf8(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string()),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(customer_schema(), &rows)
+}
+
+pub fn generate_part(cfg: &TpchConfig) -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA);
+    let rows: Vec<Vec<Value>> = (0..cfg.parts())
+        .map(|i| {
+            let key = i as i64 + 1;
+            vec![
+                Value::Int64(key),
+                Value::Utf8(format!(
+                    "{} {}",
+                    WORDS[rng.gen_range(0..WORDS.len())],
+                    WORDS[rng.gen_range(0..WORDS.len())]
+                )),
+                Value::Utf8(BRANDS[rng.gen_range(0..BRANDS.len())].to_string()),
+                Value::Utf8(TYPES[rng.gen_range(0..TYPES.len())].to_string()),
+                Value::Int32(rng.gen_range(1..=50)),
+                Value::Float64(900.0 + (key % 1000) as f64 / 10.0),
+            ]
+        })
+        .collect();
+    RecordBatch::from_rows(part_schema(), &rows)
+}
+
+pub fn generate_partsupp(cfg: &TpchConfig) -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37);
+    let suppliers = cfg.suppliers() as i64;
+    let mut rows = Vec::new();
+    for p in 0..cfg.parts() {
+        for s in 0..4 {
+            rows.push(vec![
+                Value::Int64(p as i64 + 1),
+                Value::Int64((p as i64 + s * 7) % suppliers + 1),
+                Value::Int32(rng.gen_range(1..10_000)),
+                Value::Float64((rng.gen_range(100..100_000) as f64) / 100.0),
+            ]);
+        }
+    }
+    RecordBatch::from_rows(partsupp_schema(), &rows)
+}
+
+const O_STATUS: [&str; 3] = ["F", "O", "P"];
+
+/// Orders and lineitem are generated together so FK relationships and the
+/// `o_totalprice` ≈ sum of line prices invariant hold.
+pub fn generate_orders_lineitem(cfg: &TpchConfig) -> Result<(RecordBatch, RecordBatch)> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let customers = cfg.customers() as i64;
+    let parts = cfg.parts() as i64;
+    let suppliers = cfg.suppliers() as i64;
+    let mut order_rows = Vec::with_capacity(cfg.orders());
+    let mut line_rows = Vec::new();
+    for o in 0..cfg.orders() {
+        let orderkey = o as i64 + 1;
+        let orderdate = rng.gen_range(START_DATE..END_DATE - 151);
+        let lines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        let mut any_open = false;
+        for ln in 0..lines {
+            let quantity = rng.gen_range(1..=50) as f64;
+            let partkey = rng.gen_range(0..parts) + 1;
+            let price = (900.0 + (partkey % 1000) as f64 / 10.0) * quantity;
+            let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            // Return flag / line status follow the TPC-H rule: lines shipped
+            // long ago are 'F' (finished), recent ones 'O' (open).
+            let cutoff = 9839; // 1995-06-17
+            let (returnflag, linestatus) = if shipdate <= cutoff {
+                (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                ("N", "O")
+            };
+            if linestatus == "O" {
+                any_open = true;
+            }
+            total += price * (1.0 - discount) * (1.0 + tax);
+            line_rows.push(vec![
+                Value::Int64(orderkey),
+                Value::Int32(ln + 1),
+                Value::Int64(partkey),
+                Value::Int64((partkey + ln as i64 * 13) % suppliers + 1),
+                Value::Float64(quantity),
+                Value::Float64(price),
+                Value::Float64(discount),
+                Value::Float64(tax),
+                Value::Utf8(returnflag.to_string()),
+                Value::Utf8(linestatus.to_string()),
+                Value::Date(shipdate),
+                Value::Date(receiptdate),
+            ]);
+        }
+        let status = if any_open {
+            if rng.gen_bool(0.3) {
+                O_STATUS[2]
+            } else {
+                O_STATUS[1]
+            }
+        } else {
+            O_STATUS[0]
+        };
+        order_rows.push(vec![
+            Value::Int64(orderkey),
+            Value::Int64(rng.gen_range(0..customers) + 1),
+            Value::Utf8(status.to_string()),
+            Value::Float64((total * 100.0).round() / 100.0),
+            Value::Date(orderdate),
+            Value::Utf8(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string()),
+        ]);
+    }
+    Ok((
+        RecordBatch::from_rows(orders_schema(), &order_rows)?,
+        RecordBatch::from_rows(lineitem_schema(), &line_rows)?,
+    ))
+}
+
+// -- loading into catalog + store ---------------------------------------------
+
+/// Generate the full TPC-H subset into `store` under `db` and register every
+/// table (schemas, foreign keys, statistics, NDV estimates) in `catalog`.
+pub fn load_tpch(
+    catalog: &Catalog,
+    store: &dyn ObjectStore,
+    db: &str,
+    cfg: &TpchConfig,
+) -> Result<()> {
+    catalog.create_database(db);
+    let region = generate_region()?;
+    let nation = generate_nation()?;
+    let supplier = generate_supplier(cfg)?;
+    let customer = generate_customer(cfg)?;
+    let part = generate_part(cfg)?;
+    let partsupp = generate_partsupp(cfg)?;
+    let (orders, lineitem) = generate_orders_lineitem(cfg)?;
+
+    let fk = |col: &str, t: &str, rc: &str| ForeignKey {
+        column: col.into(),
+        ref_table: t.into(),
+        ref_column: rc.into(),
+    };
+
+    type TableSpec<'a> = (
+        &'a str,
+        SchemaRef,
+        RecordBatch,
+        Option<&'a str>,
+        Vec<ForeignKey>,
+        &'a str,
+    );
+    let tables: Vec<TableSpec<'_>> = vec![
+        (
+            "region",
+            region_schema(),
+            region,
+            Some("r_regionkey"),
+            vec![],
+            "world regions",
+        ),
+        (
+            "nation",
+            nation_schema(),
+            nation,
+            Some("n_nationkey"),
+            vec![fk("n_regionkey", "region", "r_regionkey")],
+            "nations and their regions",
+        ),
+        (
+            "supplier",
+            supplier_schema(),
+            supplier,
+            Some("s_suppkey"),
+            vec![fk("s_nationkey", "nation", "n_nationkey")],
+            "parts suppliers",
+        ),
+        (
+            "customer",
+            customer_schema(),
+            customer,
+            Some("c_custkey"),
+            vec![fk("c_nationkey", "nation", "n_nationkey")],
+            "registered customers with market segment and account balance",
+        ),
+        (
+            "part",
+            part_schema(),
+            part,
+            Some("p_partkey"),
+            vec![],
+            "parts for sale",
+        ),
+        (
+            "partsupp",
+            partsupp_schema(),
+            partsupp,
+            None,
+            vec![
+                fk("ps_partkey", "part", "p_partkey"),
+                fk("ps_suppkey", "supplier", "s_suppkey"),
+            ],
+            "part availability per supplier",
+        ),
+        (
+            "orders",
+            orders_schema(),
+            orders,
+            Some("o_orderkey"),
+            vec![fk("o_custkey", "customer", "c_custkey")],
+            "customer orders with status, price, and date",
+        ),
+        (
+            "lineitem",
+            lineitem_schema(),
+            lineitem,
+            None,
+            vec![fk("l_orderkey", "orders", "o_orderkey")],
+            "order line items: quantities, prices, discounts, ship dates",
+        ),
+    ];
+
+    for (name, schema, batch, pk, fks, desc) in tables {
+        catalog.create_table(CreateTable {
+            database: db.into(),
+            name: name.into(),
+            schema: schema.clone(),
+            primary_key: pk.map(|s| s.to_string()),
+            foreign_keys: fks,
+            comment: Some(desc.into()),
+        })?;
+        // Split the table across the configured number of data files.
+        let files = cfg.files_per_table.max(1).min(batch.num_rows().max(1));
+        let rows_per_file = batch.num_rows().div_ceil(files);
+        let mut offset = 0;
+        let mut part = 0;
+        while offset < batch.num_rows() || (batch.num_rows() == 0 && part == 0) {
+            let len = rows_per_file.min(batch.num_rows() - offset);
+            let slice = if batch.num_rows() == 0 {
+                batch.clone()
+            } else {
+                batch.slice(offset, len)?
+            };
+            let path = format!("{db}/{name}/part-{part}.pxl");
+            let mut w =
+                PixelsWriter::with_row_group_rows(store, &path, schema.clone(), cfg.row_group_rows);
+            w.write_batch(&slice)?;
+            let size = w.finish()?;
+            let reader = PixelsReader::open(store, &path)?;
+            catalog.register_data_file(db, name, &path, reader.footer(), size)?;
+            offset += len;
+            part += 1;
+            if batch.num_rows() == 0 {
+                break;
+            }
+        }
+        // Record generator-known NDVs for the planner.
+        let ndvs: &[(&str, u64)] = match name {
+            "customer" => &[("c_custkey", 0), ("c_nationkey", 25), ("c_mktsegment", 5)],
+            "orders" => &[("o_orderstatus", 3), ("o_orderpriority", 5)],
+            "lineitem" => &[("l_returnflag", 3), ("l_linestatus", 2)],
+            "nation" => &[("n_regionkey", 5)],
+            _ => &[],
+        };
+        for (col, ndv) in ndvs {
+            let ndv = if *ndv == 0 {
+                batch_rows(catalog, db, name)
+            } else {
+                *ndv
+            };
+            catalog.set_distinct_count(db, name, col, ndv)?;
+        }
+    }
+    Ok(())
+}
+
+fn batch_rows(catalog: &Catalog, db: &str, name: &str) -> u64 {
+    catalog
+        .get_table(db, name)
+        .map(|t| t.stats.row_count)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_storage::InMemoryObjectStore;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpchConfig::default();
+        let a = generate_customer(&cfg).unwrap();
+        let b = generate_customer(&cfg).unwrap();
+        assert_eq!(a, b);
+        let (o1, l1) = generate_orders_lineitem(&cfg).unwrap();
+        let (o2, l2) = generate_orders_lineitem(&cfg).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_customer(&TpchConfig::default()).unwrap();
+        let b = generate_customer(&TpchConfig {
+            seed: 43,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let cfg = TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
+        assert_eq!(cfg.customers(), 300);
+        assert_eq!(cfg.orders(), 3000);
+        let c = generate_customer(&cfg).unwrap();
+        assert_eq!(c.num_rows(), 300);
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let cfg = TpchConfig::default();
+        let (orders, lineitem) = generate_orders_lineitem(&cfg).unwrap();
+        let customers = cfg.customers() as i64;
+        for row in orders.to_rows() {
+            let cust = row[1].as_i64().unwrap();
+            assert!(cust >= 1 && cust <= customers);
+        }
+        let order_count = orders.num_rows() as i64;
+        for row in lineitem.to_rows().iter().take(500) {
+            let ok = row[0].as_i64().unwrap();
+            assert!(ok >= 1 && ok <= order_count);
+            let ship = match row[10] {
+                Value::Date(d) => d,
+                _ => panic!("expected date"),
+            };
+            assert!(ship > START_DATE && ship < END_DATE + 121);
+        }
+    }
+
+    #[test]
+    fn load_registers_everything() {
+        let catalog = Catalog::new();
+        let store = InMemoryObjectStore::new();
+        let cfg = TpchConfig {
+            scale: 0.0005,
+            ..Default::default()
+        };
+        load_tpch(&catalog, &store, "tpch", &cfg).unwrap();
+        let tables = catalog.list_tables("tpch").unwrap();
+        assert_eq!(tables.len(), 8);
+        let li = catalog.get_table("tpch", "lineitem").unwrap();
+        assert!(li.stats.row_count > 0);
+        assert!(li.stats.total_bytes > 0);
+        assert_eq!(li.foreign_keys.len(), 1);
+        let c = catalog.get_table("tpch", "customer").unwrap();
+        assert_eq!(c.stats.columns[4].distinct_count, Some(5));
+    }
+}

@@ -1,0 +1,229 @@
+//! Internet-log-analysis workload generator (the paper's second evaluation
+//! workload class alongside TPC-H).
+//!
+//! Produces a single wide `requests` table shaped like a web server access
+//! log: timestamps with a diurnal traffic pattern, skewed URL popularity
+//! (Zipf-ish), status codes with a realistic error fraction, and per-request
+//! latency/bytes.
+
+use pixels_catalog::{Catalog, CreateTable};
+use pixels_common::{DataType, Field, RecordBatch, Result, Schema, SchemaRef, Value};
+use pixels_storage::{ObjectStore, PixelsReader, PixelsWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+pub struct WeblogConfig {
+    pub rows: usize,
+    pub seed: u64,
+    pub row_group_rows: usize,
+}
+
+impl Default for WeblogConfig {
+    fn default() -> Self {
+        WeblogConfig {
+            rows: 10_000,
+            seed: 7,
+            row_group_rows: 4096,
+        }
+    }
+}
+
+pub fn weblog_schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::required("ts", DataType::Timestamp),
+        Field::required("ip", DataType::Utf8),
+        Field::required("url", DataType::Utf8),
+        Field::required("method", DataType::Utf8),
+        Field::required("status", DataType::Int32),
+        Field::required("bytes", DataType::Int64),
+        Field::required("latency_ms", DataType::Float64),
+        Field::required("country", DataType::Utf8),
+        Field::nullable("referrer", DataType::Utf8),
+    ]))
+}
+
+const URLS: [&str; 12] = [
+    "/",
+    "/index.html",
+    "/search",
+    "/login",
+    "/api/v1/items",
+    "/api/v1/users",
+    "/cart",
+    "/checkout",
+    "/static/app.js",
+    "/static/logo.png",
+    "/docs",
+    "/admin",
+];
+const METHODS: [&str; 3] = ["GET", "POST", "PUT"];
+const COUNTRIES: [&str; 8] = ["US", "DE", "FR", "CN", "IN", "BR", "JP", "GB"];
+
+/// Zipf-like index selection: rank r chosen with probability ∝ 1/(r+1).
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    let harmonic: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut target = rng.gen_range(0.0..harmonic);
+    for i in 0..n {
+        target -= 1.0 / (i + 1) as f64;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generate the requests table. Timestamps span one simulated day starting
+/// at 2024-01-01 00:00 with a diurnal density (peak around 14:00).
+pub fn generate_weblog(cfg: &WeblogConfig) -> Result<RecordBatch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let day_start_ms: i64 = 19_723 * 86_400_000; // 2024-01-01
+    let mut rows = Vec::with_capacity(cfg.rows);
+    for i in 0..cfg.rows {
+        // Diurnal time-of-day: rejection-sample an hour weighted by a
+        // raised cosine peaking at 14:00.
+        let hour = loop {
+            let h = rng.gen_range(0.0..24.0f64);
+            let w = 0.55 + 0.45 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            if rng.gen_bool(w.clamp(0.05, 1.0)) {
+                break h;
+            }
+        };
+        let ts = day_start_ms + (hour * 3_600_000.0) as i64 + (i % 1000) as i64;
+        let url = URLS[zipf(&mut rng, URLS.len())];
+        let status = match rng.gen_range(0..100) {
+            0..=88 => 200,
+            89..=92 => 304,
+            93..=95 => 404,
+            96..=97 => 403,
+            _ => 500,
+        };
+        let latency = if status == 500 {
+            rng.gen_range(200.0..5000.0)
+        } else {
+            rng.gen_range(1.0..250.0)
+        };
+        rows.push(vec![
+            Value::Timestamp(ts),
+            Value::Utf8(format!(
+                "{}.{}.{}.{}",
+                rng.gen_range(1..255),
+                rng.gen_range(0..255),
+                rng.gen_range(0..255),
+                rng.gen_range(1..255)
+            )),
+            Value::Utf8(url.to_string()),
+            Value::Utf8(METHODS[zipf(&mut rng, METHODS.len())].to_string()),
+            Value::Int32(status),
+            Value::Int64(rng.gen_range(200..2_000_000)),
+            Value::Float64((latency * 100.0f64).round() / 100.0),
+            Value::Utf8(COUNTRIES[zipf(&mut rng, COUNTRIES.len())].to_string()),
+            if rng.gen_bool(0.4) {
+                Value::Utf8(format!("https://ref{}.example.com", rng.gen_range(0..20)))
+            } else {
+                Value::Null
+            },
+        ]);
+    }
+    RecordBatch::from_rows(weblog_schema(), &rows)
+}
+
+/// Generate and register the weblog database.
+pub fn load_weblog(
+    catalog: &Catalog,
+    store: &dyn ObjectStore,
+    db: &str,
+    cfg: &WeblogConfig,
+) -> Result<()> {
+    catalog.create_database(db);
+    catalog.create_table(CreateTable {
+        database: db.into(),
+        name: "requests".into(),
+        schema: weblog_schema(),
+        primary_key: None,
+        foreign_keys: vec![],
+        comment: Some("web server access log: one row per HTTP request".into()),
+    })?;
+    let batch = generate_weblog(cfg)?;
+    let path = format!("{db}/requests/part-0.pxl");
+    let mut w =
+        PixelsWriter::with_row_group_rows(store, &path, weblog_schema(), cfg.row_group_rows);
+    w.write_batch(&batch)?;
+    let size = w.finish()?;
+    let reader = PixelsReader::open(store, &path)?;
+    catalog.register_data_file(db, "requests", &path, reader.footer(), size)?;
+    catalog.set_distinct_count(db, "requests", "url", URLS.len() as u64)?;
+    catalog.set_distinct_count(db, "requests", "country", COUNTRIES.len() as u64)?;
+    catalog.set_distinct_count(db, "requests", "status", 5)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_storage::InMemoryObjectStore;
+
+    #[test]
+    fn deterministic() {
+        let cfg = WeblogConfig {
+            rows: 500,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_weblog(&cfg).unwrap(),
+            generate_weblog(&cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn status_distribution_is_plausible() {
+        let cfg = WeblogConfig {
+            rows: 5000,
+            ..Default::default()
+        };
+        let b = generate_weblog(&cfg).unwrap();
+        let statuses: Vec<i64> = b.to_rows().iter().map(|r| r[4].as_i64().unwrap()).collect();
+        let ok = statuses.iter().filter(|&&s| s == 200).count() as f64 / statuses.len() as f64;
+        let errs = statuses.iter().filter(|&&s| s >= 500).count() as f64 / statuses.len() as f64;
+        assert!(ok > 0.8, "expected mostly 200s, got {ok}");
+        assert!(errs > 0.005 && errs < 0.06, "5xx fraction {errs}");
+    }
+
+    #[test]
+    fn url_popularity_is_skewed() {
+        let cfg = WeblogConfig {
+            rows: 5000,
+            ..Default::default()
+        };
+        let b = generate_weblog(&cfg).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for r in b.to_rows() {
+            *counts
+                .entry(r[2].as_str().unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        let top = counts.values().max().unwrap();
+        let bottom = counts.values().min().unwrap();
+        assert!(top > &(bottom * 3), "Zipf skew expected: {top} vs {bottom}");
+    }
+
+    #[test]
+    fn load_registers_table() {
+        let catalog = Catalog::new();
+        let store = InMemoryObjectStore::new();
+        load_weblog(
+            &catalog,
+            &store,
+            "logs",
+            &WeblogConfig {
+                rows: 300,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t = catalog.get_table("logs", "requests").unwrap();
+        assert_eq!(t.stats.row_count, 300);
+        assert_eq!(t.stats.columns[2].distinct_count, Some(12));
+    }
+}

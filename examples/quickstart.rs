@@ -1,0 +1,78 @@
+//! Quickstart: the fastest path through PixelsDB's public API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Loads the TPC-H demo data into an in-memory object store, asks a
+//! natural-language question, runs the translated SQL at two service
+//! levels, and prints results with their bills.
+
+use pixelsdb::catalog::Catalog;
+use pixelsdb::nl2sql::{CodesService, TextToSqlService};
+use pixelsdb::server::{PriceSchedule, QueryServer, QuerySubmission, ServiceLevel};
+use pixelsdb::storage::InMemoryObjectStore;
+use pixelsdb::turbo::{EngineConfig, TurboEngine};
+use pixelsdb::workload::{load_tpch, TpchConfig};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Stand up the deployment: catalog + object store + demo data.
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.002,
+            seed: 42,
+            row_group_rows: 4096,
+            files_per_table: 1,
+        },
+    )
+    .expect("load demo data");
+    println!(
+        "Loaded TPC-H subset: {} tables",
+        catalog.list_tables("tpch").unwrap().len()
+    );
+
+    // 2. The serverless query engine and the query server in front of it.
+    let engine = Arc::new(TurboEngine::new(
+        catalog.clone(),
+        store.clone(),
+        EngineConfig::default(),
+    ));
+    let server = QueryServer::new(engine, PriceSchedule::default());
+
+    // 3. Ask a question in natural language (single-turn translation).
+    let nl = CodesService::new(catalog, store);
+    let question = "total quantity per return flag";
+    let translation = nl.translate("tpch", question).expect("translate");
+    println!("\nquestion : {question}");
+    println!("SQL      : {}", translation.sql);
+    println!("confidence: {:.0}%", translation.confidence * 100.0);
+
+    // 4. Submit at two service levels and compare the bills.
+    for level in [ServiceLevel::Immediate, ServiceLevel::BestEffort] {
+        let id = server.submit(QuerySubmission {
+            database: "tpch".into(),
+            sql: translation.sql.clone(),
+            level,
+            result_limit: None,
+        });
+        let info = server.wait(id).expect("finishes");
+        println!(
+            "\n[{}] {} in {:.1} ms, scanned {}, bill {}",
+            level,
+            info.status.name(),
+            info.execution.as_secs_f64() * 1e3,
+            pixelsdb::common::bytesize::format_bytes(info.scan_bytes),
+            pixelsdb::common::bytesize::format_dollars(info.price),
+        );
+        if level == ServiceLevel::Immediate {
+            println!("{}", info.result.unwrap().pretty_format());
+        }
+    }
+    println!("quickstart: done");
+}

@@ -1,0 +1,41 @@
+//! A scripted Pixels-Rover session replaying the paper's §4 demonstration
+//! (Figures 2 and 3): browse the schema, ask questions, edit the generated
+//! SQL, submit with a service level and result limit, and inspect
+//! status/result blocks.
+//!
+//! ```text
+//! cargo run --example rover_session
+//! ```
+
+use pixelsdb::rover::{demo_session, run_script};
+
+fn main() {
+    let mut session = demo_session(0.002).expect("bootstrap demo");
+    let script = [
+        // §4: log in through authentication first.
+        "login alice wonderland",
+        // 4.1 Browse database schema.
+        "\\schema",
+        // 4.2 Form and submit a query: ask, inspect, edit, submit.
+        "ask how many orders per order status",
+        "edit 0 SELECT o_orderstatus, COUNT(*) AS orders FROM orders GROUP BY o_orderstatus ORDER BY orders DESC",
+        "submit 0 immediate limit 10",
+        "wait q-0",
+        // A relaxed analytical question over another table.
+        "ask average account balance of customers per market segment",
+        "submit 1 relaxed",
+        "wait q-1",
+        // Switch databases (the drop-down of Figure 2) and analyze logs.
+        "\\use logs",
+        "ask how many requests have status 500",
+        "submit 2 best-effort",
+        "wait q-2",
+        // 4.3 Check query status and result.
+        "status",
+    ];
+    let output = run_script(&mut session, &script);
+    println!("{output}");
+    assert!(output.contains("finished"), "queries must finish");
+    assert!(output.contains("[IMM]") && output.contains("[RLX]") && output.contains("[BST]"));
+    println!("rover_session: done");
+}

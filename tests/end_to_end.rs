@@ -1,0 +1,161 @@
+//! Whole-system integration test: the Figure-1 data path from natural
+//! language to billed results, exercised through the facade crate.
+
+use pixelsdb::catalog::Catalog;
+use pixelsdb::common::Json;
+use pixelsdb::nl2sql::CodesService;
+use pixelsdb::server::{PriceSchedule, QueryServer, QueryStatus, QuerySubmission, ServiceLevel};
+use pixelsdb::storage::InMemoryObjectStore;
+use pixelsdb::turbo::{EngineConfig, TurboEngine};
+use pixelsdb::workload::{load_tpch, load_weblog, TpchConfig, WeblogConfig};
+use std::sync::Arc;
+
+struct Deployment {
+    server: QueryServer,
+    nl: CodesService,
+}
+
+fn deploy() -> Deployment {
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.001,
+            seed: 42,
+            row_group_rows: 2048,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    load_weblog(
+        &catalog,
+        store.as_ref(),
+        "logs",
+        &WeblogConfig {
+            rows: 2000,
+            seed: 7,
+            row_group_rows: 1024,
+        },
+    )
+    .unwrap();
+    let engine = Arc::new(TurboEngine::new(
+        catalog.clone(),
+        store.clone(),
+        EngineConfig::default(),
+    ));
+    Deployment {
+        server: QueryServer::new(engine, PriceSchedule::default()),
+        nl: CodesService::new(catalog, store),
+    }
+}
+
+#[test]
+fn nl_to_billed_result() {
+    let d = deploy();
+    // Rover-shaped JSON round trip to the text-to-SQL service.
+    let resp =
+        d.nl.handle_json(r#"{"question": "how many orders per order status", "database": "tpch"}"#);
+    let json = Json::parse(&resp).unwrap();
+    let sql = json.get("sql").unwrap().as_str().unwrap().to_string();
+    assert!(sql.to_uppercase().contains("GROUP BY"), "{sql}");
+
+    let id = d.server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql,
+        level: ServiceLevel::Relaxed,
+        result_limit: Some(100),
+    });
+    let info = d.server.wait(id).unwrap();
+    assert_eq!(info.status, QueryStatus::Finished);
+    let result = info.result.unwrap();
+    assert_eq!(result.num_rows(), 3, "3 order statuses");
+    assert!(info.scan_bytes > 0);
+    assert!(info.price > 0.0);
+    // Relaxed = $1/TB.
+    let expected = info.scan_bytes as f64 / 1e12;
+    assert!((info.price - expected).abs() < 1e-12);
+}
+
+#[test]
+fn same_query_same_answer_at_every_level() {
+    let d = deploy();
+    let sql =
+        "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC";
+    let mut results = Vec::new();
+    for level in ServiceLevel::ALL {
+        let id = d.server.submit(QuerySubmission {
+            database: "tpch".into(),
+            sql: sql.into(),
+            level,
+            result_limit: None,
+        });
+        let info = d.server.wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Finished);
+        results.push((info.result.unwrap(), info.price));
+    }
+    assert_eq!(results[0].0, results[1].0);
+    assert_eq!(results[1].0, results[2].0);
+    // Prices strictly ordered: immediate > relaxed > best-of-effort.
+    assert!(results[0].1 > results[1].1 && results[1].1 > results[2].1);
+}
+
+#[test]
+fn explain_shows_the_physical_plan() {
+    let d = deploy();
+    let id = d.server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: "EXPLAIN SELECT COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1995-01-01'".into(),
+        level: ServiceLevel::Immediate,
+        result_limit: None,
+    });
+    let info = d.server.wait(id).unwrap();
+    let text = info.result.unwrap().pretty_format();
+    assert!(text.contains("HashAggregate"), "{text}");
+    assert!(text.contains("PixelsScan"), "{text}");
+    assert!(text.contains("zone_preds"), "{text}");
+}
+
+#[test]
+fn cross_database_sessions() {
+    let d = deploy();
+    for (db, sql, min_rows) in [
+        ("tpch", "SELECT COUNT(*) FROM region", 1),
+        ("logs", "SELECT COUNT(*) FROM requests", 1),
+    ] {
+        let id = d.server.submit(QuerySubmission {
+            database: db.into(),
+            sql: sql.into(),
+            level: ServiceLevel::Immediate,
+            result_limit: None,
+        });
+        let info = d.server.wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Finished, "{db}: {:?}", info.error);
+        assert!(info.result.unwrap().num_rows() >= min_rows);
+    }
+}
+
+#[test]
+fn query_status_json_is_rover_renderable() {
+    let d = deploy();
+    let id = d.server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: "SELECT 1".into(),
+        level: ServiceLevel::BestEffort,
+        result_limit: None,
+    });
+    let info = d.server.wait(id).unwrap();
+    let json = info.to_json();
+    for field in [
+        "id",
+        "status",
+        "service_level",
+        "pending_ms",
+        "execution_ms",
+        "cost_dollars",
+    ] {
+        assert!(json.get(field).is_some(), "missing {field}");
+    }
+}

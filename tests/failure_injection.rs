@@ -1,0 +1,212 @@
+//! Failure injection: storage faults must surface as clean query failures —
+//! never panics, hangs, or wrong results — all the way up through the query
+//! server.
+
+use bytes::Bytes;
+use pixelsdb::catalog::Catalog;
+use pixelsdb::common::{Error, Result};
+use pixelsdb::server::{PriceSchedule, QueryServer, QueryStatus, QuerySubmission, ServiceLevel};
+use pixelsdb::storage::{InMemoryObjectStore, ObjectStore, StoreMetricsSnapshot};
+use pixelsdb::turbo::{EngineConfig, TurboEngine};
+use pixelsdb::workload::{load_tpch, TpchConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An object store that can be switched into a failing mode, and can corrupt
+/// a fraction of reads.
+struct FaultyStore {
+    inner: InMemoryObjectStore,
+    fail_reads: AtomicBool,
+    corrupt_reads: AtomicBool,
+    reads: AtomicU64,
+}
+
+impl FaultyStore {
+    fn new() -> Self {
+        FaultyStore {
+            inner: InMemoryObjectStore::new(),
+            fail_reads: AtomicBool::new(false),
+            corrupt_reads: AtomicBool::new(false),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.fail_reads.load(Ordering::Relaxed) {
+            return Err(Error::Io("injected storage outage".into()));
+        }
+        Ok(())
+    }
+
+    fn mangle(&self, data: Bytes) -> Bytes {
+        if self.corrupt_reads.load(Ordering::Relaxed) && !data.is_empty() {
+            let mut v = data.to_vec();
+            let n = self.reads.fetch_add(1, Ordering::Relaxed) as usize;
+            let idx = n % v.len();
+            v[idx] ^= 0xA5;
+            Bytes::from(v)
+        } else {
+            data
+        }
+    }
+}
+
+impl ObjectStore for FaultyStore {
+    fn put(&self, path: &str, data: Bytes) -> Result<()> {
+        self.inner.put(path, data)
+    }
+    fn get(&self, path: &str) -> Result<Bytes> {
+        self.check()?;
+        Ok(self.mangle(self.inner.get(path)?))
+    }
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.check()?;
+        Ok(self.mangle(self.inner.get_range(path, offset, len)?))
+    }
+    fn size(&self, path: &str) -> Result<u64> {
+        self.check()?;
+        self.inner.size(path)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+    fn metrics(&self) -> StoreMetricsSnapshot {
+        self.inner.metrics()
+    }
+}
+
+fn deploy(store: Arc<FaultyStore>) -> (QueryServer, Arc<FaultyStore>) {
+    let catalog = Catalog::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.0005,
+            seed: 9,
+            row_group_rows: 256,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    let engine = Arc::new(TurboEngine::new(
+        catalog,
+        store.clone() as Arc<dyn ObjectStore>,
+        EngineConfig::default(),
+    ));
+    (QueryServer::new(engine, PriceSchedule::default()), store)
+}
+
+#[test]
+fn storage_outage_fails_queries_cleanly() {
+    let (server, store) = deploy(Arc::new(FaultyStore::new()));
+    // Healthy first.
+    let id = server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: "SELECT COUNT(*) FROM orders".into(),
+        level: ServiceLevel::Immediate,
+        result_limit: None,
+    });
+    assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
+
+    // Outage: the same query must fail with an I/O error, not hang.
+    store.fail_reads.store(true, Ordering::Relaxed);
+    let id = server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: "SELECT COUNT(*) FROM orders".into(),
+        level: ServiceLevel::Immediate,
+        result_limit: None,
+    });
+    let info = server.wait(id).unwrap();
+    assert_eq!(info.status, QueryStatus::Failed);
+    assert!(info.error.unwrap().contains("injected storage outage"));
+
+    // Recovery: new queries succeed again.
+    store.fail_reads.store(false, Ordering::Relaxed);
+    let id = server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: "SELECT COUNT(*) FROM orders".into(),
+        level: ServiceLevel::BestEffort,
+        result_limit: None,
+    });
+    assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
+}
+
+#[test]
+fn corrupted_reads_are_detected_not_garbage() {
+    // Bit-flip every read: the format's magic/footer/encoding validation
+    // must catch it and fail the query (decoding garbage silently would be
+    // far worse than an error).
+    let (server, store) = deploy(Arc::new(FaultyStore::new()));
+    store.corrupt_reads.store(true, Ordering::Relaxed);
+    let mut failures = 0;
+    for _ in 0..4 {
+        let id = server.submit(QuerySubmission {
+            database: "tpch".into(),
+            sql: "SELECT SUM(o_totalprice) FROM orders".into(),
+            level: ServiceLevel::Immediate,
+            result_limit: None,
+        });
+        let info = server.wait(id).unwrap();
+        if info.status == QueryStatus::Failed {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures >= 3,
+        "corrupted reads must be detected, only {failures}/4 failed"
+    );
+}
+
+#[test]
+fn cf_acceleration_failure_surfaces() {
+    // Saturate the single slot, force CF acceleration, and kill storage mid
+    // way: the accelerated query must fail cleanly too.
+    let catalog = Catalog::shared();
+    let store = Arc::new(FaultyStore::new());
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.0005,
+            seed: 9,
+            row_group_rows: 256,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    let engine = Arc::new(TurboEngine::new(
+        catalog,
+        store.clone() as Arc<dyn ObjectStore>,
+        EngineConfig {
+            vm_slots: 1,
+            cf_fleet_threads: 2,
+        },
+    ));
+    let blocker_engine = engine.clone();
+    let blocker = std::thread::spawn(move || {
+        blocker_engine
+            .execute_sql(
+                "tpch",
+                "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                false,
+            )
+            .unwrap()
+    });
+    while !engine.is_busy() {
+        std::thread::yield_now();
+    }
+    store.fail_reads.store(true, Ordering::Relaxed);
+    let r = engine.execute_sql(
+        "tpch",
+        "SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus",
+        true,
+    );
+    store.fail_reads.store(false, Ordering::Relaxed);
+    assert!(r.is_err(), "CF path must propagate the storage failure");
+    blocker.join().unwrap();
+}
