@@ -1,10 +1,12 @@
 //! Microbenchmarks for the execution engine: predicate evaluation, hash
-//! join, hash aggregation, and end-to-end TPC-H-shaped queries.
+//! join, hash aggregation, end-to-end TPC-H-shaped queries, and the
+//! serial-vs-parallel scaling of the morsel-driven scan path.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pixels_bench::demo_data;
 use pixels_exec::{execute, ExecContext};
 use pixels_planner::plan_query;
+use pixels_storage::FooterCache;
 use pixels_workload::query_by_id;
 
 fn bench_queries(c: &mut Criterion) {
@@ -74,5 +76,41 @@ fn bench_operators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_operators);
+/// Serial vs parallel execution of a multi-row-group scan + aggregation —
+/// the workload the morsel-driven scan path exists for. One shared footer
+/// cache per parallelism level keeps open costs out of the comparison.
+fn bench_parallelism(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.02);
+    let mut g = c.benchmark_group("parallel_scan_agg");
+    g.sample_size(10);
+
+    for (name, sql) in [
+        (
+            "scan_agg",
+            "SELECT l_returnflag, l_linestatus, COUNT(*) AS n, SUM(l_quantity) AS qty, \
+             SUM(l_extendedprice) AS revenue, AVG(l_discount) AS disc \
+             FROM lineitem GROUP BY l_returnflag, l_linestatus",
+        ),
+        (
+            "filter_scan",
+            "SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity > 30",
+        ),
+    ] {
+        let plan = plan_query(&catalog, "tpch", sql).unwrap();
+        for parallelism in [1usize, 2, 4, 8] {
+            let cache = FooterCache::shared();
+            g.bench_function(&format!("{name}/p{parallelism}"), |b| {
+                b.iter(|| {
+                    let ctx = ExecContext::new(store.clone())
+                        .with_parallelism(parallelism)
+                        .with_footer_cache(cache.clone());
+                    execute(&plan, &ctx).unwrap().len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_operators, bench_parallelism);
 criterion_main!(benches);

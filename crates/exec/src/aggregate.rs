@@ -1,6 +1,17 @@
 //! Hash aggregation with COUNT/SUM/AVG/MIN/MAX and DISTINCT variants.
+//!
+//! Aggregation is parallelized the classic way: the input batches are split
+//! into contiguous chunks, each worker builds a thread-local hash table
+//! (a [`Partial`]), and the partials are merged on the caller's thread *in
+//! chunk order*. Because merging walks chunks in input order and each
+//! partial records groups (and DISTINCT values) in first-appearance order,
+//! the merged output preserves exactly the group ordering the serial path
+//! produces. Integer aggregates are bit-identical to serial execution;
+//! floating-point SUM/AVG may differ in the last ulps because partial sums
+//! reassociate the additions.
 
 use crate::evaluate::evaluate;
+use crate::parallel;
 use pixels_common::{ColumnBuilder, DataType, Error, RecordBatch, Result, SchemaRef, Value};
 use pixels_planner::{AggExpr, AggFunc};
 use std::collections::{HashMap, HashSet};
@@ -80,6 +91,47 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold another partial state for the same group into this one.
+    fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumInt { sum, seen }, AggState::SumInt { sum: s, seen: b }) => {
+                if *b {
+                    *sum = sum
+                        .checked_add(*s)
+                        .ok_or_else(|| Error::Exec("SUM overflow".into()))?;
+                    *seen = true;
+                }
+            }
+            (AggState::SumFloat { sum, seen }, AggState::SumFloat { sum: s, seen: b }) => {
+                if *b {
+                    *sum += s;
+                    *seen = true;
+                }
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s, count: c }) => {
+                *sum += s;
+                *count += c;
+            }
+            (AggState::Min(cur), AggState::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            _ => return Err(Error::Exec("mismatched aggregate states".into())),
+        }
+        Ok(())
+    }
+
     /// Final value of the aggregate (SQL: SUM/AVG/MIN/MAX of no rows = NULL,
     /// COUNT of no rows = 0).
     fn finish(&self) -> Value {
@@ -111,44 +163,66 @@ impl AggState {
     }
 }
 
+/// Values a DISTINCT aggregate has consumed, in first-appearance order. The
+/// order matters when merging partials: replaying it keeps the update
+/// sequence identical to serial execution.
+#[derive(Debug, Default)]
+struct DistinctSet {
+    seen: HashSet<Value>,
+    order: Vec<Value>,
+}
+
+impl DistinctSet {
+    /// True (and records the value) if `v` has not been seen before.
+    fn insert(&mut self, v: &Value) -> bool {
+        if self.seen.insert(v.clone()) {
+            self.order.push(v.clone());
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Per-group state: one accumulator per aggregate, plus distinct-value sets
 /// for DISTINCT aggregates.
 struct GroupState {
     states: Vec<AggState>,
-    distinct_seen: Vec<Option<HashSet<Value>>>,
+    distinct: Vec<Option<DistinctSet>>,
 }
 
 impl GroupState {
     fn new(aggs: &[AggExpr]) -> GroupState {
         GroupState {
             states: aggs.iter().map(AggState::new).collect(),
-            distinct_seen: aggs
+            distinct: aggs
                 .iter()
-                .map(|a| {
-                    if a.distinct {
-                        Some(HashSet::new())
-                    } else {
-                        None
-                    }
-                })
+                .map(|a| a.distinct.then(DistinctSet::default))
                 .collect(),
         }
     }
 }
 
-/// Execute a hash aggregate over materialized input.
-pub fn execute_aggregate(
-    input: &[RecordBatch],
+/// One worker's aggregation state: group key → index, with keys and states
+/// in first-appearance order.
+struct Partial {
+    index: HashMap<Vec<Value>, usize>,
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+}
+
+/// Aggregate `input` into a fresh hash table (the serial inner loop).
+fn build_partial(
+    input: &[&RecordBatch],
     group_exprs: &[pixels_planner::BoundExpr],
     aggs: &[AggExpr],
-    output_schema: &SchemaRef,
-) -> Result<Vec<RecordBatch>> {
-    // Group key -> state, with first-appearance ordering for determinism.
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut keys: Vec<Vec<Value>> = Vec::new();
-    let mut states: Vec<GroupState> = Vec::new();
-
-    for batch in input {
+) -> Result<Partial> {
+    let mut partial = Partial {
+        index: HashMap::new(),
+        keys: Vec::new(),
+        states: Vec::new(),
+    };
+    for &batch in input {
         let group_cols: Vec<_> = group_exprs
             .iter()
             .map(|g| evaluate(g, batch))
@@ -159,17 +233,17 @@ pub fn execute_aggregate(
             .collect::<Result<_>>()?;
         for row in 0..batch.num_rows() {
             let key: Vec<Value> = group_cols.iter().map(|c| c.value(row)).collect();
-            let gi = match groups.get(&key) {
+            let gi = match partial.index.get(&key) {
                 Some(&i) => i,
                 None => {
-                    let i = states.len();
-                    groups.insert(key.clone(), i);
-                    keys.push(key);
-                    states.push(GroupState::new(aggs));
+                    let i = partial.states.len();
+                    partial.index.insert(key.clone(), i);
+                    partial.keys.push(key);
+                    partial.states.push(GroupState::new(aggs));
                     i
                 }
             };
-            let state = &mut states[gi];
+            let state = &mut partial.states[gi];
             for (ai, agg_col) in agg_cols.iter().enumerate() {
                 let value = match agg_col {
                     Some(col) => col.value(row),
@@ -180,8 +254,8 @@ pub fn execute_aggregate(
                 if value.is_null() {
                     continue; // aggregates skip NULLs
                 }
-                if let Some(seen) = &mut state.distinct_seen[ai] {
-                    if !seen.insert(value.clone()) {
+                if let Some(seen) = &mut state.distinct[ai] {
+                    if !seen.insert(&value) {
                         continue;
                     }
                 }
@@ -189,11 +263,94 @@ pub fn execute_aggregate(
             }
         }
     }
+    Ok(partial)
+}
+
+/// Fold `part` into `acc`. Called with partials in chunk order, so groups
+/// (and DISTINCT values) keep their global first-appearance order.
+fn merge_partial(acc: &mut Partial, part: Partial) -> Result<()> {
+    for (key, gstate) in part.keys.into_iter().zip(part.states) {
+        match acc.index.get(&key) {
+            Some(&gi) => {
+                let target = &mut acc.states[gi];
+                for (ai, incoming) in gstate.states.iter().enumerate() {
+                    match (gstate.distinct[ai].as_ref(), &mut target.distinct[ai]) {
+                        (Some(ds), Some(tds)) => {
+                            // Replay the chunk's distinct values in order;
+                            // only globally-new values update the state.
+                            for v in &ds.order {
+                                if tds.insert(v) {
+                                    target.states[ai].update(v)?;
+                                }
+                            }
+                        }
+                        _ => target.states[ai].merge(incoming)?,
+                    }
+                }
+            }
+            None => {
+                acc.index.insert(key.clone(), acc.states.len());
+                acc.keys.push(key);
+                acc.states.push(gstate);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Split `input` into at most `parts` contiguous runs of whole batches,
+/// balanced by row count.
+fn partition_batches(input: &[RecordBatch], parts: usize) -> Vec<Vec<&RecordBatch>> {
+    let parts = parts.clamp(1, input.len().max(1));
+    let total: usize = input.iter().map(|b| b.num_rows()).sum();
+    let target = total.div_ceil(parts).max(1);
+    let mut chunks: Vec<Vec<&RecordBatch>> = Vec::with_capacity(parts);
+    let mut current: Vec<&RecordBatch> = Vec::new();
+    let mut current_rows = 0;
+    for b in input {
+        current.push(b);
+        current_rows += b.num_rows();
+        if current_rows >= target && chunks.len() + 1 < parts {
+            chunks.push(std::mem::take(&mut current));
+            current_rows = 0;
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Execute a hash aggregate over materialized input with up to `parallelism`
+/// workers building partial aggregates.
+pub fn execute_aggregate(
+    input: &[RecordBatch],
+    group_exprs: &[pixels_planner::BoundExpr],
+    aggs: &[AggExpr],
+    output_schema: &SchemaRef,
+    parallelism: usize,
+) -> Result<Vec<RecordBatch>> {
+    let chunks = partition_batches(input, parallelism);
+    let partials = parallel::run_indexed(chunks.len(), parallelism, |i| {
+        build_partial(&chunks[i], group_exprs, aggs)
+    })?;
+    let mut acc = Partial {
+        index: HashMap::new(),
+        keys: Vec::new(),
+        states: Vec::new(),
+    };
+    let mut partials = partials.into_iter();
+    if let Some(first) = partials.next() {
+        acc = first;
+    }
+    for part in partials {
+        merge_partial(&mut acc, part)?;
+    }
 
     // Global aggregate over zero rows still yields one output row.
-    if group_exprs.is_empty() && states.is_empty() {
-        keys.push(Vec::new());
-        states.push(GroupState::new(aggs));
+    if group_exprs.is_empty() && acc.states.is_empty() {
+        acc.keys.push(Vec::new());
+        acc.states.push(GroupState::new(aggs));
     }
 
     let mut builders: Vec<ColumnBuilder> = output_schema
@@ -201,7 +358,7 @@ pub fn execute_aggregate(
         .iter()
         .map(|f| ColumnBuilder::new(f.data_type))
         .collect();
-    for (key, state) in keys.iter().zip(&states) {
+    for (key, state) in acc.keys.iter().zip(&acc.states) {
         for (b, v) in builders.iter_mut().zip(key.iter()) {
             b.push(v)?;
         }

@@ -1,17 +1,29 @@
 //! Execution context and per-query metrics.
 
-use pixels_storage::ObjectStoreRef;
+use pixels_storage::{FooterCache, ObjectStoreRef};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared state an executing plan needs: the object store plus a metrics
-/// sink. Cheap to clone.
+/// Worker threads to use when the caller does not say: every available core.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shared state an executing plan needs: the object store, a metrics sink,
+/// and the parallelism/caching knobs. Cheap to clone.
 #[derive(Clone)]
 pub struct ExecContext {
     pub store: ObjectStoreRef,
     pub metrics: Arc<ExecMetrics>,
     /// Maximum rows per output batch produced by operators.
     pub batch_size: usize,
+    /// Worker threads for morsel-driven operators (scan, filter, project,
+    /// partial aggregation). `1` forces the serial path, which reproduces
+    /// single-threaded execution exactly; the default is every core.
+    pub parallelism: usize,
+    /// Footer/schema cache shared by every reader this context opens (and,
+    /// when the caller shares one context-to-context, across queries).
+    pub footer_cache: Arc<FooterCache>,
 }
 
 impl ExecContext {
@@ -20,13 +32,28 @@ impl ExecContext {
             store,
             metrics: Arc::new(ExecMetrics::default()),
             batch_size: 8192,
+            parallelism: default_parallelism(),
+            footer_cache: FooterCache::shared(),
         }
+    }
+
+    /// Same context with a different worker count (`1` = serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Same context sharing `cache` instead of a private footer cache.
+    pub fn with_footer_cache(mut self, cache: Arc<FooterCache>) -> Self {
+        self.footer_cache = cache;
+        self
     }
 }
 
 /// Counters describing what a query actually did. `bytes_scanned` is the
-/// exact number of column-chunk and footer bytes fetched from object storage
-/// — the quantity the query server bills at $/TB.
+/// exact number of footer and column-chunk bytes fetched from object storage
+/// — the quantity the query server bills at $/TB. Footer-cache hits fetch
+/// nothing and therefore bill nothing; they are counted separately.
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
     pub bytes_scanned: AtomicU64,
@@ -34,6 +61,7 @@ pub struct ExecMetrics {
     pub rows_produced: AtomicU64,
     pub row_groups_total: AtomicU64,
     pub row_groups_read: AtomicU64,
+    pub footer_cache_hits: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecMetrics`].
@@ -44,6 +72,7 @@ pub struct ExecMetricsSnapshot {
     pub rows_produced: u64,
     pub row_groups_total: u64,
     pub row_groups_read: u64,
+    pub footer_cache_hits: u64,
 }
 
 impl ExecMetrics {
@@ -61,6 +90,10 @@ impl ExecMetrics {
         self.rows_produced.fetch_add(rows, Ordering::Relaxed);
     }
 
+    pub fn add_footer_cache_hit(&self) {
+        self.footer_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecMetricsSnapshot {
         ExecMetricsSnapshot {
             bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
@@ -68,6 +101,7 @@ impl ExecMetrics {
             rows_produced: self.rows_produced.load(Ordering::Relaxed),
             row_groups_total: self.row_groups_total.load(Ordering::Relaxed),
             row_groups_read: self.row_groups_read.load(Ordering::Relaxed),
+            footer_cache_hits: self.footer_cache_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,12 +118,14 @@ mod tests {
         ctx.metrics.add_scan(50, 5);
         ctx.metrics.add_row_groups(4, 2);
         ctx.metrics.add_produced(7);
+        ctx.metrics.add_footer_cache_hit();
         let s = ctx.metrics.snapshot();
         assert_eq!(s.bytes_scanned, 150);
         assert_eq!(s.rows_scanned, 15);
         assert_eq!(s.row_groups_total, 4);
         assert_eq!(s.row_groups_read, 2);
         assert_eq!(s.rows_produced, 7);
+        assert_eq!(s.footer_cache_hits, 1);
     }
 
     #[test]
@@ -98,5 +134,15 @@ mod tests {
         let ctx2 = ctx.clone();
         ctx2.metrics.add_produced(3);
         assert_eq!(ctx.metrics.snapshot().rows_produced, 3);
+    }
+
+    #[test]
+    fn parallelism_defaults_and_clamps() {
+        let ctx = ExecContext::new(InMemoryObjectStore::shared());
+        assert!(ctx.parallelism >= 1);
+        let ctx = ctx.with_parallelism(0);
+        assert_eq!(ctx.parallelism, 1);
+        let ctx = ctx.with_parallelism(4);
+        assert_eq!(ctx.parallelism, 4);
     }
 }

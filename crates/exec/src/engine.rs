@@ -4,18 +4,19 @@ use crate::aggregate::{execute_aggregate, execute_distinct};
 use crate::context::ExecContext;
 use crate::evaluate::{evaluate, predicate_mask};
 use crate::join::{execute_join, RowSink};
-use crate::scan::execute_scan;
+use crate::parallel;
+use crate::scan::{execute_scan, open_metered};
 use crate::sort::{execute_limit, execute_sort, execute_topk};
 use pixels_common::{RecordBatch, Result, Value};
 use pixels_planner::eval::{eval_expr, NoRow};
 use pixels_planner::PhysicalPlan;
-use pixels_storage::PixelsReader;
 
 /// Execute a physical plan to completion, returning all result batches.
 ///
-/// Execution is fully materialized operator-by-operator: simple, correct,
-/// and adequate for the data scales PixelsDB experiments run at. Batches
-/// respect `ctx.batch_size`.
+/// Execution is fully materialized operator-by-operator; scans, filters,
+/// projections, and partial aggregation fan out over `ctx.parallelism`
+/// morsel-driven workers (`parallelism == 1` reproduces serial execution
+/// exactly). Batches respect `ctx.batch_size`.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch>> {
     match plan {
         PhysicalPlan::Scan {
@@ -23,30 +24,43 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch
             projection,
             zone_predicates,
             filters,
+            output_schema,
             ..
         } => {
             let mut out = Vec::new();
-            execute_scan(ctx, paths, projection, zone_predicates, filters, &mut out)?;
+            execute_scan(
+                ctx,
+                paths,
+                projection,
+                zone_predicates,
+                filters,
+                output_schema,
+                &mut out,
+            )?;
             Ok(out)
         }
         PhysicalPlan::MaterializedScan { path, .. } => {
-            let before = ctx.store.metrics();
-            let reader = PixelsReader::open(ctx.store.as_ref(), path)?;
+            let reader = open_metered(ctx, path)?;
             let batches = reader.read_all(None, &[])?;
-            let delta = ctx.store.metrics().delta_since(&before);
             let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
-            ctx.metrics.add_scan(delta.bytes_read, rows);
+            let bytes: u64 = (0..reader.num_row_groups())
+                .map(|rg| reader.row_group_bytes(rg, None))
+                .sum();
+            ctx.metrics.add_scan(bytes, rows);
             Ok(batches)
         }
         PhysicalPlan::Filter { input, predicate } => {
             let batches = execute(input, ctx)?;
-            let mut out = Vec::new();
-            for b in batches {
-                let mask = predicate_mask(predicate, &b)?;
-                let f = b.filter(&mask)?;
-                if f.num_rows() > 0 {
-                    out.push(f);
-                }
+            let filtered = parallel::run_indexed(batches.len(), ctx.parallelism, |i| {
+                let b = &batches[i];
+                let mask = predicate_mask(predicate, b)?;
+                b.filter(&mask)
+            })?;
+            let mut out: Vec<RecordBatch> =
+                filtered.into_iter().filter(|f| f.num_rows() > 0).collect();
+            // Preserve schema even when every row is filtered out.
+            if out.is_empty() {
+                out.push(RecordBatch::empty(input.schema()));
             }
             Ok(out)
         }
@@ -56,14 +70,13 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch
             output_schema,
         } => {
             let batches = execute(input, ctx)?;
-            let mut out = Vec::with_capacity(batches.len());
-            for b in &batches {
+            let mut out = parallel::run_indexed(batches.len(), ctx.parallelism, |i| {
                 let columns = exprs
                     .iter()
-                    .map(|e| evaluate(e, b))
+                    .map(|e| evaluate(e, &batches[i]))
                     .collect::<Result<Vec<_>>>()?;
-                out.push(RecordBatch::try_new(output_schema.clone(), columns)?);
-            }
+                RecordBatch::try_new(output_schema.clone(), columns)
+            })?;
             // Preserve schema even for empty input.
             if out.is_empty() {
                 out.push(RecordBatch::empty(output_schema.clone()));
@@ -101,7 +114,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch
             output_schema,
         } => {
             let batches = execute(input, ctx)?;
-            execute_aggregate(&batches, group_exprs, aggs, output_schema)
+            execute_aggregate(&batches, group_exprs, aggs, output_schema, ctx.parallelism)
         }
         PhysicalPlan::Distinct { input } => {
             let batches = execute(input, ctx)?;

@@ -2,7 +2,9 @@
 //!
 //! Executes [`pixels_planner::PhysicalPlan`]s over Pixels tables in object
 //! storage: scans with projection/zone-map pushdown, hash joins, hash
-//! aggregation (with DISTINCT), sorting, top-k, and limits. Expression
+//! aggregation (with DISTINCT), sorting, top-k, and limits. Scans, filters,
+//! projections, and partial aggregation are morsel-driven parallel (see
+//! [`parallel`]), controlled by [`ExecContext::parallelism`]. Expression
 //! semantics are shared with the planner's constant folder through
 //! `pixels_planner::eval`, so plans always agree with runtime behaviour.
 //!
@@ -15,10 +17,11 @@ pub mod context;
 pub mod engine;
 pub mod evaluate;
 pub mod join;
+pub mod parallel;
 pub mod scan;
 pub mod sort;
 
-pub use context::{ExecContext, ExecMetrics, ExecMetricsSnapshot};
+pub use context::{default_parallelism, ExecContext, ExecMetrics, ExecMetricsSnapshot};
 pub use engine::{execute, execute_collect};
 pub use evaluate::{evaluate, predicate_mask};
 

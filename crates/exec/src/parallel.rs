@@ -1,0 +1,116 @@
+//! Morsel-driven parallel execution.
+//!
+//! A *morsel* is one unit of independent work: a row group of one file for
+//! scans, or a single batch for per-batch operators. Workers are scoped
+//! threads that claim morsel indices from a shared atomic counter — cheap
+//! dynamic load balancing without a task queue — and results are reassembled
+//! in morsel order, so output is identical regardless of how the OS
+//! schedules the threads.
+//!
+//! With `parallelism <= 1` (or a single morsel) the work runs inline on the
+//! caller's thread: exactly the serial path, with no threads spawned. That
+//! is the determinism knob — `ExecContext { parallelism: 1, .. }` reproduces
+//! the engine's historical single-threaded behaviour bit for bit.
+
+use pixels_common::Result;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Run `f(0..n)` on up to `parallelism` worker threads, returning results in
+/// index order. The first error (by morsel index) aborts outstanding work
+/// and is returned. Panics in workers propagate to the caller.
+pub fn run_indexed<T, F>(n: usize, parallelism: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = parallelism.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut indexed: Vec<(usize, Result<T>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i);
+                        if r.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, r));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+
+    // Morsel order, with the lowest-index error (deterministic) winning.
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(n);
+    for (_, r) in indexed {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::Error;
+
+    #[test]
+    fn preserves_order_at_any_parallelism() {
+        for p in [1, 2, 4, 8, 32] {
+            let out = run_indexed(100, p, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(run_indexed(0, 4, |_| Ok(0)).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        for p in [1, 4] {
+            let err = run_indexed(50, p, |i| {
+                if i >= 10 {
+                    Err::<usize, _>(Error::Exec(format!("boom {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            // Workers past index 10 may or may not have run, but the error
+            // reported is the earliest one that did — and index 10 always
+            // runs before the abort flag can stop it on the serial path.
+            let Error::Exec(msg) = err else {
+                panic!("wrong error kind")
+            };
+            assert!(msg.starts_with("boom "), "{msg}");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_items() {
+        // 2 items with parallelism 16 must still complete and stay ordered.
+        let out = run_indexed(2, 16, Ok).unwrap();
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -1,43 +1,72 @@
-//! Table scans with projection pushdown, zone-map pruning, and residual
-//! filtering.
+//! Table scans with projection pushdown, zone-map pruning, residual
+//! filtering, and morsel-driven parallelism.
 
 use crate::context::ExecContext;
 use crate::evaluate::predicate_mask;
-use pixels_common::{RecordBatch, Result};
+use crate::parallel;
+use pixels_common::{RecordBatch, Result, SchemaRef};
 use pixels_planner::BoundExpr;
 use pixels_storage::{ColumnPredicate, PixelsReader};
 
+/// Open `path` through the context's shared footer cache and meter the open:
+/// a miss bills the bytes actually fetched, a hit bills nothing and bumps
+/// the hit counter instead.
+pub(crate) fn open_metered<'a>(ctx: &'a ExecContext, path: &str) -> Result<PixelsReader<'a>> {
+    let reader = PixelsReader::open_with_cache(ctx.store.as_ref(), path, &ctx.footer_cache)?;
+    if reader.from_cache() {
+        ctx.metrics.add_footer_cache_hit();
+    } else {
+        ctx.metrics.add_scan(reader.open_bytes(), 0);
+    }
+    Ok(reader)
+}
+
 /// Execute a Pixels table scan over `paths`.
 ///
-/// Bytes scanned are metered exactly: the footer plus every fetched column
-/// chunk, which is what the reader actually transfers from object storage.
+/// Each surviving `(file, row group)` pair is one morsel; up to
+/// `ctx.parallelism` workers decode morsels concurrently and the batches are
+/// emitted in morsel order, so results are identical at every parallelism
+/// level. Bytes are metered from the reader's own accounting (footer bytes
+/// on open, projected chunk lengths per row group), making `bytes_scanned`
+/// exact and independent of thread interleaving.
 pub fn execute_scan(
     ctx: &ExecContext,
     paths: &[String],
     projection: &[usize],
     zone_predicates: &[ColumnPredicate],
     filters: &[BoundExpr],
+    output_schema: &SchemaRef,
     out: &mut Vec<RecordBatch>,
 ) -> Result<()> {
-    for path in paths {
-        let before = ctx.store.metrics();
-        let reader = PixelsReader::open(ctx.store.as_ref(), path)?;
+    // Open and prune every file up front; morsels index into `readers`.
+    let mut readers = Vec::with_capacity(paths.len());
+    let mut morsels: Vec<(usize, usize)> = Vec::new();
+    for (fi, path) in paths.iter().enumerate() {
+        let reader = open_metered(ctx, path)?;
         let retained = reader.prune_row_groups(zone_predicates);
         ctx.metrics
             .add_row_groups(reader.num_row_groups() as u64, retained.len() as u64);
-        for rg in retained {
-            let batch = reader.read_row_group(rg, Some(projection))?;
-            let rows = batch.num_rows() as u64;
-            let batch = apply_filters(filters, batch)?;
-            ctx.metrics.add_produced(batch.num_rows() as u64);
-            ctx.metrics.add_scan(0, rows);
-            if batch.num_rows() > 0 {
-                out.push(batch);
-            }
-        }
-        // Exact transfer accounting from the store's own counters.
-        let delta = ctx.store.metrics().delta_since(&before);
-        ctx.metrics.add_scan(delta.bytes_read, 0);
+        morsels.extend(retained.into_iter().map(|rg| (fi, rg)));
+        readers.push(reader);
+    }
+
+    let batches = parallel::run_indexed(morsels.len(), ctx.parallelism, |i| {
+        let (fi, rg) = morsels[i];
+        let reader = &readers[fi];
+        let batch = reader.read_row_group(rg, Some(projection))?;
+        let rows = batch.num_rows() as u64;
+        let batch = apply_filters(filters, batch)?;
+        ctx.metrics
+            .add_scan(reader.row_group_bytes(rg, Some(projection)), rows);
+        ctx.metrics.add_produced(batch.num_rows() as u64);
+        Ok(batch)
+    })?;
+
+    out.extend(batches.into_iter().filter(|b| b.num_rows() > 0));
+    // Preserve the schema even when nothing matched, so downstream operators
+    // never see a schema-less empty result.
+    if out.is_empty() {
+        out.push(RecordBatch::empty(output_schema.clone()));
     }
     Ok(())
 }

@@ -568,7 +568,10 @@ mod tests {
         assert!(!like_match("", "_"));
         assert!(like_match("", "%"));
         assert!(like_match("a%b", "a%b"));
-        assert!(like_match("a%c", "a%"), "subject '%' must not eat the wildcard");
+        assert!(
+            like_match("a%c", "a%"),
+            "subject '%' must not eat the wildcard"
+        );
         assert!(like_match("100%", "100%"));
         assert!(like_match("100% done", "100%"));
         assert!(like_match("special", "s%_l"));

@@ -337,6 +337,12 @@ mod tests {
     fn pricing_by_level() {
         let s = server();
         let sql = "SELECT COUNT(*) FROM lineitem";
+        // The first run pays for the footer fetch; afterwards the engine's
+        // footer cache serves opens for free, so repeated runs bill only the
+        // column chunks — identically at every service level.
+        let cold = s
+            .wait(s.submit(submission(sql, ServiceLevel::Immediate)))
+            .unwrap();
         let a = s
             .wait(s.submit(submission(sql, ServiceLevel::Immediate)))
             .unwrap();
@@ -346,7 +352,14 @@ mod tests {
         let c = s
             .wait(s.submit(submission(sql, ServiceLevel::BestEffort)))
             .unwrap();
+        assert!(
+            cold.scan_bytes > a.scan_bytes,
+            "cold run must bill the footer fetch: {} vs {}",
+            cold.scan_bytes,
+            a.scan_bytes
+        );
         assert_eq!(a.scan_bytes, b.scan_bytes);
+        assert_eq!(b.scan_bytes, c.scan_bytes);
         assert!((b.price / a.price - 0.2).abs() < 1e-6);
         assert!((c.price / a.price - 0.1).abs() < 1e-6);
     }

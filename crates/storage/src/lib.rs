@@ -12,10 +12,13 @@
 //! - [`encoding`] — plain, run-length, and dictionary encodings with a
 //!   per-chunk chooser.
 //! - [`stats`] — min/max/null statistics used for pruning and costing.
+//! - [`meta_cache`] — a shared footer/schema cache so repeated opens of the
+//!   same object skip the footer GETs entirely (and are not billed twice).
 
 pub mod codec;
 pub mod encoding;
 pub mod format;
+pub mod meta_cache;
 pub mod object_store;
 pub mod reader;
 pub mod stats;
@@ -23,6 +26,7 @@ pub mod writer;
 
 pub use encoding::Encoding;
 pub use format::{ColumnChunkMeta, Footer, RowGroupMeta};
+pub use meta_cache::{FileMeta, FooterCache};
 pub use object_store::{
     InMemoryObjectStore, LatencyModel, ObjectStore, ObjectStoreRef, StoreMetricsSnapshot,
 };

@@ -1,0 +1,140 @@
+//! Shared footer/schema cache so repeated opens of the same object skip the
+//! footer fetch entirely.
+//!
+//! Opening a Pixels file costs ranged GETs (magic check plus the speculative
+//! tail read, see [`crate::reader::PixelsReader::open`]). Under morsel-driven
+//! execution and across queries the same object is opened many times, so the
+//! parsed footer is cached here keyed by path and validated by object size —
+//! the stand-in for an HTTP etag, which the [`crate::object_store`] trait
+//! does not model. A cache hit transfers zero bytes from the store, and the
+//! billing consequence is deliberate: footer bytes are metered only on the
+//! first fetch, never again on a hit.
+
+use crate::format::Footer;
+use parking_lot::RwLock;
+use pixels_common::SchemaRef;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything `PixelsReader::open` learns about a file, plus what it cost to
+/// learn it.
+#[derive(Debug)]
+pub struct FileMeta {
+    pub footer: Arc<Footer>,
+    pub schema: SchemaRef,
+    /// Object size when the footer was fetched; entries whose size no longer
+    /// matches the live object are stale and evicted on lookup.
+    pub size: u64,
+    /// Bytes transferred from the store to open the file (magic + tail +
+    /// any footer spill). Billed once, on the fetch that populated the cache.
+    pub open_bytes: u64,
+}
+
+/// Concurrent footer cache, shared via `Arc` between execution contexts and
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct FooterCache {
+    entries: RwLock<HashMap<String, Arc<FileMeta>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FooterCache {
+    pub fn new() -> FooterCache {
+        FooterCache::default()
+    }
+
+    /// Convenience constructor returning a shared handle.
+    pub fn shared() -> Arc<FooterCache> {
+        Arc::new(FooterCache::new())
+    }
+
+    /// Cached metadata for `path`, provided the live object still has `size`
+    /// bytes. A size mismatch means the object was replaced: the stale entry
+    /// is evicted and the lookup counts as a miss.
+    pub fn lookup(&self, path: &str, size: u64) -> Option<Arc<FileMeta>> {
+        let cached = self.entries.read().get(path).cloned();
+        match cached {
+            Some(meta) if meta.size == size => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(meta)
+            }
+            Some(_) => {
+                self.entries.write().remove(path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn insert(&self, path: &str, meta: Arc<FileMeta>) {
+        self.entries.write().insert(path.to_string(), meta);
+    }
+
+    /// Drop the entry for `path` (e.g. after deleting the object).
+    pub fn invalidate(&self, path: &str) {
+        self.entries.write().remove(path);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::Schema;
+
+    fn meta(size: u64) -> Arc<FileMeta> {
+        Arc::new(FileMeta {
+            footer: Arc::new(Footer {
+                version: 1,
+                schema: Schema::empty(),
+                row_groups: vec![],
+            }),
+            schema: Arc::new(Schema::empty()),
+            size,
+            open_bytes: 42,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_size_validation() {
+        let cache = FooterCache::new();
+        assert!(cache.lookup("a", 10).is_none());
+        cache.insert("a", meta(10));
+        assert!(cache.lookup("a", 10).is_some());
+        // Size change evicts the stale entry.
+        assert!(cache.lookup("a", 11).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let cache = FooterCache::new();
+        cache.insert("a", meta(10));
+        assert_eq!(cache.len(), 1);
+        cache.invalidate("a");
+        assert!(cache.lookup("a", 10).is_none());
+    }
+}

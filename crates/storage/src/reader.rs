@@ -1,18 +1,28 @@
 //! Reads Pixels-format objects with projection and zone-map pruning.
 //!
-//! The reader fetches the footer with ranged GETs, then fetches only the
-//! column chunks a query projects, skipping whole row groups whose zone maps
-//! prove no row can match the scan predicates. The object store's byte
-//! counters therefore measure *data actually scanned*, which is the quantity
-//! the query server bills.
+//! Opening a file costs two ranged GETs: the head magic plus a single
+//! speculative tail read of `min(file_size, 16 KiB)` that almost always
+//! covers both the 12-byte trailer and the footer it points at (a third GET
+//! happens only for oversized footers). With a shared [`FooterCache`] even
+//! those reads are skipped on repeated opens. After that the reader fetches
+//! only the column chunks a query projects, skipping whole row groups whose
+//! zone maps prove no row can match the scan predicates. The reader reports
+//! exactly what it transferred ([`PixelsReader::open_bytes`],
+//! [`PixelsReader::row_group_bytes`]), which is the quantity the query
+//! server bills.
 
 use crate::codec::Reader as ByteReader;
 use crate::encoding::{self, bitpack};
 use crate::format::{Footer, MAGIC_HEAD, MAGIC_TAIL};
+use crate::meta_cache::{FileMeta, FooterCache};
 use crate::object_store::ObjectStore;
 use crate::stats::ColumnStats;
 use pixels_common::{Column, Error, RecordBatch, Result, SchemaRef, Value};
 use std::sync::Arc;
+
+/// Size of the speculative tail read: one GET fetches the trailer and, for
+/// any footer up to ~16 KiB, the footer itself.
+pub const SPECULATIVE_TAIL_BYTES: u64 = 16 * 1024;
 
 /// A comparison predicate usable for zone-map pruning.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,13 +59,37 @@ impl ColumnPredicate {
 pub struct PixelsReader<'a> {
     store: &'a dyn ObjectStore,
     path: String,
-    footer: Footer,
+    footer: Arc<Footer>,
     schema: SchemaRef,
+    /// Bytes transferred from the store by this open (0 on a cache hit).
+    open_bytes: u64,
+    /// Whether the footer came from a [`FooterCache`] without store traffic.
+    from_cache: bool,
 }
 
 impl<'a> PixelsReader<'a> {
     /// Open `path`, validating magic bytes and parsing the footer.
     pub fn open(store: &'a dyn ObjectStore, path: &str) -> Result<Self> {
+        Self::open_inner(store, path, None, SPECULATIVE_TAIL_BYTES)
+    }
+
+    /// Like [`PixelsReader::open`], but consults (and populates) a shared
+    /// footer cache. A hit skips every footer-range GET; the hit performs
+    /// only the `size` lookup used to validate the entry.
+    pub fn open_with_cache(
+        store: &'a dyn ObjectStore,
+        path: &str,
+        cache: &FooterCache,
+    ) -> Result<Self> {
+        Self::open_inner(store, path, Some(cache), SPECULATIVE_TAIL_BYTES)
+    }
+
+    fn open_inner(
+        store: &'a dyn ObjectStore,
+        path: &str,
+        cache: Option<&FooterCache>,
+        tail_budget: u64,
+    ) -> Result<Self> {
         let size = store.size(path)?;
         let min = (MAGIC_HEAD.len() + 12) as u64;
         if size < min {
@@ -63,27 +97,66 @@ impl<'a> PixelsReader<'a> {
                 "file {path} too small ({size} bytes) to be a Pixels file"
             )));
         }
+        if let Some(cache) = cache {
+            if let Some(meta) = cache.lookup(path, size) {
+                return Ok(PixelsReader {
+                    store,
+                    path: path.to_string(),
+                    footer: meta.footer.clone(),
+                    schema: meta.schema.clone(),
+                    open_bytes: 0,
+                    from_cache: true,
+                });
+            }
+        }
         let head = store.get_range(path, 0, MAGIC_HEAD.len() as u64)?;
         if head.as_ref() != MAGIC_HEAD {
             return Err(Error::Storage(format!("bad magic in {path}")));
         }
-        let tail = store.get_range(path, size - 12, 12)?;
-        if &tail[8..] != MAGIC_TAIL {
+        // Speculative tail read: the footer length is unknown until the
+        // trailer is parsed, so fetch the last `tail_budget` bytes in one
+        // GET; most footers fit and need no second request.
+        let tail_len = size.min(tail_budget.max(12));
+        let tail = store.get_range(path, size - tail_len, tail_len)?;
+        let trailer = &tail[tail.len() - 12..];
+        if &trailer[8..] != MAGIC_TAIL {
             return Err(Error::Storage(format!("bad trailing magic in {path}")));
         }
-        let footer_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        let footer_len = u64::from_le_bytes(trailer[..8].try_into().unwrap());
         let needed = footer_len.checked_add(12 + MAGIC_HEAD.len() as u64);
         if needed.is_none_or(|n| n > size) {
             return Err(Error::Storage(format!("corrupt footer length in {path}")));
         }
-        let footer_bytes = store.get_range(path, size - 12 - footer_len, footer_len)?;
-        let footer = Footer::decode(&footer_bytes)?;
+        let mut open_bytes = MAGIC_HEAD.len() as u64 + tail_len;
+        let footer = if footer_len + 12 <= tail_len {
+            let start = tail.len() - 12 - footer_len as usize;
+            Footer::decode(&tail[start..tail.len() - 12])?
+        } else {
+            // Footer larger than the speculative read: fetch the exact span.
+            open_bytes += footer_len;
+            let footer_bytes = store.get_range(path, size - 12 - footer_len, footer_len)?;
+            Footer::decode(&footer_bytes)?
+        };
+        let footer = Arc::new(footer);
         let schema = Arc::new(footer.schema.clone());
+        if let Some(cache) = cache {
+            cache.insert(
+                path,
+                Arc::new(FileMeta {
+                    footer: footer.clone(),
+                    schema: schema.clone(),
+                    size,
+                    open_bytes,
+                }),
+            );
+        }
         Ok(PixelsReader {
             store,
             path: path.to_string(),
             footer,
             schema,
+            open_bytes,
+            from_cache: false,
         })
     }
 
@@ -93,6 +166,18 @@ impl<'a> PixelsReader<'a> {
 
     pub fn footer(&self) -> &Footer {
         &self.footer
+    }
+
+    /// Bytes this open transferred from the store (0 when the footer came
+    /// from a cache). This is what a $/TB-scanned biller should charge for
+    /// the open itself.
+    pub fn open_bytes(&self) -> u64 {
+        self.open_bytes
+    }
+
+    /// Whether the footer was served by a [`FooterCache`].
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
     }
 
     pub fn num_row_groups(&self) -> usize {
@@ -114,6 +199,25 @@ impl<'a> PixelsReader<'a> {
                 })
             })
             .collect()
+    }
+
+    /// Bytes [`PixelsReader::read_row_group`] will fetch for `rg_index` under
+    /// `projection`: the sum of the projected chunks' stored lengths. Lets
+    /// callers meter scanned bytes exactly without consulting (racy, global)
+    /// store counters. Out-of-range indices contribute 0; the read itself
+    /// reports the error.
+    pub fn row_group_bytes(&self, rg_index: usize, projection: Option<&[usize]>) -> u64 {
+        let Some(rg) = self.footer.row_groups.get(rg_index) else {
+            return 0;
+        };
+        match projection {
+            Some(p) => p
+                .iter()
+                .filter_map(|&c| rg.columns.get(c))
+                .map(|m| m.len)
+                .sum(),
+            None => rg.columns.iter().map(|m| m.len).sum(),
+        }
     }
 
     /// Read one row group. `projection` selects columns by file-schema index
@@ -362,6 +466,89 @@ mod tests {
         assert_eq!(stats.min, Some(Value::Int64(0)));
         assert_eq!(stats.max, Some(Value::Int64(299)));
         assert_eq!(stats.row_count, 300);
+    }
+
+    #[test]
+    fn open_uses_single_speculative_tail_read() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let before = store.metrics();
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let delta = store.metrics().delta_since(&before);
+        // Head magic + speculative tail: exactly two GETs for a small footer.
+        assert_eq!(delta.get_requests, 2);
+        assert_eq!(reader.open_bytes(), delta.bytes_read);
+        assert!(!reader.from_cache());
+    }
+
+    #[test]
+    fn oversized_footer_falls_back_to_second_get() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let before = store.metrics();
+        // A 64-byte tail budget cannot hold this footer, forcing the exact
+        // footer fetch.
+        let reader = PixelsReader::open_inner(&store, "t.pxl", None, 64).unwrap();
+        let delta = store.metrics().delta_since(&before);
+        assert_eq!(delta.get_requests, 3);
+        assert_eq!(reader.open_bytes(), delta.bytes_read);
+        assert_eq!(reader.num_rows(), 250);
+        let all = RecordBatch::concat(&reader.read_all(None, &[]).unwrap()).unwrap();
+        assert_eq!(all, batch(0, 250));
+    }
+
+    #[test]
+    fn footer_cache_hit_performs_zero_gets() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let cache = crate::meta_cache::FooterCache::new();
+
+        let first = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        assert!(!first.from_cache());
+        assert!(first.open_bytes() > 0);
+
+        let before = store.metrics();
+        let second = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        let delta = store.metrics().delta_since(&before);
+        assert_eq!(delta.get_requests, 0, "cache hit must not touch the store");
+        assert_eq!(delta.bytes_read, 0);
+        assert!(second.from_cache());
+        assert_eq!(second.open_bytes(), 0, "cache hits are not billed");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+
+        // The cached footer still drives real data reads.
+        let all = RecordBatch::concat(&second.read_all(None, &[]).unwrap()).unwrap();
+        assert_eq!(all, batch(0, 250));
+    }
+
+    #[test]
+    fn footer_cache_detects_replaced_object() {
+        let store = InMemoryObjectStore::new();
+        let cache = crate::meta_cache::FooterCache::new();
+        write_sample(&store, 100, 250);
+        PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        // Replace with a different (different-size) object at the same path.
+        write_sample(&store, 100, 300);
+        let reader = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        assert!(!reader.from_cache());
+        assert_eq!(reader.num_rows(), 300);
+    }
+
+    #[test]
+    fn row_group_bytes_matches_actual_transfer() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        for projection in [None, Some(&[0usize][..]), Some(&[0usize, 2][..])] {
+            for rg in 0..reader.num_row_groups() {
+                let before = store.metrics();
+                reader.read_row_group(rg, projection).unwrap();
+                let delta = store.metrics().delta_since(&before);
+                assert_eq!(reader.row_group_bytes(rg, projection), delta.bytes_read);
+            }
+        }
+        assert_eq!(reader.row_group_bytes(99, None), 0);
     }
 
     #[test]

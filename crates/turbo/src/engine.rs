@@ -8,15 +8,16 @@
 //! object storage, and finishes the cheap top-level plan locally — exactly
 //! the §3.1 data path.
 
+use crate::model::QueryWork;
 use parking_lot::{Condvar, Mutex};
 use pixels_catalog::CatalogRef;
 use pixels_common::{
     ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
 };
-use pixels_exec::{execute, execute_collect, materialize, ExecContext};
-use pixels_planner::{plan_query, split_for_acceleration};
+use pixels_exec::{default_parallelism, execute, execute_collect, materialize, ExecContext};
+use pixels_planner::{plan_query, split_for_acceleration, PhysicalPlan};
 use pixels_sql::ast::Statement;
-use pixels_storage::ObjectStoreRef;
+use pixels_storage::{FooterCache, ObjectStoreRef};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,9 +26,9 @@ use std::time::{Duration, Instant};
 pub struct EngineConfig {
     /// Concurrent query slots the "VM cluster" provides.
     pub vm_slots: usize,
-    /// Reserved: threads per CF fleet. The current fleet executes the
-    /// sub-plan on one ephemeral thread (intra-plan parallelism is future
-    /// work); the simulator models multi-worker fleets instead.
+    /// Worker threads per CF fleet: the accelerated sub-plan executes with
+    /// up to this much intra-plan parallelism, further bounded by the
+    /// query's own parallelism estimate from the resource model.
     pub cf_fleet_threads: usize,
 }
 
@@ -93,6 +94,9 @@ pub struct TurboEngine {
     cfg: EngineConfig,
     slots: Arc<Slots>,
     mv_ids: IdGenerator,
+    /// Footer cache shared across every query the engine runs: repeated
+    /// opens of the same table skip the footer GETs (and are billed once).
+    footer_cache: Arc<FooterCache>,
 }
 
 impl TurboEngine {
@@ -106,7 +110,21 @@ impl TurboEngine {
                 cv: Condvar::new(),
             }),
             mv_ids: IdGenerator::new(),
+            footer_cache: FooterCache::shared(),
         }
+    }
+
+    /// Execution context for `plan`, with parallelism taken from the
+    /// resource model (scannable partitions) capped by `limit` and the
+    /// machine's cores, and the engine-wide footer cache attached.
+    fn exec_context(&self, plan: &PhysicalPlan, limit: usize) -> ExecContext {
+        let work = QueryWork::from_plan(plan);
+        let parallelism = (work.parallelism as usize)
+            .min(limit.max(1))
+            .min(default_parallelism());
+        ExecContext::new(self.store.clone())
+            .with_parallelism(parallelism)
+            .with_footer_cache(self.footer_cache.clone())
     }
 
     pub fn catalog(&self) -> &CatalogRef {
@@ -156,7 +174,7 @@ impl TurboEngine {
                     ));
                 };
                 let plan = plan_query(&self.catalog, db, &inner.to_string())?;
-                let ctx = ExecContext::new(self.store.clone());
+                let ctx = self.exec_context(&plan, usize::MAX);
                 let start = Instant::now();
                 let batches = execute(&plan, &ctx)?;
                 let elapsed = start.elapsed();
@@ -166,16 +184,20 @@ impl TurboEngine {
                 text.push_str(&format!(
                     "--- runtime metrics ---\n\
                      wall time        : {:.3} ms\n\
+                     parallelism      : {}\n\
                      result rows      : {rows}\n\
                      rows scanned     : {}\n\
                      bytes scanned    : {}\n\
-                     row groups read  : {} of {} (zone maps pruned {})\n",
+                     row groups read  : {} of {} (zone maps pruned {})\n\
+                     footer cache hits: {}\n",
                     elapsed.as_secs_f64() * 1e3,
+                    ctx.parallelism,
                     m.rows_scanned,
                     pixels_common::bytesize::format_bytes(m.bytes_scanned),
                     m.row_groups_read,
                     m.row_groups_total,
                     m.row_groups_total - m.row_groups_read,
+                    m.footer_cache_hits,
                 ));
                 Ok(ExecOutcome {
                     batch: text_batch("plan", text.lines()),
@@ -276,8 +298,8 @@ impl TurboEngine {
         })
     }
 
-    fn run_in_vm(&self, plan: &pixels_planner::PhysicalPlan) -> Result<ExecOutcome> {
-        let ctx = ExecContext::new(self.store.clone());
+    fn run_in_vm(&self, plan: &PhysicalPlan) -> Result<ExecOutcome> {
+        let ctx = self.exec_context(plan, usize::MAX);
         let start = Instant::now();
         let batch = execute_collect(plan, &ctx)?;
         Ok(ExecOutcome {
@@ -296,23 +318,28 @@ impl TurboEngine {
         let store = self.store.clone();
         let sub_plan = split.sub_plan.clone();
         let mv_path = split.mv_path.clone();
+        // The fleet's intra-plan parallelism comes from the resource model,
+        // capped by the configured workers per fleet.
+        let sub_ctx = self.exec_context(&sub_plan, self.cfg.cf_fleet_threads);
 
         // One spawned thread per fleet: the sub-plan executes off the VM
-        // slots entirely, like CF workers would.
+        // slots entirely, like CF workers would, fanning out internally
+        // over the fleet's morsel workers.
         let handle = std::thread::spawn(move || -> Result<u64> {
-            let ctx = ExecContext::new(store.clone());
-            let batches = execute(&sub_plan, &ctx)?;
+            let batches = execute(&sub_plan, &sub_ctx)?;
             materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
-            Ok(ctx.metrics.snapshot().bytes_scanned)
+            Ok(sub_ctx.metrics.snapshot().bytes_scanned)
         });
         let sub_bytes = handle
             .join()
             .map_err(|_| Error::Exec("CF fleet panicked".into()))??;
 
-        let ctx = ExecContext::new(self.store.clone());
+        let ctx = self.exec_context(&split.top_plan, usize::MAX);
         let batch = execute_collect(&split.top_plan, &ctx)?;
-        // Clean up the intermediate result like ephemeral CF output.
+        // Clean up the intermediate result like ephemeral CF output, and
+        // drop its (now dangling) footer-cache entry.
         let _ = self.store.delete(&split.mv_path);
+        self.footer_cache.invalidate(&split.mv_path);
         Ok(ExecOutcome {
             batch,
             used_cf: true,

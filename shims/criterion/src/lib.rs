@@ -1,0 +1,190 @@
+//! Offline shim for `criterion`: runs benchmark closures and reports
+//! mean wall-clock time per iteration (no statistical analysis, plots, or
+//! baselines). Like the real crate, when a bench binary is invoked without
+//! `--bench` (as `cargo test` does) each benchmark runs exactly once as a
+//! smoke test.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to derive rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How expensive per-iteration setup input is; accepted for API
+/// compatibility (the shim treats all sizes alike).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// False when invoked by `cargo test` (no `--bench` argument): each
+    /// closure runs once, untimed.
+    measure: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        if self.measure {
+            println!("group: {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(self.measure, id, None, sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.measure, &label, self.throughput, n, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    measure: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measure,
+        iters: 0,
+        elapsed: Duration::ZERO,
+        sample_size,
+    };
+    f(&mut b);
+    if !measure || b.iters == 0 {
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.2} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("{label:<40} {:>12.3} µs/iter{rate}", per_iter * 1e6);
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` time the routine.
+pub struct Bencher {
+    measure: bool,
+    iters: u64,
+    elapsed: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm-up round, then timed samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.sample_size as u64;
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.measure {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,126 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Size bounds for generated collections (inclusive lower, exclusive upper).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        let span = (self.max_exclusive - self.min).max(1) as u64;
+        self.min + runner.below(span) as usize
+    }
+}
+
+/// `Vec` of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        let n = self.size.pick(runner);
+        (0..n).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// `BTreeMap` with `size` insertion attempts (duplicate keys collapse, so
+/// the result can be smaller, like upstream's lower-bound-relaxed behaviour).
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let n = self.size.pick(runner);
+        (0..n)
+            .map(|_| (self.keys.new_value(runner), self.values.new_value(runner)))
+            .collect()
+    }
+}
+
+/// `BTreeSet` with `size` insertion attempts (duplicates collapse).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let n = self.size.pick(runner);
+        (0..n).map(|_| self.element.new_value(runner)).collect()
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline shim for `proptest`: random-input property testing implementing
+//! the API subset this workspace uses — `Strategy` with `prop_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, range and regex-literal
+//! strategies, collection/option/sample helpers, `any::<T>()`, and the
+//! `proptest!` / `prop_oneof!` / `prop_assert!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (stable CI), and failing inputs are reported but NOT shrunk.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRunner};
+
+/// Mirrors `proptest::prelude` from the real crate.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the real prelude's `prop` module of strategy constructors.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion: one test fn per item, all sharing the config expr.
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+            let strategies = ( $( $strat ),+ , );
+            for _case in 0..config.cases {
+                let value =
+                    $crate::strategy::Strategy::new_value(&strategies, &mut runner);
+                let described = format!("{:?}", value);
+                let ( $( $pat ),+ , ) = value;
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if outcome.is_err() {
+                    panic!(
+                        "proptest case {}/{} failed for input: {}",
+                        _case + 1,
+                        config.cases,
+                        described
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Entry with an explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Entry with the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// In this shim, property assertions panic like regular assertions; the
+/// `proptest!` driver reports the failing input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}

@@ -1,0 +1,24 @@
+//! `option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// `Some(value)` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+        if runner.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(runner))
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! `sample::select` — uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::fmt::Debug;
+
+/// Uniformly select one of `options` (must be non-empty).
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.options[runner.below(self.options.len() as u64) as usize].clone()
+    }
+}

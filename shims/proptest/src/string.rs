@@ -1,0 +1,155 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the patterns this workspace uses: character classes with ranges
+//! (`[a-zA-Z0-9_%' ]`), the printable-character escape `\PC`, literal
+//! characters, and `{m,n}` / `{n}` repetition. Anything else is treated as a
+//! literal character.
+
+use crate::test_runner::TestRunner;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Choose uniformly from these characters.
+    Class(Vec<char>),
+    /// Any printable character (mostly ASCII, occasionally multi-byte).
+    Printable,
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                Atom::Printable
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).unwrap_or(&'\\');
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} or {n} quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Characters `\PC` occasionally picks beyond printable ASCII, to exercise
+/// multi-byte handling in parsers.
+const EXOTIC: &[char] = &['é', 'λ', 'Ж', '中', '🦀', 'ß', '°', '€'];
+
+fn sample_atom(atom: &Atom, runner: &mut TestRunner) -> char {
+    match atom {
+        Atom::Class(set) => set[runner.below(set.len() as u64) as usize],
+        Atom::Printable => {
+            if runner.below(16) == 0 {
+                EXOTIC[runner.below(EXOTIC.len() as u64) as usize]
+            } else {
+                // Printable ASCII: 0x20 ..= 0x7E.
+                char::from_u32(0x20 + runner.below(0x5F) as u32).expect("ascii")
+            }
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min) as u64 + 1;
+        let n = piece.min + runner.below(span) as usize;
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, runner));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(1));
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let s = generate("\\PC{0,10}", &mut r);
+            assert!(s.chars().count() <= 10);
+            assert!(s.chars().all(|c| !c.is_control()));
+
+            let s = generate("[a-zA-Z0-9']{1,10}", &mut r);
+            assert!((1..=10).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn literal_and_exact_quantifier() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(1));
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("x{3}", &mut r), "xxx");
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline shim for `rand` 0.8: the `Rng`/`SeedableRng` traits and
+//! `rngs::StdRng` with the API subset this workspace uses (`gen_range` over
+//! integer/float ranges, `gen_bool`). The generator is xoshiro256**, seeded
+//! via SplitMix64 — statistically solid, deterministic per seed, but NOT the
+//! same stream as upstream rand's StdRng (no caller relies on the exact
+//! stream, only on determinism).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive; panics if empty).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Map a `u64` to a uniform float in `[0, 1)`.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly sampleable from a bounded interval. The single blanket
+/// [`SampleRange`] impls below force `gen_range(a..b)` to return the range's
+/// element type, which is what lets unannotated integer/float literals infer
+/// exactly as they do with the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_in<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                debug_assert!(span > 0);
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore>(lo: f32, hi: f32, _inclusive: bool, rng: &mut R) -> f32 {
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into four non-zero words.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..16).map(|_| c.gen_range(0..100)).collect();
+        let mut d = StdRng::seed_from_u64(7);
+        let other: Vec<i64> = (0..16).map(|_| d.gen_range(0..100)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let v = r.gen_range(1i32..=50);
+            assert!((1..=50).contains(&v));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn distribution_covers_small_domain() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
