@@ -1,10 +1,12 @@
 //! Microbenchmarks for the execution engine: predicate evaluation, hash
-//! join, hash aggregation, end-to-end TPC-H-shaped queries, and the
-//! serial-vs-parallel scaling of the morsel-driven scan path.
+//! join, hash aggregation, end-to-end TPC-H-shaped queries, the
+//! serial-vs-parallel scaling of the morsel-driven scan path, and the
+//! overhead of span tracing on the hot scan path.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pixels_bench::demo_data;
 use pixels_exec::{execute, ExecContext};
+use pixels_obs::{Trace, TraceCtx};
 use pixels_planner::plan_query;
 use pixels_storage::FooterCache;
 use pixels_workload::query_by_id;
@@ -112,5 +114,54 @@ fn bench_parallelism(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_operators, bench_parallelism);
+/// Tracing overhead guard: the same multi-row-group scan + aggregation with
+/// tracing disabled (the default — spans must be a true no-op) and enabled
+/// (every operator, open, and morsel records a span). The disabled case must
+/// match the untraced baseline; the enabled case budgets < 3% overhead.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.02);
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(20);
+
+    let sql = "SELECT l_returnflag, l_linestatus, COUNT(*) AS n, SUM(l_quantity) AS qty \
+               FROM lineitem GROUP BY l_returnflag, l_linestatus";
+    let plan = plan_query(&catalog, "tpch", sql).unwrap();
+    let cache = FooterCache::shared();
+
+    g.bench_function("scan_agg/untraced", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(store.clone()).with_footer_cache(cache.clone());
+            execute(&plan, &ctx).unwrap().len()
+        })
+    });
+    g.bench_function("scan_agg/disabled_ctx", |b| {
+        b.iter(|| {
+            // Explicitly attach a disabled context: identical cost to the
+            // untraced baseline is the "~0 when disabled" guarantee.
+            let ctx = ExecContext::new(store.clone())
+                .with_footer_cache(cache.clone())
+                .with_trace(TraceCtx::disabled());
+            execute(&plan, &ctx).unwrap().len()
+        })
+    });
+    g.bench_function("scan_agg/traced", |b| {
+        b.iter(|| {
+            let trace = Trace::wall();
+            let ctx = ExecContext::new(store.clone())
+                .with_footer_cache(cache.clone())
+                .with_trace(TraceCtx::root(&trace));
+            let n = execute(&plan, &ctx).unwrap().len();
+            (n, trace.finished_spans().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queries,
+    bench_operators,
+    bench_parallelism,
+    bench_tracing_overhead
+);
 criterion_main!(benches);

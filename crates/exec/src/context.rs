@@ -1,5 +1,6 @@
 //! Execution context and per-query metrics.
 
+use pixels_obs::{Span, TraceCtx};
 use pixels_storage::{FooterCache, ObjectStoreRef};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +25,10 @@ pub struct ExecContext {
     /// Footer/schema cache shared by every reader this context opens (and,
     /// when the caller shares one context-to-context, across queries).
     pub footer_cache: Arc<FooterCache>,
+    /// Where in the query's trace this context executes: operators open
+    /// child spans under it. Disabled by default — a disabled context makes
+    /// every span operation a no-op.
+    pub trace: TraceCtx,
 }
 
 impl ExecContext {
@@ -34,6 +39,7 @@ impl ExecContext {
             batch_size: 8192,
             parallelism: default_parallelism(),
             footer_cache: FooterCache::shared(),
+            trace: TraceCtx::disabled(),
         }
     }
 
@@ -47,6 +53,20 @@ impl ExecContext {
     pub fn with_footer_cache(mut self, cache: Arc<FooterCache>) -> Self {
         self.footer_cache = cache;
         self
+    }
+
+    /// Same context opening spans under `trace`.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Same context with spans parented under `span` — how the engine nests
+    /// an operator's children beneath the operator's own span.
+    pub fn under(&self, span: &Span) -> Self {
+        let mut ctx = self.clone();
+        ctx.trace = span.ctx();
+        ctx
     }
 }
 
@@ -73,6 +93,40 @@ pub struct ExecMetricsSnapshot {
     pub row_groups_total: u64,
     pub row_groups_read: u64,
     pub footer_cache_hits: u64,
+}
+
+impl ExecMetricsSnapshot {
+    /// Field-wise sum — used to combine the CF sub-plan's metrics with the
+    /// top-level plan's into one per-query snapshot.
+    pub fn merged(&self, other: &ExecMetricsSnapshot) -> ExecMetricsSnapshot {
+        ExecMetricsSnapshot {
+            bytes_scanned: self.bytes_scanned + other.bytes_scanned,
+            rows_scanned: self.rows_scanned + other.rows_scanned,
+            rows_produced: self.rows_produced + other.rows_produced,
+            row_groups_total: self.row_groups_total + other.row_groups_total,
+            row_groups_read: self.row_groups_read + other.row_groups_read,
+            footer_cache_hits: self.footer_cache_hits + other.footer_cache_hits,
+        }
+    }
+
+    /// Structured JSON form, served per query by the server API.
+    pub fn to_json(&self) -> pixels_common::Json {
+        use pixels_common::Json;
+        Json::object([
+            ("bytes_scanned", Json::number(self.bytes_scanned as f64)),
+            ("rows_scanned", Json::number(self.rows_scanned as f64)),
+            ("rows_produced", Json::number(self.rows_produced as f64)),
+            (
+                "row_groups_total",
+                Json::number(self.row_groups_total as f64),
+            ),
+            ("row_groups_read", Json::number(self.row_groups_read as f64)),
+            (
+                "footer_cache_hits",
+                Json::number(self.footer_cache_hits as f64),
+            ),
+        ])
+    }
 }
 
 impl ExecMetrics {

@@ -11,13 +11,46 @@ use pixels_common::{RecordBatch, Result, Value};
 use pixels_planner::eval::{eval_expr, NoRow};
 use pixels_planner::PhysicalPlan;
 
+/// Stable span name for each operator, used in query profiles.
+pub fn operator_name(plan: &PhysicalPlan) -> &'static str {
+    match plan {
+        PhysicalPlan::Scan { .. } => "scan",
+        PhysicalPlan::MaterializedScan { .. } => "materialized_scan",
+        PhysicalPlan::Filter { .. } => "filter",
+        PhysicalPlan::Project { .. } => "project",
+        PhysicalPlan::HashJoin { .. } => "hash_join",
+        PhysicalPlan::HashAggregate { .. } => "hash_aggregate",
+        PhysicalPlan::Distinct { .. } => "distinct",
+        PhysicalPlan::Sort { .. } => "sort",
+        PhysicalPlan::TopK { .. } => "topk",
+        PhysicalPlan::Limit { .. } => "limit",
+        PhysicalPlan::Values { .. } => "values",
+    }
+}
+
 /// Execute a physical plan to completion, returning all result batches.
 ///
 /// Execution is fully materialized operator-by-operator; scans, filters,
 /// projections, and partial aggregation fan out over `ctx.parallelism`
 /// morsel-driven workers (`parallelism == 1` reproduces serial execution
 /// exactly). Batches respect `ctx.batch_size`.
+///
+/// When the context carries an enabled trace, every operator runs inside its
+/// own span (children nested under it) recording output rows and duration;
+/// with tracing disabled this wrapper adds nothing to the hot path.
 pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch>> {
+    if !ctx.trace.enabled() {
+        return execute_inner(plan, ctx);
+    }
+    let mut span = ctx.trace.span(operator_name(plan));
+    let child_ctx = ctx.under(&span);
+    let out = execute_inner(plan, &child_ctx)?;
+    let rows: usize = out.iter().map(|b| b.num_rows()).sum();
+    span.record_u64("rows_out", rows as u64);
+    Ok(out)
+}
+
+fn execute_inner(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch>> {
     match plan {
         PhysicalPlan::Scan {
             paths,
@@ -41,11 +74,15 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBatch
         }
         PhysicalPlan::MaterializedScan { path, .. } => {
             let reader = open_metered(ctx, path)?;
+            let mut span = ctx.trace.span("read");
             let batches = reader.read_all(None, &[])?;
             let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
             let bytes: u64 = (0..reader.num_row_groups())
                 .map(|rg| reader.row_group_bytes(rg, None))
                 .sum();
+            span.record_u64("bytes", bytes);
+            span.record_u64("rows", rows);
+            span.finish();
             ctx.metrics.add_scan(bytes, rows);
             Ok(batches)
         }

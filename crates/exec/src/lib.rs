@@ -22,7 +22,7 @@ pub mod scan;
 pub mod sort;
 
 pub use context::{default_parallelism, ExecContext, ExecMetrics, ExecMetricsSnapshot};
-pub use engine::{execute, execute_collect};
+pub use engine::{execute, execute_collect, operator_name};
 pub use evaluate::{evaluate, predicate_mask};
 
 use pixels_common::{RecordBatch, Result, SchemaRef};

@@ -10,9 +10,24 @@ use pixels_storage::{ColumnPredicate, PixelsReader};
 
 /// Open `path` through the context's shared footer cache and meter the open:
 /// a miss bills the bytes actually fetched, a hit bills nothing and bumps
-/// the hit counter instead.
+/// the hit counter instead. When tracing, the open is a `storage_open` span
+/// whose `bytes` attribute is exactly what the open billed (zero on a hit),
+/// so span byte sums stay consistent with `bytes_scanned`.
 pub(crate) fn open_metered<'a>(ctx: &'a ExecContext, path: &str) -> Result<PixelsReader<'a>> {
+    let mut span = ctx.trace.span("storage_open");
     let reader = PixelsReader::open_with_cache(ctx.store.as_ref(), path, &ctx.footer_cache)?;
+    if span.enabled() {
+        span.record_str("path", path);
+        span.record_u64("cache_hit", reader.from_cache() as u64);
+        span.record_u64(
+            "bytes",
+            if reader.from_cache() {
+                0
+            } else {
+                reader.open_bytes()
+            },
+        );
+    }
     if reader.from_cache() {
         ctx.metrics.add_footer_cache_hit();
     } else {
@@ -53,11 +68,21 @@ pub fn execute_scan(
     let batches = parallel::run_indexed(morsels.len(), ctx.parallelism, |i| {
         let (fi, rg) = morsels[i];
         let reader = &readers[fi];
+        // One `morsel` span per (file, row group) unit of work; workers on
+        // any thread attach to the enclosing scan span. The `bytes`
+        // attribute carries the morsel's projected chunk bytes — the
+        // billed quantity.
+        let mut span = ctx.trace.span("morsel");
         let batch = reader.read_row_group(rg, Some(projection))?;
         let rows = batch.num_rows() as u64;
         let batch = apply_filters(filters, batch)?;
-        ctx.metrics
-            .add_scan(reader.row_group_bytes(rg, Some(projection)), rows);
+        let bytes = reader.row_group_bytes(rg, Some(projection));
+        if span.enabled() {
+            span.record_u64("row_group", rg as u64);
+            span.record_u64("rows", rows);
+            span.record_u64("bytes", bytes);
+        }
+        ctx.metrics.add_scan(bytes, rows);
         ctx.metrics.add_produced(batch.num_rows() as u64);
         Ok(batch)
     })?;

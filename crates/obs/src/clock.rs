@@ -1,0 +1,109 @@
+//! Time sources for tracing.
+//!
+//! Spans record microsecond timestamps from a [`Clock`] so the same trace
+//! machinery serves both execution paths of PixelsDB: the real engine
+//! ([`WallClock`], monotonic wall time) and the discrete-event simulator
+//! ([`SimClock`], a shared virtual-time cell the simulation loop advances).
+//! A trace never mixes the two — whichever clock the trace was built with
+//! defines the meaning of every timestamp in it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Send + Sync {
+    /// Microseconds since this clock's origin (process/trace start for wall
+    /// clocks, simulation start for virtual clocks).
+    fn now_micros(&self) -> u64;
+}
+
+/// Shared handle to a clock.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// Monotonic wall time, measured from the moment the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    pub fn shared() -> ClockRef {
+        Arc::new(WallClock::new())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A virtual clock: holds whatever time the owner last set. The simulator
+/// advances it from its event loop (`SimTime::as_micros()`), so spans opened
+/// against it are stamped in simulation time.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_us: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    pub fn shared() -> Arc<SimClock> {
+        Arc::new(SimClock::new())
+    }
+
+    /// Move the clock to an absolute virtual time, in microseconds.
+    /// Monotonicity is the caller's contract, as it is for `SimTime`.
+    pub fn set_micros(&self, us: u64) {
+        self.now_us.store(us, Ordering::Relaxed);
+    }
+
+    pub fn advance_micros(&self, us: u64) {
+        self.now_us.fetch_add(us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_micros(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_holds_set_time() {
+        let c = SimClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.set_micros(1_500_000);
+        assert_eq!(c.now_micros(), 1_500_000);
+        c.advance_micros(500_000);
+        assert_eq!(c.now_micros(), 2_000_000);
+    }
+}

@@ -1,0 +1,32 @@
+//! `pixels-obs` — observability for PixelsDB: end-to-end query tracing, a
+//! unified metrics registry, and Prometheus text exposition.
+//!
+//! The paper's flexible service levels and per-query prices only work if the
+//! system can account for *where* a query's time and bytes went — VM vs. CF,
+//! queue wait vs. scan vs. shuffle. This crate provides the three pieces
+//! every other crate instruments itself with:
+//!
+//! - **Tracing** ([`Trace`], [`TraceCtx`], [`Span`]): per-query span trees
+//!   with parent links and typed attributes, stamped by a pluggable
+//!   [`Clock`] so real execution (wall time) and the discrete-event
+//!   simulator ([`SimClock`], virtual time) produce one coherent trace
+//!   format. Disabled tracing is a no-op — no allocation, no locking.
+//! - **Metrics** ([`MetricsRegistry`]): named counters (sharded for morsel
+//!   workers), gauges, and histograms with labels, absorbed from exec
+//!   metrics, storage accounting, cache stats, and scheduler state.
+//! - **Exposition** ([`MetricsRegistry::render`],
+//!   [`prometheus::validate_exposition`]): the `/metrics` text format plus a
+//!   validator used by tests and CI.
+//!
+//! No external dependencies: like the rest of the workspace this builds
+//! fully offline against the in-tree shims.
+
+pub mod clock;
+pub mod prometheus;
+pub mod registry;
+pub mod span;
+
+pub use clock::{Clock, ClockRef, SimClock, WallClock};
+pub use prometheus::{require_families, validate_exposition};
+pub use registry::{Counter, Gauge, Histogram, MetricKind, MetricsRegistry};
+pub use span::{AttrValue, Span, SpanData, Trace, TraceCtx};

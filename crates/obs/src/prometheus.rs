@@ -1,0 +1,314 @@
+//! Prometheus text-exposition helpers: a validator for scrape output and a
+//! family extractor, used by server tests and the CI observability smoke
+//! check. Rendering lives on [`crate::MetricsRegistry::render`]; this module
+//! is the other side — proving that what `/metrics` serves is well-formed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Base family name of a sample line's metric (strips histogram suffixes).
+fn base_family(metric: &str, histogram_families: &BTreeSet<String>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = metric.strip_suffix(suffix) {
+            if histogram_families.contains(base) {
+                return base.to_string();
+            }
+        }
+    }
+    metric.to_string()
+}
+
+/// Split `name{labels}` into the name and the raw label body (no braces).
+fn split_labels(metric: &str) -> Result<(&str, Option<&str>), String> {
+    match metric.find('{') {
+        None => Ok((metric, None)),
+        Some(open) => {
+            if !metric.ends_with('}') {
+                return Err(format!("unterminated label set in: {metric}"));
+            }
+            Ok((&metric[..open], Some(&metric[open + 1..metric.len() - 1])))
+        }
+    }
+}
+
+/// Parse a label body like `a="x",le="+Inf"` into pairs.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest}"))?;
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() || !valid_metric_name(&key) {
+            return Err(format!("bad label name: {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value not quoted: {after}"));
+        }
+        // Find the closing quote, honouring escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated label value: {after}"));
+            }
+            match bytes[i] {
+                b'"' => break,
+                b'\\' if i + 1 < bytes.len() => {
+                    value.push(bytes[i + 1] as char);
+                    i += 2;
+                }
+                c => {
+                    value.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        out.push((key, value));
+        rest = after[i + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(out)
+}
+
+/// Validate Prometheus text exposition format:
+///
+/// - every non-comment line is `name[{labels}] value`;
+/// - every sample belongs to a family announced by a `# TYPE` line;
+/// - metric and label names are well-formed, values parse as floats;
+/// - histograms are internally consistent: buckets cumulative and
+///   non-decreasing, an `le="+Inf"` bucket present and equal to `_count`.
+///
+/// Returns the set of family names on success.
+pub fn validate_exposition(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut histograms: BTreeSet<String> = BTreeSet::new();
+    // (family, non-le labels) -> [(le, cumulative count)]
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed TYPE line"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid family name {name:?}"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown metric type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            if kind == "histogram" {
+                histograms.insert(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: metric and value separated by whitespace. Label
+        // values may contain spaces inside quotes, so when a label set is
+        // present split after its closing brace; otherwise at the first
+        // whitespace.
+        let split_at = match line.rfind('}') {
+            Some(close) => close + 1,
+            None => line
+                .find(char::is_whitespace)
+                .ok_or_else(|| format!("line {n}: no value on sample line"))?,
+        };
+        let (metric, value_str) = line.split_at(split_at);
+        if value_str.trim().is_empty() {
+            return Err(format!("line {n}: no value on sample line"));
+        }
+        let metric = metric.trim();
+        let value_str = value_str.trim();
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            s => s
+                .parse()
+                .map_err(|_| format!("line {n}: bad sample value {s:?}"))?,
+        };
+        let (name, label_body) = split_labels(metric).map_err(|e| format!("line {n}: {e}"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let labels = match label_body {
+            Some(body) => parse_labels(body).map_err(|e| format!("line {n}: {e}"))?,
+            None => Vec::new(),
+        };
+        let family = base_family(name, &histograms);
+        if !types.contains_key(&family) {
+            return Err(format!("line {n}: sample {name} has no preceding # TYPE"));
+        }
+        if histograms.contains(&family) {
+            let non_le: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let series = (family.clone(), non_le.join(","));
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+                let le_val = match le.1.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    s => s
+                        .parse()
+                        .map_err(|_| format!("line {n}: bad le value {s:?}"))?,
+                };
+                buckets.entry(series).or_default().push((le_val, value));
+            } else if name.ends_with("_count") {
+                counts.insert(series, value);
+            }
+        }
+    }
+
+    // Histogram consistency.
+    for ((family, labels), mut series) in buckets {
+        series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut prev = -1.0;
+        for &(le, cum) in &series {
+            if cum < prev {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: bucket le={le} not cumulative"
+                ));
+            }
+            prev = cum;
+        }
+        let Some(&(last_le, last_cum)) = series.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!(
+                "histogram {family}{{{labels}}}: missing le=\"+Inf\" bucket"
+            ));
+        }
+        if let Some(&count) = counts.get(&(family.clone(), labels.clone())) {
+            if (count - last_cum).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: +Inf bucket {last_cum} != count {count}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram {family}{{{labels}}}: missing _count"));
+        }
+    }
+
+    Ok(types.keys().cloned().collect())
+}
+
+/// Validate `text` and require that every family in `required` is present.
+pub fn require_families(text: &str, required: &[&str]) -> Result<(), String> {
+    let families = validate_exposition(text)?;
+    let missing: Vec<&str> = required
+        .iter()
+        .copied()
+        .filter(|f| !families.contains(*f))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("missing required metric families: {missing:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn registry_output_validates() {
+        let r = MetricsRegistry::new();
+        r.counter_with("pixels_queries_total", "Q.", &[("level", "immediate")])
+            .add(2);
+        r.gauge("pixels_scheduler_queue_depth", "D.").set(1.0);
+        let h = r.histogram("pixels_query_pending_seconds", "P.", &[], None);
+        h.observe(0.2);
+        h.observe(7.0);
+        let text = r.render();
+        let families = validate_exposition(&text).expect("valid exposition");
+        assert!(families.contains("pixels_queries_total"));
+        assert!(families.contains("pixels_query_pending_seconds"));
+        require_families(
+            &text,
+            &["pixels_queries_total", "pixels_scheduler_queue_depth"],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(validate_exposition("pixels_x 1").is_err(), "no TYPE line");
+        assert!(
+            validate_exposition("# TYPE pixels_x counter\npixels_x notanumber").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate_exposition("# TYPE 9bad counter\n").is_err(),
+            "bad name"
+        );
+        assert!(
+            validate_exposition("# TYPE pixels_x counter\npixels_x{a=unquoted} 1").is_err(),
+            "unquoted label"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_histograms() {
+        let text = "\
+# TYPE pixels_h histogram
+pixels_h_bucket{le=\"0.1\"} 5
+pixels_h_bucket{le=\"1\"} 3
+pixels_h_bucket{le=\"+Inf\"} 6
+pixels_h_sum 1
+pixels_h_count 6
+";
+        assert!(validate_exposition(text).is_err(), "non-cumulative buckets");
+        let text = "\
+# TYPE pixels_h histogram
+pixels_h_bucket{le=\"0.1\"} 1
+pixels_h_sum 1
+pixels_h_count 1
+";
+        assert!(validate_exposition(text).is_err(), "missing +Inf");
+        let text = "\
+# TYPE pixels_h histogram
+pixels_h_bucket{le=\"+Inf\"} 2
+pixels_h_sum 1
+pixels_h_count 3
+";
+        assert!(validate_exposition(text).is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn missing_family_is_reported() {
+        let text = "# TYPE pixels_a counter\npixels_a 1\n";
+        let err = require_families(text, &["pixels_a", "pixels_b"]).unwrap_err();
+        assert!(err.contains("pixels_b"), "{err}");
+    }
+}

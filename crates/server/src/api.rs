@@ -14,7 +14,9 @@ use crate::pricing::PriceSchedule;
 use crate::service_level::ServiceLevel;
 use parking_lot::Mutex;
 use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
-use pixels_turbo::TurboEngine;
+use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
+use pixels_storage::StoreMetricsSnapshot;
+use pixels_turbo::{ExecMetricsSnapshot, TurboEngine};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,6 +68,11 @@ pub struct QueryInfo {
     pub used_cf: bool,
     /// Monotone submission sequence for UI ordering.
     pub seq: u64,
+    /// Full execution counters (structured, not just the EXPLAIN text).
+    pub metrics: ExecMetricsSnapshot,
+    /// The query's span tree — scheduler wait, tier dispatch, operators,
+    /// and storage accesses — once the query is terminal.
+    pub profile: Option<Json>,
 }
 
 impl QueryInfo {
@@ -93,6 +100,7 @@ impl QueryInfo {
                 Json::number(self.scan_bytes as f64),
             ),
             ("used_cf".to_string(), Json::Bool(self.used_cf)),
+            ("metrics".to_string(), self.metrics.to_json()),
         ];
         if let Some(err) = &self.error {
             fields.push(("error".to_string(), Json::string(err.clone())));
@@ -114,6 +122,10 @@ pub struct QueryServer {
     state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
     next_id: AtomicU64,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Storage counters already published to the registry; `/metrics`
+    /// scrapes absorb only the delta since this snapshot, so the exposed
+    /// `pixels_storage_*` counters stay cumulative and monotone.
+    absorbed_storage: Mutex<StoreMetricsSnapshot>,
 }
 
 impl QueryServer {
@@ -124,11 +136,50 @@ impl QueryServer {
             state: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(0),
             handles: Mutex::new(Vec::new()),
+            absorbed_storage: Mutex::new(StoreMetricsSnapshot::default()),
         }
     }
 
     pub fn engine(&self) -> &Arc<TurboEngine> {
         &self.engine
+    }
+
+    /// The registry backing `/metrics` (the engine's).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        self.engine.registry()
+    }
+
+    /// Render the whole registry in Prometheus text exposition format,
+    /// first folding in the object store's cumulative counters.
+    pub fn metrics_text(&self) -> String {
+        let r = self.registry();
+        let now = self.engine.store().metrics();
+        {
+            let mut absorbed = self.absorbed_storage.lock();
+            let delta = now.delta_since(&absorbed);
+            *absorbed = now;
+            r.counter(
+                "pixels_storage_get_requests_total",
+                "GET requests issued to object storage",
+            )
+            .add(delta.get_requests);
+            r.counter(
+                "pixels_storage_put_requests_total",
+                "PUT requests issued to object storage",
+            )
+            .add(delta.put_requests);
+            r.counter(
+                "pixels_storage_bytes_read_total",
+                "Bytes read from object storage",
+            )
+            .add(delta.bytes_read);
+            r.counter(
+                "pixels_storage_bytes_written_total",
+                "Bytes written to object storage",
+            )
+            .add(delta.bytes_written);
+        }
+        r.render()
     }
 
     /// Submit a query; returns immediately with the query id.
@@ -146,8 +197,17 @@ impl QueryServer {
             scan_bytes: 0,
             used_cf: false,
             seq: id.0,
+            metrics: ExecMetricsSnapshot::default(),
+            profile: None,
         };
         self.state.lock().insert(id, info);
+        self.registry()
+            .gauge_with(
+                "pixels_scheduler_queue_depth",
+                "Queries submitted but not yet running, per service level",
+                &[("level", submission.level.name())],
+            )
+            .add(1.0);
 
         let engine = self.engine.clone();
         let state = self.state.clone();
@@ -161,6 +221,12 @@ impl QueryServer {
         handles.retain(|h| !h.is_finished());
         handles.push(handle);
         id
+    }
+
+    /// The query's execution profile: its span tree as JSON. `None` until
+    /// the query is terminal.
+    pub fn profile(&self, id: QueryId) -> Result<Option<Json>> {
+        Ok(self.status(id)?.profile)
     }
 
     /// Status/result of one query.
@@ -206,13 +272,32 @@ fn run_query_thread(
     id: QueryId,
     submission: QuerySubmission,
 ) {
+    let registry = engine.registry().clone();
+    // One trace per query: the root `query` span covers scheduler wait,
+    // tier dispatch, every operator, and every storage access beneath it.
+    let trace = Trace::wall();
+    let mut query_span = TraceCtx::root(&trace).span("query");
+    query_span.record_str("id", &id.to_string());
+    query_span.record_str("level", submission.level.name());
+
     let queued = std::time::Instant::now();
-    // Best-of-effort: hold in the server until the engine is idle.
-    if submission.level == ServiceLevel::BestEffort {
-        while engine.is_busy() {
-            std::thread::sleep(Duration::from_millis(5));
+    {
+        let wait_span = query_span.ctx().span("scheduler_wait");
+        // Best-of-effort: hold in the server until the engine is idle.
+        if submission.level == ServiceLevel::BestEffort {
+            while engine.is_busy() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
+        drop(wait_span);
     }
+    registry
+        .gauge_with(
+            "pixels_scheduler_queue_depth",
+            "Queries submitted but not yet running, per service level",
+            &[("level", submission.level.name())],
+        )
+        .add(-1.0);
     {
         let mut s = state.lock();
         if let Some(info) = s.get_mut(&id) {
@@ -220,11 +305,15 @@ fn run_query_thread(
             info.pending = queued.elapsed();
         }
     }
-    let outcome = engine.execute_sql(
+    let outcome = engine.execute_sql_traced(
         &submission.database,
         &submission.sql,
         submission.level.cf_enabled(),
+        query_span.ctx(),
     );
+    drop(query_span);
+    let profile = trace.to_json();
+
     let mut s = state.lock();
     let Some(info) = s.get_mut(&id) else { return };
     match outcome {
@@ -243,6 +332,7 @@ fn run_query_thread(
             info.scan_bytes = out.bytes_scanned;
             info.price = prices.bill(submission.level, out.bytes_scanned);
             info.used_cf = out.used_cf;
+            info.metrics = out.metrics;
             info.result = Some(out.batch);
         }
         Err(e) => {
@@ -250,6 +340,33 @@ fn run_query_thread(
             info.error = Some(e.to_string());
         }
     }
+    info.profile = Some(profile);
+    registry
+        .counter_with(
+            "pixels_queries_total",
+            "Queries reaching a terminal status, per service level",
+            &[
+                ("level", submission.level.name()),
+                ("status", info.status.name()),
+            ],
+        )
+        .add(1);
+    registry
+        .histogram(
+            "pixels_query_pending_seconds",
+            "Time from submission to execution start",
+            &[],
+            None,
+        )
+        .observe(info.pending.as_secs_f64());
+    registry
+        .histogram(
+            "pixels_query_execution_seconds",
+            "Query execution wall time",
+            &[],
+            None,
+        )
+        .observe(info.execution.as_secs_f64());
 }
 
 #[cfg(test)]
@@ -275,14 +392,19 @@ mod tests {
             },
         )
         .unwrap();
-        let engine = Arc::new(TurboEngine::new(
-            catalog,
-            store,
-            EngineConfig {
-                vm_slots: 2,
-                cf_fleet_threads: 2,
-            },
-        ));
+        let engine = Arc::new(
+            TurboEngine::new(
+                catalog,
+                store,
+                EngineConfig {
+                    vm_slots: 2,
+                    cf_fleet_threads: 2,
+                },
+            )
+            // Tests that assert metric values need a private registry:
+            // `cargo test` shares one process (and thus the global one).
+            .with_registry(MetricsRegistry::shared()),
+        );
         QueryServer::new(engine, PriceSchedule::default())
     }
 
@@ -395,6 +517,111 @@ mod tests {
         // Roundtrips through the wire format.
         let text = json.to_compact_string();
         assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    /// Sum one attribute over a profile tree (`{"name",...,"attrs","children"}`).
+    fn sum_attr(node: &Json, key: &str) -> f64 {
+        let mut total = node
+            .get("attrs")
+            .and_then(|a| a.get(key))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if let Some(children) = node.get("children").and_then(|c| c.as_array()) {
+            for c in children {
+                total += sum_attr(c, key);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn profile_tree_reconciles_with_billed_bytes() {
+        let s = server();
+        let id = s.submit(submission(
+            "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus",
+            ServiceLevel::Immediate,
+        ));
+        let info = s.wait(id).unwrap();
+        let profile = s.profile(id).unwrap().expect("terminal query has profile");
+        // The profile is a forest; its root is the `query` span.
+        let roots = profile.as_array().expect("profile is a span forest");
+        assert!(!roots.is_empty());
+        let rendered = profile.to_compact_string();
+        for expected in ["query", "scheduler_wait", "vm_execute", "scan", "morsel"] {
+            assert!(
+                rendered.contains(&format!("\"name\":\"{expected}\"")),
+                "missing {expected} span in {rendered}"
+            );
+        }
+        // Span byte attribution sums exactly to the billed bytes.
+        let total: f64 = roots.iter().map(|r| sum_attr(r, "bytes")).sum();
+        assert_eq!(total as u64, info.scan_bytes);
+        assert_eq!(info.metrics.bytes_scanned, info.scan_bytes);
+    }
+
+    #[test]
+    fn structured_metrics_in_status_payload() {
+        let s = server();
+        let id = s.submit(submission(
+            "SELECT COUNT(*) FROM lineitem",
+            ServiceLevel::Immediate,
+        ));
+        s.wait(id).unwrap();
+        // Re-run: the engine's footer cache now serves the open.
+        let id2 = s.submit(submission(
+            "SELECT COUNT(*) FROM lineitem",
+            ServiceLevel::Immediate,
+        ));
+        let info = s.wait(id2).unwrap();
+        assert!(info.metrics.footer_cache_hits > 0);
+        let json = info.to_json();
+        let m = json.get("metrics").expect("status payload carries metrics");
+        assert!(m.get("bytes_scanned").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("footer_cache_hits").unwrap().as_f64().unwrap() > 0.0);
+        assert!(m.get("row_groups_read").is_some());
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_and_complete() {
+        let s = server();
+        for level in [
+            ServiceLevel::Immediate,
+            ServiceLevel::Relaxed,
+            ServiceLevel::BestEffort,
+        ] {
+            let id = s.submit(submission("SELECT COUNT(*) FROM orders", level));
+            s.wait(id).unwrap();
+        }
+        let text = s.metrics_text();
+        let families = pixels_obs::validate_exposition(&text).expect("exposition must be valid");
+        for required in [
+            "pixels_queries_total",
+            "pixels_query_pending_seconds",
+            "pixels_query_execution_seconds",
+            "pixels_scheduler_queue_depth",
+            "pixels_exec_bytes_scanned_total",
+            "pixels_cache_footer_hits_total",
+            "pixels_storage_get_requests_total",
+            "pixels_storage_bytes_read_total",
+        ] {
+            assert!(families.contains(required), "missing family {required}");
+        }
+        // Terminal queries all drained from the queue-depth gauges.
+        for line in text.lines() {
+            if line.starts_with("pixels_scheduler_queue_depth{") {
+                let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert_eq!(v, 0.0, "queue must be drained: {line}");
+            }
+        }
+        // Storage absorption is a delta: a second scrape must not double.
+        let text2 = s.metrics_text();
+        let gets = |t: &str| -> u64 {
+            t.lines()
+                .find(|l| l.starts_with("pixels_storage_get_requests_total"))
+                .and_then(|l| l.rsplit(' ').next().unwrap().parse().ok())
+                .unwrap()
+        };
+        assert_eq!(gets(&text), gets(&text2));
     }
 
     #[test]

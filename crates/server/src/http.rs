@@ -10,7 +10,9 @@
 //! | `POST /translate`    | `{"question": ..., "database": ...}`             | `{"sql": ..., "confidence": ...}` |
 //! | `POST /queries`      | `{"database","sql","level","result_limit"?}`     | `{"id": "q-0"}` |
 //! | `GET /queries/<id>`  | —                                                | status payload (+`rows` when finished) |
+//! | `GET /queries/<id>/profile` | —                                         | the query's span-tree profile |
 //! | `GET /queries`       | —                                                | `{"queries": [...]}` |
+//! | `GET /metrics`       | —                                                | Prometheus text exposition (not JSON) |
 //! | `GET /health`        | —                                                | `{"status": "ok"}` |
 //!
 //! The implementation is deliberately small (std `TcpListener`, one thread
@@ -133,11 +135,11 @@ fn handle_connection(
     reader.read_exact(&mut body)?;
     let body = String::from_utf8_lossy(&body).to_string();
 
-    let (status, payload) = route(&method, &path, &body, server, translator);
+    let (status, content_type, payload) = route(&method, &path, &body, server, translator);
     let mut out = stream;
     write!(
         out,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         payload.len(),
     )?;
     out.flush()
@@ -149,7 +151,11 @@ fn route(
     body: &str,
     server: &QueryServer,
     translator: Option<&dyn TranslateBackend>,
-) -> (&'static str, String) {
+) -> (&'static str, &'static str, String) {
+    // /metrics is the one non-JSON endpoint: Prometheus text exposition.
+    if method == "GET" && path == "/metrics" {
+        return ("200 OK", "text/plain; version=0.0.4", server.metrics_text());
+    }
     let result = (|| -> Result<(&'static str, Json)> {
         match (method, path) {
             ("GET", "/health") => Ok(("200 OK", Json::object([("status", Json::string("ok"))]))),
@@ -198,6 +204,20 @@ fn route(
                     .collect::<Vec<_>>();
                 Ok(("200 OK", Json::object([("queries", Json::Array(list))])))
             }
+            ("GET", p) if p.starts_with("/queries/") && p.ends_with("/profile") => {
+                let inner = &p["/queries/".len()..p.len() - "/profile".len()];
+                let id = parse_query_id(inner)?;
+                let info = server.status(id)?;
+                let profile = info.profile.unwrap_or(Json::Null);
+                Ok((
+                    "200 OK",
+                    Json::object([
+                        ("id", Json::string(info.id.to_string())),
+                        ("status", Json::string(info.status.name())),
+                        ("profile", profile),
+                    ]),
+                ))
+            }
             ("GET", p) if p.starts_with("/queries/") => {
                 let id = parse_query_id(&p["/queries/".len()..])?;
                 let info = server.status(id)?;
@@ -226,7 +246,7 @@ fn route(
         }
     })();
     match result {
-        Ok((status, json)) => (status, json.to_compact_string()),
+        Ok((status, json)) => (status, "application/json", json.to_compact_string()),
         Err(e) => {
             let status = match e.kind() {
                 "not_found" => "404 Not Found",
@@ -236,6 +256,7 @@ fn route(
             };
             (
                 status,
+                "application/json",
                 Json::object([("error", Json::string(e.to_string()))]).to_compact_string(),
             )
         }
@@ -351,6 +372,59 @@ mod tests {
         // The listing shows it too.
         let (_, list) = request(srv.addr(), "GET", "/queries", "");
         assert_eq!(list.get("queries").unwrap().as_array().unwrap().len(), 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_prometheus_text() {
+        let srv = start();
+        // Run one query so the exec/query families exist.
+        let (_, json) = request(
+            srv.addr(),
+            "POST",
+            "/queries",
+            r#"{"database":"tpch","sql":"SELECT COUNT(*) FROM orders"}"#,
+        );
+        let id = json.get("id").unwrap().as_str().unwrap().to_string();
+        for _ in 0..500 {
+            let (_, j) = request(srv.addr(), "GET", &format!("/queries/{id}"), "");
+            if j.get("status").and_then(|s| s.as_str()) == Some("finished") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // /metrics is plain text, not JSON.
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        write!(
+            stream,
+            "GET /metrics HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("200"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        pixels_obs::require_families(
+            body,
+            &[
+                "pixels_queries_total",
+                "pixels_scheduler_queue_depth",
+                "pixels_exec_bytes_scanned_total",
+                "pixels_cache_footer_hits_total",
+                "pixels_storage_get_requests_total",
+            ],
+        )
+        .expect("scrape must be valid and complete");
+
+        // The profile endpoint returns the span tree.
+        let (status, j) = request(srv.addr(), "GET", &format!("/queries/{id}/profile"), "");
+        assert!(status.contains("200"), "{status}");
+        let profile = j.get("profile").unwrap();
+        let text = profile.to_compact_string();
+        assert!(text.contains("\"name\":\"query\""), "{text}");
+        assert!(text.contains("\"name\":\"scan\""), "{text}");
         srv.shutdown();
     }
 

@@ -416,6 +416,90 @@ impl SimReport {
         }
     }
 
+    /// Publish this run's scheduler/autoscaler statistics into a metrics
+    /// registry, under the same naming convention the live server uses —
+    /// one `/metrics` surface serves real executions and simulations alike.
+    pub fn export_metrics(&self, registry: &pixels_obs::MetricsRegistry) {
+        for level in ServiceLevel::ALL {
+            let mut n = 0u64;
+            let mut cf = 0u64;
+            for r in self.records_at(level) {
+                n += 1;
+                if matches!(r.placement, Placement::Cf { .. }) {
+                    cf += 1;
+                }
+                registry
+                    .histogram(
+                        "pixels_sim_query_pending_seconds",
+                        "Simulated time from submission to execution start",
+                        &[],
+                        None,
+                    )
+                    .observe(r.pending().as_secs_f64());
+                registry
+                    .histogram(
+                        "pixels_sim_query_execution_seconds",
+                        "Simulated query execution time",
+                        &[],
+                        None,
+                    )
+                    .observe(r.execution().as_secs_f64());
+            }
+            registry
+                .counter_with(
+                    "pixels_sim_queries_total",
+                    "Simulated queries completed, per service level",
+                    &[("level", level.name())],
+                )
+                .add(n);
+            registry
+                .counter_with(
+                    "pixels_sim_cf_queries_total",
+                    "Simulated queries placed on the cloud-function tier",
+                    &[("level", level.name())],
+                )
+                .add(cf);
+        }
+        registry
+            .counter(
+                "pixels_turbo_vm_scale_out_events_total",
+                "VM cluster scale-out decisions",
+            )
+            .add(self.scale_out_events as u64);
+        registry
+            .counter(
+                "pixels_turbo_vm_scale_in_events_total",
+                "VM cluster scale-in decisions",
+            )
+            .add(self.scale_in_events as u64);
+        let peak = self.vm_worker_series.max_over(
+            SimTime::ZERO,
+            self.end_time + pixels_sim::SimDuration::from_secs(1),
+        );
+        if peak.is_finite() {
+            registry
+                .gauge(
+                    "pixels_sim_vm_workers_peak",
+                    "Peak VM worker count over the simulated run",
+                )
+                .set(peak);
+        }
+        registry
+            .gauge_with(
+                "pixels_sim_resource_cost_dollars",
+                "Provider-side resource cost of the simulated run",
+                &[("component", "vm")],
+            )
+            .set(self.total_resource_cost.vm_dollars);
+        registry
+            .gauge_with(
+                "pixels_sim_resource_cost_dollars",
+                "Provider-side resource cost of the simulated run",
+                &[("component", "cf")],
+            )
+            .set(self.total_resource_cost.cf_dollars);
+    }
+
     /// Fraction of queries at a level that ran in CF.
     pub fn cf_fraction(&self, level: ServiceLevel) -> f64 {
         let (mut cf, mut n) = (0usize, 0usize);
@@ -613,6 +697,36 @@ mod tests {
                 .sum()
         };
         assert!(cost(&batched) < cost(&plain));
+    }
+
+    #[test]
+    fn report_exports_valid_metrics() {
+        let sim = ServerSim::with_defaults();
+        let subs = burst(
+            12,
+            SimTime::from_secs(1),
+            QueryClass::Medium,
+            ServiceLevel::Immediate,
+        );
+        let report = sim.run(subs, SimDuration::from_secs(3600));
+        let registry = pixels_obs::MetricsRegistry::new();
+        report.export_metrics(&registry);
+        let text = registry.render();
+        let families = pixels_obs::validate_exposition(&text).expect("valid exposition");
+        for required in [
+            "pixels_sim_queries_total",
+            "pixels_sim_cf_queries_total",
+            "pixels_sim_query_pending_seconds",
+            "pixels_sim_query_execution_seconds",
+            "pixels_turbo_vm_scale_out_events_total",
+            "pixels_sim_resource_cost_dollars",
+        ] {
+            assert!(families.contains(required), "missing {required} in {text}");
+        }
+        assert!(
+            text.contains(r#"pixels_sim_queries_total{level="immediate"} 12"#),
+            "{text}"
+        );
     }
 
     #[test]

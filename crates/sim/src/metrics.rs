@@ -17,13 +17,24 @@ impl TimeSeries {
         TimeSeries::default()
     }
 
-    /// Record a new value at `t`. Samples must be recorded in time order.
+    /// Record a new value at `t`. Samples should arrive in time order; an
+    /// out-of-order sample is clamped to the last recorded time (becoming
+    /// the step value from that point on) so lookups — which binary-search
+    /// and therefore require ordering — never silently misbehave in release
+    /// builds the way the old `debug_assert!` allowed.
     pub fn record(&mut self, t: SimTime, value: f64) {
         if let Some(&(last_t, last_v)) = self.samples.last() {
-            debug_assert!(t >= last_t, "time series samples must be ordered");
+            let t = t.max(last_t);
             if last_v == value {
                 return; // step function: drop redundant samples
             }
+            if t == last_t {
+                // Same (or clamped) timestamp: the later recording wins.
+                self.samples.last_mut().expect("nonempty").1 = value;
+                return;
+            }
+            self.samples.push((t, value));
+            return;
         }
         self.samples.push((t, value));
     }
@@ -255,6 +266,91 @@ mod tests {
             ts.time_weighted_avg(SimTime::ZERO, SimTime::from_secs(1)),
             0.0
         );
+    }
+
+    #[test]
+    fn out_of_order_samples_are_clamped() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(10), 1.0);
+        // Regression: this used to pass a debug_assert-only check and leave
+        // the series unsorted, breaking binary-search lookups in release.
+        ts.record(SimTime::from_secs(5), 7.0);
+        assert!(
+            ts.samples().windows(2).all(|w| w[0].0 <= w[1].0),
+            "series must stay sorted: {:?}",
+            ts.samples()
+        );
+        // The late sample is clamped to t=10 and, having the same timestamp,
+        // replaces the value there.
+        assert_eq!(ts.value_at(SimTime::from_secs(10)), Some(7.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(12)), Some(7.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(7)), None);
+
+        // Clamping between existing samples also keeps order.
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 1.0);
+        ts.record(SimTime::from_secs(10), 2.0);
+        ts.record(SimTime::from_secs(3), 9.0);
+        assert!(ts.samples().windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(ts.value_at(SimTime::from_secs(10)), Some(9.0));
+    }
+
+    #[test]
+    fn same_timestamp_later_recording_wins() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(2), 5.0);
+        assert_eq!(ts.samples().len(), 1);
+        assert_eq!(ts.value_at(SimTime::from_secs(2)), Some(5.0));
+    }
+
+    #[test]
+    fn time_weighted_avg_edge_cases() {
+        // Single sample: zero before it (value_at is None), constant after.
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(5), 4.0);
+        let avg = ts.time_weighted_avg(SimTime::ZERO, SimTime::from_secs(10));
+        assert!((avg - 2.0).abs() < 1e-9, "{avg}");
+
+        // Window entirely before the first sample.
+        assert_eq!(
+            ts.time_weighted_avg(SimTime::ZERO, SimTime::from_secs(4)),
+            0.0
+        );
+
+        // Zero-length (and inverted) windows are defined as 0.
+        assert_eq!(
+            ts.time_weighted_avg(SimTime::from_secs(3), SimTime::from_secs(3)),
+            0.0
+        );
+        assert_eq!(
+            ts.time_weighted_avg(SimTime::from_secs(7), SimTime::from_secs(3)),
+            0.0
+        );
+
+        // Window entirely after the last sample: constant value.
+        let avg = ts.time_weighted_avg(SimTime::from_secs(20), SimTime::from_secs(30));
+        assert!((avg - 4.0).abs() < 1e-9, "{avg}");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let mut h = DurationStats::new();
+        h.record(SimDuration::from_secs(42));
+        // A single sample is every percentile.
+        assert_eq!(h.percentile(0.0), SimDuration::from_secs(42));
+        assert_eq!(h.percentile(0.5), SimDuration::from_secs(42));
+        assert_eq!(h.percentile(1.0), SimDuration::from_secs(42));
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.percentile(-1.0), SimDuration::from_secs(42));
+        assert_eq!(h.percentile(2.0), SimDuration::from_secs(42));
+
+        let mut h = DurationStats::new();
+        h.record(SimDuration::from_secs(1));
+        h.record(SimDuration::from_secs(2));
+        assert_eq!(h.percentile(0.0), SimDuration::from_secs(1));
+        assert_eq!(h.percentile(0.5), SimDuration::from_secs(1));
+        assert_eq!(h.percentile(0.51), SimDuration::from_secs(2));
     }
 
     #[test]

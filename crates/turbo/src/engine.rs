@@ -14,7 +14,10 @@ use pixels_catalog::CatalogRef;
 use pixels_common::{
     ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
 };
-use pixels_exec::{default_parallelism, execute, execute_collect, materialize, ExecContext};
+use pixels_exec::{
+    default_parallelism, execute, execute_collect, materialize, ExecContext, ExecMetricsSnapshot,
+};
+use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
 use pixels_planner::{plan_query, split_for_acceleration, PhysicalPlan};
 use pixels_sql::ast::Statement;
 use pixels_storage::{FooterCache, ObjectStoreRef};
@@ -53,6 +56,10 @@ pub struct ExecOutcome {
     pub execution: Duration,
     /// Exact bytes read from object storage.
     pub bytes_scanned: u64,
+    /// Full execution counters (scan bytes/rows, row-group pruning, footer
+    /// cache hits); for CF queries this merges the fleet's sub-plan metrics
+    /// with the top-level plan's.
+    pub metrics: ExecMetricsSnapshot,
 }
 
 struct Slots {
@@ -97,6 +104,9 @@ pub struct TurboEngine {
     /// Footer cache shared across every query the engine runs: repeated
     /// opens of the same table skip the footer GETs (and are billed once).
     footer_cache: Arc<FooterCache>,
+    /// Registry every query's counters are absorbed into after execution
+    /// (defaults to the process-wide registry backing `/metrics`).
+    registry: Arc<MetricsRegistry>,
 }
 
 impl TurboEngine {
@@ -111,7 +121,19 @@ impl TurboEngine {
             }),
             mv_ids: IdGenerator::new(),
             footer_cache: FooterCache::shared(),
+            registry: MetricsRegistry::global().clone(),
         }
+    }
+
+    /// Same engine publishing metrics to `registry` instead of the global
+    /// one — tests use this to observe values without cross-test bleed.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Execution context for `plan`, with parallelism taken from the
@@ -148,9 +170,22 @@ impl TurboEngine {
     /// Execute one SQL statement. `cf_enabled` controls whether adaptive CF
     /// acceleration may be used when the VM slots are saturated.
     pub fn execute_sql(&self, db: &str, sql: &str, cf_enabled: bool) -> Result<ExecOutcome> {
+        self.execute_sql_traced(db, sql, cf_enabled, TraceCtx::disabled())
+    }
+
+    /// Like [`execute_sql`](Self::execute_sql), but opening spans under
+    /// `trace` so the caller (the query server) gets one trace covering slot
+    /// wait, tier dispatch, every operator, and every storage access.
+    pub fn execute_sql_traced(
+        &self,
+        db: &str,
+        sql: &str,
+        cf_enabled: bool,
+        trace: TraceCtx,
+    ) -> Result<ExecOutcome> {
         let stmt = pixels_sql::parse_statement(sql)?;
         match stmt {
-            Statement::Query(_) => self.execute_query(db, sql, cf_enabled),
+            Statement::Query(_) => self.execute_query(db, sql, cf_enabled, trace),
             Statement::Explain(inner) => {
                 let text = match inner.as_ref() {
                     Statement::Query(_) => {
@@ -165,6 +200,7 @@ impl TurboEngine {
                     pending: Duration::ZERO,
                     execution: Duration::ZERO,
                     bytes_scanned: 0,
+                    metrics: ExecMetricsSnapshot::default(),
                 })
             }
             Statement::ExplainAnalyze(inner) => {
@@ -174,11 +210,24 @@ impl TurboEngine {
                     ));
                 };
                 let plan = plan_query(&self.catalog, db, &inner.to_string())?;
-                let ctx = self.exec_context(&plan, usize::MAX);
+                // EXPLAIN ANALYZE always traces: use the caller's trace when
+                // one is attached, otherwise a local wall-clock one, so the
+                // printed profile exists even for untraced callers.
+                let local_trace;
+                let exec_trace = if trace.enabled() {
+                    trace
+                } else {
+                    local_trace = Trace::wall();
+                    TraceCtx::root(&local_trace)
+                };
+                let ctx = self
+                    .exec_context(&plan, usize::MAX)
+                    .with_trace(exec_trace.clone());
                 let start = Instant::now();
                 let batches = execute(&plan, &ctx)?;
                 let elapsed = start.elapsed();
                 let m = ctx.metrics.snapshot();
+                self.absorb_exec_metrics(&m, false);
                 let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
                 let mut text = plan.explain();
                 text.push_str(&format!(
@@ -199,12 +248,17 @@ impl TurboEngine {
                     m.row_groups_total - m.row_groups_read,
                     m.footer_cache_hits,
                 ));
+                if let Some(t) = exec_trace.trace() {
+                    text.push_str("--- trace ---\n");
+                    text.push_str(&t.render_text());
+                }
                 Ok(ExecOutcome {
                     batch: text_batch("plan", text.lines()),
                     used_cf: false,
                     pending: Duration::ZERO,
                     execution: elapsed,
                     bytes_scanned: m.bytes_scanned,
+                    metrics: m,
                 })
             }
             Statement::Analyze(name) => {
@@ -270,12 +324,21 @@ impl TurboEngine {
         }
     }
 
-    fn execute_query(&self, db: &str, sql: &str, cf_enabled: bool) -> Result<ExecOutcome> {
-        let plan = plan_query(&self.catalog, db, sql)?;
+    fn execute_query(
+        &self,
+        db: &str,
+        sql: &str,
+        cf_enabled: bool,
+        trace: TraceCtx,
+    ) -> Result<ExecOutcome> {
+        let plan = {
+            let _span = trace.span("plan");
+            plan_query(&self.catalog, db, sql)?
+        };
 
         // Fast path: a free VM slot.
         if self.slots.try_acquire() {
-            let r = self.run_in_vm(&plan);
+            let r = self.run_in_vm(&plan, &trace);
             self.slots.release();
             return r;
         }
@@ -284,13 +347,24 @@ impl TurboEngine {
         if cf_enabled {
             let mv_path = format!("pixels-turbo/intermediate/mv-{}.pxl", self.mv_ids.next());
             if let Some(split) = split_for_acceleration(&plan, &mv_path) {
-                return self.run_with_cf(split);
+                return self.run_with_cf(split, &trace);
             }
         }
 
         // Otherwise wait for a slot (the engine-level queue).
-        let pending = self.slots.acquire();
-        let r = self.run_in_vm(&plan);
+        let pending = {
+            let _span = trace.span("vm_slot_wait");
+            self.slots.acquire()
+        };
+        self.registry
+            .histogram(
+                "pixels_turbo_vm_slot_wait_seconds",
+                "Time queries spent waiting for a free VM slot",
+                &[],
+                None,
+            )
+            .observe(pending.as_secs_f64());
+        let r = self.run_in_vm(&plan, &trace);
         self.slots.release();
         r.map(|mut o| {
             o.pending = pending;
@@ -298,22 +372,33 @@ impl TurboEngine {
         })
     }
 
-    fn run_in_vm(&self, plan: &PhysicalPlan) -> Result<ExecOutcome> {
+    fn run_in_vm(&self, plan: &PhysicalPlan, trace: &TraceCtx) -> Result<ExecOutcome> {
         let ctx = self.exec_context(plan, usize::MAX);
+        let mut span = trace.span("vm_execute");
+        span.record_u64("parallelism", ctx.parallelism as u64);
+        let ctx = ctx.under(&span);
         let start = Instant::now();
         let batch = execute_collect(plan, &ctx)?;
+        drop(span);
+        let metrics = ctx.metrics.snapshot();
+        self.absorb_exec_metrics(&metrics, false);
         Ok(ExecOutcome {
             batch,
             used_cf: false,
             pending: Duration::ZERO,
             execution: start.elapsed(),
-            bytes_scanned: ctx.metrics.snapshot().bytes_scanned,
+            bytes_scanned: metrics.bytes_scanned,
+            metrics,
         })
     }
 
     /// CF path: spawn an ephemeral fleet for the sub-plan, materialize its
     /// result, then run the top-level plan.
-    fn run_with_cf(&self, split: pixels_planner::SplitPlan) -> Result<ExecOutcome> {
+    fn run_with_cf(
+        &self,
+        split: pixels_planner::SplitPlan,
+        trace: &TraceCtx,
+    ) -> Result<ExecOutcome> {
         let start = Instant::now();
         let store = self.store.clone();
         let sub_plan = split.sub_plan.clone();
@@ -321,32 +406,93 @@ impl TurboEngine {
         // The fleet's intra-plan parallelism comes from the resource model,
         // capped by the configured workers per fleet.
         let sub_ctx = self.exec_context(&sub_plan, self.cfg.cf_fleet_threads);
+        let mut fleet_span = trace.span("cf_fleet");
+        fleet_span.record_u64("workers", sub_ctx.parallelism as u64);
+        let sub_ctx = sub_ctx.under(&fleet_span);
 
         // One spawned thread per fleet: the sub-plan executes off the VM
         // slots entirely, like CF workers would, fanning out internally
         // over the fleet's morsel workers.
-        let handle = std::thread::spawn(move || -> Result<u64> {
+        let handle = std::thread::spawn(move || -> Result<ExecMetricsSnapshot> {
             let batches = execute(&sub_plan, &sub_ctx)?;
-            materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
-            Ok(sub_ctx.metrics.snapshot().bytes_scanned)
+            let mut mat_span = sub_ctx.trace.span("materialize");
+            let written = materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
+            // `bytes_written` deliberately, not `bytes`: MV output is not
+            // billed scan traffic, and the span byte sum must still equal
+            // `bytes_scanned` exactly.
+            mat_span.record_u64("bytes_written", written);
+            Ok(sub_ctx.metrics.snapshot())
         });
-        let sub_bytes = handle
+        let sub_metrics = handle
             .join()
-            .map_err(|_| Error::Exec("CF fleet panicked".into()))??;
+            .map_err(|_| Error::Exec("CF fleet panicked".into()))?;
+        drop(fleet_span);
+        let sub_metrics = sub_metrics?;
 
-        let ctx = self.exec_context(&split.top_plan, usize::MAX);
+        let top_span = trace.span("top_plan");
+        let ctx = self
+            .exec_context(&split.top_plan, usize::MAX)
+            .under(&top_span);
         let batch = execute_collect(&split.top_plan, &ctx)?;
+        drop(top_span);
         // Clean up the intermediate result like ephemeral CF output, and
         // drop its (now dangling) footer-cache entry.
         let _ = self.store.delete(&split.mv_path);
         self.footer_cache.invalidate(&split.mv_path);
+        let metrics = sub_metrics.merged(&ctx.metrics.snapshot());
+        self.absorb_exec_metrics(&metrics, true);
         Ok(ExecOutcome {
             batch,
             used_cf: true,
             pending: Duration::ZERO,
             execution: start.elapsed(),
-            bytes_scanned: sub_bytes + ctx.metrics.snapshot().bytes_scanned,
+            bytes_scanned: metrics.bytes_scanned,
+            metrics,
         })
+    }
+
+    /// Publish one query's execution counters into the engine's registry —
+    /// the bridge from per-query [`ExecMetricsSnapshot`]s to the cumulative
+    /// families served at `/metrics`.
+    fn absorb_exec_metrics(&self, m: &ExecMetricsSnapshot, used_cf: bool) {
+        let r = &self.registry;
+        r.counter(
+            "pixels_exec_bytes_scanned_total",
+            "Bytes fetched from object storage by query execution (the billed quantity)",
+        )
+        .add(m.bytes_scanned);
+        r.counter(
+            "pixels_exec_rows_scanned_total",
+            "Rows decoded from storage by scans",
+        )
+        .add(m.rows_scanned);
+        r.counter(
+            "pixels_exec_rows_produced_total",
+            "Rows emitted by scans after residual filtering",
+        )
+        .add(m.rows_produced);
+        r.counter(
+            "pixels_exec_row_groups_read_total",
+            "Row groups actually decoded",
+        )
+        .add(m.row_groups_read);
+        r.counter(
+            "pixels_exec_row_groups_pruned_total",
+            "Row groups skipped via zone-map pruning",
+        )
+        .add(m.row_groups_total.saturating_sub(m.row_groups_read));
+        r.counter(
+            "pixels_cache_footer_hits_total",
+            "File opens served from the footer/metadata cache (billed zero bytes)",
+        )
+        .add(m.footer_cache_hits);
+        if used_cf {
+            r.counter(
+                "pixels_turbo_cf_invocations_total",
+                "Queries accelerated by the cloud-function tier",
+            )
+            .add(1);
+        }
     }
 }
 
@@ -366,6 +512,7 @@ fn meta_outcome(batch: RecordBatch) -> ExecOutcome {
         pending: Duration::ZERO,
         execution: Duration::ZERO,
         bytes_scanned: 0,
+        metrics: ExecMetricsSnapshot::default(),
     }
 }
 
@@ -510,6 +657,100 @@ mod tests {
         assert!(text.contains("bytes scanned"), "{text}");
         assert!(text.contains("row groups read"), "{text}");
         assert!(out.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn traced_query_covers_tiers_and_reconciles_bytes() {
+        let registry = MetricsRegistry::shared();
+        let e = engine(2).with_registry(registry.clone());
+        let trace = Trace::wall();
+        let out = e
+            .execute_sql_traced(
+                "tpch",
+                "SELECT COUNT(*) FROM orders",
+                false,
+                TraceCtx::root(&trace),
+            )
+            .unwrap();
+        let names: Vec<String> = trace
+            .finished_spans()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        for expected in ["plan", "vm_execute", "scan", "storage_open", "morsel"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected} in {names:?}"
+            );
+        }
+        // Every byte the trace attributes is a billed byte, exactly.
+        assert_eq!(trace.attr_sum("bytes") as u64, out.bytes_scanned);
+        assert_eq!(out.metrics.bytes_scanned, out.bytes_scanned);
+        // The registry absorbed this query's counters.
+        assert_eq!(
+            registry
+                .counter("pixels_exec_bytes_scanned_total", "")
+                .get(),
+            out.bytes_scanned
+        );
+    }
+
+    #[test]
+    fn cf_trace_separates_fleet_from_top_plan() {
+        let e = Arc::new(engine(1).with_registry(MetricsRegistry::shared()));
+        let blocker = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.execute_sql(
+                    "tpch",
+                    "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                    false,
+                )
+                .unwrap()
+            })
+        };
+        while !e.is_busy() {
+            std::thread::yield_now();
+        }
+        let trace = Trace::wall();
+        let out = e
+            .execute_sql_traced(
+                "tpch",
+                "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus",
+                true,
+                TraceCtx::root(&trace),
+            )
+            .unwrap();
+        blocker.join().unwrap();
+        assert!(out.used_cf);
+        let spans = trace.finished_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["cf_fleet", "materialize", "top_plan"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // MV bytes are recorded as `bytes_written`, never `bytes`, so the
+        // billed-byte invariant holds even on the CF path.
+        assert!(trace.attr_sum("bytes_written") > 0.0);
+        assert_eq!(trace.attr_sum("bytes") as u64, out.bytes_scanned);
+        assert_eq!(
+            e.registry()
+                .counter("pixels_turbo_cf_invocations_total", "")
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn explain_analyze_includes_trace_tree() {
+        let e = engine(2).with_registry(MetricsRegistry::shared());
+        let out = e
+            .execute_sql("tpch", "EXPLAIN ANALYZE SELECT COUNT(*) FROM orders", false)
+            .unwrap();
+        let text = out.batch.pretty_format();
+        assert!(text.contains("--- trace ---"), "{text}");
+        assert!(text.contains("scan"), "{text}");
+        assert!(text.contains("morsel"), "{text}");
+        assert_eq!(out.metrics.bytes_scanned, out.bytes_scanned);
     }
 
     #[test]

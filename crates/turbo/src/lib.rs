@@ -27,4 +27,5 @@ pub use cf_service::{CfConfig, CfRun, CfService};
 pub use coordinator::{Coordinator, QueryCompletion};
 pub use engine::{EngineConfig, ExecOutcome, TurboEngine};
 pub use model::QueryWork;
+pub use pixels_exec::ExecMetricsSnapshot;
 pub use vm_cluster::{VmCluster, VmCompletion, VmConfig};
