@@ -1,0 +1,37 @@
+//! `pixels-chaos` — deterministic fault injection and retry/backoff.
+//!
+//! The paper's central trade — cloud-function workers that start in ~1 s but
+//! cost 9–24× the VM unit price — only holds in production if the engine
+//! survives the failure modes that come with that elasticity: CF worker
+//! crashes and stragglers (Starling's duplicate-task mitigation), and
+//! object-store GET errors and rate-limit latency spikes (Lambada's core
+//! operational concern). This crate is the fault model the rest of the
+//! workspace tests itself against:
+//!
+//! - [`FaultPlan`] — a *seed-driven, deterministic* description of which
+//!   faults fire where. Same plan + same seed ⇒ the same fault sequence at
+//!   every site, independent of thread interleaving across sites (each site
+//!   owns its own generator).
+//! - [`FaultInjector`] — the runtime half: every instrumented layer asks it
+//!   `decide(site)` and gets `Inject::None`, an error, or a latency spike.
+//!   Injected counts per site are exported as the
+//!   `pixels_faults_injected_total{site=...}` metric family.
+//! - [`RetryPolicy`] — capped exponential backoff with decorrelated jitter
+//!   ("full jitter" à la the AWS architecture blog), driven by the
+//!   `pixels-obs` [`Clock`](pixels_obs::Clock) so the identical policy
+//!   backs off in wall time under the real engine and in virtual time under
+//!   the simulator.
+//!
+//! No external dependencies — even the internal RNG (SplitMix64 →
+//! xorshift*) lives here so the fault stream can never drift when a shim
+//! changes.
+
+pub mod injector;
+pub mod plan;
+pub mod retry;
+pub mod rng;
+
+pub use injector::{FaultInjector, InjectorSnapshot};
+pub use plan::{FaultPlan, FaultSite, Inject, SiteSpec};
+pub use retry::{RetryOutcome, RetryPolicy, RetrySchedule};
+pub use rng::ChaosRng;

@@ -16,6 +16,16 @@ pub trait Clock: Send + Sync {
     /// Microseconds since this clock's origin (process/trace start for wall
     /// clocks, simulation start for virtual clocks).
     fn now_micros(&self) -> u64;
+
+    /// Let `us` microseconds of this clock's time pass. A wall clock blocks
+    /// the calling thread; a virtual clock advances instantly. This is what
+    /// lets one retry/backoff implementation (`pixels-chaos`) drive both the
+    /// real engine and the simulator: backoff delays are expressed against
+    /// the clock, not against `std::thread::sleep`.
+    fn sleep_micros(&self, us: u64) {
+        // Default for clocks that model no passage of time.
+        let _ = us;
+    }
 }
 
 /// Shared handle to a clock.
@@ -48,6 +58,10 @@ impl Default for WallClock {
 impl Clock for WallClock {
     fn now_micros(&self) -> u64 {
         self.origin.elapsed().as_micros() as u64
+    }
+
+    fn sleep_micros(&self, us: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(us));
     }
 }
 
@@ -83,6 +97,13 @@ impl Clock for SimClock {
     fn now_micros(&self) -> u64 {
         self.now_us.load(Ordering::Relaxed)
     }
+
+    /// Sleeping on virtual time advances the clock without blocking — a
+    /// simulated backoff costs zero wall time but is fully visible to every
+    /// reader of the clock.
+    fn sleep_micros(&self, us: u64) {
+        self.advance_micros(us);
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +116,15 @@ mod tests {
         let a = c.now_micros();
         let b = c.now_micros();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_sleep_advances_virtual_time_instantly() {
+        let c = SimClock::new();
+        let wall = std::time::Instant::now();
+        c.sleep_micros(30_000_000); // 30 virtual seconds
+        assert_eq!(c.now_micros(), 30_000_000);
+        assert!(wall.elapsed() < std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
 use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
 use pixels_storage::StoreMetricsSnapshot;
-use pixels_turbo::{ExecMetricsSnapshot, TurboEngine};
+use pixels_turbo::{ExecMetricsSnapshot, QueryEvent, TurboEngine};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,6 +70,13 @@ pub struct QueryInfo {
     pub seq: u64,
     /// Full execution counters (structured, not just the EXPLAIN text).
     pub metrics: ExecMetricsSnapshot,
+    /// Fault-recovery events the engine emitted while running this query:
+    /// storage retries, CF crashes/relaunches, straggler speculation, and
+    /// CF→VM degradation.
+    pub events: Vec<QueryEvent>,
+    /// Object-store requests retried under this query (transient failures
+    /// masked by the retry policy).
+    pub retries: u64,
     /// The query's span tree — scheduler wait, tier dispatch, operators,
     /// and storage accesses — once the query is terminal.
     pub profile: Option<Json>,
@@ -100,6 +107,16 @@ impl QueryInfo {
                 Json::number(self.scan_bytes as f64),
             ),
             ("used_cf".to_string(), Json::Bool(self.used_cf)),
+            ("retries".to_string(), Json::number(self.retries as f64)),
+            (
+                "events".to_string(),
+                Json::Array(
+                    self.events
+                        .iter()
+                        .map(|e| Json::string(e.describe()))
+                        .collect(),
+                ),
+            ),
             ("metrics".to_string(), self.metrics.to_json()),
         ];
         if let Some(err) = &self.error {
@@ -178,7 +195,21 @@ impl QueryServer {
                 "Bytes written to object storage",
             )
             .add(delta.bytes_written);
+            r.counter(
+                "pixels_storage_gets_failed_total",
+                "GET requests that failed (never added to billed bytes)",
+            )
+            .add(delta.gets_failed);
+            r.counter_with(
+                "pixels_retries_total",
+                "Operations retried after transient failures",
+                &[("site", "storage_get")],
+            )
+            .add(delta.retries);
         }
+        // Fold in whatever the fault injector did since the last scrape
+        // (no-op when chaos is disabled).
+        self.engine.fault_injector().export_metrics(r);
         r.render()
     }
 
@@ -198,6 +229,8 @@ impl QueryServer {
             used_cf: false,
             seq: id.0,
             metrics: ExecMetricsSnapshot::default(),
+            events: Vec::new(),
+            retries: 0,
             profile: None,
         };
         self.state.lock().insert(id, info);
@@ -333,6 +366,8 @@ fn run_query_thread(
             info.price = prices.bill(submission.level, out.bytes_scanned);
             info.used_cf = out.used_cf;
             info.metrics = out.metrics;
+            info.events = out.events;
+            info.retries = out.retries;
             info.result = Some(out.batch);
         }
         Err(e) => {
@@ -399,6 +434,7 @@ mod tests {
                 EngineConfig {
                     vm_slots: 2,
                     cf_fleet_threads: 2,
+                    ..EngineConfig::default()
                 },
             )
             // Tests that assert metric values need a private registry:
@@ -622,6 +658,81 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(gets(&text), gets(&text2));
+    }
+
+    #[test]
+    fn chaos_query_surfaces_retry_events_and_metrics() {
+        use pixels_chaos::{FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
+        use pixels_storage::chaos_stack;
+
+        let catalog = Catalog::shared();
+        let inner = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            inner.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 3,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        // Every third GET fails transiently; the retry policy masks it all.
+        let plan = FaultPlan::none(99).with(FaultSite::StorageGet, SiteSpec::errors(0.3));
+        let injector = Arc::new(FaultInjector::new(&plan));
+        let store = chaos_stack(
+            inner,
+            injector.clone(),
+            RetryPolicy::object_store(),
+            pixels_obs::WallClock::shared(),
+        );
+        let engine = Arc::new(
+            TurboEngine::new(
+                catalog,
+                store,
+                EngineConfig {
+                    vm_slots: 2,
+                    cf_fleet_threads: 2,
+                    ..EngineConfig::default()
+                },
+            )
+            .with_registry(MetricsRegistry::shared())
+            .with_chaos(injector),
+        );
+        let s = QueryServer::new(engine, PriceSchedule::default());
+
+        let id = s.submit(submission(
+            "SELECT COUNT(*) AS n FROM orders",
+            ServiceLevel::Immediate,
+        ));
+        let info = s.wait(id).unwrap();
+        assert_eq!(info.status, QueryStatus::Finished, "{:?}", info.error);
+        assert!(info.retries > 0, "faults at 30% must have forced retries");
+        assert!(
+            info.events
+                .iter()
+                .any(|e| matches!(e, pixels_turbo::QueryEvent::StorageRetries { .. })),
+            "retry events surface in QueryInfo: {:?}",
+            info.events
+        );
+        let json = info.to_json();
+        assert!(json.get("retries").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!json.get("events").unwrap().as_array().unwrap().is_empty());
+
+        // The exposition carries the new fault families with nonzero values.
+        let text = s.metrics_text();
+        pixels_obs::validate_exposition(&text).expect("exposition must stay valid");
+        let value_of = |needle: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.rsplit(' ').next().unwrap().parse().ok())
+                .unwrap_or(0.0)
+        };
+        assert!(value_of("pixels_faults_injected_total{site=\"storage_get\"}") > 0.0);
+        assert!(value_of("pixels_retries_total{site=\"storage_get\"}") > 0.0);
+        assert!(value_of("pixels_storage_gets_failed_total") > 0.0);
     }
 
     #[test]

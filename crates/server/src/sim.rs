@@ -4,13 +4,16 @@
 
 use crate::pricing::PriceSchedule;
 use crate::service_level::ServiceLevel;
+use pixels_chaos::FaultInjector;
 use pixels_common::QueryId;
 use pixels_sim::{DurationStats, SimDuration, SimTime};
 use pixels_turbo::{
-    CfConfig, Coordinator, CostBreakdown, Placement, QueryWork, ResourcePricing, VmConfig,
+    CfConfig, Coordinator, CostBreakdown, FaultStats, Placement, QueryWork, ResourcePricing,
+    VmConfig,
 };
 use pixels_workload::QueryClass;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One query submission in a simulated workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +42,10 @@ pub struct QueryRecord {
     /// User-facing bill ($/TB-scan at the level's price).
     pub price: f64,
     pub scan_bytes: u64,
+    /// Every CF fleet for this query failed; it completed on the VM tier.
+    pub degraded: bool,
+    /// A speculative duplicate fleet raced this query's straggler.
+    pub speculative: bool,
 }
 
 impl QueryRecord {
@@ -135,6 +142,12 @@ impl ServerSim {
             ResourcePricing::default(),
             ServerConfig::default(),
         )
+    }
+
+    /// Install a seeded fault injector on the underlying coordinator.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.coordinator = self.coordinator.with_fault_injector(injector);
+        self
     }
 
     pub fn config(&self) -> &ServerConfig {
@@ -299,6 +312,8 @@ impl ServerSim {
                             },
                             price: self.cfg.prices.bill(ServiceLevel::BestEffort, share),
                             scan_bytes: share,
+                            degraded: done.degraded,
+                            speculative: done.speculative,
                         });
                     }
                     continue;
@@ -321,6 +336,8 @@ impl ServerSim {
                     resource_cost: done.cost,
                     price: self.cfg.prices.bill(meta.level, done.scan_bytes),
                     scan_bytes: done.scan_bytes,
+                    degraded: done.degraded,
+                    speculative: done.speculative,
                 });
             }
             self.drain_queues();
@@ -366,6 +383,7 @@ impl ServerSim {
             scale_out_times: self.coordinator.vm.scale_out_times.clone(),
             scale_in_times: self.coordinator.vm.scale_in_times.clone(),
             total_resource_cost: self.coordinator.total_resource_cost(),
+            fault_stats: self.coordinator.stats,
         }
     }
 }
@@ -386,6 +404,9 @@ pub struct SimReport {
     pub scale_out_times: Vec<SimTime>,
     pub scale_in_times: Vec<SimTime>,
     pub total_resource_cost: CostBreakdown,
+    /// Fault-recovery counters accumulated by the coordinator (all zero in
+    /// fault-free runs).
+    pub fault_stats: FaultStats,
 }
 
 impl SimReport {
@@ -498,6 +519,40 @@ impl SimReport {
                 &[("component", "cf")],
             )
             .set(self.total_resource_cost.cf_dollars);
+        for (name, help, value) in [
+            (
+                "pixels_turbo_cf_crashes_total",
+                "CF fleets that crashed mid-run",
+                self.fault_stats.cf_crashes,
+            ),
+            (
+                "pixels_turbo_cf_retries_total",
+                "Crashed CF sub-plans relaunched on a fresh fleet",
+                self.fault_stats.cf_retries,
+            ),
+            (
+                "pixels_turbo_cf_degradations_total",
+                "Queries degraded from the CF tier to the VM tier",
+                self.fault_stats.cf_degradations,
+            ),
+            (
+                "pixels_turbo_cf_stragglers_total",
+                "CF runs that exceeded the straggler deadline",
+                self.fault_stats.stragglers_detected,
+            ),
+            (
+                "pixels_speculative_launches_total",
+                "Speculative duplicate CF fleets launched",
+                self.fault_stats.speculative_launches,
+            ),
+            (
+                "pixels_sim_vm_preemptions_total",
+                "VM workers lost to simulated spot reclaim",
+                self.fault_stats.vm_preemptions,
+            ),
+        ] {
+            registry.counter(name, help).add(value);
+        }
     }
 
     /// Fraction of queries at a level that ran in CF.
@@ -727,6 +782,80 @@ mod tests {
             text.contains(r#"pixels_sim_queries_total{level="immediate"} 12"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn chaotic_run_completes_and_reports_fault_stats() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        // Every CF fleet crashes: immediate queries placed on CF during the
+        // spike must degrade to the VM tier, yet every query completes and
+        // every completed query is still billed for its scan.
+        let plan = FaultPlan::none(31).with(FaultSite::CfCrash, SiteSpec::errors(1.0));
+        let run = |chaos: bool| {
+            let mut sim = ServerSim::with_defaults();
+            if chaos {
+                sim = sim.with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+            }
+            let subs = burst(
+                12,
+                SimTime::from_secs(1),
+                QueryClass::Medium,
+                ServiceLevel::Immediate,
+            );
+            sim.run(subs, SimDuration::from_secs(14400))
+        };
+        let clean = run(false);
+        let chaotic = run(true);
+        assert_eq!(chaotic.unfinished, 0, "no query may be lost to faults");
+        assert!(chaotic.fault_stats.cf_crashes > 0);
+        assert!(chaotic.fault_stats.cf_degradations > 0);
+        let degraded = chaotic.records.iter().filter(|r| r.degraded).count();
+        assert!(degraded > 0, "degraded queries are flagged");
+        // Billed scan bytes are placement-independent: the user pays the
+        // same $/TB whether the query survived on CF or degraded to VMs.
+        let billed = |r: &SimReport| -> u64 { r.records.iter().map(|q| q.scan_bytes).sum() };
+        assert_eq!(billed(&clean), billed(&chaotic));
+        // Provider-side cost grows: the crashed fleets stay billed.
+        assert!(
+            chaotic.total_resource_cost.cf_dollars > 0.0,
+            "crashed CF fleets remain charged"
+        );
+        // Exported metrics carry the fault families.
+        let registry = pixels_obs::MetricsRegistry::new();
+        chaotic.export_metrics(&registry);
+        let text = registry.render();
+        pixels_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("pixels_turbo_cf_crashes_total"));
+        assert!(text.contains("pixels_turbo_cf_degradations_total"));
+    }
+
+    #[test]
+    fn chaotic_run_is_deterministic_for_a_seed() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        let plan = FaultPlan::none(8)
+            .with(FaultSite::CfCrash, SiteSpec::errors(0.5))
+            .with(FaultSite::VmPreempt, SiteSpec::errors(0.01));
+        let run = || {
+            let sim =
+                ServerSim::with_defaults().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+            let subs: Vec<Submission> = (0..15)
+                .map(|i| Submission {
+                    at: SimTime::from_millis(i * 900),
+                    class: if i % 3 == 0 {
+                        QueryClass::Heavy
+                    } else {
+                        QueryClass::Medium
+                    },
+                    level: ServiceLevel::ALL[(i % 3) as usize],
+                })
+                .collect();
+            sim.run(subs, SimDuration::from_secs(14400))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.unfinished, 0);
     }
 
     #[test]

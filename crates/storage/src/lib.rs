@@ -14,7 +14,11 @@
 //! - [`stats`] — min/max/null statistics used for pruning and costing.
 //! - [`meta_cache`] — a shared footer/schema cache so repeated opens of the
 //!   same object skip the footer GETs entirely (and are not billed twice).
+//! - [`chaos_store`] — fault-injecting and retrying store decorators wired
+//!   to the `pixels-chaos` fault plans; failed GETs are counted but never
+//!   billed, and transient errors retry under seeded backoff.
 
+pub mod chaos_store;
 pub mod codec;
 pub mod encoding;
 pub mod format;
@@ -24,6 +28,7 @@ pub mod reader;
 pub mod stats;
 pub mod writer;
 
+pub use chaos_store::{chaos_stack, ChaosObjectStore, RetryingObjectStore};
 pub use encoding::Encoding;
 pub use format::{ColumnChunkMeta, Footer, RowGroupMeta};
 pub use meta_cache::{FileMeta, FooterCache};

@@ -21,6 +21,12 @@ pub struct StoreMetrics {
     pub put_requests: AtomicU64,
     pub bytes_read: AtomicU64,
     pub bytes_written: AtomicU64,
+    /// GETs that failed or were aborted. Failed GETs transfer nothing the
+    /// engine can scan, so they are *never* added to `bytes_read` — the
+    /// billed-bytes totals count only successful reads.
+    pub gets_failed: AtomicU64,
+    /// GET attempts repeated after a transient failure (retry wrappers).
+    pub retries: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreMetrics`].
@@ -30,6 +36,8 @@ pub struct StoreMetricsSnapshot {
     pub put_requests: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    pub gets_failed: u64,
+    pub retries: u64,
 }
 
 impl StoreMetrics {
@@ -39,6 +47,8 @@ impl StoreMetrics {
             put_requests: self.put_requests.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            gets_failed: self.gets_failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -51,6 +61,8 @@ impl StoreMetricsSnapshot {
             put_requests: self.put_requests - earlier.put_requests,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            gets_failed: self.gets_failed - earlier.gets_failed,
+            retries: self.retries - earlier.retries,
         }
     }
 }
@@ -120,10 +132,10 @@ impl ObjectStore for InMemoryObjectStore {
 
     fn get(&self, path: &str) -> Result<Bytes> {
         let objects = self.objects.read();
-        let data = objects
-            .get(path)
-            .ok_or_else(|| Error::NotFound(format!("object not found: {path}")))?
-            .clone();
+        let Some(data) = objects.get(path).cloned() else {
+            self.metrics.gets_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::NotFound(format!("object not found: {path}")));
+        };
         self.metrics.get_requests.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .bytes_read
@@ -133,18 +145,20 @@ impl ObjectStore for InMemoryObjectStore {
 
     fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         let objects = self.objects.read();
-        let data = objects
-            .get(path)
-            .ok_or_else(|| Error::NotFound(format!("object not found: {path}")))?;
-        let end = offset
-            .checked_add(len)
-            .ok_or_else(|| Error::Storage("range overflow".into()))?;
-        if end > data.len() as u64 {
-            return Err(Error::Storage(format!(
-                "range [{offset}, {end}) out of bounds for object {path} of {} bytes",
-                data.len()
-            )));
-        }
+        let Some(data) = objects.get(path) else {
+            self.metrics.gets_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::NotFound(format!("object not found: {path}")));
+        };
+        let end = match offset.checked_add(len) {
+            Some(end) if end <= data.len() as u64 => end,
+            _ => {
+                self.metrics.gets_failed.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::Storage(format!(
+                    "range [{offset}, +{len}) out of bounds for object {path} of {} bytes",
+                    data.len()
+                )));
+            }
+        };
         self.metrics.get_requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.bytes_read.fetch_add(len, Ordering::Relaxed);
         Ok(data.slice(offset as usize..end as usize))
@@ -205,8 +219,13 @@ impl Default for LatencyModel {
 
 impl LatencyModel {
     /// Modeled latency for transferring `bytes` in one request, in µs.
+    /// Saturates instead of overflowing: the transfer term is computed in
+    /// u128 (u64 byte counts × per-MB cost exceeds u64 near `u64::MAX`) and
+    /// clamped, so absurd sizes model "forever", not a tiny wrapped value.
     pub fn request_latency_us(&self, bytes: u64) -> u64 {
-        self.per_request_us + bytes * self.per_mb_us / 1_000_000
+        let transfer = (bytes as u128 * self.per_mb_us as u128) / 1_000_000;
+        self.per_request_us
+            .saturating_add(u64::try_from(transfer).unwrap_or(u64::MAX))
     }
 }
 
@@ -300,6 +319,52 @@ mod tests {
         assert_eq!(m.request_latency_us(0), 15_000);
         // 1 MB ≈ 15ms + 11ms
         assert_eq!(m.request_latency_us(1_000_000), 26_000);
+    }
+
+    #[test]
+    fn latency_model_saturates_on_huge_sizes() {
+        let m = LatencyModel::default();
+        // Near-u64::MAX byte counts used to overflow `bytes * per_mb_us` and
+        // wrap to a tiny latency; they must saturate instead.
+        for bytes in [u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+            let us = m.request_latency_us(bytes);
+            assert!(
+                us >= m.request_latency_us(1 << 40),
+                "latency for {bytes} bytes ({us} us) regressed below the 1 TiB latency"
+            );
+        }
+        // ~18.4 EB at 11 s/GB is on the order of 2e17 µs — enormous, not
+        // a wrapped small number.
+        assert!(m.request_latency_us(u64::MAX) > 200_000_000_000_000_000);
+        // A model with extreme per-MB cost saturates to u64::MAX rather
+        // than panicking or wrapping.
+        let worst = LatencyModel {
+            per_request_us: u64::MAX,
+            per_mb_us: u64::MAX,
+        };
+        assert_eq!(worst.request_latency_us(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn failed_gets_counted_but_never_billed() {
+        // Regression: failed/aborted GETs must land in `gets_failed`, and
+        // must not contribute to billed byte totals or the GET counter.
+        let s = InMemoryObjectStore::new();
+        s.put("x", Bytes::from(vec![0u8; 64])).unwrap();
+        assert!(s.get("missing").is_err());
+        assert!(s.get_range("missing", 0, 8).is_err());
+        assert!(s.get_range("x", 60, 10).is_err()); // out of bounds
+        assert!(s.get_range("x", u64::MAX, 2).is_err()); // range overflow
+        let m = s.metrics();
+        assert_eq!(m.gets_failed, 4);
+        assert_eq!(m.get_requests, 0);
+        assert_eq!(m.bytes_read, 0);
+        // A successful read still bills exactly its bytes.
+        s.get_range("x", 0, 16).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.get_requests, 1);
+        assert_eq!(m.bytes_read, 16);
+        assert_eq!(m.gets_failed, 4);
     }
 
     #[test]

@@ -43,6 +43,33 @@ pub struct CfRun {
     pub workers: u32,
     pub cost: f64,
     pub scan_bytes: u64,
+    /// 0 for the first fleet, 1+ for relaunches and speculative duplicates.
+    pub attempt: u32,
+    /// The fleet dies at `finish_at` without producing a result (the
+    /// coordinator decides whether to relaunch or degrade).
+    pub crashed: bool,
+}
+
+/// Faults applied to one fleet launch, decided by the coordinator's fault
+/// injector *at launch* so the whole run is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchFaults {
+    /// Cold-start storm: additional fleet startup latency.
+    pub extra_startup: SimDuration,
+    /// Straggler: additional runtime beyond the model's estimate.
+    pub straggle: SimDuration,
+    /// Worker crash: the fleet dies halfway through its run.
+    pub crash: bool,
+}
+
+impl Default for LaunchFaults {
+    fn default() -> Self {
+        LaunchFaults {
+            extra_startup: SimDuration::ZERO,
+            straggle: SimDuration::ZERO,
+            crash: false,
+        }
+    }
 }
 
 /// The CF service: tracks in-flight function fleets on the virtual clock.
@@ -81,17 +108,45 @@ impl CfService {
         self.active.len()
     }
 
-    /// Launch a CF fleet for `work`. Returns the accepted run (cost is
-    /// charged immediately; the fleet occupies workers until `finish_at`).
-    pub fn launch(&mut self, id: QueryId, work: QueryWork, now: SimTime) -> CfRun {
+    /// The model's fault-free runtime estimate for `work` on this service
+    /// (excluding startup) — also the baseline straggler detectors compare
+    /// elapsed time against.
+    pub fn nominal_runtime(&self, work: &QueryWork) -> SimDuration {
         let workers = work.parallelism.clamp(1, self.cfg.max_workers_per_query);
         // Each worker provides `cf_efficiency` of a reference core.
         let effective_cores = workers as f64 * self.pricing.cf_efficiency;
-        let run_time = SimDuration::from_secs_f64(
-            work.cpu_seconds * self.cfg.overhead_factor / effective_cores,
-        );
-        let per_worker = self.cfg.startup + run_time;
-        let cost = self.pricing.cf_cost(workers, per_worker);
+        SimDuration::from_secs_f64(work.cpu_seconds * self.cfg.overhead_factor / effective_cores)
+    }
+
+    /// Launch a CF fleet for `work`. Returns the accepted run (cost is
+    /// charged immediately; the fleet occupies workers until `finish_at`).
+    pub fn launch(&mut self, id: QueryId, work: QueryWork, now: SimTime) -> CfRun {
+        self.launch_attempt(id, work, now, 0, LaunchFaults::default())
+    }
+
+    /// Launch one (possibly faulty) fleet attempt. The full invocation cost
+    /// is charged at launch — crashed and cancelled fleets stay billed, which
+    /// is the provider-side half of the paper's "both invocations billed"
+    /// speculation semantics (the *user's* $/TB bill follows only the
+    /// accepted result's scanned bytes).
+    pub fn launch_attempt(
+        &mut self,
+        id: QueryId,
+        work: QueryWork,
+        now: SimTime,
+        attempt: u32,
+        faults: LaunchFaults,
+    ) -> CfRun {
+        let workers = work.parallelism.clamp(1, self.cfg.max_workers_per_query);
+        let run_time = self.nominal_runtime(&work) + faults.straggle;
+        let startup = self.cfg.startup + faults.extra_startup;
+        let per_worker = if faults.crash {
+            // The fleet dies halfway through execution.
+            startup + SimDuration::from_micros(run_time.as_micros() / 2)
+        } else {
+            startup + run_time
+        };
+        let cost = self.pricing.cf_cost(workers, startup + run_time);
         let run = CfRun {
             id,
             started_at: now,
@@ -99,6 +154,8 @@ impl CfService {
             workers,
             cost,
             scan_bytes: work.scan_bytes,
+            attempt,
+            crashed: faults.crash,
         };
         self.total_cost += cost;
         self.total_invocations += workers as u64;
@@ -106,6 +163,44 @@ impl CfService {
         self.now = now;
         self.worker_series.record(now, self.active_workers() as f64);
         run
+    }
+
+    /// Whether any fleet for `id` is still in flight.
+    pub fn has_active(&self, id: QueryId) -> bool {
+        self.active.iter().any(|r| r.id == id)
+    }
+
+    /// Cancel an in-flight run (the speculative loser). Its workers are
+    /// released immediately; its cost stays charged — cancellation saves
+    /// nothing the provider already billed.
+    pub fn cancel(&mut self, id: QueryId, attempt: u32) -> Option<CfRun> {
+        let pos = self
+            .active
+            .iter()
+            .position(|r| r.id == id && r.attempt == attempt)?;
+        let run = self.active.swap_remove(pos);
+        self.worker_series
+            .record(self.now, self.active_workers() as f64);
+        Some(run)
+    }
+
+    /// Cancel every fleet for `id` except `keep_attempt` (first result won).
+    pub fn cancel_others(&mut self, id: QueryId, keep_attempt: u32) -> Vec<CfRun> {
+        let mut cancelled = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].id == id && self.active[i].attempt != keep_attempt {
+                cancelled.push(self.active.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !cancelled.is_empty() {
+            self.worker_series
+                .record(self.now, self.active_workers() as f64);
+            cancelled.sort_by_key(|r| r.attempt);
+        }
+        cancelled
     }
 
     /// Collect runs that completed by `now`.
@@ -202,6 +297,67 @@ mod tests {
             (4.0..24.0).contains(&ratio),
             "effective CF/VM unit ratio {ratio} outside plausible band"
         );
+    }
+
+    #[test]
+    fn cancelled_run_releases_workers_but_stays_billed() {
+        // Satellite coverage: `tick` worker accounting across a mid-flight
+        // cancellation (the speculative-loser path).
+        let mut cf = service();
+        let work = QueryWork::from_class(QueryClass::Medium);
+        let a = cf.launch_attempt(QueryId(1), work, SimTime::ZERO, 0, LaunchFaults::default());
+        let b = cf.launch_attempt(QueryId(1), work, SimTime::ZERO, 1, LaunchFaults::default());
+        assert_eq!(cf.active_workers(), a.workers + b.workers);
+        assert!(cf.has_active(QueryId(1)));
+        let billed = cf.total_cost;
+
+        // Mid-flight: attempt 1 wins, attempt 0 is cancelled.
+        let mid = SimTime::from_millis(200);
+        assert!(cf.tick(mid).is_empty(), "nothing finished yet");
+        let cancelled = cf.cancel_others(QueryId(1), 1);
+        assert_eq!(cancelled.len(), 1);
+        assert_eq!(cancelled[0].attempt, 0);
+        // Workers released immediately...
+        assert_eq!(cf.active_workers(), b.workers);
+        // ...but the provider keeps the money (both invocations billed).
+        assert_eq!(cf.total_cost, billed);
+
+        // The cancelled run never completes; the survivor does, once.
+        let done = cf.tick(a.finish_at + SimDuration::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].attempt, 1);
+        assert_eq!(cf.active_workers(), 0);
+        assert_eq!(cf.active_queries(), 0);
+        // Cancelling something already gone is a no-op.
+        assert!(cf.cancel(QueryId(1), 0).is_none());
+    }
+
+    #[test]
+    fn crashing_run_finishes_early_and_is_marked() {
+        let mut cf = service();
+        let work = QueryWork::from_class(QueryClass::Medium);
+        let clean = cf.launch_attempt(QueryId(1), work, SimTime::ZERO, 0, LaunchFaults::default());
+        let mut cf2 = service();
+        let crashed = cf2.launch_attempt(
+            QueryId(1),
+            work,
+            SimTime::ZERO,
+            0,
+            LaunchFaults {
+                crash: true,
+                ..LaunchFaults::default()
+            },
+        );
+        assert!(crashed.crashed);
+        assert!(
+            crashed.finish_at < clean.finish_at,
+            "a crash ends the run early"
+        );
+        // Same bill either way: the provider charges the full invocation.
+        assert_eq!(crashed.cost, clean.cost);
+        let done = cf2.tick(crashed.finish_at);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].crashed);
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! statistics (pending time, execution time, resource cost).
 
 use crate::billing::{CostBreakdown, Placement, ResourcePricing};
-use crate::cf_service::{CfConfig, CfService};
+use crate::cf_service::{CfConfig, CfService, LaunchFaults};
 use crate::model::QueryWork;
 use crate::vm_cluster::{VmCluster, VmConfig};
+use pixels_chaos::{FaultInjector, FaultSite, Inject};
 use pixels_common::QueryId;
 use pixels_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Everything the coordinator remembers about an in-flight query.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +23,31 @@ struct InFlight {
     work: QueryWork,
     #[allow(dead_code)]
     cf_enabled: bool,
+    /// CF fleets launched for this query so far (relaunches + duplicates).
+    cf_attempts: u32,
+    /// A speculative duplicate has been launched.
+    speculated: bool,
+    /// The query fell back from CF to the VM tier.
+    degraded: bool,
+}
+
+/// Fault-recovery counters the coordinator accumulates over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// CF fleets that crashed mid-run.
+    pub cf_crashes: u64,
+    /// Crashed sub-plans relaunched on a fresh fleet.
+    pub cf_retries: u64,
+    /// Queries that abandoned the CF path for the VM queue.
+    pub cf_degradations: u64,
+    /// CF runs that exceeded the straggler deadline.
+    pub stragglers_detected: u64,
+    /// Speculative duplicate fleets launched.
+    pub speculative_launches: u64,
+    /// Speculative losers cancelled after the winner finished.
+    pub speculative_cancelled: u64,
+    /// VM workers lost to spot reclaim.
+    pub vm_preemptions: u64,
 }
 
 /// Final record of a completed query.
@@ -35,6 +62,12 @@ pub struct QueryCompletion {
     pub placement: Placement,
     pub cost: CostBreakdown,
     pub scan_bytes: u64,
+    /// The query was meant for CF but every fleet failed, so it completed
+    /// on the VM tier instead.
+    pub degraded: bool,
+    /// A speculative duplicate fleet raced for this query (whichever
+    /// attempt won, both were billed by the provider).
+    pub speculative: bool,
 }
 
 impl QueryCompletion {
@@ -48,6 +81,10 @@ impl QueryCompletion {
     }
 }
 
+/// Most fleets a single query may launch (first + one relaunch OR one
+/// speculative duplicate) before the coordinator degrades it to the VM tier.
+const MAX_CF_ATTEMPTS: u32 = 2;
+
 /// The coordinator on the virtual clock.
 pub struct Coordinator {
     pub vm: VmCluster,
@@ -58,6 +95,18 @@ pub struct Coordinator {
     vm_queue: VecDeque<(QueryId, InFlight)>,
     inflight: Vec<(QueryId, InFlight)>,
     server_queue_depth: u32,
+    /// Deterministic fault source (disabled unless installed via
+    /// [`Coordinator::with_fault_injector`]).
+    injector: Arc<FaultInjector>,
+    /// Launch a speculative duplicate when a fleet runs this many times
+    /// longer than the model's startup + runtime estimate.
+    straggler_factor: f64,
+    /// Speculative launches armed for stragglers: (query, due time).
+    pending_spec: Vec<(QueryId, SimTime)>,
+    /// Next sim-second boundary at which VM preemption is rolled.
+    last_preempt_check: SimTime,
+    /// Fault-recovery counters for this coordinator's lifetime.
+    pub stats: FaultStats,
     now: SimTime,
 }
 
@@ -70,8 +119,24 @@ impl Coordinator {
             vm_queue: VecDeque::new(),
             inflight: Vec::new(),
             server_queue_depth: 0,
+            injector: Arc::new(FaultInjector::disabled()),
+            straggler_factor: 2.0,
+            pending_spec: Vec::new(),
+            last_preempt_check: now,
+            stats: FaultStats::default(),
             now,
         }
+    }
+
+    /// Install a seeded fault injector; CF launches, VM workers, and the
+    /// straggler watchdog consult it from then on.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     pub fn pricing(&self) -> &ResourcePricing {
@@ -106,15 +171,67 @@ impl Coordinator {
             submitted_at: now,
             work,
             cf_enabled,
+            cf_attempts: 0,
+            speculated: false,
+            degraded: false,
         };
         if !self.vm.is_overloaded() && self.vm_queue.is_empty() {
             self.vm.start(id, work);
             self.inflight.push((id, info));
         } else if cf_enabled {
-            self.cf.launch(id, work, now);
             self.inflight.push((id, info));
+            self.launch_cf(id, now);
         } else {
             self.vm_queue.push_back((id, info));
+        }
+    }
+
+    /// Ask the injector what goes wrong with the next fleet launch. Faults
+    /// are decided *at launch* so a seeded run is fully deterministic no
+    /// matter how ticks interleave.
+    fn decide_launch_faults(&mut self, work: &QueryWork) -> LaunchFaults {
+        let mut faults = LaunchFaults::default();
+        match self.injector.decide(FaultSite::CfColdStartStorm) {
+            Inject::Delay { micros } => faults.extra_startup = SimDuration::from_micros(micros),
+            // An un-parameterized storm verdict: startup takes 10× nominal.
+            Inject::Error => {
+                faults.extra_startup =
+                    SimDuration::from_micros(self.cf.config().startup.as_micros() * 10)
+            }
+            Inject::None => {}
+        }
+        match self.injector.decide(FaultSite::CfStraggler) {
+            Inject::Delay { micros } => faults.straggle = SimDuration::from_micros(micros),
+            // An un-parameterized straggler verdict: the run takes twice as long.
+            Inject::Error => faults.straggle = self.cf.nominal_runtime(work),
+            Inject::None => {}
+        }
+        if matches!(self.injector.decide(FaultSite::CfCrash), Inject::Error) {
+            faults.crash = true;
+        }
+        faults
+    }
+
+    /// Launch the next CF fleet for an in-flight query and arm the straggler
+    /// watchdog if the (possibly faulty) run will overshoot the estimate.
+    fn launch_cf(&mut self, id: QueryId, now: SimTime) {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|(qid, _)| *qid == id)
+            .expect("CF launch for unknown query");
+        let work = self.inflight[idx].1.work;
+        let attempt = self.inflight[idx].1.cf_attempts;
+        let faults = self.decide_launch_faults(&work);
+        let run = self.cf.launch_attempt(id, work, now, attempt, faults);
+        self.inflight[idx].1.cf_attempts += 1;
+        if !self.inflight[idx].1.speculated {
+            let deadline = now
+                + (self.cf.config().startup + self.cf.nominal_runtime(&work))
+                    .mul_f64(self.straggler_factor);
+            if run.finish_at > deadline {
+                self.pending_spec.push((id, deadline));
+            }
         }
     }
 
@@ -128,6 +245,47 @@ impl Coordinator {
     pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<QueryCompletion> {
         self.now = now;
         let mut out = Vec::new();
+
+        // Spot reclaim: roll VM preemption once per sim-second.
+        if self.injector.is_active() {
+            while self.last_preempt_check + SimDuration::from_secs(1) <= now {
+                self.last_preempt_check += SimDuration::from_secs(1);
+                if matches!(self.injector.decide(FaultSite::VmPreempt), Inject::Error)
+                    && self.vm.preempt_worker()
+                {
+                    self.stats.vm_preemptions += 1;
+                }
+            }
+        } else {
+            self.last_preempt_check = now;
+        }
+
+        // Straggler watchdog: launch speculative duplicates that came due.
+        if !self.pending_spec.is_empty() {
+            let due: Vec<QueryId> = self
+                .pending_spec
+                .iter()
+                .filter(|(_, t)| *t <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            self.pending_spec.retain(|(_, t)| *t > now);
+            for id in due {
+                if !self.cf.has_active(id) {
+                    continue;
+                }
+                let Some(idx) = self.inflight.iter().position(|(qid, _)| *qid == id) else {
+                    continue;
+                };
+                let info = &mut self.inflight[idx].1;
+                if info.speculated || info.cf_attempts >= MAX_CF_ATTEMPTS {
+                    continue;
+                }
+                info.speculated = true;
+                self.stats.stragglers_detected += 1;
+                self.stats.speculative_launches += 1;
+                self.launch_cf(id, now);
+            }
+        }
 
         self.vm
             .set_external_demand(self.vm_queue.len() as u32 + self.server_queue_depth);
@@ -144,10 +302,42 @@ impl Coordinator {
                     cf_dollars: 0.0,
                 },
                 scan_bytes: done.scan_bytes,
+                degraded: info.degraded,
+                speculative: info.speculated,
             });
         }
 
         for run in self.cf.tick(now) {
+            if run.crashed {
+                self.stats.cf_crashes += 1;
+                // A sibling fleet (speculative duplicate) is still running —
+                // let it finish the query.
+                if self.cf.has_active(run.id) {
+                    continue;
+                }
+                self.pending_spec.retain(|(id, _)| *id != run.id);
+                let Some(idx) = self.inflight.iter().position(|(qid, _)| *qid == run.id) else {
+                    continue;
+                };
+                if self.inflight[idx].1.cf_attempts < MAX_CF_ATTEMPTS {
+                    // Relaunch on a fresh fleet.
+                    self.stats.cf_retries += 1;
+                    self.launch_cf(run.id, now);
+                } else {
+                    // Out of CF budget: degrade gracefully to the VM tier
+                    // instead of losing the query.
+                    self.stats.cf_degradations += 1;
+                    let (id, mut info) = self.inflight.swap_remove(idx);
+                    info.degraded = true;
+                    self.vm_queue.push_back((id, info));
+                }
+                continue;
+            }
+            // First successful fleet wins; cancel any sibling still flying
+            // (its cost stays charged — both invocations billed).
+            let cancelled = self.cf.cancel_others(run.id, run.attempt);
+            self.stats.speculative_cancelled += cancelled.len() as u64;
+            self.pending_spec.retain(|(id, _)| *id != run.id);
             let info = self.take_inflight(run.id);
             out.push(QueryCompletion {
                 id: run.id,
@@ -162,6 +352,8 @@ impl Coordinator {
                     cf_dollars: run.cost,
                 },
                 scan_bytes: run.scan_bytes,
+                degraded: info.degraded,
+                speculative: info.speculated,
             });
         }
 
@@ -362,6 +554,196 @@ mod tests {
             t_cf.as_secs_f64() * 2.0 < t_vm.as_secs_f64(),
             "CF {t_cf} should beat queued VM {t_vm} by a wide margin"
         );
+    }
+
+    fn overload(c: &mut Coordinator) {
+        for i in 0..5 {
+            c.submit(
+                QueryId(i),
+                QueryWork::from_class(QueryClass::Heavy),
+                false,
+                SimTime::ZERO,
+            );
+        }
+        assert!(c.is_overloaded());
+    }
+
+    #[test]
+    fn crashed_cf_fleet_is_relaunched_and_completes() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        let plan = FaultPlan::none(7).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1));
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        overload(&mut c);
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q99 = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert!(matches!(q99.placement, Placement::Cf { .. }));
+        assert!(!q99.degraded);
+        assert_eq!(c.stats.cf_crashes, 1);
+        assert_eq!(c.stats.cf_retries, 1);
+        assert_eq!(c.stats.cf_degradations, 0);
+    }
+
+    #[test]
+    fn repeatedly_crashing_cf_degrades_to_vm_without_losing_the_query() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        // Every fleet crashes: first launch + relaunch both die, then the
+        // query must fall back to the VM queue and still complete.
+        let plan = FaultPlan::none(7).with(FaultSite::CfCrash, SiteSpec::errors(1.0));
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        overload(&mut c);
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let cf_cost_before_done = {
+            let mut done = Vec::new();
+            drive(
+                &mut c,
+                SimTime::ZERO,
+                SimDuration::from_secs(14400),
+                &mut done,
+            );
+            let q99 = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+            assert_eq!(q99.placement, Placement::Vm, "degraded to the VM tier");
+            assert!(q99.degraded);
+            assert_eq!(q99.cost.cf_dollars, 0.0, "user bill follows the VM result");
+            c.cf.total_cost
+        };
+        assert_eq!(c.stats.cf_crashes, 2);
+        assert_eq!(c.stats.cf_retries, 1);
+        assert_eq!(c.stats.cf_degradations, 1);
+        assert!(
+            cf_cost_before_done > 0.0,
+            "crashed fleets stay billed on the provider side"
+        );
+    }
+
+    #[test]
+    fn straggling_fleet_races_a_speculative_duplicate_first_result_wins() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        // The first fleet straggles by 600 s; the watchdog launches a clean
+        // duplicate at 2× the estimate, which finishes first and wins.
+        let straggle_us = 600_000_000;
+        let plan = FaultPlan::none(11).with(
+            FaultSite::CfStraggler,
+            SiteSpec::delays(1.0, straggle_us, straggle_us).capped(1),
+        );
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        overload(&mut c);
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let single_fleet_cost = {
+            let mut clean = coordinator();
+            overload(&mut clean);
+            clean.submit(
+                QueryId(99),
+                QueryWork::from_class(QueryClass::Medium),
+                true,
+                SimTime::ZERO,
+            );
+            clean.cf.total_cost
+        };
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q99 = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert!(matches!(q99.placement, Placement::Cf { .. }));
+        assert!(q99.speculative);
+        assert!(
+            q99.finished_at.as_secs_f64() < 300.0,
+            "duplicate should beat the 600 s straggler, finished at {}",
+            q99.finished_at
+        );
+        assert_eq!(c.stats.stragglers_detected, 1);
+        assert_eq!(c.stats.speculative_launches, 1);
+        assert_eq!(c.stats.speculative_cancelled, 1, "loser cancelled");
+        assert!(
+            c.cf.total_cost > single_fleet_cost * 1.9,
+            "both invocations billed: {} vs single {}",
+            c.cf.total_cost,
+            single_fleet_cost
+        );
+    }
+
+    #[test]
+    fn vm_preemption_is_survivable() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        let plan = FaultPlan::none(3).with(FaultSite::VmPreempt, SiteSpec::errors(1.0).capped(1));
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        c.submit(
+            QueryId(1),
+            QueryWork::from_class(QueryClass::Medium),
+            false,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        assert_eq!(c.stats.vm_preemptions, 1);
+        let q = done.iter().find(|d| d.id == QueryId(1)).unwrap();
+        assert_eq!(q.placement, Placement::Vm);
+        assert!(!q.degraded);
+    }
+
+    #[test]
+    fn fault_free_plans_change_nothing() {
+        // A disabled injector and an empty plan both leave the schedule
+        // bit-identical to the no-chaos coordinator.
+        use pixels_chaos::FaultPlan;
+        let mut plain = coordinator();
+        let mut chaotic =
+            coordinator().with_fault_injector(Arc::new(FaultInjector::new(&FaultPlan::none(42))));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for c in [&mut plain, &mut chaotic] {
+            overload(c);
+            c.submit(
+                QueryId(99),
+                QueryWork::from_class(QueryClass::Medium),
+                true,
+                SimTime::ZERO,
+            );
+        }
+        drive(
+            &mut plain,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut a,
+        );
+        drive(
+            &mut chaotic,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut b,
+        );
+        assert_eq!(a, b);
+        assert_eq!(chaotic.stats, FaultStats::default());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::model::QueryWork;
 use parking_lot::{Condvar, Mutex};
 use pixels_catalog::CatalogRef;
+use pixels_chaos::{FaultInjector, FaultSite, Inject};
 use pixels_common::{
     ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
 };
@@ -33,6 +34,18 @@ pub struct EngineConfig {
     /// up to this much intra-plan parallelism, further bounded by the
     /// query's own parallelism estimate from the resource model.
     pub cf_fleet_threads: usize,
+    /// A CF run is declared a straggler once it exceeds the resource
+    /// model's latency estimate by this factor.
+    pub straggler_factor: f64,
+    /// Floor on the straggler deadline, so estimate noise on tiny queries
+    /// never triggers spurious speculation.
+    pub straggler_min_wait: Duration,
+    /// Launch a speculative duplicate fleet when a straggler is detected
+    /// (first result wins; the loser is reaped in the background).
+    pub speculative_enabled: bool,
+    /// Fall back to the VM path when every CF attempt fails, instead of
+    /// failing the query.
+    pub cf_to_vm_fallback: bool,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +53,63 @@ impl Default for EngineConfig {
         EngineConfig {
             vm_slots: 4,
             cf_fleet_threads: 4,
+            straggler_factor: 4.0,
+            straggler_min_wait: Duration::from_millis(250),
+            speculative_enabled: true,
+            cf_to_vm_fallback: true,
+        }
+    }
+}
+
+/// Notable fault-handling events during one query, surfaced through
+/// [`ExecOutcome`] and ultimately `QueryInfo` so clients can see what
+/// recovery work their query needed. None of these change what the query is
+/// billed: the $/TB price follows the bytes of the *accepted* execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryEvent {
+    /// Transient object-store failures were retried under backoff.
+    StorageRetries { count: u64 },
+    /// A CF attempt failed (worker crash or a storage failure that
+    /// exhausted its retry budget).
+    CfAttemptFailed { attempt: u32, reason: String },
+    /// The engine relaunched the CF sub-plan on a fresh fleet.
+    CfRetried { attempt: u32 },
+    /// The CF run exceeded the latency estimate and was declared a
+    /// straggler.
+    StragglerDetected { waited_ms: u64 },
+    /// A speculative duplicate fleet was launched.
+    SpeculativeLaunch { attempt: u32 },
+    /// Which attempt produced the accepted result.
+    SpeculativeWin { attempt: u32 },
+    /// Every CF attempt failed; the query fell back to the VM tier.
+    CfDegradedToVm { reason: String },
+}
+
+impl QueryEvent {
+    /// One-line human/JSON form.
+    pub fn describe(&self) -> String {
+        match self {
+            QueryEvent::StorageRetries { count } => {
+                format!("storage: {count} transient GET failure(s) retried")
+            }
+            QueryEvent::CfAttemptFailed { attempt, reason } => {
+                format!("cf attempt {attempt} failed: {reason}")
+            }
+            QueryEvent::CfRetried { attempt } => {
+                format!("cf relaunched on fresh fleet (attempt {attempt})")
+            }
+            QueryEvent::StragglerDetected { waited_ms } => {
+                format!("cf straggler detected after {waited_ms} ms")
+            }
+            QueryEvent::SpeculativeLaunch { attempt } => {
+                format!("speculative duplicate fleet launched (attempt {attempt})")
+            }
+            QueryEvent::SpeculativeWin { attempt } => {
+                format!("attempt {attempt} won the speculative race")
+            }
+            QueryEvent::CfDegradedToVm { reason } => {
+                format!("cf path abandoned, degraded to vm: {reason}")
+            }
         }
     }
 }
@@ -60,6 +130,12 @@ pub struct ExecOutcome {
     /// cache hits); for CF queries this merges the fleet's sub-plan metrics
     /// with the top-level plan's.
     pub metrics: ExecMetricsSnapshot,
+    /// Fault-handling events, in order (empty for a clean run).
+    pub events: Vec<QueryEvent>,
+    /// Object-store retries performed while this query ran. Measured as the
+    /// store-wide counter delta over the query, so it is approximate when
+    /// queries run concurrently.
+    pub retries: u64,
 }
 
 struct Slots {
@@ -107,6 +183,12 @@ pub struct TurboEngine {
     /// Registry every query's counters are absorbed into after execution
     /// (defaults to the process-wide registry backing `/metrics`).
     registry: Arc<MetricsRegistry>,
+    /// Fault injector consulted at the CF sites (crash, straggler,
+    /// cold-start storm). Inert by default; tests and the chaos soak attach
+    /// a seeded plan via [`with_chaos`](Self::with_chaos). Storage-site
+    /// faults are injected by wrapping the store itself
+    /// (`pixels_storage::chaos_stack`), not here.
+    injector: Arc<FaultInjector>,
 }
 
 impl TurboEngine {
@@ -122,7 +204,18 @@ impl TurboEngine {
             mv_ids: IdGenerator::new(),
             footer_cache: FooterCache::shared(),
             registry: MetricsRegistry::global().clone(),
+            injector: Arc::new(FaultInjector::disabled()),
         }
+    }
+
+    /// Attach a fault injector for the CF sites.
+    pub fn with_chaos(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// Same engine publishing metrics to `registry` instead of the global
@@ -201,6 +294,8 @@ impl TurboEngine {
                     execution: Duration::ZERO,
                     bytes_scanned: 0,
                     metrics: ExecMetricsSnapshot::default(),
+                    events: Vec::new(),
+                    retries: 0,
                 })
             }
             Statement::ExplainAnalyze(inner) => {
@@ -259,6 +354,8 @@ impl TurboEngine {
                     execution: elapsed,
                     bytes_scanned: m.bytes_scanned,
                     metrics: m,
+                    events: Vec::new(),
+                    retries: 0,
                 })
             }
             Statement::Analyze(name) => {
@@ -345,9 +442,8 @@ impl TurboEngine {
 
         // Slots saturated. With CF enabled, accelerate via plan splitting.
         if cf_enabled {
-            let mv_path = format!("pixels-turbo/intermediate/mv-{}.pxl", self.mv_ids.next());
-            if let Some(split) = split_for_acceleration(&plan, &mv_path) {
-                return self.run_with_cf(split, &trace);
+            if let Some(split) = split_for_acceleration(&plan, &self.next_mv_path()) {
+                return self.run_with_cf(&plan, split, &trace);
             }
         }
 
@@ -372,7 +468,20 @@ impl TurboEngine {
         })
     }
 
+    fn next_mv_path(&self) -> String {
+        format!("pixels-turbo/intermediate/mv-{}.pxl", self.mv_ids.next())
+    }
+
+    /// Store-wide retry count delta over a query, surfaced as a
+    /// [`QueryEvent::StorageRetries`] event. Approximate when queries run
+    /// concurrently (the counters are shared), exact when serialized — which
+    /// is how the chaos soak measures it.
+    fn storage_retries_since(&self, before: u64) -> u64 {
+        self.store.metrics().retries.saturating_sub(before)
+    }
+
     fn run_in_vm(&self, plan: &PhysicalPlan, trace: &TraceCtx) -> Result<ExecOutcome> {
+        let retries_before = self.store.metrics().retries;
         let ctx = self.exec_context(plan, usize::MAX);
         let mut span = trace.span("vm_execute");
         span.record_u64("parallelism", ctx.parallelism as u64);
@@ -382,6 +491,11 @@ impl TurboEngine {
         drop(span);
         let metrics = ctx.metrics.snapshot();
         self.absorb_exec_metrics(&metrics, false);
+        let retries = self.storage_retries_since(retries_before);
+        let mut events = Vec::new();
+        if retries > 0 {
+            events.push(QueryEvent::StorageRetries { count: retries });
+        }
         Ok(ExecOutcome {
             batch,
             used_cf: false,
@@ -389,18 +503,25 @@ impl TurboEngine {
             execution: start.elapsed(),
             bytes_scanned: metrics.bytes_scanned,
             metrics,
+            events,
+            retries,
         })
     }
 
-    /// CF path: spawn an ephemeral fleet for the sub-plan, materialize its
-    /// result, then run the top-level plan.
-    fn run_with_cf(
+    /// Launch one ephemeral CF fleet for `split`'s sub-plan: execute it off
+    /// the VM slots (as CF workers would), materialize the result to the
+    /// attempt's own MV path, and report on `tx`. The fault injector is
+    /// consulted at the CF sites before any work happens, so an injected
+    /// crash costs no scan bytes.
+    fn launch_cf_attempt(
         &self,
-        split: pixels_planner::SplitPlan,
+        attempt: u32,
+        split: &pixels_planner::SplitPlan,
         trace: &TraceCtx,
-    ) -> Result<ExecOutcome> {
-        let start = Instant::now();
+        tx: std::sync::mpsc::Sender<(u32, Result<ExecMetricsSnapshot>)>,
+    ) {
         let store = self.store.clone();
+        let injector = self.injector.clone();
         let sub_plan = split.sub_plan.clone();
         let mv_path = split.mv_path.clone();
         // The fleet's intra-plan parallelism comes from the resource model,
@@ -408,39 +529,252 @@ impl TurboEngine {
         let sub_ctx = self.exec_context(&sub_plan, self.cfg.cf_fleet_threads);
         let mut fleet_span = trace.span("cf_fleet");
         fleet_span.record_u64("workers", sub_ctx.parallelism as u64);
+        fleet_span.record_u64("attempt", attempt as u64);
         let sub_ctx = sub_ctx.under(&fleet_span);
-
-        // One spawned thread per fleet: the sub-plan executes off the VM
-        // slots entirely, like CF workers would, fanning out internally
-        // over the fleet's morsel workers.
-        let handle = std::thread::spawn(move || -> Result<ExecMetricsSnapshot> {
-            let batches = execute(&sub_plan, &sub_ctx)?;
-            let mut mat_span = sub_ctx.trace.span("materialize");
-            let written = materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
-            // `bytes_written` deliberately, not `bytes`: MV output is not
-            // billed scan traffic, and the span byte sum must still equal
-            // `bytes_scanned` exactly.
-            mat_span.record_u64("bytes_written", written);
-            Ok(sub_ctx.metrics.snapshot())
+        std::thread::spawn(move || {
+            let _span = fleet_span; // closes when the fleet exits
+            let result = (|| -> Result<ExecMetricsSnapshot> {
+                match injector.decide(FaultSite::CfColdStartStorm) {
+                    Inject::Error => {
+                        return Err(Error::Exec(
+                            "injected CF cold-start storm: fleet failed to start".into(),
+                        ))
+                    }
+                    Inject::Delay { micros } => std::thread::sleep(Duration::from_micros(micros)),
+                    Inject::None => {}
+                }
+                if injector.decide(FaultSite::CfCrash) == Inject::Error {
+                    return Err(Error::Exec(format!(
+                        "injected CF worker crash (attempt {attempt})"
+                    )));
+                }
+                if let Inject::Delay { micros } = injector.decide(FaultSite::CfStraggler) {
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+                let batches = execute(&sub_plan, &sub_ctx)?;
+                let mut mat_span = sub_ctx.trace.span("materialize");
+                let written = materialize(store.as_ref(), &mv_path, sub_plan.schema(), &batches)?;
+                // `bytes_written` deliberately, not `bytes`: MV output is not
+                // billed scan traffic, and the span byte sum must still equal
+                // `bytes_scanned` exactly.
+                mat_span.record_u64("bytes_written", written);
+                Ok(sub_ctx.metrics.snapshot())
+            })();
+            let _ = tx.send((attempt, result));
         });
-        let sub_metrics = handle
-            .join()
-            .map_err(|_| Error::Exec("CF fleet panicked".into()))?;
-        drop(fleet_span);
-        let sub_metrics = sub_metrics?;
+    }
 
+    /// Drain attempts that are still in flight after the race is decided:
+    /// delete their intermediate results and account their wasted scan bytes
+    /// (provider-side cost — never part of the query's bill). Runs detached
+    /// so losers can't delay the winning query's response.
+    fn reap_stale_attempts(
+        &self,
+        rx: std::sync::mpsc::Receiver<(u32, Result<ExecMetricsSnapshot>)>,
+        mv_paths: Vec<String>,
+        outstanding: usize,
+    ) {
+        if outstanding == 0 {
+            return;
+        }
+        let store = self.store.clone();
+        let cache = self.footer_cache.clone();
+        let registry = self.registry.clone();
+        std::thread::spawn(move || {
+            for (idx, result) in rx {
+                if let Ok(m) = result {
+                    registry
+                        .counter(
+                            "pixels_turbo_speculative_wasted_bytes_total",
+                            "Bytes scanned by cancelled speculative CF attempts \
+                             (provider-side cost, never billed to the query)",
+                        )
+                        .add(m.bytes_scanned);
+                }
+                if let Some(path) = mv_paths.get(idx as usize) {
+                    let _ = store.delete(path);
+                    cache.invalidate(path);
+                }
+            }
+        });
+    }
+
+    /// CF path with straggler mitigation and graceful degradation.
+    ///
+    /// The first fleet runs the split sub-plan. If it exceeds the resource
+    /// model's latency estimate by `straggler_factor`, a speculative
+    /// duplicate fleet is launched and the first successful result wins
+    /// (both fleets' resource cost is paid — the provider charges for every
+    /// invocation — but the query bills only the winner's scanned bytes, so
+    /// the $/TB price is unchanged). A crashed fleet is relaunched once;
+    /// when every CF attempt fails, the query degrades to the VM path
+    /// rather than failing, preserving Immediate/Relaxed semantics.
+    fn run_with_cf(
+        &self,
+        plan: &PhysicalPlan,
+        split: pixels_planner::SplitPlan,
+        trace: &TraceCtx,
+    ) -> Result<ExecOutcome> {
+        use std::sync::mpsc;
+        // Initial attempt plus one relaunch after total failure.
+        const MAX_CF_ATTEMPTS: u32 = 2;
+
+        let start = Instant::now();
+        let retries_before = self.store.metrics().retries;
+        let mut events: Vec<QueryEvent> = Vec::new();
+        let (tx, rx) = mpsc::channel();
+
+        // Straggler deadline: the model's estimate for the sub-plan on this
+        // fleet, scaled by the config factor and floored.
+        let work = QueryWork::from_plan(&split.sub_plan);
+        let est = work.exec_time_on_cores(self.cfg.cf_fleet_threads.max(1) as f64);
+        let straggler_wait =
+            Duration::from_micros(est.mul_f64(self.cfg.straggler_factor).as_micros())
+                .max(self.cfg.straggler_min_wait);
+
+        let mut attempts: Vec<pixels_planner::SplitPlan> = Vec::new();
+        self.launch_cf_attempt(0, &split, trace, tx.clone());
+        attempts.push(split);
+
+        let mut failed = 0u32;
+        let mut speculated = false;
+        let mut last_err: Option<Error> = None;
+        let winner: Option<(u32, ExecMetricsSnapshot)> = loop {
+            // Before speculation, wake at the straggler deadline; after, the
+            // only thing left to wait for is a result or total failure.
+            let timeout = if speculated || !self.cfg.speculative_enabled {
+                Duration::from_secs(3600)
+            } else {
+                straggler_wait
+            };
+            match rx.recv_timeout(timeout) {
+                Ok((idx, Ok(metrics))) => break Some((idx, metrics)),
+                Ok((idx, Err(e))) => {
+                    failed += 1;
+                    self.registry
+                        .counter(
+                            "pixels_turbo_cf_crashes_total",
+                            "CF fleet attempts that crashed or failed",
+                        )
+                        .add(1);
+                    events.push(QueryEvent::CfAttemptFailed {
+                        attempt: idx,
+                        reason: e.to_string(),
+                    });
+                    last_err = Some(e);
+                    // Failed attempts can't have materialized; delete is a
+                    // no-op unless the failure raced materialization.
+                    let _ = self.store.delete(&attempts[idx as usize].mv_path);
+                    self.footer_cache
+                        .invalidate(&attempts[idx as usize].mv_path);
+                    if failed == attempts.len() as u32 {
+                        if (attempts.len() as u32) < MAX_CF_ATTEMPTS {
+                            if let Some(retry_split) =
+                                split_for_acceleration(plan, &self.next_mv_path())
+                            {
+                                let attempt = attempts.len() as u32;
+                                events.push(QueryEvent::CfRetried { attempt });
+                                self.registry
+                                    .counter(
+                                        "pixels_turbo_cf_retries_total",
+                                        "CF sub-plans relaunched on a fresh fleet after a failure",
+                                    )
+                                    .add(1);
+                                self.launch_cf_attempt(attempt, &retry_split, trace, tx.clone());
+                                attempts.push(retry_split);
+                                continue;
+                            }
+                        }
+                        break None; // CF path exhausted
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    speculated = true;
+                    if let Some(spec_split) = split_for_acceleration(plan, &self.next_mv_path()) {
+                        let attempt = attempts.len() as u32;
+                        events.push(QueryEvent::StragglerDetected {
+                            waited_ms: straggler_wait.as_millis() as u64,
+                        });
+                        events.push(QueryEvent::SpeculativeLaunch { attempt });
+                        self.registry
+                            .counter(
+                                "pixels_turbo_cf_stragglers_total",
+                                "CF runs that exceeded the straggler deadline",
+                            )
+                            .add(1);
+                        self.registry
+                            .counter(
+                                "pixels_speculative_launches_total",
+                                "Speculative duplicate CF fleets launched against stragglers",
+                            )
+                            .add(1);
+                        self.launch_cf_attempt(attempt, &spec_split, trace, tx.clone());
+                        attempts.push(spec_split);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        drop(tx);
+        let received = failed as usize + usize::from(winner.is_some());
+        let mv_paths: Vec<String> = attempts.iter().map(|a| a.mv_path.clone()).collect();
+
+        let Some((winner_idx, sub_metrics)) = winner else {
+            // Every CF attempt failed. Degrade to the VM tier: the query
+            // still completes (and bills the plain VM-path bytes), it just
+            // loses the acceleration.
+            self.reap_stale_attempts(rx, mv_paths, attempts.len() - received);
+            let reason = last_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "cf fleet unavailable".into());
+            if !self.cfg.cf_to_vm_fallback {
+                return Err(Error::Exec(format!("cf path failed: {reason}")));
+            }
+            events.push(QueryEvent::CfDegradedToVm { reason });
+            self.registry
+                .counter(
+                    "pixels_turbo_cf_degradations_total",
+                    "Queries that fell back from the CF tier to the VM tier",
+                )
+                .add(1);
+            let pending = {
+                let _span = trace.span("vm_slot_wait");
+                self.slots.acquire()
+            };
+            let r = self.run_in_vm(plan, trace);
+            self.slots.release();
+            return r.map(|mut o| {
+                o.pending = pending;
+                // Degradation events precede whatever the VM run recorded.
+                events.extend(o.events);
+                o.events = events;
+                o
+            });
+        };
+
+        if speculated {
+            events.push(QueryEvent::SpeculativeWin {
+                attempt: winner_idx,
+            });
+        }
+        let winning_top = attempts[winner_idx as usize].top_plan.clone();
+        let winning_mv = attempts[winner_idx as usize].mv_path.clone();
         let top_span = trace.span("top_plan");
-        let ctx = self
-            .exec_context(&split.top_plan, usize::MAX)
-            .under(&top_span);
-        let batch = execute_collect(&split.top_plan, &ctx)?;
+        let ctx = self.exec_context(&winning_top, usize::MAX).under(&top_span);
+        let batch = execute_collect(&winning_top, &ctx)?;
         drop(top_span);
         // Clean up the intermediate result like ephemeral CF output, and
         // drop its (now dangling) footer-cache entry.
-        let _ = self.store.delete(&split.mv_path);
-        self.footer_cache.invalidate(&split.mv_path);
+        let _ = self.store.delete(&winning_mv);
+        self.footer_cache.invalidate(&winning_mv);
+        // Losers still in flight are drained in the background.
+        self.reap_stale_attempts(rx, mv_paths, attempts.len() - received);
         let metrics = sub_metrics.merged(&ctx.metrics.snapshot());
         self.absorb_exec_metrics(&metrics, true);
+        let retries = self.storage_retries_since(retries_before);
+        if retries > 0 {
+            events.push(QueryEvent::StorageRetries { count: retries });
+        }
         Ok(ExecOutcome {
             batch,
             used_cf: true,
@@ -448,6 +782,8 @@ impl TurboEngine {
             execution: start.elapsed(),
             bytes_scanned: metrics.bytes_scanned,
             metrics,
+            events,
+            retries,
         })
     }
 
@@ -513,6 +849,8 @@ fn meta_outcome(batch: RecordBatch) -> ExecOutcome {
         execution: Duration::ZERO,
         bytes_scanned: 0,
         metrics: ExecMetricsSnapshot::default(),
+        events: Vec::new(),
+        retries: 0,
     }
 }
 
@@ -544,6 +882,7 @@ mod tests {
             EngineConfig {
                 vm_slots: slots,
                 cf_fleet_threads: 2,
+                ..EngineConfig::default()
             },
         )
     }
@@ -751,6 +1090,180 @@ mod tests {
         assert!(text.contains("scan"), "{text}");
         assert!(text.contains("morsel"), "{text}");
         assert_eq!(out.metrics.bytes_scanned, out.bytes_scanned);
+    }
+
+    /// Saturate the engine's only VM slot with a long-running query so that
+    /// the next submission takes the CF path, then run `f` while blocked.
+    fn with_saturated_slot<T>(e: &Arc<TurboEngine>, f: impl FnOnce() -> T) -> T {
+        let blocker = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.execute_sql(
+                    "tpch",
+                    "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                    false,
+                )
+                .unwrap()
+            })
+        };
+        while !e.is_busy() {
+            std::thread::yield_now();
+        }
+        let r = f();
+        blocker.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn cf_crash_relaunches_on_fresh_fleet() {
+        use pixels_chaos::{FaultPlan, SiteSpec};
+        let registry = MetricsRegistry::shared();
+        // Exactly one crash: the first fleet dies, the relaunch succeeds.
+        let plan = FaultPlan::none(42).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1));
+        let e = Arc::new(
+            engine(1)
+                .with_registry(registry.clone())
+                .with_chaos(Arc::new(FaultInjector::new(&plan))),
+        );
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+        let out = with_saturated_slot(&e, || e.execute_sql("tpch", sql, true).unwrap());
+        assert!(out.used_cf, "retry should keep the query on the CF path");
+        assert_eq!(out.batch, direct.batch);
+        assert!(out
+            .events
+            .iter()
+            .any(|ev| matches!(ev, QueryEvent::CfAttemptFailed { attempt: 0, .. })));
+        assert!(out
+            .events
+            .iter()
+            .any(|ev| matches!(ev, QueryEvent::CfRetried { attempt: 1 })));
+        assert_eq!(
+            registry.counter("pixels_turbo_cf_crashes_total", "").get(),
+            1
+        );
+        assert_eq!(
+            registry.counter("pixels_turbo_cf_retries_total", "").get(),
+            1
+        );
+    }
+
+    #[test]
+    fn failing_cf_fleet_degrades_to_vm_without_losing_the_query() {
+        use pixels_chaos::FaultPlan;
+        let registry = MetricsRegistry::shared();
+        // Every CF attempt crashes; the query must still complete via VM.
+        let plan = FaultPlan::cf_crashes(7, 1.0);
+        let e = Arc::new(
+            engine(1)
+                .with_registry(registry.clone())
+                .with_chaos(Arc::new(FaultInjector::new(&plan))),
+        );
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+        let out = with_saturated_slot(&e, || e.execute_sql("tpch", sql, true).unwrap());
+        assert!(!out.used_cf, "query should have degraded to the VM path");
+        assert_eq!(
+            out.batch, direct.batch,
+            "degradation must not change results"
+        );
+        assert!(out
+            .events
+            .iter()
+            .any(|ev| matches!(ev, QueryEvent::CfDegradedToVm { .. })));
+        assert_eq!(
+            registry
+                .counter("pixels_turbo_cf_degradations_total", "")
+                .get(),
+            1
+        );
+        // Both CF attempts crashed before doing any work.
+        assert_eq!(
+            registry.counter("pixels_turbo_cf_crashes_total", "").get(),
+            2
+        );
+        assert_eq!(
+            registry
+                .counter("pixels_turbo_cf_invocations_total", "")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn straggler_launches_speculative_duplicate_first_result_wins() {
+        use pixels_chaos::{FaultPlan, SiteSpec};
+        let registry = MetricsRegistry::shared();
+        // The first fleet straggles for 1.5 s; the speculative duplicate
+        // (second draw, past the cap) runs clean and wins long before that.
+        let plan = FaultPlan::none(3).with(
+            FaultSite::CfStraggler,
+            SiteSpec::delays(1.0, 1_500_000, 1_500_000).capped(1),
+        );
+        let mut cfg = EngineConfig {
+            vm_slots: 1,
+            cf_fleet_threads: 2,
+            ..EngineConfig::default()
+        };
+        cfg.straggler_min_wait = Duration::from_millis(50);
+        let catalog = pixels_catalog::Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 1,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        let e = Arc::new(
+            TurboEngine::new(catalog, store, cfg)
+                .with_registry(registry.clone())
+                .with_chaos(Arc::new(FaultInjector::new(&plan))),
+        );
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+        let out = with_saturated_slot(&e, || e.execute_sql("tpch", sql, true).unwrap());
+        assert!(out.used_cf);
+        assert_eq!(out.batch, direct.batch);
+        assert!(out
+            .events
+            .iter()
+            .any(|ev| matches!(ev, QueryEvent::StragglerDetected { .. })));
+        assert!(out
+            .events
+            .iter()
+            .any(|ev| matches!(ev, QueryEvent::SpeculativeLaunch { attempt: 1 })));
+        assert!(
+            out.events
+                .iter()
+                .any(|ev| matches!(ev, QueryEvent::SpeculativeWin { attempt: 1 })),
+            "the clean duplicate should win the race: {:?}",
+            out.events
+        );
+        assert_eq!(
+            registry
+                .counter("pixels_speculative_launches_total", "")
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter("pixels_turbo_cf_stragglers_total", "")
+                .get(),
+            1
+        );
+        // The straggler finished well under its injected delay? No — the
+        // whole query must not have waited out the 1.5 s straggler.
+        assert!(
+            out.execution < Duration::from_millis(1_200),
+            "query waited for the straggler instead of the duplicate: {:?}",
+            out.execution
+        );
     }
 
     #[test]

@@ -23,9 +23,9 @@ pub mod model;
 pub mod vm_cluster;
 
 pub use billing::{CostBreakdown, Placement, ResourcePricing};
-pub use cf_service::{CfConfig, CfRun, CfService};
-pub use coordinator::{Coordinator, QueryCompletion};
-pub use engine::{EngineConfig, ExecOutcome, TurboEngine};
+pub use cf_service::{CfConfig, CfRun, CfService, LaunchFaults};
+pub use coordinator::{Coordinator, FaultStats, QueryCompletion};
+pub use engine::{EngineConfig, ExecOutcome, QueryEvent, TurboEngine};
 pub use model::QueryWork;
 pub use pixels_exec::ExecMetricsSnapshot;
 pub use vm_cluster::{VmCluster, VmCompletion, VmConfig};

@@ -93,6 +93,8 @@ pub struct VmCluster {
     pub provisioned_core_seconds: f64,
     pub scale_out_events: u32,
     pub scale_in_events: u32,
+    /// Workers lost to spot reclaim ([`preempt_worker`](Self::preempt_worker)).
+    pub preemption_events: u32,
     /// Virtual times of each scale-out / scale-in decision.
     pub scale_out_times: Vec<SimTime>,
     pub scale_in_times: Vec<SimTime>,
@@ -118,6 +120,7 @@ impl VmCluster {
             provisioned_core_seconds: 0.0,
             scale_out_events: 0,
             scale_in_events: 0,
+            preemption_events: 0,
             scale_out_times: Vec::new(),
             scale_in_times: Vec::new(),
             worker_series: TimeSeries::new(),
@@ -317,6 +320,23 @@ impl VmCluster {
         }
     }
 
+    /// Spot-reclaim one active worker. Running queries lose no work — under
+    /// processor sharing they simply share fewer cores until the replacement
+    /// (which starts booting immediately) comes online. Returns `false` when
+    /// no worker is active to preempt.
+    pub fn preempt_worker(&mut self) -> bool {
+        let Some(pos) = self.workers.iter().position(|w| w.ready_at <= self.now) else {
+            return false;
+        };
+        self.workers.remove(pos);
+        self.workers.push(Worker {
+            ready_at: self.now + self.cfg.boot_time,
+        });
+        self.preemption_events += 1;
+        self.record_series();
+        true
+    }
+
     fn record_series(&mut self) {
         self.worker_series
             .record(self.now, self.active_workers() as f64);
@@ -495,6 +515,37 @@ mod tests {
                 pair[1]
             );
         }
+    }
+
+    #[test]
+    fn preemption_keeps_queries_and_boots_replacement() {
+        let cfg = VmConfig {
+            min_workers: 2,
+            ..Default::default()
+        };
+        let mut cluster = VmCluster::new(cfg, SimTime::ZERO);
+        cluster.start(QueryId(1), QueryWork::from_class(QueryClass::Medium));
+        assert_eq!(cluster.active_workers(), 2);
+        assert!(cluster.preempt_worker());
+        // One active worker lost, its replacement booting, query untouched.
+        assert_eq!(cluster.active_workers(), 1);
+        assert_eq!(cluster.booting_workers(), 1);
+        assert_eq!(cluster.preemption_events, 1);
+        assert_eq!(cluster.concurrency(), 1);
+        // The query still completes (slower, on fewer cores), and the
+        // replacement eventually comes online.
+        let mut done = Vec::new();
+        let end = tick_until(
+            &mut cluster,
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(600),
+            |c| done.push(*c),
+        );
+        assert_eq!(done.len(), 1, "preemption must not lose the query");
+        let _ = end;
+        // After boot_time the cluster is back to strength.
+        assert_eq!(cluster.active_workers() + cluster.booting_workers(), 2);
     }
 
     #[test]

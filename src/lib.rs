@@ -10,6 +10,8 @@
 //! - [`planner`] — binder, logical optimizer, physical planner, CF plan split.
 //! - [`exec`] — vectorized query execution.
 //! - [`sim`] — the discrete-event simulation kernel.
+//! - [`obs`] — clocks, tracing spans, and the unified metrics registry.
+//! - [`chaos`] — deterministic fault injection and retry/backoff policies.
 //! - [`turbo`] — Pixels-Turbo: VM cluster, CF service, coordinator, billing.
 //! - [`server`] — the Query Server: service levels, queues, pricing.
 //! - [`nl2sql`] — the CodeS-style natural-language-to-SQL service.
@@ -19,9 +21,11 @@
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use pixels_catalog as catalog;
+pub use pixels_chaos as chaos;
 pub use pixels_common as common;
 pub use pixels_exec as exec;
 pub use pixels_nl2sql as nl2sql;
+pub use pixels_obs as obs;
 pub use pixels_planner as planner;
 pub use pixels_rover as rover;
 pub use pixels_server as server;

@@ -185,6 +185,10 @@ fn cf_acceleration_failure_surfaces() {
         EngineConfig {
             vm_slots: 1,
             cf_fleet_threads: 2,
+            // This test asserts the raw CF error path; graceful degradation
+            // to VMs is covered in tests/chaos_recovery.rs.
+            cf_to_vm_fallback: false,
+            ..EngineConfig::default()
         },
     ));
     let blocker_engine = engine.clone();
