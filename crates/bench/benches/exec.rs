@@ -5,11 +5,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pixels_bench::demo_data;
-use pixels_exec::{execute, ExecContext};
+use pixels_common::{DataType, Field, RecordBatch, Schema, Value};
+use pixels_exec::{execute, scalar, ExecContext};
 use pixels_obs::{Trace, TraceCtx};
-use pixels_planner::plan_query;
+use pixels_planner::{plan_query, AggExpr, AggFunc, BoundExpr};
+use pixels_sql::ast::{BinaryOp, JoinType};
 use pixels_storage::FooterCache;
 use pixels_workload::query_by_id;
+use std::sync::Arc;
 
 fn bench_queries(c: &mut Criterion) {
     let (catalog, store) = demo_data(0.002);
@@ -157,11 +160,187 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Vectorized kernels vs the retained scalar reference path, on
+/// pre-materialized input so the comparison isolates operator cost from
+/// scan cost: join build+probe, multi-aggregate group-by, and the fused
+/// conjunction mask vs sequential per-filter passes.
+fn bench_vector_kernels(c: &mut Criterion) {
+    let (catalog, store) = demo_data(0.01);
+    let collect = |sql: &str| -> Vec<RecordBatch> {
+        let plan = plan_query(&catalog, "tpch", sql).unwrap();
+        let ctx = ExecContext::new(store.clone());
+        execute(&plan, &ctx).unwrap()
+    };
+    // l_orderkey, l_quantity, l_extendedprice, l_discount, l_returnflag
+    let lineitem = collect(
+        "SELECT l_orderkey, l_quantity, l_extendedprice, l_discount, l_returnflag FROM lineitem",
+    );
+    // o_orderkey, o_totalprice
+    let orders = collect("SELECT o_orderkey, o_totalprice FROM orders");
+    let li_rows: u64 = lineitem.iter().map(|b| b.num_rows() as u64).sum();
+
+    let col = |i: usize, ty: DataType| BoundExpr::column(i, ty, format!("c{i}"));
+    let cmp = |l: BoundExpr, op: BinaryOp, r: BoundExpr| BoundExpr::BinaryOp {
+        left: Box::new(l),
+        op,
+        right: Box::new(r),
+        data_type: DataType::Boolean,
+    };
+
+    let mut g = c.benchmark_group("vector_kernels");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(li_rows));
+
+    // Hash join: build on orders, probe with lineitem (≈4 lineitems per
+    // order), 17 output columns late-materialized.
+    let join_schema = Arc::new(Schema::new(
+        lineitem[0]
+            .schema()
+            .fields()
+            .iter()
+            .chain(orders[0].schema().fields())
+            .cloned()
+            .collect::<Vec<Field>>(),
+    ));
+    let left_width = lineitem[0].schema().len();
+    let join_args = (vec![col(0, DataType::Int64)], vec![col(0, DataType::Int64)]);
+    g.bench_function("join_build_probe/vectorized", |b| {
+        b.iter(|| {
+            pixels_exec::join::execute_join(
+                &lineitem,
+                &orders,
+                JoinType::Inner,
+                &join_args.0,
+                &join_args.1,
+                None,
+                &join_schema,
+                left_width,
+                8192,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+    g.bench_function("join_build_probe/scalar", |b| {
+        b.iter(|| {
+            scalar::execute_join(
+                &lineitem,
+                &orders,
+                JoinType::Inner,
+                &join_args.0,
+                &join_args.1,
+                None,
+                &join_schema,
+                left_width,
+                8192,
+            )
+            .unwrap()
+            .len()
+        })
+    });
+
+    // Group-by: Utf8 group key, COUNT + two SUMs + AVG.
+    let group = vec![col(4, DataType::Utf8)];
+    let aggs = vec![
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+            output_type: DataType::Int64,
+        },
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(col(1, DataType::Float64)),
+            distinct: false,
+            output_type: DataType::Float64,
+        },
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(col(2, DataType::Float64)),
+            distinct: false,
+            output_type: DataType::Float64,
+        },
+        AggExpr {
+            func: AggFunc::Avg,
+            arg: Some(col(3, DataType::Float64)),
+            distinct: false,
+            output_type: DataType::Float64,
+        },
+    ];
+    let agg_schema = Arc::new(Schema::new(vec![
+        Field::required("g", DataType::Utf8),
+        Field::required("n", DataType::Int64),
+        Field::required("s1", DataType::Float64),
+        Field::required("s2", DataType::Float64),
+        Field::required("a", DataType::Float64),
+    ]));
+    g.bench_function("group_by/vectorized", |b| {
+        b.iter(|| {
+            pixels_exec::aggregate::execute_aggregate(&lineitem, &group, &aggs, &agg_schema, 1)
+                .unwrap()
+                .len()
+        })
+    });
+    g.bench_function("group_by/scalar", |b| {
+        b.iter(|| {
+            scalar::execute_aggregate(&lineitem, &group, &aggs, &agg_schema, 1)
+                .unwrap()
+                .len()
+        })
+    });
+
+    // Residual filter chain: one fused mask over the original batch vs one
+    // mask + materialized batch per conjunct.
+    let filters = vec![
+        cmp(
+            col(1, DataType::Float64),
+            BinaryOp::Gt,
+            BoundExpr::literal(Value::Float64(10.0)),
+        ),
+        cmp(
+            col(3, DataType::Float64),
+            BinaryOp::Lt,
+            BoundExpr::literal(Value::Float64(0.08)),
+        ),
+        cmp(
+            col(4, DataType::Utf8),
+            BinaryOp::NotEq,
+            BoundExpr::literal(Value::Utf8("R".into())),
+        ),
+    ];
+    g.bench_function("fused_filter/fused", |b| {
+        b.iter(|| {
+            lineitem
+                .iter()
+                .map(|batch| {
+                    pixels_exec::scan::apply_filters(&filters, batch.clone())
+                        .unwrap()
+                        .num_rows()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("fused_filter/per_filter", |b| {
+        b.iter(|| {
+            lineitem
+                .iter()
+                .map(|batch| {
+                    scalar::apply_filters(&filters, batch.clone())
+                        .unwrap()
+                        .num_rows()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_queries,
     bench_operators,
     bench_parallelism,
-    bench_tracing_overhead
+    bench_tracing_overhead,
+    bench_vector_kernels
 );
 criterion_main!(benches);

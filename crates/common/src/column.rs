@@ -229,6 +229,44 @@ impl Column {
         Column::with_validity(data, validity)
     }
 
+    /// Like [`Column::gather`], but a negative index produces a NULL row.
+    /// This is how outer joins null-extend the unmatched side without a
+    /// row-at-a-time builder: one gather per column, with `-1` standing in
+    /// for "no matching row".
+    pub fn gather_or_null(&self, indices: &[i64]) -> Result<Column> {
+        let n = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= 0 && i as usize >= n) {
+            return Err(Error::Invalid(format!(
+                "gather index {bad} out of bounds for column of length {n}"
+            )));
+        }
+        fn take<T: Clone + Default>(v: &[T], idx: &[i64]) -> Vec<T> {
+            idx.iter()
+                .map(|&i| {
+                    if i < 0 {
+                        T::default()
+                    } else {
+                        v[i as usize].clone()
+                    }
+                })
+                .collect()
+        }
+        let data = match &self.data {
+            ColumnData::Boolean(v) => ColumnData::Boolean(take(v, indices)),
+            ColumnData::Int32(v) => ColumnData::Int32(take(v, indices)),
+            ColumnData::Int64(v) => ColumnData::Int64(take(v, indices)),
+            ColumnData::Float64(v) => ColumnData::Float64(take(v, indices)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(take(v, indices)),
+            ColumnData::Date(v) => ColumnData::Date(take(v, indices)),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(take(v, indices)),
+        };
+        let validity: Vec<bool> = indices
+            .iter()
+            .map(|&i| i >= 0 && !self.is_null(i as usize))
+            .collect();
+        Column::with_validity(data, Some(validity))
+    }
+
     /// Rows `[offset, offset + len)` as a new column.
     pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
         if offset + len > self.len() {
@@ -242,13 +280,14 @@ impl Column {
         self.gather(&indices)
     }
 
-    /// Concatenate columns of the same type into one.
+    /// Concatenate columns of the same type into one. Payloads are extended
+    /// slice-wise into pre-reserved vectors rather than rebuilt value by
+    /// value.
     pub fn concat(columns: &[Column]) -> Result<Column> {
         let ty = columns
             .first()
             .ok_or_else(|| Error::Invalid("concat of zero columns".into()))?
             .data_type();
-        let mut b = ColumnBuilder::new(ty);
         for c in columns {
             if c.data_type() != ty {
                 return Err(Error::Invalid(format!(
@@ -257,11 +296,42 @@ impl Column {
                     c.data_type()
                 )));
             }
-            for i in 0..c.len() {
-                b.push(&c.value(i))?;
-            }
         }
-        Ok(b.finish())
+        let total: usize = columns.iter().map(|c| c.len()).sum();
+        macro_rules! splice {
+            ($variant:ident) => {{
+                let mut out = Vec::with_capacity(total);
+                for c in columns {
+                    match c.data() {
+                        ColumnData::$variant(v) => out.extend_from_slice(v),
+                        _ => unreachable!("types checked above"),
+                    }
+                }
+                ColumnData::$variant(out)
+            }};
+        }
+        let data = match ty {
+            DataType::Boolean => splice!(Boolean),
+            DataType::Int32 => splice!(Int32),
+            DataType::Int64 => splice!(Int64),
+            DataType::Float64 => splice!(Float64),
+            DataType::Utf8 => splice!(Utf8),
+            DataType::Date => splice!(Date),
+            DataType::Timestamp => splice!(Timestamp),
+        };
+        let validity = if columns.iter().any(|c| c.validity().is_some()) {
+            let mut v = Vec::with_capacity(total);
+            for c in columns {
+                match c.validity() {
+                    Some(bits) => v.extend_from_slice(bits),
+                    None => v.resize(v.len() + c.len(), true),
+                }
+            }
+            Some(v)
+        } else {
+            None
+        };
+        Column::with_validity(data, validity)
     }
 
     /// In-memory footprint estimate in bytes (payload only).
@@ -290,6 +360,28 @@ impl ColumnBuilder {
         ColumnBuilder {
             data: ColumnData::empty(ty),
             validity: Vec::new(),
+            has_null: false,
+        }
+    }
+
+    /// A builder with payload and validity capacity reserved for `cap`
+    /// rows, so hot loops with a known output size never reallocate.
+    pub fn with_capacity(ty: DataType, cap: usize) -> Self {
+        fn vec<T>(cap: usize) -> Vec<T> {
+            Vec::with_capacity(cap)
+        }
+        let data = match ty {
+            DataType::Boolean => ColumnData::Boolean(vec(cap)),
+            DataType::Int32 => ColumnData::Int32(vec(cap)),
+            DataType::Int64 => ColumnData::Int64(vec(cap)),
+            DataType::Float64 => ColumnData::Float64(vec(cap)),
+            DataType::Utf8 => ColumnData::Utf8(vec(cap)),
+            DataType::Date => ColumnData::Date(vec(cap)),
+            DataType::Timestamp => ColumnData::Timestamp(vec(cap)),
+        };
+        ColumnBuilder {
+            data,
+            validity: Vec::with_capacity(cap),
             has_null: false,
         }
     }
@@ -455,6 +547,53 @@ mod tests {
         assert_eq!(c.null_count(), 1);
         let s = Column::from_values(DataType::Utf8, &[Value::Utf8("x".into())]).unwrap();
         assert!(Column::concat(&[c, s]).is_err());
+    }
+
+    #[test]
+    fn gather_or_null_extends_with_nulls() {
+        let c = int_col(&[Some(10), None, Some(30)]);
+        let g = c.gather_or_null(&[-1, 2, 1, 0, -1]).unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::Int64(30));
+        assert_eq!(g.value(2), Value::Null, "source NULL stays NULL");
+        assert_eq!(g.value(3), Value::Int64(10));
+        assert_eq!(g.value(4), Value::Null);
+        assert!(c.gather_or_null(&[3]).is_err());
+        assert!(c.gather_or_null(&[-7]).is_ok(), "any negative means NULL");
+    }
+
+    #[test]
+    fn concat_matches_builder_semantics() {
+        // Mixed validity, strings, empties: slice-wise concat must agree
+        // with the row-at-a-time construction it replaced.
+        let a = Column::from_values(
+            DataType::Utf8,
+            &[Value::Utf8("x".into()), Value::Null, Value::Utf8("".into())],
+        )
+        .unwrap();
+        let b = Column::from_values(DataType::Utf8, &[]).unwrap();
+        let c = Column::from_values(DataType::Utf8, &[Value::Utf8("z".into())]).unwrap();
+        let joined = Column::concat(&[a.clone(), b, c]).unwrap();
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.value(1), Value::Null);
+        assert_eq!(joined.value(2), Value::Utf8(String::new()));
+        assert_eq!(joined.value(3), Value::Utf8("z".into()));
+        // All-valid inputs drop the validity vector entirely.
+        let v = int_col(&[Some(1)]);
+        let joined = Column::concat(&[v.clone(), v]).unwrap();
+        assert!(joined.validity().is_none());
+    }
+
+    #[test]
+    fn with_capacity_builder_roundtrips() {
+        let mut b = ColumnBuilder::with_capacity(DataType::Int32, 8);
+        b.push(&Value::Int32(3)).unwrap();
+        b.push_null();
+        let c = b.finish();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(0), Value::Int32(3));
+        assert!(c.is_null(1));
     }
 
     #[test]

@@ -9,16 +9,25 @@
 //! produces. Integer aggregates are bit-identical to serial execution;
 //! floating-point SUM/AVG may differ in the last ulps because partial sums
 //! reassociate the additions.
+//!
+//! Group keys are interned through the compact byte-row encoding in
+//! [`crate::keys`] (FNV-1a + memcmp) instead of a `HashMap<Vec<Value>, _>`;
+//! the `Vec<Value>` form of a key is materialized once per *group* (for
+//! output building), not once per input row.
 
-use crate::evaluate::evaluate;
+use crate::evaluate::{evaluate_ref, NumSlice};
+use crate::keys::{KeyEncoder, KeyTable};
 use crate::parallel;
-use pixels_common::{ColumnBuilder, DataType, Error, RecordBatch, Result, SchemaRef, Value};
-use pixels_planner::{AggExpr, AggFunc};
-use std::collections::{HashMap, HashSet};
+use pixels_common::{
+    Column, ColumnBuilder, ColumnData, DataType, Error, RecordBatch, Result, SchemaRef, Value,
+};
+use pixels_planner::{AggExpr, AggFunc, BoundExpr};
+use std::borrow::Cow;
+use std::collections::HashSet;
 
 /// Running state of one aggregate within one group.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     SumInt { sum: i64, seen: bool },
     SumFloat { sum: f64, seen: bool },
@@ -28,7 +37,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(agg: &AggExpr) -> AggState {
+    pub(crate) fn new(agg: &AggExpr) -> AggState {
         match agg.func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => {
@@ -51,7 +60,7 @@ impl AggState {
     }
 
     /// Fold one non-null input value into the state.
-    fn update(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn update(&mut self, v: &Value) -> Result<()> {
         match self {
             AggState::Count(c) => *c += 1,
             AggState::SumInt { sum, seen } => {
@@ -92,7 +101,7 @@ impl AggState {
     }
 
     /// Fold another partial state for the same group into this one.
-    fn merge(&mut self, other: &AggState) -> Result<()> {
+    pub(crate) fn merge(&mut self, other: &AggState) -> Result<()> {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::SumInt { sum, seen }, AggState::SumInt { sum: s, seen: b }) => {
@@ -134,7 +143,7 @@ impl AggState {
 
     /// Final value of the aggregate (SQL: SUM/AVG/MIN/MAX of no rows = NULL,
     /// COUNT of no rows = 0).
-    fn finish(&self) -> Value {
+    pub(crate) fn finish(&self) -> Value {
         match self {
             AggState::Count(c) => Value::Int64(*c),
             AggState::SumInt { sum, seen } => {
@@ -167,14 +176,14 @@ impl AggState {
 /// order matters when merging partials: replaying it keeps the update
 /// sequence identical to serial execution.
 #[derive(Debug, Default)]
-struct DistinctSet {
+pub(crate) struct DistinctSet {
     seen: HashSet<Value>,
-    order: Vec<Value>,
+    pub(crate) order: Vec<Value>,
 }
 
 impl DistinctSet {
     /// True (and records the value) if `v` has not been seen before.
-    fn insert(&mut self, v: &Value) -> bool {
+    pub(crate) fn insert(&mut self, v: &Value) -> bool {
         if self.seen.insert(v.clone()) {
             self.order.push(v.clone());
             true
@@ -186,13 +195,13 @@ impl DistinctSet {
 
 /// Per-group state: one accumulator per aggregate, plus distinct-value sets
 /// for DISTINCT aggregates.
-struct GroupState {
-    states: Vec<AggState>,
-    distinct: Vec<Option<DistinctSet>>,
+pub(crate) struct GroupState {
+    pub(crate) states: Vec<AggState>,
+    pub(crate) distinct: Vec<Option<DistinctSet>>,
 }
 
 impl GroupState {
-    fn new(aggs: &[AggExpr]) -> GroupState {
+    pub(crate) fn new(aggs: &[AggExpr]) -> GroupState {
         GroupState {
             states: aggs.iter().map(AggState::new).collect(),
             distinct: aggs
@@ -201,97 +210,256 @@ impl GroupState {
                 .collect(),
         }
     }
+
+    /// Fold row `row` of the (optional) aggregate argument columns into the
+    /// group. `None` columns are COUNT(*) — every row counts.
+    pub(crate) fn consume_row(&mut self, agg_cols: &[Option<Column>], row: usize) -> Result<()> {
+        for (ai, agg_col) in agg_cols.iter().enumerate() {
+            let value = match agg_col {
+                Some(col) => col.value(row),
+                None => Value::Int64(1),
+            };
+            if value.is_null() {
+                continue; // aggregates skip NULLs
+            }
+            if let Some(seen) = &mut self.distinct[ai] {
+                if !seen.insert(&value) {
+                    continue;
+                }
+            }
+            self.states[ai].update(&value)?;
+        }
+        Ok(())
+    }
 }
 
-/// One worker's aggregation state: group key → index, with keys and states
-/// in first-appearance order.
+/// One worker's aggregation state: interned group keys (dense, in
+/// first-appearance order) and the per-group accumulators. `keys[i]` is the
+/// materialized `Vec<Value>` form of `table` entry `i`, used only to build
+/// the final output columns.
 struct Partial {
-    index: HashMap<Vec<Value>, usize>,
+    table: KeyTable,
     keys: Vec<Vec<Value>>,
     states: Vec<GroupState>,
 }
 
-/// Aggregate `input` into a fresh hash table (the serial inner loop).
-fn build_partial(
-    input: &[&RecordBatch],
-    group_exprs: &[pixels_planner::BoundExpr],
-    aggs: &[AggExpr],
-) -> Result<Partial> {
-    let mut partial = Partial {
-        index: HashMap::new(),
-        keys: Vec::new(),
-        states: Vec::new(),
-    };
-    for &batch in input {
-        let group_cols: Vec<_> = group_exprs
-            .iter()
-            .map(|g| evaluate(g, batch))
-            .collect::<Result<_>>()?;
-        let agg_cols: Vec<Option<pixels_common::Column>> = aggs
-            .iter()
-            .map(|a| a.arg.as_ref().map(|arg| evaluate(arg, batch)).transpose())
-            .collect::<Result<_>>()?;
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = group_cols.iter().map(|c| c.value(row)).collect();
-            let gi = match partial.index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    let i = partial.states.len();
-                    partial.index.insert(key.clone(), i);
-                    partial.keys.push(key);
-                    partial.states.push(GroupState::new(aggs));
-                    i
+impl Partial {
+    fn new() -> Partial {
+        Partial {
+            table: KeyTable::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+}
+
+/// Integer view of a column's raw payload, for checked integer SUM.
+enum IntSlice<'a> {
+    I32(&'a [i32]),
+    I64(&'a [i64]),
+}
+
+impl IntSlice<'_> {
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            IntSlice::I32(v) => v[i] as i64,
+            IntSlice::I64(v) => v[i],
+        }
+    }
+}
+
+fn int_view(data: &ColumnData) -> Option<IntSlice<'_>> {
+    match data {
+        ColumnData::Int32(v) => Some(IntSlice::I32(v)),
+        ColumnData::Int64(v) => Some(IntSlice::I64(v)),
+        _ => None,
+    }
+}
+
+/// Fold one aggregate's argument column into the per-group states, walking
+/// rows in input order (so float accumulation order matches the row-at-a-time
+/// path exactly). Non-distinct COUNT/SUM/AVG over numeric columns read the
+/// raw slice instead of materializing a `Value` per row; DISTINCT, MIN/MAX,
+/// and uncovered argument types take the general path, which is
+/// [`GroupState::consume_row`] restricted to this aggregate.
+fn update_agg_column(
+    states: &mut [GroupState],
+    ai: usize,
+    agg: &AggExpr,
+    col: Option<&Column>,
+    gidx: &[u32],
+) -> Result<()> {
+    if !agg.distinct {
+        if let Some(col) = col {
+            let validity = col.validity();
+            let valid = |row: usize| validity.is_none_or(|v| v[row]);
+            match (&agg.func, NumSlice::of(col.data())) {
+                (AggFunc::Count, _) => {
+                    for (row, &g) in gidx.iter().enumerate() {
+                        if valid(row) {
+                            if let AggState::Count(c) = &mut states[g as usize].states[ai] {
+                                *c += 1;
+                            }
+                        }
+                    }
+                    return Ok(());
                 }
-            };
-            let state = &mut partial.states[gi];
-            for (ai, agg_col) in agg_cols.iter().enumerate() {
-                let value = match agg_col {
-                    Some(col) => col.value(row),
-                    // COUNT(*): every row counts, represented as a non-null
-                    // sentinel.
-                    None => Value::Int64(1),
-                };
-                if value.is_null() {
-                    continue; // aggregates skip NULLs
+                (AggFunc::Sum, Some(ns)) if agg.output_type == DataType::Float64 => {
+                    for (row, &g) in gidx.iter().enumerate() {
+                        if valid(row) {
+                            if let AggState::SumFloat { sum, seen } =
+                                &mut states[g as usize].states[ai]
+                            {
+                                *sum += ns.get(row);
+                                *seen = true;
+                            }
+                        }
+                    }
+                    return Ok(());
                 }
-                if let Some(seen) = &mut state.distinct[ai] {
-                    if !seen.insert(&value) {
-                        continue;
+                (AggFunc::Sum, _) if agg.output_type != DataType::Float64 => {
+                    if let Some(xs) = int_view(col.data()) {
+                        for (row, &g) in gidx.iter().enumerate() {
+                            if valid(row) {
+                                if let AggState::SumInt { sum, seen } =
+                                    &mut states[g as usize].states[ai]
+                                {
+                                    *sum = sum
+                                        .checked_add(xs.get(row))
+                                        .ok_or_else(|| Error::Exec("SUM overflow".into()))?;
+                                    *seen = true;
+                                }
+                            }
+                        }
+                        return Ok(());
                     }
                 }
-                state.states[ai].update(&value)?;
+                (AggFunc::Avg, Some(ns)) => {
+                    for (row, &g) in gidx.iter().enumerate() {
+                        if valid(row) {
+                            if let AggState::Avg { sum, count } = &mut states[g as usize].states[ai]
+                            {
+                                *sum += ns.get(row);
+                                *count += 1;
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                _ => {}
             }
+        } else {
+            // COUNT(*): no argument column, every row counts.
+            for &g in gidx {
+                match &mut states[g as usize].states[ai] {
+                    AggState::Count(c) => *c += 1,
+                    other => other.update(&Value::Int64(1))?,
+                }
+            }
+            return Ok(());
+        }
+    }
+    for (row, &g) in gidx.iter().enumerate() {
+        let value = match col {
+            Some(c) => c.value(row),
+            None => Value::Int64(1),
+        };
+        if value.is_null() {
+            continue; // aggregates skip NULLs
+        }
+        let st = &mut states[g as usize];
+        if let Some(seen) = &mut st.distinct[ai] {
+            if !seen.insert(&value) {
+                continue;
+            }
+        }
+        st.states[ai].update(&value)?;
+    }
+    Ok(())
+}
+
+/// Aggregate `input` into a fresh hash table (the serial inner loop): one
+/// pass interning group keys into per-row group indices, then one typed
+/// update pass per aggregate column.
+fn build_partial(
+    input: &[&RecordBatch],
+    group_exprs: &[BoundExpr],
+    aggs: &[AggExpr],
+) -> Result<Partial> {
+    let mut partial = Partial::new();
+    let encoder = KeyEncoder::new(
+        &group_exprs
+            .iter()
+            .map(|g| g.data_type())
+            .collect::<Vec<_>>(),
+    );
+    let mut buf = Vec::new();
+    let mut gidx: Vec<u32> = Vec::new();
+    for &batch in input {
+        let group_cols: Vec<Cow<Column>> = group_exprs
+            .iter()
+            .map(|g| evaluate_ref(g, batch))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<Option<Cow<Column>>> = aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|arg| evaluate_ref(arg, batch))
+                    .transpose()
+            })
+            .collect::<Result<_>>()?;
+        gidx.clear();
+        gidx.reserve(batch.num_rows());
+        for row in 0..batch.num_rows() {
+            // Group keys treat NULLs as equal, so the any-null flag from
+            // the encoder is irrelevant here (unlike joins).
+            encoder.encode_row(&group_cols, row, &mut buf);
+            let (gi, is_new) = partial.table.intern(&buf);
+            if is_new {
+                partial
+                    .keys
+                    .push(group_cols.iter().map(|c| c.value(row)).collect());
+                partial.states.push(GroupState::new(aggs));
+            }
+            gidx.push(gi as u32);
+        }
+        for (ai, agg) in aggs.iter().enumerate() {
+            update_agg_column(&mut partial.states, ai, agg, agg_cols[ai].as_deref(), &gidx)?;
         }
     }
     Ok(partial)
 }
 
 /// Fold `part` into `acc`. Called with partials in chunk order, so groups
-/// (and DISTINCT values) keep their global first-appearance order.
+/// (and DISTINCT values) keep their global first-appearance order. Keys are
+/// re-interned from the source partial's encoded bytes — never re-encoded.
 fn merge_partial(acc: &mut Partial, part: Partial) -> Result<()> {
-    for (key, gstate) in part.keys.into_iter().zip(part.states) {
-        match acc.index.get(&key) {
-            Some(&gi) => {
-                let target = &mut acc.states[gi];
-                for (ai, incoming) in gstate.states.iter().enumerate() {
-                    match (gstate.distinct[ai].as_ref(), &mut target.distinct[ai]) {
-                        (Some(ds), Some(tds)) => {
-                            // Replay the chunk's distinct values in order;
-                            // only globally-new values update the state.
-                            for v in &ds.order {
-                                if tds.insert(v) {
-                                    target.states[ai].update(v)?;
-                                }
-                            }
+    let Partial {
+        table,
+        keys,
+        states,
+    } = part;
+    for (src, (key, gstate)) in keys.into_iter().zip(states).enumerate() {
+        let (gi, is_new) = acc.table.intern(table.key_bytes(src));
+        if is_new {
+            acc.keys.push(key);
+            acc.states.push(gstate);
+            continue;
+        }
+        let target = &mut acc.states[gi];
+        for (ai, incoming) in gstate.states.iter().enumerate() {
+            match (gstate.distinct[ai].as_ref(), &mut target.distinct[ai]) {
+                (Some(ds), Some(tds)) => {
+                    // Replay the chunk's distinct values in order;
+                    // only globally-new values update the state.
+                    for v in &ds.order {
+                        if tds.insert(v) {
+                            target.states[ai].update(v)?;
                         }
-                        _ => target.states[ai].merge(incoming)?,
                     }
                 }
-            }
-            None => {
-                acc.index.insert(key.clone(), acc.states.len());
-                acc.keys.push(key);
-                acc.states.push(gstate);
+                _ => target.states[ai].merge(incoming)?,
             }
         }
     }
@@ -300,7 +468,7 @@ fn merge_partial(acc: &mut Partial, part: Partial) -> Result<()> {
 
 /// Split `input` into at most `parts` contiguous runs of whole batches,
 /// balanced by row count.
-fn partition_batches(input: &[RecordBatch], parts: usize) -> Vec<Vec<&RecordBatch>> {
+pub(crate) fn partition_batches(input: &[RecordBatch], parts: usize) -> Vec<Vec<&RecordBatch>> {
     let parts = parts.clamp(1, input.len().max(1));
     let total: usize = input.iter().map(|b| b.num_rows()).sum();
     let target = total.div_ceil(parts).max(1);
@@ -325,7 +493,7 @@ fn partition_batches(input: &[RecordBatch], parts: usize) -> Vec<Vec<&RecordBatc
 /// workers building partial aggregates.
 pub fn execute_aggregate(
     input: &[RecordBatch],
-    group_exprs: &[pixels_planner::BoundExpr],
+    group_exprs: &[BoundExpr],
     aggs: &[AggExpr],
     output_schema: &SchemaRef,
     parallelism: usize,
@@ -334,15 +502,8 @@ pub fn execute_aggregate(
     let partials = parallel::run_indexed(chunks.len(), parallelism, |i| {
         build_partial(&chunks[i], group_exprs, aggs)
     })?;
-    let mut acc = Partial {
-        index: HashMap::new(),
-        keys: Vec::new(),
-        states: Vec::new(),
-    };
     let mut partials = partials.into_iter();
-    if let Some(first) = partials.next() {
-        acc = first;
-    }
+    let mut acc = partials.next().unwrap_or_else(Partial::new);
     for part in partials {
         merge_partial(&mut acc, part)?;
     }
@@ -356,7 +517,7 @@ pub fn execute_aggregate(
     let mut builders: Vec<ColumnBuilder> = output_schema
         .fields()
         .iter()
-        .map(|f| ColumnBuilder::new(f.data_type))
+        .map(|f| ColumnBuilder::with_capacity(f.data_type, acc.keys.len()))
         .collect();
     for (key, state) in acc.keys.iter().zip(&acc.states) {
         for (b, v) in builders.iter_mut().zip(key.iter()) {
@@ -376,21 +537,41 @@ pub fn execute_aggregate(
     Ok(vec![RecordBatch::try_new(output_schema.clone(), columns)?])
 }
 
-/// Hash-based DISTINCT preserving first-appearance order.
+/// Hash-based DISTINCT preserving first-appearance order: whole rows are
+/// interned through the key encoding and the surviving (first-appearance)
+/// row indices are gathered columnar, in 8192-row output chunks.
 pub fn execute_distinct(input: &[RecordBatch]) -> Result<Vec<RecordBatch>> {
     let Some(first) = input.first() else {
         return Ok(Vec::new());
     };
     let schema = first.schema().clone();
-    let mut seen: HashSet<Vec<Value>> = HashSet::new();
-    let mut sink = crate::join::RowSink::new(schema, 8192);
-    for batch in input {
-        for row in 0..batch.num_rows() {
-            let r = batch.row(row);
-            if seen.insert(r.clone()) {
-                sink.push(r)?;
-            }
+    let types: Vec<DataType> = schema.fields().iter().map(|f| f.data_type).collect();
+    let encoder = KeyEncoder::new(&types);
+    let mut table = KeyTable::new();
+    let mut buf = Vec::new();
+
+    // Coalesce so kept-row indices are global and one gather per column
+    // materializes the output.
+    let all;
+    let source = match input {
+        [single] => single,
+        many => {
+            all = RecordBatch::concat(many)?;
+            &all
+        }
+    };
+    let mut kept: Vec<usize> = Vec::new();
+    for row in 0..source.num_rows() {
+        // DISTINCT treats NULLs as equal; the any-null flag is irrelevant.
+        encoder.encode_row(source.columns(), row, &mut buf);
+        let (_, is_new) = table.intern(&buf);
+        if is_new {
+            kept.push(row);
         }
     }
-    sink.finish()
+    let mut out = Vec::with_capacity(kept.len().div_ceil(8192));
+    for chunk in kept.chunks(8192) {
+        out.push(source.gather(chunk)?);
+    }
+    Ok(out)
 }

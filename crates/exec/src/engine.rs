@@ -2,7 +2,7 @@
 
 use crate::aggregate::{execute_aggregate, execute_distinct};
 use crate::context::ExecContext;
-use crate::evaluate::{evaluate, predicate_mask};
+use crate::evaluate::{evaluate, fused_filter_mask};
 use crate::join::{execute_join, RowSink};
 use crate::parallel;
 use crate::scan::{execute_scan, open_metered};
@@ -90,7 +90,7 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBat
             let batches = execute(input, ctx)?;
             let filtered = parallel::run_indexed(batches.len(), ctx.parallelism, |i| {
                 let b = &batches[i];
-                let mask = predicate_mask(predicate, b)?;
+                let mask = fused_filter_mask(std::slice::from_ref(predicate), b)?;
                 b.filter(&mask)
             })?;
             let mut out: Vec<RecordBatch> =

@@ -2,12 +2,26 @@
 //!
 //! Supports inner, left-outer, right-outer, and cross joins with optional
 //! residual (non-equi) predicates. SQL semantics: NULL keys never match.
+//!
+//! The equi-join path is vectorized: key columns are normalized into the
+//! compact byte-row encoding from [`crate::keys`] (hashed with FNV-1a,
+//! compared by memcmp — no per-row `Vec<Value>` allocation or SipHash), and
+//! output is late-materialized — the probe phase only records
+//! `(left_row, right_row)` match index vectors, and batches are assembled
+//! with one gather per column instead of per-row builder pushes. Row order
+//! is identical to the row-at-a-time implementation: probe rows in input
+//! order, each with its matches in build-insertion order, unmatched
+//! left-outer rows inline, unmatched right-outer rows as a tail.
 
-use crate::evaluate::{eval_row, evaluate};
-use pixels_common::{ColumnBuilder, RecordBatch, Result, SchemaRef, Value};
+use crate::evaluate::{eval_row, evaluate_ref, predicate_mask};
+use crate::keys::{KeyEncoder, KeyTable};
+use pixels_common::{Column, ColumnBuilder, DataType, RecordBatch, Result, SchemaRef, Value};
 use pixels_planner::BoundExpr;
 use pixels_sql::ast::JoinType;
-use std::collections::HashMap;
+use std::borrow::Cow;
+
+/// Sentinel for "end of duplicate chain" in the build table.
+const NONE: u32 = u32::MAX;
 
 /// Execute a hash join between materialized inputs.
 #[allow(clippy::too_many_arguments)]
@@ -33,59 +47,122 @@ pub fn execute_join(
         );
     }
 
-    // Build phase: hash the right input on its key values.
-    let mut build_rows: Vec<Vec<Value>> = Vec::new();
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for batch in right_batches {
-        let key_cols: Vec<_> = right_keys
+    // Coalesce each side once so match indices are global row numbers and
+    // output columns come from a single gather source.
+    let left_all = coalesce(left_batches)?;
+    let right_all = coalesce(right_batches)?;
+    let build_rows = right_all.as_ref().map_or(0, |b| b.num_rows());
+
+    // Build phase: intern the encoded right-side keys; duplicate rows for a
+    // key form a chain in build-insertion order (head/tail/next), which is
+    // the candidate order the row-at-a-time join produced.
+    let mut table = KeyTable::new();
+    let mut heads: Vec<u32> = Vec::new();
+    let mut tails: Vec<u32> = Vec::new();
+    let mut next = vec![NONE; build_rows];
+    let mut buf = Vec::new();
+    if let Some(rb) = right_all.as_deref() {
+        let key_cols: Vec<Cow<Column>> = right_keys
             .iter()
-            .map(|k| evaluate(k, batch))
+            .map(|k| evaluate_ref(k, rb))
             .collect::<Result<_>>()?;
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-            let idx = build_rows.len();
-            build_rows.push(batch.row(row));
-            if key.iter().any(Value::is_null) {
+        let enc = KeyEncoder::new(&key_types(right_keys));
+        for row in 0..rb.num_rows() {
+            if enc.encode_row(&key_cols, row, &mut buf) {
                 continue; // NULL keys never participate in matches
             }
-            table.entry(key).or_default().push(idx);
+            let (entry, is_new) = table.intern(&buf);
+            if is_new {
+                heads.push(row as u32);
+                tails.push(row as u32);
+            } else {
+                next[tails[entry] as usize] = row as u32;
+                tails[entry] = row as u32;
+            }
         }
     }
-    let mut build_matched = vec![false; build_rows.len()];
-    let right_w = output_schema.len() - left_width;
 
-    let mut sink = RowSink::new(output_schema.clone(), batch_size);
+    let mut build_matched = vec![false; build_rows];
+    // Late-materialized output: gather indices per side; -1 marks a
+    // null-extended slot (outer-join padding).
+    let mut fl: Vec<i64> = Vec::new();
+    let mut fr: Vec<i64> = Vec::new();
 
     // Probe phase.
-    for batch in left_batches {
-        let key_cols: Vec<_> = left_keys
+    if let Some(lb) = left_all.as_deref() {
+        let key_cols: Vec<Cow<Column>> = left_keys
             .iter()
-            .map(|k| evaluate(k, batch))
+            .map(|k| evaluate_ref(k, lb))
             .collect::<Result<_>>()?;
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-            let probe_row = batch.row(row);
-            let mut matched = false;
-            if !key.iter().any(Value::is_null) {
-                if let Some(candidates) = table.get(&key) {
-                    for &b in candidates {
-                        let mut combined = probe_row.clone();
-                        combined.extend(build_rows[b].iter().cloned());
-                        if let Some(res) = residual {
-                            if !matches!(eval_row(res, &combined)?, Value::Boolean(true)) {
-                                continue;
-                            }
+        let enc = KeyEncoder::new(&key_types(left_keys));
+        if let Some(res) = residual {
+            // With a residual, collect all key-matched candidate pairs
+            // first, evaluate the residual as one mask over an assembled
+            // candidate batch, then keep the surviving pairs.
+            let mut cand_l: Vec<i64> = Vec::new();
+            let mut cand_r: Vec<i64> = Vec::new();
+            let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(lb.num_rows());
+            for row in 0..lb.num_rows() {
+                let start = cand_l.len() as u32;
+                if !enc.encode_row(&key_cols, row, &mut buf) {
+                    if let Some(entry) = table.lookup(&buf) {
+                        let mut b = heads[entry];
+                        while b != NONE {
+                            cand_l.push(row as i64);
+                            cand_r.push(b as i64);
+                            b = next[b as usize];
                         }
-                        matched = true;
-                        build_matched[b] = true;
-                        sink.push(combined)?;
                     }
                 }
+                ranges.push((start, cand_l.len() as u32));
             }
-            if !matched && join_type == JoinType::Left {
-                let mut combined = probe_row;
-                combined.extend(std::iter::repeat_n(Value::Null, right_w));
-                sink.push(combined)?;
+            let keep = if cand_l.is_empty() {
+                Vec::new()
+            } else {
+                let cand = assemble(
+                    output_schema,
+                    left_width,
+                    left_all.as_deref(),
+                    &cand_l,
+                    right_all.as_deref(),
+                    &cand_r,
+                )?;
+                predicate_mask(res, &cand)?
+            };
+            for (row, &(start, end)) in ranges.iter().enumerate() {
+                let mut matched = false;
+                for ci in start as usize..end as usize {
+                    if keep[ci] {
+                        matched = true;
+                        build_matched[cand_r[ci] as usize] = true;
+                        fl.push(row as i64);
+                        fr.push(cand_r[ci]);
+                    }
+                }
+                if !matched && join_type == JoinType::Left {
+                    fl.push(row as i64);
+                    fr.push(-1);
+                }
+            }
+        } else {
+            for row in 0..lb.num_rows() {
+                let mut matched = false;
+                if !enc.encode_row(&key_cols, row, &mut buf) {
+                    if let Some(entry) = table.lookup(&buf) {
+                        let mut b = heads[entry];
+                        while b != NONE {
+                            matched = true;
+                            build_matched[b as usize] = true;
+                            fl.push(row as i64);
+                            fr.push(b as i64);
+                            b = next[b as usize];
+                        }
+                    }
+                }
+                if !matched && join_type == JoinType::Left {
+                    fl.push(row as i64);
+                    fr.push(-1);
+                }
             }
         }
     }
@@ -94,14 +171,89 @@ pub fn execute_join(
     if join_type == JoinType::Right {
         for (b, matched) in build_matched.iter().enumerate() {
             if !matched {
-                let mut combined: Vec<Value> =
-                    std::iter::repeat_n(Value::Null, left_width).collect();
-                combined.extend(build_rows[b].iter().cloned());
-                sink.push(combined)?;
+                fl.push(-1);
+                fr.push(b as i64);
             }
         }
     }
-    sink.finish()
+
+    // Materialize in batch_size chunks, one gather per column per chunk.
+    let mut out = Vec::with_capacity(fl.len().div_ceil(batch_size.max(1)));
+    let chunk = batch_size.max(1);
+    for (cl, cr) in fl.chunks(chunk).zip(fr.chunks(chunk)) {
+        out.push(assemble(
+            output_schema,
+            left_width,
+            left_all.as_deref(),
+            cl,
+            right_all.as_deref(),
+            cr,
+        )?);
+    }
+    Ok(out)
+}
+
+fn key_types(keys: &[BoundExpr]) -> Vec<DataType> {
+    keys.iter().map(|k| k.data_type()).collect()
+}
+
+/// Concatenate a side's batches into one gather source. `None` when the
+/// side has no batches at all; a borrowed single batch avoids the copy in
+/// the common one-batch case.
+fn coalesce(batches: &[RecordBatch]) -> Result<Option<Cow<'_, RecordBatch>>> {
+    match batches {
+        [] => Ok(None),
+        [single] => Ok(Some(Cow::Borrowed(single))),
+        many => Ok(Some(Cow::Owned(RecordBatch::concat(many)?))),
+    }
+}
+
+/// Build an output batch by gathering `li`/`ri` (−1 ⇒ NULL) from the two
+/// sides. Gathered columns are width-adapted to the output field types the
+/// same way the row-at-a-time sink's `ColumnBuilder::push` widened values.
+fn assemble(
+    output_schema: &SchemaRef,
+    left_width: usize,
+    left: Option<&RecordBatch>,
+    li: &[i64],
+    right: Option<&RecordBatch>,
+    ri: &[i64],
+) -> Result<RecordBatch> {
+    let mut columns = Vec::with_capacity(output_schema.len());
+    for (c, field) in output_schema.fields().iter().enumerate() {
+        let (side, indices, idx) = if c < left_width {
+            (left, li, c)
+        } else {
+            (right, ri, c - left_width)
+        };
+        let col = match side {
+            Some(b) => b.column(idx).gather_or_null(indices)?,
+            // A side with no batches can only be referenced by -1 slots.
+            None => Column::nulls(field.data_type, indices.len()),
+        };
+        columns.push(adapt_to(col, field.data_type)?);
+    }
+    RecordBatch::try_new(output_schema.clone(), columns)
+}
+
+/// Widen a gathered column to the declared output type when the source
+/// column was narrower (e.g. Int32 input under an Int64 output field) —
+/// mirroring the implicit widening `ColumnBuilder::push` performed in the
+/// row-at-a-time path. No-op in the common equal-type case.
+fn adapt_to(col: Column, ty: DataType) -> Result<Column> {
+    if col.data_type() == ty {
+        return Ok(col);
+    }
+    let mut b = ColumnBuilder::with_capacity(ty, col.len());
+    for i in 0..col.len() {
+        let v = col.value(i);
+        if v.is_null() {
+            b.push_null();
+        } else {
+            b.push(&v)?;
+        }
+    }
+    Ok(b.finish())
 }
 
 fn cross_join(
@@ -138,7 +290,8 @@ fn cross_join(
     sink.finish()
 }
 
-/// Accumulates rows into fixed-size record batches.
+/// Accumulates rows into fixed-size record batches (used by the cross-join
+/// and `VALUES` paths, and by the scalar reference operators).
 pub struct RowSink {
     schema: SchemaRef,
     builders: Vec<ColumnBuilder>,
@@ -149,18 +302,26 @@ pub struct RowSink {
 
 impl RowSink {
     pub fn new(schema: SchemaRef, batch_size: usize) -> Self {
-        let builders = schema
-            .fields()
-            .iter()
-            .map(|f| ColumnBuilder::new(f.data_type))
-            .collect();
+        let batch_size = batch_size.max(1);
+        let builders = Self::fresh_builders(&schema, batch_size);
         RowSink {
             schema,
             builders,
-            batch_size: batch_size.max(1),
+            batch_size,
             rows_in_batch: 0,
             batches: Vec::new(),
         }
+    }
+
+    /// Builders pre-reserved for a full batch (capped so tiny `VALUES`
+    /// results don't allocate 8k slots per column).
+    fn fresh_builders(schema: &SchemaRef, batch_size: usize) -> Vec<ColumnBuilder> {
+        let cap = batch_size.min(1024);
+        schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.data_type, cap))
+            .collect()
     }
 
     pub fn push(&mut self, row: Vec<Value>) -> Result<()> {
@@ -181,11 +342,7 @@ impl RowSink {
         }
         let builders = std::mem::replace(
             &mut self.builders,
-            self.schema
-                .fields()
-                .iter()
-                .map(|f| ColumnBuilder::new(f.data_type))
-                .collect(),
+            Self::fresh_builders(&self.schema, self.batch_size),
         );
         let columns = builders.into_iter().map(|b| b.finish()).collect();
         self.batches

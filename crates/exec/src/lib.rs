@@ -17,13 +17,15 @@ pub mod context;
 pub mod engine;
 pub mod evaluate;
 pub mod join;
+pub mod keys;
 pub mod parallel;
+pub mod scalar;
 pub mod scan;
 pub mod sort;
 
 pub use context::{default_parallelism, ExecContext, ExecMetrics, ExecMetricsSnapshot};
 pub use engine::{execute, execute_collect, operator_name};
-pub use evaluate::{evaluate, predicate_mask};
+pub use evaluate::{evaluate, fused_filter_mask, predicate_mask};
 
 use pixels_common::{RecordBatch, Result, SchemaRef};
 use pixels_storage::{ObjectStore, PixelsWriter};

@@ -2,7 +2,7 @@
 //! filtering, and morsel-driven parallelism.
 
 use crate::context::ExecContext;
-use crate::evaluate::predicate_mask;
+use crate::evaluate::fused_filter_mask;
 use crate::parallel;
 use pixels_common::{RecordBatch, Result, SchemaRef};
 use pixels_planner::BoundExpr;
@@ -53,6 +53,32 @@ pub fn execute_scan(
     output_schema: &SchemaRef,
     out: &mut Vec<RecordBatch>,
 ) -> Result<()> {
+    execute_scan_with(
+        ctx,
+        paths,
+        projection,
+        zone_predicates,
+        filters,
+        output_schema,
+        out,
+        apply_filters,
+    )
+}
+
+/// Scan with an explicit residual-filter implementation, so the retained
+/// scalar reference path (`scalar::execute`) shares the exact same morsel
+/// fan-out and byte metering while filtering row-at-a-time.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_scan_with(
+    ctx: &ExecContext,
+    paths: &[String],
+    projection: &[usize],
+    zone_predicates: &[ColumnPredicate],
+    filters: &[BoundExpr],
+    output_schema: &SchemaRef,
+    out: &mut Vec<RecordBatch>,
+    apply: fn(&[BoundExpr], RecordBatch) -> Result<RecordBatch>,
+) -> Result<()> {
     // Open and prune every file up front; morsels index into `readers`.
     let mut readers = Vec::with_capacity(paths.len());
     let mut morsels: Vec<(usize, usize)> = Vec::new();
@@ -75,7 +101,7 @@ pub fn execute_scan(
         let mut span = ctx.trace.span("morsel");
         let batch = reader.read_row_group(rg, Some(projection))?;
         let rows = batch.num_rows() as u64;
-        let batch = apply_filters(filters, batch)?;
+        let batch = apply(filters, batch)?;
         let bytes = reader.row_group_bytes(rg, Some(projection));
         if span.enabled() {
             span.record_u64("row_group", rg as u64);
@@ -96,15 +122,13 @@ pub fn execute_scan(
     Ok(())
 }
 
-/// Apply residual row-level filters (a conjunction) to one batch.
+/// Apply residual row-level filters (a conjunction) to one batch: one fused
+/// selection mask over the original batch, one `filter` materialization —
+/// no intermediate filtered batches between conjuncts.
 pub fn apply_filters(filters: &[BoundExpr], batch: RecordBatch) -> Result<RecordBatch> {
-    let mut batch = batch;
-    for f in filters {
-        if batch.num_rows() == 0 {
-            break;
-        }
-        let mask = predicate_mask(f, &batch)?;
-        batch = batch.filter(&mask)?;
+    if filters.is_empty() || batch.num_rows() == 0 {
+        return Ok(batch);
     }
-    Ok(batch)
+    let mask = fused_filter_mask(filters, &batch)?;
+    batch.filter(&mask)
 }

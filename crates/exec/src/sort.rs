@@ -1,18 +1,77 @@
 //! Sorting and top-k selection.
+//!
+//! Both operators are late-materialized: sort keys are evaluated once into
+//! columns, a *permutation* of row indices is sorted (or heap-selected)
+//! against typed column views, and output batches are assembled with one
+//! gather per column — no per-row `Vec<Value>` key tuples or builder
+//! pushes. The comparator reproduces `Value::total_cmp` exactly: NULLs
+//! first (then direction reversal), numerics — including Int64 — widened
+//! through `f64::total_cmp`, everything else by its natural ordering.
 
-use crate::evaluate::evaluate;
-use crate::join::RowSink;
-use pixels_common::{RecordBatch, Result, Value};
+use crate::evaluate::{evaluate_ref, NumSlice};
+use pixels_common::{Column, ColumnData, RecordBatch, Result};
 use pixels_planner::BoundExpr;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Compare two key tuples under the given ascending flags. NULLs order
-/// first ascending (so last descending), matching `Value::total_cmp`.
-fn compare_keys(a: &[Value], b: &[Value], dirs: &[bool]) -> Ordering {
-    for ((x, y), &asc) in a.iter().zip(b).zip(dirs) {
-        let ord = x.total_cmp(y);
-        let ord = if asc { ord } else { ord.reverse() };
+/// Typed view of one evaluated sort-key column plus its direction.
+struct SortKey<'a> {
+    col: &'a Column,
+    asc: bool,
+    view: View<'a>,
+}
+
+enum View<'a> {
+    Num(NumSlice<'a>),
+    Bool(&'a [bool]),
+    Str(&'a [String]),
+    Date(&'a [i32]),
+    Ts(&'a [i64]),
+}
+
+impl<'a> SortKey<'a> {
+    fn new(col: &'a Column, asc: bool) -> SortKey<'a> {
+        let view = match col.data() {
+            ColumnData::Boolean(v) => View::Bool(v),
+            ColumnData::Utf8(v) => View::Str(v),
+            ColumnData::Date(v) => View::Date(v),
+            ColumnData::Timestamp(v) => View::Ts(v),
+            data => View::Num(NumSlice::of(data).expect("numeric column data")),
+        };
+        SortKey { col, asc, view }
+    }
+
+    /// `Value::total_cmp` of rows `a` and `b` of this key column, with the
+    /// direction reversal applied *after* NULL ordering — exactly how the
+    /// row-at-a-time comparator behaved (NULLs first ascending, last
+    /// descending).
+    fn compare(&self, a: usize, b: usize) -> Ordering {
+        let ord = match (self.col.is_null(a), self.col.is_null(b)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => match &self.view {
+                // Int64 deliberately goes through f64 like sql_cmp does
+                // (identical ordering quirks past 2^53).
+                View::Num(ns) => ns.get(a).total_cmp(&ns.get(b)),
+                View::Bool(v) => v[a].cmp(&v[b]),
+                View::Str(v) => v[a].cmp(&v[b]),
+                View::Date(v) => v[a].cmp(&v[b]),
+                View::Ts(v) => v[a].cmp(&v[b]),
+            },
+        };
+        if self.asc {
+            ord
+        } else {
+            ord.reverse()
+        }
+    }
+}
+
+fn compare_rows(keys: &[SortKey<'_>], a: usize, b: usize) -> Ordering {
+    for k in keys {
+        let ord = k.compare(a, b);
         if ord != Ordering::Equal {
             return ord;
         }
@@ -20,53 +79,57 @@ fn compare_keys(a: &[Value], b: &[Value], dirs: &[bool]) -> Ordering {
     Ordering::Equal
 }
 
-fn materialize_keys(
-    batches: &[RecordBatch],
-    keys: &[(BoundExpr, bool)],
-) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
-    let mut rows = Vec::new();
-    for batch in batches {
-        let key_cols: Vec<_> = keys
-            .iter()
-            .map(|(k, _)| evaluate(k, batch))
-            .collect::<Result<_>>()?;
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-            rows.push((key, batch.row(row)));
-        }
-    }
-    Ok(rows)
+/// Coalesce the input into one gather source (borrowing the common
+/// single-batch case).
+fn coalesce(input: &[RecordBatch]) -> Result<std::borrow::Cow<'_, RecordBatch>> {
+    Ok(match input {
+        [single] => std::borrow::Cow::Borrowed(single),
+        many => std::borrow::Cow::Owned(RecordBatch::concat(many)?),
+    })
 }
 
-/// Full sort of materialized input.
+/// Emit `rows` of `source` in `batch_size` chunks, one gather per column.
+fn gather_chunks(
+    source: &RecordBatch,
+    rows: &[usize],
+    batch_size: usize,
+) -> Result<Vec<RecordBatch>> {
+    let chunk = batch_size.max(1);
+    let mut out = Vec::with_capacity(rows.len().div_ceil(chunk));
+    for c in rows.chunks(chunk) {
+        out.push(source.gather(c)?);
+    }
+    Ok(out)
+}
+
+/// Full sort of materialized input: stable permutation sort over the
+/// evaluated key columns, then a columnar gather of the permutation.
 pub fn execute_sort(
     input: &[RecordBatch],
     keys: &[(BoundExpr, bool)],
     batch_size: usize,
 ) -> Result<Vec<RecordBatch>> {
-    let Some(first) = input.first() else {
+    if input.is_empty() {
         return Ok(Vec::new());
-    };
-    let dirs: Vec<bool> = keys.iter().map(|&(_, asc)| asc).collect();
-    let mut rows = materialize_keys(input, keys)?;
-    rows.sort_by(|a, b| compare_keys(&a.0, &b.0, &dirs));
-    let mut sink = RowSink::new(first.schema().clone(), batch_size);
-    for (_, row) in rows {
-        sink.push(row)?;
     }
-    sink.finish()
-}
-
-/// Heap entry for top-k: ordered so the heap root is the *worst* retained
-/// row, which gets evicted when a better row arrives.
-struct HeapRow {
-    key: Vec<Value>,
-    row: Vec<Value>,
-    seq: usize,
+    let source = coalesce(input)?;
+    let key_cols: Vec<Cow<Column>> = keys
+        .iter()
+        .map(|(k, _)| evaluate_ref(k, &source))
+        .collect::<Result<_>>()?;
+    let sort_keys: Vec<SortKey> = key_cols
+        .iter()
+        .zip(keys)
+        .map(|(c, &(_, asc))| SortKey::new(c, asc))
+        .collect();
+    let mut perm: Vec<usize> = (0..source.num_rows()).collect();
+    perm.sort_by(|&a, &b| compare_rows(&sort_keys, a, b));
+    gather_chunks(&source, &perm, batch_size)
 }
 
 /// Top-k selection: the first `fetch` rows of the sorted order, without
-/// sorting the full input. Uses a bounded max-heap.
+/// sorting the full input. Uses a bounded max-heap of row indices; ties
+/// break by row position to keep the selection stable.
 pub fn execute_topk(
     input: &[RecordBatch],
     keys: &[(BoundExpr, bool)],
@@ -79,63 +142,52 @@ pub fn execute_topk(
     if fetch == 0 {
         return Ok(vec![RecordBatch::empty(first.schema().clone())]);
     }
-    let dirs: Vec<bool> = keys.iter().map(|&(_, asc)| asc).collect();
+    let source = coalesce(input)?;
+    let key_cols: Vec<Cow<Column>> = keys
+        .iter()
+        .map(|(k, _)| evaluate_ref(k, &source))
+        .collect::<Result<_>>()?;
+    let sort_keys: Vec<SortKey> = key_cols
+        .iter()
+        .zip(keys)
+        .map(|(c, &(_, asc))| SortKey::new(c, asc))
+        .collect();
 
-    // Wrap rows so BinaryHeap's max == worst row in the retained set; ties
-    // break by arrival order to keep the sort stable.
-    let mut heap: BinaryHeap<Wrapped> = BinaryHeap::with_capacity(fetch + 1);
-    struct Wrapped {
-        item: HeapRow,
-        dirs: std::rc::Rc<Vec<bool>>,
+    // Wrap row indices so BinaryHeap's max == worst retained row.
+    struct Entry<'k, 'c> {
+        row: usize,
+        keys: &'k [SortKey<'c>],
     }
-    impl PartialEq for Wrapped {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Wrapped {}
-    impl Ord for Wrapped {
+    impl Ord for Entry<'_, '_> {
         fn cmp(&self, other: &Self) -> Ordering {
-            compare_keys(&self.item.key, &other.item.key, &self.dirs)
-                .then(self.item.seq.cmp(&other.item.seq))
+            compare_rows(self.keys, self.row, other.row).then(self.row.cmp(&other.row))
         }
     }
-    impl PartialOrd for Wrapped {
+    impl PartialOrd for Entry<'_, '_> {
         fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
             Some(self.cmp(other))
         }
     }
-
-    let dirs = std::rc::Rc::new(dirs);
-    let mut seq = 0usize;
-    for batch in input {
-        let key_cols: Vec<_> = keys
-            .iter()
-            .map(|(k, _)| evaluate(k, batch))
-            .collect::<Result<_>>()?;
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-            heap.push(Wrapped {
-                item: HeapRow {
-                    key,
-                    row: batch.row(row),
-                    seq,
-                },
-                dirs: dirs.clone(),
-            });
-            seq += 1;
-            if heap.len() > fetch {
-                heap.pop(); // evict the worst retained row
-            }
+    impl PartialEq for Entry<'_, '_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
         }
     }
-    let mut rows: Vec<HeapRow> = heap.into_iter().map(|w| w.item).collect();
-    rows.sort_by(|a, b| compare_keys(&a.key, &b.key, &dirs).then(a.seq.cmp(&b.seq)));
-    let mut sink = RowSink::new(first.schema().clone(), batch_size);
-    for r in rows {
-        sink.push(r.row)?;
+    impl Eq for Entry<'_, '_> {}
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(fetch + 1);
+    for row in 0..source.num_rows() {
+        heap.push(Entry {
+            row,
+            keys: &sort_keys,
+        });
+        if heap.len() > fetch {
+            heap.pop(); // evict the worst retained row
+        }
     }
-    sink.finish()
+    let mut rows: Vec<usize> = heap.into_iter().map(|e| e.row).collect();
+    rows.sort_by(|&a, &b| compare_rows(&sort_keys, a, b).then(a.cmp(&b)));
+    gather_chunks(&source, &rows, batch_size)
 }
 
 /// LIMIT/OFFSET over materialized batches.
