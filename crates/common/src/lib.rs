@@ -13,6 +13,7 @@ pub mod column;
 pub mod error;
 pub mod ids;
 pub mod json;
+pub mod prices;
 pub mod schema;
 pub mod value;
 

@@ -1,0 +1,57 @@
+//! Single source of truth for service-level prices and resource unit costs.
+//!
+//! The paper sells three service levels at $5 / $1 / $0.5 per TB scanned and
+//! provisions CF (cloud-function) capacity at 9-24x the VM unit price. Those
+//! numbers used to be duplicated across `pixels-server` (pricing, service
+//! levels) and `pixels-turbo` (resource billing); every crate now reads them
+//! from here.
+
+/// User-facing price of the Immediate service level, dollars per TB scanned.
+pub const IMMEDIATE_PER_TB: f64 = 5.0;
+
+/// Relaxed is sold at 20% of Immediate ($1/TB).
+pub const RELAXED_PRICE_FRACTION: f64 = 0.2;
+
+/// Best-of-effort is sold at 10% of Immediate ($0.50/TB).
+pub const BESTEFFORT_PRICE_FRACTION: f64 = 0.1;
+
+/// Provider cost of one VM core-hour, dollars (on-demand m-class list price).
+pub const VM_CORE_HOUR_DOLLARS: f64 = 0.0425;
+
+/// Provider cost of one GB-second of cloud-function memory, dollars.
+pub const CF_GB_SECOND_DOLLARS: f64 = 0.000_016_667;
+
+/// GB of function memory provisioned per vCPU-equivalent of CF compute.
+pub const CF_GB_PER_CORE: f64 = 1.769;
+
+/// Flat per-invocation charge for one cloud function, dollars.
+pub const CF_INVOCATION_DOLLARS: f64 = 0.000_000_2;
+
+/// Fraction of a dedicated core's throughput one CF vCPU-equivalent delivers.
+pub const CF_EFFICIENCY: f64 = 0.5;
+
+/// The paper's observed band for the effective CF : VM unit-price ratio.
+pub const CF_VM_RATIO_MIN: f64 = 9.0;
+/// Upper end of the effective CF : VM unit-price band.
+pub const CF_VM_RATIO_MAX: f64 = 24.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_prices_match_the_paper() {
+        assert_eq!(IMMEDIATE_PER_TB, 5.0);
+        let relaxed = IMMEDIATE_PER_TB * RELAXED_PRICE_FRACTION;
+        let besteffort = IMMEDIATE_PER_TB * BESTEFFORT_PRICE_FRACTION;
+        assert!((relaxed - 1.0).abs() < 1e-12);
+        assert!((besteffort - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn ratio_band_is_ordered() {
+        assert!(CF_VM_RATIO_MIN < CF_VM_RATIO_MAX);
+        assert!(CF_VM_RATIO_MIN > 1.0);
+    }
+}

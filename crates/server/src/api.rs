@@ -4,13 +4,15 @@
 //! limit (the submission form of Figure 3), polls statuses (pending /
 //! running / finished / failed), and fetches results plus execution
 //! statistics (pending time, execution time, monetary cost). Each query
-//! runs on its own thread against the [`TurboEngine`]; service-level
-//! semantics mirror the simulator: immediate enables CF acceleration,
-//! relaxed waits for a VM slot (bounded by the grace period in spirit —
-//! the engine queue is FIFO), best-of-effort only starts when the engine
-//! is idle.
+//! runs on its own thread against the [`TurboEngine`]. Service-level
+//! semantics come from the same [`SchedulerPolicy`] the simulator runs:
+//! immediate dispatches now with CF acceleration, relaxed waits for
+//! headroom no longer than the *actual* grace period (at expiry the engine
+//! force-starts it unslotted), best-of-effort waits for an idle engine
+//! bounded by the starvation limit.
 
 use crate::pricing::PriceSchedule;
+use crate::scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
 use crate::service_level::ServiceLevel;
 use parking_lot::Mutex;
 use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
@@ -136,6 +138,10 @@ impl QueryInfo {
 pub struct QueryServer {
     engine: Arc<TurboEngine>,
     prices: PriceSchedule,
+    /// Admission policy shared with the simulator.
+    policy: SchedulerPolicy,
+    /// How often queued query threads re-poll the load signal.
+    poll: Duration,
     state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
     next_id: AtomicU64,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -150,11 +156,19 @@ impl QueryServer {
         QueryServer {
             engine,
             prices,
+            policy: SchedulerPolicy::default(),
+            poll: Duration::from_millis(5),
             state: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(0),
             handles: Mutex::new(Vec::new()),
             absorbed_storage: Mutex::new(StoreMetricsSnapshot::default()),
         }
+    }
+
+    /// Replace the admission policy (grace period, best-of-effort bound).
+    pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     pub fn engine(&self) -> &Arc<TurboEngine> {
@@ -245,8 +259,10 @@ impl QueryServer {
         let engine = self.engine.clone();
         let state = self.state.clone();
         let prices = self.prices;
+        let policy = self.policy;
+        let poll = self.poll;
         let handle = std::thread::spawn(move || {
-            run_query_thread(engine, state, prices, id, submission);
+            run_query_thread(engine, state, prices, policy, poll, id, submission);
         });
         let mut handles = self.handles.lock();
         // Reap finished query threads so a long-running server doesn't
@@ -302,6 +318,8 @@ fn run_query_thread(
     engine: Arc<TurboEngine>,
     state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
     prices: PriceSchedule,
+    policy: SchedulerPolicy,
+    poll: Duration,
     id: QueryId,
     submission: QuerySubmission,
 ) {
@@ -314,16 +332,41 @@ fn run_query_thread(
     query_span.record_str("level", submission.level.name());
 
     let queued = std::time::Instant::now();
+    // Admission runs the same policy as the simulator; this thread supplies
+    // the live load signal and wall clock (micros since submission) and
+    // executes the verdicts.
+    let load = |engine: &TurboEngine| LoadSignal {
+        overloaded: engine.is_busy(),
+        nearly_idle: !engine.is_busy(),
+    };
+    let mut forced = false;
     {
         let wait_span = query_span.ctx().span("scheduler_wait");
-        // Best-of-effort: hold in the server until the engine is idle.
-        if submission.level == ServiceLevel::BestEffort {
-            while engine.is_busy() {
-                std::thread::sleep(Duration::from_millis(5));
+        if let Admission::Queue { deadline_us } = policy.admit(submission.level, load(&engine), 0) {
+            loop {
+                let now_us = queued.elapsed().as_micros() as u64;
+                match policy.recheck(submission.level, load(&engine), now_us, deadline_us) {
+                    QueueVerdict::Dispatch { forced: f } => {
+                        forced = f;
+                        break;
+                    }
+                    QueueVerdict::Wait => std::thread::sleep(poll),
+                }
             }
         }
         drop(wait_span);
     }
+    // The pending-time bound covers the engine's slot queue too: relaxed
+    // queries may wait for a VM slot only until their grace period expires
+    // (forced queries exhausted theirs already), then force-start unslotted.
+    let slot_wait_limit = if forced {
+        Some(Duration::ZERO)
+    } else if submission.level == ServiceLevel::Relaxed {
+        let grace = Duration::from_micros(policy.grace.as_micros());
+        Some(grace.saturating_sub(queued.elapsed()))
+    } else {
+        None
+    };
     registry
         .gauge_with(
             "pixels_scheduler_queue_depth",
@@ -338,11 +381,12 @@ fn run_query_thread(
             info.pending = queued.elapsed();
         }
     }
-    let outcome = engine.execute_sql_traced(
+    let outcome = engine.execute_sql_scheduled(
         &submission.database,
         &submission.sql,
         submission.level.cf_enabled(),
         query_span.ctx(),
+        slot_wait_limit,
     );
     drop(query_span);
     let profile = trace.to_json();
@@ -733,6 +777,79 @@ mod tests {
         assert!(value_of("pixels_faults_injected_total{site=\"storage_get\"}") > 0.0);
         assert!(value_of("pixels_retries_total{site=\"storage_get\"}") > 0.0);
         assert!(value_of("pixels_storage_gets_failed_total") > 0.0);
+    }
+
+    #[test]
+    fn relaxed_grace_expiry_force_starts_on_the_live_engine() {
+        use crate::scheduler::SchedulerPolicy;
+        use pixels_sim::SimDuration;
+
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 3,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        let registry = MetricsRegistry::shared();
+        let engine = Arc::new(
+            TurboEngine::new(
+                catalog,
+                store,
+                EngineConfig {
+                    vm_slots: 1,
+                    cf_fleet_threads: 2,
+                    ..EngineConfig::default()
+                },
+            )
+            .with_registry(registry.clone()),
+        );
+        let s = QueryServer::new(engine.clone(), PriceSchedule::default()).with_scheduler(
+            SchedulerPolicy {
+                grace: SimDuration::from_millis(10),
+                ..Default::default()
+            },
+        );
+
+        // Saturate the only VM slot, then submit a relaxed query whose tiny
+        // grace period expires while the blocker still holds it: the
+        // scheduler must force-start it unslotted rather than let it drift
+        // in the FIFO queue.
+        let blocker = {
+            let e = engine.clone();
+            std::thread::spawn(move || {
+                e.execute_sql(
+                    "tpch",
+                    "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                    false,
+                )
+                .unwrap()
+            })
+        };
+        while !engine.is_busy() {
+            std::thread::yield_now();
+        }
+        let id = s.submit(submission(
+            "SELECT COUNT(*) AS n FROM region",
+            ServiceLevel::Relaxed,
+        ));
+        let info = s.wait(id).unwrap();
+        blocker.join().unwrap();
+        assert_eq!(info.status, QueryStatus::Finished, "{:?}", info.error);
+        assert!(
+            registry
+                .counter("pixels_turbo_forced_starts_total", "")
+                .get()
+                >= 1,
+            "grace expiry must force-start the query unslotted"
+        );
     }
 
     #[test]

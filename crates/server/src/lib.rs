@@ -19,6 +19,7 @@ pub mod api;
 pub mod auth;
 pub mod http;
 pub mod pricing;
+pub mod scheduler;
 pub mod service_level;
 pub mod sim;
 
@@ -26,5 +27,6 @@ pub use api::{QueryInfo, QueryServer, QueryStatus, QuerySubmission};
 pub use auth::{AuthService, SessionToken};
 pub use http::{HttpServer, TranslateBackend};
 pub use pricing::PriceSchedule;
+pub use scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
 pub use service_level::ServiceLevel;
 pub use sim::{QueryRecord, ServerConfig, ServerSim, SimReport, Submission};

@@ -5,6 +5,7 @@
 
 use crate::service_level::ServiceLevel;
 use pixels_common::bytesize::as_terabytes;
+use pixels_common::prices;
 
 /// The $/TB-scan price schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,7 +17,7 @@ pub struct PriceSchedule {
 impl Default for PriceSchedule {
     fn default() -> Self {
         PriceSchedule {
-            immediate_per_tb: 5.0,
+            immediate_per_tb: prices::IMMEDIATE_PER_TB,
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Service-level admission policy shared by the live [`crate::QueryServer`]
+//! and the simulated [`crate::ServerSim`] (paper §3.2).
+//!
+//! One clock-free state machine decides, for every submission, whether a
+//! query starts now or queues with a deadline — Immediate dispatches
+//! unconditionally, Relaxed waits for headroom but no longer than the grace
+//! period, best-of-effort waits for a nearly-idle cluster bounded by a
+//! starvation limit. Both drivers feed it their own notion of time (wall
+//! micros vs. [`pixels_sim::SimTime`]) and load, and *execute* its verdicts
+//! themselves, so sim and real schedule identically by construction.
+
+use crate::service_level::ServiceLevel;
+use pixels_sim::SimDuration;
+
+/// Scheduler knobs, in virtual microseconds so both drivers share them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerPolicy {
+    /// Relaxed grace period (paper example: 5 minutes): the hard bound on
+    /// *server-side* pending time. At expiry the query force-starts even on
+    /// an overloaded cluster.
+    pub grace: SimDuration,
+    /// Starvation bound for best-of-effort: "unbounded" in the paper's
+    /// table, but a production scheduler still force-starts eventually so a
+    /// never-idle cluster cannot hold a paid query forever.
+    pub besteffort_max_wait: SimDuration,
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        SchedulerPolicy {
+            grace: SimDuration::from_secs(300),
+            besteffort_max_wait: SimDuration::from_secs(3600),
+        }
+    }
+}
+
+/// The driver's snapshot of cluster load at a decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSignal {
+    /// Concurrency at/above the scale-out watermark: no headroom for
+    /// relaxed work.
+    pub overloaded: bool,
+    /// Concurrency below the scale-in watermark: capacity that would
+    /// otherwise be wasted, i.e. where best-of-effort work belongs.
+    pub nearly_idle: bool,
+}
+
+/// Admission verdict for a fresh submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Start executing now (`forced` = started despite load, because a
+    /// deadline expired — never true at admission).
+    DispatchNow,
+    /// Hold in the server queue; re-poll with [`SchedulerPolicy::recheck`]
+    /// until it dispatches. `deadline_us` is absolute (same clock as
+    /// `now_us`).
+    Queue { deadline_us: u64 },
+}
+
+/// Verdict for a queued query at a later poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueVerdict {
+    /// Start now. `forced` means the deadline expired while the load signal
+    /// still said wait — the pending-time bound overrides the load.
+    Dispatch { forced: bool },
+    /// Keep waiting.
+    Wait,
+}
+
+impl SchedulerPolicy {
+    /// Decide a fresh submission at absolute time `now_us`.
+    pub fn admit(&self, level: ServiceLevel, load: LoadSignal, now_us: u64) -> Admission {
+        match level {
+            // Immediate: starts now regardless of load; CF acceleration (a
+            // placement concern, not an admission one) absorbs the overload.
+            ServiceLevel::Immediate => Admission::DispatchNow,
+            ServiceLevel::Relaxed => {
+                if !load.overloaded {
+                    Admission::DispatchNow
+                } else {
+                    Admission::Queue {
+                        deadline_us: now_us + self.grace.as_micros(),
+                    }
+                }
+            }
+            ServiceLevel::BestEffort => {
+                if load.nearly_idle {
+                    Admission::DispatchNow
+                } else {
+                    Admission::Queue {
+                        deadline_us: now_us + self.besteffort_max_wait.as_micros(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-evaluate a queued query: dispatch on headroom, force-dispatch at
+    /// its deadline, otherwise keep waiting.
+    pub fn recheck(
+        &self,
+        level: ServiceLevel,
+        load: LoadSignal,
+        now_us: u64,
+        deadline_us: u64,
+    ) -> QueueVerdict {
+        let headroom = match level {
+            ServiceLevel::Immediate => true,
+            ServiceLevel::Relaxed => !load.overloaded,
+            ServiceLevel::BestEffort => load.nearly_idle,
+        };
+        if headroom {
+            QueueVerdict::Dispatch { forced: false }
+        } else if now_us >= deadline_us {
+            QueueVerdict::Dispatch { forced: true }
+        } else {
+            QueueVerdict::Wait
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUSY: LoadSignal = LoadSignal {
+        overloaded: true,
+        nearly_idle: false,
+    };
+    const IDLE: LoadSignal = LoadSignal {
+        overloaded: false,
+        nearly_idle: true,
+    };
+    const STEADY: LoadSignal = LoadSignal {
+        overloaded: false,
+        nearly_idle: false,
+    };
+
+    #[test]
+    fn immediate_always_dispatches() {
+        let p = SchedulerPolicy::default();
+        for load in [BUSY, IDLE, STEADY] {
+            assert_eq!(
+                p.admit(ServiceLevel::Immediate, load, 7),
+                Admission::DispatchNow
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_queues_under_overload_with_grace_deadline() {
+        let p = SchedulerPolicy::default();
+        assert_eq!(
+            p.admit(ServiceLevel::Relaxed, STEADY, 7),
+            Admission::DispatchNow
+        );
+        let Admission::Queue { deadline_us } = p.admit(ServiceLevel::Relaxed, BUSY, 1_000) else {
+            panic!("overloaded relaxed must queue");
+        };
+        assert_eq!(deadline_us, 1_000 + 300_000_000);
+        // Still overloaded one tick before the deadline: wait.
+        assert_eq!(
+            p.recheck(ServiceLevel::Relaxed, BUSY, deadline_us - 1, deadline_us),
+            QueueVerdict::Wait
+        );
+        // Exactly at the deadline: forced start, load notwithstanding.
+        assert_eq!(
+            p.recheck(ServiceLevel::Relaxed, BUSY, deadline_us, deadline_us),
+            QueueVerdict::Dispatch { forced: true }
+        );
+        // Headroom before the deadline wins without force.
+        assert_eq!(
+            p.recheck(ServiceLevel::Relaxed, STEADY, deadline_us - 1, deadline_us),
+            QueueVerdict::Dispatch { forced: false }
+        );
+    }
+
+    #[test]
+    fn besteffort_waits_for_idle_but_is_starvation_bounded() {
+        let p = SchedulerPolicy {
+            besteffort_max_wait: SimDuration::from_secs(30),
+            ..Default::default()
+        };
+        assert_eq!(
+            p.admit(ServiceLevel::BestEffort, IDLE, 0),
+            Admission::DispatchNow
+        );
+        // A steady (not overloaded, not idle) cluster still queues BE work.
+        let Admission::Queue { deadline_us } = p.admit(ServiceLevel::BestEffort, STEADY, 0) else {
+            panic!("non-idle cluster must queue best-of-effort");
+        };
+        assert_eq!(deadline_us, 30_000_000);
+        assert_eq!(
+            p.recheck(
+                ServiceLevel::BestEffort,
+                STEADY,
+                deadline_us - 1,
+                deadline_us
+            ),
+            QueueVerdict::Wait
+        );
+        assert_eq!(
+            p.recheck(ServiceLevel::BestEffort, BUSY, deadline_us, deadline_us),
+            QueueVerdict::Dispatch { forced: true }
+        );
+        assert_eq!(
+            p.recheck(ServiceLevel::BestEffort, IDLE, 5, deadline_us),
+            QueueVerdict::Dispatch { forced: false }
+        );
+    }
+}

@@ -40,8 +40,8 @@ impl ServiceLevel {
     pub fn price_fraction(self) -> f64 {
         match self {
             ServiceLevel::Immediate => 1.0,
-            ServiceLevel::Relaxed => 0.2,
-            ServiceLevel::BestEffort => 0.1,
+            ServiceLevel::Relaxed => pixels_common::prices::RELAXED_PRICE_FRACTION,
+            ServiceLevel::BestEffort => pixels_common::prices::BESTEFFORT_PRICE_FRACTION,
         }
     }
 

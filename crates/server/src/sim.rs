@@ -3,6 +3,7 @@
 //! service-level, autoscaling, and pricing figure in EXPERIMENTS.md.
 
 use crate::pricing::PriceSchedule;
+use crate::scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
 use crate::service_level::ServiceLevel;
 use pixels_chaos::FaultInjector;
 use pixels_common::QueryId;
@@ -64,6 +65,9 @@ impl QueryRecord {
 pub struct ServerConfig {
     /// Grace period for relaxed queries (paper example: 5 minutes).
     pub grace_period: SimDuration,
+    /// Starvation bound on best-of-effort queries: a never-idle cluster
+    /// still force-starts them after this long.
+    pub besteffort_max_wait: SimDuration,
     /// Simulation tick.
     pub tick: SimDuration,
     pub prices: PriceSchedule,
@@ -79,6 +83,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             grace_period: SimDuration::from_secs(300),
+            besteffort_max_wait: SimDuration::from_secs(3600),
             tick: SimDuration::from_millis(100),
             prices: PriceSchedule::default(),
             batch_besteffort: false,
@@ -92,8 +97,8 @@ struct Waiting {
     class: QueryClass,
     work: QueryWork,
     submitted_at: SimTime,
-    /// Dispatch no later than this (relaxed only).
-    deadline: Option<SimTime>,
+    /// Force-dispatch no later than this (the [`SchedulerPolicy`] deadline).
+    deadline: SimTime,
 }
 
 struct PendingMeta {
@@ -154,39 +159,44 @@ impl ServerSim {
         &self.cfg
     }
 
+    /// The admission policy shared with the live server, built from this
+    /// sim's knobs.
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy {
+            grace: self.cfg.grace_period,
+            besteffort_max_wait: self.cfg.besteffort_max_wait,
+        }
+    }
+
+    fn load(&self) -> LoadSignal {
+        LoadSignal {
+            overloaded: self.coordinator.is_overloaded(),
+            nearly_idle: self.coordinator.is_nearly_idle(),
+        }
+    }
+
     /// Submit a query at the current simulation time (paper §3.2 admission).
+    /// The dispatch-vs-queue decision is the [`SchedulerPolicy`]'s; this
+    /// driver only executes the verdict.
     fn submit(&mut self, id: QueryId, class: QueryClass, level: ServiceLevel) {
         let work = QueryWork::from_class(class);
-        match level {
-            ServiceLevel::Immediate => {
-                // Dispatch now, CF acceleration enabled.
-                self.dispatch(id, class, level, work, self.now);
-            }
-            ServiceLevel::Relaxed => {
-                if !self.coordinator.is_overloaded() {
-                    self.dispatch(id, class, level, work, self.now);
-                } else {
-                    self.relaxed_queue.push_back(Waiting {
-                        id,
-                        class,
-                        work,
-                        submitted_at: self.now,
-                        deadline: Some(self.now + self.cfg.grace_period),
-                    });
-                }
-            }
-            ServiceLevel::BestEffort => {
-                if self.coordinator.is_nearly_idle() {
-                    self.dispatch(id, class, level, work, self.now);
-                } else {
-                    self.besteffort_queue.push_back(Waiting {
-                        id,
-                        class,
-                        work,
-                        submitted_at: self.now,
-                        deadline: None,
-                    });
-                }
+        match self
+            .policy()
+            .admit(level, self.load(), self.now.as_micros())
+        {
+            Admission::DispatchNow => self.dispatch(id, class, level, work, self.now),
+            Admission::Queue { deadline_us } => {
+                let queue = match level {
+                    ServiceLevel::Relaxed => &mut self.relaxed_queue,
+                    _ => &mut self.besteffort_queue,
+                };
+                queue.push_back(Waiting {
+                    id,
+                    class,
+                    work,
+                    submitted_at: self.now,
+                    deadline: SimTime::from_micros(deadline_us),
+                });
             }
         }
     }
@@ -212,26 +222,89 @@ impl ServerSim {
         ));
     }
 
+    /// Forced start at a deadline expiry: bypasses the coordinator's
+    /// overload check so the pending-time bound holds even on a cluster
+    /// with no headroom.
+    fn dispatch_forced(
+        &mut self,
+        id: QueryId,
+        class: QueryClass,
+        level: ServiceLevel,
+        work: QueryWork,
+        submitted_at: SimTime,
+    ) {
+        self.coordinator.submit_forced(id, work, self.now);
+        self.dispatched.push((
+            id,
+            PendingMeta {
+                class,
+                level,
+                submitted_at,
+                dispatched_at: self.now,
+            },
+        ));
+    }
+
     fn drain_queues(&mut self) {
-        // Relaxed: dispatch early when the cluster has headroom, or when the
-        // grace period expires (bounded pending time).
+        let policy = self.policy();
+        // Relaxed: dispatch early when the cluster has headroom; at grace
+        // expiry the policy forces the start (bounded pending time).
         let mut i = 0;
         while i < self.relaxed_queue.len() {
-            let headroom = !self.coordinator.is_overloaded();
-            let expired = self.relaxed_queue[i]
-                .deadline
-                .is_some_and(|d| self.now >= d);
-            if headroom || expired {
-                let w = self.relaxed_queue.remove(i).unwrap();
-                self.dispatch(w.id, w.class, ServiceLevel::Relaxed, w.work, w.submitted_at);
-            } else {
-                i += 1;
+            let verdict = policy.recheck(
+                ServiceLevel::Relaxed,
+                self.load(),
+                self.now.as_micros(),
+                self.relaxed_queue[i].deadline.as_micros(),
+            );
+            match verdict {
+                QueueVerdict::Dispatch { forced } => {
+                    let w = self.relaxed_queue.remove(i).unwrap();
+                    if forced {
+                        self.dispatch_forced(
+                            w.id,
+                            w.class,
+                            ServiceLevel::Relaxed,
+                            w.work,
+                            w.submitted_at,
+                        );
+                    } else {
+                        self.dispatch(w.id, w.class, ServiceLevel::Relaxed, w.work, w.submitted_at);
+                    }
+                }
+                QueueVerdict::Wait => i += 1,
             }
         }
         // Best-of-effort: only when concurrency is below the low watermark
         // (the cluster would otherwise scale in). One dispatch at a time so
         // a burst of backfill doesn't immediately re-overload the cluster.
-        while !self.besteffort_queue.is_empty() && self.coordinator.is_nearly_idle() {
+        // FIFO: the head holds the earliest deadline, so if it must wait so
+        // must everyone behind it.
+        while let Some(front) = self.besteffort_queue.front() {
+            let verdict = policy.recheck(
+                ServiceLevel::BestEffort,
+                self.load(),
+                self.now.as_micros(),
+                front.deadline.as_micros(),
+            );
+            match verdict {
+                QueueVerdict::Wait => break,
+                QueueVerdict::Dispatch { forced: true } => {
+                    // Starvation bound hit: force just this query (no
+                    // batching — the merged members would jump *their*
+                    // deadlines).
+                    let w = self.besteffort_queue.pop_front().unwrap();
+                    self.dispatch_forced(
+                        w.id,
+                        w.class,
+                        ServiceLevel::BestEffort,
+                        w.work,
+                        w.submitted_at,
+                    );
+                    continue;
+                }
+                QueueVerdict::Dispatch { forced: false } => {}
+            }
             if self.cfg.batch_besteffort {
                 // Merge queued queries of the front entry's class into one
                 // shared-scan execution (batch query optimization).
@@ -856,6 +929,121 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(a.fault_stats, b.fault_stats);
         assert_eq!(a.unfinished, 0);
+    }
+
+    #[test]
+    fn grace_expiry_forces_start_exactly_at_the_deadline_tick() {
+        let grace = SimDuration::from_secs(5);
+        let cfg = ServerConfig {
+            grace_period: grace,
+            ..Default::default()
+        };
+        let sim = ServerSim::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            cfg,
+        );
+        // Heavy relaxed spike: the first few fill the cluster to the high
+        // watermark and run far longer than the grace period; everyone else
+        // queues and must force-start at exactly submitted + grace.
+        let subs = burst(
+            25,
+            SimTime::from_secs(1),
+            QueryClass::Heavy,
+            ServiceLevel::Relaxed,
+        );
+        let report = sim.run(subs, SimDuration::from_secs(4 * 3600));
+        assert_eq!(report.unfinished, 0);
+        let queued: Vec<_> = report
+            .records_at(ServiceLevel::Relaxed)
+            .filter(|r| r.dispatched_at > r.submitted_at)
+            .collect();
+        assert!(queued.len() >= 10, "spike must overload: {}", queued.len());
+        for r in &queued {
+            assert_eq!(
+                r.dispatched_at.since(r.submitted_at),
+                grace,
+                "forced start lands exactly at grace expiry"
+            );
+            assert_eq!(
+                r.started_at, r.dispatched_at,
+                "a forced start bypasses the engine queue"
+            );
+        }
+    }
+
+    #[test]
+    fn besteffort_starvation_is_bounded_by_max_wait() {
+        let bound = SimDuration::from_secs(30);
+        let cfg = ServerConfig {
+            besteffort_max_wait: bound,
+            ..Default::default()
+        };
+        let sim = ServerSim::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            cfg,
+        );
+        // Five heavy foreground queries keep the cluster from ever dropping
+        // below the low watermark within the bound; the best-of-effort query
+        // still starts — exactly at the starvation limit.
+        let mut subs = burst(5, SimTime::ZERO, QueryClass::Heavy, ServiceLevel::Immediate);
+        subs.push(Submission {
+            at: SimTime::from_secs(1),
+            class: QueryClass::Light,
+            level: ServiceLevel::BestEffort,
+        });
+        let report = sim.run(subs, SimDuration::from_secs(4 * 3600));
+        assert_eq!(report.unfinished, 0);
+        let be: Vec<_> = report.records_at(ServiceLevel::BestEffort).collect();
+        assert_eq!(be.len(), 1);
+        assert_eq!(
+            be[0].dispatched_at.since(be[0].submitted_at),
+            bound,
+            "best-of-effort force-starts at its starvation bound"
+        );
+        assert_eq!(be[0].started_at, be[0].dispatched_at);
+    }
+
+    #[test]
+    fn relaxed_dispatches_early_when_headroom_appears_mid_scale_in() {
+        let sim = ServerSim::with_defaults();
+        // Fill the cluster with mediums, then one more relaxed query: it
+        // queues under overload and must dispatch — unforced — the moment a
+        // foreground query drains, long before its 300 s grace deadline.
+        let mut subs = burst(
+            6,
+            SimTime::from_secs(1),
+            QueryClass::Medium,
+            ServiceLevel::Relaxed,
+        );
+        subs.push(Submission {
+            at: SimTime::from_secs(2),
+            class: QueryClass::Light,
+            level: ServiceLevel::Relaxed,
+        });
+        let report = sim.run(subs, SimDuration::from_secs(7200));
+        assert_eq!(report.unfinished, 0);
+        let late = report
+            .records
+            .iter()
+            .find(|r| r.class == QueryClass::Light)
+            .unwrap();
+        let server_wait = late.dispatched_at.since(late.submitted_at);
+        assert!(
+            server_wait > SimDuration::ZERO,
+            "the straggling submission must queue behind the spike"
+        );
+        assert!(
+            server_wait < SimDuration::from_secs(300),
+            "headroom dispatch must beat the grace deadline: {server_wait}"
+        );
+        assert_eq!(
+            late.started_at, late.dispatched_at,
+            "an unforced headroom dispatch starts immediately"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! 2. **User price** (`pixels-server::pricing`): what the *user* pays per TB
 //!    scanned, which depends on the chosen service level.
 
+use pixels_common::prices;
 use pixels_sim::SimDuration;
 
 /// Cloud resource prices, modeled on AWS us-east-1.
@@ -30,11 +31,11 @@ pub struct ResourcePricing {
 impl Default for ResourcePricing {
     fn default() -> Self {
         ResourcePricing {
-            vm_core_hour: 0.0425,        // c5-class vCPU-hour
-            cf_gb_second: 0.000_016_667, // Lambda
-            cf_gb_per_core: 1.769,       // Lambda GB per vCPU
-            cf_invocation: 0.000_000_2,
-            cf_efficiency: 0.5,
+            vm_core_hour: prices::VM_CORE_HOUR_DOLLARS,
+            cf_gb_second: prices::CF_GB_SECOND_DOLLARS,
+            cf_gb_per_core: prices::CF_GB_PER_CORE,
+            cf_invocation: prices::CF_INVOCATION_DOLLARS,
+            cf_efficiency: prices::CF_EFFICIENCY,
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::billing::ResourcePricing;
 use crate::model::QueryWork;
+use crate::policy::CfCostModel;
 use pixels_common::QueryId;
 use pixels_sim::{SimDuration, SimTime, TimeSeries};
 
@@ -76,6 +77,8 @@ impl Default for LaunchFaults {
 pub struct CfService {
     cfg: CfConfig,
     pricing: ResourcePricing,
+    /// Shared duration/cost model (same formulas the real engine uses).
+    model: CfCostModel,
     active: Vec<CfRun>,
     pub total_cost: f64,
     pub total_invocations: u64,
@@ -88,6 +91,7 @@ impl CfService {
         CfService {
             cfg,
             pricing,
+            model: CfCostModel::new(&cfg, pricing),
             active: Vec::new(),
             total_cost: 0.0,
             total_invocations: 0,
@@ -98,6 +102,11 @@ impl CfService {
 
     pub fn config(&self) -> &CfConfig {
         &self.cfg
+    }
+
+    /// The duration/cost model this service prices fleets with.
+    pub fn cost_model(&self) -> &CfCostModel {
+        &self.model
     }
 
     pub fn active_workers(&self) -> u32 {
@@ -112,10 +121,7 @@ impl CfService {
     /// (excluding startup) — also the baseline straggler detectors compare
     /// elapsed time against.
     pub fn nominal_runtime(&self, work: &QueryWork) -> SimDuration {
-        let workers = work.parallelism.clamp(1, self.cfg.max_workers_per_query);
-        // Each worker provides `cf_efficiency` of a reference core.
-        let effective_cores = workers as f64 * self.pricing.cf_efficiency;
-        SimDuration::from_secs_f64(work.cpu_seconds * self.cfg.overhead_factor / effective_cores)
+        self.model.nominal_runtime(work)
     }
 
     /// Launch a CF fleet for `work`. Returns the accepted run (cost is
@@ -137,16 +143,9 @@ impl CfService {
         attempt: u32,
         faults: LaunchFaults,
     ) -> CfRun {
-        let workers = work.parallelism.clamp(1, self.cfg.max_workers_per_query);
-        let run_time = self.nominal_runtime(&work) + faults.straggle;
-        let startup = self.cfg.startup + faults.extra_startup;
-        let per_worker = if faults.crash {
-            // The fleet dies halfway through execution.
-            startup + SimDuration::from_micros(run_time.as_micros() / 2)
-        } else {
-            startup + run_time
-        };
-        let cost = self.pricing.cf_cost(workers, startup + run_time);
+        let workers = self.model.workers(&work);
+        let per_worker = self.model.attempt_duration(&work, &faults);
+        let cost = self.model.attempt_cost(&work, &faults);
         let run = CfRun {
             id,
             started_at: now,
@@ -294,7 +293,7 @@ mod tests {
         let cf = service();
         let ratio = cf.effective_unit_ratio();
         assert!(
-            (4.0..24.0).contains(&ratio),
+            (4.0..pixels_common::prices::CF_VM_RATIO_MAX).contains(&ratio),
             "effective CF/VM unit ratio {ratio} outside plausible band"
         );
     }

@@ -7,26 +7,27 @@
 //! statistics (pending time, execution time, resource cost).
 
 use crate::billing::{CostBreakdown, Placement, ResourcePricing};
-use crate::cf_service::{CfConfig, CfService, LaunchFaults};
+use crate::cf_service::{CfConfig, CfService};
 use crate::model::QueryWork;
+use crate::policy::{self, CfEffects, CfRace, Decision, RaceInput};
 use crate::vm_cluster::{VmCluster, VmConfig};
 use pixels_chaos::{FaultInjector, FaultSite, Inject};
 use pixels_common::QueryId;
 use pixels_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Everything the coordinator remembers about an in-flight query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct InFlight {
     submitted_at: SimTime,
     work: QueryWork,
     #[allow(dead_code)]
     cf_enabled: bool,
-    /// CF fleets launched for this query so far (relaunches + duplicates).
-    cf_attempts: u32,
-    /// A speculative duplicate has been launched.
-    speculated: bool,
+    /// Shared policy state machine for the CF attempt race (`None` for
+    /// VM-only queries). All relaunch/speculation/degradation decisions are
+    /// made by [`CfRace::step`], never here.
+    race: Option<CfRace>,
     /// The query fell back from CF to the VM tier.
     degraded: bool,
 }
@@ -81,9 +82,44 @@ impl QueryCompletion {
     }
 }
 
-/// Most fleets a single query may launch (first + one relaunch OR one
-/// speculative duplicate) before the coordinator degrades it to the VM tier.
-const MAX_CF_ATTEMPTS: u32 = 2;
+/// Sim-side effect handler: [`CfRace`] decisions become modelled CF fleet
+/// launches, cancellations, and degradation flags.
+struct CoordEffects<'a> {
+    id: QueryId,
+    now: SimTime,
+    work: QueryWork,
+    straggler_factor: f64,
+    cf: &'a mut CfService,
+    injector: &'a FaultInjector,
+    pending_spec: &'a mut Vec<(QueryId, SimTime)>,
+    cancelled: u64,
+}
+
+impl CfEffects for CoordEffects<'_> {
+    fn launch(&mut self, attempt: u32) {
+        let startup = self.cf.config().startup;
+        let nominal = self.cf.nominal_runtime(&self.work);
+        let faults = policy::decide_launch_faults(self.injector, startup, nominal);
+        let run = self
+            .cf
+            .launch_attempt(self.id, self.work, self.now, attempt, faults);
+        // Arm the modelled straggler watchdog if this fleet will overshoot.
+        let window =
+            policy::straggler_deadline(startup + nominal, self.straggler_factor, SimDuration::ZERO);
+        if let Some(due) = policy::watchdog_due(self.now, window, run.finish_at) {
+            self.pending_spec.push((self.id, due));
+        }
+    }
+
+    fn cancel_losers(&mut self, winner: u32) {
+        self.cancelled += self.cf.cancel_others(self.id, winner).len() as u64;
+    }
+
+    fn degrade_to_vm(&mut self) {
+        // The actual re-queue needs the `InFlight` record; the coordinator
+        // performs it when it sees the `Degrade` decision.
+    }
+}
 
 /// The coordinator on the virtual clock.
 pub struct Coordinator {
@@ -107,6 +143,9 @@ pub struct Coordinator {
     last_preempt_check: SimTime,
     /// Fault-recovery counters for this coordinator's lifetime.
     pub stats: FaultStats,
+    /// Ordered policy decision log per query (kept past completion so
+    /// differential harnesses can compare against the real engine).
+    decisions: BTreeMap<QueryId, Vec<Decision>>,
     now: SimTime,
 }
 
@@ -124,6 +163,7 @@ impl Coordinator {
             pending_spec: Vec::new(),
             last_preempt_check: now,
             stats: FaultStats::default(),
+            decisions: BTreeMap::new(),
             now,
         }
     }
@@ -167,72 +207,103 @@ impl Coordinator {
     /// - Cluster overloaded and CF disabled → wait in the VM queue.
     pub fn submit(&mut self, id: QueryId, work: QueryWork, cf_enabled: bool, now: SimTime) {
         self.now = now;
-        let info = InFlight {
+        let mut info = InFlight {
             submitted_at: now,
             work,
             cf_enabled,
-            cf_attempts: 0,
-            speculated: false,
+            race: None,
             degraded: false,
         };
         if !self.vm.is_overloaded() && self.vm_queue.is_empty() {
+            self.record(id, Decision::DispatchVm);
             self.vm.start(id, work);
             self.inflight.push((id, info));
         } else if cf_enabled {
+            let mut fx = self.effects(id, work);
+            let race = CfRace::start(true, &mut fx);
+            let cancelled = fx.cancelled;
+            self.stats.speculative_cancelled += cancelled;
+            self.record_all(id, &race.decisions.clone());
+            info.race = Some(race);
             self.inflight.push((id, info));
-            self.launch_cf(id, now);
         } else {
             self.vm_queue.push_back((id, info));
         }
     }
 
-    /// Ask the injector what goes wrong with the next fleet launch. Faults
-    /// are decided *at launch* so a seeded run is fully deterministic no
-    /// matter how ticks interleave.
-    fn decide_launch_faults(&mut self, work: &QueryWork) -> LaunchFaults {
-        let mut faults = LaunchFaults::default();
-        match self.injector.decide(FaultSite::CfColdStartStorm) {
-            Inject::Delay { micros } => faults.extra_startup = SimDuration::from_micros(micros),
-            // An un-parameterized storm verdict: startup takes 10× nominal.
-            Inject::Error => {
-                faults.extra_startup =
-                    SimDuration::from_micros(self.cf.config().startup.as_micros() * 10)
-            }
-            Inject::None => {}
-        }
-        match self.injector.decide(FaultSite::CfStraggler) {
-            Inject::Delay { micros } => faults.straggle = SimDuration::from_micros(micros),
-            // An un-parameterized straggler verdict: the run takes twice as long.
-            Inject::Error => faults.straggle = self.cf.nominal_runtime(work),
-            Inject::None => {}
-        }
-        if matches!(self.injector.decide(FaultSite::CfCrash), Inject::Error) {
-            faults.crash = true;
-        }
-        faults
+    /// Start a query on the VM tier immediately, bypassing the overload
+    /// check — the server scheduler's forced start when a Relaxed grace
+    /// period or BestEffort wait bound expires.
+    pub fn submit_forced(&mut self, id: QueryId, work: QueryWork, now: SimTime) {
+        self.now = now;
+        self.record(id, Decision::DispatchVm);
+        self.vm.start(id, work);
+        self.inflight.push((
+            id,
+            InFlight {
+                submitted_at: now,
+                work,
+                cf_enabled: false,
+                race: None,
+                degraded: false,
+            },
+        ));
     }
 
-    /// Launch the next CF fleet for an in-flight query and arm the straggler
-    /// watchdog if the (possibly faulty) run will overshoot the estimate.
-    fn launch_cf(&mut self, id: QueryId, now: SimTime) {
-        let idx = self
-            .inflight
-            .iter()
-            .position(|(qid, _)| *qid == id)
-            .expect("CF launch for unknown query");
+    /// The ordered policy decision log for a query (empty if unknown).
+    pub fn decisions_for(&self, id: QueryId) -> &[Decision] {
+        self.decisions.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn record(&mut self, id: QueryId, decision: Decision) {
+        self.decisions.entry(id).or_default().push(decision);
+    }
+
+    fn record_all(&mut self, id: QueryId, decisions: &[Decision]) {
+        self.decisions
+            .entry(id)
+            .or_default()
+            .extend_from_slice(decisions);
+    }
+
+    fn effects(&mut self, id: QueryId, work: QueryWork) -> CoordEffects<'_> {
+        CoordEffects {
+            id,
+            now: self.now,
+            work,
+            straggler_factor: self.straggler_factor,
+            cf: &mut self.cf,
+            injector: &self.injector,
+            pending_spec: &mut self.pending_spec,
+            cancelled: 0,
+        }
+    }
+
+    /// Feed one observation into a query's CF race, translate the resulting
+    /// decisions into fault-stat counters, and return them.
+    fn step_race(&mut self, idx: usize, input: RaceInput) -> Vec<Decision> {
+        let id = self.inflight[idx].0;
         let work = self.inflight[idx].1.work;
-        let attempt = self.inflight[idx].1.cf_attempts;
-        let faults = self.decide_launch_faults(&work);
-        let run = self.cf.launch_attempt(id, work, now, attempt, faults);
-        self.inflight[idx].1.cf_attempts += 1;
-        if !self.inflight[idx].1.speculated {
-            let deadline = now
-                + (self.cf.config().startup + self.cf.nominal_runtime(&work))
-                    .mul_f64(self.straggler_factor);
-            if run.finish_at > deadline {
-                self.pending_spec.push((id, deadline));
+        let mut race = self.inflight[idx].1.race.take().expect("CF race present");
+        let mut fx = self.effects(id, work);
+        let new = race.step(input, &mut fx);
+        let cancelled = fx.cancelled;
+        self.inflight[idx].1.race = Some(race);
+        self.stats.speculative_cancelled += cancelled;
+        for d in &new {
+            match d {
+                Decision::AttemptFailed { .. } => self.stats.cf_crashes += 1,
+                Decision::Relaunch { .. } => self.stats.cf_retries += 1,
+                Decision::StragglerSpeculate { .. } => {
+                    self.stats.stragglers_detected += 1;
+                    self.stats.speculative_launches += 1;
+                }
+                Decision::Degrade => self.stats.cf_degradations += 1,
+                _ => {}
             }
         }
+        self.record_all(id, &new);
+        new
     }
 
     /// Report queries the query server is holding back (relaxed queue) so
@@ -260,7 +331,8 @@ impl Coordinator {
             self.last_preempt_check = now;
         }
 
-        // Straggler watchdog: launch speculative duplicates that came due.
+        // Straggler watchdog: feed expired deadlines into the policy core,
+        // which decides whether to race a speculative duplicate.
         if !self.pending_spec.is_empty() {
             let due: Vec<QueryId> = self
                 .pending_spec
@@ -276,14 +348,7 @@ impl Coordinator {
                 let Some(idx) = self.inflight.iter().position(|(qid, _)| *qid == id) else {
                     continue;
                 };
-                let info = &mut self.inflight[idx].1;
-                if info.speculated || info.cf_attempts >= MAX_CF_ATTEMPTS {
-                    continue;
-                }
-                info.speculated = true;
-                self.stats.stragglers_detected += 1;
-                self.stats.speculative_launches += 1;
-                self.launch_cf(id, now);
+                self.step_race(idx, RaceInput::StragglerDeadline);
             }
         }
 
@@ -297,46 +362,52 @@ impl Coordinator {
                 started_at: done.started_at,
                 finished_at: done.finished_at,
                 placement: Placement::Vm,
+                // Model-based per-query cost (the work's CPU demand priced
+                // at the VM rate) so sim and real engine agree bit for bit;
+                // `total_resource_cost` still charges true provisioned time.
                 cost: CostBreakdown {
-                    vm_dollars: self.pricing.vm_cost(done.core_seconds),
+                    vm_dollars: self.pricing.vm_cost(info.work.cpu_seconds),
                     cf_dollars: 0.0,
                 },
                 scan_bytes: done.scan_bytes,
                 degraded: info.degraded,
-                speculative: info.speculated,
+                speculative: info.race.as_ref().is_some_and(CfRace::speculated),
             });
         }
 
         for run in self.cf.tick(now) {
+            let Some(idx) = self.inflight.iter().position(|(qid, _)| *qid == run.id) else {
+                continue;
+            };
             if run.crashed {
-                self.stats.cf_crashes += 1;
-                // A sibling fleet (speculative duplicate) is still running —
-                // let it finish the query.
-                if self.cf.has_active(run.id) {
-                    continue;
-                }
+                // Clear any armed watchdog; a relaunch re-arms its own.
                 self.pending_spec.retain(|(id, _)| *id != run.id);
-                let Some(idx) = self.inflight.iter().position(|(qid, _)| *qid == run.id) else {
-                    continue;
-                };
-                if self.inflight[idx].1.cf_attempts < MAX_CF_ATTEMPTS {
-                    // Relaunch on a fresh fleet.
-                    self.stats.cf_retries += 1;
-                    self.launch_cf(run.id, now);
-                } else {
+                let new = self.step_race(
+                    idx,
+                    RaceInput::AttemptFinished {
+                        attempt: run.attempt,
+                        failed: true,
+                    },
+                );
+                if new.contains(&Decision::Degrade) {
                     // Out of CF budget: degrade gracefully to the VM tier
                     // instead of losing the query.
-                    self.stats.cf_degradations += 1;
                     let (id, mut info) = self.inflight.swap_remove(idx);
                     info.degraded = true;
                     self.vm_queue.push_back((id, info));
                 }
                 continue;
             }
-            // First successful fleet wins; cancel any sibling still flying
-            // (its cost stays charged — both invocations billed).
-            let cancelled = self.cf.cancel_others(run.id, run.attempt);
-            self.stats.speculative_cancelled += cancelled.len() as u64;
+            // First successful fleet wins; the policy cancels any sibling
+            // still flying (its cost stays charged — both invocations
+            // billed).
+            self.step_race(
+                idx,
+                RaceInput::AttemptFinished {
+                    attempt: run.attempt,
+                    failed: false,
+                },
+            );
             self.pending_spec.retain(|(id, _)| *id != run.id);
             let info = self.take_inflight(run.id);
             out.push(QueryCompletion {
@@ -353,7 +424,7 @@ impl Coordinator {
                 },
                 scan_bytes: run.scan_bytes,
                 degraded: info.degraded,
-                speculative: info.speculated,
+                speculative: info.race.as_ref().is_some_and(CfRace::speculated),
             });
         }
 
@@ -362,6 +433,7 @@ impl Coordinator {
             let Some((id, info)) = self.vm_queue.pop_front() else {
                 break;
             };
+            self.record(id, Decision::DispatchVm);
             self.vm.start(id, info.work);
             self.inflight.push((id, info));
         }
@@ -744,6 +816,89 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(chaotic.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn decision_log_records_the_policy_path() {
+        use crate::policy::Decision;
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        // Clean CF run.
+        let mut c = coordinator();
+        overload(&mut c);
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        assert_eq!(
+            c.decisions_for(QueryId(99)),
+            &[
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 }
+            ]
+        );
+        assert_eq!(c.decisions_for(QueryId(0)), &[Decision::DispatchVm]);
+
+        // Every fleet crashes → relaunch then degrade then VM.
+        let plan = FaultPlan::none(7).with(FaultSite::CfCrash, SiteSpec::errors(1.0));
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        overload(&mut c);
+        c.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(14400),
+            &mut done,
+        );
+        assert_eq!(
+            c.decisions_for(QueryId(99)),
+            &[
+                Decision::DispatchCf { attempt: 0 },
+                Decision::AttemptFailed { attempt: 0 },
+                Decision::Relaunch { attempt: 1 },
+                Decision::AttemptFailed { attempt: 1 },
+                Decision::Degrade,
+                Decision::DispatchVm,
+            ]
+        );
+    }
+
+    #[test]
+    fn forced_start_bypasses_the_overload_check() {
+        let mut c = coordinator();
+        overload(&mut c);
+        let before = c.concurrency();
+        c.submit_forced(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Light),
+            SimTime::ZERO,
+        );
+        assert_eq!(c.concurrency(), before + 1, "started despite overload");
+        assert_eq!(c.queue_depth(), 0);
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert_eq!(q.placement, Placement::Vm);
+        assert_eq!(q.pending(), SimDuration::ZERO, "no queueing at all");
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! object storage, and finishes the cheap top-level plan locally — exactly
 //! the §3.1 data path.
 
+use crate::billing::{CostBreakdown, ResourcePricing};
+use crate::cf_service::{CfConfig, LaunchFaults};
 use crate::model::QueryWork;
+use crate::policy::{self, CfCostModel, CfEffects, CfRace, Decision, RaceInput};
 use parking_lot::{Condvar, Mutex};
 use pixels_catalog::CatalogRef;
-use pixels_chaos::{FaultInjector, FaultSite, Inject};
+use pixels_chaos::FaultInjector;
 use pixels_common::{
     ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
 };
@@ -136,6 +139,15 @@ pub struct ExecOutcome {
     /// store-wide counter delta over the query, so it is approximate when
     /// queries run concurrently.
     pub retries: u64,
+    /// Ordered policy decisions ([`crate::policy::CfRace`]) made for this
+    /// query — the unit of sim/real differential comparison.
+    pub decisions: Vec<Decision>,
+    /// Modelled provider resource cost of the *accepted* execution (the
+    /// same model the sim coordinator prices completions with).
+    pub resource_cost: CostBreakdown,
+    /// Modelled provider-side CF spend across *all* attempts, including
+    /// crashed and cancelled fleets — the provider charges every invocation.
+    pub provider_cf_dollars: f64,
 }
 
 struct Slots {
@@ -152,6 +164,25 @@ impl Slots {
         }
         *free -= 1;
         start.elapsed()
+    }
+
+    /// Acquire with an optional wait bound. Returns `Some(waited)` on
+    /// success, `None` once `limit` expires with every slot still busy (the
+    /// caller then force-starts the query unslotted).
+    fn acquire_until(&self, limit: Option<Duration>) -> Option<Duration> {
+        let Some(limit) = limit else {
+            return Some(self.acquire());
+        };
+        let start = Instant::now();
+        let mut free = self.free.lock();
+        while *free == 0 {
+            let remaining = limit.checked_sub(start.elapsed())?;
+            if self.cv.wait_for(&mut free, remaining) && *free == 0 {
+                return None;
+            }
+        }
+        *free -= 1;
+        Some(start.elapsed())
     }
 
     fn try_acquire(&self) -> bool {
@@ -189,6 +220,10 @@ pub struct TurboEngine {
     /// faults are injected by wrapping the store itself
     /// (`pixels_storage::chaos_stack`), not here.
     injector: Arc<FaultInjector>,
+    /// Shared CF duration/cost model — the same formulas the sim coordinator
+    /// prices fleets with, so modelled per-attempt costs agree bit for bit.
+    cost_model: CfCostModel,
+    pricing: ResourcePricing,
 }
 
 impl TurboEngine {
@@ -205,6 +240,8 @@ impl TurboEngine {
             footer_cache: FooterCache::shared(),
             registry: MetricsRegistry::global().clone(),
             injector: Arc::new(FaultInjector::disabled()),
+            cost_model: CfCostModel::new(&CfConfig::default(), ResourcePricing::default()),
+            pricing: ResourcePricing::default(),
         }
     }
 
@@ -276,9 +313,26 @@ impl TurboEngine {
         cf_enabled: bool,
         trace: TraceCtx,
     ) -> Result<ExecOutcome> {
+        self.execute_sql_scheduled(db, sql, cf_enabled, trace, None)
+    }
+
+    /// Like [`execute_sql_traced`](Self::execute_sql_traced), with a bound
+    /// on how long the query may wait for a VM slot. `None` waits forever
+    /// (Immediate / unforced semantics); `Some(limit)` is the remaining
+    /// grace budget of a Relaxed/BestEffort query — when it expires with
+    /// every slot still busy the query is *force-started* unslotted, so the
+    /// scheduler's deadline promise holds even on a saturated engine.
+    pub fn execute_sql_scheduled(
+        &self,
+        db: &str,
+        sql: &str,
+        cf_enabled: bool,
+        trace: TraceCtx,
+        slot_wait_limit: Option<Duration>,
+    ) -> Result<ExecOutcome> {
         let stmt = pixels_sql::parse_statement(sql)?;
         match stmt {
-            Statement::Query(_) => self.execute_query(db, sql, cf_enabled, trace),
+            Statement::Query(_) => self.execute_query(db, sql, cf_enabled, trace, slot_wait_limit),
             Statement::Explain(inner) => {
                 let text = match inner.as_ref() {
                     Statement::Query(_) => {
@@ -296,6 +350,9 @@ impl TurboEngine {
                     metrics: ExecMetricsSnapshot::default(),
                     events: Vec::new(),
                     retries: 0,
+                    decisions: Vec::new(),
+                    resource_cost: CostBreakdown::default(),
+                    provider_cf_dollars: 0.0,
                 })
             }
             Statement::ExplainAnalyze(inner) => {
@@ -356,6 +413,9 @@ impl TurboEngine {
                     metrics: m,
                     events: Vec::new(),
                     retries: 0,
+                    decisions: Vec::new(),
+                    resource_cost: CostBreakdown::default(),
+                    provider_cf_dollars: 0.0,
                 })
             }
             Statement::Analyze(name) => {
@@ -427,6 +487,7 @@ impl TurboEngine {
         sql: &str,
         cf_enabled: bool,
         trace: TraceCtx,
+        slot_wait_limit: Option<Duration>,
     ) -> Result<ExecOutcome> {
         let plan = {
             let _span = trace.span("plan");
@@ -447,25 +508,47 @@ impl TurboEngine {
             }
         }
 
-        // Otherwise wait for a slot (the engine-level queue).
-        let pending = {
+        // Otherwise wait for a slot (the engine-level queue), bounded by the
+        // caller's remaining grace budget.
+        let waited = {
             let _span = trace.span("vm_slot_wait");
-            self.slots.acquire()
+            self.slots.acquire_until(slot_wait_limit)
         };
-        self.registry
-            .histogram(
-                "pixels_turbo_vm_slot_wait_seconds",
-                "Time queries spent waiting for a free VM slot",
-                &[],
-                None,
-            )
-            .observe(pending.as_secs_f64());
-        let r = self.run_in_vm(&plan, &trace);
-        self.slots.release();
-        r.map(|mut o| {
-            o.pending = pending;
-            o
-        })
+        let slot_histogram = self.registry.histogram(
+            "pixels_turbo_vm_slot_wait_seconds",
+            "Time queries spent waiting for a free VM slot",
+            &[],
+            None,
+        );
+        match waited {
+            Some(pending) => {
+                slot_histogram.observe(pending.as_secs_f64());
+                let r = self.run_in_vm(&plan, &trace);
+                self.slots.release();
+                r.map(|mut o| {
+                    o.pending = pending;
+                    o
+                })
+            }
+            None => {
+                // Deadline expired while waiting: forced start. The query
+                // runs unslotted (no slot acquired, none released) so the
+                // grace-period promise holds even on a saturated engine.
+                let pending = slot_wait_limit.unwrap_or_default();
+                slot_histogram.observe(pending.as_secs_f64());
+                self.registry
+                    .counter(
+                        "pixels_turbo_forced_starts_total",
+                        "Queries force-started unslotted after their scheduler \
+                         deadline expired while waiting for a VM slot",
+                    )
+                    .add(1);
+                self.run_in_vm(&plan, &trace).map(|mut o| {
+                    o.pending = pending;
+                    o
+                })
+            }
+        }
     }
 
     fn next_mv_path(&self) -> String {
@@ -505,23 +588,33 @@ impl TurboEngine {
             metrics,
             events,
             retries,
+            decisions: vec![Decision::DispatchVm],
+            // Model-based VM cost for the plan's CPU demand — identical to
+            // how the sim coordinator prices a VM completion.
+            resource_cost: CostBreakdown {
+                vm_dollars: self.pricing.vm_cost(QueryWork::from_plan(plan).cpu_seconds),
+                cf_dollars: 0.0,
+            },
+            provider_cf_dollars: 0.0,
         })
     }
 
     /// Launch one ephemeral CF fleet for `split`'s sub-plan: execute it off
     /// the VM slots (as CF workers would), materialize the result to the
-    /// attempt's own MV path, and report on `tx`. The fault injector is
-    /// consulted at the CF sites before any work happens, so an injected
-    /// crash costs no scan bytes.
+    /// attempt's own MV path, and report on `tx`. The fleet's faults were
+    /// decided *at launch* by the shared policy rule
+    /// ([`policy::decide_launch_faults`]) — the thread only applies them —
+    /// so a seeded plan yields the same fault sequence as the simulator. An
+    /// injected crash fails before any work, so it costs no scan bytes.
     fn launch_cf_attempt(
         &self,
         attempt: u32,
+        faults: LaunchFaults,
         split: &pixels_planner::SplitPlan,
         trace: &TraceCtx,
         tx: std::sync::mpsc::Sender<(u32, Result<ExecMetricsSnapshot>)>,
     ) {
         let store = self.store.clone();
-        let injector = self.injector.clone();
         let sub_plan = split.sub_plan.clone();
         let mv_path = split.mv_path.clone();
         // The fleet's intra-plan parallelism comes from the resource model,
@@ -534,22 +627,17 @@ impl TurboEngine {
         std::thread::spawn(move || {
             let _span = fleet_span; // closes when the fleet exits
             let result = (|| -> Result<ExecMetricsSnapshot> {
-                match injector.decide(FaultSite::CfColdStartStorm) {
-                    Inject::Error => {
-                        return Err(Error::Exec(
-                            "injected CF cold-start storm: fleet failed to start".into(),
-                        ))
-                    }
-                    Inject::Delay { micros } => std::thread::sleep(Duration::from_micros(micros)),
-                    Inject::None => {}
+                if faults.extra_startup.as_micros() > 0 {
+                    // Cold-start storm: the whole fleet starts late.
+                    std::thread::sleep(Duration::from_micros(faults.extra_startup.as_micros()));
                 }
-                if injector.decide(FaultSite::CfCrash) == Inject::Error {
+                if faults.crash {
                     return Err(Error::Exec(format!(
                         "injected CF worker crash (attempt {attempt})"
                     )));
                 }
-                if let Inject::Delay { micros } = injector.decide(FaultSite::CfStraggler) {
-                    std::thread::sleep(Duration::from_micros(micros));
+                if faults.straggle.as_micros() > 0 {
+                    std::thread::sleep(Duration::from_micros(faults.straggle.as_micros()));
                 }
                 let batches = execute(&sub_plan, &sub_ctx)?;
                 let mut mat_span = sub_ctx.trace.span("materialize");
@@ -601,14 +689,18 @@ impl TurboEngine {
 
     /// CF path with straggler mitigation and graceful degradation.
     ///
-    /// The first fleet runs the split sub-plan. If it exceeds the resource
-    /// model's latency estimate by `straggler_factor`, a speculative
-    /// duplicate fleet is launched and the first successful result wins
-    /// (both fleets' resource cost is paid — the provider charges for every
-    /// invocation — but the query bills only the winner's scanned bytes, so
-    /// the $/TB price is unchanged). A crashed fleet is relaunched once;
-    /// when every CF attempt fails, the query degrades to the VM path
-    /// rather than failing, preserving Immediate/Relaxed semantics.
+    /// Every recovery decision here — when to relaunch a crashed fleet, when
+    /// to race a speculative duplicate, when to give up and degrade — is made
+    /// by the shared policy core ([`CfRace`]); this driver only *detects*
+    /// (a channel wait with a deadline) and *executes* (threads, MV cleanup).
+    /// If the first fleet exceeds the resource model's latency estimate by
+    /// `straggler_factor`, a duplicate fleet races it and the first
+    /// successful result wins (both fleets' resource cost is paid — the
+    /// provider charges for every invocation — but the query bills only the
+    /// winner's scanned bytes, so the $/TB price is unchanged). A crashed
+    /// fleet is relaunched once; when every CF attempt fails, the query
+    /// degrades to the VM path rather than failing, preserving
+    /// Immediate/Relaxed semantics.
     fn run_with_cf(
         &self,
         plan: &PhysicalPlan,
@@ -616,8 +708,6 @@ impl TurboEngine {
         trace: &TraceCtx,
     ) -> Result<ExecOutcome> {
         use std::sync::mpsc;
-        // Initial attempt plus one relaunch after total failure.
-        const MAX_CF_ATTEMPTS: u32 = 2;
 
         let start = Instant::now();
         let retries_before = self.store.metrics().retries;
@@ -625,32 +715,58 @@ impl TurboEngine {
         let (tx, rx) = mpsc::channel();
 
         // Straggler deadline: the model's estimate for the sub-plan on this
-        // fleet, scaled by the config factor and floored.
-        let work = QueryWork::from_plan(&split.sub_plan);
-        let est = work.exec_time_on_cores(self.cfg.cf_fleet_threads.max(1) as f64);
+        // fleet, scaled and floored by the shared policy rule. Detection
+        // stays driver-specific (a bounded channel wait); the *reaction* is
+        // the policy's.
+        let sub_work = QueryWork::from_plan(&split.sub_plan);
+        let est = sub_work.exec_time_on_cores(self.cfg.cf_fleet_threads.max(1) as f64);
         let straggler_wait =
-            Duration::from_micros(est.mul_f64(self.cfg.straggler_factor).as_micros())
-                .max(self.cfg.straggler_min_wait);
+            Duration::from_micros(
+                policy::straggler_deadline(
+                    est,
+                    self.cfg.straggler_factor,
+                    pixels_sim::SimDuration::from_micros(
+                        self.cfg.straggler_min_wait.as_micros() as u64
+                    ),
+                )
+                .as_micros(),
+            );
 
-        let mut attempts: Vec<pixels_planner::SplitPlan> = Vec::new();
-        self.launch_cf_attempt(0, &split, trace, tx.clone());
-        attempts.push(split);
+        let mut fx = EngineEffects {
+            engine: self,
+            plan,
+            trace,
+            tx: tx.clone(),
+            work: QueryWork::from_plan(plan),
+            first_split: Some(split),
+            attempts: Vec::new(),
+            attempt_costs: Vec::new(),
+        };
+        let mut race = CfRace::start(self.cfg.speculative_enabled, &mut fx);
 
-        let mut failed = 0u32;
-        let mut speculated = false;
+        let mut deadline_fired = false;
+        let mut failed_count = 0usize;
         let mut last_err: Option<Error> = None;
-        let winner: Option<(u32, ExecMetricsSnapshot)> = loop {
-            // Before speculation, wake at the straggler deadline; after, the
-            // only thing left to wait for is a result or total failure.
-            let timeout = if speculated || !self.cfg.speculative_enabled {
+        let mut winner: Option<(u32, ExecMetricsSnapshot)> = None;
+        while !race.is_finished() {
+            // Before the deadline fires, wake when it expires; after (the
+            // policy reacts to it at most once), the only thing left to wait
+            // for is a result or total failure.
+            let timeout = if deadline_fired || !self.cfg.speculative_enabled {
                 Duration::from_secs(3600)
             } else {
                 straggler_wait
             };
-            match rx.recv_timeout(timeout) {
-                Ok((idx, Ok(metrics))) => break Some((idx, metrics)),
+            let input = match rx.recv_timeout(timeout) {
+                Ok((idx, Ok(metrics))) => {
+                    winner = Some((idx, metrics));
+                    RaceInput::AttemptFinished {
+                        attempt: idx,
+                        failed: false,
+                    }
+                }
                 Ok((idx, Err(e))) => {
-                    failed += 1;
+                    failed_count += 1;
                     self.registry
                         .counter(
                             "pixels_turbo_cf_crashes_total",
@@ -664,34 +780,32 @@ impl TurboEngine {
                     last_err = Some(e);
                     // Failed attempts can't have materialized; delete is a
                     // no-op unless the failure raced materialization.
-                    let _ = self.store.delete(&attempts[idx as usize].mv_path);
+                    let _ = self.store.delete(&fx.attempts[idx as usize].mv_path);
                     self.footer_cache
-                        .invalidate(&attempts[idx as usize].mv_path);
-                    if failed == attempts.len() as u32 {
-                        if (attempts.len() as u32) < MAX_CF_ATTEMPTS {
-                            if let Some(retry_split) =
-                                split_for_acceleration(plan, &self.next_mv_path())
-                            {
-                                let attempt = attempts.len() as u32;
-                                events.push(QueryEvent::CfRetried { attempt });
-                                self.registry
-                                    .counter(
-                                        "pixels_turbo_cf_retries_total",
-                                        "CF sub-plans relaunched on a fresh fleet after a failure",
-                                    )
-                                    .add(1);
-                                self.launch_cf_attempt(attempt, &retry_split, trace, tx.clone());
-                                attempts.push(retry_split);
-                                continue;
-                            }
-                        }
-                        break None; // CF path exhausted
+                        .invalidate(&fx.attempts[idx as usize].mv_path);
+                    RaceInput::AttemptFinished {
+                        attempt: idx,
+                        failed: true,
                     }
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    speculated = true;
-                    if let Some(spec_split) = split_for_acceleration(plan, &self.next_mv_path()) {
-                        let attempt = attempts.len() as u32;
+                    deadline_fired = true;
+                    RaceInput::StragglerDeadline
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            for d in race.step(input, &mut fx) {
+                match d {
+                    Decision::Relaunch { attempt } => {
+                        events.push(QueryEvent::CfRetried { attempt });
+                        self.registry
+                            .counter(
+                                "pixels_turbo_cf_retries_total",
+                                "CF sub-plans relaunched on a fresh fleet after a failure",
+                            )
+                            .add(1);
+                    }
+                    Decision::StragglerSpeculate { attempt } => {
                         events.push(QueryEvent::StragglerDetected {
                             waited_ms: straggler_wait.as_millis() as u64,
                         });
@@ -708,21 +822,29 @@ impl TurboEngine {
                                 "Speculative duplicate CF fleets launched against stragglers",
                             )
                             .add(1);
-                        self.launch_cf_attempt(attempt, &spec_split, trace, tx.clone());
-                        attempts.push(spec_split);
                     }
+                    _ => {}
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => break None,
             }
-        };
+        }
         drop(tx);
-        let received = failed as usize + usize::from(winner.is_some());
+        let decisions = race.decisions.clone();
+        let speculated = race.speculated();
+        let EngineEffects {
+            tx: fx_tx,
+            attempts,
+            attempt_costs,
+            ..
+        } = fx;
+        drop(fx_tx);
+        let provider_cf_dollars: f64 = attempt_costs.iter().sum();
+        let received = failed_count + usize::from(winner.is_some());
         let mv_paths: Vec<String> = attempts.iter().map(|a| a.mv_path.clone()).collect();
 
         let Some((winner_idx, sub_metrics)) = winner else {
-            // Every CF attempt failed. Degrade to the VM tier: the query
-            // still completes (and bills the plain VM-path bytes), it just
-            // loses the acceleration.
+            // Every CF attempt failed (`Decision::Degrade`). Degrade to the
+            // VM tier: the query still completes (and bills the plain
+            // VM-path bytes), it just loses the acceleration.
             self.reap_stale_attempts(rx, mv_paths, attempts.len() - received);
             let reason = last_err
                 .map(|e| e.to_string())
@@ -748,6 +870,11 @@ impl TurboEngine {
                 // Degradation events precede whatever the VM run recorded.
                 events.extend(o.events);
                 o.events = events;
+                // The policy's decision log precedes the VM dispatch.
+                let mut all = decisions;
+                all.extend(o.decisions);
+                o.decisions = all;
+                o.provider_cf_dollars = provider_cf_dollars;
                 o
             });
         };
@@ -784,6 +911,17 @@ impl TurboEngine {
             metrics,
             events,
             retries,
+            decisions,
+            // The accepted execution's modelled cost: the winning fleet's
+            // invocation (same formula the sim's CfService charges).
+            resource_cost: CostBreakdown {
+                vm_dollars: 0.0,
+                cf_dollars: attempt_costs
+                    .get(winner_idx as usize)
+                    .copied()
+                    .unwrap_or(0.0),
+            },
+            provider_cf_dollars,
         })
     }
 
@@ -832,6 +970,58 @@ impl TurboEngine {
     }
 }
 
+/// Real-engine effect handler: [`CfRace`] decisions become spawned executor
+/// threads ("CF fleets"). Per-attempt faults and modelled costs are decided
+/// at launch by the shared policy rules, so a seeded fault plan produces the
+/// same attempt outcomes — and the same provider cost accrual — as the
+/// simulator's `CfService`.
+struct EngineEffects<'a> {
+    engine: &'a TurboEngine,
+    plan: &'a PhysicalPlan,
+    trace: &'a TraceCtx,
+    tx: std::sync::mpsc::Sender<(u32, Result<ExecMetricsSnapshot>)>,
+    /// Full-plan work estimate: the basis for modelled fleet cost, matching
+    /// the sim coordinator which charges CF fleets for the whole query.
+    work: QueryWork,
+    /// The initial split, computed by the caller before deciding on the CF
+    /// path; relaunches re-split the plan with a fresh MV path.
+    first_split: Option<pixels_planner::SplitPlan>,
+    attempts: Vec<pixels_planner::SplitPlan>,
+    attempt_costs: Vec<f64>,
+}
+
+impl CfEffects for EngineEffects<'_> {
+    fn launch(&mut self, attempt: u32) {
+        let split = match self.first_split.take() {
+            Some(s) => s,
+            // Splitting is a pure function of the plan; it succeeded for
+            // attempt 0, so it succeeds for every relaunch.
+            None => split_for_acceleration(self.plan, &self.engine.next_mv_path())
+                .expect("plan split succeeded for the first attempt"),
+        };
+        let faults = policy::decide_launch_faults(
+            &self.engine.injector,
+            self.engine.cost_model.startup(),
+            self.engine.cost_model.nominal_runtime(&self.work),
+        );
+        self.attempt_costs
+            .push(self.engine.cost_model.attempt_cost(&self.work, &faults));
+        self.engine
+            .launch_cf_attempt(attempt, faults, &split, self.trace, self.tx.clone());
+        self.attempts.push(split);
+    }
+
+    fn cancel_losers(&mut self, _winner: u32) {
+        // The engine can't interrupt a running fleet thread; losers are
+        // drained in the background by `reap_stale_attempts` after the race.
+    }
+
+    fn degrade_to_vm(&mut self) {
+        // The VM fallback runs on the caller thread once the race loop
+        // observes `Decision::Degrade`.
+    }
+}
+
 fn text_batch<'a>(column: &str, lines: impl Iterator<Item = &'a str>) -> RecordBatch {
     let schema = Arc::new(Schema::new(vec![Field::required(column, DataType::Utf8)]));
     let mut b = ColumnBuilder::new(DataType::Utf8);
@@ -851,6 +1041,9 @@ fn meta_outcome(batch: RecordBatch) -> ExecOutcome {
         metrics: ExecMetricsSnapshot::default(),
         events: Vec::new(),
         retries: 0,
+        decisions: Vec::new(),
+        resource_cost: CostBreakdown::default(),
+        provider_cf_dollars: 0.0,
     }
 }
 
@@ -1116,7 +1309,7 @@ mod tests {
 
     #[test]
     fn cf_crash_relaunches_on_fresh_fleet() {
-        use pixels_chaos::{FaultPlan, SiteSpec};
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
         let registry = MetricsRegistry::shared();
         // Exactly one crash: the first fleet dies, the relaunch succeeds.
         let plan = FaultPlan::none(42).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1));
@@ -1192,7 +1385,7 @@ mod tests {
 
     #[test]
     fn straggler_launches_speculative_duplicate_first_result_wins() {
-        use pixels_chaos::{FaultPlan, SiteSpec};
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
         let registry = MetricsRegistry::shared();
         // The first fleet straggles for 1.5 s; the speculative duplicate
         // (second draw, past the cap) runs clean and wins long before that.

@@ -20,6 +20,7 @@ pub mod cf_service;
 pub mod coordinator;
 pub mod engine;
 pub mod model;
+pub mod policy;
 pub mod vm_cluster;
 
 pub use billing::{CostBreakdown, Placement, ResourcePricing};
@@ -28,4 +29,5 @@ pub use coordinator::{Coordinator, FaultStats, QueryCompletion};
 pub use engine::{EngineConfig, ExecOutcome, QueryEvent, TurboEngine};
 pub use model::QueryWork;
 pub use pixels_exec::ExecMetricsSnapshot;
+pub use policy::{CfCostModel, CfEffects, CfRace, Decision, RaceInput, MAX_CF_ATTEMPTS};
 pub use vm_cluster::{VmCluster, VmCompletion, VmConfig};

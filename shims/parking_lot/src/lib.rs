@@ -119,6 +119,21 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Wait with a timeout; returns `true` if the wait timed out before a
+    /// notification arrived. The lock is re-acquired in either case.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        result.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
@@ -161,5 +176,17 @@ mod tests {
             cv.notify_one();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_reacquires() {
+        let pair = (Mutex::new(0), Condvar::new());
+        let mut guard = pair.0.lock();
+        let timed_out = pair
+            .1
+            .wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+        *guard += 1;
+        assert_eq!(*guard, 1);
     }
 }

@@ -1,0 +1,82 @@
+//! Sim-vs-real policy parity (integration gate).
+//!
+//! The heavy lifting lives in `pixels_bench::parity`, shared with the
+//! `policy_parity` CI binary: each scenario drives the same query with the
+//! same seeded fault plan through the simulated coordinator and the real
+//! engine, asserting bit-identical decision sequences, user bills, and
+//! provider cost breakdowns. The assertions run inside `run_scenario`; the
+//! tests here pin per-scenario decision shapes on top.
+
+use pixels_bench::parity;
+use pixels_turbo::Decision;
+
+fn labels(decisions: &[Decision]) -> Vec<String> {
+    decisions.iter().map(|d| format!("{d:?}")).collect()
+}
+
+#[test]
+fn clean_paths_agree_between_sim_and_real() {
+    let scenarios = parity::scenarios();
+    let vm = parity::run_scenario(&scenarios[0]);
+    assert_eq!(labels(&vm.decisions), ["DispatchVm"]);
+    let cf = parity::run_scenario(&scenarios[1]);
+    assert_eq!(
+        labels(&cf.decisions),
+        ["DispatchCf { attempt: 0 }", "Accept { attempt: 0 }"]
+    );
+    assert!(cf.resource_cost.cf_dollars > 0.0);
+    assert_eq!(
+        cf.resource_cost.cf_dollars, cf.provider_cf_dollars,
+        "a clean CF run has exactly one billed attempt"
+    );
+}
+
+#[test]
+fn crash_recovery_agrees_between_sim_and_real() {
+    let scenarios = parity::scenarios();
+    let once = parity::run_scenario(&scenarios[2]);
+    assert_eq!(
+        labels(&once.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "AttemptFailed { attempt: 0 }",
+            "Relaunch { attempt: 1 }",
+            "Accept { attempt: 1 }"
+        ]
+    );
+    assert!(
+        once.provider_cf_dollars > once.resource_cost.cf_dollars,
+        "the crashed attempt still costs the provider money"
+    );
+    let always = parity::run_scenario(&scenarios[3]);
+    assert_eq!(
+        labels(&always.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "AttemptFailed { attempt: 0 }",
+            "Relaunch { attempt: 1 }",
+            "AttemptFailed { attempt: 1 }",
+            "Degrade",
+            "DispatchVm"
+        ]
+    );
+    assert!(always.resource_cost.vm_dollars > 0.0);
+}
+
+#[test]
+fn straggler_speculation_agrees_between_sim_and_real() {
+    let scenarios = parity::scenarios();
+    let r = parity::run_scenario(&scenarios[4]);
+    assert_eq!(
+        labels(&r.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "StragglerSpeculate { attempt: 1 }",
+            "Accept { attempt: 1 }"
+        ]
+    );
+    assert!(
+        r.provider_cf_dollars > r.resource_cost.cf_dollars,
+        "the straggling loser still costs the provider money"
+    );
+}
