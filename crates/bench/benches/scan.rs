@@ -1,0 +1,153 @@
+//! Microbenchmarks for the encoded scan pipeline: executing on encoded
+//! chunks (dictionary-code predicates, RLE-run aggregation, late
+//! materialization) and serving chunk bytes from the chunk cache, each
+//! against the decode-everything baseline (`with_encoded_scan(false)`).
+//! Headline ratios are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pixels_catalog::{Catalog, CatalogRef, CreateTable};
+use pixels_common::{DataType, Field, RecordBatch, Schema, Value};
+use pixels_exec::{execute, ExecContext};
+use pixels_planner::{plan_query, PhysicalPlan};
+use pixels_storage::{ChunkCache, InMemoryObjectStore, ObjectStoreRef, PixelsReader, PixelsWriter};
+use std::sync::Arc;
+
+const ROWS: usize = 1 << 18;
+const ROW_GROUP_ROWS: usize = 4096;
+
+/// A table built to exercise the encoded kernels:
+/// - `tag`: 64 distinct values in 16-row runs → Dictionary; `tag = 'v7'`
+///   selects ~1/64 of the rows, so late materialization skips almost all
+///   payload decoding.
+/// - `grade`: 16-row runs of Int64 → RLE; grand-total COUNT/SUM/MIN/MAX
+///   fold whole runs without expansion.
+/// - `payload_a`/`payload_b`: distinct per row → Plain; the columns a
+///   selective filter should *not* have to decode.
+fn scan_fixture() -> (CatalogRef, ObjectStoreRef) {
+    let catalog = Catalog::shared();
+    let store: ObjectStoreRef = InMemoryObjectStore::shared();
+    catalog.create_database("bench");
+    let schema = Arc::new(Schema::new(vec![
+        Field::required("tag", DataType::Utf8),
+        Field::required("grade", DataType::Int64),
+        Field::required("payload_a", DataType::Int64),
+        Field::required("payload_b", DataType::Float64),
+    ]));
+    catalog
+        .create_table(CreateTable {
+            database: "bench".into(),
+            name: "wide".into(),
+            schema: schema.clone(),
+            primary_key: None,
+            foreign_keys: vec![],
+            comment: None,
+        })
+        .expect("create table");
+    let path = "bench/wide/part-0.pxl";
+    let mut w =
+        PixelsWriter::with_row_group_rows(store.as_ref(), path, schema.clone(), ROW_GROUP_ROWS);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(8192);
+    let mut written = 0usize;
+    while written < ROWS {
+        rows.clear();
+        for _ in 0..8192.min(ROWS - written) {
+            let i = written as i64;
+            rows.push(vec![
+                Value::Utf8(format!("v{}", (i / 16) % 64)),
+                Value::Int64(i / 16),
+                Value::Int64(i * 2654435761 % 1_000_003),
+                Value::Float64(i as f64 * 0.25),
+            ]);
+            written += 1;
+        }
+        let batch = RecordBatch::from_rows(schema.clone(), &rows).expect("batch");
+        w.write_batch(&batch).expect("write");
+    }
+    let size = w.finish().expect("finish");
+    let reader = PixelsReader::open(store.as_ref(), path).expect("open");
+    catalog
+        .register_data_file("bench", "wide", path, reader.footer(), size)
+        .expect("register");
+    (catalog, store)
+}
+
+fn run(plan: &PhysicalPlan, ctx: &ExecContext) -> usize {
+    execute(plan, ctx)
+        .expect("execute")
+        .iter()
+        .map(|b| b.num_rows())
+        .sum()
+}
+
+fn bench_scan_pipeline(c: &mut Criterion) {
+    let (catalog, store) = scan_fixture();
+    let mut g = c.benchmark_group("scan_pipeline");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(ROWS as u64));
+
+    // Selective dictionary filter with fat payload projection.
+    let dict_plan = plan_query(
+        &catalog,
+        "bench",
+        "SELECT payload_a, payload_b FROM wide WHERE tag = 'v7'",
+    )
+    .expect("plan");
+    g.bench_function("dict_filter/encoded", |b| {
+        b.iter(|| run(&dict_plan, &ExecContext::new(store.clone())))
+    });
+    g.bench_function("dict_filter/decoded", |b| {
+        b.iter(|| {
+            run(
+                &dict_plan,
+                &ExecContext::new(store.clone()).with_encoded_scan(false),
+            )
+        })
+    });
+
+    // Grand-total aggregation over RLE runs.
+    let agg_plan = plan_query(
+        &catalog,
+        "bench",
+        "SELECT COUNT(*), SUM(grade), MIN(grade), MAX(grade) FROM wide",
+    )
+    .expect("plan");
+    g.bench_function("rle_count_sum/encoded", |b| {
+        b.iter(|| run(&agg_plan, &ExecContext::new(store.clone())))
+    });
+    g.bench_function("rle_count_sum/decoded", |b| {
+        b.iter(|| {
+            run(
+                &agg_plan,
+                &ExecContext::new(store.clone()).with_encoded_scan(false),
+            )
+        })
+    });
+
+    // Chunk cache: cold (no cache) vs warm (pre-warmed shared cache).
+    let warm = ChunkCache::shared(256 << 20);
+    run(
+        &dict_plan,
+        &ExecContext::new(store.clone()).with_chunk_cache(warm.clone()),
+    );
+    g.bench_function("dict_filter/encoded_cold_cache", |b| {
+        b.iter(|| {
+            let cold = ChunkCache::shared(256 << 20);
+            run(
+                &dict_plan,
+                &ExecContext::new(store.clone()).with_chunk_cache(cold),
+            )
+        })
+    });
+    g.bench_function("dict_filter/encoded_warm_cache", |b| {
+        b.iter(|| {
+            run(
+                &dict_plan,
+                &ExecContext::new(store.clone()).with_chunk_cache(warm.clone()),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(scan, bench_scan_pipeline);
+criterion_main!(scan);

@@ -284,6 +284,65 @@ fn main() {
         }
     }
 
+    // ---- Prefetch-pipeline scenario: the same seeded GET-error plan hits a
+    // deployment whose scans prefetch (GETs issued ahead by the scan's I/O
+    // thread) and one running fetch+decode fused on the workers. Faults
+    // landing on prefetched GETs must be retried and billed exactly like
+    // synchronous reads: results, bytes, and bills identical across both —
+    // and against a fault-free baseline.
+    {
+        let name = "get_errors_30pct_prefetch_vs_sync";
+        let plan = FaultPlan::get_errors(SEED, 0.30);
+        let sync_cfg = EngineConfig {
+            prefetch_depth: 0,
+            ..EngineConfig::default()
+        };
+        let base_d = deploy(&FaultPlan::none(SEED), EngineConfig::default());
+        let chaos_pre = deploy(&plan, EngineConfig::default());
+        let chaos_sync = deploy(&plan, sync_cfg);
+        let mut base_runs = Vec::new();
+        let mut pre_runs = Vec::new();
+        let mut sync_runs = Vec::new();
+        for q in &queries {
+            base_runs.push(run_query(&base_d, q.sql, q.id, ServiceLevel::Immediate));
+            pre_runs.push(run_query(&chaos_pre, q.sql, q.id, ServiceLevel::Immediate));
+            sync_runs.push(run_query(&chaos_sync, q.sql, q.id, ServiceLevel::Immediate));
+        }
+        let mut equivalent = 0;
+        for ((b, p), s) in base_runs.iter().zip(&pre_runs).zip(&sync_runs) {
+            let ok_pre = check_pair(b, p).map_err(|e| format!("{name}/prefetch: {e}"));
+            let ok_sync = check_pair(s, p).map_err(|e| format!("{name}/prefetch-vs-sync: {e}"));
+            match (ok_pre, ok_sync) {
+                (Ok(()), Ok(())) => equivalent += 1,
+                (r1, r2) => failures.extend(r1.err().into_iter().chain(r2.err())),
+            }
+        }
+        let text = chaos_pre.server.metrics_text();
+        if metric_value(&text, "pixels_scan_prefetch_issued_total") <= 0.0 {
+            failures.push(format!("{name}: prefetcher never issued a fetch"));
+        }
+        if metric_value(&text, "pixels_faults_injected_total{site=\"storage_get\"}") <= 0.0 {
+            failures.push(format!("{name}: no faults hit the prefetching deployment"));
+        }
+        if metric_value(&text, "pixels_retries_total{site=\"storage_get\"}") <= 0.0 {
+            failures.push(format!("{name}: prefetched GET faults were not retried"));
+        }
+        scenarios.push(ScenarioResult {
+            name: name.into(),
+            level: "immediate",
+            queries: queries.len(),
+            equivalent,
+            faults_injected: chaos_pre.injector.injected_total(),
+            retries: pre_runs.iter().map(|r| r.retries).sum(),
+            availability: pre_runs.iter().filter(|r| r.finished).count() as f64
+                / pre_runs.len() as f64,
+            baseline_latency_ms: mean_latency_ms(&base_runs),
+            chaos_latency_ms: mean_latency_ms(&pre_runs),
+            baseline_bill: base_runs.iter().map(|r| r.price).sum(),
+            chaos_bill: pre_runs.iter().map(|r| r.price).sum(),
+        });
+    }
+
     // ---- CF scenarios: one deployment pair per query (so each query sees
     // the fault fresh), Immediate level, VM slot saturated so dispatch goes
     // to the CF tier. Placement is pinned CF on both sides — `capped` plans

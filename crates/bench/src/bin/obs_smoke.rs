@@ -33,8 +33,15 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "pixels_exec_bytes_scanned_total",
     "pixels_exec_rows_scanned_total",
     "pixels_exec_row_groups_read_total",
+    // scan pipeline
+    "pixels_scan_prefetch_issued_total",
+    "pixels_scan_prefetch_hits_total",
+    "pixels_scan_prefetch_wasted_total",
     // cache
     "pixels_cache_footer_hits_total",
+    "pixels_cache_chunk_hits_total",
+    "pixels_cache_chunk_misses_total",
+    "pixels_cache_chunk_evictions_total",
     // storage
     "pixels_storage_get_requests_total",
     "pixels_storage_bytes_read_total",

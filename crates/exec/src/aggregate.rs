@@ -253,14 +253,15 @@ impl Partial {
     }
 }
 
-/// Integer view of a column's raw payload, for checked integer SUM.
-enum IntSlice<'a> {
+/// Integer view of a column's raw payload, for checked integer SUM. Shared
+/// with the encoded aggregate path so both sum the identical i64 sequence.
+pub(crate) enum IntSlice<'a> {
     I32(&'a [i32]),
     I64(&'a [i64]),
 }
 
 impl IntSlice<'_> {
-    fn get(&self, i: usize) -> i64 {
+    pub(crate) fn get(&self, i: usize) -> i64 {
         match self {
             IntSlice::I32(v) => v[i] as i64,
             IntSlice::I64(v) => v[i],
@@ -268,7 +269,7 @@ impl IntSlice<'_> {
     }
 }
 
-fn int_view(data: &ColumnData) -> Option<IntSlice<'_>> {
+pub(crate) fn int_view(data: &ColumnData) -> Option<IntSlice<'_>> {
     match data {
         ColumnData::Int32(v) => Some(IntSlice::I32(v)),
         ColumnData::Int64(v) => Some(IntSlice::I64(v)),

@@ -1,7 +1,7 @@
 //! Execution context and per-query metrics.
 
 use pixels_obs::{Span, TraceCtx};
-use pixels_storage::{FooterCache, ObjectStoreRef};
+use pixels_storage::{ChunkCache, FooterCache, ObjectStoreRef};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -25,6 +25,17 @@ pub struct ExecContext {
     /// Footer/schema cache shared by every reader this context opens (and,
     /// when the caller shares one context-to-context, across queries).
     pub footer_cache: Arc<FooterCache>,
+    /// Optional bounded cache of raw chunk bytes. Cache hits skip the store
+    /// GET (and its latency) but bill exactly like a fetch — `bytes_scanned`
+    /// is metered from chunk metadata, never from store counters.
+    pub chunk_cache: Option<Arc<ChunkCache>>,
+    /// How many fetched-but-unconsumed morsels the scan prefetcher may hold
+    /// (double buffering = 2, the default). `0` disables prefetching.
+    pub prefetch_depth: usize,
+    /// Execute scans on encoded chunks (dictionary/RLE short cuts, chunk
+    /// zone-map checks, late materialization). `false` restores the
+    /// decode-everything path — kept as the benchmark baseline.
+    pub encoded_scan: bool,
     /// Where in the query's trace this context executes: operators open
     /// child spans under it. Disabled by default — a disabled context makes
     /// every span operation a no-op.
@@ -39,6 +50,9 @@ impl ExecContext {
             batch_size: 8192,
             parallelism: default_parallelism(),
             footer_cache: FooterCache::shared(),
+            chunk_cache: None,
+            prefetch_depth: 2,
+            encoded_scan: true,
             trace: TraceCtx::disabled(),
         }
     }
@@ -52,6 +66,25 @@ impl ExecContext {
     /// Same context sharing `cache` instead of a private footer cache.
     pub fn with_footer_cache(mut self, cache: Arc<FooterCache>) -> Self {
         self.footer_cache = cache;
+        self
+    }
+
+    /// Same context sharing a chunk-data cache.
+    pub fn with_chunk_cache(mut self, cache: Arc<ChunkCache>) -> Self {
+        self.chunk_cache = Some(cache);
+        self
+    }
+
+    /// Same context with a different prefetch depth (`0` = no prefetch).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Same context with encoded execution toggled. `false` is the
+    /// decode-everything baseline.
+    pub fn with_encoded_scan(mut self, enabled: bool) -> Self {
+        self.encoded_scan = enabled;
         self
     }
 
@@ -82,6 +115,30 @@ pub struct ExecMetrics {
     pub row_groups_total: AtomicU64,
     pub row_groups_read: AtomicU64,
     pub footer_cache_hits: AtomicU64,
+    // Scan-pipeline counters. Kept out of [`ExecMetricsSnapshot`] on
+    // purpose: that snapshot participates in engine-vs-simulator and
+    // fault-vs-fault-free equality comparisons, and pipeline behaviour
+    // (prefetch overlap, cache residency) legitimately varies without the
+    // query's answer or bill changing. See [`ScanPipelineSnapshot`].
+    pub prefetch_issued: AtomicU64,
+    pub prefetch_hits: AtomicU64,
+    pub prefetch_wasted: AtomicU64,
+    pub chunk_cache_hits: AtomicU64,
+    pub chunk_cache_misses: AtomicU64,
+}
+
+/// Point-in-time copy of the scan-pipeline counters (prefetcher + chunk
+/// cache). Telemetry only: none of these affect results or billing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanPipelineSnapshot {
+    /// Morsel fetches started by the prefetcher.
+    pub prefetch_issued: u64,
+    /// Morsels whose data was already resident when a worker asked.
+    pub prefetch_hits: u64,
+    /// Prefetched morsels never consumed (abort after an error).
+    pub prefetch_wasted: u64,
+    pub chunk_cache_hits: u64,
+    pub chunk_cache_misses: u64,
 }
 
 /// Point-in-time copy of [`ExecMetrics`].
@@ -146,6 +203,29 @@ impl ExecMetrics {
 
     pub fn add_footer_cache_hit(&self) {
         self.footer_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_prefetch(&self, issued: u64, hits: u64, wasted: u64) {
+        self.prefetch_issued.fetch_add(issued, Ordering::Relaxed);
+        self.prefetch_hits.fetch_add(hits, Ordering::Relaxed);
+        self.prefetch_wasted.fetch_add(wasted, Ordering::Relaxed);
+    }
+
+    pub fn add_chunk_cache(&self, hits: u64, misses: u64) {
+        self.chunk_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.chunk_cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the scan-pipeline counters (separate from
+    /// [`ExecMetrics::snapshot`], which feeds billing-equality checks).
+    pub fn pipeline_snapshot(&self) -> ScanPipelineSnapshot {
+        ScanPipelineSnapshot {
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            chunk_cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
+            chunk_cache_misses: self.chunk_cache_misses.load(Ordering::Relaxed),
+        }
     }
 
     pub fn snapshot(&self) -> ExecMetricsSnapshot {

@@ -1,0 +1,675 @@
+//! Encoded execution: evaluate scan filters and grand-total aggregates
+//! directly on encoded chunks, decoding as little as possible.
+//!
+//! Three decode-avoidance techniques, all proven bit-identical to the
+//! decode-everything path by the differential suite:
+//!
+//! - **Dictionary shortcut** — a `col <op> literal` predicate over a
+//!   dictionary chunk is evaluated once per *distinct* value, then mapped
+//!   over the per-row codes.
+//! - **RLE shortcut** — the same predicate over an RLE chunk is evaluated
+//!   once per *run*; COUNT/SUM/MIN/MAX fold runs without expanding them
+//!   (float sums still perform one add per row so accumulation order — and
+//!   therefore every last bit — matches the row-at-a-time loop).
+//! - **Chunk zone check** — per-chunk zone maps can prove a conjunct
+//!   all-false ([`pixels_storage::ColumnPredicate::may_match`]) or all-true
+//!   ([`pixels_storage::ColumnPredicate::must_match`]) before any decode.
+//!   Floats are excluded: zone maps compare with SQL semantics
+//!   (`-0.0 == 0.0`) while row masks use `total_cmp`.
+//!
+//! Conjuncts whose shape has no infallible encoded kernel fall back to the
+//! decoded batch with exactly the semantics of
+//! [`crate::evaluate::fused_filter_mask`] — including only evaluating
+//! scalar-fallback conjuncts on still-selected rows, so a row rejected
+//! early never reaches a later, possibly erroring, expression.
+
+use crate::aggregate::{int_view, AggState};
+use crate::context::ExecContext;
+use crate::evaluate::{
+    collect_conjuncts, compare_literal_mask, literal_comparable, ord_matches, vector_mask,
+    BatchRow, NumSlice,
+};
+use crate::parallel;
+use crate::scan::open_metered;
+use pixels_common::{
+    Column, ColumnBuilder, ColumnData, DataType, Error, RecordBatch, Result, SchemaRef, Value,
+};
+use pixels_planner::eval::eval_expr;
+use pixels_planner::{AggExpr, AggFunc, BoundExpr};
+use pixels_sql::ast::BinaryOp;
+use pixels_storage::{ColumnPredicate, ColumnStats, EncodedChunk, Encoding, PredicateOp};
+use std::cell::OnceCell;
+use std::sync::Arc;
+
+/// One row group's projected chunks, decoded lazily and at most once per
+/// column. Lives on a single worker thread for the duration of one morsel.
+pub struct LazyRowGroup {
+    schema: SchemaRef,
+    chunks: Vec<EncodedChunk>,
+    num_rows: usize,
+    decoded: Vec<OnceCell<Column>>,
+    full: OnceCell<RecordBatch>,
+}
+
+impl LazyRowGroup {
+    pub fn new(schema: SchemaRef, chunks: Vec<EncodedChunk>, num_rows: usize) -> Self {
+        let decoded = (0..chunks.len()).map(|_| OnceCell::new()).collect();
+        LazyRowGroup {
+            schema,
+            chunks,
+            num_rows,
+            decoded,
+            full: OnceCell::new(),
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn chunk(&self, i: usize) -> &EncodedChunk {
+        &self.chunks[i]
+    }
+
+    /// The column at `i`, decoded on first use and memoized.
+    pub fn column(&self, i: usize) -> Result<&Column> {
+        if self.decoded[i].get().is_none() {
+            let col = self.chunks[i].decode()?;
+            let _ = self.decoded[i].set(col);
+        }
+        Ok(self.decoded[i].get().expect("column just decoded"))
+    }
+
+    /// The fully decoded batch, built on first use and memoized. Only the
+    /// scalar/vector fallback paths need it.
+    pub fn full_batch(&self) -> Result<&RecordBatch> {
+        if self.full.get().is_none() {
+            let cols: Vec<Column> = (0..self.chunks.len())
+                .map(|i| self.column(i).cloned())
+                .collect::<Result<_>>()?;
+            let batch = RecordBatch::try_new(self.schema.clone(), cols)?;
+            let _ = self.full.set(batch);
+        }
+        Ok(self.full.get().expect("batch just built"))
+    }
+
+    /// Materialize only the rows selected by `mask` (late materialization):
+    /// chunks never decoded for filtering are decoded filtered, skipping
+    /// value copies for rejected rows.
+    pub fn materialize(&self, mask: &[bool]) -> Result<RecordBatch> {
+        if mask.iter().all(|&m| m) {
+            return self.materialize_all();
+        }
+        let cols = self
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| match self.decoded[i].get() {
+                Some(col) => col.filter(mask),
+                None => chunk.decode_filtered(mask),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        RecordBatch::try_new(self.schema.clone(), cols)
+    }
+
+    pub fn materialize_all(&self) -> Result<RecordBatch> {
+        if let Some(b) = self.full.get() {
+            return Ok(b.clone());
+        }
+        let cols: Vec<Column> = (0..self.chunks.len())
+            .map(|i| self.column(i).cloned())
+            .collect::<Result<_>>()?;
+        RecordBatch::try_new(self.schema.clone(), cols)
+    }
+}
+
+fn and_into(mask: &mut [bool], m: &[bool]) {
+    for (acc, &v) in mask.iter_mut().zip(m) {
+        *acc &= v;
+    }
+}
+
+/// Evaluate the residual filter conjunction against encoded chunks,
+/// producing the same mask [`crate::evaluate::fused_filter_mask`] would
+/// produce over the decoded batch. `stats` holds the per-chunk zone maps,
+/// one per projected column.
+pub fn encoded_filter_mask(
+    filters: &[BoundExpr],
+    lazy: &LazyRowGroup,
+    stats: &[&ColumnStats],
+) -> Result<Vec<bool>> {
+    let n = lazy.num_rows();
+    let mut mask = vec![true; n];
+    let mut conjuncts = Vec::new();
+    for f in filters {
+        collect_conjuncts(f, &mut conjuncts);
+    }
+    for conj in conjuncts {
+        // All-false masks can stop early: remaining vectorized conjuncts are
+        // infallible and scalar conjuncts only run on selected rows (none).
+        if !mask.contains(&true) {
+            break;
+        }
+        if let Some(m) = encoded_conjunct_mask(conj, lazy, stats)? {
+            and_into(&mut mask, &m);
+        } else if let Some(m) = vector_mask(conj, lazy.full_batch()?)? {
+            and_into(&mut mask, &m);
+        } else {
+            let batch = lazy.full_batch()?;
+            for (row, acc) in mask.iter_mut().enumerate() {
+                if *acc {
+                    let v = eval_expr(conj, &BatchRow { batch, row })?;
+                    *acc = matches!(v, Value::Boolean(true));
+                }
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// Translate `col <op> literal` (either orientation) into a zone-map
+/// predicate op. `NotEq` has no zone form.
+fn zone_op(op: BinaryOp, flipped: bool) -> Option<PredicateOp> {
+    Some(match (op, flipped) {
+        (BinaryOp::Eq, _) => PredicateOp::Eq,
+        (BinaryOp::Lt, false) | (BinaryOp::Gt, true) => PredicateOp::Lt,
+        (BinaryOp::LtEq, false) | (BinaryOp::GtEq, true) => PredicateOp::LtEq,
+        (BinaryOp::Gt, false) | (BinaryOp::Lt, true) => PredicateOp::Gt,
+        (BinaryOp::GtEq, false) | (BinaryOp::LtEq, true) => PredicateOp::GtEq,
+        _ => return None,
+    })
+}
+
+/// Evaluate one conjunct against the encoded chunks when an infallible
+/// encoded kernel exists; `None` sends the conjunct to the decoded
+/// vector/scalar fallback.
+fn encoded_conjunct_mask(
+    conj: &BoundExpr,
+    lazy: &LazyRowGroup,
+    stats: &[&ColumnStats],
+) -> Result<Option<Vec<bool>>> {
+    let n = lazy.num_rows();
+    // `col IS [NOT] NULL` straight off the chunk's validity header.
+    if let BoundExpr::IsNull { expr, negated } = conj {
+        let BoundExpr::ColumnRef { index, .. } = expr.as_ref() else {
+            return Ok(None);
+        };
+        let chunk = lazy.chunk(*index);
+        return Ok(Some(match chunk.validity() {
+            Some(bits) => bits.iter().map(|&valid| valid == *negated).collect(),
+            None => vec![*negated; n],
+        }));
+    }
+    let BoundExpr::BinaryOp {
+        left, op, right, ..
+    } = conj
+    else {
+        return Ok(None);
+    };
+    if !op.is_comparison() {
+        return Ok(None);
+    }
+    let (idx, lit, flipped) = match (left.as_ref(), right.as_ref()) {
+        (BoundExpr::ColumnRef { index, .. }, BoundExpr::Literal(v)) => (*index, v, false),
+        (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) => (*index, v, true),
+        _ => return Ok(None),
+    };
+    let chunk = lazy.chunk(idx);
+    if lit.is_null() {
+        // Comparing against NULL yields NULL for every row; a mask renders
+        // that as false (matches `compare_literal_mask`).
+        return Ok(Some(vec![false; n]));
+    }
+    if !literal_comparable(chunk.data_type(), lit) {
+        // No infallible kernel for this combination: the fallback must see
+        // the conjunct, because it may legitimately error per row.
+        return Ok(None);
+    }
+    // Chunk-level zone check: the zone map can prove the conjunct's verdict
+    // for the whole chunk without touching the payload. Floats are excluded
+    // (zone maps use SQL comparison, masks use total_cmp).
+    if !matches!(chunk.data_type(), DataType::Float64) && !matches!(lit, Value::Float64(_)) {
+        if let Some(pred_op) = zone_op(*op, flipped) {
+            let pred = ColumnPredicate {
+                column: idx,
+                op: pred_op,
+                value: lit.clone(),
+            };
+            if !pred.may_match(stats[idx]) {
+                return Ok(Some(vec![false; n]));
+            }
+            if pred.must_match(stats[idx]) {
+                return Ok(Some(vec![true; n]));
+            }
+        }
+    }
+    match chunk.encoding() {
+        Encoding::Dictionary => {
+            let Value::Utf8(s) = lit else {
+                return Ok(None);
+            };
+            let view = chunk.dict_view()?;
+            // One comparison per distinct value, mapped over the codes.
+            let verdicts: Vec<bool> = view
+                .dict
+                .iter()
+                .map(|e| ord_matches(e.as_str().cmp(s.as_str()), *op, flipped))
+                .collect();
+            let mut mask: Vec<bool> = view.codes.iter().map(|&c| verdicts[c as usize]).collect();
+            if let Some(validity) = chunk.validity() {
+                and_into(&mut mask, validity);
+            }
+            Ok(Some(mask))
+        }
+        Encoding::Rle => {
+            let runs = chunk.rle_runs()?;
+            // One comparison per run, reproducing compare_literal_mask's
+            // per-element semantics exactly.
+            let verdicts: Option<Vec<bool>> = match (&runs.values, lit) {
+                (ColumnData::Int64(v), _) if lit.as_i64().is_some() => {
+                    let t = lit.as_i64().unwrap();
+                    Some(
+                        v.iter()
+                            .map(|x| ord_matches(x.cmp(&t), *op, flipped))
+                            .collect(),
+                    )
+                }
+                (ColumnData::Timestamp(v), Value::Timestamp(t)) => Some(
+                    v.iter()
+                        .map(|x| ord_matches(x.cmp(t), *op, flipped))
+                        .collect(),
+                ),
+                (ColumnData::Int32(v), _) if lit.as_i64().is_some() => {
+                    let t = lit.as_i64().unwrap();
+                    Some(
+                        v.iter()
+                            .map(|&x| ord_matches((x as i64).cmp(&t), *op, flipped))
+                            .collect(),
+                    )
+                }
+                (ColumnData::Date(v), Value::Date(d)) => {
+                    let t = *d as i64;
+                    Some(
+                        v.iter()
+                            .map(|&x| ord_matches((x as i64).cmp(&t), *op, flipped))
+                            .collect(),
+                    )
+                }
+                (ColumnData::Float64(v), _) if lit.as_f64().is_some() => {
+                    let t = lit.as_f64().unwrap();
+                    Some(
+                        v.iter()
+                            .map(|x| ord_matches(x.total_cmp(&t), *op, flipped))
+                            .collect(),
+                    )
+                }
+                _ => None,
+            };
+            let Some(verdicts) = verdicts else {
+                return Ok(compare_literal_mask(lazy.column(idx)?, *op, lit, flipped));
+            };
+            let mut mask = Vec::with_capacity(n);
+            for (&count, &verdict) in runs.counts.iter().zip(&verdicts) {
+                mask.extend(std::iter::repeat_n(verdict, count as usize));
+            }
+            if let Some(validity) = chunk.validity() {
+                and_into(&mut mask, validity);
+            }
+            Ok(Some(mask))
+        }
+        Encoding::Plain => Ok(compare_literal_mask(lazy.column(idx)?, *op, lit, flipped)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoded grand-total aggregation
+// ---------------------------------------------------------------------------
+
+/// Replicate [`crate::aggregate::partition_batches`] over per-morsel row
+/// counts, so the encoded path merges float partial sums in exactly the
+/// partition structure the decoded path uses at equal parallelism.
+fn partition_morsels(rows: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, rows.len().max(1));
+    let total: usize = rows.iter().sum();
+    let target = total.div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    let mut current_rows = 0;
+    for (i, &r) in rows.iter().enumerate() {
+        current_rows += r;
+        if current_rows >= target && out.len() + 1 < parts {
+            out.push(start..i + 1);
+            start = i + 1;
+            current_rows = 0;
+        }
+    }
+    if start < rows.len() {
+        out.push(start..rows.len());
+    }
+    out
+}
+
+/// Execute `SELECT agg(..), ..` (no GROUP BY, no residual filters) directly
+/// over encoded chunks: COUNT from validity headers, SUM/MIN/MAX over RLE
+/// runs and dictionary entries, decoding only Plain chunks. Metering, spans,
+/// and results are bit-identical to scanning then aggregating.
+pub fn execute_encoded_aggregate(
+    ctx: &ExecContext,
+    paths: &[String],
+    projection: &[usize],
+    zone_predicates: &[ColumnPredicate],
+    aggs: &[AggExpr],
+    output_schema: &SchemaRef,
+) -> Result<Vec<RecordBatch>> {
+    // The bypassed Scan operator still gets its span, so query profiles keep
+    // the same shape and span byte sums still reconcile against the bill.
+    let mut scan_span = ctx.trace.span("scan");
+    let sctx = ctx.under(&scan_span);
+
+    let mut readers = Vec::with_capacity(paths.len());
+    let mut schemas: Vec<SchemaRef> = Vec::with_capacity(paths.len());
+    let mut morsels: Vec<(usize, usize)> = Vec::new();
+    for (fi, path) in paths.iter().enumerate() {
+        let reader = open_metered(&sctx, path)?;
+        let retained = reader.prune_row_groups(zone_predicates);
+        sctx.metrics
+            .add_row_groups(reader.num_row_groups() as u64, retained.len() as u64);
+        morsels.extend(retained.into_iter().map(|rg| (fi, rg)));
+        schemas.push(Arc::new(reader.schema().project(projection)));
+        readers.push(reader);
+    }
+
+    let rows: Vec<usize> = morsels
+        .iter()
+        .map(|&(fi, rg)| readers[fi].footer().row_groups[rg].num_rows as usize)
+        .collect();
+    let partitions = partition_morsels(&rows, ctx.parallelism);
+    let cache = ctx.chunk_cache.as_deref();
+
+    let partials = parallel::run_indexed(partitions.len(), ctx.parallelism, |p| {
+        let mut states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+        let mut any_rows = false;
+        for i in partitions[p].clone() {
+            let (fi, rg) = morsels[i];
+            let reader = &readers[fi];
+            let mut span = sctx.trace.span("morsel");
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let chunks = projection
+                .iter()
+                .map(|&col| {
+                    let (chunk, hit) = reader.read_encoded_chunk(rg, col, cache)?;
+                    if hit {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                    Ok(chunk)
+                })
+                .collect::<Result<Vec<EncodedChunk>>>()?;
+            sctx.metrics.add_chunk_cache(hits, misses);
+            let num_rows = rows[i];
+            let lazy = LazyRowGroup::new(schemas[fi].clone(), chunks, num_rows);
+            for (ai, agg) in aggs.iter().enumerate() {
+                fold_agg(&mut states[ai], agg, &lazy)?;
+            }
+            any_rows |= num_rows > 0;
+            let bytes = reader.row_group_bytes(rg, Some(projection));
+            if span.enabled() {
+                span.record_u64("row_group", rg as u64);
+                span.record_u64("rows", num_rows as u64);
+                span.record_u64("bytes", bytes);
+            }
+            sctx.metrics.add_scan(bytes, num_rows as u64);
+            sctx.metrics.add_produced(num_rows as u64);
+        }
+        Ok(any_rows.then_some(states))
+    })?;
+
+    // Merge partials in partition order, mirroring merge_partial: the first
+    // non-empty partial's states carry over wholesale, later ones merge.
+    let mut acc: Option<Vec<AggState>> = None;
+    for part in partials.into_iter().flatten() {
+        if let Some(a) = acc.as_mut() {
+            for (x, y) in a.iter_mut().zip(&part) {
+                x.merge(y)?;
+            }
+        } else {
+            acc = Some(part);
+        }
+    }
+    // A grand total over zero rows still yields one output row.
+    let states = acc.unwrap_or_else(|| aggs.iter().map(AggState::new).collect());
+
+    scan_span.record_u64("rows_out", rows.iter().sum::<usize>() as u64);
+    drop(scan_span);
+
+    let mut builders: Vec<ColumnBuilder> = output_schema
+        .fields()
+        .iter()
+        .map(|f| ColumnBuilder::with_capacity(f.data_type, 1))
+        .collect();
+    for (ai, s) in states.iter().enumerate() {
+        let v = s.finish();
+        let b = &mut builders[ai];
+        if v.is_null() {
+            b.push_null();
+        } else {
+            b.push(&v)?;
+        }
+    }
+    let columns = builders.into_iter().map(|b| b.finish()).collect();
+    Ok(vec![RecordBatch::try_new(output_schema.clone(), columns)?])
+}
+
+/// Fold one morsel's chunk into one aggregate state, reproducing
+/// `update_agg_column`'s per-row semantics (including accumulation order for
+/// floats and checked overflow for integer sums).
+fn fold_agg(state: &mut AggState, agg: &AggExpr, lazy: &LazyRowGroup) -> Result<()> {
+    let n = lazy.num_rows();
+    let Some(arg) = &agg.arg else {
+        // COUNT(*): every row counts, no chunk needed.
+        if let AggState::Count(c) = state {
+            *c += n as i64;
+        } else {
+            for _ in 0..n {
+                state.update(&Value::Int64(1))?;
+            }
+        }
+        return Ok(());
+    };
+    let BoundExpr::ColumnRef { index, .. } = arg else {
+        return Err(Error::Exec(
+            "encoded aggregate requires bare column arguments".into(),
+        ));
+    };
+    match agg.func {
+        AggFunc::Count => {
+            // Valid-row count straight off the validity header — no decode.
+            if let AggState::Count(c) = state {
+                *c += lazy.chunk(*index).count_valid() as i64;
+            }
+            Ok(())
+        }
+        AggFunc::Sum | AggFunc::Avg => fold_numeric(state, lazy, *index),
+        AggFunc::Min | AggFunc::Max => fold_minmax(state, lazy, *index),
+    }
+}
+
+/// SUM/AVG over one chunk. RLE chunks fold per run; everything else decodes
+/// and replicates the typed update loops exactly.
+fn fold_numeric(state: &mut AggState, lazy: &LazyRowGroup, idx: usize) -> Result<()> {
+    let chunk = lazy.chunk(idx);
+    if chunk.encoding() == Encoding::Rle && try_fold_rle_numeric(state, chunk)? {
+        return Ok(());
+    }
+    let col = lazy.column(idx)?;
+    let validity = col.validity();
+    let valid = |row: usize| validity.is_none_or(|v| v[row]);
+    match state {
+        AggState::SumFloat { sum, seen } => {
+            if let Some(ns) = NumSlice::of(col.data()) {
+                for row in 0..col.len() {
+                    if valid(row) {
+                        *sum += ns.get(row);
+                        *seen = true;
+                    }
+                }
+                return Ok(());
+            }
+        }
+        AggState::SumInt { sum, seen } => {
+            if let Some(xs) = int_view(col.data()) {
+                for row in 0..col.len() {
+                    if valid(row) {
+                        *sum = sum
+                            .checked_add(xs.get(row))
+                            .ok_or_else(|| Error::Exec("SUM overflow".into()))?;
+                        *seen = true;
+                    }
+                }
+                return Ok(());
+            }
+        }
+        AggState::Avg { sum, count } => {
+            if let Some(ns) = NumSlice::of(col.data()) {
+                for row in 0..col.len() {
+                    if valid(row) {
+                        *sum += ns.get(row);
+                        *count += 1;
+                    }
+                }
+                return Ok(());
+            }
+        }
+        _ => {}
+    }
+    fold_general(state, col)
+}
+
+/// Fold an RLE chunk's runs into a SUM/AVG state without expanding them.
+/// Returns false (untouched state) when the value type has no run kernel.
+fn try_fold_rle_numeric(state: &mut AggState, chunk: &EncodedChunk) -> Result<bool> {
+    let runs = chunk.rle_runs()?;
+    // Compatibility is decided before any mutation so a bail-out leaves the
+    // state untouched.
+    match state {
+        AggState::SumInt { .. } if int_view(&runs.values).is_none() => return Ok(false),
+        AggState::SumFloat { .. } | AggState::Avg { .. }
+            if NumSlice::of(&runs.values).is_none() =>
+        {
+            return Ok(false)
+        }
+        AggState::SumInt { .. } | AggState::SumFloat { .. } | AggState::Avg { .. } => {}
+        _ => return Ok(false),
+    }
+    let validity = chunk.validity();
+    let mut row = 0usize;
+    for (ri, &count) in runs.counts.iter().enumerate() {
+        let count = count as usize;
+        let valid = match validity {
+            Some(bits) => bits[row..row + count].iter().filter(|&&b| b).count(),
+            None => count,
+        };
+        row += count;
+        if valid == 0 {
+            continue;
+        }
+        match state {
+            AggState::SumInt { sum, seen } => {
+                let v = int_view(&runs.values).expect("checked above").get(ri);
+                // Within a run the partial sums are monotonic, so the
+                // sequential checked adds overflow iff the endpoint does.
+                let end = *sum as i128 + v as i128 * valid as i128;
+                *sum = i64::try_from(end).map_err(|_| Error::Exec("SUM overflow".into()))?;
+                *seen = true;
+            }
+            AggState::SumFloat { sum, seen } => {
+                let v = NumSlice::of(&runs.values).expect("checked above").get(ri);
+                // One add per valid row (not `valid * v`): float accumulation
+                // order must match the decoded loop to the bit.
+                for _ in 0..valid {
+                    *sum += v;
+                }
+                *seen = true;
+            }
+            AggState::Avg { sum, count } => {
+                let v = NumSlice::of(&runs.values).expect("checked above").get(ri);
+                for _ in 0..valid {
+                    *sum += v;
+                }
+                *count += valid as i64;
+            }
+            _ => unreachable!("filtered by the compatibility check"),
+        }
+    }
+    Ok(true)
+}
+
+/// MIN/MAX over one chunk: one strict update per RLE run / used dictionary
+/// entry (order-independent under `total_cmp`), decoded loop for Plain.
+fn fold_minmax(state: &mut AggState, lazy: &LazyRowGroup, idx: usize) -> Result<()> {
+    let chunk = lazy.chunk(idx);
+    match chunk.encoding() {
+        Encoding::Rle => {
+            let runs = chunk.rle_runs()?;
+            let validity = chunk.validity();
+            let mut row = 0usize;
+            for (ri, &count) in runs.counts.iter().enumerate() {
+                let count = count as usize;
+                let any_valid = match validity {
+                    Some(bits) => bits[row..row + count].iter().any(|&b| b),
+                    None => true,
+                };
+                row += count;
+                if any_valid {
+                    state.update(&run_value(&runs.values, ri))?;
+                }
+            }
+            Ok(())
+        }
+        Encoding::Dictionary => {
+            let view = chunk.dict_view()?;
+            let validity = chunk.validity();
+            let mut used = vec![false; view.dict.len()];
+            for (row, &code) in view.codes.iter().enumerate() {
+                if validity.is_none_or(|v| v[row]) {
+                    used[code as usize] = true;
+                }
+            }
+            for (entry, used) in view.dict.iter().zip(used) {
+                if used {
+                    state.update(&Value::Utf8(entry.clone()))?;
+                }
+            }
+            Ok(())
+        }
+        Encoding::Plain => fold_general(state, lazy.column(idx)?),
+    }
+}
+
+/// The general per-row fold — exactly `update_agg_column`'s tail loop for a
+/// single group without DISTINCT.
+fn fold_general(state: &mut AggState, col: &Column) -> Result<()> {
+    for row in 0..col.len() {
+        let v = col.value(row);
+        if v.is_null() {
+            continue; // aggregates skip NULLs
+        }
+        state.update(&v)?;
+    }
+    Ok(())
+}
+
+/// One run's value as a `Value` (floats keep their exact bits).
+fn run_value(values: &ColumnData, i: usize) -> Value {
+    match values {
+        ColumnData::Boolean(v) => Value::Boolean(v[i]),
+        ColumnData::Int32(v) => Value::Int32(v[i]),
+        ColumnData::Date(v) => Value::Date(v[i]),
+        ColumnData::Int64(v) => Value::Int64(v[i]),
+        ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+        ColumnData::Float64(v) => Value::Float64(v[i]),
+        ColumnData::Utf8(v) => Value::Utf8(v[i].clone()),
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::aggregate::{execute_aggregate, execute_distinct};
 use crate::context::ExecContext;
+use crate::encoded::execute_encoded_aggregate;
 use crate::evaluate::{evaluate, fused_filter_mask};
 use crate::join::{execute_join, RowSink};
 use crate::parallel;
@@ -9,7 +10,7 @@ use crate::scan::{execute_scan, open_metered};
 use crate::sort::{execute_limit, execute_sort, execute_topk};
 use pixels_common::{RecordBatch, Result, Value};
 use pixels_planner::eval::{eval_expr, NoRow};
-use pixels_planner::PhysicalPlan;
+use pixels_planner::{BoundExpr, PhysicalPlan};
 
 /// Stable span name for each operator, used in query profiles.
 pub fn operator_name(plan: &PhysicalPlan) -> &'static str {
@@ -150,6 +151,36 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<RecordBat
             aggs,
             output_schema,
         } => {
+            // Grand totals over a bare scan fold encoded chunks directly —
+            // COUNT from validity headers, SUM/MIN/MAX over RLE runs and
+            // dictionary entries — skipping row materialization entirely.
+            // Gated on exactly the shapes whose per-row semantics the
+            // encoded path reproduces bit-identically.
+            if ctx.encoded_scan && group_exprs.is_empty() {
+                if let PhysicalPlan::Scan {
+                    paths,
+                    projection,
+                    zone_predicates,
+                    filters,
+                    ..
+                } = input.as_ref()
+                {
+                    let simple_args = aggs.iter().all(|a| {
+                        !a.distinct
+                            && matches!(a.arg.as_ref(), None | Some(BoundExpr::ColumnRef { .. }))
+                    });
+                    if filters.is_empty() && simple_args {
+                        return execute_encoded_aggregate(
+                            ctx,
+                            paths,
+                            projection,
+                            zone_predicates,
+                            aggs,
+                            output_schema,
+                        );
+                    }
+                }
+            }
             let batches = execute(input, ctx)?;
             execute_aggregate(&batches, group_exprs, aggs, output_schema, ctx.parallelism)
         }

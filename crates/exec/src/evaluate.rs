@@ -132,7 +132,7 @@ pub fn fused_filter_mask(filters: &[BoundExpr], batch: &RecordBatch) -> Result<V
 }
 
 /// Flatten nested `a AND b AND c` into its conjuncts, in evaluation order.
-fn collect_conjuncts<'a>(expr: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
+pub(crate) fn collect_conjuncts<'a>(expr: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
     if let BoundExpr::BinaryOp {
         left,
         op: BinaryOp::And,
@@ -151,7 +151,7 @@ fn collect_conjuncts<'a>(expr: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
 /// `None` when the shape has no fast path. Every path here is infallible
 /// per-row (no casts, no incomparable types), so evaluating rows that a
 /// fused conjunction already rejected is safe.
-fn vector_mask(expr: &BoundExpr, batch: &RecordBatch) -> Result<Option<Vec<bool>>> {
+pub(crate) fn vector_mask(expr: &BoundExpr, batch: &RecordBatch) -> Result<Option<Vec<bool>>> {
     if let Some(mask) = is_null_fast_path(expr, batch) {
         return Ok(Some(mask));
     }
@@ -283,12 +283,29 @@ fn compare_fast_path(expr: &BoundExpr, batch: &RecordBatch) -> Result<Option<Vec
         (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) => (*index, v, true),
         _ => return Ok(None),
     };
+    Ok(compare_literal_mask(
+        batch.column(col_idx),
+        *op,
+        lit,
+        flipped,
+    ))
+}
+
+/// The kernel behind [`compare_fast_path`], shared with the encoded scan
+/// path so dictionary/RLE shortcut masks reproduce these exact semantics.
+/// `None` when the column-type/literal combination has no fast path (mixed
+/// numeric widths fall back to the scalar path for exact widening).
+pub(crate) fn compare_literal_mask(
+    col: &Column,
+    op: BinaryOp,
+    lit: &Value,
+    flipped: bool,
+) -> Option<Vec<bool>> {
     if lit.is_null() {
-        return Ok(Some(vec![false; batch.num_rows()]));
+        return Some(vec![false; col.len()]);
     }
-    let col = batch.column(col_idx);
     let cmp_i64 = |target: i64, data: &[i64], small: Option<&[i32]>| -> Vec<bool> {
-        let check = |x: i64| ord_matches(x.cmp(&target), *op, flipped);
+        let check = |x: i64| ord_matches(x.cmp(&target), op, flipped);
         match small {
             Some(s) => s.iter().map(|&x| check(x as i64)).collect(),
             None => data.iter().map(|&x| check(x)).collect(),
@@ -306,26 +323,46 @@ fn compare_fast_path(expr: &BoundExpr, batch: &RecordBatch) -> Result<Option<Vec
         (ColumnData::Float64(v), _) if lit.as_f64().is_some() => {
             let target = lit.as_f64().unwrap();
             v.iter()
-                .map(|x| ord_matches(x.total_cmp(&target), *op, flipped))
+                .map(|x| ord_matches(x.total_cmp(&target), op, flipped))
                 .collect()
         }
         (ColumnData::Utf8(v), Value::Utf8(s)) => v
             .iter()
-            .map(|x| ord_matches(x.as_str().cmp(s.as_str()), *op, flipped))
+            .map(|x| ord_matches(x.as_str().cmp(s.as_str()), op, flipped))
             .collect(),
         // Mixed-type comparisons (e.g. Int32 column vs Float64 literal) fall
         // back to the scalar path for exact widening semantics.
-        _ => return Ok(None),
+        _ => return None,
     };
     if let Some(validity) = col.validity() {
         for (m, &valid) in mask.iter_mut().zip(validity) {
             *m &= valid;
         }
     }
-    Ok(Some(mask))
+    Some(mask)
 }
 
-fn ord_matches(ord: std::cmp::Ordering, op: BinaryOp, flipped: bool) -> bool {
+/// Whether [`compare_literal_mask`] has a fast path for this column type and
+/// (non-null) literal — i.e. whether the comparison is infallible per row.
+pub(crate) fn literal_comparable(ty: DataType, lit: &Value) -> bool {
+    matches!(
+        (ty, lit),
+        (DataType::Int64, _) if lit.as_i64().is_some()
+    ) || matches!(
+        (ty, lit),
+        (DataType::Int32, _) if lit.as_i64().is_some()
+    ) || matches!(
+        (ty, lit),
+        (DataType::Float64, _) if lit.as_f64().is_some()
+    ) || matches!(
+        (ty, lit),
+        (DataType::Timestamp, Value::Timestamp(_))
+            | (DataType::Date, Value::Date(_))
+            | (DataType::Utf8, Value::Utf8(_))
+    )
+}
+
+pub(crate) fn ord_matches(ord: std::cmp::Ordering, op: BinaryOp, flipped: bool) -> bool {
     let ord = if flipped { ord.reverse() } else { ord };
     match op {
         BinaryOp::Eq => ord.is_eq(),

@@ -14,18 +14,23 @@
 
 pub mod aggregate;
 pub mod context;
+pub mod encoded;
 pub mod engine;
 pub mod evaluate;
 pub mod join;
 pub mod keys;
 pub mod parallel;
+pub mod prefetch;
 pub mod scalar;
 pub mod scan;
 pub mod sort;
 
-pub use context::{default_parallelism, ExecContext, ExecMetrics, ExecMetricsSnapshot};
+pub use context::{
+    default_parallelism, ExecContext, ExecMetrics, ExecMetricsSnapshot, ScanPipelineSnapshot,
+};
 pub use engine::{execute, execute_collect, operator_name};
 pub use evaluate::{evaluate, fused_filter_mask, predicate_mask};
+pub use prefetch::PrefetchStats;
 
 use pixels_common::{RecordBatch, Result, SchemaRef};
 use pixels_storage::{ObjectStore, PixelsWriter};

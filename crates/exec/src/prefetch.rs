@@ -1,0 +1,280 @@
+//! Morsel prefetching: overlap the next morsel's object-store GET with the
+//! current morsel's decode.
+//!
+//! [`run_prefetched`] splits each morsel into a *fetch* (I/O) and a *work*
+//! (decode/filter) phase. A single I/O thread runs fetches strictly in
+//! morsel order, keeping at most `depth` fetched-but-unconsumed morsels
+//! resident (`depth = 2` is classic double buffering); workers claim morsel
+//! indices exactly like [`crate::parallel::run_indexed`] and block only when
+//! their morsel's fetch has not completed yet.
+//!
+//! Two properties matter beyond the overlap itself:
+//!
+//! - **Deterministic GET order.** All store GETs are issued by the one I/O
+//!   thread in morsel order — the same order the non-prefetching serial path
+//!   uses. Seeded fault injection therefore sees the identical per-site call
+//!   sequence with prefetch on or off, which is what keeps the chaos
+//!   differential gates meaningful.
+//! - **Error semantics.** A fetch error surfaces at its morsel index when a
+//!   worker consumes the slot, so the lowest-index error still wins, exactly
+//!   as on the synchronous path. Morsels fetched but never consumed after an
+//!   abort are counted as `wasted`.
+
+use parking_lot::{Condvar, Mutex};
+use pixels_common::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::parallel::run_indexed;
+
+/// What the prefetcher did during one [`run_prefetched`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Fetches started by the I/O thread.
+    pub issued: u64,
+    /// Morsels already resident when their worker asked for them.
+    pub hits: u64,
+    /// Fetched morsels never consumed (only possible after an abort).
+    pub wasted: u64,
+}
+
+enum Slot<T> {
+    Pending,
+    Ready(Result<T>),
+    Taken,
+}
+
+struct State<T> {
+    slots: Vec<Slot<T>>,
+    /// Ready-but-not-taken slots; the I/O thread stalls at `depth`.
+    resident: usize,
+    stop: bool,
+}
+
+/// Run `work(i, fetch(i)?)` for every `i in 0..n` with results in index
+/// order, prefetching up to `depth` morsels ahead of the workers. With
+/// `depth == 0` (or nothing to pipeline) the phases run fused on the worker
+/// threads — the synchronous path.
+pub fn run_prefetched<T, R, Fetch, Work>(
+    n: usize,
+    parallelism: usize,
+    depth: usize,
+    fetch: Fetch,
+    work: Work,
+) -> (Result<Vec<R>>, PrefetchStats)
+where
+    T: Send,
+    R: Send,
+    Fetch: Fn(usize) -> Result<T> + Sync,
+    Work: Fn(usize, T) -> Result<R> + Sync,
+{
+    if depth == 0 || n <= 1 {
+        let result = run_indexed(n, parallelism, |i| work(i, fetch(i)?));
+        return (result, PrefetchStats::default());
+    }
+
+    let state = Mutex::new(State {
+        slots: (0..n).map(|_| Slot::Pending).collect(),
+        resident: 0,
+        stop: false,
+    });
+    let cv = Condvar::new();
+    let issued = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+
+    let result = std::thread::scope(|s| {
+        let io = s.spawn(|| {
+            for i in 0..n {
+                {
+                    let mut st = state.lock();
+                    while st.resident >= depth && !st.stop {
+                        cv.wait(&mut st);
+                    }
+                    if st.stop {
+                        return;
+                    }
+                }
+                let fetched = fetch(i);
+                issued.fetch_add(1, Ordering::Relaxed);
+                let mut st = state.lock();
+                st.slots[i] = Slot::Ready(fetched);
+                st.resident += 1;
+                cv.notify_all();
+                if st.stop {
+                    return;
+                }
+            }
+        });
+
+        let result = run_indexed(n, parallelism, |i| {
+            let fetched = {
+                let mut st = state.lock();
+                let mut first_check = true;
+                loop {
+                    match std::mem::replace(&mut st.slots[i], Slot::Taken) {
+                        Slot::Ready(r) => {
+                            if first_check {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            st.resident -= 1;
+                            cv.notify_all();
+                            break r;
+                        }
+                        Slot::Pending => {
+                            st.slots[i] = Slot::Pending;
+                            first_check = false;
+                            cv.wait(&mut st);
+                        }
+                        Slot::Taken => unreachable!("morsel {i} consumed twice"),
+                    }
+                }
+            }?;
+            work(i, fetched)
+        });
+
+        {
+            let mut st = state.lock();
+            st.stop = true;
+            cv.notify_all();
+        }
+        io.join().expect("prefetch I/O thread panicked");
+        result
+    });
+
+    let wasted = state
+        .into_inner()
+        .slots
+        .iter()
+        .filter(|s| matches!(s, Slot::Ready(_)))
+        .count() as u64;
+    let stats = PrefetchStats {
+        issued: issued.into_inner(),
+        hits: hits.into_inner(),
+        wasted,
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixels_common::Error;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order_and_results() {
+        for p in [1, 2, 4] {
+            for depth in [0, 1, 2, 8] {
+                let (result, _) = run_prefetched(25, p, depth, Ok, |i, v: usize| Ok(i * 100 + v));
+                let out = result.unwrap();
+                assert_eq!(out, (0..25).map(|i| i * 101).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn fetches_happen_in_morsel_order() {
+        // The I/O thread must issue fetches 0..n in order no matter how
+        // workers race — this is what keeps seeded fault injection stable.
+        for p in [1, 4] {
+            let order = Mutex::new(Vec::new());
+            let (result, stats) = run_prefetched(
+                20,
+                p,
+                2,
+                |i| {
+                    order.lock().push(i);
+                    Ok(i)
+                },
+                |_, v: usize| Ok(v),
+            );
+            result.unwrap();
+            assert_eq!(order.into_inner(), (0..20).collect::<Vec<_>>());
+            assert_eq!(stats.issued, 20);
+            assert_eq!(stats.wasted, 0);
+        }
+    }
+
+    #[test]
+    fn depth_bounds_readahead() {
+        // With slow consumers the I/O thread may never run more than
+        // `depth` fetches ahead of what has been consumed.
+        let depth = 2;
+        let consumed = AtomicUsize::new(0);
+        let (result, _) = run_prefetched(
+            30,
+            1,
+            depth,
+            |i| {
+                let c = consumed.load(Ordering::SeqCst);
+                assert!(
+                    i <= c + depth,
+                    "fetch {i} ran more than {depth} ahead of consumption {c}"
+                );
+                Ok(i)
+            },
+            |i, v: usize| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                consumed.store(i + 1, Ordering::SeqCst);
+                Ok(v)
+            },
+        );
+        result.unwrap();
+    }
+
+    #[test]
+    fn fetch_error_surfaces_at_its_index() {
+        for depth in [0, 2] {
+            let (result, _) = run_prefetched(
+                10,
+                2,
+                depth,
+                |i| {
+                    if i == 3 {
+                        Err(Error::Exec("fetch boom".into()))
+                    } else {
+                        Ok(i)
+                    }
+                },
+                |_, v: usize| Ok(v),
+            );
+            let err = result.unwrap_err();
+            assert!(err.to_string().contains("fetch boom"), "{err}");
+        }
+    }
+
+    #[test]
+    fn work_error_aborts_and_counts_waste() {
+        let (result, stats) = run_prefetched(50, 1, 4, Ok, |i, v: usize| {
+            if i == 0 {
+                Err(Error::Exec("work boom".into()))
+            } else {
+                Ok(v)
+            }
+        });
+        assert!(result.is_err());
+        // Anything fetched beyond morsel 0 was never consumed.
+        assert_eq!(stats.issued - stats.wasted, 1);
+    }
+
+    #[test]
+    fn hits_count_overlap() {
+        // Slow workers + eager fetches: every morsel after the first should
+        // already be resident when asked for.
+        let (result, stats) = run_prefetched(10, 1, 2, Ok, |_, v: usize| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            Ok(v)
+        });
+        result.unwrap();
+        assert!(stats.hits >= 5, "expected mostly hits, got {stats:?}");
+        assert_eq!(stats.issued, 10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (result, stats) = run_prefetched(0, 4, 2, Ok, |_, v: usize| Ok(v));
+        assert!(result.unwrap().is_empty());
+        assert_eq!(stats, PrefetchStats::default());
+        let (result, _) = run_prefetched(1, 4, 2, Ok, |_, v: usize| Ok(v * 7));
+        assert_eq!(result.unwrap(), vec![0]);
+    }
+}

@@ -1,12 +1,24 @@
 //! Table scans with projection pushdown, zone-map pruning, residual
 //! filtering, and morsel-driven parallelism.
+//!
+//! With [`ExecContext::encoded_scan`] on (the default), each morsel is split
+//! into a fetch phase and a decode/filter phase: a prefetcher
+//! ([`crate::prefetch::run_prefetched`]) overlaps the next row group's GETs
+//! with the current group's decode, raw chunk bytes are served from the
+//! optional [`pixels_storage::ChunkCache`], and residual filters run on
+//! encoded chunks ([`crate::encoded`]) with late materialization. Billing is
+//! metered from chunk metadata in both modes, so results *and* bills are
+//! identical with the pipeline on or off.
 
 use crate::context::ExecContext;
+use crate::encoded::{encoded_filter_mask, LazyRowGroup};
 use crate::evaluate::fused_filter_mask;
 use crate::parallel;
+use crate::prefetch::run_prefetched;
 use pixels_common::{RecordBatch, Result, SchemaRef};
 use pixels_planner::BoundExpr;
-use pixels_storage::{ColumnPredicate, PixelsReader};
+use pixels_storage::{ColumnPredicate, ColumnStats, EncodedChunk, PixelsReader};
+use std::sync::Arc;
 
 /// Open `path` through the context's shared footer cache and meter the open:
 /// a miss bills the bytes actually fetched, a hit bills nothing and bumps
@@ -53,16 +65,112 @@ pub fn execute_scan(
     output_schema: &SchemaRef,
     out: &mut Vec<RecordBatch>,
 ) -> Result<()> {
-    execute_scan_with(
-        ctx,
-        paths,
-        projection,
-        zone_predicates,
-        filters,
-        output_schema,
-        out,
-        apply_filters,
-    )
+    if !ctx.encoded_scan {
+        return execute_scan_with(
+            ctx,
+            paths,
+            projection,
+            zone_predicates,
+            filters,
+            output_schema,
+            out,
+            apply_filters,
+        );
+    }
+
+    // Open and prune every file up front; morsels index into `readers`.
+    let mut readers = Vec::with_capacity(paths.len());
+    let mut schemas: Vec<SchemaRef> = Vec::with_capacity(paths.len());
+    let mut morsels: Vec<(usize, usize)> = Vec::new();
+    for (fi, path) in paths.iter().enumerate() {
+        let reader = open_metered(ctx, path)?;
+        let retained = reader.prune_row_groups(zone_predicates);
+        ctx.metrics
+            .add_row_groups(reader.num_row_groups() as u64, retained.len() as u64);
+        morsels.extend(retained.into_iter().map(|rg| (fi, rg)));
+        schemas.push(Arc::new(reader.schema().project(projection)));
+        readers.push(reader);
+    }
+    let cache = ctx.chunk_cache.as_deref();
+
+    let (batches, stats) = run_prefetched(
+        morsels.len(),
+        ctx.parallelism,
+        ctx.prefetch_depth,
+        // Fetch phase (runs on the single prefetch I/O thread, in morsel
+        // order): GET or cache-serve the morsel's projected chunks. The span
+        // records `prefetch_bytes`, never `bytes` — the bytes are billed by
+        // the consuming morsel span, and double-counting would break
+        // span-vs-bill reconciliation.
+        |i| {
+            let (fi, rg) = morsels[i];
+            let reader = &readers[fi];
+            let mut span = ctx.trace.span("prefetch");
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let chunks = projection
+                .iter()
+                .map(|&col| {
+                    let (chunk, hit) = reader.read_encoded_chunk(rg, col, cache)?;
+                    if hit {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                    Ok(chunk)
+                })
+                .collect::<Result<Vec<EncodedChunk>>>()?;
+            ctx.metrics.add_chunk_cache(hits, misses);
+            if span.enabled() {
+                span.record_u64("row_group", rg as u64);
+                span.record_u64(
+                    "prefetch_bytes",
+                    reader.row_group_bytes(rg, Some(projection)),
+                );
+                span.record_u64("cache_hits", hits);
+            }
+            Ok(chunks)
+        },
+        // Work phase (morsel workers): filter on the encoded chunks, then
+        // materialize only the selected rows.
+        |i, chunks: Vec<EncodedChunk>| {
+            let (fi, rg) = morsels[i];
+            let reader = &readers[fi];
+            let mut span = ctx.trace.span("morsel");
+            let num_rows = reader.footer().row_groups[rg].num_rows as usize;
+            let lazy = LazyRowGroup::new(schemas[fi].clone(), chunks, num_rows);
+            let batch = if filters.is_empty() {
+                lazy.materialize_all()?
+            } else {
+                let stats: Vec<&ColumnStats> = projection
+                    .iter()
+                    .map(|&c| &reader.footer().row_groups[rg].columns[c].stats)
+                    .collect();
+                let mask = encoded_filter_mask(filters, &lazy, &stats)?;
+                lazy.materialize(&mask)?
+            };
+            let bytes = reader.row_group_bytes(rg, Some(projection));
+            if span.enabled() {
+                span.record_u64("row_group", rg as u64);
+                span.record_u64("rows", num_rows as u64);
+                span.record_u64("bytes", bytes);
+            }
+            ctx.metrics.add_scan(bytes, num_rows as u64);
+            ctx.metrics.add_produced(batch.num_rows() as u64);
+            Ok(batch)
+        },
+    );
+    ctx.metrics
+        .add_prefetch(stats.issued, stats.hits, stats.wasted);
+    let batches = batches?;
+
+    out.extend(batches.into_iter().filter(|b| b.num_rows() > 0));
+    // Preserve the schema even when nothing matched, so downstream operators
+    // never see a schema-less empty result.
+    if out.is_empty() {
+        out.push(RecordBatch::empty(output_schema.clone()));
+    }
+    Ok(())
 }
 
 /// Scan with an explicit residual-filter implementation, so the retained

@@ -413,6 +413,8 @@ mod tests {
                 "pixels_scheduler_queue_depth",
                 "pixels_exec_bytes_scanned_total",
                 "pixels_cache_footer_hits_total",
+                "pixels_cache_chunk_hits_total",
+                "pixels_scan_prefetch_issued_total",
                 "pixels_storage_get_requests_total",
             ],
         )

@@ -109,6 +109,11 @@ impl ObjectStore for ChaosObjectStore {
         self.inner.delete(path)
     }
 
+    fn generation(&self, path: &str) -> Result<u64> {
+        // Metadata lookups (like `size`) are not fault-gated.
+        self.inner.generation(path)
+    }
+
     fn metrics(&self) -> StoreMetricsSnapshot {
         // Injected failures never reach the inner store, so surface them
         // here on top of whatever the inner store failed on its own.
@@ -195,6 +200,10 @@ impl ObjectStore for RetryingObjectStore {
 
     fn delete(&self, path: &str) -> Result<()> {
         self.inner.delete(path)
+    }
+
+    fn generation(&self, path: &str) -> Result<u64> {
+        self.inner.generation(path)
     }
 
     fn metrics(&self) -> StoreMetricsSnapshot {

@@ -12,14 +12,18 @@
 //! - [`encoding`] — plain, run-length, and dictionary encodings with a
 //!   per-chunk chooser.
 //! - [`stats`] — min/max/null statistics used for pruning and costing.
+//! - [`encoded`] — encoded chunks as first-class values: filtered decode,
+//!   dictionary views, and RLE run views for decode-avoiding execution.
 //! - [`meta_cache`] — a shared footer/schema cache so repeated opens of the
-//!   same object skip the footer GETs entirely (and are not billed twice).
+//!   same object skip the footer GETs entirely (and are not billed twice),
+//!   plus a bounded chunk-data cache with LRU-style eviction.
 //! - [`chaos_store`] — fault-injecting and retrying store decorators wired
 //!   to the `pixels-chaos` fault plans; failed GETs are counted but never
 //!   billed, and transient errors retry under seeded backoff.
 
 pub mod chaos_store;
 pub mod codec;
+pub mod encoded;
 pub mod encoding;
 pub mod format;
 pub mod meta_cache;
@@ -29,9 +33,10 @@ pub mod stats;
 pub mod writer;
 
 pub use chaos_store::{chaos_stack, ChaosObjectStore, RetryingObjectStore};
+pub use encoded::{DictView, EncodedChunk, RleRuns};
 pub use encoding::Encoding;
 pub use format::{ColumnChunkMeta, Footer, RowGroupMeta};
-pub use meta_cache::{FileMeta, FooterCache};
+pub use meta_cache::{ChunkCache, FileMeta, FooterCache};
 pub use object_store::{
     InMemoryObjectStore, LatencyModel, ObjectStore, ObjectStoreRef, StoreMetricsSnapshot,
 };

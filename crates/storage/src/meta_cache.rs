@@ -1,21 +1,30 @@
-//! Shared footer/schema cache so repeated opens of the same object skip the
-//! footer fetch entirely.
+//! Shared footer/schema cache and the bounded chunk-data cache.
 //!
 //! Opening a Pixels file costs ranged GETs (magic check plus the speculative
 //! tail read, see [`crate::reader::PixelsReader::open`]). Under morsel-driven
 //! execution and across queries the same object is opened many times, so the
-//! parsed footer is cached here keyed by path and validated by object size —
-//! the stand-in for an HTTP etag, which the [`crate::object_store`] trait
-//! does not model. A cache hit transfers zero bytes from the store, and the
-//! billing consequence is deliberate: footer bytes are metered only on the
-//! first fetch, never again on a hit.
+//! parsed footer is cached here keyed by path and validated by object size
+//! *and* write generation — the generation plays the role of an HTTP etag,
+//! catching the case where a rewritten object happens to keep its old size.
+//! A cache hit transfers zero bytes from the store, and the billing
+//! consequence is deliberate: footer bytes are metered only on the first
+//! fetch, never again on a hit.
+//!
+//! [`ChunkCache`] extends the same idea to column-chunk payloads: a bounded
+//! byte budget with admission control and LRU-style eviction. Unlike the
+//! footer cache, chunk-cache hits do **not** change what the user is billed —
+//! `bytes_scanned` is computed from chunk metadata per morsel, so a scan
+//! bills the same whether its chunk bytes came from the store or the cache.
+//! The cache buys latency and decode work, never a discount.
 
-use crate::format::Footer;
+use bytes::Bytes;
 use parking_lot::RwLock;
 use pixels_common::SchemaRef;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::format::Footer;
 
 /// Everything `PixelsReader::open` learns about a file, plus what it cost to
 /// learn it.
@@ -26,6 +35,11 @@ pub struct FileMeta {
     /// Object size when the footer was fetched; entries whose size no longer
     /// matches the live object are stale and evicted on lookup.
     pub size: u64,
+    /// Object write generation when the footer was fetched. Validated on
+    /// lookup alongside `size`, so a same-size rewrite cannot serve a stale
+    /// footer. Stores without generation tracking report 0 everywhere,
+    /// degrading to the old size-only validation.
+    pub generation: u64,
     /// Bytes transferred from the store to open the file (magic + tail +
     /// any footer spill). Billed once, on the fetch that populated the cache.
     pub open_bytes: u64,
@@ -51,12 +65,13 @@ impl FooterCache {
     }
 
     /// Cached metadata for `path`, provided the live object still has `size`
-    /// bytes. A size mismatch means the object was replaced: the stale entry
-    /// is evicted and the lookup counts as a miss.
-    pub fn lookup(&self, path: &str, size: u64) -> Option<Arc<FileMeta>> {
+    /// bytes and write generation `generation`. A mismatch on either means
+    /// the object was replaced: the stale entry is evicted and the lookup
+    /// counts as a miss.
+    pub fn lookup(&self, path: &str, size: u64, generation: u64) -> Option<Arc<FileMeta>> {
         let cached = self.entries.read().get(path).cloned();
         match cached {
-            Some(meta) if meta.size == size => {
+            Some(meta) if meta.size == size && meta.generation == generation => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(meta)
             }
@@ -98,12 +113,184 @@ impl FooterCache {
     }
 }
 
+/// Key of one cached column-chunk payload. The write generation is part of
+/// the key, so a rewritten object's chunks can never be confused with the
+/// original's even at identical offsets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ChunkKey {
+    path: String,
+    generation: u64,
+    offset: u64,
+}
+
+#[derive(Debug)]
+struct ChunkEntry {
+    data: Bytes,
+    /// Logical timestamp of the last hit, for LRU-style eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChunkCacheInner {
+    entries: HashMap<ChunkKey, ChunkEntry>,
+    resident_bytes: u64,
+    tick: u64,
+}
+
+/// A bounded cache of raw (still-encoded) column-chunk bytes.
+///
+/// Policy:
+/// - **Admission**: an entry larger than 1/4 of the capacity is never
+///   admitted — one giant chunk must not wipe the whole cache.
+/// - **Eviction**: least-recently-used entries are evicted until the new
+///   entry fits. "Recently used" is a logical tick bumped on every hit and
+///   insert.
+///
+/// Billing: the cache sits *below* the billing layer. `bytes_scanned` is
+/// computed from chunk metadata, not from store counters, so hits change
+/// only latency and the store's own `get_requests`/`bytes_read` telemetry.
+#[derive(Debug)]
+pub struct ChunkCache {
+    inner: RwLock<ChunkCacheInner>,
+    capacity_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ChunkCache {
+    pub fn new(capacity_bytes: u64) -> ChunkCache {
+        ChunkCache {
+            inner: RwLock::new(ChunkCacheInner::default()),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience constructor returning a shared handle.
+    pub fn shared(capacity_bytes: u64) -> Arc<ChunkCache> {
+        Arc::new(ChunkCache::new(capacity_bytes))
+    }
+
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Cached payload for the chunk at `offset` of `path`'s generation
+    /// `generation`, if resident.
+    pub fn lookup(&self, path: &str, generation: u64, offset: u64) -> Option<Bytes> {
+        let key = ChunkKey {
+            path: path.to_string(),
+            generation,
+            offset,
+        };
+        let mut inner = self.inner.write();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.data.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offer a chunk payload to the cache. Returns `true` if admitted.
+    pub fn insert(&self, path: &str, generation: u64, offset: u64, data: Bytes) -> bool {
+        let len = data.len() as u64;
+        if len > self.capacity_bytes / 4 {
+            return false;
+        }
+        let key = ChunkKey {
+            path: path.to_string(),
+            generation,
+            offset,
+        };
+        let mut inner = self.inner.write();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.resident_bytes -= old.data.len() as u64;
+        }
+        while inner.resident_bytes + len > self.capacity_bytes {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.resident_bytes -= evicted.data.len() as u64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.resident_bytes += len;
+        inner.entries.insert(
+            key,
+            ChunkEntry {
+                data,
+                last_used: tick,
+            },
+        );
+        true
+    }
+
+    /// Drop every cached chunk of `path` (any generation).
+    pub fn invalidate_path(&self, path: &str) {
+        let mut inner = self.inner.write();
+        let stale: Vec<ChunkKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.path == path)
+            .cloned()
+            .collect();
+        for key in stale {
+            if let Some(e) = inner.entries.remove(&key) {
+                inner.resident_bytes -= e.data.len() as u64;
+            }
+        }
+    }
+
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.read().resident_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().entries.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pixels_common::Schema;
 
-    fn meta(size: u64) -> Arc<FileMeta> {
+    fn meta(size: u64, generation: u64) -> Arc<FileMeta> {
         Arc::new(FileMeta {
             footer: Arc::new(Footer {
                 version: 1,
@@ -112,6 +299,7 @@ mod tests {
             }),
             schema: Arc::new(Schema::empty()),
             size,
+            generation,
             open_bytes: 42,
         })
     }
@@ -119,22 +307,95 @@ mod tests {
     #[test]
     fn hit_miss_and_size_validation() {
         let cache = FooterCache::new();
-        assert!(cache.lookup("a", 10).is_none());
-        cache.insert("a", meta(10));
-        assert!(cache.lookup("a", 10).is_some());
+        assert!(cache.lookup("a", 10, 1).is_none());
+        cache.insert("a", meta(10, 1));
+        assert!(cache.lookup("a", 10, 1).is_some());
         // Size change evicts the stale entry.
-        assert!(cache.lookup("a", 11).is_none());
+        assert!(cache.lookup("a", 11, 1).is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
     }
 
     #[test]
+    fn generation_change_evicts_same_size_entry() {
+        // A rewritten object of identical size must not serve a stale footer.
+        let cache = FooterCache::new();
+        cache.insert("a", meta(10, 1));
+        assert!(cache.lookup("a", 10, 1).is_some());
+        assert!(cache.lookup("a", 10, 2).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
     fn invalidate_removes_entry() {
         let cache = FooterCache::new();
-        cache.insert("a", meta(10));
+        cache.insert("a", meta(10, 1));
         assert_eq!(cache.len(), 1);
         cache.invalidate("a");
-        assert!(cache.lookup("a", 10).is_none());
+        assert!(cache.lookup("a", 10, 1).is_none());
+    }
+
+    fn chunk(n: usize) -> Bytes {
+        Bytes::from(vec![0xABu8; n])
+    }
+
+    #[test]
+    fn chunk_cache_hit_miss_and_counters() {
+        let cache = ChunkCache::new(1024);
+        assert!(cache.lookup("f", 1, 0).is_none());
+        assert!(cache.insert("f", 1, 0, chunk(100)));
+        assert_eq!(cache.lookup("f", 1, 0).unwrap().len(), 100);
+        // Different generation at the same offset is a distinct entry.
+        assert!(cache.lookup("f", 2, 0).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.resident_bytes(), 100);
+    }
+
+    #[test]
+    fn chunk_cache_admission_rejects_oversized() {
+        let cache = ChunkCache::new(1024);
+        // > capacity/4 is never admitted.
+        assert!(!cache.insert("f", 1, 0, chunk(512)));
+        assert!(cache.is_empty());
+        assert!(cache.insert("f", 1, 0, chunk(256)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn chunk_cache_evicts_lru_within_budget() {
+        let cache = ChunkCache::new(1000);
+        assert!(cache.insert("f", 1, 0, chunk(250)));
+        assert!(cache.insert("f", 1, 1, chunk(250)));
+        assert!(cache.insert("f", 1, 2, chunk(250)));
+        assert!(cache.insert("f", 1, 3, chunk(250)));
+        // Touch offset 0 so offset 1 becomes the LRU victim.
+        assert!(cache.lookup("f", 1, 0).is_some());
+        assert!(cache.insert("f", 1, 4, chunk(250)));
+        assert!(cache.lookup("f", 1, 1).is_none(), "LRU entry survived");
+        assert!(cache.lookup("f", 1, 0).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.resident_bytes() <= 1000);
+    }
+
+    #[test]
+    fn chunk_cache_reinsert_replaces_without_double_count() {
+        let cache = ChunkCache::new(1000);
+        assert!(cache.insert("f", 1, 0, chunk(200)));
+        assert!(cache.insert("f", 1, 0, chunk(100)));
+        assert_eq!(cache.resident_bytes(), 100);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn chunk_cache_invalidate_path() {
+        let cache = ChunkCache::new(1000);
+        assert!(cache.insert("f", 1, 0, chunk(100)));
+        assert!(cache.insert("g", 1, 0, chunk(100)));
+        cache.invalidate_path("f");
+        assert!(cache.lookup("f", 1, 0).is_none());
+        assert!(cache.lookup("g", 1, 0).is_some());
+        assert_eq!(cache.resident_bytes(), 100);
     }
 }

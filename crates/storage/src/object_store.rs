@@ -81,6 +81,15 @@ pub trait ObjectStore: Send + Sync {
     fn list(&self, prefix: &str) -> Result<Vec<String>>;
     /// Remove an object. Deleting a missing object is an error.
     fn delete(&self, path: &str) -> Result<()>;
+    /// Write generation of the object at `path` — the stand-in for an HTTP
+    /// etag. Every `put` to a path must yield a distinct generation, so a
+    /// rewritten object is distinguishable from the original even when the
+    /// sizes coincide. Stores that cannot track generations return 0 for
+    /// every path (callers must then fall back to size-only validation).
+    fn generation(&self, path: &str) -> Result<u64> {
+        let _ = path;
+        Ok(0)
+    }
     /// Cumulative access metrics.
     fn metrics(&self) -> StoreMetricsSnapshot;
 }
@@ -93,6 +102,9 @@ pub type ObjectStoreRef = Arc<dyn ObjectStore>;
 #[derive(Debug, Default)]
 pub struct InMemoryObjectStore {
     objects: RwLock<BTreeMap<String, Bytes>>,
+    /// Monotonic write generation per path, bumped on every `put` and kept
+    /// across `delete` so a delete-then-recreate is still a new generation.
+    generations: RwLock<BTreeMap<String, u64>>,
     metrics: StoreMetrics,
 }
 
@@ -127,6 +139,11 @@ impl ObjectStore for InMemoryObjectStore {
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.objects.write().insert(path.to_string(), data);
+        *self
+            .generations
+            .write()
+            .entry(path.to_string())
+            .or_insert(0) += 1;
         Ok(())
     }
 
@@ -188,6 +205,13 @@ impl ObjectStore for InMemoryObjectStore {
             .remove(path)
             .map(|_| ())
             .ok_or_else(|| Error::NotFound(format!("object not found: {path}")))
+    }
+
+    fn generation(&self, path: &str) -> Result<u64> {
+        if !self.objects.read().contains_key(path) {
+            return Err(Error::NotFound(format!("object not found: {path}")));
+        }
+        Ok(self.generations.read().get(path).copied().unwrap_or(0))
     }
 
     fn metrics(&self) -> StoreMetricsSnapshot {
@@ -305,6 +329,22 @@ mod tests {
         s.put("x", Bytes::from_static(b"two")).unwrap();
         assert_eq!(s.get("x").unwrap(), Bytes::from_static(b"two"));
         assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn generations_advance_on_every_put() {
+        let s = InMemoryObjectStore::new();
+        assert!(s.generation("x").is_err());
+        s.put("x", Bytes::from_static(b"one")).unwrap();
+        assert_eq!(s.generation("x").unwrap(), 1);
+        // A same-size rewrite still gets a fresh generation.
+        s.put("x", Bytes::from_static(b"two")).unwrap();
+        assert_eq!(s.generation("x").unwrap(), 2);
+        // Delete-then-recreate does not reuse old generations.
+        s.delete("x").unwrap();
+        assert!(s.generation("x").is_err());
+        s.put("x", Bytes::from_static(b"ter")).unwrap();
+        assert_eq!(s.generation("x").unwrap(), 3);
     }
 
     #[test]

@@ -11,12 +11,12 @@
 //! [`PixelsReader::row_group_bytes`]), which is the quantity the query
 //! server bills.
 
-use crate::codec::Reader as ByteReader;
-use crate::encoding::{self, bitpack};
+use crate::encoded::EncodedChunk;
 use crate::format::{Footer, MAGIC_HEAD, MAGIC_TAIL};
-use crate::meta_cache::{FileMeta, FooterCache};
+use crate::meta_cache::{ChunkCache, FileMeta, FooterCache};
 use crate::object_store::ObjectStore;
 use crate::stats::ColumnStats;
+use bytes::Bytes;
 use pixels_common::{Column, Error, RecordBatch, Result, SchemaRef, Value};
 use std::sync::Arc;
 
@@ -53,6 +53,21 @@ impl ColumnPredicate {
         };
         stats.may_match_range(lower, upper)
     }
+
+    /// Does *every* row in a chunk with these statistics satisfy the
+    /// predicate? Conservative (`false` when unsure); a `true` lets the
+    /// engine skip evaluating the predicate for the whole chunk.
+    pub fn must_match(&self, stats: &ColumnStats) -> bool {
+        let v = &self.value;
+        let (lower, upper) = match self.op {
+            PredicateOp::Eq => (Some((v, true)), Some((v, true))),
+            PredicateOp::Lt => (None, Some((v, false))),
+            PredicateOp::LtEq => (None, Some((v, true))),
+            PredicateOp::Gt => (Some((v, false)), None),
+            PredicateOp::GtEq => (Some((v, true)), None),
+        };
+        stats.must_match_range(lower, upper)
+    }
 }
 
 /// An open Pixels file: parsed footer plus a handle to the store.
@@ -61,6 +76,9 @@ pub struct PixelsReader<'a> {
     path: String,
     footer: Arc<Footer>,
     schema: SchemaRef,
+    /// Object write generation at open time; keys chunk-cache entries and
+    /// validates footer-cache entries (a same-size rewrite changes it).
+    generation: u64,
     /// Bytes transferred from the store by this open (0 on a cache hit).
     open_bytes: u64,
     /// Whether the footer came from a [`FooterCache`] without store traffic.
@@ -91,6 +109,9 @@ impl<'a> PixelsReader<'a> {
         tail_budget: u64,
     ) -> Result<Self> {
         let size = store.size(path)?;
+        // The write generation (the etag stand-in) rules out a same-size
+        // rewrite serving stale cached metadata or chunks.
+        let generation = store.generation(path)?;
         let min = (MAGIC_HEAD.len() + 12) as u64;
         if size < min {
             return Err(Error::Storage(format!(
@@ -98,12 +119,13 @@ impl<'a> PixelsReader<'a> {
             )));
         }
         if let Some(cache) = cache {
-            if let Some(meta) = cache.lookup(path, size) {
+            if let Some(meta) = cache.lookup(path, size, generation) {
                 return Ok(PixelsReader {
                     store,
                     path: path.to_string(),
                     footer: meta.footer.clone(),
                     schema: meta.schema.clone(),
+                    generation,
                     open_bytes: 0,
                     from_cache: true,
                 });
@@ -146,6 +168,7 @@ impl<'a> PixelsReader<'a> {
                     footer: footer.clone(),
                     schema: schema.clone(),
                     size,
+                    generation,
                     open_bytes,
                 }),
             );
@@ -155,6 +178,7 @@ impl<'a> PixelsReader<'a> {
             path: path.to_string(),
             footer,
             schema,
+            generation,
             open_bytes,
             from_cache: false,
         })
@@ -178,6 +202,11 @@ impl<'a> PixelsReader<'a> {
     /// Whether the footer was served by a [`FooterCache`].
     pub fn from_cache(&self) -> bool {
         self.from_cache
+    }
+
+    /// Object write generation at open time.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn num_row_groups(&self) -> usize {
@@ -220,6 +249,58 @@ impl<'a> PixelsReader<'a> {
         }
     }
 
+    /// Fetch one column chunk's raw bytes, consulting `cache` when given.
+    /// Returns the bytes plus whether they came from the cache. A cache hit
+    /// does not touch the store; billing is unaffected either way because
+    /// scanned bytes are metered from chunk metadata, not store traffic.
+    pub fn fetch_chunk_bytes(
+        &self,
+        rg_index: usize,
+        col_idx: usize,
+        cache: Option<&ChunkCache>,
+    ) -> Result<(Bytes, bool)> {
+        let rg = self
+            .footer
+            .row_groups
+            .get(rg_index)
+            .ok_or_else(|| Error::Storage(format!("row group {rg_index} out of range")))?;
+        if col_idx >= self.schema.len() {
+            return Err(Error::Storage(format!(
+                "projected column {col_idx} out of range"
+            )));
+        }
+        let meta = &rg.columns[col_idx];
+        if let Some(cache) = cache {
+            if let Some(bytes) = cache.lookup(&self.path, self.generation, meta.offset) {
+                return Ok((bytes, true));
+            }
+        }
+        let bytes = self.store.get_range(&self.path, meta.offset, meta.len)?;
+        if let Some(cache) = cache {
+            cache.insert(&self.path, self.generation, meta.offset, bytes.clone());
+        }
+        Ok((bytes, false))
+    }
+
+    /// Fetch and header-parse one chunk, keeping the payload encoded.
+    /// Returns the chunk plus whether the bytes came from the cache.
+    pub fn read_encoded_chunk(
+        &self,
+        rg_index: usize,
+        col_idx: usize,
+        cache: Option<&ChunkCache>,
+    ) -> Result<(EncodedChunk, bool)> {
+        let (bytes, hit) = self.fetch_chunk_bytes(rg_index, col_idx, cache)?;
+        let rg = &self.footer.row_groups[rg_index];
+        let chunk = EncodedChunk::parse(
+            bytes,
+            self.schema.field(col_idx).data_type,
+            rg.columns[col_idx].encoding,
+            rg.num_rows as usize,
+        )?;
+        Ok((chunk, hit))
+    }
+
     /// Read one row group. `projection` selects columns by file-schema index
     /// (`None` reads all). Only the projected chunks are fetched from the
     /// store.
@@ -247,7 +328,7 @@ impl<'a> PixelsReader<'a> {
             let meta = &rg.columns[col_idx];
             let chunk = self.store.get_range(&self.path, meta.offset, meta.len)?;
             columns.push(decode_chunk(
-                &chunk,
+                chunk,
                 self.schema.field(col_idx).data_type,
                 meta.encoding,
                 rg.num_rows as usize,
@@ -271,27 +352,12 @@ impl<'a> PixelsReader<'a> {
 }
 
 fn decode_chunk(
-    chunk: &[u8],
+    chunk: Bytes,
     ty: pixels_common::DataType,
-    encoding: encoding::Encoding,
+    encoding: crate::encoding::Encoding,
     num_rows: usize,
 ) -> Result<Column> {
-    let mut r = ByteReader::new(chunk);
-    let has_validity = r.get_u8()? == 1;
-    let validity = if has_validity {
-        let bytes = r.get_raw(num_rows.div_ceil(8))?;
-        Some(bitpack::unpack_bools(bytes, num_rows))
-    } else {
-        None
-    };
-    let data = encoding::decode(&mut r, encoding, ty, num_rows)?;
-    if data.len() != num_rows {
-        return Err(Error::Storage(format!(
-            "chunk decoded {} rows, expected {num_rows}",
-            data.len()
-        )));
-    }
-    Column::with_validity(data, validity)
+    EncodedChunk::parse(chunk, ty, encoding, num_rows)?.decode()
 }
 
 #[cfg(test)]
@@ -327,10 +393,14 @@ mod tests {
         RecordBatch::from_rows(schema(), &rows).unwrap()
     }
 
-    fn write_sample(store: &InMemoryObjectStore, rg_rows: usize, total: usize) {
+    fn write_sample_from(store: &InMemoryObjectStore, rg_rows: usize, start: i64, total: usize) {
         let mut w = PixelsWriter::with_row_group_rows(store, "t.pxl", schema(), rg_rows);
-        w.write_batch(&batch(0, total)).unwrap();
+        w.write_batch(&batch(start, total)).unwrap();
         w.finish().unwrap();
+    }
+
+    fn write_sample(store: &InMemoryObjectStore, rg_rows: usize, total: usize) {
+        write_sample_from(store, rg_rows, 0, total);
     }
 
     #[test]
@@ -533,6 +603,71 @@ mod tests {
         let reader = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
         assert!(!reader.from_cache());
         assert_eq!(reader.num_rows(), 300);
+    }
+
+    #[test]
+    fn footer_cache_detects_same_size_rewrite() {
+        // Regression: a rewritten object of *identical* size used to pass
+        // the size check and serve the stale footer (wrong zone maps, wrong
+        // pruning). The write generation now catches it.
+        let store = InMemoryObjectStore::new();
+        let cache = crate::meta_cache::FooterCache::new();
+        write_sample_from(&store, 100, 0, 250);
+        let size_before = store.size("t.pxl").unwrap();
+        let first = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        assert_eq!(first.footer().column_stats(0).max, Some(Value::Int64(249)));
+        // Same row count, same string shapes, shifted ids: same size.
+        write_sample_from(&store, 100, 1000, 250);
+        assert_eq!(
+            store.size("t.pxl").unwrap(),
+            size_before,
+            "rewrite must keep the size for this regression to be meaningful"
+        );
+        let reader = PixelsReader::open_with_cache(&store, "t.pxl", &cache).unwrap();
+        assert!(!reader.from_cache(), "stale same-size footer was served");
+        assert_eq!(
+            reader.footer().column_stats(0).min,
+            Some(Value::Int64(1000))
+        );
+        let all = RecordBatch::concat(&reader.read_all(None, &[]).unwrap()).unwrap();
+        assert_eq!(all.row(0)[0], Value::Int64(1000));
+    }
+
+    #[test]
+    fn chunk_cache_serves_repeat_fetches_without_store_traffic() {
+        let store = InMemoryObjectStore::new();
+        write_sample(&store, 100, 250);
+        let cache = ChunkCache::new(1 << 20);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let (bytes, hit) = reader.fetch_chunk_bytes(0, 0, Some(&cache)).unwrap();
+        assert!(!hit);
+        let before = store.metrics();
+        let (again, hit) = reader.fetch_chunk_bytes(0, 0, Some(&cache)).unwrap();
+        assert!(hit);
+        assert_eq!(bytes, again);
+        let delta = store.metrics().delta_since(&before);
+        assert_eq!(delta.get_requests, 0, "hit must not touch the store");
+        // A decoded chunk from cached bytes matches the classic read.
+        let (chunk, _) = reader.read_encoded_chunk(0, 0, Some(&cache)).unwrap();
+        let classic = reader.read_row_group(0, Some(&[0])).unwrap();
+        assert_eq!(&chunk.decode().unwrap(), classic.column(0));
+    }
+
+    #[test]
+    fn chunk_cache_distinguishes_rewritten_object() {
+        // Same path + same offsets, but a rewritten file: the generation in
+        // the cache key must prevent serving the old chunk bytes.
+        let store = InMemoryObjectStore::new();
+        let cache = ChunkCache::new(1 << 20);
+        write_sample_from(&store, 100, 0, 250);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let (chunk, _) = reader.read_encoded_chunk(0, 0, Some(&cache)).unwrap();
+        assert_eq!(chunk.decode().unwrap().value(0), Value::Int64(0));
+        write_sample_from(&store, 100, 1000, 250);
+        let reader = PixelsReader::open(&store, "t.pxl").unwrap();
+        let (chunk, hit) = reader.read_encoded_chunk(0, 0, Some(&cache)).unwrap();
+        assert!(!hit, "stale chunk bytes served after rewrite");
+        assert_eq!(chunk.decode().unwrap().value(0), Value::Int64(1000));
     }
 
     #[test]

@@ -93,6 +93,56 @@ impl ColumnStats {
         true
     }
 
+    /// Does *every* row in this chunk satisfy the range predicate
+    /// `lower <= value <= upper` (bounds optional, each inclusive or
+    /// strict)? Conservative: returns `false` when unsure.
+    ///
+    /// Used to elide predicate evaluation entirely for chunks whose zone
+    /// map proves the predicate true. Requirements for `true`:
+    /// - no NULL rows (a NULL row never satisfies a comparison), and at
+    ///   least one row;
+    /// - min/max present and provably inside the bounds under `sql_cmp`;
+    /// - no Float64 anywhere — `sql_cmp` treats `-0.0 == 0.0` while the
+    ///   vectorized kernels compare with `total_cmp`, so float equality at
+    ///   a bound could diverge from per-row evaluation.
+    pub fn must_match_range(
+        &self,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> bool {
+        if self.row_count == 0 || self.null_count > 0 {
+            return false;
+        }
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            return false;
+        };
+        let is_float = |v: &Value| matches!(v, Value::Float64(_));
+        if is_float(min)
+            || is_float(max)
+            || lower.is_some_and(|(v, _)| is_float(v))
+            || upper.is_some_and(|(v, _)| is_float(v))
+        {
+            return false;
+        }
+        if let Some((lo, inclusive)) = lower {
+            let ok = min
+                .sql_cmp(lo)
+                .is_some_and(|o| if inclusive { o.is_ge() } else { o.is_gt() });
+            if !ok {
+                return false;
+            }
+        }
+        if let Some((hi, inclusive)) = upper {
+            let ok = max
+                .sql_cmp(hi)
+                .is_some_and(|o| if inclusive { o.is_le() } else { o.is_lt() });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
     pub fn encode(&self, w: &mut Writer) {
         match &self.min {
             Some(v) => {
@@ -184,6 +234,35 @@ mod tests {
         assert!(s.may_match_range(Some(&Value::Int64(10)), Some(&Value::Int64(10))));
         // unknown bounds are conservative
         assert!(s.may_match_range(None, None));
+    }
+
+    #[test]
+    fn must_match_requires_proof() {
+        let s = ColumnStats::from_column(&col(&[Some(10), Some(20)]));
+        // chunk [10, 20], no nulls
+        assert!(s.must_match_range(Some((&Value::Int64(10), true)), None));
+        assert!(!s.must_match_range(Some((&Value::Int64(10), false)), None));
+        assert!(s.must_match_range(Some((&Value::Int64(9), false)), None));
+        assert!(s.must_match_range(None, Some((&Value::Int64(20), true))));
+        assert!(!s.must_match_range(None, Some((&Value::Int64(20), false))));
+        assert!(s.must_match_range(
+            Some((&Value::Int64(10), true)),
+            Some((&Value::Int64(20), true))
+        ));
+        assert!(!s.must_match_range(Some((&Value::Int64(11), true)), None));
+        // Any NULL row defeats must-match.
+        let with_null = ColumnStats::from_column(&col(&[Some(10), None, Some(20)]));
+        assert!(!with_null.must_match_range(Some((&Value::Int64(0), true)), None));
+        // Floats are always "unsure".
+        let f = Column::from_values(
+            DataType::Float64,
+            &[Value::Float64(1.0), Value::Float64(2.0)],
+        )
+        .unwrap();
+        let fs = ColumnStats::from_column(&f);
+        assert!(!fs.must_match_range(Some((&Value::Float64(0.0), true)), None));
+        // Empty chunk proves nothing.
+        assert!(!ColumnStats::empty().must_match_range(None, None));
     }
 
     #[test]

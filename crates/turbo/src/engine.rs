@@ -20,11 +20,13 @@ use pixels_common::{
 };
 use pixels_exec::{
     default_parallelism, execute, execute_collect, materialize, ExecContext, ExecMetricsSnapshot,
+    ScanPipelineSnapshot,
 };
 use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
 use pixels_planner::{plan_query, split_for_acceleration, PhysicalPlan};
 use pixels_sql::ast::Statement;
-use pixels_storage::{FooterCache, ObjectStoreRef};
+use pixels_storage::{ChunkCache, FooterCache, ObjectStoreRef};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +51,15 @@ pub struct EngineConfig {
     /// Fall back to the VM path when every CF attempt fails, instead of
     /// failing the query.
     pub cf_to_vm_fallback: bool,
+    /// Capacity of the engine-wide chunk-data cache (raw encoded column
+    /// chunks shared across all queries). `0` disables the cache. Hits skip
+    /// the storage GET but are billed exactly like misses — billing is
+    /// metered from chunk metadata, never from store traffic.
+    pub chunk_cache_bytes: u64,
+    /// Scan prefetch depth: how many row groups the scan's I/O thread may
+    /// fetch ahead of the decoding workers (2 = double buffering). `0` runs
+    /// fetch and decode fused on the workers — the synchronous path.
+    pub prefetch_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +71,8 @@ impl Default for EngineConfig {
             straggler_min_wait: Duration::from_millis(250),
             speculative_enabled: true,
             cf_to_vm_fallback: true,
+            chunk_cache_bytes: 64 << 20,
+            prefetch_depth: 2,
         }
     }
 }
@@ -211,6 +224,14 @@ pub struct TurboEngine {
     /// Footer cache shared across every query the engine runs: repeated
     /// opens of the same table skip the footer GETs (and are billed once).
     footer_cache: Arc<FooterCache>,
+    /// Chunk-data cache shared across every query (None when disabled by
+    /// `chunk_cache_bytes: 0`). Serves raw encoded chunk bytes; hits skip
+    /// the GET but bill identically to misses.
+    chunk_cache: Option<Arc<ChunkCache>>,
+    /// High-water marks of the shared chunk cache's cumulative counters
+    /// already published to the registry; `publish_chunk_cache_metrics`
+    /// adds only the delta since the last publish.
+    cache_published: CachePublished,
     /// Registry every query's counters are absorbed into after execution
     /// (defaults to the process-wide registry backing `/metrics`).
     registry: Arc<MetricsRegistry>,
@@ -238,6 +259,9 @@ impl TurboEngine {
             }),
             mv_ids: IdGenerator::new(),
             footer_cache: FooterCache::shared(),
+            chunk_cache: (cfg.chunk_cache_bytes > 0)
+                .then(|| ChunkCache::shared(cfg.chunk_cache_bytes)),
+            cache_published: CachePublished::default(),
             registry: MetricsRegistry::global().clone(),
             injector: Arc::new(FaultInjector::disabled()),
             cost_model: CfCostModel::new(&CfConfig::default(), ResourcePricing::default()),
@@ -274,9 +298,14 @@ impl TurboEngine {
         let parallelism = (work.parallelism as usize)
             .min(limit.max(1))
             .min(default_parallelism());
-        ExecContext::new(self.store.clone())
+        let ctx = ExecContext::new(self.store.clone())
             .with_parallelism(parallelism)
             .with_footer_cache(self.footer_cache.clone())
+            .with_prefetch_depth(self.cfg.prefetch_depth);
+        match &self.chunk_cache {
+            Some(cache) => ctx.with_chunk_cache(cache.clone()),
+            None => ctx,
+        }
     }
 
     pub fn catalog(&self) -> &CatalogRef {
@@ -380,6 +409,7 @@ impl TurboEngine {
                 let elapsed = start.elapsed();
                 let m = ctx.metrics.snapshot();
                 self.absorb_exec_metrics(&m, false);
+                self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
                 let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
                 let mut text = plan.explain();
                 text.push_str(&format!(
@@ -574,6 +604,7 @@ impl TurboEngine {
         drop(span);
         let metrics = ctx.metrics.snapshot();
         self.absorb_exec_metrics(&metrics, false);
+        self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
         let retries = self.storage_retries_since(retries_before);
         let mut events = Vec::new();
         if retries > 0 {
@@ -615,6 +646,7 @@ impl TurboEngine {
         tx: std::sync::mpsc::Sender<(u32, Result<ExecMetricsSnapshot>)>,
     ) {
         let store = self.store.clone();
+        let registry = self.registry.clone();
         let sub_plan = split.sub_plan.clone();
         let mv_path = split.mv_path.clone();
         // The fleet's intra-plan parallelism comes from the resource model,
@@ -648,6 +680,9 @@ impl TurboEngine {
                 mat_span.record_u64("bytes_written", written);
                 Ok(sub_ctx.metrics.snapshot())
             })();
+            // Pipeline counters are not part of the snapshot sent back, so
+            // the fleet publishes its own prefetcher activity.
+            absorb_prefetch_metrics(&registry, &sub_ctx.metrics.pipeline_snapshot());
             let _ = tx.send((attempt, result));
         });
     }
@@ -667,6 +702,7 @@ impl TurboEngine {
         }
         let store = self.store.clone();
         let cache = self.footer_cache.clone();
+        let chunk_cache = self.chunk_cache.clone();
         let registry = self.registry.clone();
         std::thread::spawn(move || {
             for (idx, result) in rx {
@@ -682,6 +718,9 @@ impl TurboEngine {
                 if let Some(path) = mv_paths.get(idx as usize) {
                     let _ = store.delete(path);
                     cache.invalidate(path);
+                    if let Some(c) = &chunk_cache {
+                        c.invalidate_path(path);
+                    }
                 }
             }
         });
@@ -894,10 +933,14 @@ impl TurboEngine {
         // drop its (now dangling) footer-cache entry.
         let _ = self.store.delete(&winning_mv);
         self.footer_cache.invalidate(&winning_mv);
+        if let Some(c) = &self.chunk_cache {
+            c.invalidate_path(&winning_mv);
+        }
         // Losers still in flight are drained in the background.
         self.reap_stale_attempts(rx, mv_paths, attempts.len() - received);
         let metrics = sub_metrics.merged(&ctx.metrics.snapshot());
         self.absorb_exec_metrics(&metrics, true);
+        self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
         let retries = self.storage_retries_since(retries_before);
         if retries > 0 {
             events.push(QueryEvent::StorageRetries { count: retries });
@@ -968,6 +1011,93 @@ impl TurboEngine {
             .add(1);
         }
     }
+
+    /// Publish one execution context's scan-pipeline counters (prefetcher
+    /// activity) and refresh the shared chunk-cache families. Kept separate
+    /// from [`absorb_exec_metrics`](Self::absorb_exec_metrics) because
+    /// pipeline counters are *not* part of `ExecMetricsSnapshot` — prefetch
+    /// overlap and cache residency legitimately differ between runs whose
+    /// results and bills are identical.
+    fn absorb_pipeline_metrics(&self, p: &ScanPipelineSnapshot) {
+        absorb_prefetch_metrics(&self.registry, p);
+        self.publish_chunk_cache_metrics();
+    }
+
+    /// Bring the registry's chunk-cache families up to date with the shared
+    /// cache's cumulative counters. Deltas are computed against published
+    /// high-water marks so concurrent publishers never double-count.
+    fn publish_chunk_cache_metrics(&self) {
+        let Some(cache) = &self.chunk_cache else {
+            return;
+        };
+        let r = &self.registry;
+        let pairs = [
+            (
+                "pixels_cache_chunk_hits_total",
+                "Chunk reads served from the chunk-data cache (no storage GET; billed like a miss)",
+                cache.hits(),
+                &self.cache_published.hits,
+            ),
+            (
+                "pixels_cache_chunk_misses_total",
+                "Chunk reads that went to object storage and were offered to the cache",
+                cache.misses(),
+                &self.cache_published.misses,
+            ),
+            (
+                "pixels_cache_chunk_evictions_total",
+                "Chunks evicted from the chunk-data cache to admit new entries",
+                cache.evictions(),
+                &self.cache_published.evictions,
+            ),
+        ];
+        for (name, help, current, published) in pairs {
+            let prev = published.fetch_max(current, Ordering::Relaxed);
+            if current > prev {
+                r.counter(name, help).add(current - prev);
+            } else {
+                // Ensure the family exists even before the first hit.
+                r.counter(name, help);
+            }
+        }
+        r.gauge(
+            "pixels_cache_chunk_resident_bytes",
+            "Bytes currently resident in the chunk-data cache",
+        )
+        .set(cache.resident_bytes() as f64);
+    }
+}
+
+/// Published high-water marks of the shared [`ChunkCache`] counters.
+#[derive(Debug, Default)]
+struct CachePublished {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Add one context's prefetcher counters to the cumulative
+/// `pixels_scan_prefetch_*_total` families. A free function so CF fleet
+/// threads (which own their context but not the engine) can publish too.
+fn absorb_prefetch_metrics(registry: &MetricsRegistry, p: &ScanPipelineSnapshot) {
+    registry
+        .counter(
+            "pixels_scan_prefetch_issued_total",
+            "Morsel fetches started by the scan prefetcher",
+        )
+        .add(p.prefetch_issued);
+    registry
+        .counter(
+            "pixels_scan_prefetch_hits_total",
+            "Morsels whose fetch had already completed when a worker asked for them",
+        )
+        .add(p.prefetch_hits);
+    registry
+        .counter(
+            "pixels_scan_prefetch_wasted_total",
+            "Prefetched morsels never consumed (scan aborted first)",
+        )
+        .add(p.prefetch_wasted);
 }
 
 /// Real-engine effect handler: [`CfRace`] decisions become spawned executor

@@ -56,8 +56,15 @@ const SQL: &str = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_or
 
 #[test]
 fn transient_get_errors_are_invisible_to_results_and_billing() {
-    let clean = deploy(&FaultPlan::none(1), EngineConfig::default());
-    let chaotic = deploy(&FaultPlan::get_errors(1, 0.3), EngineConfig::default());
+    // Chunk caching off: warm repeat runs would skip the store entirely and
+    // stop drawing from the fault stream. The cache's own behaviour under
+    // faults is chaos_soak's prefetch-vs-sync scenario.
+    let cfg = EngineConfig {
+        chunk_cache_bytes: 0,
+        ..EngineConfig::default()
+    };
+    let clean = deploy(&FaultPlan::none(1), cfg);
+    let chaotic = deploy(&FaultPlan::get_errors(1, 0.3), cfg);
 
     // Three runs draw enough from the fault stream that at least one GET
     // fails; every run must still match the fault-free twin exactly.

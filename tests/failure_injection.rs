@@ -10,13 +10,17 @@ use pixelsdb::storage::{InMemoryObjectStore, ObjectStore, StoreMetricsSnapshot};
 use pixelsdb::turbo::{EngineConfig, TurboEngine};
 use pixelsdb::workload::{load_tpch, TpchConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An object store that can be switched into a failing mode, and can corrupt
 /// a fraction of reads.
 struct FaultyStore {
     inner: InMemoryObjectStore,
     fail_reads: AtomicBool,
+    /// When set, only reads of paths containing this substring fail — a
+    /// scoped outage that hits one table while concurrent queries on other
+    /// tables keep running.
+    fail_path_substr: Mutex<Option<String>>,
     corrupt_reads: AtomicBool,
     reads: AtomicU64,
 }
@@ -26,14 +30,20 @@ impl FaultyStore {
         FaultyStore {
             inner: InMemoryObjectStore::new(),
             fail_reads: AtomicBool::new(false),
+            fail_path_substr: Mutex::new(None),
             corrupt_reads: AtomicBool::new(false),
             reads: AtomicU64::new(0),
         }
     }
 
-    fn check(&self) -> Result<()> {
+    fn check(&self, path: &str) -> Result<()> {
         if self.fail_reads.load(Ordering::Relaxed) {
             return Err(Error::Io("injected storage outage".into()));
+        }
+        if let Some(substr) = self.fail_path_substr.lock().unwrap().as_deref() {
+            if path.contains(substr) {
+                return Err(Error::Io("injected storage outage".into()));
+            }
         }
         Ok(())
     }
@@ -56,15 +66,15 @@ impl ObjectStore for FaultyStore {
         self.inner.put(path, data)
     }
     fn get(&self, path: &str) -> Result<Bytes> {
-        self.check()?;
+        self.check(path)?;
         Ok(self.mangle(self.inner.get(path)?))
     }
     fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
-        self.check()?;
+        self.check(path)?;
         Ok(self.mangle(self.inner.get_range(path, offset, len)?))
     }
     fn size(&self, path: &str) -> Result<u64> {
-        self.check()?;
+        self.check(path)?;
         self.inner.size(path)
     }
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
@@ -204,13 +214,17 @@ fn cf_acceleration_failure_surfaces() {
     while !engine.is_busy() {
         std::thread::yield_now();
     }
-    store.fail_reads.store(true, Ordering::Relaxed);
+    // Scope the outage to the accelerated query's table: the blocker is
+    // still streaming lineitem/nation reads at this point (the prefetch
+    // pipeline issues its GETs from a single I/O thread, so its read phase
+    // spans the whole scan), and a global outage would race with it.
+    *store.fail_path_substr.lock().unwrap() = Some("tpch/orders".into());
     let r = engine.execute_sql(
         "tpch",
         "SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus",
         true,
     );
-    store.fail_reads.store(false, Ordering::Relaxed);
+    *store.fail_path_substr.lock().unwrap() = None;
     assert!(r.is_err(), "CF path must propagate the storage failure");
     blocker.join().unwrap();
 }
