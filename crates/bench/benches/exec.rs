@@ -157,6 +157,51 @@ fn bench_tracing_overhead(c: &mut Criterion) {
             (n, trace.finished_spans().len())
         })
     });
+    // The full layer-two observability path the live server runs per query:
+    // tracing plus an SLO record plus a journal append. The gate is < 1%
+    // over the traced-only case (EXPERIMENTS.md).
+    let slo = pixels_obs::SloTracker::new(
+        pixels_obs::WallClock::shared(),
+        vec![pixels_obs::SloObjective::new("immediate", 1_000_000)],
+    );
+    let journal = pixels_obs::QueryJournal::new();
+    g.bench_function("scan_agg/traced_slo_journal", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            let trace = Trace::wall();
+            let ctx = ExecContext::new(store.clone())
+                .with_footer_cache(cache.clone())
+                .with_trace(TraceCtx::root(&trace));
+            let n = execute(&plan, &ctx).unwrap().len();
+            let spans = trace.finished_spans().len();
+            let good = slo.record("immediate", 1_000);
+            seq += 1;
+            journal.append(pixels_obs::JournalEntry {
+                query: format!("q-{seq}"),
+                tenant: "bench".into(),
+                level: "immediate".into(),
+                status: "finished".into(),
+                admission: "dispatch_now".into(),
+                decisions: Vec::new(),
+                retries: 0,
+                pending_us: 0,
+                execution_us: 1_000,
+                scan_bytes: 0,
+                revenue_dollars: 0.0,
+                vm_dollars: 0.0,
+                cf_dollars: 0.0,
+                provider_cf_dollars: 0.0,
+                used_cf: false,
+                degraded: false,
+                speculative: false,
+                slo_good: good,
+                slo_threshold_us: 1_000_000,
+                trace_spans: spans as u64,
+                at_us: 0,
+            });
+            (n, spans)
+        })
+    });
     g.finish();
 }
 

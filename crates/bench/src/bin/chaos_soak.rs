@@ -126,6 +126,7 @@ fn run_query(d: &Deployment, sql: &str, qid: &'static str, level: ServiceLevel) 
         sql: sql.into(),
         level,
         result_limit: None,
+        tenant: None,
     });
     let info = d.server.wait(id).expect("query record");
     RunRecord {
@@ -194,6 +195,47 @@ fn check_pair(base: &RunRecord, chaos: &RunRecord) -> Result<(), String> {
     Ok(())
 }
 
+/// The economics ledger must reconcile exactly — bit-for-bit — against the
+/// server's own query registry, under every fault plan: one entry per
+/// finished query carrying that query's exact bill, bytes, and provider
+/// spend. Faults may change dollars; they may never unbalance the books.
+fn reconcile_ledger(tag: &str, d: &Deployment, failures: &mut Vec<String>) {
+    let infos = d.server.list();
+    let finished = infos
+        .iter()
+        .filter(|i| i.status == QueryStatus::Finished)
+        .count();
+    let entries = d.server.ledger().entries();
+    if entries.len() != finished {
+        failures.push(format!(
+            "{tag}: ledger holds {} entries for {finished} finished queries",
+            entries.len()
+        ));
+        return;
+    }
+    for e in &entries {
+        let Some(info) = infos.iter().find(|i| i.id.to_string() == e.query) else {
+            failures.push(format!(
+                "{tag}: ledger entry {} has no query record",
+                e.query
+            ));
+            continue;
+        };
+        if e.level != info.submission.level.name()
+            || e.bytes_billed != info.scan_bytes
+            || e.revenue_dollars.to_bits() != info.price.to_bits()
+            || e.vm_dollars.to_bits() != info.resource_cost.vm_dollars.to_bits()
+            || e.cf_dollars.to_bits() != info.resource_cost.cf_dollars.to_bits()
+            || e.provider_cf_dollars.to_bits() != info.provider_cf_dollars.to_bits()
+        {
+            failures.push(format!(
+                "{tag}: ledger entry {} diverges from its query record",
+                e.query
+            ));
+        }
+    }
+}
+
 fn metric_value(text: &str, needle: &str) -> f64 {
     text.lines()
         .find(|l| l.starts_with(needle))
@@ -244,6 +286,16 @@ fn main() {
             if let Err(e) = pixels_obs::validate_exposition(&text) {
                 failures.push(format!("{name}/{}: bad exposition: {e}", level.name()));
             }
+            reconcile_ledger(
+                &format!("{name}/{}/baseline", level.name()),
+                &base_d,
+                &mut failures,
+            );
+            reconcile_ledger(
+                &format!("{name}/{}/chaos", level.name()),
+                &chaos_d,
+                &mut failures,
+            );
             let injected =
                 metric_value(&text, "pixels_faults_injected_total{site=\"storage_get\"}");
             if injected <= 0.0 {
@@ -317,6 +369,8 @@ fn main() {
                 (r1, r2) => failures.extend(r1.err().into_iter().chain(r2.err())),
             }
         }
+        reconcile_ledger(&format!("{name}/prefetch"), &chaos_pre, &mut failures);
+        reconcile_ledger(&format!("{name}/sync"), &chaos_sync, &mut failures);
         let text = chaos_pre.server.metrics_text();
         if metric_value(&text, "pixels_scan_prefetch_issued_total") <= 0.0 {
             failures.push(format!("{name}: prefetcher never issued a fetch"));
@@ -383,6 +437,7 @@ fn main() {
                 run_query(&chaos_d, q.sql, q.id, ServiceLevel::Immediate)
             }));
             injected_total += chaos_d.injector.injected_total();
+            reconcile_ledger(&format!("{name}/{}", q.id), &chaos_d, &mut failures);
             let text = chaos_d.server.metrics_text();
             if pixels_obs::validate_exposition(&text).is_err() {
                 metrics_ok = false;

@@ -59,6 +59,7 @@ fn main() {
             sql: sql.clone(),
             level,
             result_limit: Some(10),
+            tenant: None,
         });
         let info = server.wait(id).expect("query completes");
         table.row(&[

@@ -45,6 +45,15 @@ const REQUIRED_FAMILIES: &[&str] = &[
     // storage
     "pixels_storage_get_requests_total",
     "pixels_storage_bytes_read_total",
+    // SLO
+    "pixels_slo_good_total",
+    "pixels_slo_violation_total",
+    "pixels_slo_burn_rate",
+    "pixels_slo_threshold_seconds",
+    // economics ledger
+    "pixels_ledger_entries_total",
+    "pixels_ledger_revenue_dollars",
+    "pixels_ledger_provider_dollars",
 ];
 
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
@@ -62,6 +71,27 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
         head.lines().next().unwrap_or("").to_string(),
         payload.to_string(),
     )
+}
+
+/// Check `self_us` on every node of a profile forest: present, and never
+/// larger than the node's own duration. Returns the first offending node.
+fn bad_self_time(node: &Json) -> Option<String> {
+    let duration = node
+        .get("duration_us")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    match node.get("self_us").and_then(|v| v.as_f64()) {
+        None => return Some(format!("{} has no self_us", node.to_compact_string())),
+        Some(s) if s > duration => {
+            return Some(format!("self_us {s} exceeds duration {duration}"));
+        }
+        Some(_) => {}
+    }
+    node.get("children")
+        .and_then(|c| c.as_array())
+        .into_iter()
+        .flatten()
+        .find_map(bad_self_time)
 }
 
 /// Sum one numeric attribute over a profile span forest.
@@ -170,7 +200,56 @@ fn main() {
         &format!("profile attributes {attributed} bytes, billed {scan_bytes}"),
     );
 
-    // 3. Artifact for CI.
+    let self_time_problem = profile
+        .as_array()
+        .and_then(|roots| roots.iter().find_map(bad_self_time));
+    check(
+        "self-time attribution",
+        self_time_problem.is_none(),
+        self_time_problem.as_deref().unwrap_or(""),
+    );
+
+    // 3. SLO tracker: the finished query must land in a bucket, with a
+    //    threshold derived from the scheduler and burn rates per window.
+    let (status, payload) = request(addr, "GET", "/slo", "");
+    check("slo endpoint 200", status.contains("200"), &status);
+    let slo = Json::parse(&payload).unwrap_or(Json::Null);
+    let immediate = slo
+        .get("levels")
+        .and_then(|l| l.get("immediate"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    check(
+        "slo counts the query",
+        immediate.get("good_total").and_then(|v| v.as_f64()) == Some(1.0),
+        &payload,
+    );
+    check(
+        "slo burn-rate windows",
+        immediate
+            .get("burn_rate")
+            .and_then(|b| b.get("5m"))
+            .is_some(),
+        &payload,
+    );
+
+    // 4. Economics ledger: one entry whose billed bytes equal the query's.
+    let (status, payload) = request(addr, "GET", "/ledger", "");
+    check("ledger endpoint 200", status.contains("200"), &status);
+    let ledger = Json::parse(&payload).unwrap_or(Json::Null);
+    let summary = ledger.get("summary").cloned().unwrap_or(Json::Null);
+    check(
+        "ledger entry recorded",
+        summary.get("entries").and_then(|v| v.as_f64()) == Some(1.0),
+        &payload,
+    );
+    check(
+        "ledger bytes reconcile",
+        summary.get("bytes_billed").and_then(|v| v.as_f64()) == Some(scan_bytes),
+        &payload,
+    );
+
+    // 5. Artifact for CI.
     std::fs::create_dir_all("results").expect("mkdir results");
     std::fs::write("results/query_profile.json", rendered.as_bytes()).expect("write profile");
     println!("wrote results/query_profile.json");

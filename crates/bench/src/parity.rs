@@ -289,6 +289,64 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
         out.provider_cf_dollars,
         sim_cf_total
     );
+    // Ledger parity: filing both sides' dollars through the economics
+    // ledger's own entry type must agree on every derived figure — waste
+    // (provider CF spend beyond the accepted run), total provider spend,
+    // and margin — bit-for-bit, plus the degradation/speculation flags.
+    let entry = |revenue: f64, cost: CostBreakdown, provider_cf: f64, decisions: &[Decision]| {
+        pixels_obs::LedgerEntry {
+            query: "q-100".into(),
+            tenant: "parity".into(),
+            level: s.level.name().into(),
+            bytes_billed: out.bytes_scanned,
+            revenue_dollars: revenue,
+            vm_dollars: cost.vm_dollars,
+            cf_dollars: cost.cf_dollars,
+            provider_cf_dollars: provider_cf,
+            degraded: decisions.contains(&Decision::Degrade),
+            speculative: decisions
+                .iter()
+                .any(|d| matches!(d, Decision::StragglerSpeculate { .. })),
+            at_us: 0,
+        }
+    };
+    let real_entry = entry(
+        bill_real,
+        out.resource_cost,
+        out.provider_cf_dollars,
+        &out.decisions,
+    );
+    let sim_entry = entry(bill_sim, done.cost, sim_cf_total, &sim_decisions);
+    for (what, a, b) in [
+        (
+            "waste",
+            real_entry.waste_dollars(),
+            sim_entry.waste_dollars(),
+        ),
+        (
+            "provider total",
+            real_entry.provider_total_dollars(),
+            sim_entry.provider_total_dollars(),
+        ),
+        (
+            "margin",
+            real_entry.margin_dollars(),
+            sim_entry.margin_dollars(),
+        ),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "[{}] ledger {what} diverged: {a} vs {b}",
+            s.name
+        );
+    }
+    assert_eq!(
+        (real_entry.degraded, real_entry.speculative),
+        (sim_entry.degraded, sim_entry.speculative),
+        "[{}] ledger flags diverged",
+        s.name
+    );
     ParityReport {
         name: s.name,
         decisions: sim_decisions,

@@ -90,6 +90,42 @@ fn parallel_and_serial_traces_attribute_identical_bytes() {
 }
 
 #[test]
+fn cross_thread_children_never_yield_negative_self_time() {
+    let (catalog, store) = setup();
+    let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+    let plan = plan_query(&catalog, "tpch", sql).unwrap();
+
+    // A parallel scan opens morsel spans from worker threads via
+    // `ExecContext::under(&scan_span)` — exactly the cross-thread parenting
+    // the self-time sweep must survive. Wall-clock overlap between sibling
+    // morsels on different workers must clip, never go negative.
+    let trace = Trace::wall();
+    let ctx = ExecContext::new(store)
+        .with_parallelism(4)
+        .with_trace(TraceCtx::root(&trace));
+    execute(&plan, &ctx).unwrap();
+
+    let spans = trace.finished_spans();
+    let selfs = pixels_obs::selftime::self_times(&spans);
+    assert_eq!(selfs.len(), spans.len(), "every span gets a self-time");
+    for s in &spans {
+        let self_us = selfs[&s.id];
+        let duration = s.end_us.saturating_sub(s.start_us);
+        assert!(
+            self_us <= duration,
+            "span {} self {self_us}us exceeds duration {duration}us",
+            s.name
+        );
+    }
+    // The scan's workers run concurrently, so its children's summed wall
+    // time may exceed the scan's own duration — clipping must still leave
+    // self-time within bounds (checked above) and the rollup table renders.
+    let table = pixels_obs::render_operator_table(&spans);
+    assert!(table.contains("scan"), "{table}");
+    assert!(table.contains("morsel"), "{table}");
+}
+
+#[test]
 fn disabled_trace_produces_no_spans_and_same_results() {
     let (catalog, store) = setup();
     let sql = "SELECT COUNT(*) AS n FROM orders";

@@ -1,0 +1,370 @@
+//! The economics ledger: one append-only entry per finished query tying the
+//! user-facing bill to the provider-side spend.
+//!
+//! PixelsDB sells *flexible service levels and prices*: the user pays a
+//! per-TB rate discounted by level, while the provider pays for whatever
+//! resources actually ran — accepted CF/VM attempt cost (`CostBreakdown`)
+//! plus speculation waste (attempts that were cancelled or crashed but still
+//! billed by the cloud, `provider_cf_dollars` minus the accepted CF cost).
+//! The ledger records both sides per query so revenue, cost, and margin
+//! reconcile *exactly* (bit-for-bit f64) against the billing pipeline and
+//! the policy core; the chaos and parity suites assert that invariant.
+
+use crate::registry::MetricsRegistry;
+use parking_lot::Mutex;
+use pixels_common::Json;
+use std::collections::BTreeMap;
+
+/// One query's economics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Query id (e.g. "q-3").
+    pub query: String,
+    pub tenant: String,
+    /// Service-level name ("immediate" / "relaxed" / "best_effort").
+    pub level: String,
+    /// Bytes the user was billed for (scanned bytes).
+    pub bytes_billed: u64,
+    /// What the user pays: `PriceSchedule::bill(level, bytes_billed)`.
+    pub revenue_dollars: f64,
+    /// Provider spend on accepted VM attempts.
+    pub vm_dollars: f64,
+    /// Provider spend on the accepted CF attempt.
+    pub cf_dollars: f64,
+    /// Provider CF spend across *all* attempts, including cancelled and
+    /// crashed ones — always ≥ `cf_dollars`.
+    pub provider_cf_dollars: f64,
+    /// Whether the query was degraded (e.g. CF→VM fallback).
+    pub degraded: bool,
+    /// Whether a speculative duplicate attempt ran.
+    pub speculative: bool,
+    /// When the entry was appended (clock micros of the owning domain).
+    pub at_us: u64,
+}
+
+impl LedgerEntry {
+    /// CF dollars burned on attempts that produced no accepted result.
+    pub fn waste_dollars(&self) -> f64 {
+        (self.provider_cf_dollars - self.cf_dollars).max(0.0)
+    }
+
+    /// Total provider spend: accepted VM cost plus all CF attempts.
+    pub fn provider_total_dollars(&self) -> f64 {
+        self.vm_dollars + self.provider_cf_dollars
+    }
+
+    /// Revenue minus total provider spend.
+    pub fn margin_dollars(&self) -> f64 {
+        self.revenue_dollars - self.provider_total_dollars()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("query", Json::string(self.query.clone())),
+            ("tenant", Json::string(self.tenant.clone())),
+            ("level", Json::string(self.level.clone())),
+            ("bytes_billed", Json::number(self.bytes_billed as f64)),
+            ("revenue_dollars", Json::number(self.revenue_dollars)),
+            ("vm_dollars", Json::number(self.vm_dollars)),
+            ("cf_dollars", Json::number(self.cf_dollars)),
+            (
+                "provider_cf_dollars",
+                Json::number(self.provider_cf_dollars),
+            ),
+            ("waste_dollars", Json::number(self.waste_dollars())),
+            ("degraded", Json::Bool(self.degraded)),
+            ("speculative", Json::Bool(self.speculative)),
+            ("at_us", Json::number(self.at_us as f64)),
+        ])
+    }
+}
+
+/// Sums over a set of ledger entries. Sums are taken in append order, so two
+/// ledgers fed the same entries in the same order agree bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerSummary {
+    pub entries: u64,
+    pub bytes_billed: u64,
+    pub revenue_dollars: f64,
+    pub vm_dollars: f64,
+    pub cf_dollars: f64,
+    pub provider_cf_dollars: f64,
+    pub waste_dollars: f64,
+    pub degraded: u64,
+    pub speculative: u64,
+}
+
+impl LedgerSummary {
+    fn add(&mut self, e: &LedgerEntry) {
+        self.entries += 1;
+        self.bytes_billed += e.bytes_billed;
+        self.revenue_dollars += e.revenue_dollars;
+        self.vm_dollars += e.vm_dollars;
+        self.cf_dollars += e.cf_dollars;
+        self.provider_cf_dollars += e.provider_cf_dollars;
+        self.waste_dollars += e.waste_dollars();
+        self.degraded += e.degraded as u64;
+        self.speculative += e.speculative as u64;
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("entries", Json::number(self.entries as f64)),
+            ("bytes_billed", Json::number(self.bytes_billed as f64)),
+            ("revenue_dollars", Json::number(self.revenue_dollars)),
+            ("vm_dollars", Json::number(self.vm_dollars)),
+            ("cf_dollars", Json::number(self.cf_dollars)),
+            (
+                "provider_cf_dollars",
+                Json::number(self.provider_cf_dollars),
+            ),
+            ("waste_dollars", Json::number(self.waste_dollars)),
+            ("degraded", Json::number(self.degraded as f64)),
+            ("speculative", Json::number(self.speculative as f64)),
+        ])
+    }
+}
+
+/// The append-only ledger.
+#[derive(Default)]
+pub struct Ledger {
+    entries: Mutex<Vec<LedgerEntry>>,
+    /// Per-level entry counts already pushed to a registry, so export emits
+    /// deltas and scraped counters stay monotonic.
+    published_entries: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Ledger {
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    pub fn append(&self, entry: LedgerEntry) {
+        self.entries.lock().push(entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn entries(&self) -> Vec<LedgerEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Summary over every entry, in append order.
+    pub fn summary(&self) -> LedgerSummary {
+        let mut s = LedgerSummary::default();
+        for e in self.entries.lock().iter() {
+            s.add(e);
+        }
+        s
+    }
+
+    /// Per-level summaries, in append order within each level.
+    pub fn by_level(&self) -> BTreeMap<String, LedgerSummary> {
+        let mut out: BTreeMap<String, LedgerSummary> = BTreeMap::new();
+        for e in self.entries.lock().iter() {
+            out.entry(e.level.clone()).or_default().add(e);
+        }
+        out
+    }
+
+    /// Per-tenant summaries, in append order within each tenant.
+    pub fn by_tenant(&self) -> BTreeMap<String, LedgerSummary> {
+        let mut out: BTreeMap<String, LedgerSummary> = BTreeMap::new();
+        for e in self.entries.lock().iter() {
+            out.entry(e.tenant.clone()).or_default().add(e);
+        }
+        out
+    }
+
+    /// The `GET /ledger` payload: the overall summary plus per-level and
+    /// per-tenant breakdowns.
+    pub fn to_json(&self) -> Json {
+        let levels = Json::Object(
+            self.by_level()
+                .into_iter()
+                .map(|(k, v)| (k, v.to_json()))
+                .collect(),
+        );
+        let tenants = Json::Object(
+            self.by_tenant()
+                .into_iter()
+                .map(|(k, v)| (k, v.to_json()))
+                .collect(),
+        );
+        Json::object([
+            ("summary", self.summary().to_json()),
+            ("by_level", levels),
+            ("by_tenant", tenants),
+        ])
+    }
+
+    /// Publish to a metrics registry: a per-level entry counter plus revenue
+    /// and provider-spend gauges. Base series are seeded even with zero
+    /// entries so the metric families always exist for `require_families`.
+    pub fn export(&self, registry: &MetricsRegistry) {
+        registry.counter_with(
+            "pixels_ledger_entries_total",
+            "Ledger entries appended (one per finished query).",
+            &[("level", "all")],
+        );
+        registry.gauge_with(
+            "pixels_ledger_revenue_dollars",
+            "User revenue recorded in the ledger, by service level.",
+            &[("level", "all")],
+        );
+        let by_level = self.by_level();
+        let mut published = self.published_entries.lock();
+        let mut all = 0u64;
+        let mut all_revenue = 0.0f64;
+        for (level, s) in &by_level {
+            all += s.entries;
+            all_revenue += s.revenue_dollars;
+            let mark = published.entry(level.clone()).or_insert(0);
+            registry
+                .counter_with(
+                    "pixels_ledger_entries_total",
+                    "Ledger entries appended (one per finished query).",
+                    &[("level", level)],
+                )
+                .add(s.entries - *mark);
+            *mark = s.entries;
+            registry
+                .gauge_with(
+                    "pixels_ledger_revenue_dollars",
+                    "User revenue recorded in the ledger, by service level.",
+                    &[("level", level)],
+                )
+                .set(s.revenue_dollars);
+        }
+        let all_mark = published.entry("all".to_string()).or_insert(0);
+        registry
+            .counter_with(
+                "pixels_ledger_entries_total",
+                "Ledger entries appended (one per finished query).",
+                &[("level", "all")],
+            )
+            .add(all - *all_mark);
+        *all_mark = all;
+        registry
+            .gauge_with(
+                "pixels_ledger_revenue_dollars",
+                "User revenue recorded in the ledger, by service level.",
+                &[("level", "all")],
+            )
+            .set(all_revenue);
+        let total = self.summary();
+        for (component, dollars) in [
+            ("vm", total.vm_dollars),
+            ("cf", total.cf_dollars),
+            ("cf_waste", total.waste_dollars),
+        ] {
+            registry
+                .gauge_with(
+                    "pixels_ledger_provider_dollars",
+                    "Provider spend recorded in the ledger, by component.",
+                    &[("component", component)],
+                )
+                .set(dollars);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(query: &str, level: &str, revenue: f64) -> LedgerEntry {
+        LedgerEntry {
+            query: query.to_string(),
+            tenant: "default".to_string(),
+            level: level.to_string(),
+            bytes_billed: 1000,
+            revenue_dollars: revenue,
+            vm_dollars: 0.001,
+            cf_dollars: 0.002,
+            provider_cf_dollars: 0.003,
+            degraded: false,
+            speculative: true,
+            at_us: 7,
+        }
+    }
+
+    #[test]
+    fn waste_and_margin_derive_from_the_entry() {
+        let e = entry("q-1", "relaxed", 0.5);
+        assert!((e.waste_dollars() - 0.001).abs() < 1e-12);
+        assert!((e.provider_total_dollars() - 0.004).abs() < 1e-12);
+        assert!((e.margin_dollars() - 0.496).abs() < 1e-12);
+        // Accepted cost above the all-attempts figure clamps to zero waste.
+        let mut odd = e.clone();
+        odd.provider_cf_dollars = 0.0;
+        assert_eq!(odd.waste_dollars(), 0.0);
+    }
+
+    #[test]
+    fn summaries_group_by_level_and_tenant() {
+        let l = Ledger::new();
+        l.append(entry("q-1", "immediate", 1.0));
+        l.append(entry("q-2", "relaxed", 0.2));
+        let mut other = entry("q-3", "relaxed", 0.3);
+        other.tenant = "acme".to_string();
+        l.append(other);
+        let s = l.summary();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.speculative, 3);
+        assert_eq!(s.bytes_billed, 3000);
+        assert_eq!(s.revenue_dollars.to_bits(), (1.0f64 + 0.2 + 0.3).to_bits());
+        let by_level = l.by_level();
+        assert_eq!(by_level["relaxed"].entries, 2);
+        assert_eq!(by_level["immediate"].revenue_dollars, 1.0);
+        let by_tenant = l.by_tenant();
+        assert_eq!(by_tenant["acme"].entries, 1);
+        assert_eq!(by_tenant["default"].entries, 2);
+        let json = l.to_json();
+        assert_eq!(
+            json.get("summary")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn export_deltas_are_monotonic_and_seed_base_series() {
+        let r = MetricsRegistry::new();
+        let l = Ledger::new();
+        l.export(&r); // empty ledger still creates families
+        let text = r.render();
+        assert!(text.contains("pixels_ledger_entries_total"), "{text}");
+        assert!(text.contains("pixels_ledger_revenue_dollars"), "{text}");
+        assert!(text.contains("pixels_ledger_provider_dollars"), "{text}");
+        l.append(entry("q-1", "relaxed", 0.25));
+        l.export(&r);
+        l.export(&r); // re-scrape without new entries: counters must hold
+        let text = r.render();
+        assert!(
+            text.contains("pixels_ledger_entries_total{level=\"relaxed\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_entries_total{level=\"all\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_revenue_dollars{level=\"relaxed\"} 0.25"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_provider_dollars{component=\"cf_waste\"} 0.001"),
+            "{text}"
+        );
+    }
+}

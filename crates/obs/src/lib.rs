@@ -18,15 +18,37 @@
 //!   [`prometheus::validate_exposition`]): the `/metrics` text format plus a
 //!   validator used by tests and CI.
 //!
+//! Layer two turns those raw signals into the operator-facing economics of
+//! the paper — are deadlines being met, and at what cost?
+//!
+//! - **SLOs** ([`SloTracker`]): per-service-level latency objectives with
+//!   sliding-window burn rates, clock-driven so server and simulator share
+//!   one implementation.
+//! - **Economics** ([`Ledger`]): one append-only entry per query tying user
+//!   revenue to provider CF/VM spend and speculation waste, reconciling
+//!   bit-for-bit with billing and the policy core.
+//! - **Journal** ([`QueryJournal`]): a JSON-lines lifecycle record per query;
+//!   [`journal::replay`] recomputes registry aggregates from it alone.
+//! - **Attribution** ([`selftime`]): self- vs. child-time rollups over the
+//!   span tree, surfaced in query profiles and `EXPLAIN ANALYZE`.
+//!
 //! No external dependencies: like the rest of the workspace this builds
 //! fully offline against the in-tree shims.
 
 pub mod clock;
+pub mod journal;
+pub mod ledger;
 pub mod prometheus;
 pub mod registry;
+pub mod selftime;
+pub mod slo;
 pub mod span;
 
 pub use clock::{Clock, ClockRef, SimClock, WallClock};
+pub use journal::{JournalEntry, QueryJournal, ReplayAggregates};
+pub use ledger::{Ledger, LedgerEntry, LedgerSummary};
 pub use prometheus::{require_families, validate_exposition};
 pub use registry::{Counter, Gauge, Histogram, MetricKind, MetricsRegistry};
+pub use selftime::{operator_rollup, render_operator_table, OperatorTiming};
+pub use slo::{SloObjective, SloTracker};
 pub use span::{AttrValue, Span, SpanData, Trace, TraceCtx};

@@ -68,7 +68,12 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
             match bytes[i] {
                 b'"' => break,
                 b'\\' if i + 1 < bytes.len() => {
-                    value.push(bytes[i + 1] as char);
+                    // Unescape per the exposition format: \n is a newline,
+                    // \\ and \" are the literal characters.
+                    value.push(match bytes[i + 1] {
+                        b'n' => '\n',
+                        c => c as char,
+                    });
                     i += 2;
                 }
                 c => {
@@ -81,6 +86,25 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
         rest = after[i + 1..].trim_start_matches(',').trim_start();
     }
     Ok(out)
+}
+
+/// Quotes on a line that are not preceded by a backslash. An odd count
+/// means a label value was opened but never closed on this text line.
+fn unescaped_quote_count(line: &str) -> usize {
+    let bytes = line.as_bytes();
+    let mut count = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                count += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    count
 }
 
 /// Validate Prometheus text exposition format:
@@ -126,6 +150,14 @@ pub fn validate_exposition(text: &str) -> Result<BTreeSet<String>, String> {
         }
         if line.starts_with('#') {
             continue; // HELP or comment
+        }
+        // A raw (unescaped) newline inside a label value splits the sample
+        // across text lines, leaving this line with an unterminated quote.
+        // Catch it explicitly — writers must escape newlines as \n.
+        if !unescaped_quote_count(line).is_multiple_of(2) {
+            return Err(format!(
+                "line {n}: raw newline inside label value (unterminated quote)"
+            ));
         }
         // Sample line: metric and value separated by whitespace. Label
         // values may contain spaces inside quotes, so when a label set is
@@ -303,6 +335,31 @@ pixels_h_sum 1
 pixels_h_count 3
 ";
         assert!(validate_exposition(text).is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn rejects_raw_newlines_but_accepts_escaped_ones() {
+        // A raw newline inside a label value splits the sample line.
+        let raw = "# TYPE pixels_x counter\npixels_x{msg=\"line1\nline2\"} 1\n";
+        let err = validate_exposition(raw).unwrap_err();
+        assert!(err.contains("raw newline"), "{err}");
+        // The registry escapes newlines, so its output stays valid — and the
+        // validator's unescaper recovers the original value.
+        let r = MetricsRegistry::new();
+        r.counter_with("pixels_x", "x", &[("msg", "line1\nline2")])
+            .inc();
+        let text = r.render();
+        validate_exposition(&text).expect("escaped newline is valid");
+        let body_line = text
+            .lines()
+            .find(|l| l.starts_with("pixels_x{"))
+            .expect("sample line");
+        let body = &body_line[body_line.find('{').unwrap() + 1..body_line.rfind('}').unwrap()];
+        let labels = parse_labels(body).unwrap();
+        assert_eq!(
+            labels,
+            vec![("msg".to_string(), "line1\nline2".to_string())]
+        );
     }
 
     #[test]

@@ -229,7 +229,15 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
     sorted.sort();
     let body: Vec<String> = sorted
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            // Exposition-format escaping: backslash first, then quote, then
+            // newline (a raw newline would split the sample line).
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -488,6 +496,29 @@ mod tests {
         let c2 = r.counter_with("pixels_y_total", "y", &[("b", "2"), ("a", "1")]);
         c1.inc();
         assert_eq!(c2.get(), 1);
+    }
+
+    #[test]
+    fn label_values_escape_newlines_quotes_and_backslashes() {
+        let r = MetricsRegistry::new();
+        r.counter_with(
+            "pixels_errors_total",
+            "Errors.",
+            &[("message", "line1\nline2 \"quoted\" back\\slash")],
+        )
+        .inc();
+        let text = r.render();
+        assert!(
+            text.contains(r#"message="line1\nline2 \"quoted\" back\\slash""#),
+            "{text}"
+        );
+        // The escaped newline must not split the sample line.
+        let sample_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("pixels_errors_total"))
+            .collect();
+        assert_eq!(sample_lines.len(), 1, "{text}");
+        assert!(sample_lines[0].ends_with(" 1"), "{text}");
     }
 
     #[test]

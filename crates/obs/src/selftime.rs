@@ -1,0 +1,240 @@
+//! Per-operator time attribution: self-time vs. child-time rollups over a
+//! finished span forest.
+//!
+//! A span's *total* time includes everything its children did; its *self*
+//! time is the part no child accounts for. The subtlety is that children of
+//! one span may run concurrently (cross-thread morsel workers under one
+//! `scan` span) and may even outlive their parent (a worker that finishes
+//! after the coordinator closed the span). Subtracting child durations
+//! naively would double-count overlap and could drive self-time negative, so
+//! self-time is defined as
+//!
+//! ```text
+//! self(s) = duration(s) − |union of child intervals ∩ [s.start, s.end]|
+//! ```
+//!
+//! which is non-negative by construction: the clipped union can never exceed
+//! the parent's own interval.
+
+use crate::span::SpanData;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Length of `intervals ∪` clipped to `[start, end]`, in microseconds.
+fn covered_us(start: u64, end: u64, intervals: &[(u64, u64)]) -> u64 {
+    let mut clipped: Vec<(u64, u64)> = intervals
+        .iter()
+        .map(|&(s, e)| (s.max(start), e.min(end)))
+        .filter(|&(s, e)| e > s)
+        .collect();
+    clipped.sort_unstable();
+    let mut total = 0u64;
+    let mut cursor = start;
+    for (s, e) in clipped {
+        let s = s.max(cursor);
+        if e > s {
+            total += e - s;
+            cursor = e;
+        }
+    }
+    total
+}
+
+/// Self-time of one span given its children's `(start_us, end_us)` intervals.
+/// Never exceeds the span's duration and never underflows.
+pub fn span_self_us(span: &SpanData, child_intervals: &[(u64, u64)]) -> u64 {
+    span.duration_us()
+        .saturating_sub(covered_us(span.start_us, span.end_us, child_intervals))
+}
+
+/// Self-time for every span in a finished trace, keyed by span id. Parent
+/// links are honoured wherever they point — including across threads — and
+/// children whose parent never finished contribute to no one.
+pub fn self_times(spans: &[SpanData]) -> BTreeMap<u64, u64> {
+    let mut child_intervals: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for s in spans {
+        if let Some(parent) = s.parent {
+            child_intervals
+                .entry(parent)
+                .or_default()
+                .push((s.start_us, s.end_us));
+        }
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let children = child_intervals.get(&s.id).map(Vec::as_slice).unwrap_or(&[]);
+            (s.id, span_self_us(s, children))
+        })
+        .collect()
+}
+
+/// Aggregated timing of every span sharing one name ("operator").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorTiming {
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations (includes child time).
+    pub total_us: u64,
+    /// Sum of self-times (total minus child overlap).
+    pub self_us: u64,
+}
+
+impl OperatorTiming {
+    /// Time attributed to children (overlap with child intervals).
+    pub fn child_us(&self) -> u64 {
+        self.total_us.saturating_sub(self.self_us)
+    }
+}
+
+/// Per-operator rollup of a finished trace, hottest self-time first (ties
+/// broken by name so the table is deterministic).
+pub fn operator_rollup(spans: &[SpanData]) -> Vec<OperatorTiming> {
+    let selfs = self_times(spans);
+    let mut by_name: BTreeMap<&str, OperatorTiming> = BTreeMap::new();
+    for s in spans {
+        let t = by_name.entry(&s.name).or_insert_with(|| OperatorTiming {
+            name: s.name.clone(),
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+        });
+        t.count += 1;
+        t.total_us += s.duration_us();
+        t.self_us += selfs.get(&s.id).copied().unwrap_or(0);
+    }
+    let mut rollup: Vec<OperatorTiming> = by_name.into_values().collect();
+    rollup.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    rollup
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else {
+        format!("{:.1}ms", us as f64 / 1e3)
+    }
+}
+
+/// The `EXPLAIN ANALYZE` attribution table: one row per operator name,
+/// hottest self-time first.
+pub fn render_operator_table(spans: &[SpanData]) -> String {
+    let rollup = operator_rollup(spans);
+    let total_self: u64 = rollup.iter().map(|t| t.self_us).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>10} {:>10} {:>10} {:>6}",
+        "operator", "calls", "total", "self", "child", "self%"
+    );
+    for t in &rollup {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            t.self_us as f64 * 100.0 / total_self as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>10} {:>10} {:>10} {:>5.1}%",
+            t.name,
+            t.count,
+            fmt_us(t.total_us),
+            fmt_us(t.self_us),
+            fmt_us(t.child_us()),
+            pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, start: u64, end: u64) -> SpanData {
+        SpanData {
+            id,
+            parent,
+            name: name.into(),
+            start_us: start,
+            end_us: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_child_union_not_sum() {
+        // Two children overlap on [20, 40): subtracting durations would
+        // charge the overlap twice.
+        let spans = vec![
+            span(1, None, "parent", 0, 100),
+            span(2, Some(1), "child", 10, 40),
+            span(3, Some(1), "child", 20, 60),
+        ];
+        let selfs = self_times(&spans);
+        assert_eq!(selfs[&1], 100 - 50); // union [10,60) = 50
+        assert_eq!(selfs[&2], 30);
+        assert_eq!(selfs[&3], 40);
+    }
+
+    #[test]
+    fn child_outliving_parent_is_clipped() {
+        let spans = vec![
+            span(1, None, "parent", 0, 50),
+            span(2, Some(1), "child", 40, 200),
+        ];
+        let selfs = self_times(&spans);
+        assert_eq!(selfs[&1], 40, "only the in-window overlap is charged");
+        assert_eq!(selfs[&2], 160);
+    }
+
+    #[test]
+    fn children_covering_more_than_parent_never_go_negative() {
+        // Concurrent children whose summed durations (120) exceed the
+        // parent's own duration (50).
+        let spans = vec![
+            span(1, None, "parent", 10, 60),
+            span(2, Some(1), "w", 0, 60),
+            span(3, Some(1), "w", 10, 70),
+        ];
+        let selfs = self_times(&spans);
+        assert_eq!(selfs[&1], 0);
+    }
+
+    #[test]
+    fn zero_duration_spans_are_harmless() {
+        let spans = vec![
+            span(1, None, "parent", 5, 5),
+            span(2, Some(1), "child", 5, 5),
+        ];
+        let selfs = self_times(&spans);
+        assert_eq!(selfs[&1], 0);
+        assert_eq!(selfs[&2], 0);
+    }
+
+    #[test]
+    fn rollup_orders_by_self_time_and_renders() {
+        let spans = vec![
+            span(1, None, "query", 0, 100),
+            span(2, Some(1), "scan", 0, 90),
+            span(3, Some(2), "morsel", 0, 40),
+            span(4, Some(2), "morsel", 50, 90),
+        ];
+        let rollup = operator_rollup(&spans);
+        assert_eq!(rollup[0].name, "morsel");
+        assert_eq!(rollup[0].count, 2);
+        assert_eq!(rollup[0].self_us, 80);
+        let scan = rollup.iter().find(|t| t.name == "scan").unwrap();
+        assert_eq!(scan.self_us, 10);
+        assert_eq!(scan.child_us(), 80);
+        let query = rollup.iter().find(|t| t.name == "query").unwrap();
+        assert_eq!(query.self_us, 10);
+        let table = render_operator_table(&spans);
+        assert!(table.contains("operator"), "{table}");
+        assert!(table.contains("morsel"), "{table}");
+        // Self-times always partition the wall time: Σ self == root span.
+        let total: u64 = rollup.iter().map(|t| t.self_us).sum();
+        assert_eq!(total, 100);
+    }
+}

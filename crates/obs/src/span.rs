@@ -110,11 +110,14 @@ impl Trace {
     }
 
     /// The span tree as JSON: a list of roots, each
-    /// `{"name","start_us","duration_us","attrs":{...},"children":[...]}`.
+    /// `{"name","start_us","duration_us","self_us","attrs":{...},"children":[...]}`.
+    /// `self_us` is the span's duration minus the union of its children's
+    /// intervals (see [`crate::selftime`]).
     pub fn to_json(&self) -> Json {
         let spans = self.finished_spans();
+        let selfs = crate::selftime::self_times(&spans);
         let forest = assemble(&spans);
-        Json::array(forest.iter().map(|n| n.to_json()))
+        Json::array(forest.iter().map(|n| n.to_json(&selfs)))
     }
 
     /// The span tree as indented text (one span per line), for
@@ -137,7 +140,11 @@ struct TreeNode<'a> {
 }
 
 impl TreeNode<'_> {
-    fn to_json(&self) -> Json {
+    fn to_json(&self, selfs: &BTreeMap<u64, u64>) -> Json {
+        let self_us = selfs
+            .get(&self.span.id)
+            .copied()
+            .unwrap_or_else(|| self.span.duration_us());
         let mut fields: Vec<(String, Json)> = vec![
             ("name".into(), Json::string(self.span.name.clone())),
             ("start_us".into(), Json::number(self.span.start_us as f64)),
@@ -145,6 +152,7 @@ impl TreeNode<'_> {
                 "duration_us".into(),
                 Json::number(self.span.duration_us() as f64),
             ),
+            ("self_us".into(), Json::number(self_us as f64)),
         ];
         if !self.span.attrs.is_empty() {
             fields.push((
@@ -161,7 +169,7 @@ impl TreeNode<'_> {
         if !self.children.is_empty() {
             fields.push((
                 "children".into(),
-                Json::array(self.children.iter().map(|c| c.to_json())),
+                Json::array(self.children.iter().map(|c| c.to_json(selfs))),
             ));
         }
         Json::Object(fields.into_iter().collect())
@@ -451,6 +459,36 @@ mod tests {
             4,
             "all worker morsels are children of the scan span"
         );
+    }
+
+    #[test]
+    fn profile_json_carries_nonnegative_self_time() {
+        let clock = SimClock::shared();
+        let trace = Trace::with_clock(clock.clone());
+        let parent = TraceCtx::root(&trace).span("scan");
+        // Two workers overlap in (virtual) time and one outlives the parent:
+        // self_us must subtract the union, clipped, never underflowing.
+        let a_ctx = parent.ctx();
+        let b_ctx = parent.ctx();
+        let a = a_ctx.span("morsel");
+        clock.set_micros(40);
+        let b = b_ctx.span("morsel");
+        clock.set_micros(60);
+        a.finish();
+        clock.set_micros(80);
+        parent.finish();
+        clock.set_micros(120);
+        b.finish();
+        let json = trace.to_json();
+        let scan = &json.as_array().unwrap()[0];
+        assert_eq!(scan.get("duration_us").unwrap().as_i64(), Some(80));
+        // Children cover [0,60) ∪ [40,80) = the whole parent window.
+        assert_eq!(scan.get("self_us").unwrap().as_i64(), Some(0));
+        for child in scan.get("children").unwrap().as_array().unwrap() {
+            let self_us = child.get("self_us").unwrap().as_i64().unwrap();
+            let duration = child.get("duration_us").unwrap().as_i64().unwrap();
+            assert!((0..=duration).contains(&self_us));
+        }
     }
 
     #[test]

@@ -174,6 +174,7 @@ impl Session {
             sql: block.sql.clone(),
             level,
             result_limit,
+            tenant: None,
         });
         block.submitted.push(id);
         Ok((form, id))

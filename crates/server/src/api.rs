@@ -16,9 +16,12 @@ use crate::scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
 use crate::service_level::ServiceLevel;
 use parking_lot::Mutex;
 use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
-use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
+use pixels_obs::{
+    JournalEntry, Ledger, LedgerEntry, MetricsRegistry, QueryJournal, SloTracker, Trace, TraceCtx,
+    WallClock,
+};
 use pixels_storage::StoreMetricsSnapshot;
-use pixels_turbo::{ExecMetricsSnapshot, QueryEvent, TurboEngine};
+use pixels_turbo::{CostBreakdown, Decision, ExecMetricsSnapshot, QueryEvent, TurboEngine};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,6 +55,15 @@ pub struct QuerySubmission {
     pub level: ServiceLevel,
     /// Truncate the result to at most this many rows.
     pub result_limit: Option<usize>,
+    /// Billing tenant for the economics ledger; `None` bills "default".
+    pub tenant: Option<String>,
+}
+
+impl QuerySubmission {
+    /// The ledger tenant this submission bills to.
+    pub fn tenant_name(&self) -> &str {
+        self.tenant.as_deref().unwrap_or("default")
+    }
 }
 
 /// Full state of one query as reported to clients.
@@ -82,6 +94,14 @@ pub struct QueryInfo {
     /// The query's span tree — scheduler wait, tier dispatch, operators,
     /// and storage accesses — once the query is terminal.
     pub profile: Option<Json>,
+    /// Ordered policy-core decisions (CF dispatch, speculation, degradation)
+    /// made while executing this query.
+    pub decisions: Vec<Decision>,
+    /// Modelled provider cost of the accepted execution.
+    pub resource_cost: CostBreakdown,
+    /// Modelled provider CF spend across all attempts, crashed and
+    /// cancelled included.
+    pub provider_cf_dollars: f64,
 }
 
 impl QueryInfo {
@@ -93,6 +113,10 @@ impl QueryInfo {
             (
                 "service_level".to_string(),
                 Json::string(self.submission.level.name()),
+            ),
+            (
+                "tenant".to_string(),
+                Json::string(self.submission.tenant_name()),
             ),
             ("sql".to_string(), Json::string(self.submission.sql.clone())),
             (
@@ -149,14 +173,40 @@ pub struct QueryServer {
     /// scrapes absorb only the delta since this snapshot, so the exposed
     /// `pixels_storage_*` counters stay cumulative and monotone.
     absorbed_storage: Mutex<StoreMetricsSnapshot>,
+    /// SLO, ledger, and journal sinks every query thread reports into.
+    obs: ObsSinks,
+}
+
+/// The observability sinks a query thread appends to at its terminal state.
+/// Bundled so [`run_query_thread`] takes one handle.
+#[derive(Clone)]
+struct ObsSinks {
+    slo: Arc<SloTracker>,
+    ledger: Arc<Ledger>,
+    journal: Arc<QueryJournal>,
+}
+
+impl ObsSinks {
+    fn for_policy(policy: &SchedulerPolicy) -> ObsSinks {
+        ObsSinks {
+            slo: Arc::new(SloTracker::new(
+                WallClock::shared(),
+                policy.slo_objectives(),
+            )),
+            ledger: Arc::new(Ledger::new()),
+            journal: Arc::new(QueryJournal::new()),
+        }
+    }
 }
 
 impl QueryServer {
     pub fn new(engine: Arc<TurboEngine>, prices: PriceSchedule) -> Self {
+        let policy = SchedulerPolicy::default();
         QueryServer {
             engine,
             prices,
-            policy: SchedulerPolicy::default(),
+            obs: ObsSinks::for_policy(&policy),
+            policy,
             poll: Duration::from_millis(5),
             state: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(0),
@@ -166,9 +216,42 @@ impl QueryServer {
     }
 
     /// Replace the admission policy (grace period, best-of-effort bound).
+    /// The SLO tracker is rebuilt so its objectives stay derived from the
+    /// bounds admission actually enforces.
     pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
         self.policy = policy;
+        self.obs = ObsSinks::for_policy(&policy);
         self
+    }
+
+    /// The per-level SLO tracker (latency objectives + burn rates).
+    pub fn slo(&self) -> &Arc<SloTracker> {
+        &self.obs.slo
+    }
+
+    /// The economics ledger (one entry per finished query).
+    pub fn ledger(&self) -> &Arc<Ledger> {
+        &self.obs.ledger
+    }
+
+    /// The structured query journal (one record per terminal query).
+    pub fn journal(&self) -> &Arc<QueryJournal> {
+        &self.obs.journal
+    }
+
+    /// The `GET /slo` payload.
+    pub fn slo_json(&self) -> Json {
+        self.obs.slo.to_json()
+    }
+
+    /// The `GET /ledger` payload.
+    pub fn ledger_json(&self) -> Json {
+        self.obs.ledger.to_json()
+    }
+
+    /// The `GET /journal` payload: JSON lines, one terminal query each.
+    pub fn journal_jsonl(&self) -> String {
+        self.obs.journal.render_jsonl()
     }
 
     pub fn engine(&self) -> &Arc<TurboEngine> {
@@ -224,6 +307,10 @@ impl QueryServer {
         // Fold in whatever the fault injector did since the last scrape
         // (no-op when chaos is disabled).
         self.engine.fault_injector().export_metrics(r);
+        // SLO and ledger families (good/violation counters, burn rates,
+        // revenue and provider spend), published as deltas at scrape time.
+        self.obs.slo.export(r);
+        self.obs.ledger.export(r);
         r.render()
     }
 
@@ -246,6 +333,9 @@ impl QueryServer {
             events: Vec::new(),
             retries: 0,
             profile: None,
+            decisions: Vec::new(),
+            resource_cost: CostBreakdown::default(),
+            provider_cf_dollars: 0.0,
         };
         self.state.lock().insert(id, info);
         self.registry()
@@ -261,8 +351,9 @@ impl QueryServer {
         let prices = self.prices;
         let policy = self.policy;
         let poll = self.poll;
+        let obs = self.obs.clone();
         let handle = std::thread::spawn(move || {
-            run_query_thread(engine, state, prices, policy, poll, id, submission);
+            run_query_thread(engine, state, prices, policy, poll, id, submission, obs);
         });
         let mut handles = self.handles.lock();
         // Reap finished query threads so a long-running server doesn't
@@ -314,6 +405,7 @@ impl QueryServer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_query_thread(
     engine: Arc<TurboEngine>,
     state: Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
@@ -322,6 +414,7 @@ fn run_query_thread(
     poll: Duration,
     id: QueryId,
     submission: QuerySubmission,
+    obs: ObsSinks,
 ) {
     let registry = engine.registry().clone();
     // One trace per query: the root `query` span covers scheduler wait,
@@ -340,14 +433,19 @@ fn run_query_thread(
         nearly_idle: !engine.is_busy(),
     };
     let mut forced = false;
+    let mut admission = "dispatch_now";
     {
         let wait_span = query_span.ctx().span("scheduler_wait");
         if let Admission::Queue { deadline_us } = policy.admit(submission.level, load(&engine), 0) {
+            admission = "queued";
             loop {
                 let now_us = queued.elapsed().as_micros() as u64;
                 match policy.recheck(submission.level, load(&engine), now_us, deadline_us) {
                     QueueVerdict::Dispatch { forced: f } => {
                         forced = f;
+                        if f {
+                            admission = "forced";
+                        }
                         break;
                     }
                     QueueVerdict::Wait => std::thread::sleep(poll),
@@ -412,6 +510,9 @@ fn run_query_thread(
             info.metrics = out.metrics;
             info.events = out.events;
             info.retries = out.retries;
+            info.decisions = out.decisions;
+            info.resource_cost = out.resource_cost;
+            info.provider_cf_dollars = out.provider_cf_dollars;
             info.result = Some(out.batch);
         }
         Err(e) => {
@@ -420,6 +521,62 @@ fn run_query_thread(
         }
     }
     info.profile = Some(profile);
+    // SLO verdict, ledger entry, and journal record — appended while the
+    // state lock is held, so anyone who observes the terminal status also
+    // observes the query's obs records.
+    let level = submission.level.name();
+    let at_us = trace.now_micros();
+    let degraded = info
+        .decisions
+        .iter()
+        .any(|d| matches!(d, Decision::Degrade));
+    let speculative = info
+        .decisions
+        .iter()
+        .any(|d| matches!(d, Decision::StragglerSpeculate { .. }));
+    let slo_good = match info.status {
+        // Failed queries always burn budget, whatever their pending time.
+        QueryStatus::Failed => obs.slo.record(level, u64::MAX),
+        _ => obs.slo.record(level, info.pending.as_micros() as u64),
+    };
+    if info.status == QueryStatus::Finished {
+        obs.ledger.append(LedgerEntry {
+            query: id.to_string(),
+            tenant: submission.tenant_name().to_string(),
+            level: level.to_string(),
+            bytes_billed: info.scan_bytes,
+            revenue_dollars: info.price,
+            vm_dollars: info.resource_cost.vm_dollars,
+            cf_dollars: info.resource_cost.cf_dollars,
+            provider_cf_dollars: info.provider_cf_dollars,
+            degraded,
+            speculative,
+            at_us,
+        });
+    }
+    obs.journal.append(JournalEntry {
+        query: id.to_string(),
+        tenant: submission.tenant_name().to_string(),
+        level: level.to_string(),
+        status: info.status.name().to_string(),
+        admission: admission.to_string(),
+        decisions: info.decisions.iter().map(|d| format!("{d:?}")).collect(),
+        retries: info.retries,
+        pending_us: info.pending.as_micros() as u64,
+        execution_us: info.execution.as_micros() as u64,
+        scan_bytes: info.scan_bytes,
+        revenue_dollars: info.price,
+        vm_dollars: info.resource_cost.vm_dollars,
+        cf_dollars: info.resource_cost.cf_dollars,
+        provider_cf_dollars: info.provider_cf_dollars,
+        used_cf: info.used_cf,
+        degraded,
+        speculative,
+        slo_good,
+        slo_threshold_us: obs.slo.threshold_us(level).unwrap_or(0),
+        trace_spans: trace.finished_spans().len() as u64,
+        at_us,
+    });
     registry
         .counter_with(
             "pixels_queries_total",
@@ -494,6 +651,7 @@ mod tests {
             sql: sql.into(),
             level,
             result_limit: None,
+            tenant: None,
         }
     }
 
@@ -530,6 +688,7 @@ mod tests {
             sql: "SELECT o_orderkey FROM orders".into(),
             level: ServiceLevel::Immediate,
             result_limit: Some(7),
+            tenant: None,
         });
         let info = s.wait(id).unwrap();
         assert_eq!(info.result.unwrap().num_rows(), 7);
@@ -850,6 +1009,124 @@ mod tests {
                 >= 1,
             "grace expiry must force-start the query unslotted"
         );
+    }
+
+    #[test]
+    fn ledger_reconciles_bit_for_bit_with_query_state() {
+        let s = server();
+        for (i, level) in ServiceLevel::ALL.iter().enumerate() {
+            let mut sub = submission("SELECT COUNT(*) FROM orders", *level);
+            if i == 0 {
+                sub.tenant = Some("acme".into());
+            }
+            s.wait(s.submit(sub)).unwrap();
+        }
+        // One failure: no ledger entry, but a journal record.
+        s.wait(s.submit(submission(
+            "SELECT zap FROM orders",
+            ServiceLevel::Immediate,
+        )))
+        .unwrap();
+        let entries = s.ledger().entries();
+        assert_eq!(entries.len(), 3, "failed queries carry no ledger entry");
+        for e in &entries {
+            let info = s.status(QueryId(e.query[2..].parse().unwrap())).unwrap();
+            assert_eq!(e.revenue_dollars.to_bits(), info.price.to_bits());
+            assert_eq!(e.bytes_billed, info.scan_bytes);
+            assert_eq!(
+                e.vm_dollars.to_bits(),
+                info.resource_cost.vm_dollars.to_bits()
+            );
+            assert_eq!(
+                e.cf_dollars.to_bits(),
+                info.resource_cost.cf_dollars.to_bits()
+            );
+            assert_eq!(
+                e.provider_cf_dollars.to_bits(),
+                info.provider_cf_dollars.to_bits()
+            );
+            assert_eq!(e.level, info.submission.level.name());
+            assert_eq!(e.tenant, info.submission.tenant_name());
+        }
+        let by_tenant = s.ledger().by_tenant();
+        assert_eq!(by_tenant["acme"].entries, 1);
+        assert_eq!(by_tenant["default"].entries, 2);
+        // /ledger and /slo payloads parse and carry the totals.
+        let ledger_json = s.ledger_json();
+        assert_eq!(
+            ledger_json
+                .get("summary")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+        let slo_json = s.slo_json();
+        let relaxed = slo_json.get("levels").unwrap().get("relaxed").unwrap();
+        assert_eq!(relaxed.get("good_total").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_registry_aggregates() {
+        let s = server();
+        for level in ServiceLevel::ALL {
+            s.wait(s.submit(submission("SELECT COUNT(*) FROM region", level)))
+                .unwrap();
+        }
+        s.wait(s.submit(submission("SELECT zap FROM region", ServiceLevel::Relaxed)))
+            .unwrap();
+        let entries = pixels_obs::QueryJournal::parse_jsonl(&s.journal_jsonl()).unwrap();
+        assert_eq!(entries.len(), 4);
+        let failed = entries.iter().find(|e| e.status == "failed").unwrap();
+        assert!(!failed.slo_good, "failed queries are SLO violations");
+        assert!(entries.iter().all(|e| e.trace_spans > 0));
+        assert!(entries
+            .iter()
+            .all(|e| ["dispatch_now", "queued", "forced"].contains(&e.admission.as_str())));
+        let agg = pixels_obs::journal::replay(&entries);
+        let diffs = agg.diff_against_exposition(&s.metrics_text());
+        assert!(diffs.is_empty(), "journal/registry drift: {diffs:?}");
+    }
+
+    #[test]
+    fn slo_and_ledger_families_are_exposed_and_valid() {
+        let s = server();
+        s.wait(s.submit(submission(
+            "SELECT COUNT(*) FROM region",
+            ServiceLevel::Immediate,
+        )))
+        .unwrap();
+        let text = s.metrics_text();
+        pixels_obs::require_families(
+            &text,
+            &[
+                "pixels_slo_good_total",
+                "pixels_slo_violation_total",
+                "pixels_slo_burn_rate",
+                "pixels_slo_threshold_seconds",
+                "pixels_ledger_entries_total",
+                "pixels_ledger_revenue_dollars",
+                "pixels_ledger_provider_dollars",
+            ],
+        )
+        .expect("SLO and ledger families must be exposed");
+        // A sub-second immediate query on an idle test engine meets its SLO.
+        assert!(
+            text.contains("pixels_slo_good_total{level=\"immediate\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn scheduler_bounds_drive_the_slo_thresholds() {
+        use pixels_sim::SimDuration;
+        let s = server().with_scheduler(SchedulerPolicy {
+            grace: SimDuration::from_secs(42),
+            ..Default::default()
+        });
+        assert_eq!(s.slo().threshold_us("relaxed"), Some(42_000_000));
+        assert_eq!(s.slo().threshold_us("immediate"), Some(1_000_000));
     }
 
     #[test]

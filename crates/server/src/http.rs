@@ -8,11 +8,14 @@
 //! | method & path        | body                                            | response |
 //! |----------------------|--------------------------------------------------|---------|
 //! | `POST /translate`    | `{"question": ..., "database": ...}`             | `{"sql": ..., "confidence": ...}` |
-//! | `POST /queries`      | `{"database","sql","level","result_limit"?}`     | `{"id": "q-0"}` |
+//! | `POST /queries`      | `{"database","sql","level","result_limit"?,"tenant"?}` | `{"id": "q-0"}` |
 //! | `GET /queries/<id>`  | —                                                | status payload (+`rows` when finished) |
 //! | `GET /queries/<id>/profile` | —                                         | the query's span-tree profile |
 //! | `GET /queries`       | —                                                | `{"queries": [...]}` |
 //! | `GET /metrics`       | —                                                | Prometheus text exposition (not JSON) |
+//! | `GET /slo`           | —                                                | per-level SLO status + burn rates |
+//! | `GET /ledger`        | —                                                | economics ledger summaries |
+//! | `GET /journal`       | —                                                | query journal (JSON lines, not JSON) |
 //! | `GET /health`        | —                                                | `{"status": "ok"}` |
 //!
 //! The implementation is deliberately small (std `TcpListener`, one thread
@@ -152,13 +155,18 @@ fn route(
     server: &QueryServer,
     translator: Option<&dyn TranslateBackend>,
 ) -> (&'static str, &'static str, String) {
-    // /metrics is the one non-JSON endpoint: Prometheus text exposition.
+    // The two non-JSON endpoints: Prometheus text and the JSONL journal.
     if method == "GET" && path == "/metrics" {
         return ("200 OK", "text/plain; version=0.0.4", server.metrics_text());
+    }
+    if method == "GET" && path == "/journal" {
+        return ("200 OK", "application/x-ndjson", server.journal_jsonl());
     }
     let result = (|| -> Result<(&'static str, Json)> {
         match (method, path) {
             ("GET", "/health") => Ok(("200 OK", Json::object([("status", Json::string("ok"))]))),
+            ("GET", "/slo") => Ok(("200 OK", server.slo_json())),
+            ("GET", "/ledger") => Ok(("200 OK", server.ledger_json())),
             ("POST", "/translate") => {
                 let t = translator
                     .ok_or_else(|| Error::Unsupported("no text-to-SQL service attached".into()))?;
@@ -185,11 +193,16 @@ fn route(
                     .get("result_limit")
                     .and_then(|v| v.as_i64())
                     .map(|v| v.max(0) as usize);
+                let tenant = req
+                    .get("tenant")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string);
                 let id = server.submit(QuerySubmission {
                     database,
                     sql,
                     level,
                     result_limit,
+                    tenant,
                 });
                 Ok((
                     "202 Accepted",
@@ -427,6 +440,60 @@ mod tests {
         let text = profile.to_compact_string();
         assert!(text.contains("\"name\":\"query\""), "{text}");
         assert!(text.contains("\"name\":\"scan\""), "{text}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn slo_ledger_and_journal_endpoints() {
+        let srv = start();
+        let (_, json) = request(
+            srv.addr(),
+            "POST",
+            "/queries",
+            r#"{"database":"tpch","sql":"SELECT COUNT(*) FROM region","tenant":"acme"}"#,
+        );
+        let id = json.get("id").unwrap().as_str().unwrap().to_string();
+        for _ in 0..500 {
+            let (_, j) = request(srv.addr(), "GET", &format!("/queries/{id}"), "");
+            if j.get("status").and_then(|s| s.as_str()) == Some("finished") {
+                assert_eq!(j.get("tenant").unwrap().as_str(), Some("acme"));
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let (status, slo) = request(srv.addr(), "GET", "/slo", "");
+        assert!(status.contains("200"), "{status}");
+        let immediate = slo.get("levels").unwrap().get("immediate").unwrap();
+        assert_eq!(immediate.get("good_total").unwrap().as_i64(), Some(1));
+        assert!(immediate.get("burn_rate").unwrap().get("5m").is_some());
+        let (status, ledger) = request(srv.addr(), "GET", "/ledger", "");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(
+            ledger
+                .get("by_tenant")
+                .unwrap()
+                .get("acme")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        // /journal is JSON lines, one record per terminal query.
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        write!(
+            stream,
+            "GET /journal HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("200"), "{head}");
+        assert!(head.contains("application/x-ndjson"), "{head}");
+        let entries = pixels_obs::QueryJournal::parse_jsonl(body).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].tenant, "acme");
         srv.shutdown();
     }
 

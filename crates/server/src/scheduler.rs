@@ -10,7 +10,13 @@
 //! themselves, so sim and real schedule identically by construction.
 
 use crate::service_level::ServiceLevel;
+use pixels_obs::SloObjective;
 use pixels_sim::SimDuration;
+
+/// Pending-time objective for Immediate queries. Immediate work dispatches
+/// unconditionally, so no scheduler knob bounds its wait — the objective is
+/// the paper's "interactive" promise: negligible queueing, here one second.
+pub const IMMEDIATE_SLO_US: u64 = 1_000_000;
 
 /// Scheduler knobs, in virtual microseconds so both drivers share them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +74,22 @@ pub enum QueueVerdict {
 }
 
 impl SchedulerPolicy {
+    /// Latency objectives for the SLO tracker, derived from the *same*
+    /// bounds admission enforces: Relaxed promises the grace period,
+    /// best-of-effort the starvation bound. There is deliberately no second
+    /// copy of these numbers — change a scheduler knob and the SLO threshold
+    /// moves with it.
+    pub fn slo_objectives(&self) -> Vec<SloObjective> {
+        vec![
+            SloObjective::new(ServiceLevel::Immediate.name(), IMMEDIATE_SLO_US),
+            SloObjective::new(ServiceLevel::Relaxed.name(), self.grace.as_micros()),
+            SloObjective::new(
+                ServiceLevel::BestEffort.name(),
+                self.besteffort_max_wait.as_micros(),
+            ),
+        ]
+    }
+
     /// Decide a fresh submission at absolute time `now_us`.
     pub fn admit(&self, level: ServiceLevel, load: LoadSignal, now_us: u64) -> Admission {
         match level {
@@ -173,6 +195,35 @@ mod tests {
             p.recheck(ServiceLevel::Relaxed, STEADY, deadline_us - 1, deadline_us),
             QueueVerdict::Dispatch { forced: false }
         );
+    }
+
+    #[test]
+    fn slo_objectives_track_the_scheduler_bounds() {
+        let default_policy = SchedulerPolicy::default();
+        let find = |p: &SchedulerPolicy, level: &str| {
+            p.slo_objectives()
+                .into_iter()
+                .find(|o| o.level == level)
+                .unwrap()
+                .threshold_us
+        };
+        assert_eq!(find(&default_policy, "immediate"), IMMEDIATE_SLO_US);
+        assert_eq!(
+            find(&default_policy, "relaxed"),
+            default_policy.grace.as_micros()
+        );
+        assert_eq!(
+            find(&default_policy, "best-of-effort"),
+            default_policy.besteffort_max_wait.as_micros()
+        );
+        // The objective is derived, not copied: changing a scheduler bound
+        // moves the SLO threshold with it.
+        let tightened = SchedulerPolicy {
+            grace: SimDuration::from_secs(30),
+            besteffort_max_wait: SimDuration::from_secs(120),
+        };
+        assert_eq!(find(&tightened, "relaxed"), 30_000_000);
+        assert_eq!(find(&tightened, "best-of-effort"), 120_000_000);
     }
 
     #[test]

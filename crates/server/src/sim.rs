@@ -442,10 +442,12 @@ impl ServerSim {
             + self.relaxed_queue.len()
             + self.besteffort_queue.len()
             + self.batches.iter().map(|(_, m)| m.len()).sum::<usize>();
+        let policy = self.policy();
         let mut records = self.records;
         records.sort_by_key(|r| (r.submitted_at, r.id));
         SimReport {
             records,
+            policy,
             unfinished,
             end_time: self.now,
             vm_worker_series: self.coordinator.vm.worker_series.clone(),
@@ -465,6 +467,9 @@ impl ServerSim {
 #[derive(Debug, Clone)]
 pub struct SimReport {
     pub records: Vec<QueryRecord>,
+    /// The admission policy the run used — the same knobs the live server
+    /// derives its SLO thresholds from.
+    pub policy: SchedulerPolicy,
     /// Queries still unfinished when the drain budget ran out.
     pub unfinished: usize,
     pub end_time: SimTime,
@@ -494,6 +499,46 @@ impl SimReport {
             s.record(r.pending());
         }
         s
+    }
+
+    /// Build the economics ledger for this run: one entry per completed
+    /// query, in record order, carrying exactly the dollars the records
+    /// carry — so reconciliation against `records` is bit-for-bit.
+    pub fn ledger(&self) -> pixels_obs::Ledger {
+        let ledger = pixels_obs::Ledger::new();
+        for r in &self.records {
+            ledger.append(pixels_obs::LedgerEntry {
+                query: r.id.to_string(),
+                tenant: "sim".to_string(),
+                level: r.level.name().to_string(),
+                bytes_billed: r.scan_bytes,
+                revenue_dollars: r.price,
+                vm_dollars: r.resource_cost.vm_dollars,
+                cf_dollars: r.resource_cost.cf_dollars,
+                provider_cf_dollars: r.resource_cost.cf_dollars,
+                degraded: r.degraded,
+                speculative: r.speculative,
+                at_us: r.finished_at.as_micros(),
+            });
+        }
+        ledger
+    }
+
+    /// Replay the run's pending times through an [`pixels_obs::SloTracker`]
+    /// whose objectives come from the run's own [`SchedulerPolicy`] — the
+    /// identical code path the live server uses, on the virtual clock.
+    pub fn slo_tracker(&self) -> pixels_obs::SloTracker {
+        let clock = pixels_obs::SimClock::shared();
+        clock.set_micros(self.end_time.as_micros());
+        let tracker = pixels_obs::SloTracker::new(clock, self.policy.slo_objectives());
+        for r in &self.records {
+            tracker.record_at(
+                r.level.name(),
+                r.pending().as_micros(),
+                r.finished_at.as_micros(),
+            );
+        }
+        tracker
     }
 
     /// Mean user price per query at a level.
@@ -626,6 +671,21 @@ impl SimReport {
         ] {
             registry.counter(name, help).add(value);
         }
+        // SLO and economics families, via the exact exporters the live
+        // server mounts — one dollar/burn-rate surface for both drivers.
+        self.slo_tracker().export(registry);
+        let ledger = self.ledger();
+        ledger.export(registry);
+        // CF spend the per-query attribution cannot explain (e.g. fleets
+        // that crashed before any query completed on them).
+        let attributed: f64 = ledger.entries().iter().map(|e| e.cf_dollars).sum();
+        registry
+            .gauge_with(
+                "pixels_ledger_provider_dollars",
+                "Provider spend recorded in the ledger, by component.",
+                &[("component", "cf_unattributed")],
+            )
+            .set((self.total_resource_cost.cf_dollars - attributed).max(0.0));
     }
 
     /// Fraction of queries at a level that ran in CF.
@@ -848,6 +908,12 @@ mod tests {
             "pixels_sim_query_execution_seconds",
             "pixels_turbo_vm_scale_out_events_total",
             "pixels_sim_resource_cost_dollars",
+            "pixels_slo_good_total",
+            "pixels_slo_violation_total",
+            "pixels_slo_burn_rate",
+            "pixels_ledger_entries_total",
+            "pixels_ledger_revenue_dollars",
+            "pixels_ledger_provider_dollars",
         ] {
             assert!(families.contains(required), "missing {required} in {text}");
         }
@@ -855,6 +921,104 @@ mod tests {
             text.contains(r#"pixels_sim_queries_total{level="immediate"} 12"#),
             "{text}"
         );
+        assert!(
+            text.contains(r#"pixels_slo_good_total{level="immediate"} 12"#),
+            "immediate queries never wait, so all 12 meet the objective: {text}"
+        );
+        assert!(
+            text.contains(r#"pixels_ledger_entries_total{level="immediate"} 12"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"component="cf_unattributed""#), "{text}");
+    }
+
+    #[test]
+    fn ledger_reconciles_bit_for_bit_with_records() {
+        let subs: Vec<Submission> = (0..18)
+            .map(|i| Submission {
+                at: SimTime::from_millis(i * 800),
+                class: if i % 4 == 0 {
+                    QueryClass::Heavy
+                } else {
+                    QueryClass::Light
+                },
+                level: ServiceLevel::ALL[(i % 3) as usize],
+            })
+            .collect();
+        let report = ServerSim::with_defaults().run(subs, SimDuration::from_secs(7200));
+        assert_eq!(report.unfinished, 0);
+        let entries = report.ledger().entries();
+        assert_eq!(entries.len(), report.records.len());
+        // Entries are appended in record order; every dollar and byte is the
+        // record's own, not a recomputation — equality is exact, not fuzzy.
+        for (e, r) in entries.iter().zip(report.records.iter()) {
+            assert_eq!(e.query, r.id.to_string());
+            assert_eq!(e.level, r.level.name());
+            assert_eq!(e.bytes_billed, r.scan_bytes);
+            assert_eq!(e.revenue_dollars.to_bits(), r.price.to_bits());
+            assert_eq!(e.vm_dollars.to_bits(), r.resource_cost.vm_dollars.to_bits());
+            assert_eq!(e.cf_dollars.to_bits(), r.resource_cost.cf_dollars.to_bits());
+            assert_eq!(e.degraded, r.degraded);
+            assert_eq!(e.speculative, r.speculative);
+        }
+        // The summary's revenue is the same fold the records produce.
+        let folded = report.records.iter().fold(0.0f64, |acc, r| acc + r.price);
+        assert_eq!(
+            report.ledger().summary().revenue_dollars.to_bits(),
+            folded.to_bits()
+        );
+    }
+
+    #[test]
+    fn slo_tracker_derives_thresholds_from_the_run_policy() {
+        // Deliberately *not* a multiple of the 100 ms tick: the forced start
+        // lands on the tick after the deadline, so pending time strictly
+        // exceeds the threshold and the violation counter must move.
+        let grace = SimDuration::from_millis(250);
+        let cfg = ServerConfig {
+            grace_period: grace,
+            ..Default::default()
+        };
+        let sim = ServerSim::new(
+            VmConfig::default(),
+            CfConfig::default(),
+            ResourcePricing::default(),
+            cfg,
+        );
+        let subs = burst(
+            25,
+            SimTime::from_secs(1),
+            QueryClass::Heavy,
+            ServiceLevel::Relaxed,
+        );
+        let report = sim.run(subs, SimDuration::from_secs(4 * 3600));
+        assert_eq!(report.unfinished, 0);
+        let tracker = report.slo_tracker();
+        assert_eq!(tracker.threshold_us("relaxed"), Some(grace.as_micros()));
+        assert_eq!(
+            tracker.threshold_us("immediate"),
+            Some(crate::scheduler::IMMEDIATE_SLO_US)
+        );
+        // Every record lands in exactly one SLO bucket.
+        let registry = pixels_obs::MetricsRegistry::new();
+        tracker.export(&registry);
+        let text = registry.render();
+        pixels_obs::validate_exposition(&text).expect("valid exposition");
+        let count = |needle: &str| -> u64 {
+            text.lines()
+                .filter(|l| l.starts_with(needle))
+                .filter_map(|l| l.rsplit(' ').next())
+                .filter_map(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+                .sum()
+        };
+        let good = count("pixels_slo_good_total");
+        let bad = count("pixels_slo_violation_total");
+        assert_eq!(good + bad, report.records.len() as u64, "{text}");
+        // A heavy spike against a 5-second grace bound must violate: the
+        // forced starts bound *server* wait, but engine pending pushes many
+        // queries past the threshold.
+        assert!(bad > 0, "spike must burn error budget: {text}");
     }
 
     #[test]
@@ -900,6 +1064,22 @@ mod tests {
         pixels_obs::validate_exposition(&text).expect("valid exposition");
         assert!(text.contains("pixels_turbo_cf_crashes_total"));
         assert!(text.contains("pixels_turbo_cf_degradations_total"));
+        // Ledger reconciliation holds under chaos: every completed query has
+        // an entry carrying its record's exact dollars, and CF spend the
+        // entries cannot explain (crashed fleets) shows up unattributed,
+        // never silently dropped.
+        let ledger = chaotic.ledger();
+        assert_eq!(ledger.len(), chaotic.records.len());
+        let summary = ledger.summary();
+        let folded_revenue = chaotic.records.iter().fold(0.0f64, |acc, r| acc + r.price);
+        assert_eq!(summary.revenue_dollars.to_bits(), folded_revenue.to_bits());
+        assert!(summary.degraded > 0, "degraded queries reach the ledger");
+        let attributed: f64 = ledger.entries().iter().map(|e| e.cf_dollars).sum();
+        assert!(
+            chaotic.total_resource_cost.cf_dollars - attributed > -1e-9,
+            "attribution cannot exceed total CF spend: {attributed} vs {}",
+            chaotic.total_resource_cost.cf_dollars
+        );
     }
 
     #[test]

@@ -431,6 +431,9 @@ impl TurboEngine {
                     m.footer_cache_hits,
                 ));
                 if let Some(t) = exec_trace.trace() {
+                    let spans = t.finished_spans();
+                    text.push_str("--- operator time attribution ---\n");
+                    text.push_str(&pixels_obs::render_operator_table(&spans));
                     text.push_str("--- trace ---\n");
                     text.push_str(&t.render_text());
                 }
@@ -1413,6 +1416,13 @@ mod tests {
         assert!(text.contains("scan"), "{text}");
         assert!(text.contains("morsel"), "{text}");
         assert_eq!(out.metrics.bytes_scanned, out.bytes_scanned);
+        // The attribution table precedes the tree and splits wall time into
+        // self vs child per operator.
+        assert!(text.contains("--- operator time attribution ---"), "{text}");
+        assert!(text.contains("operator"), "{text}");
+        assert!(text.contains("self%"), "{text}");
+        let attribution_at = text.find("operator time attribution").unwrap();
+        assert!(attribution_at < text.find("--- trace ---").unwrap());
     }
 
     /// Saturate the engine's only VM slot with a long-running query so that

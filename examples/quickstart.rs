@@ -60,6 +60,7 @@ fn main() {
             sql: translation.sql.clone(),
             level,
             result_limit: None,
+            tenant: None,
         });
         let info = server.wait(id).expect("finishes");
         println!(

@@ -48,6 +48,7 @@ fn run(server: &QueryServer, sql: &str, level: ServiceLevel) -> pixelsdb::server
         sql: sql.into(),
         level,
         result_limit: None,
+        tenant: None,
     });
     server.wait(id).unwrap()
 }

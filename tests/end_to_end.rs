@@ -67,6 +67,7 @@ fn nl_to_billed_result() {
         sql,
         level: ServiceLevel::Relaxed,
         result_limit: Some(100),
+        tenant: None,
     });
     let info = d.server.wait(id).unwrap();
     assert_eq!(info.status, QueryStatus::Finished);
@@ -91,6 +92,7 @@ fn same_query_same_answer_at_every_level() {
             sql: sql.into(),
             level,
             result_limit: None,
+            tenant: None,
         });
         let info = d.server.wait(id).unwrap();
         assert_eq!(info.status, QueryStatus::Finished);
@@ -110,6 +112,7 @@ fn explain_shows_the_physical_plan() {
         sql: "EXPLAIN SELECT COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1995-01-01'".into(),
         level: ServiceLevel::Immediate,
         result_limit: None,
+        tenant: None,
     });
     let info = d.server.wait(id).unwrap();
     let text = info.result.unwrap().pretty_format();
@@ -130,6 +133,7 @@ fn cross_database_sessions() {
             sql: sql.into(),
             level: ServiceLevel::Immediate,
             result_limit: None,
+            tenant: None,
         });
         let info = d.server.wait(id).unwrap();
         assert_eq!(info.status, QueryStatus::Finished, "{db}: {:?}", info.error);
@@ -145,6 +149,7 @@ fn query_status_json_is_rover_renderable() {
         sql: "SELECT 1".into(),
         level: ServiceLevel::BestEffort,
         result_limit: None,
+        tenant: None,
     });
     let info = d.server.wait(id).unwrap();
     let json = info.to_json();

@@ -119,6 +119,7 @@ fn storage_outage_fails_queries_cleanly() {
         sql: "SELECT COUNT(*) FROM orders".into(),
         level: ServiceLevel::Immediate,
         result_limit: None,
+        tenant: None,
     });
     assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
 
@@ -129,6 +130,7 @@ fn storage_outage_fails_queries_cleanly() {
         sql: "SELECT COUNT(*) FROM orders".into(),
         level: ServiceLevel::Immediate,
         result_limit: None,
+        tenant: None,
     });
     let info = server.wait(id).unwrap();
     assert_eq!(info.status, QueryStatus::Failed);
@@ -141,6 +143,7 @@ fn storage_outage_fails_queries_cleanly() {
         sql: "SELECT COUNT(*) FROM orders".into(),
         level: ServiceLevel::BestEffort,
         result_limit: None,
+        tenant: None,
     });
     assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
 }
@@ -159,6 +162,7 @@ fn corrupted_reads_are_detected_not_garbage() {
             sql: "SELECT SUM(o_totalprice) FROM orders".into(),
             level: ServiceLevel::Immediate,
             result_limit: None,
+            tenant: None,
         });
         let info = server.wait(id).unwrap();
         if info.status == QueryStatus::Failed {
