@@ -27,7 +27,7 @@ use pixels_chaos::{FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
 use pixels_common::Json;
 use pixels_obs::{MetricsRegistry, WallClock};
 use pixels_server::{PriceSchedule, QueryServer, QueryStatus, QuerySubmission, ServiceLevel};
-use pixels_storage::{chaos_stack, InMemoryObjectStore};
+use pixels_storage::{chaos_stack, InMemoryObjectStore, ObjectStoreRef};
 use pixels_turbo::{EngineConfig, TurboEngine};
 use pixels_workload::{all_queries, load_tpch, TpchConfig};
 use std::sync::Arc;
@@ -50,6 +50,8 @@ fn cf_config() -> EngineConfig {
 struct Deployment {
     server: QueryServer,
     injector: Arc<FaultInjector>,
+    /// The raw inner store, for spill-leak sweeps under the chaos wrapper.
+    store: ObjectStoreRef,
 }
 
 fn deploy(plan: &FaultPlan, cfg: EngineConfig) -> Deployment {
@@ -69,7 +71,7 @@ fn deploy(plan: &FaultPlan, cfg: EngineConfig) -> Deployment {
     .expect("load tpch");
     let injector = Arc::new(FaultInjector::new(plan));
     let store = chaos_stack(
-        inner,
+        inner.clone(),
         injector.clone(),
         RetryPolicy::object_store(),
         WallClock::shared(),
@@ -84,6 +86,29 @@ fn deploy(plan: &FaultPlan, cfg: EngineConfig) -> Deployment {
     Deployment {
         server: QueryServer::new(engine, PriceSchedule::default()),
         injector,
+        store: inner,
+    }
+}
+
+/// Multi-stage CF plans spill exchange partitions under
+/// `pixels-turbo/intermediate/`; winner acceptance and loser reaping must
+/// delete every one of them, under every fault plan. The reapers run
+/// detached, so poll briefly before calling a leftover object a leak.
+fn assert_no_spill_leaks(tag: &str, d: &Deployment, failures: &mut Vec<String>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let leaked = d
+            .store
+            .list("pixels-turbo/intermediate/")
+            .unwrap_or_default();
+        if leaked.is_empty() {
+            return;
+        }
+        if Instant::now() >= deadline {
+            failures.push(format!("{tag}: leaked spill objects: {leaked:?}"));
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
 }
 
@@ -296,6 +321,16 @@ fn main() {
                 &chaos_d,
                 &mut failures,
             );
+            assert_no_spill_leaks(
+                &format!("{name}/{}/baseline", level.name()),
+                &base_d,
+                &mut failures,
+            );
+            assert_no_spill_leaks(
+                &format!("{name}/{}/chaos", level.name()),
+                &chaos_d,
+                &mut failures,
+            );
             let injected =
                 metric_value(&text, "pixels_faults_injected_total{site=\"storage_get\"}");
             if injected <= 0.0 {
@@ -371,6 +406,9 @@ fn main() {
         }
         reconcile_ledger(&format!("{name}/prefetch"), &chaos_pre, &mut failures);
         reconcile_ledger(&format!("{name}/sync"), &chaos_sync, &mut failures);
+        assert_no_spill_leaks(&format!("{name}/baseline"), &base_d, &mut failures);
+        assert_no_spill_leaks(&format!("{name}/prefetch"), &chaos_pre, &mut failures);
+        assert_no_spill_leaks(&format!("{name}/sync"), &chaos_sync, &mut failures);
         let text = chaos_pre.server.metrics_text();
         if metric_value(&text, "pixels_scan_prefetch_issued_total") <= 0.0 {
             failures.push(format!("{name}: prefetcher never issued a fetch"));
@@ -438,6 +476,8 @@ fn main() {
             }));
             injected_total += chaos_d.injector.injected_total();
             reconcile_ledger(&format!("{name}/{}", q.id), &chaos_d, &mut failures);
+            assert_no_spill_leaks(&format!("{name}/{}/baseline", q.id), &base_d, &mut failures);
+            assert_no_spill_leaks(&format!("{name}/{}/chaos", q.id), &chaos_d, &mut failures);
             let text = chaos_d.server.metrics_text();
             if pixels_obs::validate_exposition(&text).is_err() {
                 metrics_ok = false;
@@ -468,6 +508,111 @@ fn main() {
             name: name.into(),
             level: "immediate",
             queries: queries.len(),
+            equivalent,
+            faults_injected: injected_total,
+            retries: chaos_runs.iter().map(|r| r.retries).sum(),
+            availability: chaos_runs.iter().filter(|r| r.finished).count() as f64
+                / chaos_runs.len() as f64,
+            baseline_latency_ms: mean_latency_ms(&base_runs),
+            chaos_latency_ms: mean_latency_ms(&chaos_runs),
+            baseline_bill: base_runs.iter().map(|r| r.price).sum(),
+            chaos_bill: chaos_runs.iter().map(|r| r.price).sum(),
+        });
+    }
+
+    // ---- Shuffle scenarios: two-stage exchange plans (4-way fan-out) under
+    // spill PUT/GET faults and a stage crash. The exchange stack must retry
+    // every injected spill error invisibly: results and bills bit-identical
+    // to the fault-free twin, and no spill object may outlive its query.
+    let shuffle_cfg = EngineConfig {
+        vm_slots: 1,
+        cf_fleet_threads: 2,
+        exchange_partitions: 4,
+        ..EngineConfig::default()
+    };
+    let shuffle_queries: [(&str, &str); 2] = [
+        (
+            "shuffle_agg",
+            "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+             GROUP BY o_orderstatus ORDER BY n DESC",
+        ),
+        (
+            "shuffle_join",
+            "SELECT c_name, o_orderkey FROM customer \
+             JOIN orders ON c_custkey = o_custkey \
+             ORDER BY o_orderkey, c_name LIMIT 20",
+        ),
+    ];
+    let shuffle_matrix: [(&str, FaultPlan, Option<FaultSite>); 3] = [
+        (
+            "shuffle_exchange_put_errors",
+            FaultPlan::exchange_put_errors(SEED, 0.30),
+            Some(FaultSite::ExchangePut),
+        ),
+        (
+            "shuffle_exchange_get_errors",
+            FaultPlan::exchange_get_errors(SEED, 0.30),
+            Some(FaultSite::ExchangeGet),
+        ),
+        (
+            "shuffle_stage_crash",
+            FaultPlan::none(SEED).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1)),
+            None,
+        ),
+    ];
+    for (name, plan, fault_site) in shuffle_matrix {
+        let mut base_runs = Vec::new();
+        let mut chaos_runs = Vec::new();
+        let mut injected_total = 0;
+        let mut site_faults = 0.0;
+        let mut spilled = 0.0;
+        for (qid, sql) in shuffle_queries {
+            let base_d = deploy(&FaultPlan::none(SEED), shuffle_cfg);
+            let chaos_d = deploy(&plan, shuffle_cfg);
+            run_query(&base_d, sql, qid, ServiceLevel::Relaxed);
+            run_query(&chaos_d, sql, qid, ServiceLevel::Relaxed);
+            base_runs.push(with_saturated_slot(&base_d, || {
+                run_query(&base_d, sql, qid, ServiceLevel::Immediate)
+            }));
+            chaos_runs.push(with_saturated_slot(&chaos_d, || {
+                run_query(&chaos_d, sql, qid, ServiceLevel::Immediate)
+            }));
+            injected_total += chaos_d.injector.injected_total();
+            reconcile_ledger(&format!("{name}/{qid}"), &chaos_d, &mut failures);
+            assert_no_spill_leaks(&format!("{name}/{qid}/baseline"), &base_d, &mut failures);
+            assert_no_spill_leaks(&format!("{name}/{qid}/chaos"), &chaos_d, &mut failures);
+            let text = chaos_d.server.metrics_text();
+            if pixels_obs::validate_exposition(&text).is_err() {
+                failures.push(format!("{name}/{qid}: invalid exposition"));
+            }
+            spilled += metric_value(&text, "pixels_exchange_put_bytes_total");
+            if let Some(site) = fault_site {
+                site_faults += metric_value(
+                    &text,
+                    &format!("pixels_faults_injected_total{{site=\"{}\"}}", site.name()),
+                );
+            }
+        }
+        if spilled <= 0.0 {
+            failures.push(format!("{name}: queries never exchanged partitions"));
+        }
+        if fault_site.is_some() && site_faults <= 0.0 {
+            failures.push(format!("{name}: no faults hit the exchange path"));
+        }
+        if injected_total == 0 {
+            failures.push(format!("{name}: no faults injected"));
+        }
+        let mut equivalent = 0;
+        for (b, c) in base_runs.iter().zip(&chaos_runs) {
+            match check_pair(b, c) {
+                Ok(()) => equivalent += 1,
+                Err(e) => failures.push(format!("{name}/immediate: {e}")),
+            }
+        }
+        scenarios.push(ScenarioResult {
+            name: name.into(),
+            level: "immediate",
+            queries: shuffle_queries.len(),
             equivalent,
             faults_injected: injected_total,
             retries: chaos_runs.iter().map(|r| r.retries).sum(),

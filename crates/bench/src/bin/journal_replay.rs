@@ -104,6 +104,10 @@ fn main() {
             "pixels_slo_burn_rate",
             "pixels_ledger_entries_total",
             "pixels_ledger_revenue_dollars",
+            "pixels_exchange_partitions_total",
+            "pixels_exchange_put_bytes_total",
+            "pixels_exchange_get_bytes_total",
+            "pixels_exchange_spilled_rows_total",
         ],
     ) {
         check("required families", false, &e);

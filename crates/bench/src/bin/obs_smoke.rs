@@ -54,6 +54,11 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "pixels_ledger_entries_total",
     "pixels_ledger_revenue_dollars",
     "pixels_ledger_provider_dollars",
+    // exchange (multi-stage CF shuffles)
+    "pixels_exchange_partitions_total",
+    "pixels_exchange_put_bytes_total",
+    "pixels_exchange_get_bytes_total",
+    "pixels_exchange_spilled_rows_total",
 ];
 
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {

@@ -38,6 +38,9 @@ pub struct Scenario {
     pub name: &'static str,
     pub plan: FaultPlan,
     pub level: ServiceLevel,
+    /// Exchange fan-out: above 1 the CF path runs the query as a two-stage
+    /// shuffle (one [`pixels_turbo::CfRace`] per stage on both drivers).
+    pub partitions: usize,
 }
 
 /// The scenario matrix: clean paths, crash recovery (single and total),
@@ -48,21 +51,25 @@ pub fn scenarios() -> Vec<Scenario> {
             name: "clean-vm",
             plan: FaultPlan::none(11),
             level: ServiceLevel::Relaxed,
+            partitions: 1,
         },
         Scenario {
             name: "clean-cf",
             plan: FaultPlan::none(12),
             level: ServiceLevel::Immediate,
+            partitions: 1,
         },
         Scenario {
             name: "cf-crash-once",
             plan: FaultPlan::none(42).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1)),
             level: ServiceLevel::Immediate,
+            partitions: 1,
         },
         Scenario {
             name: "cf-crash-always",
             plan: FaultPlan::cf_crashes(7, 1.0),
             level: ServiceLevel::Immediate,
+            partitions: 1,
         },
         Scenario {
             name: "cf-straggler",
@@ -73,6 +80,19 @@ pub fn scenarios() -> Vec<Scenario> {
                 SiteSpec::delays(1.0, 5_000_000, 5_000_000).capped(1),
             ),
             level: ServiceLevel::Immediate,
+            partitions: 1,
+        },
+        Scenario {
+            name: "shuffle-clean",
+            plan: FaultPlan::none(21),
+            level: ServiceLevel::Immediate,
+            partitions: 4,
+        },
+        Scenario {
+            name: "shuffle-stage-crash",
+            plan: FaultPlan::none(42).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1)),
+            level: ServiceLevel::Immediate,
+            partitions: 4,
         },
     ]
 }
@@ -85,6 +105,7 @@ pub struct ParityReport {
     pub scan_bytes: u64,
     pub resource_cost: CostBreakdown,
     pub provider_cf_dollars: f64,
+    pub shuffle_dollars: f64,
 }
 
 impl ParityReport {
@@ -113,11 +134,12 @@ impl ParityReport {
                 "provider_cf_dollars",
                 Json::number(self.provider_cf_dollars),
             ),
+            ("shuffle_dollars", Json::number(self.shuffle_dollars)),
         ])
     }
 }
 
-fn engine_for(plan: &FaultPlan) -> Arc<TurboEngine> {
+fn engine_for(plan: &FaultPlan, partitions: usize) -> Arc<TurboEngine> {
     let catalog = Catalog::shared();
     let store = InMemoryObjectStore::shared();
     load_tpch(
@@ -139,6 +161,7 @@ fn engine_for(plan: &FaultPlan) -> Arc<TurboEngine> {
             EngineConfig {
                 vm_slots: 1,
                 cf_fleet_threads: 2,
+                exchange_partitions: partitions,
                 ..EngineConfig::default()
             },
         )
@@ -150,7 +173,7 @@ fn engine_for(plan: &FaultPlan) -> Arc<TurboEngine> {
 /// Real side: execute `SQL` on a fresh chaos-enabled engine. CF scenarios
 /// saturate the single VM slot first so the engine takes the CF path.
 fn run_real(s: &Scenario) -> pixels_turbo::ExecOutcome {
-    let engine = engine_for(&s.plan);
+    let engine = engine_for(&s.plan, s.partitions);
     if !s.level.cf_enabled() {
         return engine.execute_sql("tpch", SQL, false).expect("vm query");
     }
@@ -177,7 +200,11 @@ fn run_real(s: &Scenario) -> pixels_turbo::ExecOutcome {
 /// on the plan's modelled CPU demand) through a coordinator seeded with the
 /// same fault plan. CF scenarios overload the VM cluster first so the
 /// placement rule picks CF, mirroring the saturated real engine.
-fn run_sim(s: &Scenario, work: QueryWork) -> (Vec<Decision>, pixels_turbo::QueryCompletion, f64) {
+fn run_sim(
+    s: &Scenario,
+    work: QueryWork,
+    exchange: Option<(u64, u64)>,
+) -> (Vec<Decision>, pixels_turbo::QueryCompletion, f64) {
     let mut coord = Coordinator::new(
         VmConfig::default(),
         CfConfig::default(),
@@ -200,7 +227,12 @@ fn run_sim(s: &Scenario, work: QueryWork) -> (Vec<Decision>, pixels_turbo::Query
         }
         assert!(coord.is_overloaded(), "foreground load must overload");
     }
-    coord.submit(id, work, s.level.cf_enabled(), t0);
+    match exchange {
+        // Shuffle: the sim prices the spill traffic the real engine
+        // measured; stage costs come from the shared per-stage work split.
+        Some((put, get)) => coord.submit_shuffle(id, work, put, get, t0),
+        None => coord.submit(id, work, s.level.cf_enabled(), t0),
+    }
 
     let dt = SimDuration::from_millis(100);
     let mut now = t0;
@@ -249,7 +281,18 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
         scan_bytes: out.bytes_scanned,
         ..QueryWork::from_plan(&plan)
     };
-    let (sim_decisions, done, sim_cf_total) = run_sim(s, work);
+    let exchange = (s.partitions > 1 && out.used_cf)
+        .then_some((out.exchange.put_bytes, out.exchange.get_bytes));
+    let (sim_decisions, done, sim_cf_total) = run_sim(s, work, exchange);
+
+    assert_eq!(
+        out.provider_shuffle_dollars.to_bits(),
+        done.shuffle_dollars.to_bits(),
+        "[{}] provider shuffle spend diverged: {} vs {}",
+        s.name,
+        out.provider_shuffle_dollars,
+        done.shuffle_dollars
+    );
 
     assert_eq!(
         out.decisions, sim_decisions,
@@ -293,7 +336,11 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
     // ledger's own entry type must agree on every derived figure — waste
     // (provider CF spend beyond the accepted run), total provider spend,
     // and margin — bit-for-bit, plus the degradation/speculation flags.
-    let entry = |revenue: f64, cost: CostBreakdown, provider_cf: f64, decisions: &[Decision]| {
+    let entry = |revenue: f64,
+                 cost: CostBreakdown,
+                 provider_cf: f64,
+                 shuffle: f64,
+                 decisions: &[Decision]| {
         pixels_obs::LedgerEntry {
             query: "q-100".into(),
             tenant: "parity".into(),
@@ -303,6 +350,7 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
             vm_dollars: cost.vm_dollars,
             cf_dollars: cost.cf_dollars,
             provider_cf_dollars: provider_cf,
+            shuffle_dollars: shuffle,
             degraded: decisions.contains(&Decision::Degrade),
             speculative: decisions
                 .iter()
@@ -314,9 +362,16 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
         bill_real,
         out.resource_cost,
         out.provider_cf_dollars,
+        out.provider_shuffle_dollars,
         &out.decisions,
     );
-    let sim_entry = entry(bill_sim, done.cost, sim_cf_total, &sim_decisions);
+    let sim_entry = entry(
+        bill_sim,
+        done.cost,
+        sim_cf_total,
+        done.shuffle_dollars,
+        &sim_decisions,
+    );
     for (what, a, b) in [
         (
             "waste",
@@ -354,6 +409,7 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
         scan_bytes: out.bytes_scanned,
         resource_cost: done.cost,
         provider_cf_dollars: sim_cf_total,
+        shuffle_dollars: done.shuffle_dollars,
     }
 }
 

@@ -22,16 +22,24 @@ pub enum FaultSite {
     CfColdStartStorm,
     /// A VM cluster node is preempted (spot reclaim).
     VmPreempt,
+    /// Exchange spill PUT (a stage-N worker writing a hash partition to the
+    /// object store). Appended after the original sites so existing seeded
+    /// fault sequences are unperturbed.
+    ExchangePut,
+    /// Exchange spill GET (a stage-N+1 worker reading its partition set).
+    ExchangeGet,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::StorageGet,
         FaultSite::StoragePut,
         FaultSite::CfCrash,
         FaultSite::CfStraggler,
         FaultSite::CfColdStartStorm,
         FaultSite::VmPreempt,
+        FaultSite::ExchangePut,
+        FaultSite::ExchangeGet,
     ];
 
     /// Stable label used for RNG-stream derivation and metric labels.
@@ -43,6 +51,8 @@ impl FaultSite {
             FaultSite::CfStraggler => "cf_straggler",
             FaultSite::CfColdStartStorm => "cf_cold_start_storm",
             FaultSite::VmPreempt => "vm_preempt",
+            FaultSite::ExchangePut => "exchange_put",
+            FaultSite::ExchangeGet => "exchange_get",
         }
     }
 }
@@ -177,6 +187,16 @@ impl FaultPlan {
             SiteSpec::delays(rate, lo_ms * 1_000, hi_ms * 1_000),
         )
     }
+
+    /// Flaky exchange spill writes: PUT errors at `rate`.
+    pub fn exchange_put_errors(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan::none(seed).with(FaultSite::ExchangePut, SiteSpec::errors(rate))
+    }
+
+    /// Flaky exchange spill reads: GET errors at `rate`.
+    pub fn exchange_get_errors(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan::none(seed).with(FaultSite::ExchangeGet, SiteSpec::errors(rate))
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +216,9 @@ mod tests {
                 "cf_crash",
                 "cf_straggler",
                 "cf_cold_start_storm",
-                "vm_preempt"
+                "vm_preempt",
+                "exchange_put",
+                "exchange_get"
             ]
         );
     }

@@ -30,6 +30,11 @@ pub const CF_INVOCATION_DOLLARS: f64 = 0.000_000_2;
 /// Fraction of a dedicated core's throughput one CF vCPU-equivalent delivers.
 pub const CF_EFFICIENCY: f64 = 0.5;
 
+/// Provider cost of one GB of exchange spill traffic (PUT + GET bytes of
+/// the object-store shuffle between CF stages): request charges plus the
+/// storage-seconds of short-lived spill objects, amortized per byte.
+pub const EXCHANGE_DOLLARS_PER_GB: f64 = 0.01;
+
 /// The paper's observed band for the effective CF : VM unit-price ratio.
 pub const CF_VM_RATIO_MIN: f64 = 9.0;
 /// Upper end of the effective CF : VM unit-price band.

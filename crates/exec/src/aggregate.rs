@@ -141,6 +141,82 @@ impl AggState {
         Ok(())
     }
 
+    /// The primary spill-column type for this aggregate (the exchange spill
+    /// format carries each state as two columns; see [`spill_values`]).
+    ///
+    /// [`spill_values`]: AggState::spill_values
+    pub(crate) fn spill_type(agg: &AggExpr) -> DataType {
+        match agg.func {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Sum => agg.output_type,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Min | AggFunc::Max => agg.output_type,
+        }
+    }
+
+    /// Encode the state as a `(primary, secondary)` value pair for the
+    /// exchange spill format. The secondary slot is `Null` for every
+    /// aggregate except AVG, which spills `(sum, count)` so the final
+    /// division happens exactly once, in the final stage.
+    pub(crate) fn spill_values(&self) -> (Value, Value) {
+        match self {
+            AggState::Count(c) => (Value::Int64(*c), Value::Null),
+            AggState::SumInt { sum, seen } => (
+                if *seen {
+                    Value::Int64(*sum)
+                } else {
+                    Value::Null
+                },
+                Value::Null,
+            ),
+            AggState::SumFloat { sum, seen } => (
+                if *seen {
+                    Value::Float64(*sum)
+                } else {
+                    Value::Null
+                },
+                Value::Null,
+            ),
+            AggState::Avg { sum, count } => (Value::Float64(*sum), Value::Int64(*count)),
+            AggState::Min(v) | AggState::Max(v) => (v.clone().unwrap_or(Value::Null), Value::Null),
+        }
+    }
+
+    /// Decode a state from its spill value pair (inverse of
+    /// [`spill_values`](AggState::spill_values)).
+    pub(crate) fn from_spill(agg: &AggExpr, a: Value, b: Value) -> Result<AggState> {
+        let bad = || Error::Exec(format!("corrupt {:?} spill state: ({a}, {b})", agg.func));
+        Ok(match agg.func {
+            AggFunc::Count => AggState::Count(a.as_i64().ok_or_else(bad)?),
+            AggFunc::Sum if agg.output_type == DataType::Float64 => match a {
+                Value::Null => AggState::SumFloat {
+                    sum: 0.0,
+                    seen: false,
+                },
+                ref v => AggState::SumFloat {
+                    sum: v.as_f64().ok_or_else(bad)?,
+                    seen: true,
+                },
+            },
+            AggFunc::Sum => match a {
+                Value::Null => AggState::SumInt {
+                    sum: 0,
+                    seen: false,
+                },
+                ref v => AggState::SumInt {
+                    sum: v.as_i64().ok_or_else(bad)?,
+                    seen: true,
+                },
+            },
+            AggFunc::Avg => AggState::Avg {
+                sum: a.as_f64().ok_or_else(bad)?,
+                count: b.as_i64().ok_or_else(bad)?,
+            },
+            AggFunc::Min => AggState::Min((!a.is_null()).then_some(a)),
+            AggFunc::Max => AggState::Max((!a.is_null()).then_some(a)),
+        })
+    }
+
     /// Final value of the aggregate (SQL: SUM/AVG/MIN/MAX of no rows = NULL,
     /// COUNT of no rows = 0).
     pub(crate) fn finish(&self) -> Value {
@@ -237,14 +313,14 @@ impl GroupState {
 /// first-appearance order) and the per-group accumulators. `keys[i]` is the
 /// materialized `Vec<Value>` form of `table` entry `i`, used only to build
 /// the final output columns.
-struct Partial {
-    table: KeyTable,
-    keys: Vec<Vec<Value>>,
-    states: Vec<GroupState>,
+pub(crate) struct Partial {
+    pub(crate) table: KeyTable,
+    pub(crate) keys: Vec<Vec<Value>>,
+    pub(crate) states: Vec<GroupState>,
 }
 
 impl Partial {
-    fn new() -> Partial {
+    pub(crate) fn new() -> Partial {
         Partial {
             table: KeyTable::new(),
             keys: Vec::new(),
@@ -382,7 +458,7 @@ fn update_agg_column(
 /// Aggregate `input` into a fresh hash table (the serial inner loop): one
 /// pass interning group keys into per-row group indices, then one typed
 /// update pass per aggregate column.
-fn build_partial(
+pub(crate) fn build_partial(
     input: &[&RecordBatch],
     group_exprs: &[BoundExpr],
     aggs: &[AggExpr],
@@ -435,7 +511,7 @@ fn build_partial(
 /// Fold `part` into `acc`. Called with partials in chunk order, so groups
 /// (and DISTINCT values) keep their global first-appearance order. Keys are
 /// re-interned from the source partial's encoded bytes — never re-encoded.
-fn merge_partial(acc: &mut Partial, part: Partial) -> Result<()> {
+pub(crate) fn merge_partial(acc: &mut Partial, part: Partial) -> Result<()> {
     let Partial {
         table,
         keys,
@@ -499,6 +575,20 @@ pub fn execute_aggregate(
     output_schema: &SchemaRef,
     parallelism: usize,
 ) -> Result<Vec<RecordBatch>> {
+    let acc = merged_partial(input, group_exprs, aggs, parallelism)?;
+    finish_partial(acc, group_exprs.len(), aggs, output_schema)
+}
+
+/// Build and merge the partial aggregates for `input` (the parallel part of
+/// [`execute_aggregate`], without the output materialization). The exchange
+/// spill writer runs this same routine, so stage-0 partial states are
+/// bit-identical to the in-process merged accumulator.
+pub(crate) fn merged_partial(
+    input: &[RecordBatch],
+    group_exprs: &[BoundExpr],
+    aggs: &[AggExpr],
+    parallelism: usize,
+) -> Result<Partial> {
     let chunks = partition_batches(input, parallelism);
     let partials = parallel::run_indexed(chunks.len(), parallelism, |i| {
         build_partial(&chunks[i], group_exprs, aggs)
@@ -508,9 +598,21 @@ pub fn execute_aggregate(
     for part in partials {
         merge_partial(&mut acc, part)?;
     }
+    Ok(acc)
+}
 
+/// Materialize a merged [`Partial`] into the final output batch: group key
+/// columns followed by finished aggregate values. Shared by the in-process
+/// path above and the exchange final stage, so both produce bit-identical
+/// output (including the one-row result of a global aggregate over no rows).
+pub(crate) fn finish_partial(
+    mut acc: Partial,
+    group_len: usize,
+    aggs: &[AggExpr],
+    output_schema: &SchemaRef,
+) -> Result<Vec<RecordBatch>> {
     // Global aggregate over zero rows still yields one output row.
-    if group_exprs.is_empty() && acc.states.is_empty() {
+    if group_len == 0 && acc.states.is_empty() {
         acc.keys.push(Vec::new());
         acc.states.push(GroupState::new(aggs));
     }
@@ -526,7 +628,7 @@ pub fn execute_aggregate(
         }
         for (ai, s) in state.states.iter().enumerate() {
             let v = s.finish();
-            let b = &mut builders[group_exprs.len() + ai];
+            let b = &mut builders[group_len + ai];
             if v.is_null() {
                 b.push_null();
             } else {

@@ -1,0 +1,603 @@
+//! Object-store exchange: hash-partitioned spill files between CF stages.
+//!
+//! Cloud-function fleets cannot open sockets to each other, so multi-stage
+//! plans exchange data the Starling/Lambada way: stage-0 workers write
+//! hash-partitioned spill files to the object store under a per-query,
+//! per-stage, per-attempt prefix, and stage-1 workers read exactly their
+//! partition set back. Spills are ordinary Pixels-format objects, so spill
+//! reads reuse the same encoded columnar reader as every other scan.
+//!
+//! Two shuffled operators are supported:
+//!
+//! - **Aggregate**: stage 0 runs the *same* partial-build + chunk-order
+//!   merge as the in-process [`crate::aggregate`] path (bit-identical
+//!   states, combining before write à la Starling), then spills each group
+//!   as one row into the partition its encoded key hashes to. Stage 1
+//!   unions the disjoint partitions, restores global first-appearance group
+//!   order via the spilled `__ord` column, and finishes the states.
+//! - **Join**: both sides are hash-partitioned on their encoded join keys
+//!   (numerics widened before hashing, so `Int32` and `Int64` sides agree),
+//!   each row tagged with its global row number (`__ord`). Stage 1 joins
+//!   each partition pair with the shared equi-join index core and restores
+//!   the exact single-stage output order by sorting on the origin indices.
+//!
+//! Both paths produce output bit-identical to their single-stage
+//! equivalents — same rows, same order, same batch boundaries — so the
+//! materialized view a shuffled plan writes is byte-identical too.
+//!
+//! **Billing rule**: spill PUT/GET bytes are *provider-side* exchange
+//! traffic. Spill reads run in a scratch [`ExecContext`] whose metrics are
+//! drained into [`ExchangeStats::get_bytes`] and never into the billed
+//! `bytes_scanned`; no `bytes` span attributes are recorded for them.
+
+use crate::aggregate::{self, AggState, GroupState, Partial};
+use crate::context::ExecContext;
+use crate::engine::execute;
+use crate::evaluate::evaluate_ref;
+use crate::join::{assemble, coalesce, join_match_indices};
+use crate::keys::{hash_bytes, KeyEncoder};
+use crate::materialize;
+use pixels_common::{
+    Column, ColumnBuilder, DataType, Error, Field, RecordBatch, Result, Schema, SchemaRef, Value,
+};
+use pixels_planner::{AggExpr, BoundExpr, PhysicalPlan};
+use pixels_sql::ast::JoinType;
+use pixels_storage::{ObjectStore, ObjectStoreRef};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Exchange traffic of one stage attempt: spill objects written and read,
+/// their byte volumes, and the rows that crossed the exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Hash-partition count of the exchange.
+    pub partitions: u64,
+    /// Bytes PUT as spill objects.
+    pub put_bytes: u64,
+    /// Bytes GET reading spill objects back.
+    pub get_bytes: u64,
+    /// Rows written across the exchange (post-combining for aggregates).
+    pub spilled_rows: u64,
+}
+
+impl ExchangeStats {
+    /// Fold another stage's traffic into this one. Byte and row totals add;
+    /// the partition count is the fan-out, shared by all stages of a plan.
+    pub fn merge(&mut self, other: &ExchangeStats) {
+        self.partitions = self.partitions.max(other.partitions);
+        self.put_bytes += other.put_bytes;
+        self.get_bytes += other.get_bytes;
+        self.spilled_rows += other.spilled_rows;
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.put_bytes + self.get_bytes
+    }
+}
+
+/// Spill object path for one partition of one exchange side. `side` is
+/// `None` for aggregates, `Some("left"/"right")` for joins.
+pub fn partition_path(prefix: &str, part: usize, side: Option<&str>) -> String {
+    match side {
+        Some(s) => format!("{prefix}p{part}.{s}.pxl"),
+        None => format!("{prefix}p{part}.pxl"),
+    }
+}
+
+/// The spill schema of an aggregate exchange: the group-key columns, then
+/// per aggregate a `(primary, secondary)` state pair (see
+/// [`AggState::spill_values`]), then the global group-order column `__ord`.
+pub fn agg_spill_schema(group_types: &[DataType], aggs: &[AggExpr]) -> SchemaRef {
+    let mut fields: Vec<Field> = group_types
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| Field::nullable(format!("__g{i}"), *ty))
+        .collect();
+    for (i, agg) in aggs.iter().enumerate() {
+        fields.push(Field::nullable(
+            format!("__s{i}a"),
+            AggState::spill_type(agg),
+        ));
+        fields.push(Field::nullable(format!("__s{i}b"), DataType::Int64));
+    }
+    fields.push(Field::required("__ord", DataType::Int64));
+    Arc::new(Schema::new(fields))
+}
+
+/// The spill schema of one join side: the side's own columns plus `__ord`,
+/// the row's global index on that side.
+pub fn join_spill_schema(side: &SchemaRef) -> SchemaRef {
+    let mut fields = side.fields().to_vec();
+    fields.push(Field::required("__ord", DataType::Int64));
+    Arc::new(Schema::new(fields))
+}
+
+fn group_types(group_exprs: &[BoundExpr]) -> Vec<DataType> {
+    group_exprs.iter().map(|g| g.data_type()).collect()
+}
+
+/// Stage 0 of an aggregate exchange: partially aggregate `input` exactly
+/// like the in-process path, then spill every group (one combined row) into
+/// the partition its encoded key hashes to. All `partitions` files are
+/// always written — an empty partition is a valid zero-row Pixels object,
+/// so stage 1 never distinguishes "empty" from "missing".
+pub fn write_agg_partitions(
+    input: &[RecordBatch],
+    group_exprs: &[BoundExpr],
+    aggs: &[AggExpr],
+    parallelism: usize,
+    spill_store: &dyn ObjectStore,
+    prefix: &str,
+    partitions: usize,
+) -> Result<ExchangeStats> {
+    let acc = aggregate::merged_partial(input, group_exprs, aggs, parallelism)?;
+    let gt = group_types(group_exprs);
+    let schema = agg_spill_schema(&gt, aggs);
+
+    // Route each group by the hash of its interned key bytes — the same
+    // bytes every stage-0 attempt interned, so routing is deterministic.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for gi in 0..acc.keys.len() {
+        let part = (hash_bytes(acc.table.key_bytes(gi)) % partitions as u64) as usize;
+        members[part].push(gi);
+    }
+
+    let mut stats = ExchangeStats {
+        partitions: partitions as u64,
+        ..ExchangeStats::default()
+    };
+    for (part, rows) in members.iter().enumerate() {
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.data_type, rows.len()))
+            .collect();
+        for &gi in rows {
+            for (b, v) in builders.iter_mut().zip(acc.keys[gi].iter()) {
+                b.push(v)?;
+            }
+            for (ai, st) in acc.states[gi].states.iter().enumerate() {
+                let (a, b) = st.spill_values();
+                push_opt(&mut builders[gt.len() + 2 * ai], &a)?;
+                push_opt(&mut builders[gt.len() + 2 * ai + 1], &b)?;
+            }
+            builders
+                .last_mut()
+                .expect("__ord builder")
+                .push(&Value::Int64(gi as i64))?;
+        }
+        let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        let batch = RecordBatch::try_new(schema.clone(), columns)?;
+        let path = partition_path(prefix, part, None);
+        stats.put_bytes += materialize(spill_store, &path, schema.clone(), &[batch])?;
+        stats.spilled_rows += rows.len() as u64;
+    }
+    Ok(stats)
+}
+
+fn push_opt(b: &mut ColumnBuilder, v: &Value) -> Result<()> {
+    if v.is_null() {
+        b.push_null();
+        Ok(())
+    } else {
+        b.push(v)
+    }
+}
+
+/// Read one spill object through a scratch context (metrics drained into
+/// `get_bytes`, never billed) and return its batches.
+fn read_spill(
+    spill_store: &ObjectStoreRef,
+    path: &str,
+    schema: &SchemaRef,
+    stats: &mut ExchangeStats,
+) -> Result<Vec<RecordBatch>> {
+    let scratch = ExecContext::new(spill_store.clone());
+    let scan = PhysicalPlan::MaterializedScan {
+        path: path.to_string(),
+        schema: schema.clone(),
+    };
+    let batches = execute(&scan, &scratch)?;
+    stats.get_bytes += scratch.metrics.snapshot().bytes_scanned;
+    Ok(batches)
+}
+
+/// Stage 1 of an aggregate exchange: union the disjoint partitions, restore
+/// global group order via `__ord`, and finish the states. The output is
+/// bit-identical to [`aggregate::execute_aggregate`] over the same input —
+/// including the one default row of a global aggregate over zero rows.
+pub fn read_agg_partitions(
+    spill_store: &ObjectStoreRef,
+    prefix: &str,
+    partitions: usize,
+    group_exprs: &[BoundExpr],
+    aggs: &[AggExpr],
+    output_schema: &SchemaRef,
+) -> Result<(Vec<RecordBatch>, ExchangeStats)> {
+    let gt = group_types(group_exprs);
+    let schema = agg_spill_schema(&gt, aggs);
+    let mut stats = ExchangeStats {
+        partitions: partitions as u64,
+        ..ExchangeStats::default()
+    };
+    let mut rows: Vec<(i64, Vec<Value>, GroupState)> = Vec::new();
+    for part in 0..partitions {
+        let path = partition_path(prefix, part, None);
+        for batch in read_spill(spill_store, &path, &schema, &mut stats)? {
+            let ord_col = batch.column(gt.len() + 2 * aggs.len());
+            for row in 0..batch.num_rows() {
+                let key: Vec<Value> = (0..gt.len()).map(|c| batch.column(c).value(row)).collect();
+                let mut states = Vec::with_capacity(aggs.len());
+                for (ai, agg) in aggs.iter().enumerate() {
+                    let a = batch.column(gt.len() + 2 * ai).value(row);
+                    let b = batch.column(gt.len() + 2 * ai + 1).value(row);
+                    states.push(AggState::from_spill(agg, a, b)?);
+                }
+                let ord = ord_col
+                    .value(row)
+                    .as_i64()
+                    .ok_or_else(|| Error::Exec("corrupt spill __ord column".into()))?;
+                rows.push((
+                    ord,
+                    key,
+                    GroupState {
+                        states,
+                        distinct: aggs.iter().map(|_| None).collect(),
+                    },
+                ));
+            }
+        }
+    }
+    // Partitions hold disjoint key sets, so ords are unique; sorting them
+    // restores the exact global first-appearance order of stage 0.
+    rows.sort_by_key(|(ord, _, _)| *ord);
+    let mut acc = Partial::new();
+    for (_, key, state) in rows {
+        acc.keys.push(key);
+        acc.states.push(state);
+    }
+    let out = aggregate::finish_partial(acc, group_exprs.len(), aggs, output_schema)?;
+    Ok((out, stats))
+}
+
+/// Which side of a join exchange a spill belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    Left,
+    Right,
+}
+
+impl JoinSide {
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinSide::Left => "left",
+            JoinSide::Right => "right",
+        }
+    }
+}
+
+/// Stage 0 of one join side: hash-partition the side's rows by their
+/// encoded join keys and spill each partition with a `__ord` column holding
+/// the row's global index on that side. Rows with NULL keys route
+/// deterministically too (the encoding carries the null bitmap); they can
+/// never match, but outer joins still emit them.
+pub fn write_join_partitions(
+    side_batches: &[RecordBatch],
+    side_schema: &SchemaRef,
+    keys: &[BoundExpr],
+    side: JoinSide,
+    spill_store: &dyn ObjectStore,
+    prefix: &str,
+    partitions: usize,
+) -> Result<ExchangeStats> {
+    let schema = join_spill_schema(side_schema);
+    let all = coalesce(side_batches)?;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    if let Some(batch) = all.as_deref() {
+        let key_cols: Vec<Cow<Column>> = keys
+            .iter()
+            .map(|k| evaluate_ref(k, batch))
+            .collect::<Result<_>>()?;
+        let enc = KeyEncoder::new(&group_types(keys));
+        let mut buf = Vec::new();
+        for row in 0..batch.num_rows() {
+            enc.encode_row(&key_cols, row, &mut buf);
+            let part = (hash_bytes(&buf) % partitions as u64) as usize;
+            members[part].push(row);
+        }
+    }
+
+    let mut stats = ExchangeStats {
+        partitions: partitions as u64,
+        ..ExchangeStats::default()
+    };
+    for (part, rows) in members.iter().enumerate() {
+        let mut columns: Vec<Column> = match all.as_deref() {
+            Some(batch) => batch.gather(rows)?.columns().to_vec(),
+            None => side_schema
+                .fields()
+                .iter()
+                .map(|f| Column::nulls(f.data_type, 0))
+                .collect(),
+        };
+        let mut ord = ColumnBuilder::with_capacity(DataType::Int64, rows.len());
+        for &r in rows {
+            ord.push(&Value::Int64(r as i64))?;
+        }
+        columns.push(ord.finish());
+        let batch = RecordBatch::try_new(schema.clone(), columns)?;
+        let path = partition_path(prefix, part, Some(side.label()));
+        stats.put_bytes += materialize(spill_store, &path, schema.clone(), &[batch])?;
+        stats.spilled_rows += rows.len() as u64;
+    }
+    Ok(stats)
+}
+
+/// Split a spilled join-side partition back into its data batch and the
+/// `__ord` origin indices.
+fn strip_ord(
+    batches: Vec<RecordBatch>,
+    side_schema: &SchemaRef,
+) -> Result<(Option<RecordBatch>, Vec<i64>)> {
+    let Some(all) = coalesce(&batches)?.map(Cow::into_owned) else {
+        return Ok((None, Vec::new()));
+    };
+    let width = side_schema.fields().len();
+    let ord_col = all.column(width);
+    let mut ords = Vec::with_capacity(all.num_rows());
+    for row in 0..all.num_rows() {
+        ords.push(
+            ord_col
+                .value(row)
+                .as_i64()
+                .ok_or_else(|| Error::Exec("corrupt spill __ord column".into()))?,
+        );
+    }
+    let data = RecordBatch::try_new(side_schema.clone(), all.columns()[..width].to_vec())?;
+    Ok((
+        if data.num_rows() > 0 {
+            Some(data)
+        } else {
+            None
+        },
+        ords,
+    ))
+}
+
+/// Stage 1 of a join exchange: join each partition pair with the shared
+/// equi-join index core, then restore the exact single-stage output order.
+///
+/// Per partition the local match indices map back through `__ord` to global
+/// `(left_row, right_row)` origins. The single-stage order is: probe rows
+/// in input order with matches in build order, then unmatched right-outer
+/// rows as a tail in build order — which is exactly the sort by
+/// `(is_right_tail, left_ord, right_ord)` over the union of partitions
+/// (matches for one probe row never span partitions).
+#[allow(clippy::too_many_arguments)]
+pub fn read_join_partitions(
+    spill_store: &ObjectStoreRef,
+    prefix: &str,
+    partitions: usize,
+    join_type: JoinType,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    output_schema: &SchemaRef,
+    left_schema: &SchemaRef,
+    right_schema: &SchemaRef,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, ExchangeStats)> {
+    let left_spill = join_spill_schema(left_schema);
+    let right_spill = join_spill_schema(right_schema);
+    let left_width = left_schema.fields().len();
+    let mut stats = ExchangeStats {
+        partitions: partitions as u64,
+        ..ExchangeStats::default()
+    };
+
+    let mut parts: Vec<RecordBatch> = Vec::with_capacity(partitions);
+    // (is_right_tail, left_ord, right_ord) per output row, across partitions.
+    let mut order: Vec<(bool, i64, i64)> = Vec::new();
+    for part in 0..partitions {
+        let lb = read_spill(
+            spill_store,
+            &partition_path(prefix, part, Some("left")),
+            &left_spill,
+            &mut stats,
+        )?;
+        let rb = read_spill(
+            spill_store,
+            &partition_path(prefix, part, Some("right")),
+            &right_spill,
+            &mut stats,
+        )?;
+        let (left, lord) = strip_ord(lb, left_schema)?;
+        let (right, rord) = strip_ord(rb, right_schema)?;
+        let (fl, fr) = join_match_indices(
+            left.as_ref(),
+            right.as_ref(),
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            output_schema,
+            left_width,
+        )?;
+        for (&l, &r) in fl.iter().zip(&fr) {
+            let gl = if l < 0 { -1 } else { lord[l as usize] };
+            let gr = if r < 0 { -1 } else { rord[r as usize] };
+            order.push((l < 0, gl, gr));
+        }
+        parts.push(assemble(
+            output_schema,
+            left_width,
+            left.as_ref(),
+            &fl,
+            right.as_ref(),
+            &fr,
+        )?);
+    }
+
+    let all = RecordBatch::concat(&parts)?;
+    let mut perm: Vec<usize> = (0..order.len()).collect();
+    perm.sort_unstable_by_key(|&i| order[i]);
+    let chunk = batch_size.max(1);
+    let mut out = Vec::with_capacity(perm.len().div_ceil(chunk));
+    for idx in perm.chunks(chunk) {
+        out.push(all.gather(idx)?);
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::execute_aggregate;
+    use crate::join::execute_join;
+    use pixels_storage::InMemoryObjectStore;
+
+    fn batch(ids: &[i64], tags: &[&str]) -> RecordBatch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::required("id", DataType::Int64),
+            Field::required("tag", DataType::Utf8),
+        ]));
+        let mut idb = ColumnBuilder::with_capacity(DataType::Int64, ids.len());
+        let mut tagb = ColumnBuilder::with_capacity(DataType::Utf8, tags.len());
+        for &i in ids {
+            idb.push(&Value::Int64(i)).unwrap();
+        }
+        for &t in tags {
+            tagb.push(&Value::Utf8(t.to_string())).unwrap();
+        }
+        RecordBatch::try_new(schema, vec![idb.finish(), tagb.finish()]).unwrap()
+    }
+
+    fn col_expr(index: usize, name: &str, ty: DataType) -> BoundExpr {
+        BoundExpr::ColumnRef {
+            index,
+            data_type: ty,
+            name: name.to_string(),
+        }
+    }
+
+    fn count_agg() -> AggExpr {
+        AggExpr {
+            func: pixels_planner::AggFunc::Count,
+            arg: None,
+            distinct: false,
+            output_type: DataType::Int64,
+        }
+    }
+
+    fn agg_roundtrip(partitions: usize, input: &[RecordBatch]) {
+        let group = vec![col_expr(1, "tag", DataType::Utf8)];
+        let aggs = vec![count_agg()];
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::nullable("tag", DataType::Utf8),
+            Field::required("n", DataType::Int64),
+        ]));
+        let direct = execute_aggregate(input, &group, &aggs, &out_schema, 2).unwrap();
+
+        let store = InMemoryObjectStore::shared();
+        let stats = write_agg_partitions(input, &group, &aggs, 2, store.as_ref(), "x/", partitions)
+            .unwrap();
+        assert_eq!(stats.partitions, partitions as u64);
+        let (shuffled, read_stats) =
+            read_agg_partitions(&store, "x/", partitions, &group, &aggs, &out_schema).unwrap();
+        assert_eq!(direct, shuffled, "partitioned aggregate must be identical");
+        assert!(read_stats.get_bytes > 0);
+        assert!(stats.put_bytes > 0);
+    }
+
+    #[test]
+    fn partitioned_aggregate_matches_direct_execution() {
+        let input = vec![
+            batch(&[1, 2, 3, 4], &["a", "b", "a", "c"]),
+            batch(&[5, 6], &["b", "d"]),
+        ];
+        for partitions in [1, 2, 3, 8] {
+            agg_roundtrip(partitions, &input);
+        }
+    }
+
+    #[test]
+    fn empty_input_and_skewed_partitions_roundtrip() {
+        // Zero input rows: every partition file is a valid empty object.
+        agg_roundtrip(4, &[batch(&[], &[])]);
+        // One group (all rows hash to one partition): the rest stay empty.
+        agg_roundtrip(8, &[batch(&[1, 2, 3], &["only", "only", "only"])]);
+    }
+
+    #[test]
+    fn partitioned_join_matches_direct_execution() {
+        let left = vec![batch(&[1, 2, 3, 4, 7], &["a", "b", "a", "c", "x"])];
+        let right = vec![batch(&[10, 20, 30], &["a", "b", "e"])];
+        let lkey = vec![col_expr(1, "tag", DataType::Utf8)];
+        let rkey = vec![col_expr(1, "tag", DataType::Utf8)];
+        let lschema = left[0].schema().clone();
+        let rschema = right[0].schema().clone();
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::nullable("l_id", DataType::Int64),
+            Field::nullable("l_tag", DataType::Utf8),
+            Field::nullable("r_id", DataType::Int64),
+            Field::nullable("r_tag", DataType::Utf8),
+        ]));
+        for join_type in [JoinType::Inner, JoinType::Left, JoinType::Right] {
+            let direct = execute_join(
+                &left,
+                &right,
+                join_type,
+                &lkey,
+                &rkey,
+                None,
+                &out_schema,
+                2,
+                3,
+            )
+            .unwrap();
+            for partitions in [1, 2, 5] {
+                let store = InMemoryObjectStore::shared();
+                let ls = write_join_partitions(
+                    &left,
+                    &lschema,
+                    &lkey,
+                    JoinSide::Left,
+                    store.as_ref(),
+                    "j/",
+                    partitions,
+                )
+                .unwrap();
+                let rs = write_join_partitions(
+                    &right,
+                    &rschema,
+                    &rkey,
+                    JoinSide::Right,
+                    store.as_ref(),
+                    "j/",
+                    partitions,
+                )
+                .unwrap();
+                assert_eq!(ls.spilled_rows, 5);
+                assert_eq!(rs.spilled_rows, 3);
+                let (shuffled, _) = read_join_partitions(
+                    &store,
+                    "j/",
+                    partitions,
+                    join_type,
+                    &lkey,
+                    &rkey,
+                    None,
+                    &out_schema,
+                    &lschema,
+                    &rschema,
+                    3,
+                )
+                .unwrap();
+                assert_eq!(
+                    direct, shuffled,
+                    "{join_type:?} with {partitions} partitions must be identical"
+                );
+            }
+        }
+    }
+}

@@ -51,7 +51,52 @@ pub fn execute_join(
     // output columns come from a single gather source.
     let left_all = coalesce(left_batches)?;
     let right_all = coalesce(right_batches)?;
-    let build_rows = right_all.as_ref().map_or(0, |b| b.num_rows());
+    let (fl, fr) = join_match_indices(
+        left_all.as_deref(),
+        right_all.as_deref(),
+        join_type,
+        left_keys,
+        right_keys,
+        residual,
+        output_schema,
+        left_width,
+    )?;
+
+    // Materialize in batch_size chunks, one gather per column per chunk.
+    let mut out = Vec::with_capacity(fl.len().div_ceil(batch_size.max(1)));
+    let chunk = batch_size.max(1);
+    for (cl, cr) in fl.chunks(chunk).zip(fr.chunks(chunk)) {
+        out.push(assemble(
+            output_schema,
+            left_width,
+            left_all.as_deref(),
+            cl,
+            right_all.as_deref(),
+            cr,
+        )?);
+    }
+    Ok(out)
+}
+
+/// The equi-join index core: given coalesced sides, produce the
+/// `(left_row, right_row)` gather-index vectors (−1 ⇒ null-extended slot) in
+/// exactly the order the row-at-a-time join emitted rows: probe rows in
+/// input order, matches in build-insertion order, unmatched left-outer rows
+/// inline, unmatched right-outer rows as a tail in build order. Shared with
+/// the exchange partitioned-join path, which runs it per partition and maps
+/// the local indices back through per-partition row-origin vectors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn join_match_indices(
+    left_all: Option<&RecordBatch>,
+    right_all: Option<&RecordBatch>,
+    join_type: JoinType,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    output_schema: &SchemaRef,
+    left_width: usize,
+) -> Result<(Vec<i64>, Vec<i64>)> {
+    let build_rows = right_all.map_or(0, |b| b.num_rows());
 
     // Build phase: intern the encoded right-side keys; duplicate rows for a
     // key form a chain in build-insertion order (head/tail/next), which is
@@ -61,7 +106,7 @@ pub fn execute_join(
     let mut tails: Vec<u32> = Vec::new();
     let mut next = vec![NONE; build_rows];
     let mut buf = Vec::new();
-    if let Some(rb) = right_all.as_deref() {
+    if let Some(rb) = right_all {
         let key_cols: Vec<Cow<Column>> = right_keys
             .iter()
             .map(|k| evaluate_ref(k, rb))
@@ -89,7 +134,7 @@ pub fn execute_join(
     let mut fr: Vec<i64> = Vec::new();
 
     // Probe phase.
-    if let Some(lb) = left_all.as_deref() {
+    if let Some(lb) = left_all {
         let key_cols: Vec<Cow<Column>> = left_keys
             .iter()
             .map(|k| evaluate_ref(k, lb))
@@ -122,9 +167,9 @@ pub fn execute_join(
                 let cand = assemble(
                     output_schema,
                     left_width,
-                    left_all.as_deref(),
+                    left_all,
                     &cand_l,
-                    right_all.as_deref(),
+                    right_all,
                     &cand_r,
                 )?;
                 predicate_mask(res, &cand)?
@@ -176,21 +221,7 @@ pub fn execute_join(
             }
         }
     }
-
-    // Materialize in batch_size chunks, one gather per column per chunk.
-    let mut out = Vec::with_capacity(fl.len().div_ceil(batch_size.max(1)));
-    let chunk = batch_size.max(1);
-    for (cl, cr) in fl.chunks(chunk).zip(fr.chunks(chunk)) {
-        out.push(assemble(
-            output_schema,
-            left_width,
-            left_all.as_deref(),
-            cl,
-            right_all.as_deref(),
-            cr,
-        )?);
-    }
-    Ok(out)
+    Ok((fl, fr))
 }
 
 fn key_types(keys: &[BoundExpr]) -> Vec<DataType> {
@@ -200,7 +231,7 @@ fn key_types(keys: &[BoundExpr]) -> Vec<DataType> {
 /// Concatenate a side's batches into one gather source. `None` when the
 /// side has no batches at all; a borrowed single batch avoids the copy in
 /// the common one-batch case.
-fn coalesce(batches: &[RecordBatch]) -> Result<Option<Cow<'_, RecordBatch>>> {
+pub(crate) fn coalesce(batches: &[RecordBatch]) -> Result<Option<Cow<'_, RecordBatch>>> {
     match batches {
         [] => Ok(None),
         [single] => Ok(Some(Cow::Borrowed(single))),
@@ -211,7 +242,7 @@ fn coalesce(batches: &[RecordBatch]) -> Result<Option<Cow<'_, RecordBatch>>> {
 /// Build an output batch by gathering `li`/`ri` (−1 ⇒ NULL) from the two
 /// sides. Gathered columns are width-adapted to the output field types the
 /// same way the row-at-a-time sink's `ColumnBuilder::push` widened values.
-fn assemble(
+pub(crate) fn assemble(
     output_schema: &SchemaRef,
     left_width: usize,
     left: Option<&RecordBatch>,

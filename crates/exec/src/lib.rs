@@ -17,6 +17,7 @@ pub mod context;
 pub mod encoded;
 pub mod engine;
 pub mod evaluate;
+pub mod exchange;
 pub mod join;
 pub mod keys;
 pub mod parallel;
@@ -30,6 +31,7 @@ pub use context::{
 };
 pub use engine::{execute, execute_collect, operator_name};
 pub use evaluate::{evaluate, fused_filter_mask, predicate_mask};
+pub use exchange::{ExchangeStats, JoinSide};
 pub use prefetch::PrefetchStats;
 
 use pixels_common::{RecordBatch, Result, SchemaRef};

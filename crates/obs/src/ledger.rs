@@ -34,6 +34,10 @@ pub struct LedgerEntry {
     /// Provider CF spend across *all* attempts, including cancelled and
     /// crashed ones — always ≥ `cf_dollars`.
     pub provider_cf_dollars: f64,
+    /// Provider spend on exchange spill traffic (the object-store shuffle
+    /// between CF stages of a multi-stage plan). Provider-side only: spill
+    /// bytes are never part of `bytes_billed`.
+    pub shuffle_dollars: f64,
     /// Whether the query was degraded (e.g. CF→VM fallback).
     pub degraded: bool,
     /// Whether a speculative duplicate attempt ran.
@@ -48,9 +52,10 @@ impl LedgerEntry {
         (self.provider_cf_dollars - self.cf_dollars).max(0.0)
     }
 
-    /// Total provider spend: accepted VM cost plus all CF attempts.
+    /// Total provider spend: accepted VM cost, all CF attempts, and the
+    /// exchange traffic of multi-stage plans.
     pub fn provider_total_dollars(&self) -> f64 {
-        self.vm_dollars + self.provider_cf_dollars
+        self.vm_dollars + self.provider_cf_dollars + self.shuffle_dollars
     }
 
     /// Revenue minus total provider spend.
@@ -71,6 +76,7 @@ impl LedgerEntry {
                 "provider_cf_dollars",
                 Json::number(self.provider_cf_dollars),
             ),
+            ("shuffle_dollars", Json::number(self.shuffle_dollars)),
             ("waste_dollars", Json::number(self.waste_dollars())),
             ("degraded", Json::Bool(self.degraded)),
             ("speculative", Json::Bool(self.speculative)),
@@ -89,6 +95,7 @@ pub struct LedgerSummary {
     pub vm_dollars: f64,
     pub cf_dollars: f64,
     pub provider_cf_dollars: f64,
+    pub shuffle_dollars: f64,
     pub waste_dollars: f64,
     pub degraded: u64,
     pub speculative: u64,
@@ -102,6 +109,7 @@ impl LedgerSummary {
         self.vm_dollars += e.vm_dollars;
         self.cf_dollars += e.cf_dollars;
         self.provider_cf_dollars += e.provider_cf_dollars;
+        self.shuffle_dollars += e.shuffle_dollars;
         self.waste_dollars += e.waste_dollars();
         self.degraded += e.degraded as u64;
         self.speculative += e.speculative as u64;
@@ -118,6 +126,7 @@ impl LedgerSummary {
                 "provider_cf_dollars",
                 Json::number(self.provider_cf_dollars),
             ),
+            ("shuffle_dollars", Json::number(self.shuffle_dollars)),
             ("waste_dollars", Json::number(self.waste_dollars)),
             ("degraded", Json::number(self.degraded as f64)),
             ("speculative", Json::number(self.speculative as f64)),
@@ -263,6 +272,7 @@ impl Ledger {
             ("vm", total.vm_dollars),
             ("cf", total.cf_dollars),
             ("cf_waste", total.waste_dollars),
+            ("cf_shuffle", total.shuffle_dollars),
         ] {
             registry
                 .gauge_with(
@@ -289,6 +299,7 @@ mod tests {
             vm_dollars: 0.001,
             cf_dollars: 0.002,
             provider_cf_dollars: 0.003,
+            shuffle_dollars: 0.0,
             degraded: false,
             speculative: true,
             at_us: 7,
@@ -305,6 +316,12 @@ mod tests {
         let mut odd = e.clone();
         odd.provider_cf_dollars = 0.0;
         assert_eq!(odd.waste_dollars(), 0.0);
+        // Exchange traffic is provider spend, not waste.
+        let mut sh = e.clone();
+        sh.shuffle_dollars = 0.01;
+        assert!((sh.provider_total_dollars() - 0.014).abs() < 1e-12);
+        assert!((sh.margin_dollars() - 0.486).abs() < 1e-12);
+        assert!((sh.waste_dollars() - 0.001).abs() < 1e-12);
     }
 
     #[test]
@@ -364,6 +381,10 @@ mod tests {
         );
         assert!(
             text.contains("pixels_ledger_provider_dollars{component=\"cf_waste\"} 0.001"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_provider_dollars{component=\"cf_shuffle\"} 0"),
             "{text}"
         );
     }

@@ -27,7 +27,7 @@ pub use expr::{AggExpr, AggFunc, BoundExpr, ScalarFunc};
 pub use logical::LogicalPlan;
 pub use physical::{create_physical_plan, PhysicalPlan, PlanEstimate};
 pub use rules::optimize;
-pub use split::{split_for_acceleration, SplitPlan};
+pub use split::{plan_shuffle, split_for_acceleration, ShuffleKind, ShufflePlan, SplitPlan};
 
 use pixels_catalog::Catalog;
 use pixels_common::Result;

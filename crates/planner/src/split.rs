@@ -9,7 +9,10 @@
 //! split keeps acceleration transparent: the query result is identical
 //! either way.
 
+use crate::expr::{AggExpr, BoundExpr};
 use crate::physical::PhysicalPlan;
+use pixels_common::SchemaRef;
+use pixels_sql::ast::JoinType;
 
 /// The result of splitting a plan for CF execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,4 +131,109 @@ fn cut(plan: &PhysicalPlan, mv_path: &str) -> (PhysicalPlan, Option<PhysicalPlan
         // No expensive operator below: nothing to push down.
         leaf => (leaf.clone(), None),
     }
+}
+
+/// The shuffled operator at the cut point of a multi-stage CF plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShuffleKind {
+    /// scan → partial aggregate (stage 0, spilled as hash partitions of the
+    /// group key) → exchange → final aggregate (stage 1).
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        group_exprs: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        output_schema: SchemaRef,
+    },
+    /// Symmetric exchange: both inputs hash-partitioned on their join keys
+    /// (stage 0), partitioned hash join per partition pair (stage 1).
+    Join {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        left_keys: Vec<BoundExpr>,
+        right_keys: Vec<BoundExpr>,
+        residual: Option<BoundExpr>,
+        output_schema: SchemaRef,
+    },
+}
+
+impl ShuffleKind {
+    /// Schema of the shuffled operator's result (what the MV holds).
+    pub fn output_schema(&self) -> SchemaRef {
+        match self {
+            ShuffleKind::Aggregate { output_schema, .. }
+            | ShuffleKind::Join { output_schema, .. } => output_schema.clone(),
+        }
+    }
+}
+
+/// A multi-stage CF plan: stage-0 workers execute the shuffled operator's
+/// input(s) and spill hash partitions to the object store; stage-1 workers
+/// each finish their partition set and materialize the MV at `mv_path`,
+/// which `top_plan` then reads like any single-stage split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShufflePlan {
+    pub kind: ShuffleKind,
+    pub top_plan: PhysicalPlan,
+    pub mv_path: String,
+    pub partitions: usize,
+}
+
+/// Split `plan` into a two-stage exchange plan with `partitions` hash
+/// partitions. Returns `None` when the plan cannot (or should not) shuffle:
+/// fewer than two partitions (the single-stage split is bit-identical and
+/// cheaper), a cut point that is a bare scan (nothing to exchange), a join
+/// without equi-keys, or DISTINCT aggregates (their state does not spill).
+pub fn plan_shuffle(plan: &PhysicalPlan, mv_path: &str, partitions: usize) -> Option<ShufflePlan> {
+    if partitions <= 1 {
+        return None;
+    }
+    let (top_plan, sub) = cut(plan, mv_path);
+    let kind = match sub? {
+        PhysicalPlan::HashAggregate {
+            input,
+            group_exprs,
+            aggs,
+            output_schema,
+        } => {
+            if aggs.iter().any(|a| a.distinct) {
+                return None;
+            }
+            ShuffleKind::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                output_schema,
+            }
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            output_schema,
+        } => {
+            if join_type == JoinType::Cross || left_keys.is_empty() {
+                return None;
+            }
+            ShuffleKind::Join {
+                left,
+                right,
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                output_schema,
+            }
+        }
+        _ => return None,
+    };
+    Some(ShufflePlan {
+        kind,
+        top_plan,
+        mv_path: mv_path.to_string(),
+        partitions,
+    })
 }

@@ -21,7 +21,9 @@ use pixels_obs::{
     WallClock,
 };
 use pixels_storage::StoreMetricsSnapshot;
-use pixels_turbo::{CostBreakdown, Decision, ExecMetricsSnapshot, QueryEvent, TurboEngine};
+use pixels_turbo::{
+    CostBreakdown, Decision, ExchangeStats, ExecMetricsSnapshot, QueryEvent, TurboEngine,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,6 +104,11 @@ pub struct QueryInfo {
     /// Modelled provider CF spend across all attempts, crashed and
     /// cancelled included.
     pub provider_cf_dollars: f64,
+    /// Provider cost of exchange spill traffic (multi-stage CF plans only;
+    /// never part of the user's bill).
+    pub provider_shuffle_dollars: f64,
+    /// Spill traffic of the accepted attempts of a multi-stage CF plan.
+    pub exchange: ExchangeStats,
 }
 
 impl QueryInfo {
@@ -336,6 +343,8 @@ impl QueryServer {
             decisions: Vec::new(),
             resource_cost: CostBreakdown::default(),
             provider_cf_dollars: 0.0,
+            provider_shuffle_dollars: 0.0,
+            exchange: ExchangeStats::default(),
         };
         self.state.lock().insert(id, info);
         self.registry()
@@ -513,6 +522,8 @@ fn run_query_thread(
             info.decisions = out.decisions;
             info.resource_cost = out.resource_cost;
             info.provider_cf_dollars = out.provider_cf_dollars;
+            info.provider_shuffle_dollars = out.provider_shuffle_dollars;
+            info.exchange = out.exchange;
             info.result = Some(out.batch);
         }
         Err(e) => {
@@ -549,6 +560,7 @@ fn run_query_thread(
             vm_dollars: info.resource_cost.vm_dollars,
             cf_dollars: info.resource_cost.cf_dollars,
             provider_cf_dollars: info.provider_cf_dollars,
+            shuffle_dollars: info.provider_shuffle_dollars,
             degraded,
             speculative,
             at_us,

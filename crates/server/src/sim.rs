@@ -516,6 +516,10 @@ impl SimReport {
                 vm_dollars: r.resource_cost.vm_dollars,
                 cf_dollars: r.resource_cost.cf_dollars,
                 provider_cf_dollars: r.resource_cost.cf_dollars,
+                // The workload simulator submits single-stage queries only;
+                // shuffle provider dollars are exercised by the parity and
+                // exchange differential harnesses.
+                shuffle_dollars: 0.0,
                 degraded: r.degraded,
                 speculative: r.speculative,
                 at_us: r.finished_at.as_micros(),

@@ -123,6 +123,85 @@ impl ObjectStore for ChaosObjectStore {
     }
 }
 
+/// An [`ObjectStore`] decorator that injects faults at the exchange spill
+/// sites (`exchange_put` / `exchange_get`). The engine wraps the store it
+/// hands to exchange spill writers/readers in this decorator instead of
+/// [`ChaosObjectStore`], so shuffle traffic draws from its own fault
+/// streams and ordinary scan GET sequences stay unperturbed.
+pub struct ExchangeChaosStore {
+    inner: ObjectStoreRef,
+    injector: Arc<FaultInjector>,
+    clock: ClockRef,
+}
+
+impl ExchangeChaosStore {
+    pub fn new(inner: ObjectStoreRef, injector: Arc<FaultInjector>, clock: ClockRef) -> Self {
+        ExchangeChaosStore {
+            inner,
+            injector,
+            clock,
+        }
+    }
+
+    pub fn shared(
+        inner: ObjectStoreRef,
+        injector: Arc<FaultInjector>,
+        clock: ClockRef,
+    ) -> ObjectStoreRef {
+        Arc::new(ExchangeChaosStore::new(inner, injector, clock))
+    }
+
+    fn gate(&self, site: FaultSite, what: &str, path: &str) -> Result<()> {
+        match self.injector.decide(site) {
+            Inject::None => Ok(()),
+            Inject::Delay { micros } => {
+                self.clock.sleep_micros(micros);
+                Ok(())
+            }
+            Inject::Error => Err(Error::Storage(format!(
+                "injected exchange {what} failure for {path}"
+            ))),
+        }
+    }
+}
+
+impl ObjectStore for ExchangeChaosStore {
+    fn put(&self, path: &str, data: Bytes) -> Result<()> {
+        self.gate(FaultSite::ExchangePut, "PUT", path)?;
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> Result<Bytes> {
+        self.gate(FaultSite::ExchangeGet, "GET", path)?;
+        self.inner.get(path)
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.gate(FaultSite::ExchangeGet, "ranged GET", path)?;
+        self.inner.get_range(path, offset, len)
+    }
+
+    fn size(&self, path: &str) -> Result<u64> {
+        self.inner.size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn generation(&self, path: &str) -> Result<u64> {
+        self.inner.generation(path)
+    }
+
+    fn metrics(&self) -> StoreMetricsSnapshot {
+        self.inner.metrics()
+    }
+}
+
 /// An [`ObjectStore`] decorator that retries transient GET failures under a
 /// deterministic backoff schedule.
 pub struct RetryingObjectStore {
@@ -223,6 +302,21 @@ pub fn chaos_stack(
 ) -> ObjectStoreRef {
     let seed = injector.seed();
     let chaotic = ChaosObjectStore::shared(inner, injector, clock.clone());
+    RetryingObjectStore::shared(chaotic, policy, clock, seed)
+}
+
+/// The exchange spill stack: `Retrying(ExchangeChaos(inner))`. Same layering
+/// as [`chaos_stack`], but faults fire at the `exchange_put`/`exchange_get`
+/// sites and the retry jitter stream is offset so it does not replay the
+/// scan stack's schedule.
+pub fn exchange_stack(
+    inner: ObjectStoreRef,
+    injector: Arc<FaultInjector>,
+    policy: RetryPolicy,
+    clock: ClockRef,
+) -> ObjectStoreRef {
+    let seed = injector.seed().wrapping_add(0x5348_5546); // "SHUF"
+    let chaotic = ExchangeChaosStore::shared(inner, injector, clock.clone());
     RetryingObjectStore::shared(chaotic, policy, clock, seed)
 }
 

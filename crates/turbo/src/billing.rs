@@ -65,6 +65,14 @@ impl ResourcePricing {
     pub fn vm_cost(&self, core_seconds: f64) -> f64 {
         core_seconds / 3600.0 * self.vm_core_hour
     }
+
+    /// Provider cost of `bytes` of exchange spill traffic (the PUT + GET
+    /// bytes a multi-stage CF plan moves through the object store between
+    /// stages). Deterministic: priced only over the accepted attempts'
+    /// measured bytes, so sim and real engine agree bit-for-bit.
+    pub fn exchange_cost(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1e9 * prices::EXCHANGE_DOLLARS_PER_GB
+    }
 }
 
 /// How a query was executed and what resources it consumed.

@@ -30,6 +30,24 @@ struct InFlight {
     race: Option<CfRace>,
     /// The query fell back from CF to the VM tier.
     degraded: bool,
+    /// Present for two-stage exchange plans ([`Coordinator::submit_shuffle`]).
+    shuffle: Option<ShuffleInfo>,
+}
+
+/// Progress of a two-stage exchange plan through its per-stage CF races.
+#[derive(Debug, Clone, Copy)]
+struct ShuffleInfo {
+    /// Stage whose race is currently in flight (0 = spill, 1 = finish).
+    stage: u8,
+    /// Accepted cost of completed stages (added to the final stage's run
+    /// cost for the query's accepted-execution breakdown).
+    stage_cost: f64,
+    /// Any stage's race launched a speculative duplicate.
+    speculated: bool,
+    /// Measured spill PUT bytes of the accepted stage-0 attempt.
+    put_bytes: u64,
+    /// Measured spill GET bytes of the accepted stage-1 attempt.
+    get_bytes: u64,
 }
 
 /// Fault-recovery counters the coordinator accumulates over a run.
@@ -69,6 +87,9 @@ pub struct QueryCompletion {
     /// A speculative duplicate fleet raced for this query (whichever
     /// attempt won, both were billed by the provider).
     pub speculative: bool,
+    /// Provider cost of the exchange spill traffic this query moved through
+    /// the object store (zero for single-stage queries).
+    pub shuffle_dollars: f64,
 }
 
 impl QueryCompletion {
@@ -213,6 +234,7 @@ impl Coordinator {
             cf_enabled,
             race: None,
             degraded: false,
+            shuffle: None,
         };
         if !self.vm.is_overloaded() && self.vm_queue.is_empty() {
             self.record(id, Decision::DispatchVm);
@@ -231,6 +253,59 @@ impl Coordinator {
         }
     }
 
+    /// Submit a query whose CF execution runs as a two-stage exchange plan
+    /// (paper §3.1 extended): stage 0 spills hash partitions to the object
+    /// store, stage 1 reads them back and finishes. Each stage is its own
+    /// [`CfRace`] over [`QueryWork::stage_works`], so relaunch, speculation,
+    /// and degradation follow the exact policy the real engine drives —
+    /// decision logs concatenate per stage.
+    ///
+    /// `put_bytes` / `get_bytes` are the *measured* spill traffic of the
+    /// accepted attempts (the real engine measures them; differential
+    /// harnesses pass them through so provider dollars agree bit-for-bit).
+    /// On a VM fallback (cluster has headroom, or the CF path degrades
+    /// before any spill is read) the unconsumed traffic is priced per what
+    /// actually moved.
+    pub fn submit_shuffle(
+        &mut self,
+        id: QueryId,
+        work: QueryWork,
+        put_bytes: u64,
+        get_bytes: u64,
+        now: SimTime,
+    ) {
+        self.now = now;
+        let mut info = InFlight {
+            submitted_at: now,
+            work,
+            cf_enabled: true,
+            race: None,
+            degraded: false,
+            shuffle: Some(ShuffleInfo {
+                stage: 0,
+                stage_cost: 0.0,
+                speculated: false,
+                put_bytes,
+                get_bytes,
+            }),
+        };
+        if !self.vm.is_overloaded() && self.vm_queue.is_empty() {
+            // Headroom: no CF, no exchange — plain VM execution.
+            self.record(id, Decision::DispatchVm);
+            info.shuffle = None;
+            self.vm.start(id, work);
+            self.inflight.push((id, info));
+        } else {
+            let mut fx = self.effects(id, work.stage_works()[0]);
+            let race = CfRace::start(true, &mut fx);
+            let cancelled = fx.cancelled;
+            self.stats.speculative_cancelled += cancelled;
+            self.record_all(id, &race.decisions.clone());
+            info.race = Some(race);
+            self.inflight.push((id, info));
+        }
+    }
+
     /// Start a query on the VM tier immediately, bypassing the overload
     /// check — the server scheduler's forced start when a Relaxed grace
     /// period or BestEffort wait bound expires.
@@ -246,6 +321,7 @@ impl Coordinator {
                 cf_enabled: false,
                 race: None,
                 degraded: false,
+                shuffle: None,
             },
         ));
     }
@@ -283,7 +359,12 @@ impl Coordinator {
     /// decisions into fault-stat counters, and return them.
     fn step_race(&mut self, idx: usize, input: RaceInput) -> Vec<Decision> {
         let id = self.inflight[idx].0;
-        let work = self.inflight[idx].1.work;
+        let work = match &self.inflight[idx].1.shuffle {
+            // Relaunches inside a stage-1 race model the cheaper finish
+            // stage, not the whole query.
+            Some(s) if s.stage == 1 => self.inflight[idx].1.work.stage_works()[1],
+            _ => self.inflight[idx].1.work,
+        };
         let mut race = self.inflight[idx].1.race.take().expect("CF race present");
         let mut fx = self.effects(id, work);
         let new = race.step(input, &mut fx);
@@ -356,6 +437,13 @@ impl Coordinator {
             .set_external_demand(self.vm_queue.len() as u32 + self.server_queue_depth);
         for done in self.vm.tick(now, dt) {
             let info = self.take_inflight(done.id);
+            // A shuffle that degraded after its spill stage was accepted
+            // still moved (and pays for) the PUT traffic; one degraded
+            // earlier moved nothing.
+            let shuffle_dollars = match &info.shuffle {
+                Some(s) if s.stage == 1 => self.pricing.exchange_cost(s.put_bytes),
+                _ => 0.0,
+            };
             out.push(QueryCompletion {
                 id: done.id,
                 submitted_at: info.submitted_at,
@@ -371,7 +459,9 @@ impl Coordinator {
                 },
                 scan_bytes: done.scan_bytes,
                 degraded: info.degraded,
-                speculative: info.race.as_ref().is_some_and(CfRace::speculated),
+                speculative: info.race.as_ref().is_some_and(CfRace::speculated)
+                    || info.shuffle.is_some_and(|s| s.speculated),
+                shuffle_dollars,
             });
         }
 
@@ -409,7 +499,51 @@ impl Coordinator {
                 },
             );
             self.pending_spec.retain(|(id, _)| *id != run.id);
+            // A shuffle's stage-0 acceptance hands off to the stage-1 race
+            // instead of completing the query.
+            let stage0_done = matches!(
+                &self.inflight[idx].1.shuffle,
+                Some(s) if s.stage == 0
+            );
+            if stage0_done {
+                let id = self.inflight[idx].0;
+                let stage1 = self.inflight[idx].1.work.stage_works()[1];
+                let spec0 = self.inflight[idx]
+                    .1
+                    .race
+                    .as_ref()
+                    .is_some_and(CfRace::speculated);
+                {
+                    let s = self.inflight[idx].1.shuffle.as_mut().expect("shuffle");
+                    s.stage = 1;
+                    s.stage_cost += run.cost;
+                    s.speculated |= spec0;
+                }
+                let mut fx = self.effects(id, stage1);
+                let race = CfRace::start(true, &mut fx);
+                let cancelled = fx.cancelled;
+                self.stats.speculative_cancelled += cancelled;
+                self.record_all(id, &race.decisions.clone());
+                self.inflight[idx].1.race = Some(race);
+                continue;
+            }
             let info = self.take_inflight(run.id);
+            let (stage_cost, shuffle_dollars, spec_sticky) = match &info.shuffle {
+                Some(s) => (
+                    s.stage_cost,
+                    self.pricing.exchange_cost(s.put_bytes + s.get_bytes),
+                    s.speculated,
+                ),
+                None => (0.0, 0.0, false),
+            };
+            // The billed bytes of a shuffle are the full query's scanned
+            // bytes (stage 0 scans them all); the finishing run itself
+            // models zero billed scan.
+            let scan_bytes = if info.shuffle.is_some() {
+                info.work.scan_bytes
+            } else {
+                run.scan_bytes
+            };
             out.push(QueryCompletion {
                 id: run.id,
                 submitted_at: info.submitted_at,
@@ -420,11 +554,13 @@ impl Coordinator {
                 },
                 cost: CostBreakdown {
                     vm_dollars: 0.0,
-                    cf_dollars: run.cost,
+                    // Accepted execution: every accepted stage's fleet.
+                    cf_dollars: run.cost + stage_cost,
                 },
-                scan_bytes: run.scan_bytes,
+                scan_bytes,
                 degraded: info.degraded,
-                speculative: info.race.as_ref().is_some_and(CfRace::speculated),
+                speculative: spec_sticky || info.race.as_ref().is_some_and(CfRace::speculated),
+                shuffle_dollars,
             });
         }
 
@@ -875,6 +1011,105 @@ mod tests {
                 Decision::DispatchVm,
             ]
         );
+    }
+
+    #[test]
+    fn shuffle_runs_two_staged_races_and_prices_exchange_traffic() {
+        let mut c = coordinator();
+        overload(&mut c);
+        // Reference: the same query single-stage.
+        let mut single = coordinator();
+        overload(&mut single);
+        single.submit(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            true,
+            SimTime::ZERO,
+        );
+        let mut sdone = Vec::new();
+        drive(
+            &mut single,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut sdone,
+        );
+        let sq = sdone.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert_eq!(sq.shuffle_dollars, 0.0);
+
+        c.submit_shuffle(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            3 << 30, // 3 GiB spilled
+            3 << 30, // read back once
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert!(matches!(q.placement, Placement::Cf { .. }));
+        assert_eq!(
+            c.decisions_for(QueryId(99)),
+            &[
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+            ],
+            "one clean race per stage"
+        );
+        // PUT + GET priced at the exchange rate.
+        let expected = c.pricing().exchange_cost(6 << 30);
+        assert!((q.shuffle_dollars - expected).abs() < 1e-12);
+        assert!(q.shuffle_dollars > 0.0);
+        // Two accepted fleets cost more than one, but stage 1 is the cheap
+        // finish stage, so well under double.
+        assert!(q.cost.cf_dollars > sq.cost.cf_dollars);
+        assert!(q.cost.cf_dollars < sq.cost.cf_dollars * 2.0);
+    }
+
+    #[test]
+    fn shuffle_stage_crash_relaunches_within_its_stage() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        // One crash total: stage 0's first fleet dies; its relaunch and the
+        // whole stage-1 race run clean.
+        let plan = FaultPlan::none(7).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1));
+        let mut c = coordinator().with_fault_injector(Arc::new(FaultInjector::new(&plan)));
+        overload(&mut c);
+        c.submit_shuffle(
+            QueryId(99),
+            QueryWork::from_class(QueryClass::Medium),
+            1 << 30,
+            1 << 30,
+            SimTime::ZERO,
+        );
+        let mut done = Vec::new();
+        drive(
+            &mut c,
+            SimTime::ZERO,
+            SimDuration::from_secs(7200),
+            &mut done,
+        );
+        let q = done.iter().find(|d| d.id == QueryId(99)).unwrap();
+        assert!(matches!(q.placement, Placement::Cf { .. }));
+        assert!(!q.degraded);
+        assert_eq!(
+            c.decisions_for(QueryId(99)),
+            &[
+                Decision::DispatchCf { attempt: 0 },
+                Decision::AttemptFailed { attempt: 0 },
+                Decision::Relaunch { attempt: 1 },
+                Decision::Accept { attempt: 1 },
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+            ]
+        );
+        assert_eq!(c.stats.cf_crashes, 1);
+        assert_eq!(c.stats.cf_retries, 1);
     }
 
     #[test]

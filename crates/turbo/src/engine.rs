@@ -14,18 +14,22 @@ use crate::model::QueryWork;
 use crate::policy::{self, CfCostModel, CfEffects, CfRace, Decision, RaceInput};
 use parking_lot::{Condvar, Mutex};
 use pixels_catalog::CatalogRef;
-use pixels_chaos::FaultInjector;
+use pixels_chaos::{FaultInjector, RetryPolicy};
 use pixels_common::{
     ColumnBuilder, DataType, Error, Field, IdGenerator, RecordBatch, Result, Schema, Value,
 };
 use pixels_exec::{
-    default_parallelism, execute, execute_collect, materialize, ExecContext, ExecMetricsSnapshot,
-    ScanPipelineSnapshot,
+    default_parallelism, exchange, execute, execute_collect, materialize, ExchangeStats,
+    ExecContext, ExecMetricsSnapshot, JoinSide, ScanPipelineSnapshot,
 };
-use pixels_obs::{MetricsRegistry, Trace, TraceCtx};
-use pixels_planner::{plan_query, split_for_acceleration, PhysicalPlan};
+use pixels_obs::{MetricsRegistry, Trace, TraceCtx, WallClock};
+use pixels_planner::{
+    plan_query, plan_shuffle, split_for_acceleration, PhysicalPlan, ShuffleKind, ShufflePlan,
+};
 use pixels_sql::ast::Statement;
-use pixels_storage::{ChunkCache, FooterCache, ObjectStoreRef};
+use pixels_storage::{exchange_stack, ChunkCache, FooterCache, ObjectStore, ObjectStoreRef};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,6 +64,11 @@ pub struct EngineConfig {
     /// fetch ahead of the decoding workers (2 = double buffering). `0` runs
     /// fetch and decode fused on the workers — the synchronous path.
     pub prefetch_depth: usize,
+    /// Hash-partition fan-out of multi-stage CF plans. At `1` (the default)
+    /// every CF plan is single-stage; above `1`, shuffleable cut points
+    /// (aggregates, equi-joins) run as two CF stages exchanging
+    /// hash-partitioned spill files through the object store.
+    pub exchange_partitions: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +82,7 @@ impl Default for EngineConfig {
             cf_to_vm_fallback: true,
             chunk_cache_bytes: 64 << 20,
             prefetch_depth: 2,
+            exchange_partitions: 1,
         }
     }
 }
@@ -161,6 +171,14 @@ pub struct ExecOutcome {
     /// Modelled provider-side CF spend across *all* attempts, including
     /// crashed and cancelled fleets — the provider charges every invocation.
     pub provider_cf_dollars: f64,
+    /// Exchange traffic of the *accepted* stage attempts of a multi-stage CF
+    /// plan (zero for single-stage queries). Provider-side — these bytes are
+    /// never part of `bytes_scanned` or the user's bill.
+    pub exchange: ExchangeStats,
+    /// Modelled provider cost of the accepted exchange traffic, priced at
+    /// [`pixels_common::prices::EXCHANGE_DOLLARS_PER_GB`]. Ledgered under the
+    /// `cf_shuffle` provider component, never billed to the user.
+    pub provider_shuffle_dollars: f64,
 }
 
 struct Slots {
@@ -382,6 +400,8 @@ impl TurboEngine {
                     decisions: Vec::new(),
                     resource_cost: CostBreakdown::default(),
                     provider_cf_dollars: 0.0,
+                    exchange: ExchangeStats::default(),
+                    provider_shuffle_dollars: 0.0,
                 })
             }
             Statement::ExplainAnalyze(inner) => {
@@ -390,10 +410,15 @@ impl TurboEngine {
                         "EXPLAIN ANALYZE applies to queries".into(),
                     ));
                 };
-                let plan = plan_query(&self.catalog, db, &inner.to_string())?;
+                let sql = inner.to_string();
+                let plan = plan_query(&self.catalog, db, &sql)?;
                 // EXPLAIN ANALYZE always traces: use the caller's trace when
                 // one is attached, otherwise a local wall-clock one, so the
-                // printed profile exists even for untraced callers.
+                // printed profile exists even for untraced callers. The query
+                // goes through the normal dispatch path, so on a saturated
+                // engine the report shows the CF — and, with
+                // `exchange_partitions > 1`, the multi-stage shuffle —
+                // execution the query would really get.
                 let local_trace;
                 let exec_trace = if trace.enabled() {
                     trace
@@ -401,28 +426,31 @@ impl TurboEngine {
                     local_trace = Trace::wall();
                     TraceCtx::root(&local_trace)
                 };
-                let ctx = self
-                    .exec_context(&plan, usize::MAX)
-                    .with_trace(exec_trace.clone());
-                let start = Instant::now();
-                let batches = execute(&plan, &ctx)?;
-                let elapsed = start.elapsed();
-                let m = ctx.metrics.snapshot();
-                self.absorb_exec_metrics(&m, false);
-                self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
-                let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
+                let out =
+                    self.execute_query(db, &sql, cf_enabled, exec_trace.clone(), slot_wait_limit)?;
+                let m = &out.metrics;
+                let tier = if !out.used_cf {
+                    "vm".to_string()
+                } else if out.exchange.partitions > 0 {
+                    format!(
+                        "cf (two-stage shuffle, {} partitions)",
+                        out.exchange.partitions
+                    )
+                } else {
+                    "cf (single-stage)".to_string()
+                };
                 let mut text = plan.explain();
                 text.push_str(&format!(
                     "--- runtime metrics ---\n\
                      wall time        : {:.3} ms\n\
-                     parallelism      : {}\n\
-                     result rows      : {rows}\n\
+                     tier             : {tier}\n\
+                     result rows      : {}\n\
                      rows scanned     : {}\n\
                      bytes scanned    : {}\n\
                      row groups read  : {} of {} (zone maps pruned {})\n\
                      footer cache hits: {}\n",
-                    elapsed.as_secs_f64() * 1e3,
-                    ctx.parallelism,
+                    out.execution.as_secs_f64() * 1e3,
+                    out.batch.num_rows(),
                     m.rows_scanned,
                     pixels_common::bytesize::format_bytes(m.bytes_scanned),
                     m.row_groups_read,
@@ -430,6 +458,20 @@ impl TurboEngine {
                     m.row_groups_total - m.row_groups_read,
                     m.footer_cache_hits,
                 ));
+                if !out.decisions.is_empty() {
+                    let seq: Vec<String> = out.decisions.iter().map(|d| format!("{d:?}")).collect();
+                    text.push_str(&format!("decisions        : {}\n", seq.join(" -> ")));
+                }
+                if out.exchange != ExchangeStats::default() {
+                    text.push_str(&format!(
+                        "exchange         : put {}, get {}, {} rows spilled \
+                         (provider-side, ${:.9})\n",
+                        pixels_common::bytesize::format_bytes(out.exchange.put_bytes),
+                        pixels_common::bytesize::format_bytes(out.exchange.get_bytes),
+                        out.exchange.spilled_rows,
+                        out.provider_shuffle_dollars,
+                    ));
+                }
                 if let Some(t) = exec_trace.trace() {
                     let spans = t.finished_spans();
                     text.push_str("--- operator time attribution ---\n");
@@ -439,16 +481,7 @@ impl TurboEngine {
                 }
                 Ok(ExecOutcome {
                     batch: text_batch("plan", text.lines()),
-                    used_cf: false,
-                    pending: Duration::ZERO,
-                    execution: elapsed,
-                    bytes_scanned: m.bytes_scanned,
-                    metrics: m,
-                    events: Vec::new(),
-                    retries: 0,
-                    decisions: Vec::new(),
-                    resource_cost: CostBreakdown::default(),
-                    provider_cf_dollars: 0.0,
+                    ..out
                 })
             }
             Statement::Analyze(name) => {
@@ -534,8 +567,15 @@ impl TurboEngine {
             return r;
         }
 
-        // Slots saturated. With CF enabled, accelerate via plan splitting.
+        // Slots saturated. With CF enabled, accelerate via plan splitting —
+        // multi-stage with an object-store exchange when the fan-out is
+        // configured and the cut point shuffles, single-stage otherwise.
         if cf_enabled {
+            if let Some(shuffle) =
+                plan_shuffle(&plan, &self.next_mv_path(), self.cfg.exchange_partitions)
+            {
+                return self.run_with_shuffle(&plan, shuffle, &trace);
+            }
             if let Some(split) = split_for_acceleration(&plan, &self.next_mv_path()) {
                 return self.run_with_cf(&plan, split, &trace);
             }
@@ -630,6 +670,8 @@ impl TurboEngine {
                 cf_dollars: 0.0,
             },
             provider_cf_dollars: 0.0,
+            exchange: ExchangeStats::default(),
+            provider_shuffle_dollars: 0.0,
         })
     }
 
@@ -760,20 +802,10 @@ impl TurboEngine {
         // fleet, scaled and floored by the shared policy rule. Detection
         // stays driver-specific (a bounded channel wait); the *reaction* is
         // the policy's.
-        let sub_work = QueryWork::from_plan(&split.sub_plan);
-        let est = sub_work.exec_time_on_cores(self.cfg.cf_fleet_threads.max(1) as f64);
-        let straggler_wait =
-            Duration::from_micros(
-                policy::straggler_deadline(
-                    est,
-                    self.cfg.straggler_factor,
-                    pixels_sim::SimDuration::from_micros(
-                        self.cfg.straggler_min_wait.as_micros() as u64
-                    ),
-                )
-                .as_micros(),
-            );
+        let straggler_wait = self.straggler_wait(&QueryWork::from_plan(&split.sub_plan));
 
+        let attempts: Rc<RefCell<Vec<pixels_planner::SplitPlan>>> = Rc::default();
+        let attempt_costs: Rc<RefCell<Vec<f64>>> = Rc::default();
         let mut fx = EngineEffects {
             engine: self,
             plan,
@@ -781,144 +813,48 @@ impl TurboEngine {
             tx: tx.clone(),
             work: QueryWork::from_plan(plan),
             first_split: Some(split),
-            attempts: Vec::new(),
-            attempt_costs: Vec::new(),
+            attempts: attempts.clone(),
+            attempt_costs: attempt_costs.clone(),
         };
         let mut race = CfRace::start(self.cfg.speculative_enabled, &mut fx);
-
-        let mut deadline_fired = false;
-        let mut failed_count = 0usize;
-        let mut last_err: Option<Error> = None;
-        let mut winner: Option<(u32, ExecMetricsSnapshot)> = None;
-        while !race.is_finished() {
-            // Before the deadline fires, wake when it expires; after (the
-            // policy reacts to it at most once), the only thing left to wait
-            // for is a result or total failure.
-            let timeout = if deadline_fired || !self.cfg.speculative_enabled {
-                Duration::from_secs(3600)
-            } else {
-                straggler_wait
-            };
-            let input = match rx.recv_timeout(timeout) {
-                Ok((idx, Ok(metrics))) => {
-                    winner = Some((idx, metrics));
-                    RaceInput::AttemptFinished {
-                        attempt: idx,
-                        failed: false,
-                    }
-                }
-                Ok((idx, Err(e))) => {
-                    failed_count += 1;
-                    self.registry
-                        .counter(
-                            "pixels_turbo_cf_crashes_total",
-                            "CF fleet attempts that crashed or failed",
-                        )
-                        .add(1);
-                    events.push(QueryEvent::CfAttemptFailed {
-                        attempt: idx,
-                        reason: e.to_string(),
-                    });
-                    last_err = Some(e);
-                    // Failed attempts can't have materialized; delete is a
-                    // no-op unless the failure raced materialization.
-                    let _ = self.store.delete(&fx.attempts[idx as usize].mv_path);
-                    self.footer_cache
-                        .invalidate(&fx.attempts[idx as usize].mv_path);
-                    RaceInput::AttemptFinished {
-                        attempt: idx,
-                        failed: true,
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    deadline_fired = true;
-                    RaceInput::StragglerDeadline
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
-            };
-            for d in race.step(input, &mut fx) {
-                match d {
-                    Decision::Relaunch { attempt } => {
-                        events.push(QueryEvent::CfRetried { attempt });
-                        self.registry
-                            .counter(
-                                "pixels_turbo_cf_retries_total",
-                                "CF sub-plans relaunched on a fresh fleet after a failure",
-                            )
-                            .add(1);
-                    }
-                    Decision::StragglerSpeculate { attempt } => {
-                        events.push(QueryEvent::StragglerDetected {
-                            waited_ms: straggler_wait.as_millis() as u64,
-                        });
-                        events.push(QueryEvent::SpeculativeLaunch { attempt });
-                        self.registry
-                            .counter(
-                                "pixels_turbo_cf_stragglers_total",
-                                "CF runs that exceeded the straggler deadline",
-                            )
-                            .add(1);
-                        self.registry
-                            .counter(
-                                "pixels_speculative_launches_total",
-                                "Speculative duplicate CF fleets launched against stragglers",
-                            )
-                            .add(1);
-                    }
-                    _ => {}
-                }
-            }
-        }
+        let mut on_failed = |idx: u32| {
+            // Failed attempts can't have materialized; delete is a no-op
+            // unless the failure raced materialization.
+            let path = attempts.borrow()[idx as usize].mv_path.clone();
+            let _ = self.store.delete(&path);
+            self.footer_cache.invalidate(&path);
+        };
+        let end = self.drive_race(
+            &mut race,
+            &mut fx,
+            &rx,
+            straggler_wait,
+            &mut events,
+            &mut on_failed,
+        );
+        drop(fx);
         drop(tx);
         let decisions = race.decisions.clone();
         let speculated = race.speculated();
-        let EngineEffects {
-            tx: fx_tx,
-            attempts,
-            attempt_costs,
-            ..
-        } = fx;
-        drop(fx_tx);
+        let attempts = attempts.take();
+        let attempt_costs = attempt_costs.take();
         let provider_cf_dollars: f64 = attempt_costs.iter().sum();
-        let received = failed_count + usize::from(winner.is_some());
         let mv_paths: Vec<String> = attempts.iter().map(|a| a.mv_path.clone()).collect();
 
-        let Some((winner_idx, sub_metrics)) = winner else {
+        let Some((winner_idx, sub_metrics)) = end.winner else {
             // Every CF attempt failed (`Decision::Degrade`). Degrade to the
             // VM tier: the query still completes (and bills the plain
             // VM-path bytes), it just loses the acceleration.
-            self.reap_stale_attempts(rx, mv_paths, attempts.len() - received);
-            let reason = last_err
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "cf fleet unavailable".into());
-            if !self.cfg.cf_to_vm_fallback {
-                return Err(Error::Exec(format!("cf path failed: {reason}")));
-            }
-            events.push(QueryEvent::CfDegradedToVm { reason });
-            self.registry
-                .counter(
-                    "pixels_turbo_cf_degradations_total",
-                    "Queries that fell back from the CF tier to the VM tier",
-                )
-                .add(1);
-            let pending = {
-                let _span = trace.span("vm_slot_wait");
-                self.slots.acquire()
-            };
-            let r = self.run_in_vm(plan, trace);
-            self.slots.release();
-            return r.map(|mut o| {
-                o.pending = pending;
-                // Degradation events precede whatever the VM run recorded.
-                events.extend(o.events);
-                o.events = events;
-                // The policy's decision log precedes the VM dispatch.
-                let mut all = decisions;
-                all.extend(o.decisions);
-                o.decisions = all;
-                o.provider_cf_dollars = provider_cf_dollars;
-                o
-            });
+            self.reap_stale_attempts(rx, mv_paths, attempts.len() - end.received);
+            return self.degrade_to_vm_path(
+                plan,
+                trace,
+                events,
+                decisions,
+                end.last_err,
+                provider_cf_dollars,
+                ExchangeStats::default(),
+            );
         };
 
         if speculated {
@@ -926,6 +862,7 @@ impl TurboEngine {
                 attempt: winner_idx,
             });
         }
+        let received = end.received;
         let winning_top = attempts[winner_idx as usize].top_plan.clone();
         let winning_mv = attempts[winner_idx as usize].mv_path.clone();
         let top_span = trace.span("top_plan");
@@ -968,7 +905,725 @@ impl TurboEngine {
                     .unwrap_or(0.0),
             },
             provider_cf_dollars,
+            exchange: ExchangeStats::default(),
+            provider_shuffle_dollars: 0.0,
         })
+    }
+
+    /// Straggler deadline for one fleet: `factor` × the model's estimate on
+    /// this fleet's threads, floored by `straggler_min_wait` — shared by the
+    /// single-stage race and each stage of a shuffle.
+    fn straggler_wait(&self, work: &QueryWork) -> Duration {
+        let est = work.exec_time_on_cores(self.cfg.cf_fleet_threads.max(1) as f64);
+        Duration::from_micros(
+            policy::straggler_deadline(
+                est,
+                self.cfg.straggler_factor,
+                pixels_sim::SimDuration::from_micros(self.cfg.straggler_min_wait.as_micros() as u64),
+            )
+            .as_micros(),
+        )
+    }
+
+    /// Drive one [`CfRace`] to completion against a result channel. The loop
+    /// only *detects* (a channel wait bounded by the straggler deadline) and
+    /// records events/counters; every reaction is the policy's. Shared by the
+    /// single-stage CF path and both stages of a shuffle, so stage races and
+    /// plain races are the same state machine end to end.
+    fn drive_race<T>(
+        &self,
+        race: &mut CfRace,
+        fx: &mut dyn CfEffects,
+        rx: &std::sync::mpsc::Receiver<(u32, Result<T>)>,
+        straggler_wait: Duration,
+        events: &mut Vec<QueryEvent>,
+        on_failed: &mut dyn FnMut(u32),
+    ) -> RaceEnd<T> {
+        use std::sync::mpsc;
+
+        let mut deadline_fired = false;
+        let mut failed_count = 0usize;
+        let mut last_err: Option<Error> = None;
+        let mut winner: Option<(u32, T)> = None;
+        while !race.is_finished() {
+            // Before the deadline fires, wake when it expires; after (the
+            // policy reacts to it at most once), the only thing left to wait
+            // for is a result or total failure.
+            let timeout = if deadline_fired || !self.cfg.speculative_enabled {
+                Duration::from_secs(3600)
+            } else {
+                straggler_wait
+            };
+            let input = match rx.recv_timeout(timeout) {
+                Ok((idx, Ok(payload))) => {
+                    winner = Some((idx, payload));
+                    RaceInput::AttemptFinished {
+                        attempt: idx,
+                        failed: false,
+                    }
+                }
+                Ok((idx, Err(e))) => {
+                    failed_count += 1;
+                    self.registry
+                        .counter(
+                            "pixels_turbo_cf_crashes_total",
+                            "CF fleet attempts that crashed or failed",
+                        )
+                        .add(1);
+                    events.push(QueryEvent::CfAttemptFailed {
+                        attempt: idx,
+                        reason: e.to_string(),
+                    });
+                    last_err = Some(e);
+                    on_failed(idx);
+                    RaceInput::AttemptFinished {
+                        attempt: idx,
+                        failed: true,
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    deadline_fired = true;
+                    RaceInput::StragglerDeadline
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            for d in race.step(input, fx) {
+                match d {
+                    Decision::Relaunch { attempt } => {
+                        events.push(QueryEvent::CfRetried { attempt });
+                        self.registry
+                            .counter(
+                                "pixels_turbo_cf_retries_total",
+                                "CF sub-plans relaunched on a fresh fleet after a failure",
+                            )
+                            .add(1);
+                    }
+                    Decision::StragglerSpeculate { attempt } => {
+                        events.push(QueryEvent::StragglerDetected {
+                            waited_ms: straggler_wait.as_millis() as u64,
+                        });
+                        events.push(QueryEvent::SpeculativeLaunch { attempt });
+                        self.registry
+                            .counter(
+                                "pixels_turbo_cf_stragglers_total",
+                                "CF runs that exceeded the straggler deadline",
+                            )
+                            .add(1);
+                        self.registry
+                            .counter(
+                                "pixels_speculative_launches_total",
+                                "Speculative duplicate CF fleets launched against stragglers",
+                            )
+                            .add(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let received = failed_count + usize::from(winner.is_some());
+        RaceEnd {
+            winner,
+            received,
+            last_err,
+        }
+    }
+
+    /// Common CF→VM degradation tail: every attempt of a race (or a stage
+    /// race) failed. Re-acquires a VM slot, runs the whole plan there, and
+    /// prepends the CF events/decisions and provider-side spend.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_to_vm_path(
+        &self,
+        plan: &PhysicalPlan,
+        trace: &TraceCtx,
+        mut events: Vec<QueryEvent>,
+        decisions: Vec<Decision>,
+        last_err: Option<Error>,
+        provider_cf_dollars: f64,
+        exchange: ExchangeStats,
+    ) -> Result<ExecOutcome> {
+        let reason = last_err
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "cf fleet unavailable".into());
+        if !self.cfg.cf_to_vm_fallback {
+            return Err(Error::Exec(format!("cf path failed: {reason}")));
+        }
+        events.push(QueryEvent::CfDegradedToVm { reason });
+        self.registry
+            .counter(
+                "pixels_turbo_cf_degradations_total",
+                "Queries that fell back from the CF tier to the VM tier",
+            )
+            .add(1);
+        self.publish_exchange_metrics(&exchange);
+        let pending = {
+            let _span = trace.span("vm_slot_wait");
+            self.slots.acquire()
+        };
+        let r = self.run_in_vm(plan, trace);
+        self.slots.release();
+        r.map(|mut o| {
+            o.pending = pending;
+            // Degradation events precede whatever the VM run recorded.
+            events.extend(std::mem::take(&mut o.events));
+            o.events = events;
+            // The policy's decision log precedes the VM dispatch.
+            let mut all = decisions;
+            all.extend(o.decisions);
+            o.decisions = all;
+            o.provider_cf_dollars = provider_cf_dollars;
+            // Exchange traffic the accepted stages produced before the plan
+            // degraded stays a provider cost; it never reaches the bill.
+            o.provider_shuffle_dollars = self.pricing.exchange_cost(exchange.total_bytes());
+            o.exchange = exchange;
+            o
+        })
+    }
+
+    /// Multi-stage CF path: the shuffled cut point runs as two CF stage
+    /// races exchanging hash-partitioned spill files through the object
+    /// store (§3.1 extended the Starling way — functions cannot talk to each
+    /// other, so the store is the network).
+    ///
+    /// Stage 0 executes the shuffled operator's input(s) and spills
+    /// combining/pre-aggregated hash partitions under the attempt's own
+    /// prefix; stage 1 reads the *winning* stage-0 attempt's partition set,
+    /// finishes the operator, and materializes the MV the top plan reads.
+    /// Each stage is a full [`CfRace`] — crash relaunch, straggler
+    /// speculation, degradation — driven by the same loop as the
+    /// single-stage path, with per-stage work from
+    /// [`QueryWork::stage_works`].
+    ///
+    /// Billing: spill PUT/GET traffic is provider-side (priced per GB into
+    /// `provider_shuffle_dollars`), never part of `bytes_scanned`. The user
+    /// bill equals the single-stage path's exactly: stage 0 scans the same
+    /// bytes the single-stage fleet would, stage 1 bills nothing, and the MV
+    /// is byte-identical so the top plan reads the same bytes too.
+    fn run_with_shuffle(
+        &self,
+        plan: &PhysicalPlan,
+        shuffle: ShufflePlan,
+        trace: &TraceCtx,
+    ) -> Result<ExecOutcome> {
+        use std::sync::mpsc;
+
+        let start = Instant::now();
+        let retries_before = self.store.metrics().retries;
+        let mut events: Vec<QueryEvent> = Vec::new();
+        let partitions = shuffle.partitions;
+        let kind = Arc::new(shuffle.kind);
+        let stage_works = QueryWork::from_plan(plan).stage_works();
+        let spill_base = format!("pixels-turbo/intermediate/shuffle-{}/", self.mv_ids.next());
+        // Spill I/O runs under its own chaos/retry stack: the exchange_put /
+        // exchange_get fault sites with the standard object-store backoff.
+        let exchange_store = exchange_stack(
+            self.store.clone(),
+            self.injector.clone(),
+            RetryPolicy::object_store(),
+            WallClock::shared(),
+        );
+
+        // ---- Stage 0: execute inputs, spill hash partitions. ----
+        let (tx0, rx0) = mpsc::channel();
+        let prefixes0: Rc<RefCell<Vec<String>>> = Rc::default();
+        let costs0: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let mut fx0 = {
+            let prefixes0 = prefixes0.clone();
+            let costs0 = costs0.clone();
+            let kind = kind.clone();
+            let exchange_store = exchange_store.clone();
+            let spill_base = spill_base.clone();
+            let tx0 = tx0.clone();
+            FnEffects(move |attempt: u32| {
+                let prefix = format!("{spill_base}s0-a{attempt}/");
+                let faults = policy::decide_launch_faults(
+                    &self.injector,
+                    self.cost_model.startup(),
+                    self.cost_model.nominal_runtime(&stage_works[0]),
+                );
+                costs0
+                    .borrow_mut()
+                    .push(self.cost_model.attempt_cost(&stage_works[0], &faults));
+                self.launch_shuffle_stage0(
+                    attempt,
+                    faults,
+                    &kind,
+                    partitions,
+                    exchange_store.clone(),
+                    prefix.clone(),
+                    trace,
+                    tx0.clone(),
+                );
+                prefixes0.borrow_mut().push(prefix);
+            })
+        };
+        let mut race0 = CfRace::start(self.cfg.speculative_enabled, &mut fx0);
+        let mut on_failed0 = |idx: u32| {
+            // A crash before any write leaves nothing; a storage failure
+            // mid-spill may have left partial partitions — GC either way.
+            let prefix = prefixes0.borrow()[idx as usize].clone();
+            delete_spill_prefix(self.store.as_ref(), &prefix);
+        };
+        let end0 = self.drive_race(
+            &mut race0,
+            &mut fx0,
+            &rx0,
+            self.straggler_wait(&stage_works[0]),
+            &mut events,
+            &mut on_failed0,
+        );
+        drop(fx0);
+        drop(tx0);
+        let mut decisions = race0.decisions.clone();
+        let speculated0 = race0.speculated();
+        let costs0 = costs0.take();
+        let prefixes0 = prefixes0.take();
+        let stage0_artifacts: Vec<ShuffleArtifact> = prefixes0
+            .iter()
+            .cloned()
+            .map(ShuffleArtifact::Spill)
+            .collect();
+
+        let Some((w0, (stage0_metrics, stats0))) = end0.winner else {
+            // Every stage-0 attempt failed: reap outstanding fleets (their
+            // spill prefixes die with them) and degrade the whole query.
+            self.reap_shuffle_attempts(
+                rx0,
+                stage0_artifacts,
+                prefixes0.len() - end0.received,
+                |p: &(ExecMetricsSnapshot, ExchangeStats)| (p.0.bytes_scanned, p.1),
+            );
+            return self.degrade_to_vm_path(
+                plan,
+                trace,
+                events,
+                decisions,
+                end0.last_err,
+                costs0.iter().sum(),
+                ExchangeStats::default(),
+            );
+        };
+        if speculated0 {
+            events.push(QueryEvent::SpeculativeWin { attempt: w0 });
+        }
+        let winner_prefix = prefixes0[w0 as usize].clone();
+        // Stage-0 losers still in flight are drained (and their spill
+        // prefixes deleted) in the background.
+        self.reap_shuffle_attempts(
+            rx0,
+            stage0_artifacts,
+            prefixes0.len() - end0.received,
+            |p: &(ExecMetricsSnapshot, ExchangeStats)| (p.0.bytes_scanned, p.1),
+        );
+
+        // ---- Stage 1: read the winner's partitions, finish, materialize. ----
+        let (tx1, rx1) = mpsc::channel();
+        let attempts1: Rc<RefCell<Vec<(String, PhysicalPlan)>>> = Rc::default();
+        let costs1: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let mut fx1 = {
+            let attempts1 = attempts1.clone();
+            let costs1 = costs1.clone();
+            let kind = kind.clone();
+            let exchange_store = exchange_store.clone();
+            let winner_prefix = winner_prefix.clone();
+            let tx1 = tx1.clone();
+            FnEffects(move |attempt: u32| {
+                // Each stage-1 attempt materializes to its own MV; the top
+                // plan of the accepted attempt reads it back.
+                let mv_path = self.next_mv_path();
+                let sp = plan_shuffle(plan, &mv_path, partitions)
+                    .expect("plan shuffled for the first attempt");
+                let faults = policy::decide_launch_faults(
+                    &self.injector,
+                    self.cost_model.startup(),
+                    self.cost_model.nominal_runtime(&stage_works[1]),
+                );
+                costs1
+                    .borrow_mut()
+                    .push(self.cost_model.attempt_cost(&stage_works[1], &faults));
+                self.launch_shuffle_stage1(
+                    attempt,
+                    faults,
+                    &kind,
+                    partitions,
+                    exchange_store.clone(),
+                    winner_prefix.clone(),
+                    mv_path.clone(),
+                    trace,
+                    tx1.clone(),
+                );
+                attempts1.borrow_mut().push((mv_path, sp.top_plan));
+            })
+        };
+        let mut race1 = CfRace::start(self.cfg.speculative_enabled, &mut fx1);
+        let mut on_failed1 = |idx: u32| {
+            let path = attempts1.borrow()[idx as usize].0.clone();
+            let _ = self.store.delete(&path);
+            self.footer_cache.invalidate(&path);
+        };
+        let end1 = self.drive_race(
+            &mut race1,
+            &mut fx1,
+            &rx1,
+            self.straggler_wait(&stage_works[1]),
+            &mut events,
+            &mut on_failed1,
+        );
+        drop(fx1);
+        drop(tx1);
+        decisions.extend(race1.decisions.iter().copied());
+        let speculated1 = race1.speculated();
+        let costs1 = costs1.take();
+        let attempts1 = attempts1.take();
+        let stage1_artifacts: Vec<ShuffleArtifact> = attempts1
+            .iter()
+            .map(|(p, _)| ShuffleArtifact::Mv(p.clone()))
+            .collect();
+        let provider_cf_dollars: f64 = costs0.iter().sum::<f64>() + costs1.iter().sum::<f64>();
+
+        let Some((w1, stats1)) = end1.winner else {
+            // Every stage-1 attempt failed. The accepted stage-0 spills have
+            // no reader anymore — GC them now, reap in-flight stage-1 MVs,
+            // and degrade.
+            delete_spill_prefix(self.store.as_ref(), &winner_prefix);
+            self.reap_shuffle_attempts(
+                rx1,
+                stage1_artifacts,
+                attempts1.len() - end1.received,
+                |s: &ExchangeStats| (0, *s),
+            );
+            return self.degrade_to_vm_path(
+                plan,
+                trace,
+                events,
+                decisions,
+                end1.last_err,
+                provider_cf_dollars,
+                stats0,
+            );
+        };
+        if speculated1 {
+            events.push(QueryEvent::SpeculativeWin { attempt: w1 });
+        }
+
+        let (winning_mv, winning_top) = attempts1[w1 as usize].clone();
+        let top_span = trace.span("top_plan");
+        let ctx = self.exec_context(&winning_top, usize::MAX).under(&top_span);
+        let batch = execute_collect(&winning_top, &ctx)?;
+        drop(top_span);
+        // Winner GC: the MV is ephemeral CF output like the single-stage
+        // path's, and the accepted spill prefix has been fully consumed.
+        // Loser attempts clean up after themselves in the reapers.
+        let _ = self.store.delete(&winning_mv);
+        self.footer_cache.invalidate(&winning_mv);
+        if let Some(c) = &self.chunk_cache {
+            c.invalidate_path(&winning_mv);
+        }
+        delete_spill_prefix(self.store.as_ref(), &winner_prefix);
+        self.reap_shuffle_attempts(
+            rx1,
+            stage1_artifacts,
+            attempts1.len() - end1.received,
+            |s: &ExchangeStats| (0, *s),
+        );
+
+        // Billed bytes: stage-0 scans + the top plan's MV read. Stage 1 only
+        // touched spills through its scratch context, so nothing of the
+        // exchange leaks into `bytes_scanned`.
+        let metrics = stage0_metrics.merged(&ctx.metrics.snapshot());
+        self.absorb_exec_metrics(&metrics, true);
+        self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
+        let mut exchange = stats0;
+        exchange.merge(&stats1);
+        self.publish_exchange_metrics(&exchange);
+        let retries = self.storage_retries_since(retries_before);
+        if retries > 0 {
+            events.push(QueryEvent::StorageRetries { count: retries });
+        }
+        Ok(ExecOutcome {
+            batch,
+            used_cf: true,
+            pending: Duration::ZERO,
+            execution: start.elapsed(),
+            bytes_scanned: metrics.bytes_scanned,
+            metrics,
+            events,
+            retries,
+            decisions,
+            // Accepted execution: the winning fleet of each stage.
+            resource_cost: CostBreakdown {
+                vm_dollars: 0.0,
+                cf_dollars: costs0[w0 as usize] + costs1[w1 as usize],
+            },
+            provider_cf_dollars,
+            provider_shuffle_dollars: self.pricing.exchange_cost(exchange.total_bytes()),
+            exchange,
+        })
+    }
+
+    /// Launch one stage-0 shuffle fleet: execute the shuffled operator's
+    /// input(s) with the fleet's parallelism, then spill hash partitions
+    /// under the attempt's prefix through the exchange (chaos/retry) stack.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_shuffle_stage0(
+        &self,
+        attempt: u32,
+        faults: LaunchFaults,
+        kind: &Arc<ShuffleKind>,
+        partitions: usize,
+        exchange_store: ObjectStoreRef,
+        prefix: String,
+        trace: &TraceCtx,
+        tx: std::sync::mpsc::Sender<(u32, Result<(ExecMetricsSnapshot, ExchangeStats)>)>,
+    ) {
+        let registry = self.registry.clone();
+        let kind = kind.clone();
+        let mut fleet_span = trace.span("cf_fleet");
+        fleet_span.record_u64("attempt", attempt as u64);
+        fleet_span.record_u64("stage", 0);
+        // Contexts are built on the caller thread (they borrow engine state);
+        // a join stage executes each input under its own context and merges.
+        let ctxs: Vec<ExecContext> = match kind.as_ref() {
+            ShuffleKind::Aggregate { input, .. } => vec![self
+                .exec_context(input, self.cfg.cf_fleet_threads)
+                .under(&fleet_span)],
+            ShuffleKind::Join { left, right, .. } => vec![
+                self.exec_context(left, self.cfg.cf_fleet_threads)
+                    .under(&fleet_span),
+                self.exec_context(right, self.cfg.cf_fleet_threads)
+                    .under(&fleet_span),
+            ],
+        };
+        std::thread::spawn(move || {
+            let span = fleet_span;
+            let result = (|| -> Result<(ExecMetricsSnapshot, ExchangeStats)> {
+                if faults.extra_startup.as_micros() > 0 {
+                    std::thread::sleep(Duration::from_micros(faults.extra_startup.as_micros()));
+                }
+                if faults.crash {
+                    return Err(Error::Exec(format!(
+                        "injected CF worker crash (attempt {attempt})"
+                    )));
+                }
+                if faults.straggle.as_micros() > 0 {
+                    std::thread::sleep(Duration::from_micros(faults.straggle.as_micros()));
+                }
+                match kind.as_ref() {
+                    ShuffleKind::Aggregate {
+                        input,
+                        group_exprs,
+                        aggs,
+                        ..
+                    } => {
+                        let ctx = &ctxs[0];
+                        let batches = execute(input, ctx)?;
+                        let mut spill_span = ctx.trace.span("exchange_spill");
+                        let stats = exchange::write_agg_partitions(
+                            &batches,
+                            group_exprs,
+                            aggs,
+                            ctx.parallelism,
+                            exchange_store.as_ref(),
+                            &prefix,
+                            partitions,
+                        )?;
+                        // `bytes_spilled`, never `bytes`: spill PUTs are
+                        // provider traffic, and the span byte sum must still
+                        // equal `bytes_scanned` exactly.
+                        spill_span.record_u64("bytes_spilled", stats.put_bytes);
+                        Ok((ctx.metrics.snapshot(), stats))
+                    }
+                    ShuffleKind::Join {
+                        left,
+                        right,
+                        left_keys,
+                        right_keys,
+                        ..
+                    } => {
+                        let lb = execute(left, &ctxs[0])?;
+                        let rb = execute(right, &ctxs[1])?;
+                        let mut spill_span = ctxs[0].trace.span("exchange_spill");
+                        let mut stats = exchange::write_join_partitions(
+                            &lb,
+                            &left.schema(),
+                            left_keys,
+                            JoinSide::Left,
+                            exchange_store.as_ref(),
+                            &prefix,
+                            partitions,
+                        )?;
+                        let rs = exchange::write_join_partitions(
+                            &rb,
+                            &right.schema(),
+                            right_keys,
+                            JoinSide::Right,
+                            exchange_store.as_ref(),
+                            &prefix,
+                            partitions,
+                        )?;
+                        stats.merge(&rs);
+                        spill_span.record_u64("bytes_spilled", stats.put_bytes);
+                        Ok((
+                            ctxs[0]
+                                .metrics
+                                .snapshot()
+                                .merged(&ctxs[1].metrics.snapshot()),
+                            stats,
+                        ))
+                    }
+                }
+            })();
+            for ctx in &ctxs {
+                absorb_prefetch_metrics(&registry, &ctx.metrics.pipeline_snapshot());
+            }
+            // Finish the span before handing over the result: the race
+            // winner's trace may be rendered the moment the send lands.
+            drop(span);
+            let _ = tx.send((attempt, result));
+        });
+    }
+
+    /// Launch one stage-1 shuffle fleet: read the winning stage-0 attempt's
+    /// partition set back through the exchange stack (scratch contexts —
+    /// spill GETs are never billed), finish the shuffled operator, and
+    /// materialize the attempt's MV for the top plan.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_shuffle_stage1(
+        &self,
+        attempt: u32,
+        faults: LaunchFaults,
+        kind: &Arc<ShuffleKind>,
+        partitions: usize,
+        exchange_store: ObjectStoreRef,
+        source_prefix: String,
+        mv_path: String,
+        trace: &TraceCtx,
+        tx: std::sync::mpsc::Sender<(u32, Result<ExchangeStats>)>,
+    ) {
+        let store = self.store.clone();
+        let kind = kind.clone();
+        // The same chunking the in-process join uses, so the MV's batches —
+        // and therefore its bytes — are identical to the single-stage path.
+        let batch_size = ExecContext::new(self.store.clone()).batch_size;
+        let mut fleet_span = trace.span("cf_fleet");
+        fleet_span.record_u64("attempt", attempt as u64);
+        fleet_span.record_u64("stage", 1);
+        std::thread::spawn(move || {
+            let mut span = fleet_span;
+            let result = (|| -> Result<ExchangeStats> {
+                if faults.extra_startup.as_micros() > 0 {
+                    std::thread::sleep(Duration::from_micros(faults.extra_startup.as_micros()));
+                }
+                if faults.crash {
+                    return Err(Error::Exec(format!(
+                        "injected CF worker crash (attempt {attempt})"
+                    )));
+                }
+                if faults.straggle.as_micros() > 0 {
+                    std::thread::sleep(Duration::from_micros(faults.straggle.as_micros()));
+                }
+                let (batches, stats) = match kind.as_ref() {
+                    ShuffleKind::Aggregate {
+                        group_exprs,
+                        aggs,
+                        output_schema,
+                        ..
+                    } => exchange::read_agg_partitions(
+                        &exchange_store,
+                        &source_prefix,
+                        partitions,
+                        group_exprs,
+                        aggs,
+                        output_schema,
+                    )?,
+                    ShuffleKind::Join {
+                        left,
+                        right,
+                        join_type,
+                        left_keys,
+                        right_keys,
+                        residual,
+                        output_schema,
+                    } => exchange::read_join_partitions(
+                        &exchange_store,
+                        &source_prefix,
+                        partitions,
+                        *join_type,
+                        left_keys,
+                        right_keys,
+                        residual.as_ref(),
+                        output_schema,
+                        &left.schema(),
+                        &right.schema(),
+                        batch_size,
+                    )?,
+                };
+                span.record_u64("spill_bytes_read", stats.get_bytes);
+                let written =
+                    materialize(store.as_ref(), &mv_path, kind.output_schema(), &batches)?;
+                span.record_u64("bytes_written", written);
+                Ok(stats)
+            })();
+            // Finish the span before handing over the result: the race
+            // winner's trace may be rendered the moment the send lands.
+            drop(span);
+            let _ = tx.send((attempt, result));
+        });
+    }
+
+    /// Drain shuffle stage attempts still in flight after their race is
+    /// decided: account wasted scan bytes, publish loser exchange traffic to
+    /// the telemetry counters (provider dollars only ever price *accepted*
+    /// attempts, keeping bills deterministic), and delete each attempt's
+    /// artifact — spill prefix or MV. Runs detached like
+    /// [`reap_stale_attempts`](Self::reap_stale_attempts).
+    fn reap_shuffle_attempts<T: Send + 'static>(
+        &self,
+        rx: std::sync::mpsc::Receiver<(u32, Result<T>)>,
+        artifacts: Vec<ShuffleArtifact>,
+        outstanding: usize,
+        stats_of: fn(&T) -> (u64, ExchangeStats),
+    ) {
+        if outstanding == 0 {
+            return;
+        }
+        let store = self.store.clone();
+        let cache = self.footer_cache.clone();
+        let chunk_cache = self.chunk_cache.clone();
+        let registry = self.registry.clone();
+        std::thread::spawn(move || {
+            for (idx, result) in rx {
+                if let Ok(payload) = result {
+                    let (wasted, stats) = stats_of(&payload);
+                    registry
+                        .counter(
+                            "pixels_turbo_speculative_wasted_bytes_total",
+                            "Bytes scanned by cancelled speculative CF attempts \
+                             (provider-side cost, never billed to the query)",
+                        )
+                        .add(wasted);
+                    publish_exchange_metrics_to(&registry, &stats);
+                }
+                match artifacts.get(idx as usize) {
+                    Some(ShuffleArtifact::Spill(prefix)) => {
+                        delete_spill_prefix(store.as_ref(), prefix)
+                    }
+                    Some(ShuffleArtifact::Mv(path)) => {
+                        let _ = store.delete(path);
+                        cache.invalidate(path);
+                        if let Some(c) = &chunk_cache {
+                            c.invalidate_path(path);
+                        }
+                    }
+                    None => {}
+                }
+            }
+        });
+    }
+
+    /// Add accepted exchange traffic to the `pixels_exchange_*` families.
+    fn publish_exchange_metrics(&self, s: &ExchangeStats) {
+        publish_exchange_metrics_to(&self.registry, s);
     }
 
     /// Publish one query's execution counters into the engine's registry —
@@ -1013,6 +1668,9 @@ impl TurboEngine {
             )
             .add(1);
         }
+        // Ensure the exchange families exist even before the first shuffle,
+        // so `/metrics` gates can require them unconditionally.
+        publish_exchange_metrics_to(r, &ExchangeStats::default());
     }
 
     /// Publish one execution context's scan-pipeline counters (prefetcher
@@ -1119,8 +1777,10 @@ struct EngineEffects<'a> {
     /// The initial split, computed by the caller before deciding on the CF
     /// path; relaunches re-split the plan with a fresh MV path.
     first_split: Option<pixels_planner::SplitPlan>,
-    attempts: Vec<pixels_planner::SplitPlan>,
-    attempt_costs: Vec<f64>,
+    /// Shared with the race driver's failure handler, which needs the MV
+    /// path of whichever attempt just failed.
+    attempts: Rc<RefCell<Vec<pixels_planner::SplitPlan>>>,
+    attempt_costs: Rc<RefCell<Vec<f64>>>,
 }
 
 impl CfEffects for EngineEffects<'_> {
@@ -1138,10 +1798,11 @@ impl CfEffects for EngineEffects<'_> {
             self.engine.cost_model.nominal_runtime(&self.work),
         );
         self.attempt_costs
+            .borrow_mut()
             .push(self.engine.cost_model.attempt_cost(&self.work, &faults));
         self.engine
             .launch_cf_attempt(attempt, faults, &split, self.trace, self.tx.clone());
-        self.attempts.push(split);
+        self.attempts.borrow_mut().push(split);
     }
 
     fn cancel_losers(&mut self, _winner: u32) {
@@ -1153,6 +1814,78 @@ impl CfEffects for EngineEffects<'_> {
         // The VM fallback runs on the caller thread once the race loop
         // observes `Decision::Degrade`.
     }
+}
+
+/// Closure-backed effect handler for shuffle stage races: all the launch
+/// bookkeeping (fault draw, cost accrual, thread spawn) lives in the stage's
+/// launch closure; cancel/degrade are no-ops for the same reasons as
+/// [`EngineEffects`].
+struct FnEffects<F: FnMut(u32)>(F);
+
+impl<F: FnMut(u32)> CfEffects for FnEffects<F> {
+    fn launch(&mut self, attempt: u32) {
+        (self.0)(attempt)
+    }
+    fn cancel_losers(&mut self, _winner: u32) {}
+    fn degrade_to_vm(&mut self) {}
+}
+
+/// How one [`CfRace`] ended, from the driver's perspective.
+struct RaceEnd<T> {
+    /// The accepted attempt and its payload, if any attempt succeeded.
+    winner: Option<(u32, T)>,
+    /// Attempt results received (success + failures); the rest are still in
+    /// flight and must be reaped.
+    received: usize,
+    last_err: Option<Error>,
+}
+
+/// Cleanup target of one in-flight shuffle attempt: a stage-0 attempt owns a
+/// spill prefix, a stage-1 attempt owns an MV.
+enum ShuffleArtifact {
+    Spill(String),
+    Mv(String),
+}
+
+/// Best-effort deletion of every object under a spill prefix (stage attempt
+/// GC). Spills are plain objects on the engine store, so listing the prefix
+/// sees exactly what the attempt wrote.
+fn delete_spill_prefix(store: &dyn ObjectStore, prefix: &str) {
+    if let Ok(paths) = store.list(prefix) {
+        for p in paths {
+            let _ = store.delete(&p);
+        }
+    }
+}
+
+/// Add one stage attempt's exchange traffic to the cumulative
+/// `pixels_exchange_*_total` families. A free function so reaper threads can
+/// publish loser traffic too.
+fn publish_exchange_metrics_to(registry: &MetricsRegistry, s: &ExchangeStats) {
+    registry
+        .counter(
+            "pixels_exchange_partitions_total",
+            "Hash partitions written across object-store exchanges",
+        )
+        .add(s.partitions);
+    registry
+        .counter(
+            "pixels_exchange_put_bytes_total",
+            "Bytes PUT as exchange spill objects (provider-side, never billed)",
+        )
+        .add(s.put_bytes);
+    registry
+        .counter(
+            "pixels_exchange_get_bytes_total",
+            "Bytes GET reading exchange spill objects back (provider-side, never billed)",
+        )
+        .add(s.get_bytes);
+    registry
+        .counter(
+            "pixels_exchange_spilled_rows_total",
+            "Rows that crossed an object-store exchange (post-combining)",
+        )
+        .add(s.spilled_rows);
 }
 
 fn text_batch<'a>(column: &str, lines: impl Iterator<Item = &'a str>) -> RecordBatch {
@@ -1177,6 +1910,8 @@ fn meta_outcome(batch: RecordBatch) -> ExecOutcome {
         decisions: Vec::new(),
         resource_cost: CostBreakdown::default(),
         provider_cf_dollars: 0.0,
+        exchange: ExchangeStats::default(),
+        provider_shuffle_dollars: 0.0,
     }
 }
 
@@ -1268,6 +2003,168 @@ mod tests {
         assert!(accelerated.used_cf, "should have used CF acceleration");
         assert_eq!(accelerated.batch, direct.batch, "results must be identical");
         blocker.join().unwrap();
+    }
+
+    /// Build a 1-slot engine whose CF path runs shuffled two-stage plans
+    /// with the given exchange fan-out, returning the store for spill-GC
+    /// checks.
+    fn shuffle_engine(partitions: usize) -> (TurboEngine, ObjectStoreRef) {
+        let catalog = Catalog::shared();
+        let store = InMemoryObjectStore::shared();
+        load_tpch(
+            &catalog,
+            store.as_ref(),
+            "tpch",
+            &TpchConfig {
+                scale: 0.0005,
+                seed: 1,
+                row_group_rows: 512,
+                files_per_table: 1,
+            },
+        )
+        .unwrap();
+        let e = TurboEngine::new(
+            catalog,
+            store.clone(),
+            EngineConfig {
+                vm_slots: 1,
+                cf_fleet_threads: 2,
+                exchange_partitions: partitions,
+                ..EngineConfig::default()
+            },
+        );
+        (e, store)
+    }
+
+    /// The reapers delete spill prefixes from detached threads; poll until
+    /// the intermediate namespace is empty.
+    fn assert_no_spills(store: &ObjectStoreRef) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let leaked = store.list("pixels-turbo/intermediate/").unwrap();
+            if leaked.is_empty() {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "leaked spill objects: {leaked:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn shuffled_plan_matches_single_stage_bit_for_bit() {
+        let agg = "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+                   GROUP BY o_orderstatus ORDER BY n DESC";
+        let join = "SELECT c_name, o_orderkey FROM customer \
+                    JOIN orders ON c_custkey = o_custkey \
+                    ORDER BY o_orderkey, c_name LIMIT 20";
+        for sql in [agg, join] {
+            // Reference: single-stage CF on a plain engine.
+            let single = Arc::new(engine(1));
+            let direct = single.execute_sql("tpch", sql, false).unwrap();
+            let single_out =
+                with_saturated_slot(&single, || single.execute_sql("tpch", sql, true).unwrap());
+            assert!(single_out.used_cf, "{sql}");
+
+            // Same query as a two-stage plan with a 4-way exchange. Warm the
+            // chunk cache with the same VM run the reference engine did, so
+            // both CF paths see identical cache state and billed bytes are
+            // comparable.
+            let (shuffled, store) = shuffle_engine(4);
+            let shuffled = Arc::new(shuffled);
+            let shuffled_direct = shuffled.execute_sql("tpch", sql, false).unwrap();
+            assert_eq!(shuffled_direct.batch, direct.batch, "{sql}");
+            let out = with_saturated_slot(&shuffled, || {
+                shuffled.execute_sql("tpch", sql, true).unwrap()
+            });
+            assert!(out.used_cf, "{sql}");
+            assert_eq!(out.batch, direct.batch, "{sql}: vs VM");
+            assert_eq!(out.batch, single_out.batch, "{sql}: vs single-stage CF");
+            // Equal user bills: billed bytes never include exchange traffic.
+            assert_eq!(out.bytes_scanned, single_out.bytes_scanned, "{sql}");
+            // Two clean races, one per stage.
+            assert_eq!(
+                out.decisions,
+                vec![
+                    Decision::DispatchCf { attempt: 0 },
+                    Decision::Accept { attempt: 0 },
+                    Decision::DispatchCf { attempt: 0 },
+                    Decision::Accept { attempt: 0 },
+                ],
+                "{sql}"
+            );
+            assert_eq!(out.exchange.partitions, 4, "{sql}");
+            assert!(
+                out.exchange.put_bytes > 0 && out.exchange.get_bytes > 0,
+                "{sql}"
+            );
+            assert!(out.exchange.spilled_rows > 0, "{sql}");
+            assert!(out.provider_shuffle_dollars > 0.0, "{sql}");
+            assert!(
+                out.provider_cf_dollars > single_out.provider_cf_dollars,
+                "{sql}: two stages must cost the provider more than one"
+            );
+            assert_no_spills(&store);
+        }
+    }
+
+    #[test]
+    fn partition_count_one_degenerates_to_single_stage() {
+        // exchange_partitions = 1 must take the exact single-stage path.
+        let (e, store) = shuffle_engine(1);
+        let e = Arc::new(e);
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+        let out = with_saturated_slot(&e, || e.execute_sql("tpch", sql, true).unwrap());
+        assert!(out.used_cf);
+        assert_eq!(out.batch, direct.batch);
+        assert_eq!(out.exchange, ExchangeStats::default());
+        assert_eq!(out.provider_shuffle_dollars, 0.0);
+        assert_eq!(
+            out.decisions,
+            vec![
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+            ]
+        );
+        assert_no_spills(&store);
+    }
+
+    #[test]
+    fn shuffled_stage_crash_relaunches_and_gc_leaves_no_spills() {
+        use pixels_chaos::{FaultPlan, FaultSite, SiteSpec};
+        let registry = MetricsRegistry::shared();
+        // Exactly one CF crash: stage 0's first fleet dies, its relaunch and
+        // all of stage 1 run clean.
+        let plan = FaultPlan::none(42).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1));
+        let (e, store) = shuffle_engine(4);
+        let e = Arc::new(
+            e.with_registry(registry.clone())
+                .with_chaos(Arc::new(FaultInjector::new(&plan))),
+        );
+        let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let direct = e.execute_sql("tpch", sql, false).unwrap();
+        let out = with_saturated_slot(&e, || e.execute_sql("tpch", sql, true).unwrap());
+        assert!(out.used_cf);
+        assert_eq!(out.batch, direct.batch);
+        assert_eq!(
+            out.decisions,
+            vec![
+                Decision::DispatchCf { attempt: 0 },
+                Decision::AttemptFailed { attempt: 0 },
+                Decision::Relaunch { attempt: 1 },
+                Decision::Accept { attempt: 1 },
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+            ]
+        );
+        assert_eq!(
+            registry.counter("pixels_turbo_cf_crashes_total", "").get(),
+            1
+        );
+        assert_no_spills(&store);
     }
 
     #[test]

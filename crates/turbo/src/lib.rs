@@ -28,6 +28,6 @@ pub use cf_service::{CfConfig, CfRun, CfService, LaunchFaults};
 pub use coordinator::{Coordinator, FaultStats, QueryCompletion};
 pub use engine::{EngineConfig, ExecOutcome, QueryEvent, TurboEngine};
 pub use model::QueryWork;
-pub use pixels_exec::ExecMetricsSnapshot;
+pub use pixels_exec::{ExchangeStats, ExecMetricsSnapshot};
 pub use policy::{CfCostModel, CfEffects, CfRace, Decision, RaceInput, MAX_CF_ATTEMPTS};
 pub use vm_cluster::{VmCluster, VmCompletion, VmConfig};

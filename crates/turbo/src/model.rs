@@ -65,6 +65,24 @@ impl QueryWork {
         }
     }
 
+    /// Per-stage work of a two-stage exchange plan derived from the full
+    /// plan's work. Stage 0 (scan + partial operator + spill) carries the
+    /// whole scan and the bulk of the CPU; stage 1 (read partitions +
+    /// finish + materialize) reads only combined intermediates — no billed
+    /// scan bytes and a quarter of the CPU. Both the real engine and the
+    /// simulator derive stage attempt costs from this same split, so staged
+    /// provider dollars agree bit-for-bit.
+    pub fn stage_works(&self) -> [QueryWork; 2] {
+        [
+            *self,
+            QueryWork {
+                scan_bytes: 0,
+                cpu_seconds: (self.cpu_seconds * 0.25).max(0.01),
+                parallelism: self.parallelism,
+            },
+        ]
+    }
+
     /// Ideal execution time when `cores` cores are dedicated to the query,
     /// with a small non-parallelizable fraction (Amdahl).
     pub fn exec_time_on_cores(&self, cores: f64) -> SimDuration {

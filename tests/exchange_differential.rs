@@ -1,0 +1,330 @@
+//! Differential tests for two-stage exchange (shuffle) CF plans.
+//!
+//! A multi-stage plan hash-partitions intermediate state through the object
+//! store between CF stages. That must be invisible everywhere a user can
+//! look: every TPC-H join/agg template that shuffles produces the same rows
+//! (and, under ORDER BY, the same order) as the single-stage CF path, the
+//! direct VM path, and the row-at-a-time scalar oracle — and bills the same
+//! bytes, because exchange traffic is provider-side. Edge cases (empty
+//! partitions, single-group skew, partition count 1) get dedicated tests,
+//! and every run asserts the spill namespace is left empty.
+
+use pixelsdb::catalog::Catalog;
+use pixelsdb::common::{RecordBatch, Value};
+use pixelsdb::exec::{scalar, ExecContext};
+use pixelsdb::planner::{plan_query, plan_shuffle};
+use pixelsdb::storage::{InMemoryObjectStore, ObjectStoreRef};
+use pixelsdb::turbo::{Decision, EngineConfig, ExchangeStats, TurboEngine};
+use pixelsdb::workload::{all_queries, load_tpch, TpchConfig};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fixture() -> (Arc<Catalog>, ObjectStoreRef) {
+    let catalog = Catalog::shared();
+    let store: ObjectStoreRef = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.001,
+            seed: 11,
+            row_group_rows: 512,
+            files_per_table: 2,
+        },
+    )
+    .unwrap();
+    (catalog, store)
+}
+
+/// A fresh engine over its own copy of the fixture, so billed bytes are
+/// metered from identical cold caches on every engine compared.
+fn engine_with(partitions: usize) -> (Arc<TurboEngine>, ObjectStoreRef) {
+    let (catalog, store) = fixture();
+    let engine = TurboEngine::new(
+        catalog,
+        store.clone(),
+        EngineConfig {
+            vm_slots: 1,
+            cf_fleet_threads: 2,
+            exchange_partitions: partitions,
+            ..EngineConfig::default()
+        },
+    );
+    (Arc::new(engine), store)
+}
+
+/// Saturate the engine's single VM slot for the duration of `f`, so the
+/// query submitted inside dispatches to the CF tier.
+fn on_cf<T>(e: &Arc<TurboEngine>, f: impl FnOnce() -> T) -> T {
+    let blocker_engine = e.clone();
+    let blocker = std::thread::spawn(move || {
+        blocker_engine
+            .execute_sql(
+                "tpch",
+                "SELECT COUNT(*) FROM lineitem CROSS JOIN nation",
+                false,
+            )
+            .unwrap()
+    });
+    while !e.is_busy() {
+        std::thread::yield_now();
+    }
+    let r = f();
+    blocker.join().unwrap();
+    r
+}
+
+/// The reapers delete spill prefixes from detached threads; poll until the
+/// intermediate namespace is empty.
+fn assert_no_spills(store: &ObjectStoreRef, label: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let leaked = store.list("pixels-turbo/intermediate/").unwrap();
+        if leaked.is_empty() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{label}: leaked spill objects: {leaked:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Run `sql` through the scalar (row-at-a-time) oracle on its own fixture.
+fn scalar_oracle_rows(sql: &str) -> Vec<Vec<Value>> {
+    let (catalog, store) = fixture();
+    let plan = plan_query(&catalog, "tpch", sql).unwrap();
+    let ctx = ExecContext::new(store);
+    let batches = scalar::execute(&plan, &ctx).unwrap();
+    batches.iter().flat_map(|b| b.to_rows()).collect()
+}
+
+fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    });
+    rows
+}
+
+/// Exact equality, except floats may differ by a relative 1e-9: two-stage
+/// partial aggregation reassociates float additions across partitions.
+fn values_equivalent(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_rows_equivalent(label: &str, got: &[Vec<Value>], expect: &[Vec<Value>]) {
+    assert_eq!(
+        got.len(),
+        expect.len(),
+        "{label}: row count diverged ({} vs {})",
+        got.len(),
+        expect.len()
+    );
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert!(
+            g.len() == e.len() && g.iter().zip(e.iter()).all(|(a, b)| values_equivalent(a, b)),
+            "{label}: row {i} diverged:\n  got:    {g:?}\n  expect: {e:?}"
+        );
+    }
+}
+
+/// Rows of a batch, order-preserved when the query pins order, canonically
+/// sorted otherwise (ORDER BY-less group order is partition-major after a
+/// shuffle, chunk-major on the single-stage path — both are valid answers).
+fn comparable_rows(batch: &RecordBatch, sql: &str) -> Vec<Vec<Value>> {
+    let rows = batch.to_rows();
+    if sql.contains("ORDER BY") {
+        rows
+    } else {
+        canonical(rows)
+    }
+}
+
+/// Every TPC-H template whose plan admits a shuffle cut must produce
+/// identical rows (and order, under ORDER BY) and identical billed bytes on
+/// the two-stage exchange path, the single-stage CF path, and the scalar
+/// oracle. The exchange itself must be visible only in provider-side stats.
+#[test]
+fn shuffled_templates_match_single_stage_and_scalar_oracle() {
+    let (catalog, _store) = fixture();
+    let shuffleable: Vec<_> = all_queries()
+        .into_iter()
+        .filter(|q| q.database == "tpch")
+        .filter(|q| {
+            let plan = plan_query(&catalog, "tpch", q.sql).unwrap();
+            plan_shuffle(&plan, "pixels-turbo/intermediate/probe/mv.pxl", 4).is_some()
+        })
+        .collect();
+    assert!(
+        shuffleable.len() >= 3,
+        "expected several shuffleable join/agg templates, got {}",
+        shuffleable.len()
+    );
+
+    for q in &shuffleable {
+        let oracle = scalar_oracle_rows(q.sql);
+
+        // Reference: single-stage CF. The direct VM run doubles as the cache
+        // warm-up both engines need for comparable billed bytes.
+        let (single, single_store) = engine_with(1);
+        let direct = single.execute_sql("tpch", q.sql, false).unwrap();
+        let single_out = on_cf(&single, || single.execute_sql("tpch", q.sql, true).unwrap());
+        assert!(single_out.used_cf, "{}", q.id);
+
+        let (shuffled, store) = engine_with(4);
+        let shuffled_direct = shuffled.execute_sql("tpch", q.sql, false).unwrap();
+        assert_eq!(shuffled_direct.batch, direct.batch, "{}", q.id);
+        let out = on_cf(&shuffled, || {
+            shuffled.execute_sql("tpch", q.sql, true).unwrap()
+        });
+        assert!(out.used_cf, "{}", q.id);
+
+        let got = comparable_rows(&out.batch, q.sql);
+        assert_rows_equivalent(
+            &format!("{} vs scalar oracle", q.id),
+            &got,
+            &if q.sql.contains("ORDER BY") {
+                oracle
+            } else {
+                canonical(oracle)
+            },
+        );
+        assert_rows_equivalent(
+            &format!("{} vs single-stage CF", q.id),
+            &got,
+            &comparable_rows(&single_out.batch, q.sql),
+        );
+        assert_rows_equivalent(
+            &format!("{} vs direct VM", q.id),
+            &got,
+            &comparable_rows(&direct.batch, q.sql),
+        );
+
+        // Equal user bills: the exchange is provider-side only.
+        assert_eq!(
+            out.bytes_scanned, single_out.bytes_scanned,
+            "{}: billed bytes diverged between shuffled and single-stage",
+            q.id
+        );
+        assert_eq!(out.exchange.partitions, 4, "{}", q.id);
+        assert!(out.exchange.put_bytes > 0, "{}", q.id);
+        assert!(out.provider_shuffle_dollars > 0.0, "{}", q.id);
+        assert_eq!(single_out.exchange, ExchangeStats::default(), "{}", q.id);
+        assert_no_spills(&store, q.id);
+        assert_no_spills(&single_store, q.id);
+    }
+}
+
+/// All-empty and mostly-empty partition sets: a predicate selecting zero
+/// rows leaves every partition empty; three order statuses fanned out 16
+/// ways leave at least 13 empty. Both must round-trip the exchange exactly.
+#[test]
+fn empty_partitions_round_trip() {
+    // Zero input rows: every partition file is empty.
+    let zero = "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+                WHERE o_orderkey < 0 GROUP BY o_orderstatus";
+    let (e, store) = engine_with(8);
+    let direct = e.execute_sql("tpch", zero, false).unwrap();
+    assert_eq!(direct.batch.num_rows(), 0);
+    let out = on_cf(&e, || e.execute_sql("tpch", zero, true).unwrap());
+    assert!(out.used_cf);
+    assert_eq!(out.batch, direct.batch);
+    assert_eq!(out.exchange.partitions, 8);
+    assert_eq!(
+        out.exchange.spilled_rows, 0,
+        "no rows may cross an exchange"
+    );
+    assert_no_spills(&store, "zero-row shuffle");
+
+    // Far more partitions than groups: most partition files are empty.
+    let sparse = "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+                  GROUP BY o_orderstatus ORDER BY n DESC";
+    let (e, store) = engine_with(16);
+    let direct = e.execute_sql("tpch", sparse, false).unwrap();
+    let out = on_cf(&e, || e.execute_sql("tpch", sparse, true).unwrap());
+    assert!(out.used_cf);
+    assert_eq!(out.batch, direct.batch);
+    assert_eq!(out.exchange.partitions, 16);
+    assert!(
+        out.exchange.spilled_rows <= 3,
+        "one combined row per group, got {}",
+        out.exchange.spilled_rows
+    );
+    assert_no_spills(&store, "sparse shuffle");
+}
+
+/// Maximal skew: a single surviving group (and a single join key) sends all
+/// traffic to one partition. Results must still match the VM path exactly.
+#[test]
+fn skewed_partitions_round_trip() {
+    let skewed_agg = "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+                      WHERE o_orderstatus = 'F' GROUP BY o_orderstatus";
+    let (e, store) = engine_with(8);
+    let direct = e.execute_sql("tpch", skewed_agg, false).unwrap();
+    assert_eq!(direct.batch.num_rows(), 1, "fixture must have 'F' orders");
+    let out = on_cf(&e, || e.execute_sql("tpch", skewed_agg, true).unwrap());
+    assert!(out.used_cf);
+    assert_eq!(out.batch, direct.batch);
+    assert_eq!(
+        out.exchange.spilled_rows, 1,
+        "one group must combine into one spilled row"
+    );
+    assert_no_spills(&store, "skewed agg shuffle");
+
+    let skewed_join = "SELECT c_name, o_orderkey FROM customer \
+                       JOIN orders ON c_custkey = o_custkey \
+                       WHERE c_custkey = 1 ORDER BY o_orderkey";
+    let (e, store) = engine_with(8);
+    let direct = e.execute_sql("tpch", skewed_join, false).unwrap();
+    let out = on_cf(&e, || e.execute_sql("tpch", skewed_join, true).unwrap());
+    assert!(out.used_cf);
+    assert_eq!(out.batch, direct.batch);
+    assert_no_spills(&store, "skewed join shuffle");
+}
+
+/// `exchange_partitions = 1` must degenerate to the single-stage plan
+/// bit-identically: same batch, same billed bytes, same decision sequence,
+/// zero exchange stats, and nothing ever written under the spill prefix.
+#[test]
+fn partition_count_one_is_bit_identical_to_single_stage() {
+    let sql = "SELECT o_orderstatus, COUNT(*) AS n FROM orders \
+               GROUP BY o_orderstatus ORDER BY n DESC";
+
+    let (single, _) = engine_with(1);
+    let direct = single.execute_sql("tpch", sql, false).unwrap();
+    let single_out = on_cf(&single, || single.execute_sql("tpch", sql, true).unwrap());
+
+    let (degenerate, store) = engine_with(1);
+    let degenerate_direct = degenerate.execute_sql("tpch", sql, false).unwrap();
+    assert_eq!(degenerate_direct.batch, direct.batch);
+    let out = on_cf(&degenerate, || {
+        degenerate.execute_sql("tpch", sql, true).unwrap()
+    });
+
+    assert!(out.used_cf);
+    assert_eq!(out.batch, single_out.batch);
+    assert_eq!(out.bytes_scanned, single_out.bytes_scanned);
+    assert_eq!(out.exchange, ExchangeStats::default());
+    assert_eq!(out.provider_shuffle_dollars, 0.0);
+    assert_eq!(
+        out.decisions,
+        vec![
+            Decision::DispatchCf { attempt: 0 },
+            Decision::Accept { attempt: 0 },
+        ]
+    );
+    assert!(store.list("pixels-turbo/intermediate/").unwrap().is_empty());
+}

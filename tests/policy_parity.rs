@@ -80,3 +80,43 @@ fn straggler_speculation_agrees_between_sim_and_real() {
         "the straggling loser still costs the provider money"
     );
 }
+
+#[test]
+fn shuffle_stages_agree_between_sim_and_real() {
+    let scenarios = parity::scenarios();
+    let clean = parity::run_scenario(&scenarios[5]);
+    assert_eq!(
+        labels(&clean.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "Accept { attempt: 0 }",
+            "DispatchCf { attempt: 0 }",
+            "Accept { attempt: 0 }"
+        ],
+        "one clean race per exchange stage"
+    );
+    assert!(clean.shuffle_dollars > 0.0, "spill traffic must be priced");
+    assert_eq!(
+        clean.resource_cost.cf_dollars, clean.provider_cf_dollars,
+        "two clean stages bill exactly their accepted fleets"
+    );
+
+    let crash = parity::run_scenario(&scenarios[6]);
+    assert_eq!(
+        labels(&crash.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "AttemptFailed { attempt: 0 }",
+            "Relaunch { attempt: 1 }",
+            "Accept { attempt: 1 }",
+            "DispatchCf { attempt: 0 }",
+            "Accept { attempt: 0 }"
+        ],
+        "the crash stays inside stage 0's race"
+    );
+    assert!(
+        crash.provider_cf_dollars > crash.resource_cost.cf_dollars,
+        "the crashed stage-0 fleet still costs the provider money"
+    );
+    assert!(crash.shuffle_dollars > 0.0);
+}
