@@ -22,8 +22,8 @@ use pixels_server::{PriceSchedule, ServiceLevel};
 use pixels_sim::{SimDuration, SimTime};
 use pixels_storage::InMemoryObjectStore;
 use pixels_turbo::{
-    CfConfig, Coordinator, CostBreakdown, Decision, EngineConfig, QueryWork, ResourcePricing,
-    TurboEngine, VmConfig,
+    CfConfig, CfCostModel, Coordinator, CostBreakdown, Decision, EngineConfig, QueryWork,
+    ResourcePricing, TurboEngine, VmConfig,
 };
 use pixels_workload::{load_tpch, QueryClass, TpchConfig};
 use std::sync::Arc;
@@ -39,7 +39,10 @@ pub struct Scenario {
     pub plan: FaultPlan,
     pub level: ServiceLevel,
     /// Exchange fan-out: above 1 the CF path runs the query as a two-stage
-    /// shuffle (one [`pixels_turbo::CfRace`] per stage on both drivers).
+    /// shuffle (one [`pixels_turbo::CfRace`] per stage on both drivers);
+    /// `0` enables cost-based auto sizing (the scenario SQL's exchange is
+    /// below the auto threshold, so it exercises the sized single-stage
+    /// path).
     pub partitions: usize,
 }
 
@@ -81,6 +84,18 @@ pub fn scenarios() -> Vec<Scenario> {
             ),
             level: ServiceLevel::Immediate,
             partitions: 1,
+        },
+        Scenario {
+            name: "auto-sized-clean-cf",
+            plan: FaultPlan::none(31),
+            level: ServiceLevel::Immediate,
+            partitions: 0,
+        },
+        Scenario {
+            name: "auto-sized-crash-once",
+            plan: FaultPlan::none(33).with(FaultSite::CfCrash, SiteSpec::errors(1.0).capped(1)),
+            level: ServiceLevel::Immediate,
+            partitions: 0,
         },
         Scenario {
             name: "shuffle-clean",
@@ -277,10 +292,15 @@ pub fn run_scenario(s: &Scenario) -> ParityReport {
         .expect("load tpch");
         pixels_planner::plan_query(&catalog, "tpch", SQL).expect("plan")
     };
-    let work = QueryWork {
+    // Fleet right-sizing is part of the shared policy surface: the sim
+    // receives the same sized work the engine's cost model produced (sizing
+    // only touches `parallelism`, so the measured-bytes substitution
+    // commutes with it).
+    let cost_model = CfCostModel::new(&CfConfig::default(), ResourcePricing::default());
+    let work = cost_model.sized_work(&QueryWork {
         scan_bytes: out.bytes_scanned,
         ..QueryWork::from_plan(&plan)
-    };
+    });
     let exchange = (s.partitions > 1 && out.used_cf)
         .then_some((out.exchange.put_bytes, out.exchange.get_bytes));
     let (sim_decisions, done, sim_cf_total) = run_sim(s, work, exchange);

@@ -449,6 +449,79 @@ pub fn read_join_partitions(
     Ok((out, stats))
 }
 
+/// Stage 1 of a *broadcast* join: the probe (left) side never crossed the
+/// exchange — this worker executed it directly and holds `probe_batches` in
+/// memory — while the small build (right) side was spilled whole as a single
+/// partition by stage 0. Reads the build spill back, joins, and restores the
+/// exact single-stage output order (probe rows in input order with matches
+/// in build order, then any right-outer tail in build order).
+///
+/// Output is bit-identical to the single-stage join over the same inputs,
+/// same batch boundaries included.
+#[allow(clippy::too_many_arguments)]
+pub fn read_broadcast_join(
+    spill_store: &ObjectStoreRef,
+    prefix: &str,
+    probe_batches: &[RecordBatch],
+    join_type: JoinType,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    residual: Option<&BoundExpr>,
+    output_schema: &SchemaRef,
+    left_schema: &SchemaRef,
+    right_schema: &SchemaRef,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, ExchangeStats)> {
+    let right_spill = join_spill_schema(right_schema);
+    let left_width = left_schema.fields().len();
+    let mut stats = ExchangeStats {
+        partitions: 1,
+        ..ExchangeStats::default()
+    };
+    let rb = read_spill(
+        spill_store,
+        &partition_path(prefix, 0, Some("right")),
+        &right_spill,
+        &mut stats,
+    )?;
+    let (right, rord) = strip_ord(rb, right_schema)?;
+    let left = coalesce(probe_batches)?.map(Cow::into_owned);
+    let (fl, fr) = join_match_indices(
+        left.as_ref(),
+        right.as_ref(),
+        join_type,
+        left_keys,
+        right_keys,
+        residual,
+        output_schema,
+        left_width,
+    )?;
+    // A single-partition spill preserves build-row order (`rord` is the
+    // identity), but sort through `__ord` anyway so the order contract never
+    // depends on that detail.
+    let mut order: Vec<(bool, i64, i64)> = Vec::with_capacity(fl.len());
+    for (&l, &r) in fl.iter().zip(&fr) {
+        let gr = if r < 0 { -1 } else { rord[r as usize] };
+        order.push((l < 0, l.max(-1), gr));
+    }
+    let all = assemble(
+        output_schema,
+        left_width,
+        left.as_ref(),
+        &fl,
+        right.as_ref(),
+        &fr,
+    )?;
+    let mut perm: Vec<usize> = (0..order.len()).collect();
+    perm.sort_unstable_by_key(|&i| order[i]);
+    let chunk = batch_size.max(1);
+    let mut out = Vec::with_capacity(perm.len().div_ceil(chunk));
+    for idx in perm.chunks(chunk) {
+        out.push(all.gather(idx)?);
+    }
+    Ok((out, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +671,65 @@ mod tests {
                     "{join_type:?} with {partitions} partitions must be identical"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn broadcast_join_matches_direct_execution() {
+        let left = vec![batch(&[1, 2, 3, 4, 7], &["a", "b", "a", "c", "x"])];
+        let right = vec![batch(&[10, 20, 30], &["a", "b", "e"])];
+        let lkey = vec![col_expr(1, "tag", DataType::Utf8)];
+        let rkey = vec![col_expr(1, "tag", DataType::Utf8)];
+        let lschema = left[0].schema().clone();
+        let rschema = right[0].schema().clone();
+        let out_schema = Arc::new(Schema::new(vec![
+            Field::nullable("l_id", DataType::Int64),
+            Field::nullable("l_tag", DataType::Utf8),
+            Field::nullable("r_id", DataType::Int64),
+            Field::nullable("r_tag", DataType::Utf8),
+        ]));
+        for join_type in [JoinType::Inner, JoinType::Left, JoinType::Right] {
+            let direct = execute_join(
+                &left,
+                &right,
+                join_type,
+                &lkey,
+                &rkey,
+                None,
+                &out_schema,
+                2,
+                3,
+            )
+            .unwrap();
+            let store = InMemoryObjectStore::shared();
+            let rs = write_join_partitions(
+                &right,
+                &rschema,
+                &rkey,
+                JoinSide::Right,
+                store.as_ref(),
+                "b/",
+                1,
+            )
+            .unwrap();
+            assert_eq!(rs.partitions, 1);
+            assert_eq!(rs.spilled_rows, 3);
+            let (joined, stats) = read_broadcast_join(
+                &store,
+                "b/",
+                &left,
+                join_type,
+                &lkey,
+                &rkey,
+                None,
+                &out_schema,
+                &lschema,
+                &rschema,
+                3,
+            )
+            .unwrap();
+            assert_eq!(direct, joined, "{join_type:?} broadcast must be identical");
+            assert!(stats.get_bytes > 0, "build spill read is exchange traffic");
         }
     }
 }

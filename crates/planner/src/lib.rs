@@ -14,6 +14,7 @@
 //! both the constant folder and the executor.
 
 pub mod binder;
+pub mod cost;
 pub mod eval;
 pub mod expr;
 pub mod logical;
@@ -22,12 +23,16 @@ pub mod rules;
 pub mod split;
 
 pub use binder::Binder;
+pub use cost::{estimate_logical, estimate_physical, EstMode, NodeEst};
 pub use eval::{eval_binary, eval_expr, like_match, NoRow, RowAccess};
 pub use expr::{AggExpr, AggFunc, BoundExpr, ScalarFunc};
 pub use logical::LogicalPlan;
 pub use physical::{create_physical_plan, PhysicalPlan, PlanEstimate};
-pub use rules::optimize;
-pub use split::{plan_shuffle, split_for_acceleration, ShuffleKind, ShufflePlan, SplitPlan};
+pub use rules::{optimize, optimize_with};
+pub use split::{
+    plan_shuffle, plan_shuffle_sized, split_for_acceleration, ShuffleKind, ShufflePlan,
+    ShuffleSizing, SplitPlan,
+};
 
 use pixels_catalog::Catalog;
 use pixels_common::Result;

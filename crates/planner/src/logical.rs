@@ -136,6 +136,7 @@ impl LogicalPlan {
         for _ in 0..indent {
             out.push_str("  ");
         }
+        let est_rows = crate::cost::estimate_logical(self).rows.round() as u64;
         match self {
             LogicalPlan::Scan {
                 database,
@@ -149,14 +150,13 @@ impl LogicalPlan {
                     let preds: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
                     let _ = write!(out, " filters=[{}]", preds.join(", "));
                 }
-                out.push('\n');
             }
             LogicalPlan::Filter { predicate, .. } => {
-                let _ = writeln!(out, "Filter: {predicate}");
+                let _ = write!(out, "Filter: {predicate}");
             }
             LogicalPlan::Project { exprs, .. } => {
                 let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                let _ = writeln!(out, "Project: {}", items.join(", "));
+                let _ = write!(out, "Project: {}", items.join(", "));
             }
             LogicalPlan::Join {
                 join_type,
@@ -174,14 +174,13 @@ impl LogicalPlan {
                 if let Some(r) = residual {
                     let _ = write!(out, " residual={r}");
                 }
-                out.push('\n');
             }
             LogicalPlan::Aggregate {
                 group_exprs, aggs, ..
             } => {
                 let groups: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
                 let a: Vec<String> = aggs.iter().map(|e| e.to_string()).collect();
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "Aggregate: group=[{}] aggs=[{}]",
                     groups.join(", "),
@@ -189,66 +188,33 @@ impl LogicalPlan {
                 );
             }
             LogicalPlan::Distinct { .. } => {
-                let _ = writeln!(out, "Distinct");
+                let _ = write!(out, "Distinct");
             }
             LogicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{e}{}", if *asc { "" } else { " DESC" }))
                     .collect();
-                let _ = writeln!(out, "Sort: {}", ks.join(", "));
+                let _ = write!(out, "Sort: {}", ks.join(", "));
             }
             LogicalPlan::Limit { limit, offset, .. } => {
-                let _ = writeln!(out, "Limit: limit={limit:?} offset={offset}");
+                let _ = write!(out, "Limit: limit={limit:?} offset={offset}");
             }
             LogicalPlan::Values { rows, .. } => {
-                let _ = writeln!(out, "Values: {} row(s)", rows.len());
+                let _ = write!(out, "Values: {} row(s)", rows.len());
             }
         }
+        let _ = writeln!(out, " (est_rows={est_rows})");
         for child in self.children() {
             child.explain_into(indent + 1, out);
         }
     }
 
-    /// Rough output-cardinality estimate used by the optimizer and the
-    /// simulator's cost model.
+    /// Output-cardinality estimate from the statistics-based estimator
+    /// (`crate::cost`): NDV/min-max-driven selectivities propagated through
+    /// scans, filters, joins, and aggregates.
     pub fn estimated_rows(&self) -> f64 {
-        match self {
-            LogicalPlan::Scan { stats, filters, .. } => {
-                let base = stats.row_count as f64;
-                // Apply a default selectivity per conjunct.
-                base * 0.25f64.powi(filters.len() as i32).max(1e-6)
-            }
-            LogicalPlan::Filter { input, .. } => input.estimated_rows() * 0.25,
-            LogicalPlan::Project { input, .. } => input.estimated_rows(),
-            LogicalPlan::Join { left, right, .. } => {
-                // Assume a PK-FK equi-join: output ≈ larger side.
-                left.estimated_rows().max(right.estimated_rows())
-            }
-            LogicalPlan::Aggregate {
-                input, group_exprs, ..
-            } => {
-                if group_exprs.is_empty() {
-                    1.0
-                } else {
-                    (input.estimated_rows() * 0.1).max(1.0)
-                }
-            }
-            LogicalPlan::Distinct { input } => input.estimated_rows() * 0.5,
-            LogicalPlan::Sort { input, .. } => input.estimated_rows(),
-            LogicalPlan::Limit {
-                input,
-                limit,
-                offset,
-            } => {
-                let n = input.estimated_rows();
-                match limit {
-                    Some(l) => n.min((*l + *offset) as f64),
-                    None => n,
-                }
-            }
-            LogicalPlan::Values { rows, .. } => rows.len() as f64,
-        }
+        crate::cost::estimate_logical(self).rows
     }
 }
 
@@ -324,12 +290,24 @@ mod tests {
 
     #[test]
     fn cardinality_estimates_shrink_with_filters() {
+        use pixels_sql::ast::BinaryOp;
         let base = scan(1000);
         let filtered = LogicalPlan::Filter {
             input: Box::new(scan(1000)),
-            predicate: BoundExpr::literal(Value::Boolean(true)),
+            predicate: BoundExpr::BinaryOp {
+                left: Box::new(BoundExpr::column(0, DataType::Int64, "a")),
+                op: BinaryOp::Lt,
+                right: Box::new(BoundExpr::literal(Value::Int64(10))),
+                data_type: DataType::Boolean,
+            },
         };
         assert!(filtered.estimated_rows() < base.estimated_rows());
+        // A tautological filter keeps every row.
+        let kept = LogicalPlan::Filter {
+            input: Box::new(scan(1000)),
+            predicate: BoundExpr::literal(Value::Boolean(true)),
+        };
+        assert_eq!(kept.estimated_rows(), base.estimated_rows());
         let limited = LogicalPlan::Limit {
             input: Box::new(scan(1000)),
             limit: Some(10),

@@ -130,15 +130,16 @@ impl PhysicalPlan {
         }
     }
 
-    /// Recursive cost/size estimate.
+    /// Recursive cost/size estimate. Output rows come from the statistics
+    /// estimator (`crate::cost`); scan bytes and CPU work accumulate
+    /// structurally.
     pub fn estimate(&self) -> PlanEstimate {
+        let rows = crate::cost::estimate_physical(self).rows;
         match self {
             PhysicalPlan::Scan {
                 stats,
                 projection,
                 file_schema,
-                filters,
-                zone_predicates,
                 ..
             } => {
                 let full_width: usize = file_schema.row_byte_width().max(1);
@@ -148,31 +149,25 @@ impl PhysicalPlan {
                     .sum();
                 let frac = proj_width as f64 / full_width as f64;
                 let scan_bytes = (stats.total_bytes as f64 * frac) as u64;
-                let selectivity = 0.25f64.powi(filters.len() as i32).clamp(1e-6, 1.0)
-                    * if zone_predicates.is_empty() { 1.0 } else { 0.5 };
                 PlanEstimate {
-                    rows: stats.row_count as f64 * selectivity,
+                    rows,
                     scan_bytes,
                     cpu_work: stats.row_count as f64,
                 }
             }
             PhysicalPlan::MaterializedScan { .. } => PlanEstimate {
-                rows: 1000.0,
+                rows,
                 scan_bytes: 0,
                 cpu_work: 1000.0,
             },
-            PhysicalPlan::Filter { input, .. } => {
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::TopK { input, .. } => {
                 let e = input.estimate();
                 PlanEstimate {
-                    rows: e.rows * 0.25,
-                    scan_bytes: e.scan_bytes,
-                    cpu_work: e.cpu_work + e.rows,
-                }
-            }
-            PhysicalPlan::Project { input, .. } => {
-                let e = input.estimate();
-                PlanEstimate {
-                    rows: e.rows,
+                    rows,
                     scan_bytes: e.scan_bytes,
                     cpu_work: e.cpu_work + e.rows,
                 }
@@ -181,70 +176,31 @@ impl PhysicalPlan {
                 let l = left.estimate();
                 let r = right.estimate();
                 PlanEstimate {
-                    rows: l.rows.max(r.rows),
+                    rows,
                     scan_bytes: l.scan_bytes + r.scan_bytes,
                     cpu_work: l.cpu_work + r.cpu_work + l.rows + r.rows,
-                }
-            }
-            PhysicalPlan::HashAggregate {
-                input, group_exprs, ..
-            } => {
-                let e = input.estimate();
-                let rows = if group_exprs.is_empty() {
-                    1.0
-                } else {
-                    (e.rows * 0.1).max(1.0)
-                };
-                PlanEstimate {
-                    rows,
-                    scan_bytes: e.scan_bytes,
-                    cpu_work: e.cpu_work + e.rows,
-                }
-            }
-            PhysicalPlan::Distinct { input } => {
-                let e = input.estimate();
-                PlanEstimate {
-                    rows: e.rows * 0.5,
-                    scan_bytes: e.scan_bytes,
-                    cpu_work: e.cpu_work + e.rows,
                 }
             }
             PhysicalPlan::Sort { input, .. } => {
                 let e = input.estimate();
                 PlanEstimate {
-                    rows: e.rows,
+                    rows,
                     scan_bytes: e.scan_bytes,
                     cpu_work: e.cpu_work + e.rows * (e.rows.max(2.0)).log2(),
                 }
             }
-            PhysicalPlan::TopK { input, fetch, .. } => {
+            PhysicalPlan::Limit { input, .. } => {
                 let e = input.estimate();
-                PlanEstimate {
-                    rows: e.rows.min(*fetch as f64),
-                    scan_bytes: e.scan_bytes,
-                    cpu_work: e.cpu_work + e.rows,
-                }
-            }
-            PhysicalPlan::Limit {
-                input,
-                limit,
-                offset,
-            } => {
-                let e = input.estimate();
-                let rows = match limit {
-                    Some(l) => e.rows.min((*l + *offset) as f64),
-                    None => e.rows,
-                };
                 PlanEstimate {
                     rows,
                     scan_bytes: e.scan_bytes,
                     cpu_work: e.cpu_work,
                 }
             }
-            PhysicalPlan::Values { rows, .. } => PlanEstimate {
-                rows: rows.len() as f64,
+            PhysicalPlan::Values { rows: r, .. } => PlanEstimate {
+                rows,
                 scan_bytes: 0,
-                cpu_work: rows.len() as f64,
+                cpu_work: r.len() as f64,
             },
         }
     }
@@ -261,6 +217,7 @@ impl PhysicalPlan {
         for _ in 0..indent {
             out.push_str("  ");
         }
+        let est_rows = crate::cost::estimate_physical(self).rows.round() as u64;
         match self {
             PhysicalPlan::Scan {
                 database,
@@ -278,17 +235,16 @@ impl PhysicalPlan {
                     let fs: Vec<String> = filters.iter().map(|fx| fx.to_string()).collect();
                     let _ = write!(out, " filters=[{}]", fs.join(", "));
                 }
-                out.push('\n');
             }
             PhysicalPlan::MaterializedScan { path, .. } => {
-                let _ = writeln!(out, "MaterializedScan: {path}");
+                let _ = write!(out, "MaterializedScan: {path}");
             }
             PhysicalPlan::Filter { predicate, .. } => {
-                let _ = writeln!(out, "Filter: {predicate}");
+                let _ = write!(out, "Filter: {predicate}");
             }
             PhysicalPlan::Project { exprs, .. } => {
                 let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                let _ = writeln!(out, "Project: {}", items.join(", "));
+                let _ = write!(out, "Project: {}", items.join(", "));
             }
             PhysicalPlan::HashJoin {
                 join_type,
@@ -301,14 +257,14 @@ impl PhysicalPlan {
                     .zip(right_keys)
                     .map(|(l, r)| format!("{l} = {r}"))
                     .collect();
-                let _ = writeln!(out, "HashJoin({join_type:?}): [{}]", keys.join(", "));
+                let _ = write!(out, "HashJoin({join_type:?}): [{}]", keys.join(", "));
             }
             PhysicalPlan::HashAggregate {
                 group_exprs, aggs, ..
             } => {
                 let g: Vec<String> = group_exprs.iter().map(|e| e.to_string()).collect();
                 let a: Vec<String> = aggs.iter().map(|x| x.to_string()).collect();
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "HashAggregate: group=[{}] aggs=[{}]",
                     g.join(", "),
@@ -316,29 +272,30 @@ impl PhysicalPlan {
                 );
             }
             PhysicalPlan::Distinct { .. } => {
-                let _ = writeln!(out, "Distinct");
+                let _ = write!(out, "Distinct");
             }
             PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{e}{}", if *asc { "" } else { " DESC" }))
                     .collect();
-                let _ = writeln!(out, "Sort: {}", ks.join(", "));
+                let _ = write!(out, "Sort: {}", ks.join(", "));
             }
             PhysicalPlan::TopK { keys, fetch, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{e}{}", if *asc { "" } else { " DESC" }))
                     .collect();
-                let _ = writeln!(out, "TopK(fetch={fetch}): {}", ks.join(", "));
+                let _ = write!(out, "TopK(fetch={fetch}): {}", ks.join(", "));
             }
             PhysicalPlan::Limit { limit, offset, .. } => {
-                let _ = writeln!(out, "Limit: limit={limit:?} offset={offset}");
+                let _ = write!(out, "Limit: limit={limit:?} offset={offset}");
             }
             PhysicalPlan::Values { rows, .. } => {
-                let _ = writeln!(out, "Values: {} row(s)", rows.len());
+                let _ = write!(out, "Values: {} row(s)", rows.len());
             }
         }
+        let _ = writeln!(out, " (est_rows={est_rows})");
         for c in self.children() {
             c.explain_into(indent + 1, out);
         }

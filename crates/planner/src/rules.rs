@@ -1,6 +1,6 @@
 //! Logical optimizer rules.
 //!
-//! Four rewrites run in order:
+//! Five rewrites run in order:
 //! 1. **Constant folding** — evaluate constant subexpressions via the shared
 //!    evaluator, so folding can never disagree with runtime semantics.
 //! 2. **Predicate pushdown** — move filters through projections, joins, and
@@ -9,10 +9,15 @@
 //!    b.y` into an equi-join).
 //! 3. **Projection pruning** — narrow every scan to the columns actually
 //!    used, which directly reduces bytes scanned (and therefore the bill).
-//! 4. **Build-side selection** — put the smaller estimated input on the
-//!    build side of each inner hash join.
+//! 4. **Join reordering** — flatten inner-join spines and rebuild them
+//!    greedily smallest-estimated-intermediate-first, using the
+//!    statistics-based estimator in `crate::cost`.
+//! 5. **Build-side selection** — put the smaller estimated input on the
+//!    build side of each inner hash join (falling back to schema byte width
+//!    when no statistics exist).
 
 use crate::binder::collect_conjuncts;
+use crate::cost::{estimate_logical, EstMode};
 use crate::eval::{eval_expr, NoRow};
 use crate::expr::BoundExpr;
 use crate::logical::LogicalPlan;
@@ -22,10 +27,18 @@ use std::sync::Arc;
 
 /// Run the full rule pipeline.
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    optimize_with(plan, EstMode::Normal)
+}
+
+/// Run the full rule pipeline with an explicit estimate mode. Differential
+/// tests pass [`EstMode::Inverted`] to prove that adversarially wrong
+/// estimates can slow a plan down but never change its results or bills.
+pub fn optimize_with(plan: LogicalPlan, mode: EstMode) -> LogicalPlan {
     let plan = fold_plan(plan);
     let plan = pushdown(plan, Vec::new());
     let plan = prune(plan);
-    choose_build_side(plan)
+    let plan = reorder_joins(plan, mode);
+    choose_build_side_with(plan, mode)
 }
 
 // ---------------------------------------------------------------------------
@@ -763,12 +776,380 @@ fn prune_node(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<usize>
 }
 
 // ---------------------------------------------------------------------------
+// Join reordering
+// ---------------------------------------------------------------------------
+
+/// One base relation of a flattened join spine: the subtree plus the column
+/// range `[offset, offset + width)` it occupied in the original in-order
+/// (left-deep) column numbering.
+struct SpineLeaf {
+    plan: LogicalPlan,
+    offset: usize,
+    width: usize,
+}
+
+/// An equality predicate usable as a hash-join edge between two leaves.
+/// Expressions are in global (flattened) column coordinates.
+struct JoinEdge {
+    a: usize,
+    b: usize,
+    a_expr: BoundExpr,
+    b_expr: BoundExpr,
+}
+
+/// Reorder spines of inner/cross joins smallest-intermediate-first.
+///
+/// The spine is flattened into base relations and a global predicate pool
+/// (join keys and residuals, rebased to the concatenated column space), then
+/// rebuilt greedily: start from the cheapest joinable pair, then repeatedly
+/// join in the connected leaf that minimizes the estimated intermediate
+/// result. A final projection restores the original column order, so parent
+/// operators — and results — are unaffected by the internal order.
+pub fn reorder_joins(plan: LogicalPlan, mode: EstMode) -> LogicalPlan {
+    let is_spine = matches!(
+        plan,
+        LogicalPlan::Join {
+            join_type: JoinType::Inner | JoinType::Cross,
+            ..
+        }
+    );
+    if !is_spine || count_spine_leaves(&plan) < 3 {
+        return map_children(plan, |c| reorder_joins(c, mode));
+    }
+    let output_schema = plan.schema();
+    let mut raw_leaves = Vec::new();
+    let mut pool = Vec::new();
+    flatten_spine(plan, 0, &mut raw_leaves, &mut pool);
+    // Reorder any join spines nested below the leaves first.
+    let leaves: Vec<SpineLeaf> = raw_leaves
+        .into_iter()
+        .map(|(p, offset)| {
+            let width = p.schema().len();
+            SpineLeaf {
+                plan: reorder_joins(p, mode),
+                offset,
+                width,
+            }
+        })
+        .collect();
+
+    // Classify the pool: two-sided equality conjuncts become edges, the rest
+    // stay residual predicates attached once all referenced leaves joined.
+    let leaf_of = |cols: &[usize]| -> Option<usize> {
+        let mut leaf = None;
+        for &c in cols {
+            let l = leaves
+                .iter()
+                .position(|s| c >= s.offset && c < s.offset + s.width)?;
+            match leaf {
+                None => leaf = Some(l),
+                Some(p) if p != l => return None,
+                _ => {}
+            }
+        }
+        leaf
+    };
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut residuals: Vec<(BoundExpr, u64)> = Vec::new();
+    let leaf_mask = |expr: &BoundExpr| -> u64 {
+        expr.referenced_columns()
+            .iter()
+            .filter_map(|&c| {
+                leaves
+                    .iter()
+                    .position(|s| c >= s.offset && c < s.offset + s.width)
+            })
+            .fold(0u64, |m, l| m | (1 << l))
+    };
+    for pred in pool {
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(pred, &mut conjuncts);
+        for c in conjuncts {
+            if let BoundExpr::BinaryOp {
+                left,
+                op: BinaryOp::Eq,
+                right,
+                ..
+            } = &c
+            {
+                let (la, lb) = (
+                    leaf_of(&left.referenced_columns()),
+                    leaf_of(&right.referenced_columns()),
+                );
+                if let (Some(a), Some(b)) = (la, lb) {
+                    if a != b && !left.is_constant() && !right.is_constant() {
+                        edges.push(JoinEdge {
+                            a,
+                            b,
+                            a_expr: (**left).clone(),
+                            b_expr: (**right).clone(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            let mask = leaf_mask(&c);
+            residuals.push((c, mask));
+        }
+    }
+
+    // Greedy rebuild. `pos[g]` maps a global column to its position in the
+    // current intermediate plan.
+    let total: usize = leaves.iter().map(|s| s.width).sum();
+    let score = |p: &LogicalPlan| mode.rows(estimate_logical(p).rows);
+    let n = leaves.len();
+    let mut used = vec![false; n];
+
+    // Seed: the edge-connected pair with the smallest estimated join, or the
+    // two smallest leaves if the spine has no equality edges at all.
+    let mut best: Option<(f64, usize, usize)> = None;
+    let has_edge = |i: usize, j: usize| {
+        edges
+            .iter()
+            .any(|e| (e.a, e.b) == (i, j) || (e.a, e.b) == (j, i))
+    };
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || (!edges.is_empty() && !has_edge(i, j)) {
+                continue;
+            }
+            let (candidate, _) = join_leaf(
+                leaves[i].plan.clone(),
+                &pos_for(&leaves, &[i]),
+                &leaves[j],
+                j,
+                &edges,
+                &[i],
+            );
+            let s = score(&candidate);
+            if best.is_none_or(|(b, ..)| s < b) {
+                best = Some((s, i, j));
+            }
+        }
+    }
+    let (_, first, second) = best.expect("spine has at least three leaves");
+    let mut order = vec![first];
+    let mut pos = pos_for(&leaves, &order);
+    used[first] = true;
+    let (mut cur, new_pos) = join_leaf(
+        leaves[first].plan.clone(),
+        &pos,
+        &leaves[second],
+        second,
+        &edges,
+        &order,
+    );
+    pos = new_pos;
+    order.push(second);
+    used[second] = true;
+
+    loop {
+        cur = attach_residuals(cur, &pos, &mut residuals, &order, &leaves);
+        if order.len() == n {
+            break;
+        }
+        let connected: Vec<usize> = (0..n)
+            .filter(|&k| !used[k])
+            .filter(|&k| {
+                edges.iter().any(|e| {
+                    (order.contains(&e.a) && e.b == k) || (order.contains(&e.b) && e.a == k)
+                })
+            })
+            .collect();
+        let candidates = if connected.is_empty() {
+            (0..n).filter(|&k| !used[k]).collect()
+        } else {
+            connected
+        };
+        let mut best: Option<(f64, usize)> = None;
+        for &k in &candidates {
+            let (candidate, _) = join_leaf(cur.clone(), &pos, &leaves[k], k, &edges, &order);
+            let s = score(&candidate);
+            if best.is_none_or(|(b, _)| s < b) {
+                best = Some((s, k));
+            }
+        }
+        let (_, k) = best.expect("unjoined leaves remain");
+        let (next, new_pos) = join_leaf(cur, &pos, &leaves[k], k, &edges, &order);
+        cur = next;
+        pos = new_pos;
+        order.push(k);
+        used[k] = true;
+    }
+
+    // Restore the original column order (and exact output schema).
+    let exprs: Vec<BoundExpr> = (0..total)
+        .map(|g| {
+            let f = output_schema.field(g);
+            BoundExpr::column(
+                pos[g].expect("every global column placed"),
+                f.data_type,
+                f.name.clone(),
+            )
+        })
+        .collect();
+    LogicalPlan::Project {
+        input: Box::new(cur),
+        exprs,
+        output_schema,
+    }
+}
+
+/// Number of base relations in the inner/cross join spine rooted here.
+fn count_spine_leaves(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner | JoinType::Cross,
+            ..
+        } => count_spine_leaves(left) + count_spine_leaves(right),
+        _ => 1,
+    }
+}
+
+/// Flatten the spine in-order: leaves keep their original global column
+/// offsets; keys and residuals are rebased into global coordinates.
+fn flatten_spine(
+    plan: LogicalPlan,
+    base: usize,
+    leaves: &mut Vec<(LogicalPlan, usize)>,
+    pool: &mut Vec<BoundExpr>,
+) {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner | JoinType::Cross,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
+            let lw = left.schema().len();
+            for (lk, rk) in left_keys.iter().zip(&right_keys) {
+                let l = lk.map_columns(&|i| i + base);
+                let r = rk.map_columns(&|i| i + base + lw);
+                pool.push(BoundExpr::BinaryOp {
+                    left: Box::new(l),
+                    op: BinaryOp::Eq,
+                    right: Box::new(r),
+                    data_type: pixels_common::DataType::Boolean,
+                });
+            }
+            if let Some(res) = residual {
+                pool.push(res.map_columns(&|i| i + base));
+            }
+            flatten_spine(*left, base, leaves, pool);
+            flatten_spine(*right, base + lw, leaves, pool);
+        }
+        other => leaves.push((other, base)),
+    }
+}
+
+/// Column map for a single starting leaf.
+fn pos_for(leaves: &[SpineLeaf], order: &[usize]) -> Vec<Option<usize>> {
+    let total: usize = leaves.iter().map(|s| s.width).sum();
+    let mut pos = vec![None; total];
+    let mut next = 0;
+    for &l in order {
+        for c in 0..leaves[l].width {
+            pos[leaves[l].offset + c] = Some(next);
+            next += 1;
+        }
+    }
+    pos
+}
+
+/// Join leaf `k` onto `cur` as the right side, consuming every edge between
+/// the joined set and `k`. Returns the new plan and updated column map.
+fn join_leaf(
+    cur: LogicalPlan,
+    pos: &[Option<usize>],
+    leaf: &SpineLeaf,
+    k: usize,
+    edges: &[JoinEdge],
+    order: &[usize],
+) -> (LogicalPlan, Vec<Option<usize>>) {
+    let lw = cur.schema().len();
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    for e in edges {
+        let (joined_expr, leaf_expr) = if order.contains(&e.a) && e.b == k {
+            (&e.a_expr, &e.b_expr)
+        } else if order.contains(&e.b) && e.a == k {
+            (&e.b_expr, &e.a_expr)
+        } else {
+            continue;
+        };
+        left_keys.push(joined_expr.map_columns(&|g| pos[g].expect("joined column placed")));
+        right_keys.push(leaf_expr.map_columns(&|g| g - leaf.offset));
+    }
+    let join_type = if left_keys.is_empty() {
+        JoinType::Cross
+    } else {
+        JoinType::Inner
+    };
+    let schema = Arc::new(LogicalPlan::join_schema(
+        &cur.schema(),
+        &leaf.plan.schema(),
+        join_type,
+    ));
+    let joined = LogicalPlan::Join {
+        left: Box::new(cur),
+        right: Box::new(leaf.plan.clone()),
+        join_type,
+        left_keys,
+        right_keys,
+        residual: None,
+        output_schema: schema,
+    };
+    let mut new_pos = pos.to_vec();
+    for c in 0..leaf.width {
+        new_pos[leaf.offset + c] = Some(lw + c);
+    }
+    (joined, new_pos)
+}
+
+/// Attach every pooled residual whose referenced leaves are all joined.
+fn attach_residuals(
+    mut cur: LogicalPlan,
+    pos: &[Option<usize>],
+    residuals: &mut Vec<(BoundExpr, u64)>,
+    order: &[usize],
+    _leaves: &[SpineLeaf],
+) -> LogicalPlan {
+    let joined_mask: u64 = order.iter().fold(0, |m, &l| m | (1 << l));
+    let mut rest = Vec::new();
+    for (pred, mask) in residuals.drain(..) {
+        if mask & !joined_mask == 0 {
+            let mapped = pred.map_columns(&|g| pos[g].expect("residual column placed"));
+            cur = LogicalPlan::Filter {
+                input: Box::new(cur),
+                predicate: mapped,
+            };
+        } else {
+            rest.push((pred, mask));
+        }
+    }
+    *residuals = rest;
+    cur
+}
+
+// ---------------------------------------------------------------------------
 // Build-side selection
 // ---------------------------------------------------------------------------
 
 /// For inner equi-joins, make the smaller estimated input the right (build)
 /// side. The executor always builds its hash table on the right input.
 pub fn choose_build_side(plan: LogicalPlan) -> LogicalPlan {
+    choose_build_side_with(plan, EstMode::Normal)
+}
+
+/// Build-side selection with an explicit estimate mode. When either side
+/// lacks real statistics (`reliable == false`), the decision falls back to
+/// the schema byte-width heuristic: build on the narrower side.
+pub fn choose_build_side_with(plan: LogicalPlan, mode: EstMode) -> LogicalPlan {
     match plan {
         LogicalPlan::Join {
             left,
@@ -779,9 +1160,16 @@ pub fn choose_build_side(plan: LogicalPlan) -> LogicalPlan {
             residual,
             output_schema,
         } => {
-            let left = Box::new(choose_build_side(*left));
-            let right = Box::new(choose_build_side(*right));
-            if left.estimated_rows() < right.estimated_rows() {
+            let left = Box::new(choose_build_side_with(*left, mode));
+            let right = Box::new(choose_build_side_with(*right, mode));
+            let l_est = estimate_logical(&left);
+            let r_est = estimate_logical(&right);
+            let swap = if l_est.reliable && r_est.reliable {
+                mode.rows(l_est.rows) < mode.rows(r_est.rows)
+            } else {
+                left.schema().row_byte_width() < right.schema().row_byte_width()
+            };
+            if swap {
                 // Swap sides; remap residual column indices, then restore the
                 // original output column order with a projection so parent
                 // expressions stay valid.
@@ -832,7 +1220,7 @@ pub fn choose_build_side(plan: LogicalPlan) -> LogicalPlan {
                 }
             }
         }
-        other => map_children(other, choose_build_side),
+        other => map_children(other, |c| choose_build_side_with(c, mode)),
     }
 }
 

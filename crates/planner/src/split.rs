@@ -177,6 +177,56 @@ pub struct ShufflePlan {
     pub top_plan: PhysicalPlan,
     pub mv_path: String,
     pub partitions: usize,
+    /// Broadcast join: stage 0 spills only the (small) build side as a single
+    /// partition; every stage-1 worker reads the whole build spill and probes
+    /// with its share of the probe side. Only ever set in auto-sizing mode.
+    pub broadcast: bool,
+}
+
+/// How to size a multi-stage exchange.
+///
+/// `fixed(n)` reproduces the historical behavior exactly: `n` symmetric hash
+/// partitions, no broadcast, no bytes-based gating. `auto()` derives the
+/// exchange strategy and fan-out from the cost model's estimated intermediate
+/// bytes. A wrong estimate can only change *how* the query runs (strategy,
+/// fan-out), never what it returns or what the user is billed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleSizing {
+    /// `Some(n)` pins exactly `n` partitions (legacy behavior); `None`
+    /// enables cost-based auto sizing.
+    pub fixed_partitions: Option<usize>,
+    /// Auto mode: upper bound on derived partition count.
+    pub max_partitions: usize,
+    /// Auto mode: aim for roughly this many estimated exchange bytes per
+    /// partition.
+    pub target_partition_bytes: u64,
+    /// Auto mode: below this many estimated exchange bytes, skip the
+    /// multi-stage plan entirely (single-stage is cheaper).
+    pub min_exchange_bytes: u64,
+    /// Auto mode: a reliable build-side estimate at or below this many bytes
+    /// selects a broadcast join instead of a symmetric exchange.
+    pub broadcast_max_build_bytes: u64,
+}
+
+impl ShuffleSizing {
+    /// Pin exactly `n` symmetric partitions (the pre-cost-model behavior).
+    pub fn fixed(n: usize) -> Self {
+        ShuffleSizing {
+            fixed_partitions: Some(n),
+            ..ShuffleSizing::auto()
+        }
+    }
+
+    /// Cost-based sizing with the default thresholds.
+    pub fn auto() -> Self {
+        ShuffleSizing {
+            fixed_partitions: None,
+            max_partitions: 16,
+            target_partition_bytes: 32 << 20,
+            min_exchange_bytes: 1 << 20,
+            broadcast_max_build_bytes: 16 << 20,
+        }
+    }
 }
 
 /// Split `plan` into a two-stage exchange plan with `partitions` hash
@@ -235,5 +285,60 @@ pub fn plan_shuffle(plan: &PhysicalPlan, mv_path: &str, partitions: usize) -> Op
         top_plan,
         mv_path: mv_path.to_string(),
         partitions,
+        broadcast: false,
     })
+}
+
+/// Cost-based variant of [`plan_shuffle`]. With `fixed_partitions` set this
+/// is exactly `plan_shuffle`; in auto mode the exchange strategy and fan-out
+/// are derived from estimated intermediate bytes:
+///
+/// - an inner join whose build side reliably estimates at or below
+///   `broadcast_max_build_bytes` becomes a broadcast join (one build spill,
+///   no probe-side exchange);
+/// - exchanges whose total estimated bytes fall below `min_exchange_bytes`
+///   are skipped (`None` — single-stage wins at that scale);
+/// - otherwise the partition count is `ceil(bytes / target_partition_bytes)`
+///   clamped to `[2, max_partitions]`.
+pub fn plan_shuffle_sized(
+    plan: &PhysicalPlan,
+    mv_path: &str,
+    sizing: &ShuffleSizing,
+) -> Option<ShufflePlan> {
+    if let Some(n) = sizing.fixed_partitions {
+        return plan_shuffle(plan, mv_path, n);
+    }
+    // Reuse plan_shuffle's eligibility rules with a placeholder fan-out, then
+    // resize (or re-strategize) the eligible plan.
+    let mut shuffle = plan_shuffle(plan, mv_path, 2)?;
+    let (exchange_bytes, broadcast) = match &shuffle.kind {
+        ShuffleKind::Aggregate { input, .. } => {
+            let (bytes, _) = crate::cost::estimated_output_bytes(input);
+            (bytes, false)
+        }
+        ShuffleKind::Join {
+            left,
+            right,
+            join_type,
+            ..
+        } => {
+            let (build_bytes, build_reliable) = crate::cost::estimated_output_bytes(right);
+            let (probe_bytes, _) = crate::cost::estimated_output_bytes(left);
+            let broadcast = *join_type == JoinType::Inner
+                && build_reliable
+                && build_bytes <= sizing.broadcast_max_build_bytes as f64;
+            (build_bytes + probe_bytes, broadcast)
+        }
+    };
+    if broadcast {
+        shuffle.partitions = 1;
+        shuffle.broadcast = true;
+        return Some(shuffle);
+    }
+    if exchange_bytes < sizing.min_exchange_bytes as f64 {
+        return None;
+    }
+    let wanted = (exchange_bytes / sizing.target_partition_bytes as f64).ceil() as usize;
+    shuffle.partitions = wanted.clamp(2, sizing.max_partitions);
+    Some(shuffle)
 }

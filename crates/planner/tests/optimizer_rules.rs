@@ -218,3 +218,39 @@ fn estimates_decrease_with_projection() {
     assert!(narrow.schema().len() < wide.schema().len());
     assert!(narrow.estimate().scan_bytes <= wide.estimate().scan_bytes);
 }
+
+/// With no registered data files, every estimate is unreliable, and the
+/// build-side chooser must fall back to the schema byte-width heuristic:
+/// whichever syntactic order the query uses, the narrow table `u` (24
+/// bytes/row) ends up as the build (right) side of the hash join and the
+/// wide table `t` (40 bytes/row) as the probe side.
+#[test]
+fn build_side_without_stats_builds_on_narrow_schema() {
+    fn join_sides(p: &PhysicalPlan) -> Option<(&PhysicalPlan, &PhysicalPlan)> {
+        if let PhysicalPlan::HashJoin { left, right, .. } = p {
+            return Some((left, right));
+        }
+        p.children().into_iter().find_map(join_sides)
+    }
+    fn scans_table(p: &PhysicalPlan, name: &str) -> bool {
+        if let PhysicalPlan::Scan { table, .. } = p {
+            return table == name;
+        }
+        p.children().into_iter().any(|c| scans_table(c, name))
+    }
+
+    let cat = catalog();
+    for sql in [
+        "SELECT b, c, d, y FROM t JOIN u ON a = x",
+        "SELECT b, c, d, y FROM u JOIN t ON x = a",
+    ] {
+        let plan = plan_query(&cat, "db", sql).unwrap();
+        let (probe, build) = join_sides(&plan).expect("hash join survives optimization");
+        assert!(
+            scans_table(build, "u"),
+            "{sql}: build side must be the narrow table, got plan:\n{}",
+            plan.explain()
+        );
+        assert!(scans_table(probe, "t"), "{sql}: probe side must be t");
+    }
+}

@@ -24,7 +24,8 @@ use pixels_exec::{
 };
 use pixels_obs::{MetricsRegistry, Trace, TraceCtx, WallClock};
 use pixels_planner::{
-    plan_query, plan_shuffle, split_for_acceleration, PhysicalPlan, ShuffleKind, ShufflePlan,
+    plan_query, plan_shuffle_sized, split_for_acceleration, PhysicalPlan, ShuffleKind, ShufflePlan,
+    ShuffleSizing,
 };
 use pixels_sql::ast::Statement;
 use pixels_storage::{exchange_stack, ChunkCache, FooterCache, ObjectStore, ObjectStoreRef};
@@ -67,7 +68,11 @@ pub struct EngineConfig {
     /// Hash-partition fan-out of multi-stage CF plans. At `1` (the default)
     /// every CF plan is single-stage; above `1`, shuffleable cut points
     /// (aggregates, equi-joins) run as two CF stages exchanging
-    /// hash-partitioned spill files through the object store.
+    /// hash-partitioned spill files through the object store with exactly
+    /// this fan-out. At `0` the fan-out is *cost-based*: the planner derives
+    /// the partition count from estimated exchange bytes, small reliable
+    /// build sides run as broadcast joins, and exchanges too small to pay
+    /// for themselves stay single-stage.
     pub exchange_partitions: usize,
 }
 
@@ -431,6 +436,11 @@ impl TurboEngine {
                 let m = &out.metrics;
                 let tier = if !out.used_cf {
                     "vm".to_string()
+                } else if out.exchange.partitions == 1 {
+                    // Only a broadcast join exchanges with fan-out 1: an
+                    // explicit partition count of 1 degenerates to the
+                    // single-stage path (partitions == 0) instead.
+                    "cf (broadcast shuffle)".to_string()
                 } else if out.exchange.partitions > 0 {
                     format!(
                         "cf (two-stage shuffle, {} partitions)",
@@ -439,18 +449,27 @@ impl TurboEngine {
                 } else {
                     "cf (single-stage)".to_string()
                 };
+                // Estimator accountability: the optimizer's cardinality for
+                // the plan root against what actually came back.
+                let est_rows = pixels_planner::estimate_physical(&plan).rows;
+                let actual_rows = out.batch.num_rows();
+                let ratio = est_rows / (actual_rows as f64).max(1.0);
                 let mut text = plan.explain();
                 text.push_str(&format!(
                     "--- runtime metrics ---\n\
                      wall time        : {:.3} ms\n\
                      tier             : {tier}\n\
                      result rows      : {}\n\
+                     estimated rows   : {:.0}\n\
+                     est/actual       : {:.2}x\n\
                      rows scanned     : {}\n\
                      bytes scanned    : {}\n\
                      row groups read  : {} of {} (zone maps pruned {})\n\
                      footer cache hits: {}\n",
                     out.execution.as_secs_f64() * 1e3,
-                    out.batch.num_rows(),
+                    actual_rows,
+                    est_rows,
+                    ratio,
                     m.rows_scanned,
                     pixels_common::bytesize::format_bytes(m.bytes_scanned),
                     m.row_groups_read,
@@ -569,10 +588,11 @@ impl TurboEngine {
 
         // Slots saturated. With CF enabled, accelerate via plan splitting —
         // multi-stage with an object-store exchange when the fan-out is
-        // configured and the cut point shuffles, single-stage otherwise.
+        // configured (or cost-derived) and the cut point shuffles,
+        // single-stage otherwise.
         if cf_enabled {
             if let Some(shuffle) =
-                plan_shuffle(&plan, &self.next_mv_path(), self.cfg.exchange_partitions)
+                plan_shuffle_sized(&plan, &self.next_mv_path(), &self.shuffle_sizing())
             {
                 return self.run_with_shuffle(&plan, shuffle, &trace);
             }
@@ -626,6 +646,16 @@ impl TurboEngine {
 
     fn next_mv_path(&self) -> String {
         format!("pixels-turbo/intermediate/mv-{}.pxl", self.mv_ids.next())
+    }
+
+    /// Exchange sizing from the config: an explicit `exchange_partitions`
+    /// pins that exact fan-out (the historical behavior), `0` turns on
+    /// cost-based sizing.
+    fn shuffle_sizing(&self) -> ShuffleSizing {
+        match self.cfg.exchange_partitions {
+            0 => ShuffleSizing::auto(),
+            n => ShuffleSizing::fixed(n),
+        }
     }
 
     /// Store-wide retry count delta over a query, surfaced as a
@@ -802,7 +832,11 @@ impl TurboEngine {
         // fleet, scaled and floored by the shared policy rule. Detection
         // stays driver-specific (a bounded channel wait); the *reaction* is
         // the policy's.
-        let straggler_wait = self.straggler_wait(&QueryWork::from_plan(&split.sub_plan));
+        let straggler_wait = self.straggler_wait(
+            &self
+                .cost_model
+                .sized_work(&QueryWork::from_plan(&split.sub_plan)),
+        );
 
         let attempts: Rc<RefCell<Vec<pixels_planner::SplitPlan>>> = Rc::default();
         let attempt_costs: Rc<RefCell<Vec<f64>>> = Rc::default();
@@ -811,7 +845,10 @@ impl TurboEngine {
             plan,
             trace,
             tx: tx.clone(),
-            work: QueryWork::from_plan(plan),
+            // Fleet right-sizing: the cost model shrinks startup-dominated
+            // fleets; the sim side of the parity harness applies the same
+            // transform, so modelled costs stay bit-identical.
+            work: self.cost_model.sized_work(&QueryWork::from_plan(plan)),
             first_split: Some(split),
             attempts: attempts.clone(),
             attempt_costs: attempt_costs.clone(),
@@ -1111,8 +1148,14 @@ impl TurboEngine {
         let retries_before = self.store.metrics().retries;
         let mut events: Vec<QueryEvent> = Vec::new();
         let partitions = shuffle.partitions;
+        let broadcast = shuffle.broadcast;
         let kind = Arc::new(shuffle.kind);
-        let stage_works = QueryWork::from_plan(plan).stage_works();
+        // Fleet right-sizing applies to the whole-query work before the
+        // per-stage split, exactly as the sim coordinator does.
+        let stage_works = self
+            .cost_model
+            .sized_work(&QueryWork::from_plan(plan))
+            .stage_works();
         let spill_base = format!("pixels-turbo/intermediate/shuffle-{}/", self.mv_ids.next());
         // Spill I/O runs under its own chaos/retry stack: the exchange_put /
         // exchange_get fault sites with the standard object-store backoff.
@@ -1149,6 +1192,7 @@ impl TurboEngine {
                     faults,
                     &kind,
                     partitions,
+                    broadcast,
                     exchange_store.clone(),
                     prefix.clone(),
                     trace,
@@ -1229,9 +1273,11 @@ impl TurboEngine {
             let tx1 = tx1.clone();
             FnEffects(move |attempt: u32| {
                 // Each stage-1 attempt materializes to its own MV; the top
-                // plan of the accepted attempt reads it back.
+                // plan of the accepted attempt reads it back. Sizing is a
+                // pure function of plan + config, so every relaunch re-plans
+                // the identical shuffle under its own MV path.
                 let mv_path = self.next_mv_path();
-                let sp = plan_shuffle(plan, &mv_path, partitions)
+                let sp = plan_shuffle_sized(plan, &mv_path, &self.shuffle_sizing())
                     .expect("plan shuffled for the first attempt");
                 let faults = policy::decide_launch_faults(
                     &self.injector,
@@ -1246,6 +1292,7 @@ impl TurboEngine {
                     faults,
                     &kind,
                     partitions,
+                    broadcast,
                     exchange_store.clone(),
                     winner_prefix.clone(),
                     mv_path.clone(),
@@ -1281,7 +1328,7 @@ impl TurboEngine {
             .collect();
         let provider_cf_dollars: f64 = costs0.iter().sum::<f64>() + costs1.iter().sum::<f64>();
 
-        let Some((w1, stats1)) = end1.winner else {
+        let Some((w1, (stage1_metrics, stats1))) = end1.winner else {
             // Every stage-1 attempt failed. The accepted stage-0 spills have
             // no reader anymore — GC them now, reap in-flight stage-1 MVs,
             // and degrade.
@@ -1290,7 +1337,7 @@ impl TurboEngine {
                 rx1,
                 stage1_artifacts,
                 attempts1.len() - end1.received,
-                |s: &ExchangeStats| (0, *s),
+                |p: &(ExecMetricsSnapshot, ExchangeStats)| (p.0.bytes_scanned, p.1),
             );
             return self.degrade_to_vm_path(
                 plan,
@@ -1324,13 +1371,18 @@ impl TurboEngine {
             rx1,
             stage1_artifacts,
             attempts1.len() - end1.received,
-            |s: &ExchangeStats| (0, *s),
+            |p: &(ExecMetricsSnapshot, ExchangeStats)| (p.0.bytes_scanned, p.1),
         );
 
-        // Billed bytes: stage-0 scans + the top plan's MV read. Stage 1 only
-        // touched spills through its scratch context, so nothing of the
-        // exchange leaks into `bytes_scanned`.
-        let metrics = stage0_metrics.merged(&ctx.metrics.snapshot());
+        // Billed bytes: stage-0 scans + stage-1 scans + the top plan's MV
+        // read. In a symmetric exchange stage 1 only touches spills through
+        // its scratch context (its snapshot is empty); in a broadcast join
+        // stage 1 executes the probe side, whose scan *is* billed — the same
+        // bytes the single-stage path would bill. Spill traffic never leaks
+        // into `bytes_scanned` either way.
+        let metrics = stage0_metrics
+            .merged(&stage1_metrics)
+            .merged(&ctx.metrics.snapshot());
         self.absorb_exec_metrics(&metrics, true);
         self.absorb_pipeline_metrics(&ctx.metrics.pipeline_snapshot());
         let mut exchange = stats0;
@@ -1364,6 +1416,9 @@ impl TurboEngine {
     /// Launch one stage-0 shuffle fleet: execute the shuffled operator's
     /// input(s) with the fleet's parallelism, then spill hash partitions
     /// under the attempt's prefix through the exchange (chaos/retry) stack.
+    /// For a broadcast join, stage 0 executes *only* the small build (right)
+    /// side and spills it whole as a single partition; the probe side never
+    /// crosses the exchange (stage 1 executes it directly).
     #[allow(clippy::too_many_arguments)]
     fn launch_shuffle_stage0(
         &self,
@@ -1371,6 +1426,7 @@ impl TurboEngine {
         faults: LaunchFaults,
         kind: &Arc<ShuffleKind>,
         partitions: usize,
+        broadcast: bool,
         exchange_store: ObjectStoreRef,
         prefix: String,
         trace: &TraceCtx,
@@ -1386,6 +1442,9 @@ impl TurboEngine {
         let ctxs: Vec<ExecContext> = match kind.as_ref() {
             ShuffleKind::Aggregate { input, .. } => vec![self
                 .exec_context(input, self.cfg.cf_fleet_threads)
+                .under(&fleet_span)],
+            ShuffleKind::Join { right, .. } if broadcast => vec![self
+                .exec_context(right, self.cfg.cf_fleet_threads)
                 .under(&fleet_span)],
             ShuffleKind::Join { left, right, .. } => vec![
                 self.exec_context(left, self.cfg.cf_fleet_threads)
@@ -1430,6 +1489,24 @@ impl TurboEngine {
                         // `bytes_spilled`, never `bytes`: spill PUTs are
                         // provider traffic, and the span byte sum must still
                         // equal `bytes_scanned` exactly.
+                        spill_span.record_u64("bytes_spilled", stats.put_bytes);
+                        Ok((ctx.metrics.snapshot(), stats))
+                    }
+                    ShuffleKind::Join {
+                        right, right_keys, ..
+                    } if broadcast => {
+                        let ctx = &ctxs[0];
+                        let rb = execute(right, ctx)?;
+                        let mut spill_span = ctx.trace.span("exchange_spill");
+                        let stats = exchange::write_join_partitions(
+                            &rb,
+                            &right.schema(),
+                            right_keys,
+                            JoinSide::Right,
+                            exchange_store.as_ref(),
+                            &prefix,
+                            1,
+                        )?;
                         spill_span.record_u64("bytes_spilled", stats.put_bytes);
                         Ok((ctx.metrics.snapshot(), stats))
                     }
@@ -1487,6 +1564,12 @@ impl TurboEngine {
     /// partition set back through the exchange stack (scratch contexts —
     /// spill GETs are never billed), finish the shuffled operator, and
     /// materialize the attempt's MV for the top plan.
+    ///
+    /// For a broadcast join this stage also *executes the probe side* (it
+    /// never crossed the exchange) under a billed context — the snapshot in
+    /// the payload carries those scanned bytes, exactly the bytes the
+    /// single-stage path would have billed for the same side. Symmetric
+    /// exchanges send an empty snapshot.
     #[allow(clippy::too_many_arguments)]
     fn launch_shuffle_stage1(
         &self,
@@ -1494,13 +1577,15 @@ impl TurboEngine {
         faults: LaunchFaults,
         kind: &Arc<ShuffleKind>,
         partitions: usize,
+        broadcast: bool,
         exchange_store: ObjectStoreRef,
         source_prefix: String,
         mv_path: String,
         trace: &TraceCtx,
-        tx: std::sync::mpsc::Sender<(u32, Result<ExchangeStats>)>,
+        tx: std::sync::mpsc::Sender<(u32, Result<(ExecMetricsSnapshot, ExchangeStats)>)>,
     ) {
         let store = self.store.clone();
+        let registry = self.registry.clone();
         let kind = kind.clone();
         // The same chunking the in-process join uses, so the MV's batches —
         // and therefore its bytes — are identical to the single-stage path.
@@ -1508,9 +1593,17 @@ impl TurboEngine {
         let mut fleet_span = trace.span("cf_fleet");
         fleet_span.record_u64("attempt", attempt as u64);
         fleet_span.record_u64("stage", 1);
+        // Broadcast probe context, built on the caller thread like stage 0's.
+        let probe_ctx: Option<ExecContext> = match kind.as_ref() {
+            ShuffleKind::Join { left, .. } if broadcast => Some(
+                self.exec_context(left, self.cfg.cf_fleet_threads)
+                    .under(&fleet_span),
+            ),
+            _ => None,
+        };
         std::thread::spawn(move || {
             let mut span = fleet_span;
-            let result = (|| -> Result<ExchangeStats> {
+            let result = (|| -> Result<(ExecMetricsSnapshot, ExchangeStats)> {
                 if faults.extra_startup.as_micros() > 0 {
                     std::thread::sleep(Duration::from_micros(faults.extra_startup.as_micros()));
                 }
@@ -1522,48 +1615,91 @@ impl TurboEngine {
                 if faults.straggle.as_micros() > 0 {
                     std::thread::sleep(Duration::from_micros(faults.straggle.as_micros()));
                 }
-                let (batches, stats) = match kind.as_ref() {
-                    ShuffleKind::Aggregate {
-                        group_exprs,
-                        aggs,
-                        output_schema,
-                        ..
-                    } => exchange::read_agg_partitions(
-                        &exchange_store,
-                        &source_prefix,
-                        partitions,
-                        group_exprs,
-                        aggs,
-                        output_schema,
-                    )?,
-                    ShuffleKind::Join {
-                        left,
-                        right,
-                        join_type,
-                        left_keys,
-                        right_keys,
-                        residual,
-                        output_schema,
-                    } => exchange::read_join_partitions(
-                        &exchange_store,
-                        &source_prefix,
-                        partitions,
-                        *join_type,
-                        left_keys,
-                        right_keys,
-                        residual.as_ref(),
-                        output_schema,
-                        &left.schema(),
-                        &right.schema(),
-                        batch_size,
-                    )?,
+                let (snapshot, batches, stats) = match (kind.as_ref(), &probe_ctx) {
+                    (
+                        ShuffleKind::Join {
+                            left,
+                            right,
+                            join_type,
+                            left_keys,
+                            right_keys,
+                            residual,
+                            output_schema,
+                        },
+                        Some(ctx),
+                    ) => {
+                        let probe = execute(left, ctx)?;
+                        let (batches, stats) = exchange::read_broadcast_join(
+                            &exchange_store,
+                            &source_prefix,
+                            &probe,
+                            *join_type,
+                            left_keys,
+                            right_keys,
+                            residual.as_ref(),
+                            output_schema,
+                            &left.schema(),
+                            &right.schema(),
+                            batch_size,
+                        )?;
+                        (ctx.metrics.snapshot(), batches, stats)
+                    }
+                    (
+                        ShuffleKind::Aggregate {
+                            group_exprs,
+                            aggs,
+                            output_schema,
+                            ..
+                        },
+                        _,
+                    ) => {
+                        let (batches, stats) = exchange::read_agg_partitions(
+                            &exchange_store,
+                            &source_prefix,
+                            partitions,
+                            group_exprs,
+                            aggs,
+                            output_schema,
+                        )?;
+                        (ExecMetricsSnapshot::default(), batches, stats)
+                    }
+                    (
+                        ShuffleKind::Join {
+                            left,
+                            right,
+                            join_type,
+                            left_keys,
+                            right_keys,
+                            residual,
+                            output_schema,
+                        },
+                        None,
+                    ) => {
+                        let (batches, stats) = exchange::read_join_partitions(
+                            &exchange_store,
+                            &source_prefix,
+                            partitions,
+                            *join_type,
+                            left_keys,
+                            right_keys,
+                            residual.as_ref(),
+                            output_schema,
+                            &left.schema(),
+                            &right.schema(),
+                            batch_size,
+                        )?;
+                        (ExecMetricsSnapshot::default(), batches, stats)
+                    }
                 };
                 span.record_u64("spill_bytes_read", stats.get_bytes);
                 let written =
                     materialize(store.as_ref(), &mv_path, kind.output_schema(), &batches)?;
                 span.record_u64("bytes_written", written);
-                Ok(stats)
+                Ok((snapshot, stats))
             })();
+            if let Some(ctx) = &probe_ctx {
+                absorb_prefetch_metrics(&registry, &ctx.metrics.pipeline_snapshot());
+            }
             // Finish the span before handing over the result: the race
             // winner's trace may be rendered the moment the send lands.
             drop(span);
@@ -2108,6 +2244,69 @@ mod tests {
             );
             assert_no_spills(&store);
         }
+    }
+
+    #[test]
+    fn auto_sizing_broadcasts_small_joins_and_skips_tiny_exchanges() {
+        // exchange_partitions = 0: cost-based sizing. On tiny TPC-H data a
+        // join's build side reliably estimates far below the broadcast
+        // threshold, so the join runs as a broadcast shuffle; an aggregate's
+        // estimated exchange bytes fall below the minimum, so it stays
+        // single-stage.
+        let join = "SELECT c_name, o_orderkey FROM customer \
+                    JOIN orders ON c_custkey = o_custkey \
+                    ORDER BY o_orderkey, c_name LIMIT 20";
+
+        // Reference: single-stage CF on a plain engine (cache warmed by the
+        // same VM run, so billed bytes are comparable).
+        let single = Arc::new(engine(1));
+        let direct = single.execute_sql("tpch", join, false).unwrap();
+        let single_out =
+            with_saturated_slot(&single, || single.execute_sql("tpch", join, true).unwrap());
+        assert!(single_out.used_cf);
+
+        let (auto, store) = shuffle_engine(0);
+        let auto = Arc::new(auto);
+        let auto_direct = auto.execute_sql("tpch", join, false).unwrap();
+        assert_eq!(auto_direct.batch, direct.batch);
+        let out = with_saturated_slot(&auto, || auto.execute_sql("tpch", join, true).unwrap());
+        assert!(out.used_cf);
+        assert_eq!(out.batch, direct.batch, "broadcast vs VM");
+        assert_eq!(out.batch, single_out.batch, "broadcast vs single-stage CF");
+        // Equal user bills: the probe scan is billed in stage 1, the build
+        // scan in stage 0 — the same bytes the single-stage fleet scans.
+        assert_eq!(out.bytes_scanned, single_out.bytes_scanned);
+        assert_eq!(
+            out.exchange.partitions, 1,
+            "broadcast spills the build side as one partition"
+        );
+        assert!(out.exchange.put_bytes > 0 && out.exchange.get_bytes > 0);
+        assert!(out.exchange.spilled_rows > 0);
+        assert!(out.provider_shuffle_dollars > 0.0);
+        // Two clean stage races, like any multi-stage plan.
+        assert_eq!(
+            out.decisions,
+            vec![
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+                Decision::DispatchCf { attempt: 0 },
+                Decision::Accept { attempt: 0 },
+            ]
+        );
+        assert_no_spills(&store);
+
+        // Tiny aggregate: the exchange would cost more than it saves.
+        let agg = "SELECT o_orderstatus, COUNT(*) AS n FROM orders GROUP BY o_orderstatus";
+        let agg_direct = auto.execute_sql("tpch", agg, false).unwrap();
+        let out = with_saturated_slot(&auto, || auto.execute_sql("tpch", agg, true).unwrap());
+        assert!(out.used_cf);
+        assert_eq!(out.batch, agg_direct.batch);
+        assert_eq!(
+            out.exchange,
+            ExchangeStats::default(),
+            "sub-threshold exchange must stay single-stage"
+        );
+        assert_no_spills(&store);
     }
 
     #[test]

@@ -238,6 +238,11 @@ pub struct CfCostModel {
 }
 
 impl CfCostModel {
+    /// Minimum useful runtime per CF worker for [`Self::sized_work`]: below
+    /// this, the ~800 ms fleet startup dominates and extra workers only add
+    /// cost.
+    pub const MIN_WORKER_SECONDS: f64 = 0.5;
+
     pub fn new(cfg: &CfConfig, pricing: ResourcePricing) -> CfCostModel {
         CfCostModel {
             pricing,
@@ -285,6 +290,27 @@ impl CfCostModel {
         let run_time = self.nominal_runtime(work) + faults.straggle;
         let startup = self.startup + faults.extra_startup;
         self.pricing.cf_cost(self.workers(work), startup + run_time)
+    }
+
+    /// Right-size a query's CF fleet from its estimated work: never launch a
+    /// worker that the query cannot keep busy for at least
+    /// [`Self::MIN_WORKER_SECONDS`] — startup-dominated fleets waste money
+    /// without helping latency. The fleet only ever shrinks (`parallelism`
+    /// stays the cap) so a wrong estimate changes worker count (speed and
+    /// provider cost) but never results or user bills; the rule is a
+    /// fixpoint, so sizing already-sized work is a no-op.
+    pub fn sized_work(&self, work: &QueryWork) -> QueryWork {
+        let full = self.workers(work);
+        if full <= 1 {
+            return *work;
+        }
+        let eff = self.pricing.cf_efficiency;
+        let need = (work.cpu_seconds * self.overhead_factor / (eff * Self::MIN_WORKER_SECONDS))
+            .ceil() as u32;
+        QueryWork {
+            parallelism: need.clamp(1, full),
+            ..*work
+        }
     }
 }
 
@@ -488,6 +514,41 @@ mod tests {
             CfConfig::default().startup + model.nominal_runtime(&work),
         );
         assert_eq!(model.attempt_cost(&work, &clean), expected);
+    }
+
+    #[test]
+    fn sized_work_shrinks_small_fleets_and_preserves_results_inputs() {
+        let model = CfCostModel::new(&CfConfig::default(), ResourcePricing::default());
+        // A tiny query cannot shrink below one worker.
+        let tiny = QueryWork {
+            scan_bytes: 1 << 20,
+            cpu_seconds: 0.01,
+            parallelism: 1,
+        };
+        assert_eq!(model.sized_work(&tiny), tiny);
+        // A short query with a wide cap gets a smaller fleet...
+        let short = QueryWork {
+            scan_bytes: 64 << 20,
+            cpu_seconds: 0.4,
+            parallelism: 16,
+        };
+        let sized = model.sized_work(&short);
+        assert!(sized.parallelism < short.parallelism, "fleet should shrink");
+        assert!(sized.parallelism >= 1);
+        // ...but scan bytes and CPU demand — the billed quantities — never
+        // change, and the fleet never grows beyond the cap.
+        assert_eq!(sized.scan_bytes, short.scan_bytes);
+        assert_eq!(sized.cpu_seconds, short.cpu_seconds);
+        // A long query keeps its full fleet (shrinking would blow the 1.5×
+        // runtime target).
+        let heavy = QueryWork {
+            scan_bytes: 40 << 30,
+            cpu_seconds: 220.0,
+            parallelism: 16,
+        };
+        assert_eq!(model.sized_work(&heavy).parallelism, 16);
+        // Sizing is idempotent: re-sizing the sized work is a fixpoint.
+        assert_eq!(model.sized_work(&sized), sized);
     }
 
     #[test]

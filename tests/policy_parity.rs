@@ -14,12 +14,20 @@ fn labels(decisions: &[Decision]) -> Vec<String> {
     decisions.iter().map(|d| format!("{d:?}")).collect()
 }
 
+fn run(name: &str) -> parity::ParityReport {
+    let scenarios = parity::scenarios();
+    let s = scenarios
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} exists"));
+    parity::run_scenario(s)
+}
+
 #[test]
 fn clean_paths_agree_between_sim_and_real() {
-    let scenarios = parity::scenarios();
-    let vm = parity::run_scenario(&scenarios[0]);
+    let vm = run("clean-vm");
     assert_eq!(labels(&vm.decisions), ["DispatchVm"]);
-    let cf = parity::run_scenario(&scenarios[1]);
+    let cf = run("clean-cf");
     assert_eq!(
         labels(&cf.decisions),
         ["DispatchCf { attempt: 0 }", "Accept { attempt: 0 }"]
@@ -33,8 +41,7 @@ fn clean_paths_agree_between_sim_and_real() {
 
 #[test]
 fn crash_recovery_agrees_between_sim_and_real() {
-    let scenarios = parity::scenarios();
-    let once = parity::run_scenario(&scenarios[2]);
+    let once = run("cf-crash-once");
     assert_eq!(
         labels(&once.decisions),
         [
@@ -48,7 +55,7 @@ fn crash_recovery_agrees_between_sim_and_real() {
         once.provider_cf_dollars > once.resource_cost.cf_dollars,
         "the crashed attempt still costs the provider money"
     );
-    let always = parity::run_scenario(&scenarios[3]);
+    let always = run("cf-crash-always");
     assert_eq!(
         labels(&always.decisions),
         [
@@ -65,8 +72,7 @@ fn crash_recovery_agrees_between_sim_and_real() {
 
 #[test]
 fn straggler_speculation_agrees_between_sim_and_real() {
-    let scenarios = parity::scenarios();
-    let r = parity::run_scenario(&scenarios[4]);
+    let r = run("cf-straggler");
     assert_eq!(
         labels(&r.decisions),
         [
@@ -83,8 +89,7 @@ fn straggler_speculation_agrees_between_sim_and_real() {
 
 #[test]
 fn shuffle_stages_agree_between_sim_and_real() {
-    let scenarios = parity::scenarios();
-    let clean = parity::run_scenario(&scenarios[5]);
+    let clean = run("shuffle-clean");
     assert_eq!(
         labels(&clean.decisions),
         [
@@ -101,7 +106,7 @@ fn shuffle_stages_agree_between_sim_and_real() {
         "two clean stages bill exactly their accepted fleets"
     );
 
-    let crash = parity::run_scenario(&scenarios[6]);
+    let crash = run("shuffle-stage-crash");
     assert_eq!(
         labels(&crash.decisions),
         [
@@ -119,4 +124,29 @@ fn shuffle_stages_agree_between_sim_and_real() {
         "the crashed stage-0 fleet still costs the provider money"
     );
     assert!(crash.shuffle_dollars > 0.0);
+}
+
+/// `exchange_partitions = 0` (cost-based auto sizing) with right-sized
+/// fleets on both sides: the sim coordinator and the real engine must
+/// still agree bit-identically, clean and under a stage crash.
+#[test]
+fn auto_sized_fleets_agree_between_sim_and_real() {
+    let clean = run("auto-sized-clean-cf");
+    assert_eq!(
+        labels(&clean.decisions),
+        ["DispatchCf { attempt: 0 }", "Accept { attempt: 0 }"]
+    );
+    assert_eq!(clean.resource_cost.cf_dollars, clean.provider_cf_dollars);
+
+    let crash = run("auto-sized-crash-once");
+    assert_eq!(
+        labels(&crash.decisions),
+        [
+            "DispatchCf { attempt: 0 }",
+            "AttemptFailed { attempt: 0 }",
+            "Relaunch { attempt: 1 }",
+            "Accept { attempt: 1 }"
+        ]
+    );
+    assert!(crash.provider_cf_dollars > crash.resource_cost.cf_dollars);
 }
