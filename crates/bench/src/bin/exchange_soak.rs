@@ -154,6 +154,7 @@ fn run_query(d: &Deployment, sql: &str, qid: &'static str, level: ServiceLevel) 
         level,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     let info = d.server.wait(id).expect("query record");
     RunRecord {

@@ -60,6 +60,7 @@ fn main() {
             level,
             result_limit: Some(10),
             tenant: None,
+            deadline_us: None,
         });
         let info = server.wait(id).expect("query completes");
         table.row(&[

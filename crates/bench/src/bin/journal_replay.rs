@@ -60,6 +60,7 @@ fn main() {
             level: ServiceLevel::ALL[i % ServiceLevel::ALL.len()],
             result_limit: None,
             tenant: Some(tenants[i % tenants.len()].into()),
+            deadline_us: None,
         });
     }
     server.submit(QuerySubmission {
@@ -68,6 +69,7 @@ fn main() {
         level: ServiceLevel::Relaxed,
         result_limit: None,
         tenant: Some("acme".into()),
+        deadline_us: None,
     });
     server.wait_all();
 

@@ -95,6 +95,33 @@ fn main() {
     };
     assert!(sum_bytes(&batched) * 4 <= sum_bytes(&plain));
     assert!(sum_cost(&batched) < sum_cost(&plain) * 0.8);
+
+    // The batching arithmetic was promoted into `pixels_exec::batch` (the
+    // sim and the live server both call it); reconcile the sim's batched
+    // records against the library directly. A full batch shares exactly one
+    // scan — member shares must sum to it without losing a byte — and the
+    // merged execution charges the carrier full CPU plus a reduced
+    // per-member fraction for each rider.
+    use pixels_exec::batch::{member_share, merged_cpu_seconds, SHARED_MEMBER_CPU_FRACTION};
+    let single = pixels_turbo::QueryWork::from_class(QueryClass::Medium);
+    for members in [2usize, 5, 8] {
+        let shares: Vec<u64> = (0..members)
+            .map(|i| member_share(single.scan_bytes, members, i))
+            .collect();
+        assert_eq!(
+            shares.iter().sum::<u64>(),
+            single.scan_bytes,
+            "member shares must partition one scan exactly"
+        );
+        let merged = merged_cpu_seconds(single.cpu_seconds, members);
+        let expected = single.cpu_seconds
+            + single.cpu_seconds * SHARED_MEMBER_CPU_FRACTION * (members - 1) as f64;
+        assert!(
+            (merged - expected).abs() < 1e-9,
+            "merged cpu {merged} != carrier + riders {expected}"
+        );
+        assert!(merged < single.cpu_seconds * members as f64);
+    }
     println!(
         "\nSharing one scan across a batch cuts scanned bytes by {:.0}x and provider cost by {:.0}%.",
         sum_bytes(&plain) as f64 / sum_bytes(&batched) as f64,

@@ -40,6 +40,27 @@ pub const CF_VM_RATIO_MIN: f64 = 9.0;
 /// Upper end of the effective CF : VM unit-price band.
 pub const CF_VM_RATIO_MAX: f64 = 24.0;
 
+/// Reference deadline for the `Deadline` admission mode: a query asking to
+/// finish within this target pays the full Immediate price. Looser targets
+/// pay proportionally less (down to the best-of-effort floor), tighter
+/// targets are capped at the Immediate price — the price curve interpolates
+/// the three fixed tiers instead of inventing a fourth price point.
+pub const DEADLINE_REF_US: u64 = 60_000_000;
+
+/// Price fraction (of [`IMMEDIATE_PER_TB`]) for a deadline of `target_us`.
+///
+/// `fraction = clamp(DEADLINE_REF_US / target_us, BESTEFFORT_PRICE_FRACTION, 1.0)`
+///
+/// Consistent with the fixed tiers: a 60 s deadline prices like Immediate
+/// (1.0), a 300 s deadline like Relaxed (0.2), and anything ≥ 600 s like
+/// best-of-effort (0.1).
+pub fn deadline_price_fraction(target_us: u64) -> f64 {
+    if target_us == 0 {
+        return 1.0;
+    }
+    (DEADLINE_REF_US as f64 / target_us as f64).clamp(BESTEFFORT_PRICE_FRACTION, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +79,18 @@ mod tests {
     fn ratio_band_is_ordered() {
         assert!(CF_VM_RATIO_MIN < CF_VM_RATIO_MAX);
         assert!(CF_VM_RATIO_MIN > 1.0);
+    }
+
+    #[test]
+    fn deadline_fraction_interpolates_the_fixed_tiers() {
+        // 60 s target pays the Immediate price.
+        assert!((deadline_price_fraction(DEADLINE_REF_US) - 1.0).abs() < 1e-12);
+        // 300 s target pays the Relaxed fraction.
+        assert!((deadline_price_fraction(300_000_000) - RELAXED_PRICE_FRACTION).abs() < 1e-12);
+        // Looser than 600 s floors at the best-of-effort fraction.
+        assert!((deadline_price_fraction(3_600_000_000) - BESTEFFORT_PRICE_FRACTION).abs() < 1e-12);
+        // Tighter than the reference is capped at 1.0 (no premium tier).
+        assert!((deadline_price_fraction(1_000_000) - 1.0).abs() < 1e-12);
+        assert!((deadline_price_fraction(0) - 1.0).abs() < 1e-12);
     }
 }

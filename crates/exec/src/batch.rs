@@ -1,0 +1,127 @@
+//! Shared-scan batch optimization — the library form of the seed
+//! `x1_batch_optimization` experiment.
+//!
+//! The paper closes with: the service levels "also provide opportunities
+//! for batch query optimization." When several parked queries read the same
+//! table, the server merges them into one execution that shares a single
+//! scan. This module is the one implementation of the batch cost/billing
+//! arithmetic, called by the simulator's best-of-effort batcher, the live
+//! shared-work layer, the admission soak harness, and the
+//! `x1_batch_optimization` bench bin — so they can never drift apart.
+//!
+//! **Billing invariant.** Sharing never changes what a member is billed:
+//! every member of an `n`-way batch is attributed exactly `1/n` of the
+//! merged scan's bytes — the same bytes it would have scanned alone, since
+//! members share the table scan — and `1/n` of the provider cost. The sum
+//! over members always reproduces the merged totals (the remainder of the
+//! integer division is assigned to the first member).
+
+/// Incremental CPU a merged execution pays per additional batch member,
+/// as a fraction of one member's solo CPU. Scanning is shared; only the
+/// per-member operator work (filter/aggregate/project) repeats, measured
+/// at ~55% of a solo run.
+pub const SHARED_MEMBER_CPU_FRACTION: f64 = 0.55;
+
+/// CPU-seconds of one merged execution carrying `members` same-class
+/// queries: one full scan plus the incremental per-member work.
+pub fn merged_cpu_seconds(single_cpu_seconds: f64, members: usize) -> f64 {
+    single_cpu_seconds * (1.0 + SHARED_MEMBER_CPU_FRACTION * (members.saturating_sub(1)) as f64)
+}
+
+/// Scan bytes attributed to member `index` of an `n`-way batch: `total / n`,
+/// with the integer-division remainder assigned to member 0 so that the
+/// per-member shares always sum back to `total` exactly.
+pub fn member_share(total_bytes: u64, members: usize, index: usize) -> u64 {
+    if members == 0 {
+        return 0;
+    }
+    let n = members as u64;
+    let base = total_bytes / n;
+    if index == 0 {
+        base + total_bytes % n
+    } else {
+        base
+    }
+}
+
+/// Provider-cost share of one member of an `n`-way batch.
+pub fn member_cost_share(total_cost: f64, members: usize) -> f64 {
+    if members == 0 {
+        0.0
+    } else {
+        total_cost / members as f64
+    }
+}
+
+/// Normalize a SQL text for shared-work keying: collapse runs of whitespace
+/// to single spaces, trim, and drop a trailing semicolon. Two submissions
+/// with the same normalized text are "identical" for single-flight and
+/// result-cache purposes. Deliberately conservative — no case folding, since
+/// identifiers and string literals are case-sensitive.
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut last_space = true;
+    for ch in sql.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(ch);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') || out.ends_with(';') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_cpu_grows_sublinearly() {
+        let solo = 10.0;
+        assert_eq!(merged_cpu_seconds(solo, 1), solo);
+        let four = merged_cpu_seconds(solo, 4);
+        assert!((four - 10.0 * (1.0 + 0.55 * 3.0)).abs() < 1e-12);
+        // A 4-way batch is much cheaper than 4 solo runs.
+        assert!(four < 4.0 * solo);
+        // ...but still monotone in members.
+        assert!(merged_cpu_seconds(solo, 5) > four);
+        // Degenerate sizes don't underflow.
+        assert_eq!(merged_cpu_seconds(solo, 0), solo);
+    }
+
+    #[test]
+    fn member_shares_sum_back_exactly() {
+        for total in [0u64, 1, 7, 1_000_003, u64::MAX / 7] {
+            for n in 1usize..=9 {
+                let sum: u64 = (0..n).map(|i| member_share(total, n, i)).sum();
+                assert_eq!(sum, total, "total={total} n={n}");
+            }
+        }
+        assert_eq!(member_share(100, 0, 0), 0);
+    }
+
+    #[test]
+    fn cost_shares_split_evenly() {
+        let per = member_cost_share(1.0, 4);
+        assert!((per - 0.25).abs() < 1e-12);
+        assert_eq!(member_cost_share(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn normalize_sql_collapses_whitespace_and_semicolon() {
+        assert_eq!(normalize_sql("SELECT  *\n FROM   t ;"), "SELECT * FROM t");
+        assert_eq!(normalize_sql("SELECT 1"), normalize_sql(" SELECT 1;\n"));
+        // Case is preserved: 'T' and 't' may be different tables.
+        assert_ne!(
+            normalize_sql("SELECT * FROM T"),
+            normalize_sql("SELECT * FROM t")
+        );
+    }
+}

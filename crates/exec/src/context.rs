@@ -110,6 +110,12 @@ impl ExecContext {
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
     pub bytes_scanned: AtomicU64,
+    /// The subset of `bytes_scanned` fetched at file open (footer/metadata
+    /// bytes). On a warm reopen the footer cache absorbs these bytes — so
+    /// `bytes_scanned - open_bytes` is exactly what a repeat of this query
+    /// against warm caches would bill. The shared-work result cache bills
+    /// repeats that amount.
+    pub open_bytes: AtomicU64,
     pub rows_scanned: AtomicU64,
     pub rows_produced: AtomicU64,
     pub row_groups_total: AtomicU64,
@@ -145,6 +151,8 @@ pub struct ScanPipelineSnapshot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecMetricsSnapshot {
     pub bytes_scanned: u64,
+    /// Footer/open bytes included in `bytes_scanned` (zero on warm reopens).
+    pub open_bytes: u64,
     pub rows_scanned: u64,
     pub rows_produced: u64,
     pub row_groups_total: u64,
@@ -158,6 +166,7 @@ impl ExecMetricsSnapshot {
     pub fn merged(&self, other: &ExecMetricsSnapshot) -> ExecMetricsSnapshot {
         ExecMetricsSnapshot {
             bytes_scanned: self.bytes_scanned + other.bytes_scanned,
+            open_bytes: self.open_bytes + other.open_bytes,
             rows_scanned: self.rows_scanned + other.rows_scanned,
             rows_produced: self.rows_produced + other.rows_produced,
             row_groups_total: self.row_groups_total + other.row_groups_total,
@@ -171,6 +180,7 @@ impl ExecMetricsSnapshot {
         use pixels_common::Json;
         Json::object([
             ("bytes_scanned", Json::number(self.bytes_scanned as f64)),
+            ("open_bytes", Json::number(self.open_bytes as f64)),
             ("rows_scanned", Json::number(self.rows_scanned as f64)),
             ("rows_produced", Json::number(self.rows_produced as f64)),
             (
@@ -205,6 +215,12 @@ impl ExecMetrics {
         self.footer_cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record footer/open bytes (already included in `bytes_scanned` by the
+    /// accompanying [`ExecMetrics::add_scan`] call).
+    pub fn add_open(&self, bytes: u64) {
+        self.open_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub fn add_prefetch(&self, issued: u64, hits: u64, wasted: u64) {
         self.prefetch_issued.fetch_add(issued, Ordering::Relaxed);
         self.prefetch_hits.fetch_add(hits, Ordering::Relaxed);
@@ -231,6 +247,7 @@ impl ExecMetrics {
     pub fn snapshot(&self) -> ExecMetricsSnapshot {
         ExecMetricsSnapshot {
             bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            open_bytes: self.open_bytes.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             rows_produced: self.rows_produced.load(Ordering::Relaxed),
             row_groups_total: self.row_groups_total.load(Ordering::Relaxed),

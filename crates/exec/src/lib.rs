@@ -13,6 +13,7 @@
 //! materialized view.
 
 pub mod aggregate;
+pub mod batch;
 pub mod context;
 pub mod encoded;
 pub mod engine;

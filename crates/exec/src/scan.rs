@@ -44,6 +44,7 @@ pub(crate) fn open_metered<'a>(ctx: &'a ExecContext, path: &str) -> Result<Pixel
         ctx.metrics.add_footer_cache_hit();
     } else {
         ctx.metrics.add_scan(reader.open_bytes(), 0);
+        ctx.metrics.add_open(reader.open_bytes());
     }
     Ok(reader)
 }

@@ -283,6 +283,49 @@ impl Ledger {
                 .set(dollars);
         }
     }
+
+    /// Publish per-tenant revenue and entry-count gauges, capped at the
+    /// `top_k` tenants by revenue (ties broken by name) plus one aggregate
+    /// `other` bucket — so a fleet with a million tenants exports at most
+    /// `top_k + 1` series per family instead of a million. Gauges, not
+    /// counters: the top-K membership may change between scrapes.
+    pub fn export_tenants(&self, registry: &MetricsRegistry, top_k: usize) {
+        let by_tenant = self.by_tenant();
+        let mut ranked: Vec<(&String, &LedgerSummary)> = by_tenant.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.revenue_dollars
+                .total_cmp(&a.1.revenue_dollars)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let mut other = LedgerSummary::default();
+        let emit = |tenant: &str, s: &LedgerSummary| {
+            registry
+                .gauge_with(
+                    "pixels_ledger_tenant_revenue_dollars",
+                    "User revenue recorded in the ledger, by tenant (top-K + other).",
+                    &[("tenant", tenant)],
+                )
+                .set(s.revenue_dollars);
+            registry
+                .gauge_with(
+                    "pixels_ledger_tenant_entries",
+                    "Ledger entries, by tenant (top-K + other).",
+                    &[("tenant", tenant)],
+                )
+                .set(s.entries as f64);
+        };
+        for (i, (tenant, s)) in ranked.iter().enumerate() {
+            if i < top_k {
+                emit(tenant, s);
+            } else {
+                other.entries += s.entries;
+                other.revenue_dollars += s.revenue_dollars;
+            }
+        }
+        if ranked.len() > top_k {
+            emit("other", &other);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -387,5 +430,46 @@ mod tests {
             text.contains("pixels_ledger_provider_dollars{component=\"cf_shuffle\"} 0"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn tenant_export_caps_label_cardinality_at_top_k_plus_other() {
+        let r = MetricsRegistry::new();
+        let l = Ledger::new();
+        // 100 tenants with distinct revenue; only the top 8 may get their
+        // own series, everyone else folds into "other".
+        for i in 0..100u32 {
+            let mut e = entry(&format!("q-{i}"), "relaxed", (i + 1) as f64 * 0.01);
+            e.tenant = format!("tenant-{i:03}");
+            l.append(e);
+        }
+        l.export_tenants(&r, 8);
+        let text = r.render();
+        let series: Vec<&str> = text
+            .lines()
+            .filter(|line| line.starts_with("pixels_ledger_tenant_revenue_dollars{"))
+            .collect();
+        assert_eq!(series.len(), 9, "top-8 + other, never 100: {series:?}");
+        // Highest-revenue tenant keeps its own series...
+        assert!(
+            text.contains("pixels_ledger_tenant_revenue_dollars{tenant=\"tenant-099\"} 1"),
+            "{text}"
+        );
+        // ...the long tail is aggregated, losing no dollars.
+        let sum: f64 = series
+            .iter()
+            .map(|line| line.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        let total: f64 = l.summary().revenue_dollars;
+        assert!((sum - total).abs() < 1e-9, "export conserves revenue");
+        assert!(text.contains("pixels_ledger_tenant_entries{tenant=\"other\"} 92"));
+        // A small fleet exports every tenant and no "other" bucket.
+        let r2 = MetricsRegistry::new();
+        let small = Ledger::new();
+        small.append(entry("q-1", "relaxed", 0.5));
+        small.export_tenants(&r2, 8);
+        let text2 = r2.render();
+        assert!(text2.contains("tenant=\"default\""), "{text2}");
+        assert!(!text2.contains("tenant=\"other\""), "{text2}");
     }
 }

@@ -175,6 +175,7 @@ impl Session {
             level,
             result_limit,
             tenant: None,
+            deadline_us: None,
         });
         block.submitted.push(id);
         Ok((form, id))

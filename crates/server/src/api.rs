@@ -11,9 +11,12 @@
 //! force-starts it unslotted), best-of-effort waits for an idle engine
 //! bounded by the starvation limit.
 
+use crate::fair::{FairQueue, QueuedQuery};
 use crate::pricing::PriceSchedule;
-use crate::scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
+use crate::scheduler::{Admission, AdmissionMode, LoadSignal, QueueVerdict, SchedulerPolicy};
 use crate::service_level::ServiceLevel;
+use crate::shared::{SharedWork, SharingConfig};
+use crate::tenant::TenantDirectory;
 use parking_lot::Mutex;
 use pixels_common::{Error, Json, QueryId, RecordBatch, Result};
 use pixels_obs::{
@@ -36,6 +39,9 @@ pub enum QueryStatus {
     Running,
     Finished,
     Failed,
+    /// Refused at admission (infeasible deadline or exhausted tenant
+    /// budget): never executed, never billed, never cached.
+    Rejected,
 }
 
 impl QueryStatus {
@@ -45,6 +51,7 @@ impl QueryStatus {
             QueryStatus::Running => "running",
             QueryStatus::Finished => "finished",
             QueryStatus::Failed => "failed",
+            QueryStatus::Rejected => "rejected",
         }
     }
 }
@@ -59,12 +66,24 @@ pub struct QuerySubmission {
     pub result_limit: Option<usize>,
     /// Billing tenant for the economics ledger; `None` bills "default".
     pub tenant: Option<String>,
+    /// Completion target in microseconds. When set, the query is admitted
+    /// in deadline mode — `level` is ignored for scheduling and pricing —
+    /// and rejected outright if the target is infeasible.
+    pub deadline_us: Option<u64>,
 }
 
 impl QuerySubmission {
     /// The ledger tenant this submission bills to.
     pub fn tenant_name(&self) -> &str {
         self.tenant.as_deref().unwrap_or("default")
+    }
+
+    /// The admission mode this submission asks for.
+    pub fn mode(&self) -> AdmissionMode {
+        match self.deadline_us {
+            Some(target_us) => AdmissionMode::Deadline { target_us },
+            None => AdmissionMode::Level(self.level),
+        }
     }
 }
 
@@ -119,7 +138,7 @@ impl QueryInfo {
             ("status".to_string(), Json::string(self.status.name())),
             (
                 "service_level".to_string(),
-                Json::string(self.submission.level.name()),
+                Json::string(self.submission.mode().name()),
             ),
             (
                 "tenant".to_string(),
@@ -182,6 +201,14 @@ pub struct QueryServer {
     absorbed_storage: Mutex<StoreMetricsSnapshot>,
     /// SLO, ledger, and journal sinks every query thread reports into.
     obs: ObsSinks,
+    /// Tenant-aware queue shared by every waiting query thread: deficit-
+    /// weighted fair queueing across tenants, EDF over deadline work.
+    fair: Arc<Mutex<FairQueue>>,
+    /// Per-tenant weights and budgets.
+    tenants: Arc<TenantDirectory>,
+    /// Shared-work front (single-flight + result cache); disabled unless
+    /// [`QueryServer::with_sharing`] opts in.
+    sharing: Arc<SharedWork>,
 }
 
 /// The observability sinks a query thread appends to at its terminal state.
@@ -219,7 +246,90 @@ impl QueryServer {
             next_id: AtomicU64::new(0),
             handles: Mutex::new(Vec::new()),
             absorbed_storage: Mutex::new(StoreMetricsSnapshot::default()),
+            fair: Arc::new(Mutex::new(FairQueue::new())),
+            tenants: Arc::new(TenantDirectory::new()),
+            sharing: Arc::new(SharedWork::new(SharingConfig::default())),
         }
+    }
+
+    /// Enable (or reconfigure) the shared-work layer.
+    pub fn with_sharing(mut self, cfg: SharingConfig) -> Self {
+        self.sharing = Arc::new(SharedWork::new(cfg));
+        self
+    }
+
+    /// Install a tenant directory (weights and budgets). Weights propagate
+    /// into the fair queue as tenants are registered.
+    pub fn with_tenants(mut self, tenants: Arc<TenantDirectory>) -> Self {
+        for (name, policy) in tenants.registered() {
+            self.fair.lock().set_weight(&name, policy.weight);
+        }
+        self.tenants = tenants;
+        self
+    }
+
+    /// The tenant directory backing `/tenants` and budget admission.
+    pub fn tenants(&self) -> &Arc<TenantDirectory> {
+        &self.tenants
+    }
+
+    /// The shared-work layer (single-flight + result cache).
+    pub fn shared(&self) -> &Arc<SharedWork> {
+        &self.sharing
+    }
+
+    /// Drop cached results for `db` — call on any mutation to its data.
+    pub fn invalidate_results(&self, db: &str) {
+        self.sharing.invalidate_db(db);
+    }
+
+    /// The `GET /tenants` payload: per-tenant policy, spend, and queue
+    /// depth, for every tenant known to the directory or the ledger.
+    pub fn tenants_json(&self) -> Json {
+        let by_tenant = self.obs.ledger.by_tenant();
+        let mut names: Vec<String> = self
+            .tenants
+            .registered()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        for name in by_tenant.keys() {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+        names.sort();
+        let fair = self.fair.lock();
+        let rows: Vec<Json> = names
+            .iter()
+            .map(|name| {
+                let policy = self.tenants.policy(name);
+                let mut fields = vec![
+                    ("tenant".to_string(), Json::string(name.clone())),
+                    ("weight".to_string(), Json::number(policy.weight)),
+                    (
+                        "queued".to_string(),
+                        Json::number(fair.tenant_depth(name) as f64),
+                    ),
+                ];
+                if let Some(budget) = policy.budget_dollars {
+                    fields.push(("budget_dollars".to_string(), Json::number(budget)));
+                }
+                if let Some(summary) = by_tenant.get(name) {
+                    fields.push((
+                        "spent_dollars".to_string(),
+                        Json::number(summary.revenue_dollars),
+                    ));
+                    fields.push(("queries".to_string(), Json::number(summary.entries as f64)));
+                }
+                Json::Object(fields.into_iter().collect())
+            })
+            .collect();
+        Json::Object(
+            vec![("tenants".to_string(), Json::Array(rows))]
+                .into_iter()
+                .collect(),
+        )
     }
 
     /// Replace the admission policy (grace period, best-of-effort bound).
@@ -318,6 +428,10 @@ impl QueryServer {
         // revenue and provider spend), published as deltas at scrape time.
         self.obs.slo.export(r);
         self.obs.ledger.export(r);
+        // Per-tenant revenue, capped at the top-K tenants plus an "other"
+        // bucket so a million-tenant fleet cannot blow up label cardinality.
+        self.obs.ledger.export_tenants(r, 8);
+        self.sharing.export(r);
         r.render()
     }
 
@@ -347,13 +461,42 @@ impl QueryServer {
             exchange: ExchangeStats::default(),
         };
         self.state.lock().insert(id, info);
+        let mode = submission.mode();
         self.registry()
             .gauge_with(
                 "pixels_scheduler_queue_depth",
                 "Queries submitted but not yet running, per service level",
-                &[("level", submission.level.name())],
+                &[("level", mode.name())],
             )
             .add(1.0);
+
+        // Budget admission: a tenant whose ledgered spend has reached its
+        // budget is refused before a thread ever spawns. Rejections journal
+        // and burn SLO budget but never touch the ledger or result cache.
+        let tenant_policy = self.tenants.policy(submission.tenant_name());
+        if let Some(budget) = tenant_policy.budget_dollars {
+            let spent = self
+                .obs
+                .ledger
+                .by_tenant()
+                .get(submission.tenant_name())
+                .map(|s| s.revenue_dollars)
+                .unwrap_or(0.0);
+            if spent >= budget {
+                finalize_rejection(
+                    self.registry(),
+                    &self.state,
+                    &self.obs,
+                    id,
+                    &submission,
+                    "budget_exhausted",
+                );
+                return id;
+            }
+        }
+        self.fair
+            .lock()
+            .set_weight(submission.tenant_name(), tenant_policy.weight);
 
         let engine = self.engine.clone();
         let state = self.state.clone();
@@ -361,8 +504,12 @@ impl QueryServer {
         let policy = self.policy;
         let poll = self.poll;
         let obs = self.obs.clone();
+        let fair = self.fair.clone();
+        let sharing = self.sharing.clone();
         let handle = std::thread::spawn(move || {
-            run_query_thread(engine, state, prices, policy, poll, id, submission, obs);
+            run_query_thread(
+                engine, state, prices, policy, poll, id, submission, obs, fair, sharing,
+            );
         });
         let mut handles = self.handles.lock();
         // Reap finished query threads so a long-running server doesn't
@@ -399,7 +546,9 @@ impl QueryServer {
         loop {
             let info = self.status(id)?;
             match info.status {
-                QueryStatus::Finished | QueryStatus::Failed => return Ok(info),
+                QueryStatus::Finished | QueryStatus::Failed | QueryStatus::Rejected => {
+                    return Ok(info)
+                }
                 _ => std::thread::sleep(Duration::from_millis(2)),
             }
         }
@@ -414,6 +563,65 @@ impl QueryServer {
     }
 }
 
+/// Terminal bookkeeping for a rejected submission: status, journal record,
+/// SLO violation, and the terminal-status counter — deliberately *no*
+/// ledger entry and no result-cache write.
+fn finalize_rejection(
+    registry: &Arc<MetricsRegistry>,
+    state: &Arc<Mutex<HashMap<QueryId, QueryInfo>>>,
+    obs: &ObsSinks,
+    id: QueryId,
+    submission: &QuerySubmission,
+    reason: &'static str,
+) {
+    let level = submission.mode().name();
+    registry
+        .gauge_with(
+            "pixels_scheduler_queue_depth",
+            "Queries submitted but not yet running, per service level",
+            &[("level", level)],
+        )
+        .add(-1.0);
+    {
+        let mut s = state.lock();
+        if let Some(info) = s.get_mut(&id) {
+            info.status = QueryStatus::Rejected;
+            info.error = Some(reason.to_string());
+        }
+    }
+    let slo_good = obs.slo.record(level, u64::MAX);
+    obs.journal.append(JournalEntry {
+        query: id.to_string(),
+        tenant: submission.tenant_name().to_string(),
+        level: level.to_string(),
+        status: QueryStatus::Rejected.name().to_string(),
+        admission: "rejected".to_string(),
+        decisions: vec![reason.to_string()],
+        retries: 0,
+        pending_us: 0,
+        execution_us: 0,
+        scan_bytes: 0,
+        revenue_dollars: 0.0,
+        vm_dollars: 0.0,
+        cf_dollars: 0.0,
+        provider_cf_dollars: 0.0,
+        used_cf: false,
+        degraded: false,
+        speculative: false,
+        slo_good,
+        slo_threshold_us: obs.slo.threshold_us(level).unwrap_or(0),
+        trace_spans: 0,
+        at_us: pixels_obs::WallClock::shared().now_micros(),
+    });
+    registry
+        .counter_with(
+            "pixels_queries_total",
+            "Queries reaching a terminal status, per service level",
+            &[("level", level), ("status", QueryStatus::Rejected.name())],
+        )
+        .add(1);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_query_thread(
     engine: Arc<TurboEngine>,
@@ -424,41 +632,79 @@ fn run_query_thread(
     id: QueryId,
     submission: QuerySubmission,
     obs: ObsSinks,
+    fair: Arc<Mutex<FairQueue>>,
+    sharing: Arc<SharedWork>,
 ) {
     let registry = engine.registry().clone();
+    let mode = submission.mode();
     // One trace per query: the root `query` span covers scheduler wait,
     // tier dispatch, every operator, and every storage access beneath it.
     let trace = Trace::wall();
     let mut query_span = TraceCtx::root(&trace).span("query");
     query_span.record_str("id", &id.to_string());
-    query_span.record_str("level", submission.level.name());
+    query_span.record_str("level", mode.name());
+
+    // Deadline feasibility needs a work estimate; the planner's resource
+    // model supplies it. An unplannable query estimates zero — it will fail
+    // with its real error during execution, not a confusing rejection.
+    let est_us = match mode {
+        AdmissionMode::Deadline { .. } => engine
+            .estimate_work(&submission.database, &submission.sql)
+            .map(|w| w.exec_time_on_cores(w.parallelism as f64).as_micros())
+            .unwrap_or(0),
+        AdmissionMode::Level(_) => 0,
+    };
 
     let queued = std::time::Instant::now();
     // Admission runs the same policy as the simulator; this thread supplies
-    // the live load signal and wall clock (micros since submission) and
-    // executes the verdicts.
-    let load = |engine: &TurboEngine| LoadSignal {
-        overloaded: engine.is_busy(),
-        nearly_idle: !engine.is_busy(),
+    // the live load signal (engine busyness + fair-queue depths) and wall
+    // clock (micros since submission) and executes the verdicts.
+    let load = |engine: &TurboEngine, fair: &Mutex<FairQueue>| {
+        let q = fair.lock();
+        LoadSignal {
+            overloaded: engine.is_busy(),
+            nearly_idle: !engine.is_busy(),
+            tenant_depth: q.tenant_class_depth(submission.tenant_name(), mode),
+            total_depth: q.depth(),
+        }
     };
     let mut forced = false;
     let mut admission = "dispatch_now";
     {
         let wait_span = query_span.ctx().span("scheduler_wait");
-        if let Admission::Queue { deadline_us } = policy.admit(submission.level, load(&engine), 0) {
-            admission = "queued";
-            loop {
-                let now_us = queued.elapsed().as_micros() as u64;
-                match policy.recheck(submission.level, load(&engine), now_us, deadline_us) {
-                    QueueVerdict::Dispatch { forced: f } => {
-                        forced = f;
-                        if f {
-                            admission = "forced";
+        match policy.admit_mode(mode, load(&engine, &fair), 0, est_us) {
+            Admission::DispatchNow => {}
+            Admission::Queue { deadline_us } => {
+                admission = "queued";
+                fair.lock().push(QueuedQuery {
+                    id: id.0,
+                    tenant: submission.tenant_name().to_string(),
+                    mode,
+                    deadline_us,
+                    enqueued_us: 0,
+                    batch_key: None,
+                });
+                loop {
+                    let now_us = queued.elapsed().as_micros() as u64;
+                    let snapshot = load(&engine, &fair);
+                    let verdict = fair.lock().poll(&policy, snapshot, now_us, id.0);
+                    match verdict {
+                        QueueVerdict::Dispatch { forced: f } => {
+                            forced = f;
+                            if f {
+                                admission = "forced";
+                            }
+                            break;
                         }
-                        break;
+                        QueueVerdict::Wait => std::thread::sleep(poll),
                     }
-                    QueueVerdict::Wait => std::thread::sleep(poll),
                 }
+            }
+            Admission::Reject { reason } => {
+                drop(wait_span);
+                drop(query_span);
+                finalize_rejection(&registry, &state, &obs, id, &submission, reason);
+                return;
             }
         }
         drop(wait_span);
@@ -466,19 +712,27 @@ fn run_query_thread(
     // The pending-time bound covers the engine's slot queue too: relaxed
     // queries may wait for a VM slot only until their grace period expires
     // (forced queries exhausted theirs already), then force-start unslotted.
+    // Deadline queries get their remaining latest-start budget.
     let slot_wait_limit = if forced {
         Some(Duration::ZERO)
-    } else if submission.level == ServiceLevel::Relaxed {
-        let grace = Duration::from_micros(policy.grace.as_micros());
-        Some(grace.saturating_sub(queued.elapsed()))
     } else {
-        None
+        match mode {
+            AdmissionMode::Level(ServiceLevel::Relaxed) => {
+                let grace = Duration::from_micros(policy.grace.as_micros());
+                Some(grace.saturating_sub(queued.elapsed()))
+            }
+            AdmissionMode::Deadline { target_us } => {
+                let budget = Duration::from_micros(target_us.saturating_sub(est_us));
+                Some(budget.saturating_sub(queued.elapsed()))
+            }
+            AdmissionMode::Level(_) => None,
+        }
     };
     registry
         .gauge_with(
             "pixels_scheduler_queue_depth",
             "Queries submitted but not yet running, per service level",
-            &[("level", submission.level.name())],
+            &[("level", mode.name())],
         )
         .add(-1.0);
     {
@@ -488,10 +742,11 @@ fn run_query_thread(
             info.pending = queued.elapsed();
         }
     }
-    let outcome = engine.execute_sql_scheduled(
+    let (outcome, _share_kind) = sharing.execute(
+        &engine,
         &submission.database,
         &submission.sql,
-        submission.level.cf_enabled(),
+        mode.cf_enabled(),
         query_span.ctx(),
         slot_wait_limit,
     );
@@ -514,7 +769,7 @@ fn run_query_thread(
             info.pending += out.pending;
             info.execution = out.execution;
             info.scan_bytes = out.bytes_scanned;
-            info.price = prices.bill(submission.level, out.bytes_scanned);
+            info.price = prices.bill_mode(mode, out.bytes_scanned);
             info.used_cf = out.used_cf;
             info.metrics = out.metrics;
             info.events = out.events;
@@ -535,7 +790,7 @@ fn run_query_thread(
     // SLO verdict, ledger entry, and journal record — appended while the
     // state lock is held, so anyone who observes the terminal status also
     // observes the query's obs records.
-    let level = submission.level.name();
+    let level = mode.name();
     let at_us = trace.now_micros();
     let degraded = info
         .decisions
@@ -545,10 +800,16 @@ fn run_query_thread(
         .decisions
         .iter()
         .any(|d| matches!(d, Decision::StragglerSpeculate { .. }));
-    let slo_good = match info.status {
+    let slo_good = match (info.status, mode) {
         // Failed queries always burn budget, whatever their pending time.
-        QueryStatus::Failed => obs.slo.record(level, u64::MAX),
-        _ => obs.slo.record(level, info.pending.as_micros() as u64),
+        (QueryStatus::Failed, _) => obs.slo.record(level, u64::MAX),
+        // A deadline query is judged on completion latency: the excess over
+        // its own target, against the zero-threshold "deadline" objective.
+        (_, AdmissionMode::Deadline { target_us }) => {
+            let total = (info.pending + info.execution).as_micros() as u64;
+            obs.slo.record(level, total.saturating_sub(target_us))
+        }
+        (_, AdmissionMode::Level(_)) => obs.slo.record(level, info.pending.as_micros() as u64),
     };
     if info.status == QueryStatus::Finished {
         obs.ledger.append(LedgerEntry {
@@ -593,10 +854,7 @@ fn run_query_thread(
         .counter_with(
             "pixels_queries_total",
             "Queries reaching a terminal status, per service level",
-            &[
-                ("level", submission.level.name()),
-                ("status", info.status.name()),
-            ],
+            &[("level", level), ("status", info.status.name())],
         )
         .add(1);
     registry
@@ -664,6 +922,7 @@ mod tests {
             level,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         }
     }
 
@@ -701,6 +960,7 @@ mod tests {
             level: ServiceLevel::Immediate,
             result_limit: Some(7),
             tenant: None,
+            deadline_us: None,
         });
         let info = s.wait(id).unwrap();
         assert_eq!(info.result.unwrap().num_rows(), 7);
@@ -1081,24 +1341,194 @@ mod tests {
 
     #[test]
     fn journal_replay_reproduces_registry_aggregates() {
-        let s = server();
+        use crate::tenant::{TenantDirectory, TenantPolicy};
+        let tenants = Arc::new(TenantDirectory::new());
+        tenants.set_policy(
+            "broke",
+            TenantPolicy {
+                budget_dollars: Some(0.0),
+                ..TenantPolicy::default()
+            },
+        );
+        let s = server().with_tenants(tenants);
         for level in ServiceLevel::ALL {
             s.wait(s.submit(submission("SELECT COUNT(*) FROM region", level)))
                 .unwrap();
         }
         s.wait(s.submit(submission("SELECT zap FROM region", ServiceLevel::Relaxed)))
             .unwrap();
+        // One rejection (exhausted budget): journals and counts, no ledger.
+        let mut capped = submission("SELECT COUNT(*) FROM region", ServiceLevel::Immediate);
+        capped.tenant = Some("broke".into());
+        s.wait(s.submit(capped)).unwrap();
         let entries = pixels_obs::QueryJournal::parse_jsonl(&s.journal_jsonl()).unwrap();
-        assert_eq!(entries.len(), 4);
+        assert_eq!(entries.len(), 5);
         let failed = entries.iter().find(|e| e.status == "failed").unwrap();
         assert!(!failed.slo_good, "failed queries are SLO violations");
-        assert!(entries.iter().all(|e| e.trace_spans > 0));
+        let rejected = entries.iter().find(|e| e.status == "rejected").unwrap();
+        assert!(!rejected.slo_good, "rejections are SLO violations");
+        assert_eq!(rejected.admission, "rejected");
+        assert_eq!(rejected.revenue_dollars, 0.0);
         assert!(entries
             .iter()
-            .all(|e| ["dispatch_now", "queued", "forced"].contains(&e.admission.as_str())));
+            .all(|e| e.trace_spans > 0 || e.status == "rejected"));
+        assert!(entries.iter().all(|e| {
+            ["dispatch_now", "queued", "forced", "rejected"].contains(&e.admission.as_str())
+        }));
+        // The journal reproduces the registry exactly — including the
+        // rejection, which must appear in the terminal counters and SLO
+        // families but never in the ledger families.
         let agg = pixels_obs::journal::replay(&entries);
         let diffs = agg.diff_against_exposition(&s.metrics_text());
         assert!(diffs.is_empty(), "journal/registry drift: {diffs:?}");
+    }
+
+    #[test]
+    fn budget_rejection_never_touches_ledger_or_cache() {
+        use crate::tenant::{TenantDirectory, TenantPolicy};
+        let tenants = Arc::new(TenantDirectory::new());
+        tenants.set_policy(
+            "capped",
+            TenantPolicy {
+                budget_dollars: Some(0.0),
+                ..TenantPolicy::default()
+            },
+        );
+        let s = server().with_tenants(tenants).with_sharing(SharingConfig {
+            enabled: true,
+            cache_entries: 8,
+        });
+        let mut sub = submission("SELECT COUNT(*) FROM region", ServiceLevel::Immediate);
+        sub.tenant = Some("capped".into());
+        let info = s.wait(s.submit(sub)).unwrap();
+        assert_eq!(info.status, QueryStatus::Rejected);
+        assert_eq!(info.error.as_deref(), Some("budget_exhausted"));
+        assert!(info.result.is_none());
+        assert_eq!(info.price, 0.0);
+        assert!(s.ledger().entries().is_empty(), "rejections never ledger");
+        assert_eq!(s.shared().stats(), (0, 0, 0), "rejections never execute");
+        // A healthy tenant running the same SQL afterwards is a cache miss:
+        // the rejected query must not have warmed anything.
+        let info = s
+            .wait(s.submit(submission(
+                "SELECT COUNT(*) FROM region",
+                ServiceLevel::Immediate,
+            )))
+            .unwrap();
+        assert_eq!(info.status, QueryStatus::Finished);
+        assert_eq!(s.shared().stats().0, 0, "first real run is a miss");
+        let text = s.metrics_text();
+        assert!(
+            text.contains(r#"pixels_queries_total{level="immediate",status="rejected"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn deadline_submission_completes_and_bills_by_target() {
+        let s = server();
+        let mut sub = submission("SELECT COUNT(*) FROM region", ServiceLevel::BestEffort);
+        // A 10-minute completion target: trivially feasible, priced at
+        // 60s/600s = 0.1× the immediate rate (the best-effort floor).
+        sub.deadline_us = Some(600_000_000);
+        let info = s.wait(s.submit(sub)).unwrap();
+        assert_eq!(info.status, QueryStatus::Finished, "{:?}", info.error);
+        let immediate = s
+            .wait(s.submit(submission(
+                "SELECT COUNT(*) FROM region",
+                ServiceLevel::Immediate,
+            )))
+            .unwrap();
+        // Same warm-cache repeat bytes ⇒ prices compare by fraction alone.
+        let deadline_per_byte = info.price / info.scan_bytes as f64;
+        let immediate_per_byte = immediate.price / immediate.scan_bytes as f64;
+        assert!(
+            (deadline_per_byte / immediate_per_byte - 0.1).abs() < 1e-6,
+            "600 s target bills at the floor fraction: {deadline_per_byte} vs {immediate_per_byte}"
+        );
+        // The ledger entry and SLO verdict land under "deadline".
+        let entry = &s.ledger().entries()[0];
+        assert_eq!(entry.level, "deadline");
+        assert_eq!(entry.revenue_dollars.to_bits(), info.price.to_bits());
+        let json = info.to_json();
+        assert_eq!(
+            json.get("service_level").unwrap().as_str(),
+            Some("deadline")
+        );
+        let text = s.metrics_text();
+        assert!(
+            text.contains(r#"pixels_slo_good_total{level="deadline"} 1"#),
+            "a met deadline is an SLO good event: {text}"
+        );
+    }
+
+    #[test]
+    fn sharing_repeat_bills_warm_bytes_with_zero_provider_cost() {
+        let s = server().with_sharing(SharingConfig {
+            enabled: true,
+            cache_entries: 8,
+        });
+        let sql = "SELECT o_orderkey FROM orders ORDER BY o_orderkey";
+        let first = s
+            .wait(s.submit(submission(sql, ServiceLevel::Immediate)))
+            .unwrap();
+        let mut sub = submission(sql, ServiceLevel::Relaxed);
+        sub.tenant = Some("acme".into());
+        let second = s.wait(s.submit(sub)).unwrap();
+        assert_eq!(second.status, QueryStatus::Finished);
+        // Identical rows in identical order.
+        assert_eq!(second.result, first.result);
+        // Billed the warm-repeat bytes at the follower's own level price.
+        let warm = first.scan_bytes - first.metrics.open_bytes;
+        assert_eq!(second.scan_bytes, warm);
+        assert_eq!(
+            second.price.to_bits(),
+            PriceSchedule::default()
+                .bill(ServiceLevel::Relaxed, warm)
+                .to_bits()
+        );
+        // The leader paid the provider; the follower pays nothing.
+        assert!(first.resource_cost.total() > 0.0);
+        assert_eq!(second.resource_cost.total(), 0.0);
+        // Ledger reconciliation: both entries exist under their tenants with
+        // exactly the per-query dollars above.
+        let by_tenant = s.ledger().by_tenant();
+        assert_eq!(by_tenant["acme"].entries, 1);
+        assert_eq!(
+            by_tenant["acme"].revenue_dollars.to_bits(),
+            second.price.to_bits()
+        );
+        assert_eq!(by_tenant["default"].entries, 1);
+        let (hits, _, executed) = s.shared().stats();
+        assert_eq!((hits, executed), (1, 1));
+    }
+
+    #[test]
+    fn tenants_endpoint_reports_policy_spend_and_depth() {
+        use crate::tenant::{TenantDirectory, TenantPolicy};
+        let tenants = Arc::new(TenantDirectory::new());
+        tenants.set_policy(
+            "acme",
+            TenantPolicy {
+                weight: 2.0,
+                budget_dollars: Some(10.0),
+            },
+        );
+        let s = server().with_tenants(tenants);
+        let mut sub = submission("SELECT COUNT(*) FROM region", ServiceLevel::Immediate);
+        sub.tenant = Some("acme".into());
+        s.wait(s.submit(sub)).unwrap();
+        let json = s.tenants_json();
+        let rows = json.get("tenants").unwrap().as_array().unwrap();
+        let acme = rows
+            .iter()
+            .find(|r| r.get("tenant").unwrap().as_str() == Some("acme"))
+            .expect("acme row");
+        assert_eq!(acme.get("weight").unwrap().as_f64(), Some(2.0));
+        assert_eq!(acme.get("budget_dollars").unwrap().as_f64(), Some(10.0));
+        assert!(acme.get("spent_dollars").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(acme.get("queries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(acme.get("queued").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

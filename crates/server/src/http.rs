@@ -167,6 +167,7 @@ fn route(
             ("GET", "/health") => Ok(("200 OK", Json::object([("status", Json::string("ok"))]))),
             ("GET", "/slo") => Ok(("200 OK", server.slo_json())),
             ("GET", "/ledger") => Ok(("200 OK", server.ledger_json())),
+            ("GET", "/tenants") => Ok(("200 OK", server.tenants_json())),
             ("POST", "/translate") => {
                 let t = translator
                     .ok_or_else(|| Error::Unsupported("no text-to-SQL service attached".into()))?;
@@ -197,12 +198,19 @@ fn route(
                     .get("tenant")
                     .and_then(|v| v.as_str())
                     .map(str::to_string);
+                // A deadline target switches the query into deadline mode;
+                // `level` is then ignored for scheduling and pricing.
+                let deadline_us = req
+                    .get("deadline_us")
+                    .and_then(|v| v.as_i64())
+                    .map(|v| v.max(0) as u64);
                 let id = server.submit(QuerySubmission {
                     database,
                     sql,
                     level,
                     result_limit,
                     tenant,
+                    deadline_us,
                 });
                 Ok((
                     "202 Accepted",

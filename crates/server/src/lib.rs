@@ -17,16 +17,24 @@
 
 pub mod api;
 pub mod auth;
+pub mod fair;
 pub mod http;
 pub mod pricing;
 pub mod scheduler;
 pub mod service_level;
+pub mod shared;
 pub mod sim;
+pub mod soak;
+pub mod tenant;
 
 pub use api::{QueryInfo, QueryServer, QueryStatus, QuerySubmission};
 pub use auth::{AuthService, SessionToken};
+pub use fair::{FairQueue, Grant, QueuedQuery};
 pub use http::{HttpServer, TranslateBackend};
 pub use pricing::PriceSchedule;
-pub use scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
+pub use scheduler::{Admission, AdmissionMode, LoadSignal, QueueVerdict, SchedulerPolicy};
 pub use service_level::ServiceLevel;
-pub use sim::{QueryRecord, ServerConfig, ServerSim, SimReport, Submission};
+pub use shared::{ShareKind, SharedWork, SharingConfig};
+pub use sim::{QueryRecord, ServerConfig, ServerSim, SimReport, Submission, TenantSubmission};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use tenant::{TenantDirectory, TenantPolicy};

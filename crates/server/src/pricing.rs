@@ -32,6 +32,17 @@ impl PriceSchedule {
     pub fn bill(&self, level: ServiceLevel, scan_bytes: u64) -> f64 {
         self.per_tb(level) * as_terabytes(scan_bytes)
     }
+
+    /// $/TB for an admission mode: fixed levels use their tier fraction,
+    /// deadline mode interpolates between them by target tightness.
+    pub fn per_tb_mode(&self, mode: crate::scheduler::AdmissionMode) -> f64 {
+        self.immediate_per_tb * mode.price_fraction()
+    }
+
+    /// The bill for one query in any admission mode.
+    pub fn bill_mode(&self, mode: crate::scheduler::AdmissionMode, scan_bytes: u64) -> f64 {
+        self.per_tb_mode(mode) * as_terabytes(scan_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -53,6 +64,38 @@ mod tests {
         assert!((p.bill(ServiceLevel::Immediate, TB) - 5.0).abs() < 1e-9);
         assert!((p.bill(ServiceLevel::Relaxed, TB / 2) - 0.5).abs() < 1e-9);
         assert_eq!(p.bill(ServiceLevel::BestEffort, 0), 0.0);
+    }
+
+    #[test]
+    fn deadline_mode_bills_between_the_tiers() {
+        use crate::scheduler::AdmissionMode;
+        let p = PriceSchedule::default();
+        // A 60 s deadline prices like Immediate, 300 s like Relaxed.
+        assert_eq!(
+            p.bill_mode(
+                AdmissionMode::Deadline {
+                    target_us: 60_000_000
+                },
+                TB
+            ),
+            p.bill(ServiceLevel::Immediate, TB)
+        );
+        assert_eq!(
+            p.bill_mode(
+                AdmissionMode::Deadline {
+                    target_us: 300_000_000
+                },
+                TB
+            ),
+            p.bill(ServiceLevel::Relaxed, TB)
+        );
+        // Fixed levels agree with the level API bit-for-bit.
+        for level in ServiceLevel::ALL {
+            assert_eq!(
+                p.bill_mode(AdmissionMode::Level(level), TB / 3),
+                p.bill(level, TB / 3)
+            );
+        }
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! and the simulated [`crate::ServerSim`] (paper §3.2).
 //!
 //! One clock-free state machine decides, for every submission, whether a
-//! query starts now or queues with a deadline — Immediate dispatches
-//! unconditionally, Relaxed waits for headroom but no longer than the grace
-//! period, best-of-effort waits for a nearly-idle cluster bounded by a
-//! starvation limit. Both drivers feed it their own notion of time (wall
-//! micros vs. [`pixels_sim::SimTime`]) and load, and *execute* its verdicts
-//! themselves, so sim and real schedule identically by construction.
+//! query starts now, queues with a deadline, or is rejected — Immediate
+//! dispatches unconditionally, Relaxed waits for headroom but no longer than
+//! the grace period, best-of-effort waits for a nearly-idle cluster bounded
+//! by a starvation limit, and the fourth mode — [`AdmissionMode::Deadline`],
+//! the per-query SLA of Bian et al.'s follow-up paper — admits iff the
+//! target is feasible and orders queued work earliest-deadline-first. Both
+//! drivers feed it their own notion of time (wall micros vs.
+//! [`pixels_sim::SimTime`]) and load, and *execute* its verdicts themselves,
+//! so sim and real schedule identically by construction.
 
 use crate::service_level::ServiceLevel;
 use pixels_obs::SloObjective;
@@ -17,6 +20,59 @@ use pixels_sim::SimDuration;
 /// unconditionally, so no scheduler knob bounds its wait — the objective is
 /// the paper's "interactive" promise: negligible queueing, here one second.
 pub const IMMEDIATE_SLO_US: u64 = 1_000_000;
+
+/// SLO pseudo-level name for deadline-mode queries. Deadline targets are
+/// per-query, so the tracker records *excess over target* against a
+/// threshold of zero: a query is good iff it finished by its own deadline.
+pub const DEADLINE_LEVEL: &str = "deadline";
+
+/// How a submission asks to be scheduled: one of the paper's three fixed
+/// service levels, or a per-query completion deadline (the follow-up
+/// paper's flexible performance SLA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmissionMode {
+    /// One of the three fixed tiers.
+    Level(ServiceLevel),
+    /// Finish within `target_us` of submission. Priced by
+    /// [`pixels_common::prices::deadline_price_fraction`]; rejected at
+    /// admission if the target is infeasible even on an idle cluster.
+    Deadline { target_us: u64 },
+}
+
+impl AdmissionMode {
+    /// Name used for journaling, SLO tracking, and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionMode::Level(level) => level.name(),
+            AdmissionMode::Deadline { .. } => DEADLINE_LEVEL,
+        }
+    }
+
+    /// Whether cloud-function acceleration is enabled. Deadline queries pay
+    /// for a latency promise, so like Immediate they may use CF bursts.
+    pub fn cf_enabled(&self) -> bool {
+        match self {
+            AdmissionMode::Level(level) => level.cf_enabled(),
+            AdmissionMode::Deadline { .. } => true,
+        }
+    }
+
+    /// Fraction of the Immediate $/TB price this mode is billed at.
+    pub fn price_fraction(&self) -> f64 {
+        match self {
+            AdmissionMode::Level(level) => level.price_fraction(),
+            AdmissionMode::Deadline { target_us } => {
+                pixels_common::prices::deadline_price_fraction(*target_us)
+            }
+        }
+    }
+}
+
+impl From<ServiceLevel> for AdmissionMode {
+    fn from(level: ServiceLevel) -> Self {
+        AdmissionMode::Level(level)
+    }
+}
 
 /// Scheduler knobs, in virtual microseconds so both drivers share them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +105,26 @@ pub struct LoadSignal {
     /// Concurrency below the scale-in watermark: capacity that would
     /// otherwise be wasted, i.e. where best-of-effort work belongs.
     pub nearly_idle: bool,
+    /// Queued entries from the *submitting* tenant. Non-zero means the
+    /// tenant already has work parked in the fair queue, so a fresh
+    /// queue-eligible submission must queue behind it (no self-overtaking).
+    pub tenant_depth: usize,
+    /// Queued entries across all tenants — exported per tenant through the
+    /// `/tenants` summary rather than as per-tenant metric labels.
+    pub total_depth: usize,
+}
+
+impl LoadSignal {
+    /// A load signal with no queue-depth information — what single-queue
+    /// call sites (and the pre-tenant tests) use.
+    pub fn basic(overloaded: bool, nearly_idle: bool) -> LoadSignal {
+        LoadSignal {
+            overloaded,
+            nearly_idle,
+            tenant_depth: 0,
+            total_depth: 0,
+        }
+    }
 }
 
 /// Admission verdict for a fresh submission.
@@ -61,6 +137,10 @@ pub enum Admission {
     /// until it dispatches. `deadline_us` is absolute (same clock as
     /// `now_us`).
     Queue { deadline_us: u64 },
+    /// Refuse the submission. Only deadline-mode queries are rejected, and
+    /// only for infeasibility: the target cannot be met even starting now.
+    /// Rejected queries journal and count against SLO but never bill.
+    Reject { reason: &'static str },
 }
 
 /// Verdict for a queued query at a later poll.
@@ -87,7 +167,90 @@ impl SchedulerPolicy {
                 ServiceLevel::BestEffort.name(),
                 self.besteffort_max_wait.as_micros(),
             ),
+            // Deadline targets are per-query; the tracker records the
+            // latency *excess over the query's own target*, so the shared
+            // threshold is zero: good iff the deadline was met.
+            SloObjective::new(DEADLINE_LEVEL, 0),
         ]
+    }
+
+    /// Decide a fresh submission in any admission mode. The fixed levels
+    /// defer to [`SchedulerPolicy::admit`]; `Deadline` is feasibility-gated:
+    /// reject iff the estimated execution time `est_exec_us` already exceeds
+    /// the target (it cannot finish in time even starting now), dispatch on
+    /// headroom, otherwise queue with the *latest feasible start* as the
+    /// deadline — which makes deadline-queue ordering EDF by latest start.
+    /// Queue-eligible work whose tenant already has queued entries queues
+    /// behind them (`load.tenant_depth > 0`): fairness forbids overtaking
+    /// your own parked queries.
+    pub fn admit_mode(
+        &self,
+        mode: AdmissionMode,
+        load: LoadSignal,
+        now_us: u64,
+        est_exec_us: u64,
+    ) -> Admission {
+        match mode {
+            AdmissionMode::Level(level) => {
+                let verdict = self.admit(level, load, now_us);
+                match verdict {
+                    Admission::DispatchNow
+                        if level != ServiceLevel::Immediate && load.tenant_depth > 0 =>
+                    {
+                        Admission::Queue {
+                            deadline_us: now_us + self.queue_bound(level).as_micros(),
+                        }
+                    }
+                    other => other,
+                }
+            }
+            AdmissionMode::Deadline { target_us } => {
+                if target_us < est_exec_us {
+                    Admission::Reject {
+                        reason: "infeasible deadline: target below estimated execution time",
+                    }
+                } else if !load.overloaded && load.tenant_depth == 0 {
+                    Admission::DispatchNow
+                } else {
+                    Admission::Queue {
+                        deadline_us: now_us + (target_us - est_exec_us),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-evaluate a queued query in any admission mode. Deadline work
+    /// treats "not overloaded" as headroom (like Relaxed) and force-starts
+    /// at its latest feasible start.
+    pub fn recheck_mode(
+        &self,
+        mode: AdmissionMode,
+        load: LoadSignal,
+        now_us: u64,
+        deadline_us: u64,
+    ) -> QueueVerdict {
+        match mode {
+            AdmissionMode::Level(level) => self.recheck(level, load, now_us, deadline_us),
+            AdmissionMode::Deadline { .. } => {
+                if !load.overloaded {
+                    QueueVerdict::Dispatch { forced: false }
+                } else if now_us >= deadline_us {
+                    QueueVerdict::Dispatch { forced: true }
+                } else {
+                    QueueVerdict::Wait
+                }
+            }
+        }
+    }
+
+    /// The pending-time bound a queued query of `level` carries.
+    fn queue_bound(&self, level: ServiceLevel) -> SimDuration {
+        match level {
+            ServiceLevel::Immediate => SimDuration::ZERO,
+            ServiceLevel::Relaxed => self.grace,
+            ServiceLevel::BestEffort => self.besteffort_max_wait,
+        }
     }
 
     /// Decide a fresh submission at absolute time `now_us`.
@@ -148,14 +311,20 @@ mod tests {
     const BUSY: LoadSignal = LoadSignal {
         overloaded: true,
         nearly_idle: false,
+        tenant_depth: 0,
+        total_depth: 0,
     };
     const IDLE: LoadSignal = LoadSignal {
         overloaded: false,
         nearly_idle: true,
+        tenant_depth: 0,
+        total_depth: 0,
     };
     const STEADY: LoadSignal = LoadSignal {
         overloaded: false,
         nearly_idle: false,
+        tenant_depth: 0,
+        total_depth: 0,
     };
 
     #[test]
@@ -258,5 +427,101 @@ mod tests {
             p.recheck(ServiceLevel::BestEffort, IDLE, 5, deadline_us),
             QueueVerdict::Dispatch { forced: false }
         );
+    }
+
+    #[test]
+    fn deadline_admission_is_feasibility_gated() {
+        let p = SchedulerPolicy::default();
+        let mode = AdmissionMode::Deadline {
+            target_us: 10_000_000,
+        };
+        // Infeasible: estimated execution alone exceeds the target.
+        assert!(matches!(
+            p.admit_mode(mode, IDLE, 0, 10_000_001),
+            Admission::Reject { .. }
+        ));
+        // Feasible + headroom: dispatch now.
+        assert_eq!(
+            p.admit_mode(mode, STEADY, 0, 4_000_000),
+            Admission::DispatchNow
+        );
+        // Feasible + overloaded: queue with latest feasible start as deadline.
+        assert_eq!(
+            p.admit_mode(mode, BUSY, 1_000, 4_000_000),
+            Admission::Queue {
+                deadline_us: 1_000 + 6_000_000
+            }
+        );
+        // Queued deadline work force-starts at its latest feasible start.
+        assert_eq!(
+            p.recheck_mode(mode, BUSY, 6_000_999, 6_001_000),
+            QueueVerdict::Wait
+        );
+        assert_eq!(
+            p.recheck_mode(mode, BUSY, 6_001_000, 6_001_000),
+            QueueVerdict::Dispatch { forced: true }
+        );
+        assert_eq!(
+            p.recheck_mode(mode, STEADY, 5, 6_001_000),
+            QueueVerdict::Dispatch { forced: false }
+        );
+    }
+
+    #[test]
+    fn queued_tenant_work_prevents_self_overtaking() {
+        let p = SchedulerPolicy::default();
+        let parked = LoadSignal {
+            overloaded: false,
+            nearly_idle: true,
+            tenant_depth: 2,
+            total_depth: 5,
+        };
+        // Immediate still cuts through — its promise is unconditional.
+        assert_eq!(
+            p.admit_mode(ServiceLevel::Immediate.into(), parked, 0, 0),
+            Admission::DispatchNow
+        );
+        // Relaxed/BE/Deadline queue behind the tenant's parked entries.
+        assert!(matches!(
+            p.admit_mode(ServiceLevel::Relaxed.into(), parked, 0, 0),
+            Admission::Queue { .. }
+        ));
+        assert!(matches!(
+            p.admit_mode(ServiceLevel::BestEffort.into(), parked, 0, 0),
+            Admission::Queue { .. }
+        ));
+        assert!(matches!(
+            p.admit_mode(
+                AdmissionMode::Deadline {
+                    target_us: 60_000_000
+                },
+                parked,
+                0,
+                1_000_000
+            ),
+            Admission::Queue { .. }
+        ));
+    }
+
+    #[test]
+    fn mode_names_prices_and_cf_flags() {
+        assert_eq!(
+            AdmissionMode::Level(ServiceLevel::Immediate).name(),
+            "immediate"
+        );
+        let d = AdmissionMode::Deadline {
+            target_us: 300_000_000,
+        };
+        assert_eq!(d.name(), "deadline");
+        assert!(d.cf_enabled());
+        assert!((d.price_fraction() - 0.2).abs() < 1e-12);
+        assert!(!AdmissionMode::Level(ServiceLevel::Relaxed).cf_enabled());
+        // The deadline SLO objective exists with a zero threshold.
+        let obj = SchedulerPolicy::default()
+            .slo_objectives()
+            .into_iter()
+            .find(|o| o.level == DEADLINE_LEVEL)
+            .unwrap();
+        assert_eq!(obj.threshold_us, 0);
     }
 }

@@ -1,9 +1,20 @@
 //! The full scheduling simulation: query server + coordinator + cluster on
 //! the virtual clock. This is the experiment driver behind every
 //! service-level, autoscaling, and pricing figure in EXPERIMENTS.md.
+//!
+//! Since the multi-tenant refactor the simulated server runs the same
+//! tenant-aware admission core as the live one: submissions carry an
+//! [`AdmissionMode`] (fixed tier or per-query deadline) and a tenant, queued
+//! work is parked in a [`FairQueue`] (deficit-weighted fair queueing across
+//! tenants, EDF over deadline work), and infeasible deadlines are rejected
+//! at admission. The legacy [`ServerSim::run`] entry point maps the old
+//! single-tenant, three-level [`Submission`] workloads onto that core
+//! unchanged — every pre-existing experiment reproduces bit-for-bit
+//! semantics (single tenant ⇒ the fair queue degenerates to FIFO).
 
+use crate::fair::{FairQueue, QueuedQuery};
 use crate::pricing::PriceSchedule;
-use crate::scheduler::{Admission, LoadSignal, QueueVerdict, SchedulerPolicy};
+use crate::scheduler::{Admission, AdmissionMode, LoadSignal, SchedulerPolicy, DEADLINE_LEVEL};
 use crate::service_level::ServiceLevel;
 use pixels_chaos::FaultInjector;
 use pixels_common::QueryId;
@@ -13,10 +24,11 @@ use pixels_turbo::{
     VmConfig,
 };
 use pixels_workload::QueryClass;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One query submission in a simulated workload.
+/// One query submission in a simulated workload (legacy single-tenant
+/// fixed-level form; see [`TenantSubmission`] for the general one).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Submission {
     pub at: SimTime,
@@ -24,12 +36,23 @@ pub struct Submission {
     pub level: ServiceLevel,
 }
 
+/// A tenant-attributed submission in any admission mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSubmission {
+    pub at: SimTime,
+    pub class: QueryClass,
+    pub mode: AdmissionMode,
+    pub tenant: String,
+}
+
 /// Final per-query record of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryRecord {
     pub id: QueryId,
     pub class: QueryClass,
-    pub level: ServiceLevel,
+    pub mode: AdmissionMode,
+    /// Index into [`SimReport::tenant_names`].
+    pub tenant: u32,
     /// When the user submitted the query to the query server.
     pub submitted_at: SimTime,
     /// When the query server dispatched it to the coordinator.
@@ -40,7 +63,7 @@ pub struct QueryRecord {
     pub placement: Placement,
     /// Provider-side resource cost attributable to this query.
     pub resource_cost: CostBreakdown,
-    /// User-facing bill ($/TB-scan at the level's price).
+    /// User-facing bill ($/TB-scan at the mode's price).
     pub price: f64,
     pub scan_bytes: u64,
     /// Every CF fleet for this query failed; it completed on the VM tier.
@@ -58,6 +81,23 @@ impl QueryRecord {
     pub fn execution(&self) -> SimDuration {
         self.finished_at.since(self.started_at)
     }
+
+    /// Submission-to-completion latency — what a deadline target bounds.
+    pub fn total_latency(&self) -> SimDuration {
+        self.finished_at.since(self.submitted_at)
+    }
+}
+
+/// A submission refused at admission (infeasible deadline). Rejected
+/// queries never reach the coordinator, the ledger, or the result cache —
+/// they only count against the SLO and the journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejectedRecord {
+    pub id: QueryId,
+    pub tenant: u32,
+    pub mode: AdmissionMode,
+    pub at: SimTime,
+    pub reason: &'static str,
 }
 
 /// Query-server configuration.
@@ -92,32 +132,44 @@ impl Default for ServerConfig {
     }
 }
 
-struct Waiting {
-    id: QueryId,
+/// Execution-side facts about a queued query the fair queue doesn't hold.
+struct WaitingMeta {
     class: QueryClass,
     work: QueryWork,
     submitted_at: SimTime,
-    /// Force-dispatch no later than this (the [`SchedulerPolicy`] deadline).
-    deadline: SimTime,
+    tenant: u32,
+    mode: AdmissionMode,
 }
 
 struct PendingMeta {
     class: QueryClass,
-    level: ServiceLevel,
+    mode: AdmissionMode,
+    tenant: u32,
     submitted_at: SimTime,
     dispatched_at: SimTime,
+}
+
+struct BatchMember {
+    id: QueryId,
+    class: QueryClass,
+    mode: AdmissionMode,
+    tenant: u32,
+    submitted_at: SimTime,
 }
 
 /// The simulated query server driving a [`Coordinator`].
 pub struct ServerSim {
     pub coordinator: Coordinator,
     cfg: ServerConfig,
-    relaxed_queue: VecDeque<Waiting>,
-    besteffort_queue: VecDeque<Waiting>,
+    queue: FairQueue,
+    waiting: HashMap<u64, WaitingMeta>,
     dispatched: Vec<(QueryId, PendingMeta)>,
     /// Carrier query id -> member queries of a best-of-effort batch.
-    batches: Vec<(QueryId, Vec<Waiting>)>,
+    batches: Vec<(QueryId, Vec<BatchMember>)>,
     records: Vec<QueryRecord>,
+    rejected: Vec<RejectedRecord>,
+    tenant_names: Vec<String>,
+    tenant_ids: HashMap<String, u32>,
     now: SimTime,
 }
 
@@ -131,11 +183,14 @@ impl ServerSim {
         ServerSim {
             coordinator: Coordinator::new(vm_cfg, cf_cfg, pricing, SimTime::ZERO),
             cfg,
-            relaxed_queue: VecDeque::new(),
-            besteffort_queue: VecDeque::new(),
+            queue: FairQueue::new(),
+            waiting: HashMap::new(),
             dispatched: Vec::new(),
             batches: Vec::new(),
             records: Vec::new(),
+            rejected: Vec::new(),
+            tenant_names: Vec::new(),
+            tenant_ids: HashMap::new(),
             now: SimTime::ZERO,
         }
     }
@@ -155,6 +210,11 @@ impl ServerSim {
         self
     }
 
+    /// Set a tenant's fair-share weight before running.
+    pub fn set_tenant_weight(&mut self, tenant: &str, weight: f64) {
+        self.queue.set_weight(tenant, weight);
+    }
+
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
     }
@@ -169,76 +229,108 @@ impl ServerSim {
     }
 
     fn load(&self) -> LoadSignal {
-        LoadSignal {
-            overloaded: self.coordinator.is_overloaded(),
-            nearly_idle: self.coordinator.is_nearly_idle(),
+        LoadSignal::basic(
+            self.coordinator.is_overloaded(),
+            self.coordinator.is_nearly_idle(),
+        )
+    }
+
+    fn intern(&mut self, tenant: &str) -> u32 {
+        if let Some(&i) = self.tenant_ids.get(tenant) {
+            return i;
         }
+        let i = self.tenant_names.len() as u32;
+        self.tenant_names.push(tenant.to_string());
+        self.tenant_ids.insert(tenant.to_string(), i);
+        i
     }
 
     /// Submit a query at the current simulation time (paper §3.2 admission).
-    /// The dispatch-vs-queue decision is the [`SchedulerPolicy`]'s; this
-    /// driver only executes the verdict.
-    fn submit(&mut self, id: QueryId, class: QueryClass, level: ServiceLevel) {
+    /// The dispatch-vs-queue-vs-reject decision is the [`SchedulerPolicy`]'s;
+    /// this driver only executes the verdict.
+    fn submit(&mut self, id: QueryId, class: QueryClass, mode: AdmissionMode, tenant: u32) {
         let work = QueryWork::from_class(class);
+        // Feasibility estimate for deadline admission: the class's execution
+        // time at its own parallelism — the same model the live server gets
+        // from the planner.
+        let est_us = match mode {
+            AdmissionMode::Deadline { .. } => {
+                work.exec_time_on_cores(work.parallelism as f64).as_micros()
+            }
+            AdmissionMode::Level(_) => 0,
+        };
+        let tenant_name = self.tenant_names[tenant as usize].clone();
+        let mut load = self.load();
+        load.tenant_depth = self.queue.tenant_class_depth(&tenant_name, mode);
+        load.total_depth = self.queue.depth();
         match self
             .policy()
-            .admit(level, self.load(), self.now.as_micros())
+            .admit_mode(mode, load, self.now.as_micros(), est_us)
         {
-            Admission::DispatchNow => self.dispatch(id, class, level, work, self.now),
+            Admission::DispatchNow => self.dispatch(id, class, mode, tenant, work, self.now, false),
             Admission::Queue { deadline_us } => {
-                let queue = match level {
-                    ServiceLevel::Relaxed => &mut self.relaxed_queue,
-                    _ => &mut self.besteffort_queue,
+                let batch_key = if self.cfg.batch_besteffort
+                    && mode == AdmissionMode::Level(ServiceLevel::BestEffort)
+                {
+                    Some(class as u64)
+                } else {
+                    None
                 };
-                queue.push_back(Waiting {
-                    id,
-                    class,
-                    work,
-                    submitted_at: self.now,
-                    deadline: SimTime::from_micros(deadline_us),
+                self.queue.push(QueuedQuery {
+                    id: id.0,
+                    tenant: tenant_name,
+                    mode,
+                    deadline_us,
+                    enqueued_us: self.now.as_micros(),
+                    batch_key,
                 });
+                self.waiting.insert(
+                    id.0,
+                    WaitingMeta {
+                        class,
+                        work,
+                        submitted_at: self.now,
+                        tenant,
+                        mode,
+                    },
+                );
             }
+            Admission::Reject { reason } => self.rejected.push(RejectedRecord {
+                id,
+                tenant,
+                mode,
+                at: self.now,
+                reason,
+            }),
         }
     }
 
+    /// Hand a query to the coordinator. A forced start (deadline expiry)
+    /// bypasses the coordinator's overload check so the pending-time bound
+    /// holds even on a cluster with no headroom.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         id: QueryId,
         class: QueryClass,
-        level: ServiceLevel,
+        mode: AdmissionMode,
+        tenant: u32,
         work: QueryWork,
         submitted_at: SimTime,
+        forced: bool,
     ) {
-        self.coordinator
-            .submit(id, work, level.cf_enabled(), self.now);
+        if forced {
+            self.coordinator.submit_forced(id, work, self.now);
+        } else {
+            self.coordinator
+                .submit(id, work, mode.cf_enabled(), self.now);
+        }
         self.dispatched.push((
             id,
             PendingMeta {
                 class,
-                level,
-                submitted_at,
-                dispatched_at: self.now,
-            },
-        ));
-    }
-
-    /// Forced start at a deadline expiry: bypasses the coordinator's
-    /// overload check so the pending-time bound holds even on a cluster
-    /// with no headroom.
-    fn dispatch_forced(
-        &mut self,
-        id: QueryId,
-        class: QueryClass,
-        level: ServiceLevel,
-        work: QueryWork,
-        submitted_at: SimTime,
-    ) {
-        self.coordinator.submit_forced(id, work, self.now);
-        self.dispatched.push((
-            id,
-            PendingMeta {
-                class,
-                level,
+                mode,
+                tenant,
                 submitted_at,
                 dispatched_at: self.now,
             },
@@ -246,113 +338,82 @@ impl ServerSim {
     }
 
     fn drain_queues(&mut self) {
-        let policy = self.policy();
-        // Relaxed: dispatch early when the cluster has headroom; at grace
-        // expiry the policy forces the start (bounded pending time).
-        let mut i = 0;
-        while i < self.relaxed_queue.len() {
-            let verdict = policy.recheck(
-                ServiceLevel::Relaxed,
-                self.load(),
-                self.now.as_micros(),
-                self.relaxed_queue[i].deadline.as_micros(),
-            );
-            match verdict {
-                QueueVerdict::Dispatch { forced } => {
-                    let w = self.relaxed_queue.remove(i).unwrap();
-                    if forced {
-                        self.dispatch_forced(
-                            w.id,
-                            w.class,
-                            ServiceLevel::Relaxed,
-                            w.work,
-                            w.submitted_at,
-                        );
-                    } else {
-                        self.dispatch(w.id, w.class, ServiceLevel::Relaxed, w.work, w.submitted_at);
-                    }
-                }
-                QueueVerdict::Wait => i += 1,
-            }
-        }
-        // Best-of-effort: only when concurrency is below the low watermark
-        // (the cluster would otherwise scale in). One dispatch at a time so
-        // a burst of backfill doesn't immediately re-overload the cluster.
-        // FIFO: the head holds the earliest deadline, so if it must wait so
-        // must everyone behind it.
-        while let Some(front) = self.besteffort_queue.front() {
-            let verdict = policy.recheck(
-                ServiceLevel::BestEffort,
-                self.load(),
-                self.now.as_micros(),
-                front.deadline.as_micros(),
-            );
-            match verdict {
-                QueueVerdict::Wait => break,
-                QueueVerdict::Dispatch { forced: true } => {
-                    // Starvation bound hit: force just this query (no
-                    // batching — the merged members would jump *their*
-                    // deadlines).
-                    let w = self.besteffort_queue.pop_front().unwrap();
-                    self.dispatch_forced(
-                        w.id,
-                        w.class,
-                        ServiceLevel::BestEffort,
-                        w.work,
-                        w.submitted_at,
-                    );
-                    continue;
-                }
-                QueueVerdict::Dispatch { forced: false } => {}
-            }
-            if self.cfg.batch_besteffort {
-                // Merge queued queries of the front entry's class into one
-                // shared-scan execution (batch query optimization).
-                let class = self.besteffort_queue.front().unwrap().class;
-                let mut members = Vec::new();
-                let mut i = 0;
-                while i < self.besteffort_queue.len() && members.len() < self.cfg.max_batch {
-                    if self.besteffort_queue[i].class == class {
-                        members.push(self.besteffort_queue.remove(i).unwrap());
-                    } else {
-                        i += 1;
-                    }
-                }
-                let n = members.len();
-                if n == 1 {
-                    let w = members.pop().unwrap();
-                    self.dispatch(
-                        w.id,
-                        w.class,
-                        ServiceLevel::BestEffort,
-                        w.work,
-                        w.submitted_at,
-                    );
-                    continue;
-                }
-                // Shared scan: the table is read once; per-query CPU beyond
-                // the scan (decode + operators) still scales with members,
-                // at a discount for the shared decode work.
-                let single = QueryWork::from_class(class);
-                let batch_work = QueryWork {
-                    scan_bytes: single.scan_bytes,
-                    cpu_seconds: single.cpu_seconds * (1.0 + 0.55 * (n as f64 - 1.0)),
-                    parallelism: single.parallelism,
-                };
-                let carrier = members[0].id;
-                self.coordinator
-                    .submit(carrier, batch_work, false, self.now);
-                self.batches.push((carrier, members));
-            } else {
-                let w = self.besteffort_queue.pop_front().unwrap();
+        loop {
+            // Load is re-read every selection, so a dispatch that flips the
+            // watermark stops further backfill within the same tick — the
+            // same one-at-a-time behaviour the single-queue server had.
+            let load = self.load();
+            let Some(grant) = self.queue.select(load, self.now.as_micros()) else {
+                break;
+            };
+            let meta = self
+                .waiting
+                .remove(&grant.id)
+                .expect("grant for unknown waiting query");
+            let id = QueryId(grant.id);
+            if grant.forced {
+                // Forced starts never batch: merged members would jump
+                // *their* pending bounds.
                 self.dispatch(
-                    w.id,
-                    w.class,
-                    ServiceLevel::BestEffort,
-                    w.work,
-                    w.submitted_at,
+                    id,
+                    meta.class,
+                    meta.mode,
+                    meta.tenant,
+                    meta.work,
+                    meta.submitted_at,
+                    true,
                 );
+                continue;
             }
+            if self.cfg.batch_besteffort
+                && meta.mode == AdmissionMode::Level(ServiceLevel::BestEffort)
+            {
+                let extras = self
+                    .queue
+                    .take_batch(meta.class as u64, self.cfg.max_batch.saturating_sub(1));
+                if !extras.is_empty() {
+                    let mut members = vec![BatchMember {
+                        id,
+                        class: meta.class,
+                        mode: meta.mode,
+                        tenant: meta.tenant,
+                        submitted_at: meta.submitted_at,
+                    }];
+                    for e in &extras {
+                        let em = self.waiting.remove(&e.id).expect("batch member meta");
+                        members.push(BatchMember {
+                            id: QueryId(e.id),
+                            class: em.class,
+                            mode: em.mode,
+                            tenant: em.tenant,
+                            submitted_at: em.submitted_at,
+                        });
+                    }
+                    // Shared scan: the table is read once; per-query CPU
+                    // beyond the scan still scales with members, at the
+                    // shared-work discount (one implementation of that
+                    // arithmetic: `pixels_exec::batch`).
+                    let n = members.len();
+                    let single = QueryWork::from_class(meta.class);
+                    let batch_work = QueryWork {
+                        scan_bytes: single.scan_bytes,
+                        cpu_seconds: pixels_exec::batch::merged_cpu_seconds(single.cpu_seconds, n),
+                        parallelism: single.parallelism,
+                    };
+                    self.coordinator.submit(id, batch_work, false, self.now);
+                    self.batches.push((id, members));
+                    continue;
+                }
+            }
+            self.dispatch(
+                id,
+                meta.class,
+                meta.mode,
+                meta.tenant,
+                meta.work,
+                meta.submitted_at,
+                false,
+            );
         }
     }
 
@@ -361,29 +422,36 @@ impl ServerSim {
             let next = self.now + self.cfg.tick;
             self.now = next;
             self.coordinator
-                .set_server_queue_depth(self.relaxed_queue.len());
+                .set_server_queue_depth(self.queue.relaxed_depth());
             for done in self.coordinator.tick(next, self.cfg.tick) {
                 // A best-of-effort batch completion fans out into one record
                 // per member, splitting the shared scan and its cost.
                 if let Some(pos) = self.batches.iter().position(|(id, _)| *id == done.id) {
                     let (_, members) = self.batches.swap_remove(pos);
-                    let n = members.len() as u64;
-                    for m in &members {
-                        let share = done.scan_bytes / n;
+                    let n = members.len();
+                    for (i, m) in members.iter().enumerate() {
+                        let share = pixels_exec::batch::member_share(done.scan_bytes, n, i);
                         self.records.push(QueryRecord {
                             id: m.id,
                             class: m.class,
-                            level: ServiceLevel::BestEffort,
+                            mode: m.mode,
+                            tenant: m.tenant,
                             submitted_at: m.submitted_at,
                             dispatched_at: done.submitted_at,
                             started_at: done.started_at,
                             finished_at: done.finished_at,
                             placement: done.placement,
                             resource_cost: CostBreakdown {
-                                vm_dollars: done.cost.vm_dollars / n as f64,
-                                cf_dollars: done.cost.cf_dollars / n as f64,
+                                vm_dollars: pixels_exec::batch::member_cost_share(
+                                    done.cost.vm_dollars,
+                                    n,
+                                ),
+                                cf_dollars: pixels_exec::batch::member_cost_share(
+                                    done.cost.cf_dollars,
+                                    n,
+                                ),
                             },
-                            price: self.cfg.prices.bill(ServiceLevel::BestEffort, share),
+                            price: self.cfg.prices.bill_mode(m.mode, share),
                             scan_bytes: share,
                             degraded: done.degraded,
                             speculative: done.speculative,
@@ -400,14 +468,15 @@ impl ServerSim {
                 self.records.push(QueryRecord {
                     id: done.id,
                     class: meta.class,
-                    level: meta.level,
+                    mode: meta.mode,
+                    tenant: meta.tenant,
                     submitted_at: meta.submitted_at,
                     dispatched_at: meta.dispatched_at,
                     started_at: done.started_at,
                     finished_at: done.finished_at,
                     placement: done.placement,
                     resource_cost: done.cost,
-                    price: self.cfg.prices.bill(meta.level, done.scan_bytes),
+                    price: self.cfg.prices.bill_mode(meta.mode, done.scan_bytes),
                     scan_bytes: done.scan_bytes,
                     degraded: done.degraded,
                     speculative: done.speculative,
@@ -417,21 +486,40 @@ impl ServerSim {
         }
     }
 
-    /// Run a full workload trace to completion (plus a drain phase), then
-    /// report.
-    pub fn run(mut self, mut submissions: Vec<Submission>, max_drain: SimDuration) -> SimReport {
+    /// Run a legacy single-tenant workload trace to completion (plus a
+    /// drain phase), then report. Every submission maps to the tenant
+    /// `"sim"`, making the fair queue a plain FIFO — identical scheduling
+    /// to the pre-tenant server.
+    pub fn run(self, submissions: Vec<Submission>, max_drain: SimDuration) -> SimReport {
+        let subs = submissions
+            .into_iter()
+            .map(|s| TenantSubmission {
+                at: s.at,
+                class: s.class,
+                mode: AdmissionMode::Level(s.level),
+                tenant: "sim".to_string(),
+            })
+            .collect();
+        self.run_tenants(subs, max_drain)
+    }
+
+    /// Run a multi-tenant workload trace in any admission mode.
+    pub fn run_tenants(
+        mut self,
+        mut submissions: Vec<TenantSubmission>,
+        max_drain: SimDuration,
+    ) -> SimReport {
         submissions.sort_by_key(|s| s.at);
         for (next_id, s) in submissions.iter().enumerate() {
             self.advance(s.at);
-            self.submit(QueryId(next_id as u64), s.class, s.level);
+            let tenant = self.intern(&s.tenant);
+            self.submit(QueryId(next_id as u64), s.class, s.mode, tenant);
         }
         // Drain: run until everything completes or the drain budget ends.
         let drain_end = self.now + max_drain;
         while self.now < drain_end {
-            let all_done = self.dispatched.is_empty()
-                && self.relaxed_queue.is_empty()
-                && self.besteffort_queue.is_empty()
-                && self.batches.is_empty();
+            let all_done =
+                self.dispatched.is_empty() && self.queue.depth() == 0 && self.batches.is_empty();
             if all_done {
                 break;
             }
@@ -439,14 +527,15 @@ impl ServerSim {
             self.advance(step);
         }
         let unfinished = self.dispatched.len()
-            + self.relaxed_queue.len()
-            + self.besteffort_queue.len()
+            + self.queue.depth()
             + self.batches.iter().map(|(_, m)| m.len()).sum::<usize>();
         let policy = self.policy();
         let mut records = self.records;
         records.sort_by_key(|r| (r.submitted_at, r.id));
         SimReport {
             records,
+            rejected: self.rejected,
+            tenant_names: self.tenant_names,
             policy,
             unfinished,
             end_time: self.now,
@@ -467,6 +556,11 @@ impl ServerSim {
 #[derive(Debug, Clone)]
 pub struct SimReport {
     pub records: Vec<QueryRecord>,
+    /// Submissions refused at admission (infeasible deadlines). Never
+    /// ledgered, never executed.
+    pub rejected: Vec<RejectedRecord>,
+    /// Tenant names; [`QueryRecord::tenant`] indexes into this.
+    pub tenant_names: Vec<String>,
     /// The admission policy the run used — the same knobs the live server
     /// derives its SLO thresholds from.
     pub policy: SchedulerPolicy,
@@ -489,7 +583,20 @@ pub struct SimReport {
 
 impl SimReport {
     pub fn records_at(&self, level: ServiceLevel) -> impl Iterator<Item = &QueryRecord> {
-        self.records.iter().filter(move |r| r.level == level)
+        self.records
+            .iter()
+            .filter(move |r| r.mode == AdmissionMode::Level(level))
+    }
+
+    /// Records of deadline-mode queries.
+    pub fn deadline_records(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.mode, AdmissionMode::Deadline { .. }))
+    }
+
+    pub fn tenant_name(&self, idx: u32) -> &str {
+        &self.tenant_names[idx as usize]
     }
 
     /// Pending-time statistics per service level.
@@ -503,14 +610,15 @@ impl SimReport {
 
     /// Build the economics ledger for this run: one entry per completed
     /// query, in record order, carrying exactly the dollars the records
-    /// carry — so reconciliation against `records` is bit-for-bit.
+    /// carry — so reconciliation against `records` is bit-for-bit. Rejected
+    /// submissions deliberately never appear here.
     pub fn ledger(&self) -> pixels_obs::Ledger {
         let ledger = pixels_obs::Ledger::new();
         for r in &self.records {
             ledger.append(pixels_obs::LedgerEntry {
                 query: r.id.to_string(),
-                tenant: "sim".to_string(),
-                level: r.level.name().to_string(),
+                tenant: self.tenant_name(r.tenant).to_string(),
+                level: r.mode.name().to_string(),
                 bytes_billed: r.scan_bytes,
                 revenue_dollars: r.price,
                 vm_dollars: r.resource_cost.vm_dollars,
@@ -528,19 +636,33 @@ impl SimReport {
         ledger
     }
 
-    /// Replay the run's pending times through an [`pixels_obs::SloTracker`]
+    /// Replay the run's latencies through an [`pixels_obs::SloTracker`]
     /// whose objectives come from the run's own [`SchedulerPolicy`] — the
     /// identical code path the live server uses, on the virtual clock.
+    /// Fixed levels record pending time against the level's bound; deadline
+    /// queries record completion-latency excess over their own target
+    /// against the zero threshold; rejected submissions count as violations
+    /// of their mode's objective.
     pub fn slo_tracker(&self) -> pixels_obs::SloTracker {
         let clock = pixels_obs::SimClock::shared();
         clock.set_micros(self.end_time.as_micros());
         let tracker = pixels_obs::SloTracker::new(clock, self.policy.slo_objectives());
         for r in &self.records {
-            tracker.record_at(
-                r.level.name(),
-                r.pending().as_micros(),
-                r.finished_at.as_micros(),
-            );
+            match r.mode {
+                AdmissionMode::Level(_) => tracker.record_at(
+                    r.mode.name(),
+                    r.pending().as_micros(),
+                    r.finished_at.as_micros(),
+                ),
+                AdmissionMode::Deadline { target_us } => tracker.record_at(
+                    DEADLINE_LEVEL,
+                    r.total_latency().as_micros().saturating_sub(target_us),
+                    r.finished_at.as_micros(),
+                ),
+            };
+        }
+        for rej in &self.rejected {
+            tracker.record_at(rej.mode.name(), u64::MAX, rej.at.as_micros());
         }
         tracker
     }
@@ -563,11 +685,17 @@ impl SimReport {
     /// registry, under the same naming convention the live server uses —
     /// one `/metrics` surface serves real executions and simulations alike.
     pub fn export_metrics(&self, registry: &pixels_obs::MetricsRegistry) {
-        for level in ServiceLevel::ALL {
-            let mut n = 0u64;
+        let groups: Vec<(&'static str, Vec<&QueryRecord>)> = ServiceLevel::ALL
+            .iter()
+            .map(|&level| (level.name(), self.records_at(level).collect()))
+            .chain(std::iter::once((
+                DEADLINE_LEVEL,
+                self.deadline_records().collect(),
+            )))
+            .collect();
+        for (name, group) in &groups {
             let mut cf = 0u64;
-            for r in self.records_at(level) {
-                n += 1;
+            for r in group {
                 if matches!(r.placement, Placement::Cf { .. }) {
                     cf += 1;
                 }
@@ -592,17 +720,23 @@ impl SimReport {
                 .counter_with(
                     "pixels_sim_queries_total",
                     "Simulated queries completed, per service level",
-                    &[("level", level.name())],
+                    &[("level", name)],
                 )
-                .add(n);
+                .add(group.len() as u64);
             registry
                 .counter_with(
                     "pixels_sim_cf_queries_total",
                     "Simulated queries placed on the cloud-function tier",
-                    &[("level", level.name())],
+                    &[("level", name)],
                 )
                 .add(cf);
         }
+        registry
+            .counter(
+                "pixels_sim_rejected_total",
+                "Simulated submissions refused at admission (infeasible deadline)",
+            )
+            .add(self.rejected.len() as u64);
         registry
             .counter(
                 "pixels_turbo_vm_scale_out_events_total",
@@ -957,7 +1091,8 @@ mod tests {
         // record's own, not a recomputation — equality is exact, not fuzzy.
         for (e, r) in entries.iter().zip(report.records.iter()) {
             assert_eq!(e.query, r.id.to_string());
-            assert_eq!(e.level, r.level.name());
+            assert_eq!(e.level, r.mode.name());
+            assert_eq!(e.tenant, "sim");
             assert_eq!(e.bytes_billed, r.scan_bytes);
             assert_eq!(e.revenue_dollars.to_bits(), r.price.to_bits());
             assert_eq!(e.vm_dollars.to_bits(), r.resource_cost.vm_dollars.to_bits());
@@ -1247,5 +1382,148 @@ mod tests {
         let b = ServerSim::with_defaults().run(subs, SimDuration::from_secs(7200));
         assert_eq!(a.records, b.records);
         assert_eq!(a.scale_out_events, b.scale_out_events);
+    }
+
+    #[test]
+    fn deadline_mode_admits_feasible_rejects_infeasible() {
+        let sim = ServerSim::with_defaults();
+        let subs = vec![
+            // Feasible: a light query with a generous 120 s target.
+            TenantSubmission {
+                at: SimTime::from_secs(1),
+                class: QueryClass::Light,
+                mode: AdmissionMode::Deadline {
+                    target_us: 120_000_000,
+                },
+                tenant: "acme".to_string(),
+            },
+            // Infeasible: a heavy query demanding completion in 100 ms.
+            TenantSubmission {
+                at: SimTime::from_secs(1),
+                class: QueryClass::Heavy,
+                mode: AdmissionMode::Deadline { target_us: 100_000 },
+                tenant: "acme".to_string(),
+            },
+        ];
+        let report = sim.run_tenants(subs, SimDuration::from_secs(3600));
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.rejected.len(), 1, "infeasible target is refused");
+        let finished: Vec<_> = report.deadline_records().collect();
+        assert_eq!(finished.len(), 1);
+        // The feasible one met its target on an idle cluster.
+        assert!(finished[0].total_latency() <= SimDuration::from_secs(120));
+        // Deadline pricing: 120 s target → 0.5× the Immediate rate.
+        let expected = report.records[0].scan_bytes as f64 / pixels_common::bytesize::TB as f64
+            * pixels_common::prices::IMMEDIATE_PER_TB
+            * 0.5;
+        assert!((finished[0].price - expected).abs() < 1e-9);
+        // Rejected queries never reach the ledger; the completed one does.
+        let ledger = report.ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.entries()[0].tenant, "acme");
+        assert_eq!(ledger.entries()[0].level, "deadline");
+        // The SLO tracker saw both: one good (met target), one violation
+        // (the rejection).
+        let registry = pixels_obs::MetricsRegistry::new();
+        report.export_metrics(&registry);
+        let text = registry.render();
+        assert!(
+            text.contains(r#"pixels_slo_good_total{level="deadline"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"pixels_slo_violation_total{level="deadline"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("pixels_sim_rejected_total 1"), "{text}");
+    }
+
+    #[test]
+    fn fair_queue_prevents_tenant_starvation_in_sim() {
+        // An adversarial tenant floods the queue before a light tenant's
+        // single query arrives; once the overload clears, DRR serves both
+        // tenants per rotation — the light query must not wait for the
+        // adversary's entire backlog.
+        let subs_for = |light_at: SimTime| {
+            let mut subs: Vec<TenantSubmission> = (0..30)
+                .map(|i| TenantSubmission {
+                    at: SimTime::from_millis(1000 + i),
+                    class: QueryClass::Medium,
+                    mode: AdmissionMode::Level(ServiceLevel::Relaxed),
+                    tenant: "adversary".to_string(),
+                })
+                .collect();
+            subs.push(TenantSubmission {
+                at: light_at,
+                class: QueryClass::Medium,
+                mode: AdmissionMode::Level(ServiceLevel::Relaxed),
+                tenant: "light".to_string(),
+            });
+            subs
+        };
+        let report = ServerSim::with_defaults().run_tenants(
+            subs_for(SimTime::from_secs(2)),
+            SimDuration::from_secs(7200),
+        );
+        assert_eq!(report.unfinished, 0);
+        let light_idx = report
+            .tenant_names
+            .iter()
+            .position(|t| t == "light")
+            .unwrap() as u32;
+        let light = report
+            .records
+            .iter()
+            .find(|r| r.tenant == light_idx)
+            .unwrap();
+        let adversary_waits: Vec<SimDuration> = report
+            .records
+            .iter()
+            .filter(|r| r.tenant != light_idx && r.dispatched_at > r.submitted_at)
+            .map(|r| r.dispatched_at.since(r.submitted_at))
+            .collect();
+        assert!(
+            !adversary_waits.is_empty(),
+            "the flood must overload the cluster"
+        );
+        let worst_adversary = adversary_waits.iter().max().unwrap();
+        let light_wait = light.dispatched_at.since(light.submitted_at);
+        assert!(
+            light_wait < *worst_adversary,
+            "fair queueing must serve the light tenant ({light_wait}) before the \
+             adversary's tail ({worst_adversary})"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_run_attributes_ledger_per_tenant() {
+        let subs: Vec<TenantSubmission> = (0..12)
+            .map(|i| TenantSubmission {
+                at: SimTime::from_millis(500 * i),
+                class: QueryClass::Light,
+                mode: AdmissionMode::Level(ServiceLevel::ALL[(i % 3) as usize]),
+                tenant: format!("t{}", i % 4),
+            })
+            .collect();
+        let report = ServerSim::with_defaults().run_tenants(subs, SimDuration::from_secs(7200));
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.tenant_names.len(), 4);
+        let ledger = report.ledger();
+        let by_tenant = ledger.by_tenant();
+        assert_eq!(by_tenant.len(), 4);
+        // Per-tenant revenue folds reconcile with the records exactly.
+        for (tenant, summary) in &by_tenant {
+            let idx = report
+                .tenant_names
+                .iter()
+                .position(|t| t == tenant)
+                .unwrap() as u32;
+            let folded = report
+                .records
+                .iter()
+                .filter(|r| r.tenant == idx)
+                .fold(0.0f64, |acc, r| acc + r.price);
+            assert_eq!(summary.revenue_dollars.to_bits(), folded.to_bits());
+        }
     }
 }

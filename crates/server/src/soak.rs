@@ -1,0 +1,1099 @@
+//! Long-horizon admission soak: millions of simulated users driven through
+//! the tenant-aware admission core on an event-driven virtual clock.
+//!
+//! The tick-based [`crate::sim::ServerSim`] runs the full coordinator
+//! (autoscaling, CF fleets, stragglers) and is the right tool for
+//! fine-grained experiments, but a 100 ms tick cannot cover weeks of
+//! simulated time with millions of queries. This harness trades the
+//! cluster micro-model for an analytic capacity model (a VM fleet of
+//! `vm_cores` cores plus an elastic CF tier) and advances time event by
+//! event — arrival, completion, force-start — so a 1M-user soak finishes
+//! in seconds of wall time while exercising the *same* admission core the
+//! live server uses: [`SchedulerPolicy::admit_mode`] verdicts, the
+//! deficit-weighted [`FairQueue`], EDF deadline ordering, feasibility
+//! rejection, and best-of-effort shared-scan batching via
+//! [`pixels_exec::batch`].
+//!
+//! Billing discipline matches the live path bit-for-bit: every completed
+//! query appends exactly the dollars it accumulated (in completion order),
+//! rejected queries never bill, and batch members split one scan's bytes
+//! with [`pixels_exec::batch::member_share`] — so the report's per-tenant
+//! revenue reconciles exactly against a [`pixels_obs::Ledger`] replay.
+
+use crate::fair::{FairQueue, QueuedQuery};
+use crate::pricing::PriceSchedule;
+use crate::scheduler::{Admission, AdmissionMode, LoadSignal, SchedulerPolicy, DEADLINE_LEVEL};
+use crate::service_level::ServiceLevel;
+use pixels_common::Json;
+use pixels_obs::{Ledger, LedgerEntry, MetricsRegistry};
+use pixels_sim::{SimDuration, SimTime};
+use pixels_turbo::{QueryWork, ResourcePricing};
+use pixels_workload::{arrivals, QueryClass, WorkloadTrace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of one soak run. All times are virtual.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Target number of simulated users (one query each). The arrival
+    /// generators are seeded with ~5% margin above this, so the realized
+    /// count is deterministic and at least `users` for any practical size.
+    pub users: usize,
+    /// Tenant pool size; tenant 0 is the adversary.
+    pub tenants: usize,
+    /// VM fleet capacity in cores. `overloaded` at ≥ capacity,
+    /// `nearly_idle` at ≤ a quarter of it.
+    pub vm_cores: u64,
+    /// Arrival window (diurnal period is 24 h of virtual time).
+    pub duration: SimDuration,
+    pub seed: u64,
+    /// Fraction of arrivals issued by the adversary tenant, which floods
+    /// best-of-effort work to try to starve everyone else.
+    pub adversary_share: f64,
+    /// Fraction of non-adversary arrivals submitted in deadline mode.
+    pub deadline_share: f64,
+    /// Deadline targets drawn (uniformly by hash) for deadline queries.
+    pub deadline_targets_us: Vec<u64>,
+    /// Counterfactual: map each deadline to the nearest fixed tier at
+    /// submission (violations still counted against the original target).
+    pub map_deadlines_to_tiers: bool,
+    pub grace: SimDuration,
+    pub besteffort_max_wait: SimDuration,
+    /// Merge same-class best-of-effort queue entries into shared scans.
+    pub batch_besteffort: bool,
+    pub max_batch: usize,
+    /// Keep full ledger entries for bit-for-bit reconciliation (memory ∝
+    /// completions; leave off for multi-million-user runs, which still
+    /// verify via the running revenue fold).
+    pub collect_ledger: bool,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            users: 50_000,
+            tenants: 16,
+            vm_cores: 96,
+            duration: SimDuration::from_secs(24 * 3600),
+            seed: 7,
+            adversary_share: 0.2,
+            deadline_share: 0.25,
+            deadline_targets_us: vec![
+                10_000_000,    // 10 s: infeasible for heavy queries → rejected
+                30_000_000,    // 30 s
+                120_000_000,   // 2 min
+                600_000_000,   // 10 min
+                1_800_000_000, // 30 min
+            ],
+            map_deadlines_to_tiers: false,
+            grace: SimDuration::from_secs(300),
+            besteffort_max_wait: SimDuration::from_secs(3600),
+            batch_besteffort: true,
+            max_batch: 8,
+            collect_ledger: false,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// CI-scale variant: small enough for a debug-mode test run.
+    pub fn ci_scale(users: usize) -> SoakConfig {
+        SoakConfig {
+            users,
+            // Keep the mean arrival rate of the default config so queueing
+            // behavior is comparable at any scale.
+            duration: SimDuration::from_secs_f64(24.0 * 3600.0 * users as f64 / 50_000.0),
+            collect_ledger: users <= 200_000,
+            ..SoakConfig::default()
+        }
+    }
+}
+
+/// Per-admission-mode outcome summary.
+#[derive(Debug, Clone)]
+pub struct ModeStats {
+    pub name: String,
+    pub completed: u64,
+    pub rejected: u64,
+    pub sla_violations: u64,
+    pub p50_latency_us: u64,
+    pub p95_latency_us: u64,
+    pub p99_latency_us: u64,
+    pub revenue_dollars: f64,
+}
+
+/// Per-tenant outcome summary (the fairness evidence).
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    pub name: String,
+    pub completed: u64,
+    pub rejected: u64,
+    pub mean_wait_us: u64,
+    pub max_wait_us: u64,
+    pub revenue_dollars: f64,
+}
+
+/// Result of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Virtual time from first arrival to last completion.
+    pub sim_duration: SimDuration,
+    pub throughput_qps: f64,
+    pub revenue_dollars: f64,
+    pub provider_dollars: f64,
+    pub forced_starts: u64,
+    pub batches: u64,
+    pub batched_members: u64,
+    /// Completions placed on the CF tier (overload absorption).
+    pub cf_placements: u64,
+    /// Violations of *original* deadline targets across the
+    /// deadline-assigned population — comparable between a deadline-mode
+    /// run and a `map_deadlines_to_tiers` counterfactual. Rejections count
+    /// as violations (the user did not get their answer in time).
+    pub deadline_target_violations: u64,
+    pub deadline_population: u64,
+    pub modes: Vec<ModeStats>,
+    pub tenants: Vec<TenantStats>,
+    /// Full entries when `collect_ledger`; always in completion order.
+    pub ledger_entries: Vec<LedgerEntry>,
+    /// Bits of the running `revenue += price` fold in completion order —
+    /// the any-scale reconciliation anchor.
+    pub revenue_fold_bits: u64,
+}
+
+const MODE_GROUPS: [&str; 4] = ["immediate", "relaxed", "best_effort", DEADLINE_LEVEL];
+
+fn mode_group(mode: AdmissionMode) -> usize {
+    match mode {
+        AdmissionMode::Level(ServiceLevel::Immediate) => 0,
+        AdmissionMode::Level(ServiceLevel::Relaxed) => 1,
+        AdmissionMode::Level(ServiceLevel::BestEffort) => 2,
+        AdmissionMode::Deadline { .. } => 3,
+    }
+}
+
+/// Deterministic splitmix64 — per-query randomness without a stateful RNG,
+/// so mode/tenant assignment is independent of evaluation order.
+fn splitmix(seed: u64, idx: u64) -> u64 {
+    let mut z = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Map a deadline target to the nearest fixed tier in log space: the
+/// boundaries are the geometric means of adjacent tier bounds (1 s
+/// immediate SLO, 300 s relaxed grace, 3600 s starvation bound).
+pub fn nearest_tier(target_us: u64) -> ServiceLevel {
+    let t = target_us as f64 / 1e6;
+    if t <= (1.0f64 * 300.0).sqrt() {
+        ServiceLevel::Immediate
+    } else if t <= (300.0f64 * 3600.0).sqrt() {
+        ServiceLevel::Relaxed
+    } else {
+        ServiceLevel::BestEffort
+    }
+}
+
+/// One pre-generated submission.
+struct Planned {
+    at_us: u64,
+    class: QueryClass,
+    tenant: u32,
+    mode: AdmissionMode,
+    /// Original deadline target, kept even when the mode was mapped to a
+    /// fixed tier — the yardstick for `deadline_target_violations`.
+    orig_target_us: Option<u64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Index into the planned-submission table.
+    Arrive(u32),
+    /// Query id whose force-start bound expires now.
+    Recheck(u64),
+    /// Query id finishing execution.
+    Finish(u64),
+}
+
+struct Running {
+    ids: Vec<u64>,
+    cores: u64,
+    cf_workers: u32,
+    scan_bytes: u64,
+    vm_dollars: f64,
+    cf_dollars: f64,
+}
+
+struct InFlight {
+    idx: u32,
+    submitted_us: u64,
+    started_us: u64,
+}
+
+struct Accum {
+    completed: u64,
+    rejected: u64,
+    wait_sum_us: u128,
+    wait_max_us: u64,
+    revenue: f64,
+}
+
+impl Accum {
+    fn new() -> Accum {
+        Accum {
+            completed: 0,
+            rejected: 0,
+            wait_sum_us: 0,
+            wait_max_us: 0,
+            revenue: 0.0,
+        }
+    }
+}
+
+/// Run one soak. Deterministic for a given config.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    assert!(
+        cfg.tenants >= 2,
+        "need an adversary and at least one victim"
+    );
+    let plan = plan_submissions(cfg);
+    let policy = SchedulerPolicy {
+        grace: cfg.grace,
+        besteffort_max_wait: cfg.besteffort_max_wait,
+    };
+    let prices = PriceSchedule::default();
+    let resource = ResourcePricing::default();
+    let class_work: [QueryWork; 3] = [
+        QueryWork::from_class(QueryClass::Light),
+        QueryWork::from_class(QueryClass::Medium),
+        QueryWork::from_class(QueryClass::Heavy),
+    ];
+    let class_idx = |c: QueryClass| match c {
+        QueryClass::Light => 0usize,
+        QueryClass::Medium => 1,
+        QueryClass::Heavy => 2,
+    };
+    let est_us: [u64; 3] = std::array::from_fn(|i| vm_exec_us(&class_work[i]));
+
+    let tenant_names: Vec<String> = (0..cfg.tenants)
+        .map(|i| {
+            if i == 0 {
+                "adversary".to_string()
+            } else {
+                format!("t-{i:03}")
+            }
+        })
+        .collect();
+
+    // --- event loop state -------------------------------------------------
+    let mut heap: BinaryHeap<Reverse<(u64, u64, EventKind)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut push_event = |heap: &mut BinaryHeap<_>, seq: &mut u64, at: u64, kind: EventKind| {
+        *seq += 1;
+        heap.push(Reverse((at, *seq, kind)));
+    };
+    for (i, p) in plan.iter().enumerate() {
+        push_event(&mut heap, &mut seq, p.at_us, EventKind::Arrive(i as u32));
+    }
+
+    let mut fair = FairQueue::new();
+    let mut waiting: HashMap<u64, InFlight> = HashMap::new();
+    let mut running: HashMap<u64, Running> = HashMap::new();
+    let mut flight: HashMap<u64, InFlight> = HashMap::new();
+    let mut busy_cores: u64 = 0;
+    let mut next_qid: u64 = 0;
+    let mut next_run: u64 = 0;
+
+    // --- accounting -------------------------------------------------------
+    let mut per_tenant: Vec<Accum> = (0..cfg.tenants).map(|_| Accum::new()).collect();
+    let mut mode_completed = [0u64; 4];
+    let mut mode_rejected = [0u64; 4];
+    let mut mode_violations = [0u64; 4];
+    let mut mode_revenue = [0.0f64; 4];
+    let mut mode_latency: [Vec<u64>; 4] = Default::default();
+    let mut revenue_fold = 0.0f64;
+    let mut provider_dollars = 0.0f64;
+    let mut ledger_entries: Vec<LedgerEntry> = Vec::new();
+    let mut forced_starts = 0u64;
+    let mut batches = 0u64;
+    let mut batched_members = 0u64;
+    let mut cf_placements = 0u64;
+    let mut deadline_violations = 0u64;
+    let mut deadline_population = 0u64;
+    let mut last_finish_us = 0u64;
+
+    let load = |fair: &FairQueue, busy: u64, tenant: &str, mode: AdmissionMode| LoadSignal {
+        overloaded: busy >= cfg.vm_cores,
+        nearly_idle: busy * 4 <= cfg.vm_cores,
+        tenant_depth: fair.tenant_class_depth(tenant, mode),
+        total_depth: fair.depth(),
+    };
+
+    while let Some(Reverse((now_us, _, kind))) = heap.pop() {
+        match kind {
+            EventKind::Arrive(i) => {
+                let p = &plan[i as usize];
+                let tenant = &tenant_names[p.tenant as usize];
+                let work = &class_work[class_idx(p.class)];
+                let est = est_us[class_idx(p.class)];
+                let sig = load(&fair, busy_cores, tenant, p.mode);
+                let id = next_qid;
+                next_qid += 1;
+                match policy.admit_mode(p.mode, sig, now_us, est) {
+                    Admission::DispatchNow => {
+                        let fl = InFlight {
+                            idx: i,
+                            submitted_us: now_us,
+                            started_us: now_us,
+                        };
+                        start(
+                            now_us,
+                            vec![(id, fl)],
+                            p.mode,
+                            work,
+                            sig.overloaded,
+                            false,
+                            &resource,
+                            &mut busy_cores,
+                            &mut running,
+                            &mut flight,
+                            &mut next_run,
+                            &mut heap,
+                            &mut seq,
+                            &mut push_event,
+                            &mut forced_starts,
+                        );
+                    }
+                    Admission::Queue { deadline_us } => {
+                        let batch_key = match p.mode {
+                            AdmissionMode::Level(ServiceLevel::BestEffort)
+                                if cfg.batch_besteffort =>
+                            {
+                                Some(class_idx(p.class) as u64)
+                            }
+                            _ => None,
+                        };
+                        fair.push(QueuedQuery {
+                            id,
+                            tenant: tenant.clone(),
+                            mode: p.mode,
+                            deadline_us,
+                            enqueued_us: now_us,
+                            batch_key,
+                        });
+                        waiting.insert(
+                            id,
+                            InFlight {
+                                idx: i,
+                                submitted_us: now_us,
+                                started_us: 0,
+                            },
+                        );
+                        // Fires exactly at the force-start bound: a queued
+                        // deadline query forced at its latest feasible
+                        // start still finishes on target, not 1 µs late.
+                        push_event(&mut heap, &mut seq, deadline_us, EventKind::Recheck(id));
+                    }
+                    Admission::Reject { .. } => {
+                        per_tenant[p.tenant as usize].rejected += 1;
+                        mode_rejected[mode_group(p.mode)] += 1;
+                        if p.orig_target_us.is_some() {
+                            deadline_population += 1;
+                            deadline_violations += 1;
+                        }
+                    }
+                }
+            }
+            EventKind::Recheck(_) => {
+                // The entry's force-start bound expired (or it already
+                // dispatched); the drain below picks it up via the fair
+                // queue's expiry index.
+            }
+            EventKind::Finish(run_id) => {
+                let done = running.remove(&run_id).expect("unknown run");
+                busy_cores -= done.cores;
+                last_finish_us = last_finish_us.max(now_us);
+                if done.cf_workers > 0 {
+                    cf_placements += done.ids.len() as u64;
+                }
+                let n = done.ids.len();
+                for (mi, qid) in done.ids.iter().enumerate() {
+                    let fl = flight.remove(qid).expect("unknown flight");
+                    let p = &plan[fl.idx as usize];
+                    let bytes = pixels_exec::batch::member_share(done.scan_bytes, n, mi);
+                    let price = prices.bill_mode(p.mode, bytes);
+                    let vm = pixels_exec::batch::member_cost_share(done.vm_dollars, n);
+                    let cf = pixels_exec::batch::member_cost_share(done.cf_dollars, n);
+                    let wait = fl.started_us - fl.submitted_us;
+                    let total = now_us - fl.submitted_us;
+                    let g = mode_group(p.mode);
+                    mode_completed[g] += 1;
+                    mode_revenue[g] += price;
+                    mode_latency[g].push(total);
+                    let violated = match p.mode {
+                        AdmissionMode::Level(ServiceLevel::Immediate) => {
+                            wait > crate::scheduler::IMMEDIATE_SLO_US
+                        }
+                        AdmissionMode::Level(ServiceLevel::Relaxed) => wait > cfg.grace.as_micros(),
+                        AdmissionMode::Level(ServiceLevel::BestEffort) => {
+                            wait > cfg.besteffort_max_wait.as_micros()
+                        }
+                        AdmissionMode::Deadline { target_us } => total > target_us,
+                    };
+                    if violated {
+                        mode_violations[g] += 1;
+                    }
+                    if let Some(target) = p.orig_target_us {
+                        deadline_population += 1;
+                        if total > target {
+                            deadline_violations += 1;
+                        }
+                    }
+                    let acc = &mut per_tenant[p.tenant as usize];
+                    acc.completed += 1;
+                    acc.wait_sum_us += wait as u128;
+                    acc.wait_max_us = acc.wait_max_us.max(wait);
+                    acc.revenue += price;
+                    revenue_fold += price;
+                    provider_dollars += vm + cf;
+                    if cfg.collect_ledger {
+                        ledger_entries.push(LedgerEntry {
+                            query: format!("q-{qid}"),
+                            tenant: tenant_names[p.tenant as usize].clone(),
+                            level: p.mode.name().to_string(),
+                            bytes_billed: bytes,
+                            revenue_dollars: price,
+                            vm_dollars: vm,
+                            cf_dollars: cf,
+                            provider_cf_dollars: cf,
+                            shuffle_dollars: 0.0,
+                            degraded: false,
+                            speculative: false,
+                            at_us: now_us,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Drain the fair queue until the load signal says stop. Load is
+        // recomputed per grant: each dispatch occupies cores and can flip
+        // the cluster to overloaded / out of nearly-idle.
+        loop {
+            let sig = LoadSignal {
+                overloaded: busy_cores >= cfg.vm_cores,
+                nearly_idle: busy_cores * 4 <= cfg.vm_cores,
+                tenant_depth: 0,
+                total_depth: fair.depth(),
+            };
+            let Some(grant) = fair.select(sig, now_us) else {
+                break;
+            };
+            let fl = waiting.remove(&grant.id).expect("granted unknown id");
+            let p = &plan[fl.idx as usize];
+            let work = &class_work[class_idx(p.class)];
+            let mut members = vec![(
+                grant.id,
+                InFlight {
+                    idx: fl.idx,
+                    submitted_us: fl.submitted_us,
+                    started_us: now_us,
+                },
+            )];
+            // Carrier dispatching on merit may pull same-key
+            // best-of-effort members into one shared-scan execution.
+            // Forced starts never batch: the force bound is the carrier's
+            // own promise, not its batch-mates'.
+            if !grant.forced
+                && cfg.batch_besteffort
+                && matches!(p.mode, AdmissionMode::Level(ServiceLevel::BestEffort))
+            {
+                let key = class_idx(p.class) as u64;
+                for q in fair.take_batch(key, cfg.max_batch.saturating_sub(1)) {
+                    let wfl = waiting.remove(&q.id).expect("batch member unknown");
+                    members.push((
+                        q.id,
+                        InFlight {
+                            idx: wfl.idx,
+                            submitted_us: wfl.submitted_us,
+                            started_us: now_us,
+                        },
+                    ));
+                }
+            }
+            if members.len() > 1 {
+                batches += 1;
+                batched_members += members.len() as u64 - 1;
+            }
+            start(
+                now_us,
+                members,
+                p.mode,
+                work,
+                sig.overloaded,
+                grant.forced,
+                &resource,
+                &mut busy_cores,
+                &mut running,
+                &mut flight,
+                &mut next_run,
+                &mut heap,
+                &mut seq,
+                &mut push_event,
+                &mut forced_starts,
+            );
+        }
+    }
+
+    // --- report -----------------------------------------------------------
+    let completed: u64 = mode_completed.iter().sum();
+    let rejected: u64 = mode_rejected.iter().sum();
+    let first_us = plan.first().map(|p| p.at_us).unwrap_or(0);
+    let span_us = last_finish_us.saturating_sub(first_us).max(1);
+    let modes = MODE_GROUPS
+        .iter()
+        .enumerate()
+        .map(|(g, name)| {
+            let lat = &mut mode_latency[g];
+            lat.sort_unstable();
+            ModeStats {
+                name: name.to_string(),
+                completed: mode_completed[g],
+                rejected: mode_rejected[g],
+                sla_violations: mode_violations[g],
+                p50_latency_us: percentile(lat, 0.50),
+                p95_latency_us: percentile(lat, 0.95),
+                p99_latency_us: percentile(lat, 0.99),
+                revenue_dollars: mode_revenue[g],
+            }
+        })
+        .collect();
+    let tenants = per_tenant
+        .iter()
+        .enumerate()
+        .map(|(i, a)| TenantStats {
+            name: tenant_names[i].clone(),
+            completed: a.completed,
+            rejected: a.rejected,
+            mean_wait_us: if a.completed > 0 {
+                (a.wait_sum_us / a.completed as u128) as u64
+            } else {
+                0
+            },
+            max_wait_us: a.wait_max_us,
+            revenue_dollars: a.revenue,
+        })
+        .collect();
+    SoakReport {
+        submitted: plan.len() as u64,
+        completed,
+        rejected,
+        sim_duration: SimDuration::from_micros(span_us),
+        throughput_qps: completed as f64 / (span_us as f64 / 1e6),
+        revenue_dollars: revenue_fold,
+        provider_dollars,
+        forced_starts,
+        batches,
+        batched_members,
+        cf_placements,
+        deadline_target_violations: deadline_violations,
+        deadline_population,
+        modes,
+        tenants,
+        ledger_entries,
+        revenue_fold_bits: revenue_fold.to_bits(),
+    }
+}
+
+/// VM execution time in micros at the work's own parallelism.
+fn vm_exec_us(work: &QueryWork) -> u64 {
+    work.exec_time_on_cores(work.parallelism as f64).as_micros()
+}
+
+/// Dispatch one execution (single query or best-of-effort batch) onto the
+/// VM fleet or, when the VM tier has no headroom and the mode allows it,
+/// onto the elastic CF tier.
+#[allow(clippy::too_many_arguments)]
+fn start(
+    now_us: u64,
+    members: Vec<(u64, InFlight)>,
+    mode: AdmissionMode,
+    work: &QueryWork,
+    overloaded: bool,
+    forced: bool,
+    resource: &ResourcePricing,
+    busy_cores: &mut u64,
+    running: &mut HashMap<u64, Running>,
+    flight: &mut HashMap<u64, InFlight>,
+    next_run: &mut u64,
+    heap: &mut BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    seq: &mut u64,
+    push_event: &mut impl FnMut(
+        &mut BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+        &mut u64,
+        u64,
+        EventKind,
+    ),
+    forced_starts: &mut u64,
+) {
+    if forced {
+        *forced_starts += 1;
+    }
+    let n = members.len();
+    let cpu = if n > 1 {
+        pixels_exec::batch::merged_cpu_seconds(work.cpu_seconds, n)
+    } else {
+        work.cpu_seconds
+    };
+    let merged = QueryWork {
+        scan_bytes: work.scan_bytes,
+        cpu_seconds: cpu,
+        parallelism: work.parallelism,
+    };
+    // CF absorbs overload for CF-eligible modes (immediate always, and
+    // forced deadline starts); everything else runs on (possibly
+    // over-committed) VM cores.
+    let on_cf = overloaded && mode.cf_enabled();
+    let (exec_us, cores, cf_workers, vm_dollars, cf_dollars) = if on_cf {
+        // CF elasticity offsets the per-worker efficiency penalty:
+        // latency matches the VM tier, but the provider pays the CF
+        // premium (efficiency-inflated GB-seconds plus invocations).
+        let workers = merged.parallelism.max(1);
+        let per_worker = SimDuration::from_secs_f64(
+            merged.cpu_seconds / resource.cf_efficiency / workers as f64,
+        );
+        (
+            vm_exec_us(&merged),
+            0u64,
+            workers,
+            0.0,
+            resource.cf_cost(workers, per_worker),
+        )
+    } else {
+        (
+            vm_exec_us(&merged),
+            merged.parallelism as u64,
+            0u32,
+            resource.vm_cost(merged.cpu_seconds),
+            0.0,
+        )
+    };
+    *busy_cores += cores;
+    let run_id = *next_run;
+    *next_run += 1;
+    let ids: Vec<u64> = members.iter().map(|(id, _)| *id).collect();
+    for (id, fl) in members {
+        flight.insert(id, fl);
+    }
+    running.insert(
+        run_id,
+        Running {
+            ids,
+            cores,
+            cf_workers,
+            scan_bytes: merged.scan_bytes,
+            vm_dollars,
+            cf_dollars,
+        },
+    );
+    push_event(
+        heap,
+        seq,
+        now_us + exec_us.max(1),
+        EventKind::Finish(run_id),
+    );
+}
+
+/// Generate the deterministic submission plan: diurnal base load plus a
+/// rectangular spike, classes from the canonical mix, tenants and modes by
+/// per-index hash.
+fn plan_submissions(cfg: &SoakConfig) -> Vec<Planned> {
+    let secs = cfg.duration.as_secs_f64().max(1.0);
+    let mean_rate = cfg.users as f64 / secs;
+    // 92% of traffic on the diurnal curve, ~13% more in a burst one third
+    // of the way in — 5% margin over `users` so the realized count meets
+    // the target deterministically.
+    let base = arrivals::diurnal(
+        mean_rate * 0.92,
+        0.6,
+        SimDuration::from_secs(24 * 3600),
+        cfg.duration,
+        cfg.seed,
+    );
+    let spike_start = SimDuration::from_secs_f64(secs / 3.0);
+    let spike_end = SimDuration::from_secs_f64(secs / 3.0 + (secs / 50.0).max(60.0));
+    let spike_span = (spike_end.as_secs_f64() - spike_start.as_secs_f64()).max(1.0);
+    let burst = arrivals::spike(
+        1e-9,
+        cfg.users as f64 * 0.13 / spike_span,
+        spike_start,
+        spike_end,
+        cfg.duration,
+        cfg.seed ^ 0xBEE5,
+    );
+    let mut all: Vec<SimTime> = base;
+    all.extend(burst);
+    all.sort();
+    let trace = WorkloadTrace::from_arrivals(all, [0.80, 0.17, 0.03], cfg.seed ^ 0xC1A5);
+
+    trace
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let h = splitmix(cfg.seed, i as u64);
+            let adversary = unit(h) < cfg.adversary_share;
+            let tenant = if adversary {
+                0u32
+            } else {
+                1 + (splitmix(cfg.seed ^ 0x7E, i as u64) % (cfg.tenants as u64 - 1)) as u32
+            };
+            let (mode, orig_target_us) = if adversary {
+                // The adversary floods cheap best-of-effort work.
+                (AdmissionMode::Level(ServiceLevel::BestEffort), None)
+            } else if unit(splitmix(cfg.seed ^ 0xD1, i as u64)) < cfg.deadline_share {
+                let pick =
+                    splitmix(cfg.seed ^ 0x5EED, i as u64) as usize % cfg.deadline_targets_us.len();
+                let target_us = cfg.deadline_targets_us[pick];
+                let mode = if cfg.map_deadlines_to_tiers {
+                    AdmissionMode::Level(nearest_tier(target_us))
+                } else {
+                    AdmissionMode::Deadline { target_us }
+                };
+                (mode, Some(target_us))
+            } else {
+                let r = unit(splitmix(cfg.seed ^ 0xF00D, i as u64));
+                let level = if r < 0.30 {
+                    ServiceLevel::Immediate
+                } else if r < 0.80 {
+                    ServiceLevel::Relaxed
+                } else {
+                    ServiceLevel::BestEffort
+                };
+                (AdmissionMode::Level(level), None)
+            };
+            Planned {
+                at_us: e.at.since(SimTime::ZERO).as_micros(),
+                class: e.class,
+                tenant,
+                mode,
+                orig_target_us,
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl SoakReport {
+    /// Rebuild a [`Ledger`] from the collected entries and check it
+    /// reconciles with the report's own accounting: per-tenant revenue
+    /// bit-for-bit (both folds run in completion order) and total revenue
+    /// against the running fold. Without collected entries only the fold
+    /// anchor is checked.
+    pub fn reconciles(&self) -> bool {
+        if self.revenue_fold_bits != self.revenue_dollars.to_bits() {
+            return false;
+        }
+        if self.ledger_entries.is_empty() {
+            return self.completed == 0 || !self.ledger_collected();
+        }
+        let ledger = Ledger::new();
+        for e in &self.ledger_entries {
+            ledger.append(e.clone());
+        }
+        if ledger.len() as u64 != self.completed {
+            return false;
+        }
+        let by_tenant = ledger.by_tenant();
+        for t in &self.tenants {
+            let summary = by_tenant.get(&t.name);
+            let (entries, revenue) = summary
+                .map(|s| (s.entries, s.revenue_dollars))
+                .unwrap_or((0, 0.0));
+            if entries != t.completed || revenue.to_bits() != t.revenue_dollars.to_bits() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn ledger_collected(&self) -> bool {
+        !self.ledger_entries.is_empty()
+    }
+
+    /// Victim tenants' (everyone but the adversary) mean wait, averaged.
+    pub fn victim_mean_wait_us(&self) -> u64 {
+        let victims: Vec<&TenantStats> = self
+            .tenants
+            .iter()
+            .filter(|t| t.name != "adversary" && t.completed > 0)
+            .collect();
+        if victims.is_empty() {
+            return 0;
+        }
+        let sum: u128 = victims.iter().map(|t| t.mean_wait_us as u128).sum();
+        (sum / victims.len() as u128) as u64
+    }
+
+    pub fn adversary_mean_wait_us(&self) -> u64 {
+        self.tenants
+            .iter()
+            .find(|t| t.name == "adversary")
+            .map(|t| t.mean_wait_us)
+            .unwrap_or(0)
+    }
+
+    /// Export the soak's headline series; per-tenant series go through the
+    /// cardinality-capped [`Ledger::export_tenants`] when entries were
+    /// collected.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        for m in &self.modes {
+            registry
+                .counter_with(
+                    "pixels_soak_queries_total",
+                    "Soak queries completed, per admission mode",
+                    &[("mode", &m.name)],
+                )
+                .add(m.completed);
+            registry
+                .counter_with(
+                    "pixels_soak_rejected_total",
+                    "Soak queries rejected at admission, per mode",
+                    &[("mode", &m.name)],
+                )
+                .add(m.rejected);
+            registry
+                .counter_with(
+                    "pixels_soak_sla_violations_total",
+                    "Soak SLA violations, per admission mode",
+                    &[("mode", &m.name)],
+                )
+                .add(m.sla_violations);
+        }
+        registry
+            .gauge(
+                "pixels_soak_revenue_dollars",
+                "Total user revenue across the soak",
+            )
+            .set(self.revenue_dollars);
+        registry
+            .gauge(
+                "pixels_soak_provider_dollars",
+                "Total provider resource cost across the soak",
+            )
+            .set(self.provider_dollars);
+        registry
+            .gauge(
+                "pixels_soak_throughput_qps",
+                "Completed queries per simulated second",
+            )
+            .set(self.throughput_qps);
+        if !self.ledger_entries.is_empty() {
+            let ledger = Ledger::new();
+            for e in &self.ledger_entries {
+                ledger.append(e.clone());
+            }
+            ledger.export_tenants(registry, 8);
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("submitted", Json::number(self.submitted as f64)),
+            ("completed", Json::number(self.completed as f64)),
+            ("rejected", Json::number(self.rejected as f64)),
+            ("sim_seconds", Json::number(self.sim_duration.as_secs_f64())),
+            ("throughput_qps", Json::number(self.throughput_qps)),
+            ("revenue_dollars", Json::number(self.revenue_dollars)),
+            ("provider_dollars", Json::number(self.provider_dollars)),
+            ("forced_starts", Json::number(self.forced_starts as f64)),
+            ("batches", Json::number(self.batches as f64)),
+            ("batched_members", Json::number(self.batched_members as f64)),
+            ("cf_placements", Json::number(self.cf_placements as f64)),
+            (
+                "deadline_population",
+                Json::number(self.deadline_population as f64),
+            ),
+            (
+                "deadline_target_violations",
+                Json::number(self.deadline_target_violations as f64),
+            ),
+            (
+                "modes",
+                Json::array(self.modes.iter().map(|m| {
+                    Json::object([
+                        ("name", Json::string(m.name.clone())),
+                        ("completed", Json::number(m.completed as f64)),
+                        ("rejected", Json::number(m.rejected as f64)),
+                        ("sla_violations", Json::number(m.sla_violations as f64)),
+                        ("p50_latency_s", Json::number(m.p50_latency_us as f64 / 1e6)),
+                        ("p95_latency_s", Json::number(m.p95_latency_us as f64 / 1e6)),
+                        ("p99_latency_s", Json::number(m.p99_latency_us as f64 / 1e6)),
+                        ("revenue_dollars", Json::number(m.revenue_dollars)),
+                    ])
+                })),
+            ),
+            (
+                "tenants",
+                Json::array(self.tenants.iter().map(|t| {
+                    Json::object([
+                        ("name", Json::string(t.name.clone())),
+                        ("completed", Json::number(t.completed as f64)),
+                        ("rejected", Json::number(t.rejected as f64)),
+                        ("mean_wait_s", Json::number(t.mean_wait_us as f64 / 1e6)),
+                        ("max_wait_s", Json::number(t.max_wait_us as f64 / 1e6)),
+                        ("revenue_dollars", Json::number(t.revenue_dollars)),
+                    ])
+                })),
+            ),
+            ("ledger_reconciled", Json::Bool(self.reconciles())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(users: usize) -> SoakConfig {
+        SoakConfig {
+            users,
+            tenants: 8,
+            vm_cores: 64,
+            duration: SimDuration::from_secs(3600),
+            collect_ledger: true,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn soak_is_deterministic_and_conserves_queries() {
+        let cfg = small(1500);
+        let a = run_soak(&cfg);
+        let b = run_soak(&cfg);
+        assert!(
+            a.submitted as usize >= cfg.users,
+            "undershot: {}",
+            a.submitted
+        );
+        assert_eq!(a.submitted, a.completed + a.rejected);
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.revenue_fold_bits, b.revenue_fold_bits);
+        assert_eq!(a.completed, b.completed);
+        assert!(a.throughput_qps > 0.0);
+        // Every tenant both submitted and completed work.
+        for t in &a.tenants {
+            assert!(t.completed > 0, "tenant {} starved entirely", t.name);
+        }
+    }
+
+    #[test]
+    fn ledger_reconciles_and_exposition_is_valid() {
+        let report = run_soak(&small(1200));
+        assert!(report.completed > 0);
+        assert!(report.reconciles());
+        let registry = MetricsRegistry::new();
+        report.export_metrics(&registry);
+        let text = registry.render();
+        pixels_obs::validate_exposition(&text).expect("soak exposition must be valid");
+        assert!(text.contains("pixels_soak_queries_total"));
+        assert!(text.contains("pixels_ledger_tenant_revenue_dollars"));
+    }
+
+    #[test]
+    fn rejected_queries_never_bill() {
+        // Deadline targets below any feasible execution time: every
+        // deadline query is rejected at admission.
+        let mut cfg = small(800);
+        cfg.deadline_targets_us = vec![1_000]; // 1 ms: infeasible for all
+        cfg.deadline_share = 0.5;
+        let report = run_soak(&cfg);
+        assert!(report.rejected > 0, "expected rejections");
+        let deadline = report
+            .modes
+            .iter()
+            .find(|m| m.name == DEADLINE_LEVEL)
+            .unwrap();
+        assert_eq!(deadline.completed, 0);
+        assert!(deadline.rejected > 0);
+        assert_eq!(deadline.revenue_dollars, 0.0);
+        // No rejected query reached the ledger.
+        assert_eq!(report.ledger_entries.len() as u64, report.completed);
+        assert!(report
+            .ledger_entries
+            .iter()
+            .all(|e| e.level != DEADLINE_LEVEL));
+        assert!(report.reconciles());
+    }
+
+    #[test]
+    fn adversarial_flood_does_not_starve_victims() {
+        // Adversary sends over half of all traffic as a best-of-effort
+        // flood; victims keep interactive latencies because DRR gives the
+        // adversary only one fair share and best-of-effort only runs on
+        // idle capacity anyway.
+        let mut cfg = small(2000);
+        cfg.adversary_share = 0.6;
+        let report = run_soak(&cfg);
+        let victims = report.victim_mean_wait_us();
+        let adversary = report.adversary_mean_wait_us();
+        assert!(
+            victims <= adversary || victims < cfg.grace.as_micros() / 2,
+            "victims wait {victims}us vs adversary {adversary}us"
+        );
+        // The adversary cannot push any victim past the relaxed grace
+        // bound on mean wait.
+        for t in report.tenants.iter().filter(|t| t.name != "adversary") {
+            assert!(
+                t.mean_wait_us < cfg.grace.as_micros(),
+                "tenant {} mean wait {}us exceeds grace",
+                t.name,
+                t.mean_wait_us
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_mode_beats_nearest_tier_mapping() {
+        // Undersized fleet so queueing pressure is real; identical traffic
+        // with deadlines either honored natively (EDF + latest-feasible
+        // force-start) or mapped to the nearest fixed tier.
+        let mut cfg = small(2500);
+        cfg.vm_cores = 24;
+        cfg.deadline_share = 0.4;
+        let native = run_soak(&cfg);
+        cfg.map_deadlines_to_tiers = true;
+        let mapped = run_soak(&cfg);
+        assert_eq!(native.submitted, mapped.submitted);
+        assert!(native.deadline_population > 0);
+        assert!(
+            native.deadline_target_violations <= mapped.deadline_target_violations,
+            "native {} vs mapped {}",
+            native.deadline_target_violations,
+            mapped.deadline_target_violations
+        );
+    }
+
+    #[test]
+    fn nearest_tier_mapping_is_log_space() {
+        assert_eq!(nearest_tier(10_000_000), ServiceLevel::Immediate);
+        assert_eq!(nearest_tier(30_000_000), ServiceLevel::Relaxed);
+        assert_eq!(nearest_tier(600_000_000), ServiceLevel::Relaxed);
+        assert_eq!(nearest_tier(1_800_000_000), ServiceLevel::BestEffort);
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-tenant accounts: fair-share weights and spending budgets.
+//!
+//! Tenants are created implicitly on first submission with default policy
+//! (weight 1.0, no budget). Operators register explicit policies through
+//! [`TenantDirectory::set_policy`]; the query server consults the directory
+//! at admission — a tenant over its budget is rejected before any work (or
+//! billing) happens, and weights feed the fair queue.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Per-tenant knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Fair-share weight (clamped by the fair queue to its bounds).
+    pub weight: f64,
+    /// Hard spending cap in dollars of billed revenue; `None` = unlimited.
+    /// Enforced against the ledger's per-tenant revenue at admission.
+    pub budget_dollars: Option<f64>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            weight: 1.0,
+            budget_dollars: None,
+        }
+    }
+}
+
+/// Registry of tenant policies; tenants absent from the map use
+/// [`TenantPolicy::default`]. Internally synchronized.
+#[derive(Debug, Default)]
+pub struct TenantDirectory {
+    policies: Mutex<BTreeMap<String, TenantPolicy>>,
+}
+
+impl TenantDirectory {
+    pub fn new() -> TenantDirectory {
+        TenantDirectory::default()
+    }
+
+    pub fn set_policy(&self, tenant: &str, policy: TenantPolicy) {
+        self.policies
+            .lock()
+            .unwrap()
+            .insert(tenant.to_string(), policy);
+    }
+
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.policies
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Tenants with explicit policies, name-ordered.
+    pub fn registered(&self) -> Vec<(String, TenantPolicy)> {
+        self.policies
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(t, p)| (t.clone(), *p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_tenants_get_defaults() {
+        let dir = TenantDirectory::new();
+        let p = dir.policy("nobody");
+        assert_eq!(p.weight, 1.0);
+        assert_eq!(p.budget_dollars, None);
+    }
+
+    #[test]
+    fn policies_round_trip() {
+        let dir = TenantDirectory::new();
+        dir.set_policy(
+            "acme",
+            TenantPolicy {
+                weight: 2.5,
+                budget_dollars: Some(10.0),
+            },
+        );
+        assert_eq!(dir.policy("acme").budget_dollars, Some(10.0));
+        assert_eq!(dir.registered().len(), 1);
+    }
+}

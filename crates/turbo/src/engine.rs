@@ -349,6 +349,24 @@ impl TurboEngine {
         *self.slots.free.lock() == 0
     }
 
+    /// Plan `sql` and return the resource model's work estimate without
+    /// executing anything. Deadline admission uses this to judge whether a
+    /// completion target is feasible at all. Non-query statements (EXPLAIN,
+    /// DDL) estimate as zero work — they are never deadline-bound.
+    pub fn estimate_work(&self, db: &str, sql: &str) -> Result<QueryWork> {
+        match pixels_sql::parse_statement(sql)? {
+            Statement::Query(_) => {
+                let plan = plan_query(&self.catalog, db, sql)?;
+                Ok(QueryWork::from_plan(&plan))
+            }
+            _ => Ok(QueryWork {
+                scan_bytes: 0,
+                cpu_seconds: 0.0,
+                parallelism: 1,
+            }),
+        }
+    }
+
     /// Execute one SQL statement. `cf_enabled` controls whether adaptive CF
     /// acceleration may be used when the VM slots are saturated.
     pub fn execute_sql(&self, db: &str, sql: &str, cf_enabled: bool) -> Result<ExecOutcome> {

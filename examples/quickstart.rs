@@ -61,6 +61,7 @@ fn main() {
             level,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         });
         let info = server.wait(id).expect("finishes");
         println!(

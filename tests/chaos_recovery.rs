@@ -49,6 +49,7 @@ fn run(server: &QueryServer, sql: &str, level: ServiceLevel) -> pixelsdb::server
         level,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     server.wait(id).unwrap()
 }

@@ -219,6 +219,7 @@ fn warm_chunk_cache_changes_neither_bills_nor_results_across_service_levels() {
             level,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         });
         let info = server.wait(id).unwrap();
         assert_eq!(info.status, QueryStatus::Finished, "{:?}", info.error);

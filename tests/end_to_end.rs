@@ -68,6 +68,7 @@ fn nl_to_billed_result() {
         level: ServiceLevel::Relaxed,
         result_limit: Some(100),
         tenant: None,
+        deadline_us: None,
     });
     let info = d.server.wait(id).unwrap();
     assert_eq!(info.status, QueryStatus::Finished);
@@ -93,6 +94,7 @@ fn same_query_same_answer_at_every_level() {
             level,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         });
         let info = d.server.wait(id).unwrap();
         assert_eq!(info.status, QueryStatus::Finished);
@@ -113,6 +115,7 @@ fn explain_shows_the_physical_plan() {
         level: ServiceLevel::Immediate,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     let info = d.server.wait(id).unwrap();
     let text = info.result.unwrap().pretty_format();
@@ -134,6 +137,7 @@ fn cross_database_sessions() {
             level: ServiceLevel::Immediate,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         });
         let info = d.server.wait(id).unwrap();
         assert_eq!(info.status, QueryStatus::Finished, "{db}: {:?}", info.error);
@@ -150,6 +154,7 @@ fn query_status_json_is_rover_renderable() {
         level: ServiceLevel::BestEffort,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     let info = d.server.wait(id).unwrap();
     let json = info.to_json();

@@ -120,6 +120,7 @@ fn storage_outage_fails_queries_cleanly() {
         level: ServiceLevel::Immediate,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
 
@@ -131,6 +132,7 @@ fn storage_outage_fails_queries_cleanly() {
         level: ServiceLevel::Immediate,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     let info = server.wait(id).unwrap();
     assert_eq!(info.status, QueryStatus::Failed);
@@ -144,6 +146,7 @@ fn storage_outage_fails_queries_cleanly() {
         level: ServiceLevel::BestEffort,
         result_limit: None,
         tenant: None,
+        deadline_us: None,
     });
     assert_eq!(server.wait(id).unwrap().status, QueryStatus::Finished);
 }
@@ -163,6 +166,7 @@ fn corrupted_reads_are_detected_not_garbage() {
             level: ServiceLevel::Immediate,
             result_limit: None,
             tenant: None,
+            deadline_us: None,
         });
         let info = server.wait(id).unwrap();
         if info.status == QueryStatus::Failed {

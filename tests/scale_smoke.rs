@@ -4,7 +4,7 @@
 
 use pixelsdb::catalog::Catalog;
 use pixelsdb::exec::run_query;
-use pixelsdb::server::{ServerConfig, ServerSim, ServiceLevel, Submission};
+use pixelsdb::server::{AdmissionMode, ServerConfig, ServerSim, ServiceLevel, Submission};
 use pixelsdb::sim::SimDuration;
 use pixelsdb::storage::InMemoryObjectStore;
 use pixelsdb::turbo::{CfConfig, ResourcePricing, VmConfig};
@@ -40,10 +40,10 @@ fn thousand_query_scheduling_trace() {
     assert_eq!(report.records.len(), n);
     // Level invariants hold at scale.
     for r in &report.records {
-        if r.level == ServiceLevel::Immediate {
+        if r.mode == AdmissionMode::Level(ServiceLevel::Immediate) {
             assert_eq!(r.pending(), SimDuration::ZERO);
         }
-        if r.level != ServiceLevel::Immediate {
+        if r.mode != AdmissionMode::Level(ServiceLevel::Immediate) {
             assert!(matches!(r.placement, pixelsdb::turbo::Placement::Vm));
         }
     }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests of the service-level scheduler on the
 //! virtual clock: invariants the paper states must hold for any workload.
 
-use pixelsdb::server::{ServerConfig, ServerSim, ServiceLevel, Submission};
+use pixelsdb::server::{AdmissionMode, ServerConfig, ServerSim, ServiceLevel, Submission};
 use pixelsdb::sim::{SimDuration, SimTime};
 use pixelsdb::turbo::{CfConfig, Placement, ResourcePricing, VmConfig};
 use pixelsdb::workload::{poisson, QueryClass, WorkloadTrace};
@@ -42,15 +42,20 @@ fn paper_invariants_hold_on_a_mixed_workload() {
 
     for r in &report.records {
         // 1. Immediate queries never wait.
-        if r.level == ServiceLevel::Immediate {
+        if r.mode == AdmissionMode::Level(ServiceLevel::Immediate) {
             assert_eq!(r.pending(), SimDuration::ZERO, "{:?}", r);
         }
         // 2. Only immediate queries may use CF.
         if matches!(r.placement, Placement::Cf { .. }) {
-            assert_eq!(r.level, ServiceLevel::Immediate, "{:?}", r);
+            assert_eq!(
+                r.mode,
+                AdmissionMode::Level(ServiceLevel::Immediate),
+                "{:?}",
+                r
+            );
         }
         // 3. Relaxed server-side wait is bounded by the grace period.
-        if r.level == ServiceLevel::Relaxed {
+        if r.mode == AdmissionMode::Level(ServiceLevel::Relaxed) {
             assert!(
                 r.dispatched_at.since(r.submitted_at) <= SimDuration::from_secs(300),
                 "{:?}",
@@ -58,7 +63,7 @@ fn paper_invariants_hold_on_a_mixed_workload() {
             );
         }
         // 4. Prices follow the level's $/TB rate exactly.
-        let per_tb = 5.0 * r.level.price_fraction();
+        let per_tb = 5.0 * r.mode.price_fraction();
         let expected = per_tb * r.scan_bytes as f64 / 1e12;
         assert!((r.price - expected).abs() < 1e-12);
         // 5. Time sanity: submitted <= dispatched <= started <= finished.

@@ -1,0 +1,213 @@
+//! Differential test of the billing invariant behind the shared-work layer:
+//! **sharing must be bill-invisible**. Running every TPC-H template twice
+//! at every service level through a server with sharing enabled must
+//! produce, query for query, bit-identical rows, row order, billed
+//! `scan_bytes`, and prices compared to an identical server with sharing
+//! disabled — the only observable difference is who did the work (the
+//! shared layer's hit/coalesce counters) and the provider's cost.
+//!
+//! Also covers the cache-consistency rule (the materialized-view
+//! invalidation discipline): after `invalidate_results`, a repeat must
+//! re-execute against current data instead of serving the stale cache.
+
+use pixelsdb::catalog::Catalog;
+use pixelsdb::common::{RecordBatch, Value};
+use pixelsdb::obs::LedgerSummary;
+use pixelsdb::server::{
+    PriceSchedule, QueryServer, QueryStatus, QuerySubmission, ServiceLevel, SharingConfig,
+};
+use pixelsdb::storage::InMemoryObjectStore;
+use pixelsdb::turbo::{EngineConfig, TurboEngine};
+use pixelsdb::workload::{all_queries, load_tpch, TpchConfig};
+use std::sync::Arc;
+
+fn deploy(sharing: bool) -> QueryServer {
+    let catalog = Catalog::shared();
+    let store = InMemoryObjectStore::shared();
+    load_tpch(
+        &catalog,
+        store.as_ref(),
+        "tpch",
+        &TpchConfig {
+            scale: 0.001,
+            seed: 42,
+            row_group_rows: 2048,
+            files_per_table: 1,
+        },
+    )
+    .unwrap();
+    let engine = Arc::new(TurboEngine::new(catalog, store, EngineConfig::default()));
+    let server = QueryServer::new(engine, PriceSchedule::default());
+    if sharing {
+        server.with_sharing(SharingConfig {
+            enabled: true,
+            cache_entries: 64,
+        })
+    } else {
+        server
+    }
+}
+
+/// Bit-identity: same variant and, for floats, the exact bit pattern.
+fn values_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => x.to_bits() == y.to_bits(),
+        _ => std::mem::discriminant(a) == std::mem::discriminant(b) && a == b,
+    }
+}
+
+fn rows_of(batch: &RecordBatch) -> Vec<Vec<Value>> {
+    batch.to_rows()
+}
+
+struct Observed {
+    rows: Vec<Vec<Value>>,
+    scan_bytes: u64,
+    price_bits: u64,
+}
+
+/// Submit-and-wait one query, returning what the *user* observes.
+fn observe(server: &QueryServer, sql: &str, level: ServiceLevel, tenant: &str) -> Observed {
+    let id = server.submit(QuerySubmission {
+        database: "tpch".into(),
+        sql: sql.into(),
+        level,
+        result_limit: None,
+        tenant: Some(tenant.to_string()),
+        deadline_us: None,
+    });
+    let info = server.wait(id).unwrap();
+    assert_eq!(
+        info.status,
+        QueryStatus::Finished,
+        "{sql}: {:?}",
+        info.error
+    );
+    Observed {
+        rows: rows_of(&info.result.unwrap()),
+        scan_bytes: info.scan_bytes,
+        price_bits: info.price.to_bits(),
+    }
+}
+
+#[test]
+fn sharing_is_bill_invisible_across_templates_and_levels() {
+    let plain = deploy(false);
+    let shared = deploy(true);
+    let templates: Vec<_> = all_queries()
+        .into_iter()
+        .filter(|t| t.database == "tpch")
+        .collect();
+    assert!(templates.len() >= 5, "expected a real TPC-H template set");
+
+    let mut submissions = 0u32;
+    for t in &templates {
+        for level in ServiceLevel::ALL {
+            // Two identical submissions per (template, level): the second
+            // is an exact repeat — a warm re-execution without sharing, a
+            // cache hit with it. The observable outcome must not differ.
+            for round in 0..2 {
+                let tenant = format!("t-{}", submissions % 4);
+                let a = observe(&plain, t.sql, level, &tenant);
+                let b = observe(&shared, t.sql, level, &tenant);
+                assert_eq!(
+                    a.rows.len(),
+                    b.rows.len(),
+                    "{} {} round {round}: row count diverged",
+                    t.id,
+                    level.name()
+                );
+                for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+                    assert!(
+                        ra.len() == rb.len()
+                            && ra.iter().zip(rb).all(|(x, y)| values_identical(x, y)),
+                        "{} {} round {round}: row {i} diverged:\n  plain:  {ra:?}\n  shared: {rb:?}",
+                        t.id,
+                        level.name()
+                    );
+                }
+                assert_eq!(
+                    a.scan_bytes,
+                    b.scan_bytes,
+                    "{} {} round {round}: billed bytes diverged",
+                    t.id,
+                    level.name()
+                );
+                assert_eq!(
+                    a.price_bits,
+                    b.price_bits,
+                    "{} {} round {round}: price diverged",
+                    t.id,
+                    level.name()
+                );
+                submissions += 1;
+            }
+        }
+    }
+
+    // The shared deployment actually shared: every repeat round was served
+    // from the result cache, and nothing was double-executed.
+    let (hits, _coalesced, executed) = shared.shared().stats();
+    assert!(hits > 0, "repeats must hit the result cache");
+    assert_eq!(
+        hits + executed,
+        submissions as u64,
+        "every submission is either a hit or an execution"
+    );
+
+    // Ledger reconciliation: per tenant, both deployments recorded the
+    // same number of entries, the same billed bytes, and bit-identical
+    // revenue — sharing changed the provider's cost, never any bill.
+    let by_plain = plain.ledger().by_tenant();
+    let by_shared = shared.ledger().by_tenant();
+    assert_eq!(by_plain.len(), by_shared.len());
+    for (tenant, a) in &by_plain {
+        let b: &LedgerSummary = by_shared.get(tenant).expect("tenant present in both");
+        assert_eq!(a.entries, b.entries, "{tenant}: entry count");
+        assert_eq!(a.bytes_billed, b.bytes_billed, "{tenant}: billed bytes");
+        assert_eq!(
+            a.revenue_dollars.to_bits(),
+            b.revenue_dollars.to_bits(),
+            "{tenant}: revenue"
+        );
+    }
+}
+
+#[test]
+fn invalidation_forces_reexecution_against_current_data() {
+    let server = deploy(true);
+    let sql = "SELECT COUNT(*) AS n FROM lineitem";
+    let first = observe(&server, sql, ServiceLevel::Relaxed, "t-0");
+    let repeat = observe(&server, sql, ServiceLevel::Relaxed, "t-0");
+    assert_eq!(first.rows, repeat.rows);
+    let (hits_before, _, executed_before) = server.shared().stats();
+    assert_eq!(hits_before, 1, "repeat served from cache");
+
+    // Any mutation to the database (a delete, an append, a reload) must
+    // drop its cached results — a cached answer must never outlive the
+    // data it was computed from.
+    server.invalidate_results("tpch");
+    let after = observe(&server, sql, ServiceLevel::Relaxed, "t-0");
+    let (hits_after, _, executed_after) = server.shared().stats();
+    assert_eq!(hits_after, hits_before, "post-invalidation run is no hit");
+    assert_eq!(
+        executed_after,
+        executed_before + 1,
+        "post-invalidation run re-executes"
+    );
+    // Data did not actually change here, so the answer is unchanged —
+    // what changed is that it was recomputed.
+    assert_eq!(first.rows, after.rows);
+
+    // Invalidating an unrelated database leaves the rebuilt cache intact.
+    let _ = observe(&server, sql, ServiceLevel::Relaxed, "t-0");
+    server.invalidate_results("elsewhere");
+    let _ = observe(&server, sql, ServiceLevel::Relaxed, "t-0");
+    let (hits_final, _, executed_final) = server.shared().stats();
+    assert_eq!(executed_final, executed_after);
+    assert_eq!(
+        hits_final,
+        hits_after + 2,
+        "unrelated invalidation is inert"
+    );
+}
