@@ -141,6 +141,12 @@ pub struct Ledger {
     /// Per-level entry counts already pushed to a registry, so export emits
     /// deltas and scraped counters stay monotonic.
     published_entries: Mutex<BTreeMap<String, u64>>,
+    /// Tenant labels emitted by the previous [`Ledger::export_tenants`]
+    /// call. Series whose tenant drops out of the top-K are zeroed on the
+    /// next export — otherwise a stale gauge would keep its last value
+    /// while that tenant's revenue is also folded into "other",
+    /// double-counting it in the exposition.
+    published_tenants: Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl Ledger {
@@ -288,7 +294,10 @@ impl Ledger {
     /// `top_k` tenants by revenue (ties broken by name) plus one aggregate
     /// `other` bucket — so a fleet with a million tenants exports at most
     /// `top_k + 1` series per family instead of a million. Gauges, not
-    /// counters: the top-K membership may change between scrapes.
+    /// counters: the top-K membership may change between scrapes, so series
+    /// whose tenant dropped out since the last export are zeroed — a stale
+    /// nonzero gauge would double-count that tenant's revenue, which is now
+    /// folded into "other".
     pub fn export_tenants(&self, registry: &MetricsRegistry, top_k: usize) {
         let by_tenant = self.by_tenant();
         let mut ranked: Vec<(&String, &LedgerSummary)> = by_tenant.iter().collect();
@@ -314,9 +323,11 @@ impl Ledger {
                 )
                 .set(s.entries as f64);
         };
+        let mut emitted = std::collections::BTreeSet::new();
         for (i, (tenant, s)) in ranked.iter().enumerate() {
             if i < top_k {
                 emit(tenant, s);
+                emitted.insert((*tenant).clone());
             } else {
                 other.entries += s.entries;
                 other.revenue_dollars += s.revenue_dollars;
@@ -324,7 +335,16 @@ impl Ledger {
         }
         if ranked.len() > top_k {
             emit("other", &other);
+            emitted.insert("other".to_string());
         }
+        // Zero any series emitted last scrape whose tenant is no longer in
+        // the top-K: its revenue now lives in "other" (or it left the
+        // ledger's view entirely) and must not be counted twice.
+        let mut published = self.published_tenants.lock();
+        for stale in published.iter().filter(|t| !emitted.contains(*t)) {
+            emit(stale, &LedgerSummary::default());
+        }
+        *published = emitted;
     }
 }
 
@@ -471,5 +491,55 @@ mod tests {
         let text2 = r2.render();
         assert!(text2.contains("tenant=\"default\""), "{text2}");
         assert!(!text2.contains("tenant=\"other\""), "{text2}");
+    }
+
+    #[test]
+    fn tenants_dropping_out_of_top_k_are_zeroed_not_double_counted() {
+        let r = MetricsRegistry::new();
+        let l = Ledger::new();
+        let add = |q: &str, tenant: &str, rev: f64| {
+            let mut e = entry(q, "relaxed", rev);
+            e.tenant = tenant.to_string();
+            l.append(e);
+        };
+        // Scrape 1: alpha leads, beta folds into "other".
+        add("q-1", "alpha", 2.0);
+        add("q-2", "beta", 1.0);
+        l.export_tenants(&r, 1);
+        let text = r.render();
+        assert!(
+            text.contains("pixels_ledger_tenant_revenue_dollars{tenant=\"alpha\"} 2"),
+            "{text}"
+        );
+        // Scrape 2: beta overtakes alpha, which now folds into "other".
+        // Alpha's old series must be zeroed — keeping its last value while
+        // its revenue also sits in "other" would double-count it.
+        add("q-3", "beta", 5.0);
+        l.export_tenants(&r, 1);
+        let text = r.render();
+        assert!(
+            text.contains("pixels_ledger_tenant_revenue_dollars{tenant=\"alpha\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_tenant_revenue_dollars{tenant=\"beta\"} 6"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pixels_ledger_tenant_revenue_dollars{tenant=\"other\"} 2"),
+            "{text}"
+        );
+        // The exposition still conserves total revenue exactly once.
+        let sum: f64 = text
+            .lines()
+            .filter(|line| line.starts_with("pixels_ledger_tenant_revenue_dollars{"))
+            .map(|line| line.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - l.summary().revenue_dollars).abs() < 1e-9, "{text}");
+        // Same discipline on the entry-count family.
+        assert!(
+            text.contains("pixels_ledger_tenant_entries{tenant=\"alpha\"} 0"),
+            "{text}"
+        );
     }
 }

@@ -209,6 +209,15 @@ pub struct QueryServer {
     /// Shared-work front (single-flight + result cache); disabled unless
     /// [`QueryServer::with_sharing`] opts in.
     sharing: Arc<SharedWork>,
+    /// Server-start monotonic epoch: the single clock origin for every
+    /// `now_us` fed into the [`FairQueue`] and [`SchedulerPolicy`]. Queued
+    /// deadlines and poll times are all absolute against this instant, so
+    /// expiry and EDF comparisons across entries share one origin — exactly
+    /// like the simulator's absolute virtual clock.
+    epoch: std::time::Instant,
+    /// Per-tenant committed + reserved spend, consulted atomically at
+    /// budget admission (see [`crate::tenant::SpendBook`]).
+    spend: Arc<crate::tenant::SpendBook>,
 }
 
 /// The observability sinks a query thread appends to at its terminal state.
@@ -249,6 +258,8 @@ impl QueryServer {
             fair: Arc::new(Mutex::new(FairQueue::new())),
             tenants: Arc::new(TenantDirectory::new()),
             sharing: Arc::new(SharedWork::new(SharingConfig::default())),
+            epoch: std::time::Instant::now(),
+            spend: Arc::new(crate::tenant::SpendBook::new()),
         }
     }
 
@@ -470,19 +481,27 @@ impl QueryServer {
             )
             .add(1.0);
 
-        // Budget admission: a tenant whose ledgered spend has reached its
-        // budget is refused before a thread ever spawns. Rejections journal
+        // Budget admission: a tenant whose committed-plus-reserved spend has
+        // reached its budget is refused before a thread ever spawns.
+        // Check-and-reserve is one atomic step against the spend book — not
+        // a ledger rescan — so N concurrent submissions from a capped tenant
+        // cannot all slip under the cap before any of them bills: each one
+        // reserves its modelled bill up front and reconciles the reservation
+        // against the real bill at its terminal state. Rejections journal
         // and burn SLO budget but never touch the ledger or result cache.
         let tenant_policy = self.tenants.policy(submission.tenant_name());
+        let mut reserved = 0.0;
         if let Some(budget) = tenant_policy.budget_dollars {
-            let spent = self
-                .obs
-                .ledger
-                .by_tenant()
-                .get(submission.tenant_name())
-                .map(|s| s.revenue_dollars)
-                .unwrap_or(0.0);
-            if spent >= budget {
+            let est_bytes = self
+                .engine
+                .estimate_work(&submission.database, &submission.sql)
+                .map(|w| w.scan_bytes)
+                .unwrap_or(0);
+            reserved = self.prices.bill_mode(mode, est_bytes);
+            if !self
+                .spend
+                .try_reserve(submission.tenant_name(), reserved, budget)
+            {
                 finalize_rejection(
                     self.registry(),
                     &self.state,
@@ -506,9 +525,12 @@ impl QueryServer {
         let obs = self.obs.clone();
         let fair = self.fair.clone();
         let sharing = self.sharing.clone();
+        let epoch = self.epoch;
+        let spend = self.spend.clone();
         let handle = std::thread::spawn(move || {
             run_query_thread(
-                engine, state, prices, policy, poll, id, submission, obs, fair, sharing,
+                engine, state, prices, policy, poll, id, submission, obs, fair, sharing, epoch,
+                spend, reserved,
             );
         });
         let mut handles = self.handles.lock();
@@ -634,6 +656,9 @@ fn run_query_thread(
     obs: ObsSinks,
     fair: Arc<Mutex<FairQueue>>,
     sharing: Arc<SharedWork>,
+    epoch: std::time::Instant,
+    spend: Arc<crate::tenant::SpendBook>,
+    reserved: f64,
 ) {
     let registry = engine.registry().clone();
     let mode = submission.mode();
@@ -657,8 +682,11 @@ fn run_query_thread(
 
     let queued = std::time::Instant::now();
     // Admission runs the same policy as the simulator; this thread supplies
-    // the live load signal (engine busyness + fair-queue depths) and wall
-    // clock (micros since submission) and executes the verdicts.
+    // the live load signal (engine busyness + fair-queue depths) and clock
+    // (micros since the shared server-start epoch — one origin for every
+    // thread, so queued deadlines and poll times compare like the
+    // simulator's absolute virtual clock) and executes the verdicts.
+    let now_us = || epoch.elapsed().as_micros() as u64;
     let load = |engine: &TurboEngine, fair: &Mutex<FairQueue>| {
         let q = fair.lock();
         LoadSignal {
@@ -672,7 +700,7 @@ fn run_query_thread(
     let mut admission = "dispatch_now";
     {
         let wait_span = query_span.ctx().span("scheduler_wait");
-        match policy.admit_mode(mode, load(&engine, &fair), 0, est_us) {
+        match policy.admit_mode(mode, load(&engine, &fair), now_us(), est_us) {
             Admission::DispatchNow => {}
             Admission::Queue { deadline_us } => {
                 admission = "queued";
@@ -681,13 +709,12 @@ fn run_query_thread(
                     tenant: submission.tenant_name().to_string(),
                     mode,
                     deadline_us,
-                    enqueued_us: 0,
+                    enqueued_us: now_us(),
                     batch_key: None,
                 });
                 loop {
-                    let now_us = queued.elapsed().as_micros() as u64;
                     let snapshot = load(&engine, &fair);
-                    let verdict = fair.lock().poll(&policy, snapshot, now_us, id.0);
+                    let verdict = fair.lock().poll(&policy, snapshot, now_us(), id.0);
                     match verdict {
                         QueueVerdict::Dispatch { forced: f } => {
                             forced = f;
@@ -703,6 +730,7 @@ fn run_query_thread(
             Admission::Reject { reason } => {
                 drop(wait_span);
                 drop(query_span);
+                spend.settle(submission.tenant_name(), reserved, 0.0);
                 finalize_rejection(&registry, &state, &obs, id, &submission, reason);
                 return;
             }
@@ -754,7 +782,10 @@ fn run_query_thread(
     let profile = trace.to_json();
 
     let mut s = state.lock();
-    let Some(info) = s.get_mut(&id) else { return };
+    let Some(info) = s.get_mut(&id) else {
+        spend.settle(submission.tenant_name(), reserved, 0.0);
+        return;
+    };
     match outcome {
         Ok(mut out) => {
             if let Some(limit) = submission.result_limit {
@@ -787,6 +818,9 @@ fn run_query_thread(
         }
     }
     info.profile = Some(profile);
+    // Reconcile the budget reservation against the real bill: release the
+    // estimate, commit what was actually billed (zero on failure).
+    spend.settle(submission.tenant_name(), reserved, info.price);
     // SLO verdict, ledger entry, and journal record — appended while the
     // state lock is held, so anyone who observes the terminal status also
     // observes the query's obs records.
@@ -1422,6 +1456,44 @@ mod tests {
             text.contains(r#"pixels_queries_total{level="immediate",status="rejected"} 1"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn concurrent_capped_submissions_cannot_overrun_the_budget() {
+        use crate::tenant::{TenantDirectory, TenantPolicy};
+        let tenants = Arc::new(TenantDirectory::new());
+        // A budget below one query's estimated bill: the first submission
+        // is admitted (spend is strictly under the cap) and every later
+        // one is refused *while the first is still in flight* — the
+        // admission-time reservation carries the spend, so a burst of
+        // submissions cannot all slip under the cap before any of them
+        // reaches the ledger.
+        tenants.set_policy(
+            "capped",
+            TenantPolicy {
+                budget_dollars: Some(1e-12),
+                ..TenantPolicy::default()
+            },
+        );
+        let s = server().with_tenants(tenants);
+        let ids: Vec<QueryId> = (0..6)
+            .map(|_| {
+                let mut sub = submission("SELECT COUNT(*) FROM region", ServiceLevel::Immediate);
+                sub.tenant = Some("capped".into());
+                s.submit(sub)
+            })
+            .collect();
+        let infos: Vec<QueryInfo> = ids.into_iter().map(|id| s.wait(id).unwrap()).collect();
+        let finished = infos
+            .iter()
+            .filter(|i| i.status == QueryStatus::Finished)
+            .count();
+        let rejected = infos
+            .iter()
+            .filter(|i| i.status == QueryStatus::Rejected)
+            .count();
+        assert_eq!((finished, rejected), (1, 5));
+        assert_eq!(s.ledger().entries().len(), 1, "only the admitted query bills");
     }
 
     #[test]

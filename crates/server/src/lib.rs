@@ -37,4 +37,4 @@ pub use service_level::ServiceLevel;
 pub use shared::{ShareKind, SharedWork, SharingConfig};
 pub use sim::{QueryRecord, ServerConfig, ServerSim, SimReport, Submission, TenantSubmission};
 pub use soak::{run_soak, SoakConfig, SoakReport};
-pub use tenant::{TenantDirectory, TenantPolicy};
+pub use tenant::{SpendBook, TenantDirectory, TenantPolicy};

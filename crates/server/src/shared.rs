@@ -118,6 +118,13 @@ pub struct SharedWork {
     cfg: SharingConfig,
     cache: Mutex<Cache>,
     flights: Mutex<HashMap<Key, Arc<Flight>>>,
+    /// Per-db invalidation epoch, bumped by [`SharedWork::invalidate_db`].
+    /// A leader snapshots its db's epoch before executing and publishes
+    /// (to followers and the result cache) only if the epoch is unchanged
+    /// at completion — a mutation landing mid-flight kills the
+    /// pre-mutation result instead of letting it outlive the data it was
+    /// computed from. Lock order: `epochs` before `cache`.
+    epochs: Mutex<HashMap<String, u64>>,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
     executed: AtomicU64,
@@ -132,6 +139,7 @@ impl SharedWork {
                 order: VecDeque::new(),
             }),
             flights: Mutex::new(HashMap::new()),
+            epochs: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -151,16 +159,29 @@ impl SharedWork {
         )
     }
 
-    /// Drop every cached result for `db`. Called on any mutation to the
-    /// database (the materialized-view invalidation rule): a cached result
-    /// must never outlive the data it was computed from.
+    /// Drop every cached result for `db` and bump its invalidation epoch.
+    /// Called on any mutation to the database (the materialized-view
+    /// invalidation rule): a cached result must never outlive the data it
+    /// was computed from — the epoch bump extends that rule to leaders
+    /// still in flight, whose pre-mutation outcome must not be published
+    /// after this call.
     pub fn invalidate_db(&self, db: &str) {
+        // Hold the epoch lock across the cache purge so a completing
+        // leader cannot slip a stale result in between the bump and the
+        // purge.
+        let mut epochs = self.epochs.lock();
+        *epochs.entry(db.to_string()).or_insert(0) += 1;
         let mut cache = self.cache.lock();
         cache.map.retain(|k, _| k.0 != db);
         cache.order.retain(|k| {
             // retain order entries whose key survived
             k.0 != db
         });
+    }
+
+    /// Current invalidation epoch of `db`.
+    fn db_epoch(&self, db: &str) -> u64 {
+        self.epochs.lock().get(db).copied().unwrap_or(0)
     }
 
     /// Execute `sql` through the shared-work layer. Returns the outcome and
@@ -238,21 +259,52 @@ impl SharedWork {
                 }
             }
         }
+        // Snapshot the db's invalidation epoch before executing: a mutation
+        // landing while the leader runs makes its outcome unpublishable.
+        let epoch = self.db_epoch(db);
         let outcome = engine.execute_sql_scheduled(db, sql, cf_enabled, trace, slot_wait_limit);
-        // Publish (success only), wake followers, retire the flight.
-        {
-            let mut state = flight.state.lock();
-            *state = FlightState::Done(outcome.as_ref().ok().cloned().map(Box::new));
-        }
-        flight.cv.notify_all();
+        self.finish_flight(&flight, db, &key, &outcome, epoch);
         self.flights.lock().remove(&key);
-        if let Ok(out) = &outcome {
-            self.cache
-                .lock()
-                .insert(key, out.clone(), self.cfg.cache_entries);
-        }
         self.executed.fetch_add(1, Ordering::Relaxed);
         (outcome, ShareKind::Executed)
+    }
+
+    /// The leader's completion step: decide freshness against `db`'s
+    /// invalidation epoch snapshotted at flight start, publish to waiting
+    /// followers — the outcome if fresh, `None` ("re-execute yourself") if
+    /// a mutation invalidated the db mid-flight — and insert into the
+    /// result cache only when fresh. All under the epoch lock, so an
+    /// `invalidate_db` racing this step either sees the insert (and purges
+    /// it) or forces the skip; a stale result can never survive. Returns
+    /// whether the outcome was published. Failures are never published
+    /// regardless of freshness.
+    fn finish_flight(
+        &self,
+        flight: &Flight,
+        db: &str,
+        key: &Key,
+        outcome: &Result<ExecOutcome>,
+        epoch_at_start: u64,
+    ) -> bool {
+        let epochs = self.epochs.lock();
+        let fresh = epochs.get(db).copied().unwrap_or(0) == epoch_at_start;
+        {
+            let mut state = flight.state.lock();
+            *state = FlightState::Done(if fresh {
+                outcome.as_ref().ok().cloned().map(Box::new)
+            } else {
+                None
+            });
+        }
+        flight.cv.notify_all();
+        if fresh {
+            if let Ok(out) = outcome {
+                self.cache
+                    .lock()
+                    .insert(key.clone(), out.clone(), self.cfg.cache_entries);
+            }
+        }
+        fresh
     }
 
     /// Publish the layer's counters.
@@ -493,6 +545,36 @@ mod tests {
         sw.invalidate_db("tpch");
         let (_, kind) = sw.execute(&e, "tpch", sql, false, TraceCtx::disabled(), None);
         assert_eq!(kind, ShareKind::Executed, "mutated db must re-execute");
+    }
+
+    #[test]
+    fn mid_flight_invalidation_is_never_published() {
+        let e = engine();
+        let sw = enabled();
+        let sql = "SELECT COUNT(*) FROM nation";
+        let key: Key = ("tpch".to_string(), normalize_sql(sql));
+        // Replay the leader's exact sequence with a mutation racing it:
+        // snapshot the epoch, execute, invalidate, then complete the flight.
+        let epoch = sw.db_epoch("tpch");
+        let flight = Flight {
+            state: Mutex::new(FlightState::Running),
+            cv: Condvar::new(),
+        };
+        let outcome = e.execute_sql("tpch", sql, false);
+        sw.invalidate_db("tpch");
+        assert!(
+            !sw.finish_flight(&flight, "tpch", &key, &outcome, epoch),
+            "a mutation mid-flight must make the outcome unpublishable"
+        );
+        // Followers see a failed flight and fall back to executing solo...
+        assert!(matches!(&*flight.state.lock(), FlightState::Done(None)));
+        // ...and the stale result never entered the cache: the next
+        // identical query re-executes against post-mutation data.
+        let (_, kind) = sw.execute(&e, "tpch", sql, false, TraceCtx::disabled(), None);
+        assert_eq!(kind, ShareKind::Executed);
+        // Without a racing mutation the same completion caches normally.
+        let (_, kind) = sw.execute(&e, "tpch", sql, false, TraceCtx::disabled(), None);
+        assert_eq!(kind, ShareKind::CacheHit);
     }
 
     #[test]
